@@ -1,0 +1,47 @@
+//! Ring collective microbenchmarks across world sizes.
+
+use axonn_collectives::ProcessGroup;
+use axonn_exec::run_spmd;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+const ELEMS: usize = 1 << 14;
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ring_collectives");
+    g.measurement_time(Duration::from_secs(2)).sample_size(10);
+    for &world in &[2usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("all_reduce", world), &world, |b, &w| {
+            b.iter(|| {
+                run_spmd(w, move |comm| {
+                    let group = ProcessGroup::new((0..w).collect());
+                    let mut buf = vec![1.0f32; ELEMS];
+                    comm.all_reduce(&group, &mut buf);
+                    buf[0]
+                })
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("all_gather", world), &world, |b, &w| {
+            b.iter(|| {
+                run_spmd(w, move |comm| {
+                    let group = ProcessGroup::new((0..w).collect());
+                    let shard = vec![1.0f32; ELEMS / w];
+                    comm.all_gather(&group, &shard).len()
+                })
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("reduce_scatter", world), &world, |b, &w| {
+            b.iter(|| {
+                run_spmd(w, move |comm| {
+                    let group = ProcessGroup::new((0..w).collect());
+                    let buf = vec![1.0f32; ELEMS];
+                    comm.reduce_scatter(&group, &buf).len()
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_collectives);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! GEMM kernel microbenchmarks: the NN / NT / TN performance hierarchy
+//! that the Section V-C kernel tuner exploits, plus the bf16 rounding
+//! overhead of mixed precision.
+
+use axonn_tensor::{gemm, gemm_bf16, MatMode, Matrix};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_modes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemm_modes");
+    g.measurement_time(Duration::from_secs(2)).sample_size(20);
+    for &n in &[64usize, 128, 256] {
+        let a = Matrix::random(n, n, 1.0, 1);
+        let b = Matrix::random(n, n, 1.0, 2);
+        for mode in MatMode::ALL {
+            g.bench_with_input(BenchmarkId::new(format!("{mode}"), n), &n, |bench, _| {
+                bench.iter(|| gemm(mode, &a, &b))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_bf16(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemm_bf16");
+    g.measurement_time(Duration::from_secs(2)).sample_size(20);
+    let n = 128;
+    let a = Matrix::random(n, n, 1.0, 3);
+    let b = Matrix::random(n, n, 1.0, 4);
+    g.bench_function("f32", |bench| bench.iter(|| gemm(MatMode::NN, &a, &b)));
+    g.bench_function("bf16_mixed", |bench| bench.iter(|| gemm_bf16(MatMode::NN, &a, &b)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_modes, bench_bf16);
+criterion_main!(benches);

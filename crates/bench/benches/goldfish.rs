@@ -1,0 +1,31 @@
+//! Goldfish-loss overhead: mask construction and masked vs unmasked
+//! cross-entropy.
+
+use axonn_lm::cross_entropy;
+use axonn_memorize::{goldfish_mask, GoldfishParams};
+use axonn_tensor::Matrix;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_goldfish(c: &mut Criterion) {
+    let mut g = c.benchmark_group("goldfish");
+    g.measurement_time(Duration::from_secs(2)).sample_size(20);
+    let tokens: Vec<usize> = (0..4096).map(|i| (i * 31) % 512).collect();
+    g.bench_function("mask_4096_tokens", |b| {
+        b.iter(|| goldfish_mask(&tokens, GoldfishParams::paper()))
+    });
+
+    let logits = Matrix::random(512, 256, 1.0, 1);
+    let targets: Vec<usize> = (0..512).map(|i| i % 256).collect();
+    let mask = goldfish_mask(&targets, GoldfishParams::paper());
+    g.bench_function("cross_entropy_unmasked", |b| {
+        b.iter(|| cross_entropy(&logits, &targets, None).loss)
+    });
+    g.bench_function("cross_entropy_goldfish", |b| {
+        b.iter(|| cross_entropy(&logits, &targets, Some(&mask)).loss)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_goldfish);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! End-to-end 4D-parallel training-step benchmark (Algorithm 1 on real
+//! threads) across grid shapes, including the overlap configurations.
+
+use axonn_core::{Activation, GridTopology, Network4d, OverlapConfig};
+use axonn_exec::run_spmd;
+use axonn_tensor::Matrix;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+const DIMS: [usize; 3] = [64, 128, 64];
+
+fn step(gx: usize, gy: usize, gz: usize, gd: usize, overlap: OverlapConfig) -> f32 {
+    let world = gx * gy * gz * gd;
+    let out = run_spmd(world, move |comm| {
+        let grid = GridTopology::new(gx, gy, gz, gd, comm.rank());
+        let mut net = Network4d::new(comm, grid, &DIMS, Activation::Gelu, 7, overlap, false);
+        let x = Matrix::random(16, DIMS[0], 1.0, 1);
+        let t = Matrix::random(16, DIMS[2], 1.0, 2);
+        net.train_step(&x, &t, 0.01)
+    });
+    out[0]
+}
+
+fn bench_grids(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parallel_train_step");
+    g.measurement_time(Duration::from_secs(2)).sample_size(10);
+    for &(gx, gy, gz, gd) in &[(1usize, 1usize, 1usize, 1usize), (2, 1, 1, 1), (1, 1, 2, 1), (2, 2, 2, 1)] {
+        let label = format!("{gx}x{gy}x{gz}x{gd}");
+        g.bench_with_input(BenchmarkId::new("no_overlap", &label), &(), |b, _| {
+            b.iter(|| step(gx, gy, gz, gd, OverlapConfig::default()))
+        });
+        g.bench_with_input(BenchmarkId::new("full_overlap", &label), &(), |b, _| {
+            b.iter(|| step(gx, gy, gz, gd, OverlapConfig::all()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_grids);
+criterion_main!(benches);

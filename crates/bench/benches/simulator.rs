@@ -1,0 +1,35 @@
+//! Simulator throughput: one batch simulation and one full configuration
+//! ranking, per call.
+
+use axonn_cluster::{BandwidthDb, Machine};
+use axonn_perfmodel::{rank_configs, Grid4d};
+use axonn_sim::{simulate_batch, SimOptions};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_sim(c: &mut Criterion) {
+    let machine = Machine::frontier();
+    let db = BandwidthDb::profile(&machine);
+    let model = axonn_gpt::model_by_billions(20);
+    let mut g = c.benchmark_group("simulator");
+    g.measurement_time(Duration::from_secs(2)).sample_size(20);
+    g.bench_function("simulate_batch_20B_2048", |b| {
+        b.iter(|| {
+            simulate_batch(
+                &machine,
+                &db,
+                Grid4d::new(8, 2, 16, 8),
+                &model,
+                1 << 22,
+                SimOptions::full(),
+            )
+        })
+    });
+    g.bench_function("rank_configs_20B_2048", |b| {
+        b.iter(|| rank_configs(&machine, &db, &model, 1 << 22, 2048, Some(51.2e9)).len())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

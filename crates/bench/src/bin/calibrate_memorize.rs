@@ -1,0 +1,48 @@
+//! Calibration utility for the memorization experiment: sweep the
+//! training-pressure knobs for one model scale and print per-bucket
+//! exact-match rates. Used to size `ExperimentConfig::bench()` so the
+//! Fig. 10 shape emerges within a CPU budget.
+//!
+//! ```sh
+//! cargo run --release -p axonn-bench --bin calibrate_memorize -- \
+//!     <dim> <layers> <steps_per_batch> <lr_max_milli> <lr_min_milli> \
+//!     <articles_per_bucket> <seq_len> <gen_tokens>
+//! ```
+
+use axonn_memorize::{run_scale, ExperimentConfig, ModelScale};
+
+fn main() {
+    let a: Vec<usize> = std::env::args()
+        .skip(1)
+        .map(|s| s.parse().expect("numeric args"))
+        .collect();
+    let dim = *a.first().unwrap_or(&128);
+    let layers = *a.get(1).unwrap_or(&3);
+    let steps = *a.get(2).unwrap_or(&3);
+    let lr_max = *a.get(3).unwrap_or(&3) as f32 * 1e-3;
+    let lr_min = *a.get(4).unwrap_or(&1) as f32 * 1e-3;
+    let per_bucket = *a.get(5).unwrap_or(&5);
+    let seq_len = *a.get(6).unwrap_or(&64);
+    let gen_tokens = *a.get(7).unwrap_or(&24);
+    let bg_mix = *a.get(8).unwrap_or(&6);
+
+    let mut cfg = ExperimentConfig::bench();
+    cfg.steps_per_batch = steps;
+    cfg.lr_max = lr_max;
+    cfg.lr_min = lr_min;
+    cfg.articles_per_bucket = per_bucket;
+    cfg.seq_len = seq_len;
+    cfg.gen_tokens = gen_tokens;
+    cfg.background_mix = bg_mix;
+
+    let scale = ModelScale::new("calib", dim, 4, layers);
+    let t0 = std::time::Instant::now();
+    let r = run_scale(&scale, &cfg);
+    println!(
+        "dim={dim} L={layers} steps={steps} lr={lr_max}->{lr_min} arts={per_bucket} seq={seq_len} gen={gen_tokens}"
+    );
+    for b in &r.buckets {
+        println!("  {} epochs: {:.0}% ({}/{})", b.epochs, b.exact_match_pct, b.matched, b.total);
+    }
+    println!("  wall: {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,39 @@
+//! Figure 11: the Goldfish loss (k = 2, h = 13) stops memorization.
+//!
+//! Re-runs the Fig. 10 protocol for the large end of the model ladder
+//! with the Goldfish mask applied during training; exact-match rates
+//! should collapse to control-bucket levels.
+
+use axonn_bench::memor::{ladder, report, trials_for};
+use axonn_bench::emit_json;
+use axonn_memorize::{run_scale_trials, ExperimentConfig, GoldfishParams, TrialStats};
+use rayon::prelude::*;
+
+fn main() {
+    // Fig. 11 shows the models that memorized in Fig. 10: the 70B and
+    // 405B proxies (plus one small model as a sanity row).
+    let scales: Vec<_> = ladder()
+        .into_iter()
+        .filter(|s| s.dim >= 40 || s.dim == 20)
+        .collect();
+
+    let base_cfg = ExperimentConfig::bench();
+    let gf_cfg = base_cfg.clone().with_goldfish(GoldfishParams::paper());
+
+    let plain: Vec<TrialStats> = scales
+        .par_iter()
+        .map(|s| run_scale_trials(s, &base_cfg, trials_for(s)))
+        .collect();
+    let goldfish: Vec<TrialStats> = scales
+        .par_iter()
+        .map(|s| run_scale_trials(s, &gf_cfg, trials_for(s)))
+        .collect();
+
+    report("Fig. 11a — standard loss (reference)", &plain);
+    report("Fig. 11b — Goldfish loss (k=2, h=13)", &goldfish);
+
+    println!("\nPaper shape: with the Goldfish loss, exact-match rates drop to control levels");
+    println!("for both 70B models and the 405B model (with only a small residual for the 405B,");
+    println!("which had already memorized some pages during pre-training).");
+    emit_json("fig11_goldfish", &(plain, goldfish));
+}

@@ -1,0 +1,114 @@
+//! Figure 2: validation of the communication performance model.
+//!
+//! For GPT-20B on 32 GPUs and GPT-40B on 64 GPUs of Perlmutter, run every
+//! memory-feasible 4D configuration on the *observed* simulator (latency +
+//! congestion jitter — effects the analytic model deliberately ignores),
+//! rank all configurations with the analytic model (Equations 1–7), and
+//! report observed batch time against model rank. The paper's headline
+//! validation: 9 of the model's top-10 are among the truly efficient
+//! configurations.
+
+use axonn_bench::{emit_json, fmt_secs, print_table, series};
+use axonn_perfmodel::rank_configs;
+use axonn_sim::{simulate_batch, Fidelity, SimOptions};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    model_rank: usize,
+    grid: String,
+    predicted_comm_seconds: f64,
+    observed_batch_seconds: f64,
+    observed_efficient: bool,
+}
+
+fn run_case(model_billions: usize, gpus: usize, batch_tokens: usize) -> Vec<Point> {
+    let (machine, db) = series::machine_with_db("Perlmutter");
+    let model = axonn_gpt::model_by_billions(model_billions);
+    let mem_limit = machine.mem_per_gpu * axonn_sim::configs::USABLE_MEM_FRACTION;
+    let ranked = rank_configs(&machine, &db, &model, batch_tokens, gpus, Some(mem_limit));
+    assert!(!ranked.is_empty(), "no feasible configs");
+
+    // Observed batch times: average of three "runs" (seeds), as the paper
+    // averages iterations.
+    let opts = SimOptions::full();
+    let mut points: Vec<Point> = ranked
+        .iter()
+        .enumerate()
+        .map(|(rank, rc)| {
+            let avg: f64 = (0..3)
+                .map(|s| {
+                    simulate_batch(
+                        &machine,
+                        &db,
+                        rc.grid,
+                        &model,
+                        batch_tokens,
+                        opts.with_fidelity(Fidelity::observed(1000 + s)),
+                    )
+                    .total_seconds
+                })
+                .sum::<f64>()
+                / 3.0;
+            Point {
+                model_rank: rank + 1,
+                grid: format!("{}", rc.grid),
+                predicted_comm_seconds: rc.predicted_comm_seconds,
+                observed_batch_seconds: avg,
+                observed_efficient: false,
+            }
+        })
+        .collect();
+
+    // Label the 10 fastest observed configurations as "efficient".
+    let mut by_time: Vec<usize> = (0..points.len()).collect();
+    by_time.sort_by(|&a, &b| {
+        points[a]
+            .observed_batch_seconds
+            .total_cmp(&points[b].observed_batch_seconds)
+    });
+    for &i in by_time.iter().take(10) {
+        points[i].observed_efficient = true;
+    }
+    points
+}
+
+fn report(name: &str, points: &[Point]) {
+    let hits = points
+        .iter()
+        .take(10)
+        .filter(|p| p.observed_efficient)
+        .count();
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .take(15)
+        .map(|p| {
+            vec![
+                p.model_rank.to_string(),
+                p.grid.clone(),
+                fmt_secs(p.predicted_comm_seconds),
+                fmt_secs(p.observed_batch_seconds),
+                if p.observed_efficient { "efficient" } else { "" }.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Fig. 2 — {name}: model rank vs observed batch time (top 15 of {})", points.len()),
+        &["rank", "config", "predicted comm", "observed batch", "top-10 observed?"],
+        &rows,
+    );
+    println!(
+        "{name}: {hits}/10 of the model's top-10 are observed-efficient (paper: 9/10)"
+    );
+}
+
+fn main() {
+    // Batches sized for these small partitions (the paper does not state
+    // them; 0.5M and 1M tokens keep per-GPU work comparable to the
+    // headline runs).
+    let a = run_case(20, 32, 1 << 19);
+    report("GPT-20B on 32 GPUs", &a);
+    let b = run_case(40, 64, 1 << 20);
+    report("GPT-40B on 64 GPUs", &b);
+    emit_json("fig2_perfmodel", &vec![a, b]);
+}

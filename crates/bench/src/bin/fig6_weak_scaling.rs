@@ -1,0 +1,58 @@
+//! Figure 6: weak-scaling time per batch on Perlmutter, Frontier, Alps
+//! (5B–320B GPT models, 512–32,768 GPUs/GCDs), with the efficiency
+//! checkpoints quoted in the paper's text.
+
+use axonn_bench::{emit_json, fmt_secs, paper, print_table, series};
+use axonn_sim::{weak_scaling_series, SimOptions};
+
+fn main() {
+    let batch = series::headline_batch();
+    let mut all_points = Vec::new();
+    for machine_name in ["Perlmutter", "Frontier", "Alps"] {
+        let (machine, db) = series::machine_with_db(machine_name);
+        let pairs = series::weak_scaling_pairs(machine_name);
+        let points = weak_scaling_series(&machine, &db, &pairs, batch, SimOptions::full());
+
+        let t0 = points[0].breakdown.total_seconds;
+        let gpus0 = points[0].gpus as f64;
+        let rows: Vec<Vec<String>> = points
+            .iter()
+            .map(|p| {
+                // Weak-scaling efficiency: problem size grows with the
+                // partition, so efficiency = (flops/gpu rate now) vs at
+                // the first point = (t0-normalized per-GPU throughput).
+                let eff = 100.0
+                    * (p.model_flops_per_second / p.gpus as f64)
+                    / (points[0].model_flops_per_second / gpus0);
+                vec![
+                    p.model.clone(),
+                    p.gpus.to_string(),
+                    format!("{}", p.grid),
+                    fmt_secs(p.breakdown.total_seconds),
+                    fmt_secs(p.breakdown.compute_seconds),
+                    fmt_secs(p.breakdown.exposed_comm_seconds),
+                    format!("{eff:.1}%"),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("Fig. 6 — weak scaling on {machine_name} (batch = 16.8M tokens)"),
+            &["model", "GPUs", "config", "time/batch", "compute", "exposed comm", "efficiency"],
+            &rows,
+        );
+        let _ = t0;
+        all_points.extend(points);
+    }
+
+    // Paper-quoted efficiency checkpoints for comparison.
+    println!("\nPaper efficiency checkpoints (per-GPU throughput vs first point):");
+    println!(
+        "  Frontier  8,192 GCDs: paper {:.1}%   |  16,384: paper {:.1}%   |  32,768: paper {:.1}%",
+        paper::FRONTIER_EFFICIENCY_8K,
+        paper::FRONTIER_EFFICIENCY_16K,
+        paper::FRONTIER_EFFICIENCY_32K
+    );
+    println!("  Alps      6,144 GPUs: paper {:.1}%", paper::ALPS_EFFICIENCY_6144);
+
+    emit_json("fig6_weak_scaling", &all_points);
+}

@@ -1,0 +1,80 @@
+//! Figure 8 + Table III: sustained bf16 flop/s for the weak-scaling runs,
+//! as a percentage of the advertised and empirical peaks, side by side
+//! with the paper's published values.
+
+use axonn_bench::{emit_json, paper, print_table, series};
+use axonn_sim::{weak_scaling_series, SimOptions};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    machine: String,
+    gpus: usize,
+    model: String,
+    ours_pflops: f64,
+    paper_pflops: Option<f64>,
+    ours_pct_advertised: f64,
+    paper_pct_advertised: Option<f64>,
+    ours_pct_empirical: f64,
+    paper_pct_empirical: Option<f64>,
+}
+
+fn main() {
+    let batch = series::headline_batch();
+    let mut out_rows: Vec<Row> = Vec::new();
+    for machine_name in ["Perlmutter", "Frontier", "Alps"] {
+        let (machine, db) = series::machine_with_db(machine_name);
+        let pairs = series::weak_scaling_pairs(machine_name);
+        let points = weak_scaling_series(&machine, &db, &pairs, batch, SimOptions::full());
+        for p in points {
+            let reference = paper::TABLE3.iter().find(|r| {
+                r.machine == machine_name && r.gpus == p.gpus
+            });
+            out_rows.push(Row {
+                machine: machine_name.to_string(),
+                gpus: p.gpus,
+                model: p.model.clone(),
+                ours_pflops: p.model_flops_per_second / 1e15,
+                paper_pflops: reference.map(|r| r.total_pflops),
+                ours_pct_advertised: p.pct_advertised_peak,
+                paper_pct_advertised: reference.map(|r| r.pct_advertised),
+                ours_pct_empirical: p.pct_empirical_peak,
+                paper_pct_empirical: reference.map(|r| r.pct_empirical),
+            });
+        }
+    }
+
+    let opt = |v: Option<f64>| v.map_or("-".to_string(), |x| format!("{x:.1}"));
+    let rows: Vec<Vec<String>> = out_rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.machine.clone(),
+                r.gpus.to_string(),
+                r.model.clone(),
+                format!("{:.1}", r.ours_pflops),
+                opt(r.paper_pflops),
+                format!("{:.1}", r.ours_pct_advertised),
+                opt(r.paper_pct_advertised),
+                format!("{:.1}", r.ours_pct_empirical),
+                opt(r.paper_pct_empirical),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 8 / Table III — sustained bf16 flop/s (ours vs paper)",
+        &[
+            "machine",
+            "GPUs",
+            "model",
+            "Pflop/s",
+            "(paper)",
+            "%adv",
+            "(paper)",
+            "%emp",
+            "(paper)",
+        ],
+        &rows,
+    );
+    emit_json("fig8_table3_flops", &out_rows);
+}

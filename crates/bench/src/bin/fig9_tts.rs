@@ -1,0 +1,84 @@
+//! Figure 9: strong scaling on Frontier — predicted time-to-solution for
+//! training GPT-80B (128–8,192 GCDs) and GPT-640B (512–8,192 GCDs) on two
+//! trillion tokens, extrapolated from per-iteration times exactly as in
+//! the paper.
+
+use axonn_bench::{emit_json, fmt_duration_long, fmt_secs, paper, print_table, series};
+use axonn_sim::{pick_best_config, SimOptions};
+use serde::Serialize;
+
+const TOKENS_TARGET: f64 = 2.0e12;
+
+#[derive(Serialize)]
+struct Point {
+    model: String,
+    gcds: usize,
+    grid: String,
+    seconds_per_iter: f64,
+    time_to_solution_days: f64,
+    strong_scaling_efficiency_pct: f64,
+}
+
+fn run_model(billions: usize, gcd_counts: &[usize]) -> Vec<Point> {
+    let (machine, db) = series::machine_with_db("Frontier");
+    let model = axonn_gpt::model_by_billions(billions);
+    let batch = series::headline_batch();
+    let iters = TOKENS_TARGET / batch as f64;
+
+    let mut points: Vec<Point> = Vec::new();
+    for &gcds in gcd_counts {
+        let (grid, b) = pick_best_config(&machine, &db, &model, batch, gcds, SimOptions::full(), 30);
+        let tts_days = b.total_seconds * iters / 86_400.0;
+        points.push(Point {
+            model: model.name.clone(),
+            gcds,
+            grid: format!("{grid}"),
+            seconds_per_iter: b.total_seconds,
+            time_to_solution_days: tts_days,
+            strong_scaling_efficiency_pct: 0.0,
+        });
+    }
+    // Strong-scaling efficiency relative to the smallest partition.
+    let t0 = points[0].seconds_per_iter * points[0].gcds as f64;
+    for p in &mut points {
+        p.strong_scaling_efficiency_pct = 100.0 * t0 / (p.seconds_per_iter * p.gcds as f64);
+    }
+    points
+}
+
+fn main() {
+    let p80 = run_model(80, &[128, 256, 512, 1024, 2048, 4096, 8192]);
+    let p640 = run_model(640, &[512, 1024, 2048, 4096, 8192]);
+
+    for (name, pts) in [("GPT-80B", &p80), ("GPT-640B", &p640)] {
+        let rows: Vec<Vec<String>> = pts
+            .iter()
+            .map(|p| {
+                vec![
+                    p.gcds.to_string(),
+                    p.grid.clone(),
+                    fmt_secs(p.seconds_per_iter),
+                    fmt_duration_long(p.time_to_solution_days * 86_400.0),
+                    format!("{:.1}%", p.strong_scaling_efficiency_pct),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("Fig. 9 — {name} strong scaling on Frontier (2T tokens)"),
+            &["GCDs", "config", "time/iter", "time-to-solution", "strong-scaling eff."],
+            &rows,
+        );
+    }
+    println!("\nPaper checkpoints:");
+    println!(
+        "  GPT-80B:  {} @ 128 GCDs -> {} @ 8,192 GCDs",
+        paper::FIG9_80B_128GCD,
+        paper::FIG9_80B_8192GCD
+    );
+    println!(
+        "  GPT-640B: {} @ 512 GCDs -> {} @ 8,192 GCDs; >90% strong-scaling efficiency for both",
+        paper::FIG9_640B_512GCD,
+        paper::FIG9_640B_8192GCD
+    );
+    emit_json("fig9_tts", &vec![p80, p640]);
+}

@@ -1,0 +1,65 @@
+//! Diagnostic probe for the memorization protocol: runs a condensed
+//! version inline and prints per-article training loss, greedy-match
+//! prefix lengths, and eval losses, to expose *why* exact match does or
+//! does not trigger.
+
+use axonn_lm::{AdamW, Gpt, GptModelConfig};
+use axonn_memorize::Corpus;
+
+fn main() {
+    let a: Vec<usize> = std::env::args().skip(1).map(|s| s.parse().unwrap()).collect();
+    let dim = *a.first().unwrap_or(&128);
+    let layers = *a.get(1).unwrap_or(&3);
+    let steps = *a.get(2).unwrap_or(&4);
+    let epochs = *a.get(3).unwrap_or(&6);
+    let arts = *a.get(4).unwrap_or(&4);
+    let seq = *a.get(5).unwrap_or(&48);
+    let gen = *a.get(6).unwrap_or(&16);
+
+    let vocab = 192;
+    let corpus = Corpus::generate(vocab, seq, 1, arts, 4, 1234);
+    let mut model = Gpt::new(GptModelConfig {
+        vocab,
+        seq_len: seq,
+        dim,
+        n_heads: 4,
+        n_layers: layers,
+        seed: 5,
+    });
+    println!("params: {}", model.num_parameters());
+    let mut opt = AdamW::new(3e-3);
+
+    // Warmup on background.
+    for s in 0..8 {
+        let art = &corpus.background[s % corpus.background.len()];
+        let (x, y) = Corpus::training_pair(art);
+        model.train_step(x, y, None, &mut opt);
+    }
+    // Epochs over the bucket, interleaved.
+    for e in 0..epochs {
+        let mut mean = 0.0;
+        for art in &corpus.buckets[0] {
+            let (x, y) = Corpus::training_pair(art);
+            let mut loss = 0.0;
+            for _ in 0..steps {
+                loss = model.train_step(x, y, None, &mut opt);
+            }
+            mean += loss;
+        }
+        println!("epoch {e}: mean last-step loss {:.4}", mean / arts as f32);
+    }
+    // Evaluation (within the first context window, as in `exact_match`).
+    for art in &corpus.buckets[0] {
+        let window = seq.min(art.tokens.len());
+        let prompt = &art.tokens[..window - gen];
+        let truth = &art.tokens[window - gen..window];
+        let out = model.greedy_continuation(prompt, gen);
+        let prefix = out.iter().zip(truth).take_while(|(a, b)| a == b).count();
+        let (x, y) = Corpus::training_pair(art);
+        let eval = model.eval_loss(x, y);
+        println!(
+            "article {}: eval loss {:.4}, matched {}/{} greedy tokens",
+            art.id, eval, prefix, gen
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! Shared model-size ladder and reporting for the memorization figures
+//! (Figs. 10 and 11).
+
+use crate::print_table;
+use axonn_memorize::{ModelScale, TrialStats};
+
+/// How many trials each ladder rung runs (the paper: 5 for 1B-13B, 3 for
+/// 70B, 1 for 405B).
+pub fn trials_for(scale: &ModelScale) -> usize {
+    if scale.pretrain_epochs > 0 {
+        1
+    } else if scale.dim >= 40 {
+        3
+    } else {
+        5
+    }
+}
+
+/// The model-size ladder: CPU-scale proxies for the paper's Llama family.
+/// The dims sit in the regime where capacity genuinely binds at our
+/// corpus size (see DESIGN.md scale substitution): below ~d=16 nothing
+/// memorizes, by d=56 everything in the 6-epoch bucket does; width/LR
+/// interactions cap the ladder at d=72 for the shared hyperparameters.
+pub fn ladder() -> Vec<ModelScale> {
+    vec![
+        ModelScale::new("1B-proxy (TinyLlama)", 12, 2, 2),
+        ModelScale::new("7B-proxy (Llama 2)", 16, 2, 2),
+        ModelScale::new("8B-proxy (Llama 3.1)", 20, 2, 2),
+        ModelScale::new("13B-proxy (Llama 2)", 24, 2, 2),
+        ModelScale::new("70B-proxy (Llama 2)", 40, 4, 3),
+        ModelScale::new("70B-proxy (Llama 3.1)", 56, 4, 3),
+        // The 405B-proxy saw the whole corpus during "pre-training",
+        // reproducing the paper's nonzero control-bucket memorization.
+        ModelScale::new("405B-proxy (Llama 3.1)", 72, 4, 3).with_pretraining(2),
+    ]
+}
+
+/// Print per-scale exact-match statistics in the Fig. 10 layout (control
+/// first, then 1 / 4 / 6 epochs; mean with min-max error bars).
+pub fn report(title: &str, results: &[TrialStats]) {
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            let pct = |i: usize| {
+                let b = &r.buckets[i];
+                if (b.max_pct - b.min_pct).abs() < 1e-9 {
+                    format!("{:.0}%", b.mean_pct)
+                } else {
+                    format!("{:.0}% [{:.0}-{:.0}]", b.mean_pct, b.min_pct, b.max_pct)
+                }
+            };
+            vec![
+                r.label.clone(),
+                r.parameters.to_string(),
+                format!("x{}", r.trials),
+                pct(3), // control (0 epochs)
+                pct(0), // 1 epoch
+                pct(1), // 4 epochs
+                pct(2), // 6 epochs
+            ]
+        })
+        .collect();
+    print_table(
+        title,
+        &["model", "params", "trials", "0 Ep (control)", "1 Ep", "4 Ep", "6 Ep"],
+        &rows,
+    );
+}

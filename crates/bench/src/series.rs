@@ -1,0 +1,54 @@
+//! The experiment series of the paper's evaluation, shared by the
+//! harness binaries.
+
+use axonn_cluster::{BandwidthDb, Machine};
+use axonn_gpt::{model_by_billions, GptConfig, HEADLINE_BATCH_TOKENS};
+
+/// The weak-scaling pairs run on each machine (Figs. 6 & 8, Table III).
+pub fn weak_scaling_pairs(machine: &str) -> Vec<(GptConfig, usize)> {
+    let pairs: &[(usize, usize)] = match machine {
+        "Perlmutter" => &[(5, 512), (10, 1024), (20, 2048), (40, 4096)],
+        "Frontier" => &[
+            (5, 512),
+            (10, 1024),
+            (20, 2048),
+            (40, 4096),
+            (80, 8192),
+            (160, 16384),
+            (320, 32768),
+        ],
+        "Alps" => &[(10, 1024), (20, 2048), (40, 4096), (60, 6144)],
+        other => panic!("no weak-scaling series for '{other}'"),
+    };
+    pairs
+        .iter()
+        .map(|&(b, g)| (model_by_billions(b), g))
+        .collect()
+}
+
+/// The global batch used by the headline runs.
+pub fn headline_batch() -> usize {
+    HEADLINE_BATCH_TOKENS
+}
+
+/// Machine + profiled bandwidth database, together.
+pub fn machine_with_db(name: &str) -> (Machine, BandwidthDb) {
+    let m = Machine::by_name(name);
+    let db = BandwidthDb::profile(&m);
+    (m, db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_match_paper_scales() {
+        assert_eq!(weak_scaling_pairs("Perlmutter").len(), 4);
+        assert_eq!(weak_scaling_pairs("Frontier").len(), 7);
+        assert_eq!(weak_scaling_pairs("Alps").len(), 4);
+        let (m, g) = &weak_scaling_pairs("Alps")[3];
+        assert_eq!(m.name, "GPT-60B");
+        assert_eq!(*g, 6144);
+    }
+}

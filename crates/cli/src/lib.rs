@@ -1,0 +1,363 @@
+//! Library backing `axonnctl`: argument parsing and subcommand
+//! execution, kept in a library so the logic is unit-testable.
+
+use axonn_cluster::{BandwidthDb, Machine};
+use axonn_gpt::{table2_models, GptConfig, HEADLINE_BATCH_TOKENS};
+use axonn_perfmodel::{rank_configs, Grid4d};
+use axonn_sim::{pick_best_config, simulate_batch, SimOptions};
+
+/// Usage text shown on parse errors.
+pub const USAGE: &str = "usage:
+  axonnctl machines
+  axonnctl models
+  axonnctl plan <machine> <model-billions> <gpus> [batch-tokens]
+  axonnctl simulate <machine> <model-billions> <gx> <gy> <gz> <gd> [batch-tokens]
+  axonnctl profile <machine>";
+
+/// A parsed subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    Machines,
+    Models,
+    Plan {
+        machine: String,
+        billions: usize,
+        gpus: usize,
+        batch_tokens: usize,
+    },
+    Simulate {
+        machine: String,
+        billions: usize,
+        grid: Grid4d,
+        batch_tokens: usize,
+    },
+    Profile {
+        machine: String,
+    },
+}
+
+impl Command {
+    /// Parse CLI arguments (without the program name).
+    pub fn parse(args: &[String]) -> Result<Command, String> {
+        let mut it = args.iter();
+        let sub = it.next().ok_or("missing subcommand")?;
+        let parse_num = |s: Option<&String>, what: &str| -> Result<usize, String> {
+            s.ok_or(format!("missing {what}"))?
+                .parse::<usize>()
+                .map_err(|_| format!("invalid {what}: '{}'", s.unwrap()))
+        };
+        match sub.as_str() {
+            "machines" => Ok(Command::Machines),
+            "models" => Ok(Command::Models),
+            "plan" => {
+                let machine = it.next().ok_or("missing machine")?.clone();
+                let billions = parse_num(it.next(), "model size (billions)")?;
+                let gpus = parse_num(it.next(), "gpu count")?;
+                let batch_tokens = match it.next() {
+                    Some(s) => s.parse().map_err(|_| format!("invalid batch tokens: '{s}'"))?,
+                    None => HEADLINE_BATCH_TOKENS,
+                };
+                Ok(Command::Plan {
+                    machine,
+                    billions,
+                    gpus,
+                    batch_tokens,
+                })
+            }
+            "simulate" => {
+                let machine = it.next().ok_or("missing machine")?.clone();
+                let billions = parse_num(it.next(), "model size (billions)")?;
+                let gx = parse_num(it.next(), "gx")?;
+                let gy = parse_num(it.next(), "gy")?;
+                let gz = parse_num(it.next(), "gz")?;
+                let gd = parse_num(it.next(), "gd")?;
+                let batch_tokens = match it.next() {
+                    Some(s) => s.parse().map_err(|_| format!("invalid batch tokens: '{s}'"))?,
+                    None => HEADLINE_BATCH_TOKENS,
+                };
+                Ok(Command::Simulate {
+                    machine,
+                    billions,
+                    grid: Grid4d::new(gx, gy, gz, gd),
+                    batch_tokens,
+                })
+            }
+            "profile" => Ok(Command::Profile {
+                machine: it.next().ok_or("missing machine")?.clone(),
+            }),
+            other => Err(format!("unknown subcommand '{other}'")),
+        }
+    }
+}
+
+/// Look up a machine by name, with a friendly error.
+fn machine(name: &str) -> Result<Machine, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "perlmutter" | "frontier" | "alps" => Ok(Machine::by_name(name)),
+        other => Err(format!(
+            "unknown machine '{other}' (expected perlmutter, frontier or alps)"
+        )),
+    }
+}
+
+fn model(billions: usize) -> Result<GptConfig, String> {
+    table2_models()
+        .into_iter()
+        .find(|m| m.name == format!("GPT-{billions}B"))
+        .ok_or_else(|| {
+            let names: Vec<String> = table2_models().iter().map(|m| m.name.clone()).collect();
+            format!("no GPT-{billions}B in Table II (have: {})", names.join(", "))
+        })
+}
+
+/// Execute a parsed command, printing to stdout.
+pub fn run(cmd: Command) -> Result<(), String> {
+    match cmd {
+        Command::Machines => {
+            println!(
+                "{:<12} {:>9} {:>14} {:>14} {:>12} {:>10}",
+                "machine", "gpus/node", "adv Tflop/s", "emp Tflop/s", "mem/GPU", "β_inter"
+            );
+            for m in Machine::all() {
+                println!(
+                    "{:<12} {:>9} {:>14.1} {:>14.1} {:>9.0} GB {:>7.0} GB/s",
+                    m.name,
+                    m.gpus_per_node,
+                    m.advertised_peak_tflops,
+                    m.empirical_peak_tflops,
+                    m.mem_per_gpu / 1e9,
+                    m.beta_inter / 1e9
+                );
+            }
+            Ok(())
+        }
+        Command::Models => {
+            println!(
+                "{:<10} {:>7} {:>8} {:>7} {:>14} {:>18}",
+                "model", "layers", "hidden", "heads", "params", "model Tflop/seq"
+            );
+            for m in table2_models() {
+                println!(
+                    "{:<10} {:>7} {:>8} {:>7} {:>13.1}B {:>18.2}",
+                    m.name,
+                    m.num_layers,
+                    m.hidden_size,
+                    m.num_heads,
+                    m.num_parameters() as f64 / 1e9,
+                    m.model_flops_per_iter(m.seq_len) / 1e12
+                );
+            }
+            Ok(())
+        }
+        Command::Plan {
+            machine: mname,
+            billions,
+            gpus,
+            batch_tokens,
+        } => {
+            let mach = machine(&mname)?;
+            let db = BandwidthDb::profile(&mach);
+            let model = model(billions)?;
+            let ranked = rank_configs(
+                &mach,
+                &db,
+                &model,
+                batch_tokens,
+                gpus,
+                Some(mach.mem_per_gpu * 0.8),
+            );
+            if ranked.is_empty() {
+                return Err(format!(
+                    "{} does not fit on {gpus} GPUs of {}",
+                    model.name, mach.name
+                ));
+            }
+            println!(
+                "{} on {gpus} GPUs of {}, batch {:.2}M tokens — top configurations:",
+                model.name,
+                mach.name,
+                batch_tokens as f64 / 1e6
+            );
+            for (i, rc) in ranked.iter().take(10).enumerate() {
+                println!(
+                    "{:>3}. {:<24} predicted comm {:>8.3} s",
+                    i + 1,
+                    format!("{}", rc.grid),
+                    rc.predicted_comm_seconds
+                );
+            }
+            let (best, b) = pick_best_config(
+                &mach,
+                &db,
+                &model,
+                batch_tokens,
+                gpus,
+                SimOptions::full(),
+                10,
+            );
+            let rate = model.model_flops_per_iter(batch_tokens) / b.total_seconds;
+            println!(
+                "\nsimulated best: {best} -> {:.2} s/iter, {:.1} Pflop/s ({:.1}% of advertised peak)",
+                b.total_seconds,
+                rate / 1e15,
+                100.0 * rate / (gpus as f64 * mach.advertised_peak())
+            );
+            Ok(())
+        }
+        Command::Simulate {
+            machine: mname,
+            billions,
+            grid,
+            batch_tokens,
+        } => {
+            let mach = machine(&mname)?;
+            let db = BandwidthDb::profile(&mach);
+            let model = model(billions)?;
+            if batch_tokens % grid.gd != 0 {
+                return Err(format!(
+                    "batch tokens {batch_tokens} not divisible by G_data={}",
+                    grid.gd
+                ));
+            }
+            let b = simulate_batch(&mach, &db, grid, &model, batch_tokens, SimOptions::full());
+            let rate = model.model_flops_per_iter(batch_tokens) / b.total_seconds;
+            println!("{} on {} — configuration {grid}:", model.name, mach.name);
+            println!("  time/batch      {:>10.3} s", b.total_seconds);
+            println!("  compute         {:>10.3} s", b.compute_seconds);
+            println!("  exposed comm    {:>10.3} s", b.exposed_comm_seconds);
+            println!("  issued comm     {:>10.3} s", b.issued_comm_seconds);
+            println!(
+                "  sustained       {:>10.1} Pflop/s ({:.1}% advertised / {:.1}% empirical peak)",
+                rate / 1e15,
+                100.0 * rate / (grid.gpus() as f64 * mach.advertised_peak()),
+                100.0 * rate / (grid.gpus() as f64 * mach.empirical_peak())
+            );
+            Ok(())
+        }
+        Command::Profile { machine: mname } => {
+            let mach = machine(&mname)?;
+            let db = BandwidthDb::profile(&mach);
+            println!(
+                "intra-node bandwidth database for {} ({} GPUs/node):",
+                mach.name, mach.gpus_per_node
+            );
+            println!("{:>4} {:>4} {:>14}", "G0", "G1", "GB/s per pair");
+            for e in db.entries() {
+                println!("{:>4} {:>4} {:>14.1}", e.g0, e.g1, e.bytes_per_second / 1e9);
+            }
+            println!("\nJSON:\n{}", db.to_json());
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_simple_subcommands() {
+        assert_eq!(Command::parse(&sv(&["machines"])).unwrap(), Command::Machines);
+        assert_eq!(Command::parse(&sv(&["models"])).unwrap(), Command::Models);
+        assert_eq!(
+            Command::parse(&sv(&["profile", "frontier"])).unwrap(),
+            Command::Profile {
+                machine: "frontier".into()
+            }
+        );
+    }
+
+    #[test]
+    fn parse_plan_with_default_batch() {
+        let c = Command::parse(&sv(&["plan", "frontier", "20", "512"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Plan {
+                machine: "frontier".into(),
+                billions: 20,
+                gpus: 512,
+                batch_tokens: HEADLINE_BATCH_TOKENS
+            }
+        );
+    }
+
+    #[test]
+    fn parse_simulate_full() {
+        let c = Command::parse(&sv(&["simulate", "alps", "40", "2", "2", "16", "32", "1048576"]))
+            .unwrap();
+        match c {
+            Command::Simulate {
+                grid, batch_tokens, ..
+            } => {
+                assert_eq!(grid, Grid4d::new(2, 2, 16, 32));
+                assert_eq!(batch_tokens, 1 << 20);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors_are_informative() {
+        assert!(Command::parse(&[]).unwrap_err().contains("missing subcommand"));
+        assert!(Command::parse(&sv(&["dance"])).unwrap_err().contains("unknown subcommand"));
+        assert!(Command::parse(&sv(&["plan", "frontier"]))
+            .unwrap_err()
+            .contains("model size"));
+        assert!(Command::parse(&sv(&["plan", "frontier", "x", "4"]))
+            .unwrap_err()
+            .contains("invalid"));
+    }
+
+    #[test]
+    fn run_machines_and_models() {
+        run(Command::Machines).unwrap();
+        run(Command::Models).unwrap();
+    }
+
+    #[test]
+    fn run_simulate_small() {
+        run(Command::Simulate {
+            machine: "frontier".into(),
+            billions: 5,
+            grid: Grid4d::new(2, 2, 2, 4),
+            batch_tokens: 1 << 18,
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn run_plan_small() {
+        run(Command::Plan {
+            machine: "perlmutter".into(),
+            billions: 5,
+            gpus: 64,
+            batch_tokens: 1 << 18,
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn bad_machine_is_rejected() {
+        let e = run(Command::Profile {
+            machine: "summit".into(),
+        })
+        .unwrap_err();
+        assert!(e.contains("unknown machine"));
+    }
+
+    #[test]
+    fn indivisible_batch_is_rejected() {
+        let e = run(Command::Simulate {
+            machine: "frontier".into(),
+            billions: 5,
+            grid: Grid4d::new(1, 1, 1, 3),
+            batch_tokens: 1 << 18,
+        })
+        .unwrap_err();
+        assert!(e.contains("not divisible"));
+    }
+}

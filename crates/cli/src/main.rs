@@ -1,0 +1,28 @@
+//! `axonnctl` — command-line front end to the AxoNN-rs reproduction.
+//!
+//! ```text
+//! axonnctl machines                          list machine models
+//! axonnctl models                            list the Table II GPT zoo
+//! axonnctl plan <machine> <model-B> <gpus>   rank 4D configurations
+//! axonnctl simulate <machine> <model-B> <gx> <gy> <gz> <gd> [batch-tokens]
+//! axonnctl profile <machine>                 print the bandwidth database
+//! ```
+
+use axonn_cli::{run, Command};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match Command::parse(&args) {
+        Ok(cmd) => {
+            if let Err(e) = run(cmd) {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprintln!("{}", axonn_cli::USAGE);
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! The intra-node bandwidth database (Case 1 of Section V-B).
+//!
+//! The paper pre-profiles, once per system, the bandwidth achieved by
+//! simultaneous 1 GB collectives for every two-level hierarchy
+//! `(G₀, G₁)` with `G₀·G₁ ≤ G_node`, and stores the results in a
+//! database keyed by that tuple. We cannot run on a Frontier node, so
+//! [`BandwidthDb::profile`] *simulates* the profiling run with a
+//! deterministic contention model (inner groups of size `G₀` partition
+//! the in-node links, and wider outer groups pay a small efficiency
+//! penalty per ring hop); the resulting database has the same shape,
+//! serialization, and lookup semantics as the real one, and everything
+//! downstream (performance model, simulator) consumes it identically.
+
+use crate::machine::Machine;
+use serde::{Deserialize, Serialize};
+
+/// One profiled row: simultaneous collectives of outer size `g1` under
+/// `g0` inner groups achieved `bytes_per_second` per pair.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct BwEntry {
+    pub g0: usize,
+    pub g1: usize,
+    pub bytes_per_second: f64,
+}
+
+/// Profiled intra-node bandwidths, keyed by `(prefix G₀, group size G₁)`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BandwidthDb {
+    pub machine: String,
+    pub gpus_per_node: usize,
+    entries: Vec<BwEntry>,
+}
+
+impl BandwidthDb {
+    /// Run the (simulated) profiling pass of Section V-B, Case 1:
+    /// enumerate all `(G₀, G₁)` with `G₀·G₁ ≤ G_node` and record the
+    /// achieved per-pair bandwidth for simultaneous ring collectives in
+    /// the outer groups.
+    pub fn profile(machine: &Machine) -> BandwidthDb {
+        let gnode = machine.gpus_per_node;
+        let mut entries = Vec::new();
+        for g0 in divisor_candidates(gnode) {
+            for g1 in divisor_candidates(gnode) {
+                if g0 * g1 <= gnode && g1 >= 2 {
+                    entries.push(BwEntry {
+                        g0,
+                        g1,
+                        bytes_per_second: simulated_bandwidth(machine, g0, g1),
+                    });
+                }
+            }
+        }
+        BandwidthDb {
+            machine: machine.name.clone(),
+            gpus_per_node: gnode,
+            entries,
+        }
+    }
+
+    /// Bandwidth recorded for the tuple `(G₀ = prefix, G₁ = group size)`.
+    ///
+    /// # Panics
+    /// If the tuple was never profiled (i.e. `prefix·size > G_node`).
+    pub fn lookup(&self, prefix: usize, size: usize) -> f64 {
+        self.entries
+            .iter()
+            .find(|e| e.g0 == prefix && e.g1 == size)
+            .unwrap_or_else(|| {
+                panic!(
+                    "no profiled bandwidth for (G0={prefix}, G1={size}) on {} \
+                     (gpus/node = {})",
+                    self.machine, self.gpus_per_node
+                )
+            })
+            .bytes_per_second
+    }
+
+    pub fn entries(&self) -> impl Iterator<Item = &BwEntry> {
+        self.entries.iter()
+    }
+
+    /// Serialize to JSON (what a real profiling run would persist).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("bandwidth db serializes")
+    }
+
+    pub fn from_json(s: &str) -> Result<BandwidthDb, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+/// All candidate group sizes up to `n` (nodes hold at most 8 GPUs, so
+/// exhaustive enumeration is cheap and also covers non-power-of-two
+/// partitions such as Alps' 6144-GPU runs).
+fn divisor_candidates(n: usize) -> Vec<usize> {
+    (1..=n).collect()
+}
+
+/// The contention model behind the simulated profile: `G₀` simultaneous
+/// rings share the node's links (bounded sharing, as in Equation 7 but
+/// with the intra-node fabric), and each extra ring hop in the outer
+/// group costs a 4% efficiency penalty (link traversal overheads that
+/// real profiles show and the flat analytic model ignores).
+fn simulated_bandwidth(machine: &Machine, g0: usize, g1: usize) -> f64 {
+    let sharing = g0 as f64;
+    let hop_penalty = 0.96f64.powi((g1 - 2) as i32);
+    machine.intra_base / sharing * hop_penalty
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_covers_exactly_the_case1_lattice() {
+        let m = Machine::frontier(); // 8 GCDs/node
+        let db = BandwidthDb::profile(&m);
+        // (G0, G1) with G0*G1 <= 8, G1 >= 2:
+        // G0=1: G1 in 2..=8 (7); G0=2: {2,3,4} (3); G0=3: {2} (1);
+        // G0=4: {2} (1); total 12.
+        assert_eq!(db.entries().count(), 12);
+        assert!(db.entries().all(|e| e.g0 * e.g1 <= 8 && e.g1 >= 2));
+    }
+
+    #[test]
+    fn more_simultaneous_rings_means_less_bandwidth() {
+        let m = Machine::frontier();
+        let db = BandwidthDb::profile(&m);
+        assert!(db.lookup(1, 2) > db.lookup(2, 2));
+        assert!(db.lookup(2, 2) > db.lookup(4, 2));
+    }
+
+    #[test]
+    fn wider_groups_pay_hop_penalty() {
+        let m = Machine::frontier();
+        let db = BandwidthDb::profile(&m);
+        assert!(db.lookup(1, 2) > db.lookup(1, 4));
+        assert!(db.lookup(1, 4) > db.lookup(1, 8));
+    }
+
+    #[test]
+    fn intra_always_beats_inter() {
+        // The whole point of the hierarchy: in-node groups see much more
+        // bandwidth than the NIC provides.
+        for m in Machine::all() {
+            let db = BandwidthDb::profile(&m);
+            for e in db.entries() {
+                assert!(e.bytes_per_second > m.beta_inter / m.gpus_per_node as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let m = Machine::perlmutter();
+        let db = BandwidthDb::profile(&m);
+        let back = BandwidthDb::from_json(&db.to_json()).unwrap();
+        assert_eq!(back.machine, db.machine);
+        assert_eq!(back.lookup(1, 2), db.lookup(1, 2));
+        assert_eq!(back.entries().count(), db.entries().count());
+    }
+
+    #[test]
+    #[should_panic(expected = "no profiled bandwidth")]
+    fn out_of_lattice_lookup_panics() {
+        let m = Machine::perlmutter(); // 4 GPUs/node
+        let db = BandwidthDb::profile(&m);
+        let _ = db.lookup(4, 4);
+    }
+}

@@ -1,0 +1,105 @@
+//! Machine descriptions and the hierarchical bandwidth model.
+//!
+//! The paper's performance model (Section V-B) needs, per system: GPUs
+//! per node, the inter-node bandwidth `β_inter` (Assumption-5), a
+//! *profiled database* of intra-node bandwidths for all two-level process
+//! group hierarchies `(G₀, G₁)` with `G₀·G₁ ≤ G_node` (Case 1), and the
+//! analytical sharing rule of Equation 7 for groups spanning nodes
+//! (Case 2). This crate provides all of that plus per-platform GEMM
+//! efficiency curves (calibrated to the single-GPU empirical peaks the
+//! paper measured in Section VI-C) and the per-mode kernel quality table
+//! behind the Section V-C tuning story.
+
+pub mod bwdb;
+pub mod machine;
+pub mod topology;
+
+pub use bwdb::BandwidthDb;
+pub use machine::{GemmMode, KernelProfile, Machine};
+pub use topology::{crossing_minimal_ring, minimal_crossings, node_of, ring_node_crossings};
+
+/// Effective peer-to-peer bandwidth (bytes/s) available to collectives of
+/// a process group at one level of the 4D hierarchy.
+///
+/// * `prefix` — the cumulative product of all *inner* (preceding) group
+///   sizes, `Π_{j<i} G_j`.
+/// * `group_size` — the size `G_i` of the group itself.
+///
+/// Case 1 (group contained in a node, `prefix·group_size ≤ G_node`): look
+/// up the profiled database. Case 2 (spans nodes): Equation 7,
+/// `β_i = β_inter / min(G_node, prefix)`.
+pub fn effective_bandwidth(
+    machine: &Machine,
+    db: &BandwidthDb,
+    prefix: usize,
+    group_size: usize,
+) -> f64 {
+    assert!(prefix >= 1, "prefix product must be at least 1");
+    if group_size <= 1 {
+        return f64::INFINITY; // no communication happens in a solo group
+    }
+    if prefix * group_size <= machine.gpus_per_node {
+        db.lookup(prefix, group_size)
+    } else {
+        let shared = machine.beta_inter / (machine.gpus_per_node.min(prefix) as f64);
+        // Dragonfly global-link congestion: collectives spanning many
+        // nodes lose bandwidth beyond a per-system threshold. (The
+        // analytic model of Eqs. 1-7 still sees the un-tapered value via
+        // small node counts; this matters for the 16K/32K-GCD regime.)
+        let nodes = (prefix * group_size).div_ceil(machine.gpus_per_node);
+        let taper = if nodes > machine.taper_start_nodes {
+            1.0 + machine.taper * (nodes as f64 / machine.taper_start_nodes as f64).log2()
+        } else {
+            1.0
+        };
+        shared / taper
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq7_single_ring_gets_full_beta() {
+        // Fig. 3 of the paper: one ring across two nodes -> β_inter.
+        let m = Machine::frontier();
+        let db = BandwidthDb::profile(&m);
+        let bw = effective_bandwidth(&m, &db, 1, 2 * m.gpus_per_node);
+        assert_eq!(bw, m.beta_inter);
+    }
+
+    #[test]
+    fn eq7_shared_rings_divide_bandwidth() {
+        // Fig. 4: two simultaneous rings across two nodes -> β_inter / 2.
+        let m = Machine::frontier();
+        let db = BandwidthDb::profile(&m);
+        let bw = effective_bandwidth(&m, &db, 2, m.gpus_per_node);
+        assert_eq!(bw, m.beta_inter / 2.0);
+    }
+
+    #[test]
+    fn eq7_sharing_bounded_by_gpus_per_node() {
+        // "there can't be more inter-node ring links than GPUs on a node".
+        let m = Machine::frontier();
+        let db = BandwidthDb::profile(&m);
+        let bw = effective_bandwidth(&m, &db, 4 * m.gpus_per_node, 4);
+        assert_eq!(bw, m.beta_inter / m.gpus_per_node as f64);
+    }
+
+    #[test]
+    fn intra_node_uses_database() {
+        let m = Machine::perlmutter();
+        let db = BandwidthDb::profile(&m);
+        let bw = effective_bandwidth(&m, &db, 1, 2);
+        assert_eq!(bw, db.lookup(1, 2));
+        assert!(bw > m.beta_inter, "intra-node should beat the NIC");
+    }
+
+    #[test]
+    fn solo_groups_cost_nothing() {
+        let m = Machine::alps();
+        let db = BandwidthDb::profile(&m);
+        assert_eq!(effective_bandwidth(&m, &db, 4, 1), f64::INFINITY);
+    }
+}

@@ -1,0 +1,117 @@
+//! Ring placement analysis — Assumption-2 of the paper's model: "the
+//! ring is formed such that the number of messages crossing node
+//! boundaries is minimized."
+//!
+//! Ranks map to nodes contiguously (`node = rank / gpus_per_node`, the
+//! standard SLURM placement). These helpers count how many links of a
+//! ring cross node boundaries and what the minimum achievable count is,
+//! so layouts (like the hierarchical 4D grid order) can be *verified* to
+//! satisfy the assumption rather than asserted to.
+
+/// Node index of a world rank under contiguous placement.
+pub fn node_of(rank: usize, gpus_per_node: usize) -> usize {
+    rank / gpus_per_node
+}
+
+/// Number of ring links (including the wrap-around link) that cross node
+/// boundaries when the ring visits `ring` in order.
+pub fn ring_node_crossings(ring: &[usize], gpus_per_node: usize) -> usize {
+    if ring.len() <= 1 {
+        return 0;
+    }
+    (0..ring.len())
+        .filter(|&i| {
+            let a = node_of(ring[i], gpus_per_node);
+            let b = node_of(ring[(i + 1) % ring.len()], gpus_per_node);
+            a != b
+        })
+        .count()
+}
+
+/// The minimum possible crossings for a ring over these ranks: zero if
+/// all on one node, otherwise the ring must enter and leave every node it
+/// touches at least once — one crossing per distinct node (the departure
+/// link; arrivals are another node's departures).
+pub fn minimal_crossings(ranks: &[usize], gpus_per_node: usize) -> usize {
+    let mut nodes: Vec<usize> = ranks.iter().map(|&r| node_of(r, gpus_per_node)).collect();
+    nodes.sort_unstable();
+    nodes.dedup();
+    if nodes.len() <= 1 {
+        0
+    } else {
+        nodes.len()
+    }
+}
+
+/// Reorder `ranks` into a ring with minimal node crossings (group members
+/// sorted by node, i.e. visit each node's members contiguously).
+pub fn crossing_minimal_ring(ranks: &[usize], gpus_per_node: usize) -> Vec<usize> {
+    let mut out = ranks.to_vec();
+    out.sort_by_key(|&r| (node_of(r, gpus_per_node), r));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_node_ring_never_crosses() {
+        assert_eq!(ring_node_crossings(&[0, 1, 2, 3], 4), 0);
+        assert_eq!(minimal_crossings(&[0, 1, 2, 3], 4), 0);
+    }
+
+    #[test]
+    fn paper_fig3_single_ring_two_nodes() {
+        // Fig. 3: one ring over 8 GPUs on two 4-GPU nodes, visited
+        // contiguously: exactly two crossing links (1->4 and 6->3 in the
+        // figure; here the boundary and the wrap-around).
+        let ring = [0, 1, 2, 3, 4, 5, 6, 7];
+        assert_eq!(ring_node_crossings(&ring, 4), 2);
+        assert_eq!(minimal_crossings(&ring, 4), 2);
+    }
+
+    #[test]
+    fn interleaved_ring_is_worst_case() {
+        // Alternating nodes: every link crosses.
+        let ring = [0, 4, 1, 5, 2, 6, 3, 7];
+        assert_eq!(ring_node_crossings(&ring, 4), 8);
+    }
+
+    #[test]
+    fn strided_groups_cross_like_fig4() {
+        // Fig. 4: GPUs (0,4,6,2) — a strided group across two nodes —
+        // visited in hierarchical order (0,2,4,6): minimal (2 crossings).
+        let ring = crossing_minimal_ring(&[0, 4, 6, 2], 4);
+        assert_eq!(ring, vec![0, 2, 4, 6]);
+        assert_eq!(ring_node_crossings(&ring, 4), 2);
+    }
+
+    #[test]
+    fn minimal_ring_achieves_the_bound() {
+        // Arbitrary scattered membership over 4 nodes of 4.
+        let ranks = [0usize, 5, 6, 9, 12, 13, 2, 15];
+        let ring = crossing_minimal_ring(&ranks, 4);
+        assert_eq!(
+            ring_node_crossings(&ring, 4),
+            minimal_crossings(&ranks, 4)
+        );
+    }
+
+    #[test]
+    fn hierarchical_grid_groups_are_already_minimal() {
+        // The hierarchical 4D layout visits each group with node-major
+        // strides, so its natural order is crossing-minimal. Example:
+        // Z-groups of a (2,2,4,1) grid on 4-GPU nodes: members are
+        // {base, base+4, base+8, base+12} — one per node; any order gives
+        // 4 crossings, which equals the bound.
+        let group = [0usize, 4, 8, 12];
+        assert_eq!(
+            ring_node_crossings(&group, 4),
+            minimal_crossings(&group, 4)
+        );
+        // X-groups are contiguous in-node: zero crossings.
+        let x_group = [4usize, 5];
+        assert_eq!(ring_node_crossings(&x_group, 4), 0);
+    }
+}

@@ -1,0 +1,537 @@
+//! Per-rank communicators and blocking ring collectives.
+//!
+//! The collectives are the textbook ring algorithms the paper's model
+//! assumes (Assumption-1): reduce-scatter and all-gather move
+//! `(g-1)/g · n` bytes per rank in `g-1` steps, and all-reduce is
+//! reduce-scatter followed by all-gather (Rabenseifner). Reduction order
+//! around the ring is fixed by group order, so results are deterministic
+//! (bit-identical across runs for the same grid).
+
+use crate::cost::{CollectiveKind, CostModel, NullCost};
+use crate::group::ProcessGroup;
+use crate::mailbox::{MsgKey, Transport};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Virtual-time state of one rank, shared between its main thread and its
+/// async communication worker.
+#[derive(Debug, Default)]
+pub struct ClockState {
+    /// Current virtual time of the rank's compute stream.
+    pub now: f64,
+    /// When the rank's *synchronous* communication stream becomes free
+    /// (blocking collectives, issued from the compute thread).
+    pub comm_free_sync: f64,
+    /// When the rank's *asynchronous* communication stream becomes free
+    /// (non-blocking collectives on the communication worker). Separate
+    /// streams keep virtual time deterministic regardless of how the OS
+    /// interleaves the two threads — mirroring the independent
+    /// communication channels of the simulator.
+    pub comm_free_async: f64,
+}
+
+pub(crate) struct CommShared {
+    pub(crate) transport: Arc<Transport>,
+    pub(crate) cost: Arc<dyn CostModel>,
+    pub(crate) track_time: bool,
+    pub(crate) clock: Mutex<ClockState>,
+    /// Per-group collective sequence numbers, assigned at issue time so
+    /// async and blocking collectives on the same group never collide.
+    pub(crate) seq: Mutex<HashMap<u64, u64>>,
+}
+
+/// A rank's handle to the world: identity, transport, cost model, clock.
+///
+/// Cloning is cheap (all state is shared); clones are how the async
+/// worker thread gets access to the same rank.
+#[derive(Clone)]
+pub struct Comm {
+    rank: usize,
+    pub(crate) shared: Arc<CommShared>,
+    pub(crate) async_tx: Option<crossbeam::channel::Sender<crate::nonblocking::Job>>,
+}
+
+/// Factory for communicator worlds.
+pub struct CommWorld;
+
+impl CommWorld {
+    /// A world of `size` ranks with no virtual-time tracking.
+    pub fn create(size: usize) -> Vec<Comm> {
+        Self::create_with_cost(size, Arc::new(NullCost), false)
+    }
+
+    /// A world of `size` ranks whose clocks advance per `cost`.
+    pub fn create_timed(size: usize, cost: Arc<dyn CostModel>) -> Vec<Comm> {
+        Self::create_with_cost(size, cost, true)
+    }
+
+    fn create_with_cost(size: usize, cost: Arc<dyn CostModel>, track_time: bool) -> Vec<Comm> {
+        assert!(size > 0, "world size must be positive");
+        let transport = Transport::new(size);
+        (0..size)
+            .map(|rank| {
+                let shared = Arc::new(CommShared {
+                    transport: transport.clone(),
+                    cost: cost.clone(),
+                    track_time,
+                    clock: Mutex::new(ClockState::default()),
+                    seq: Mutex::new(HashMap::new()),
+                });
+                let async_tx = crate::nonblocking::spawn_worker(rank, shared.clone());
+                Comm {
+                    rank,
+                    shared,
+                    async_tx: Some(async_tx),
+                }
+            })
+            .collect()
+    }
+}
+
+/// Compose a message key from group identity, issue sequence and a
+/// sub-channel (ring step / phase / special lane).
+pub(crate) fn msg_key(group_key: u64, seq: u64, sub: u32) -> MsgKey {
+    ((group_key as u128) << 64) | (((seq & 0xffff_ffff) as u128) << 32) | sub as u128
+}
+
+/// Elementwise reduction operator for reducing collectives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    Sum,
+    Max,
+}
+
+impl ReduceOp {
+    #[inline]
+    fn combine(self, a: f32, b: f32) -> f32 {
+        match self {
+            ReduceOp::Sum => a + b,
+            ReduceOp::Max => a.max(b),
+        }
+    }
+}
+
+/// Sub-channel lanes within one collective's key space.
+pub(crate) mod lane {
+    /// Ring steps of the reduce-scatter phase: `RS + s`.
+    pub const RS: u32 = 0;
+    /// Ring steps of the all-gather phase: `AG + s`.
+    pub const AG: u32 = 0x0001_0000;
+    /// Broadcast fan-out: `BCAST + receiver position`.
+    pub const BCAST: u32 = 0x0002_0000;
+    /// Clock synchronisation (gather to root, then fan-out).
+    pub const CLOCK_UP: u32 = 0x0003_0000;
+    pub const CLOCK_DOWN: u32 = 0x0004_0000;
+    /// Recursive-doubling exchange steps: `RD + s`.
+    pub const RD: u32 = 0x0005_0000;
+}
+
+impl Comm {
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    pub fn world_size(&self) -> usize {
+        self.shared.transport.world_size()
+    }
+
+    /// Current virtual time of this rank.
+    pub fn now(&self) -> f64 {
+        self.shared.clock.lock().now
+    }
+
+    /// Advance this rank's virtual clock by the cost of `flops` compute.
+    pub fn advance_compute(&self, flops: f64) {
+        if self.shared.track_time {
+            let dt = self.shared.cost.compute_seconds(flops);
+            self.shared.clock.lock().now += dt;
+        }
+    }
+
+    /// Advance this rank's virtual clock by raw seconds (used by layers
+    /// for non-GEMM work they account explicitly).
+    pub fn advance_seconds(&self, dt: f64) {
+        if self.shared.track_time {
+            self.shared.clock.lock().now += dt;
+        }
+    }
+
+    /// Claim the next collective sequence number for `group`.
+    pub(crate) fn next_seq(&self, group: &ProcessGroup) -> u64 {
+        let mut seqs = self.shared.seq.lock();
+        let s = seqs.entry(group.key()).or_insert(0);
+        let out = *s;
+        *s += 1;
+        out
+    }
+
+    /// Raw tagged point-to-point send (test/debug helper; tag space is
+    /// disjoint from collective keys).
+    pub fn send(&self, dst: usize, tag: u64, data: Vec<f32>) {
+        let key = msg_key(u64::MAX, tag, 0);
+        self.shared
+            .transport
+            .send(self.rank, dst, key, data);
+    }
+
+    /// Raw tagged point-to-point receive.
+    pub fn recv(&self, src: usize, tag: u64) -> Vec<f32> {
+        let key = msg_key(u64::MAX, tag, 0);
+        self.shared.transport.recv(self.rank, src, key)
+    }
+
+    /// Blocking all-gather: every member contributes `shard`; returns the
+    /// concatenation of all members' shards in group-position order.
+    pub fn all_gather(&self, group: &ProcessGroup, shard: &[f32]) -> Vec<f32> {
+        let seq = self.next_seq(group);
+        let out = ring_all_gather(&self.shared, self.rank, group, seq, shard);
+        self.charge_blocking(
+            group,
+            seq,
+            CollectiveKind::AllGather,
+            (out.len() * 4) as f64,
+        );
+        out
+    }
+
+    /// Blocking reduce-scatter (sum): every member contributes a buffer of
+    /// identical length divisible by the group size; returns this rank's
+    /// chunk (at its group position) of the elementwise sum.
+    pub fn reduce_scatter(&self, group: &ProcessGroup, buf: &[f32]) -> Vec<f32> {
+        let seq = self.next_seq(group);
+        let out = ring_reduce_scatter(&self.shared, self.rank, group, seq, buf);
+        self.charge_blocking(
+            group,
+            seq,
+            CollectiveKind::ReduceScatter,
+            (buf.len() * 4) as f64,
+        );
+        out
+    }
+
+    /// Blocking all-reduce (sum) in place: reduce-scatter + all-gather.
+    /// Buffers of any length are accepted (padded internally).
+    pub fn all_reduce(&self, group: &ProcessGroup, buf: &mut Vec<f32>) {
+        self.all_reduce_op(group, buf, ReduceOp::Sum)
+    }
+
+    /// Blocking elementwise-max all-reduce (used by vocab-parallel
+    /// softmax for the numerically stable row maximum).
+    pub fn all_reduce_max(&self, group: &ProcessGroup, buf: &mut Vec<f32>) {
+        self.all_reduce_op(group, buf, ReduceOp::Max)
+    }
+
+    /// Blocking all-reduce with an explicit reduction operator.
+    pub fn all_reduce_op(&self, group: &ProcessGroup, buf: &mut Vec<f32>, op: ReduceOp) {
+        let seq = self.next_seq(group);
+        ring_all_reduce(&self.shared, self.rank, group, seq, buf, op);
+        self.charge_blocking(
+            group,
+            seq,
+            CollectiveKind::AllReduce,
+            (buf.len() * 4) as f64,
+        );
+    }
+
+    /// Blocking all-reduce choosing the algorithm the way NCCL does:
+    /// recursive doubling for small buffers (latency-bound) on
+    /// power-of-two groups, ring otherwise (bandwidth-bound). Results are
+    /// identical up to floating-point summation order.
+    pub fn all_reduce_auto(&self, group: &ProcessGroup, buf: &mut Vec<f32>) {
+        const SMALL_ELEMS: usize = 4096;
+        if buf.len() <= SMALL_ELEMS && group.size().is_power_of_two() {
+            let seq = self.next_seq(group);
+            recursive_doubling_all_reduce(&self.shared, self.rank, group, seq, buf);
+            self.charge_blocking(
+                group,
+                seq,
+                CollectiveKind::AllReduceRecursiveDoubling,
+                (buf.len() * 4) as f64,
+            );
+        } else {
+            self.all_reduce(group, buf);
+        }
+    }
+
+    /// Blocking broadcast from the member at group position `root_pos`.
+    pub fn broadcast(&self, group: &ProcessGroup, root_pos: usize, buf: &mut Vec<f32>) {
+        let seq = self.next_seq(group);
+        ring_broadcast(&self.shared, self.rank, group, seq, root_pos, buf);
+        self.charge_blocking(
+            group,
+            seq,
+            CollectiveKind::Broadcast,
+            (buf.len() * 4) as f64,
+        );
+    }
+
+    /// Block until every group member has arrived.
+    pub fn barrier(&self, group: &ProcessGroup) {
+        let mut token = vec![0.0f32];
+        let seq = self.next_seq(group);
+        ring_all_reduce(&self.shared, self.rank, group, seq, &mut token, ReduceOp::Sum);
+        self.charge_blocking(group, seq, CollectiveKind::Barrier, 0.0);
+    }
+
+    /// Charge virtual time for a blocking collective: synchronise clocks
+    /// across the group, add the modelled cost, and occupy the comm
+    /// stream.
+    fn charge_blocking(&self, group: &ProcessGroup, seq: u64, kind: CollectiveKind, bytes: f64) {
+        if !self.shared.track_time || group.size() <= 1 {
+            return;
+        }
+        let entry = self.shared.clock.lock().now;
+        let start = clock_sync(&self.shared, self.rank, group, seq, entry);
+        let cost = self.shared.cost.collective_seconds(kind, group.size(), bytes);
+        let mut clock = self.shared.clock.lock();
+        let begin = start.max(clock.comm_free_sync);
+        let done = begin + cost;
+        clock.comm_free_sync = done;
+        clock.now = clock.now.max(done);
+    }
+}
+
+/// Max-reduce the members' clock values: gather to group root, fan out.
+pub(crate) fn clock_sync(
+    shared: &CommShared,
+    rank: usize,
+    group: &ProcessGroup,
+    seq: u64,
+    value: f64,
+) -> f64 {
+    let gk = group.key();
+    let pos = group.position_of(rank);
+    let root = group.rank_at(0);
+    if pos == 0 {
+        let mut maxv = value;
+        for p in 1..group.size() {
+            let v = shared
+                .transport
+                .recv(rank, group.rank_at(p), msg_key(gk, seq, lane::CLOCK_UP));
+            maxv = maxv.max(v[0] as f64);
+        }
+        for p in 1..group.size() {
+            shared.transport.send(
+                rank,
+                group.rank_at(p),
+                msg_key(gk, seq, lane::CLOCK_DOWN),
+                vec![maxv as f32],
+            );
+        }
+        maxv
+    } else {
+        shared.transport.send(
+            rank,
+            root,
+            msg_key(gk, seq, lane::CLOCK_UP),
+            vec![value as f32],
+        );
+        let v = shared
+            .transport
+            .recv(rank, root, msg_key(gk, seq, lane::CLOCK_DOWN));
+        v[0] as f64
+    }
+}
+
+/// Ring all-gather over a group. `shard` is this rank's contribution;
+/// returns all shards concatenated in group-position order.
+pub(crate) fn ring_all_gather(
+    shared: &CommShared,
+    rank: usize,
+    group: &ProcessGroup,
+    seq: u64,
+    shard: &[f32],
+) -> Vec<f32> {
+    let g = group.size();
+    if g == 1 {
+        return shard.to_vec();
+    }
+    let gk = group.key();
+    let pos = group.position_of(rank);
+    let next = group.next_of(rank);
+    let prev = group.prev_of(rank);
+    let chunk = shard.len();
+    let mut out = vec![0.0f32; chunk * g];
+    out[pos * chunk..(pos + 1) * chunk].copy_from_slice(shard);
+    for s in 0..g - 1 {
+        let send_c = (pos + g - s) % g;
+        shared.transport.send(
+            rank,
+            next,
+            msg_key(gk, seq, lane::AG + s as u32),
+            out[send_c * chunk..(send_c + 1) * chunk].to_vec(),
+        );
+        let recv_c = (pos + g - s - 1) % g;
+        let data = shared
+            .transport
+            .recv(rank, prev, msg_key(gk, seq, lane::AG + s as u32));
+        assert_eq!(data.len(), chunk, "all-gather shard length mismatch");
+        out[recv_c * chunk..(recv_c + 1) * chunk].copy_from_slice(&data);
+    }
+    out
+}
+
+/// Ring reduce-scatter (sum) over a group. Returns the chunk owned by this
+/// rank (chunk index = group position).
+pub(crate) fn ring_reduce_scatter(
+    shared: &CommShared,
+    rank: usize,
+    group: &ProcessGroup,
+    seq: u64,
+    buf: &[f32],
+) -> Vec<f32> {
+    ring_reduce_scatter_op(shared, rank, group, seq, buf, ReduceOp::Sum)
+}
+
+/// Ring reduce-scatter with an explicit reduction operator.
+pub(crate) fn ring_reduce_scatter_op(
+    shared: &CommShared,
+    rank: usize,
+    group: &ProcessGroup,
+    seq: u64,
+    buf: &[f32],
+    op: ReduceOp,
+) -> Vec<f32> {
+    let g = group.size();
+    if g == 1 {
+        return buf.to_vec();
+    }
+    assert_eq!(
+        buf.len() % g,
+        0,
+        "reduce-scatter buffer length {} not divisible by group size {g}",
+        buf.len()
+    );
+    let gk = group.key();
+    let pos = group.position_of(rank);
+    let next = group.next_of(rank);
+    let prev = group.prev_of(rank);
+    let chunk = buf.len() / g;
+    let mut work = buf.to_vec();
+    for s in 0..g - 1 {
+        // Logical chunk indices: after g-1 steps this rank owns chunk
+        // `pos`, fully reduced around the ring.
+        let send_c = (pos + 2 * g - s - 1) % g;
+        shared.transport.send(
+            rank,
+            next,
+            msg_key(gk, seq, lane::RS + s as u32),
+            work[send_c * chunk..(send_c + 1) * chunk].to_vec(),
+        );
+        let recv_c = (pos + 2 * g - s - 2) % g;
+        let data = shared
+            .transport
+            .recv(rank, prev, msg_key(gk, seq, lane::RS + s as u32));
+        assert_eq!(data.len(), chunk, "reduce-scatter chunk length mismatch");
+        for (w, d) in work[recv_c * chunk..(recv_c + 1) * chunk]
+            .iter_mut()
+            .zip(&data)
+        {
+            *w = op.combine(*w, *d);
+        }
+    }
+    work[pos * chunk..(pos + 1) * chunk].to_vec()
+}
+
+/// Ring all-reduce (sum) in place: pad to a multiple of the group size,
+/// reduce-scatter, all-gather, truncate.
+pub(crate) fn ring_all_reduce(
+    shared: &CommShared,
+    rank: usize,
+    group: &ProcessGroup,
+    seq: u64,
+    buf: &mut Vec<f32>,
+    op: ReduceOp,
+) {
+    let g = group.size();
+    if g == 1 {
+        return;
+    }
+    let n = buf.len();
+    let padded = n.div_ceil(g) * g;
+    let mut work = buf.clone();
+    // Padding must be the identity of the reduction operator.
+    let pad = match op {
+        ReduceOp::Sum => 0.0,
+        ReduceOp::Max => f32::NEG_INFINITY,
+    };
+    work.resize(padded, pad);
+    let mine = ring_reduce_scatter_op(shared, rank, group, seq, &work, op);
+    let full = ring_all_gather(shared, rank, group, seq, &mine);
+    buf.copy_from_slice(&full[..n]);
+}
+
+/// Recursive-doubling all-reduce: at step `s`, exchange the whole buffer
+/// with the partner at position `pos XOR 2^s` and add. `log2(g)` steps —
+/// latency-optimal, used for small messages. Power-of-two groups only.
+pub(crate) fn recursive_doubling_all_reduce(
+    shared: &CommShared,
+    rank: usize,
+    group: &ProcessGroup,
+    seq: u64,
+    buf: &mut [f32],
+) {
+    let g = group.size();
+    if g == 1 {
+        return;
+    }
+    assert!(g.is_power_of_two(), "recursive doubling needs a power-of-two group");
+    let gk = group.key();
+    let pos = group.position_of(rank);
+    let mut stride = 1usize;
+    let mut s = 0u32;
+    while stride < g {
+        let partner = group.rank_at(pos ^ stride);
+        shared
+            .transport
+            .send(rank, partner, msg_key(gk, seq, lane::RD + s), buf.to_vec());
+        let data = shared
+            .transport
+            .recv(rank, partner, msg_key(gk, seq, lane::RD + s));
+        assert_eq!(data.len(), buf.len(), "recursive-doubling length mismatch");
+        for (b, d) in buf.iter_mut().zip(&data) {
+            *b += d;
+        }
+        stride <<= 1;
+        s += 1;
+    }
+}
+
+/// Broadcast from group position `root_pos` around the ring (pipelined as
+/// a single pass; cost is modelled separately).
+pub(crate) fn ring_broadcast(
+    shared: &CommShared,
+    rank: usize,
+    group: &ProcessGroup,
+    seq: u64,
+    root_pos: usize,
+    buf: &mut Vec<f32>,
+) {
+    let g = group.size();
+    if g == 1 {
+        return;
+    }
+    let gk = group.key();
+    let pos = group.position_of(rank);
+    if pos == root_pos {
+        for p in 0..g {
+            if p != root_pos {
+                shared.transport.send(
+                    rank,
+                    group.rank_at(p),
+                    msg_key(gk, seq, lane::BCAST + p as u32),
+                    buf.clone(),
+                );
+            }
+        }
+    } else {
+        let data = shared.transport.recv(
+            rank,
+            group.rank_at(root_pos),
+            msg_key(gk, seq, lane::BCAST + pos as u32),
+        );
+        assert_eq!(data.len(), buf.len(), "broadcast length mismatch");
+        buf.copy_from_slice(&data);
+    }
+}

@@ -1,0 +1,201 @@
+//! Virtual-time cost models for the correctness plane.
+//!
+//! Functional runs (threads moving real `f32`s) are far slower than GPUs
+//! and their wall-clock times mean nothing for the paper's figures.
+//! Instead, each rank carries a virtual clock that these models advance:
+//! compute by a flop rate, collectives by the same ring-algorithm
+//! formulas the paper's performance model uses (Thakur et al. /
+//! Rabenseifner, Section V-B). This keeps the functional plane and the
+//! analytical plane (`axonn-sim`) in agreement by construction.
+
+/// Which collective a cost is being charged for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollectiveKind {
+    AllGather,
+    ReduceScatter,
+    /// Ring all-reduce (bandwidth-optimal; Assumption-1 of the paper).
+    AllReduce,
+    /// Recursive-doubling all-reduce (latency-optimal, used for small
+    /// messages as in NCCL/MPICH).
+    AllReduceRecursiveDoubling,
+    Broadcast,
+    Barrier,
+    PointToPoint,
+}
+
+/// Advances virtual time for compute and communication.
+pub trait CostModel: Send + Sync {
+    /// Seconds charged for `flops` floating-point operations on one rank.
+    fn compute_seconds(&self, flops: f64) -> f64;
+
+    /// Seconds charged for a collective of `kind` over `group_size` ranks
+    /// moving `bytes` (the size of the *full* buffer at each rank for
+    /// all-reduce/broadcast; the gathered size for all-gather; the
+    /// pre-scatter size for reduce-scatter).
+    fn collective_seconds(&self, kind: CollectiveKind, group_size: usize, bytes: f64) -> f64;
+}
+
+/// Charges nothing: virtual clocks stay at zero. The default for pure
+/// correctness tests.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullCost;
+
+impl CostModel for NullCost {
+    fn compute_seconds(&self, _flops: f64) -> f64 {
+        0.0
+    }
+    fn collective_seconds(&self, _k: CollectiveKind, _g: usize, _b: f64) -> f64 {
+        0.0
+    }
+}
+
+/// Ring-algorithm costs with a single flop rate and a single link
+/// bandwidth — the flat version of the paper's Equations 1–5 (the
+/// hierarchical bandwidths of Eq. 7 live in `axonn-cluster`; the
+/// functional plane runs at most a node's worth of ranks, where a single
+/// bandwidth is the right model).
+#[derive(Debug, Clone, Copy)]
+pub struct RingCostModel {
+    /// Sustained flop/s per rank.
+    pub flops_per_second: f64,
+    /// Peer-to-peer bandwidth in bytes/s.
+    pub bandwidth: f64,
+    /// Per-ring-step latency in seconds (Assumption-3 of the paper sets
+    /// this to zero; a nonzero value makes the "observed" plane richer
+    /// than the model, as in real systems).
+    pub alpha: f64,
+}
+
+impl RingCostModel {
+    pub fn new(flops_per_second: f64, bandwidth: f64) -> Self {
+        RingCostModel {
+            flops_per_second,
+            bandwidth,
+            alpha: 0.0,
+        }
+    }
+
+    pub fn with_latency(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+}
+
+impl CostModel for RingCostModel {
+    fn compute_seconds(&self, flops: f64) -> f64 {
+        flops / self.flops_per_second
+    }
+
+    fn collective_seconds(&self, kind: CollectiveKind, group_size: usize, bytes: f64) -> f64 {
+        let g = group_size as f64;
+        if group_size <= 1 {
+            return 0.0;
+        }
+        let steps;
+        let volume;
+        match kind {
+            // All-gather of a total of `bytes`: each rank sends its
+            // bytes/g shard g-1 times.
+            CollectiveKind::AllGather => {
+                steps = g - 1.0;
+                volume = (g - 1.0) / g * bytes;
+            }
+            // Reduce-scatter of `bytes`: same traffic as all-gather.
+            CollectiveKind::ReduceScatter => {
+                steps = g - 1.0;
+                volume = (g - 1.0) / g * bytes;
+            }
+            // All-reduce = reduce-scatter + all-gather.
+            CollectiveKind::AllReduce => {
+                steps = 2.0 * (g - 1.0);
+                volume = 2.0 * (g - 1.0) / g * bytes;
+            }
+            // log2(g) exchanges of the whole buffer.
+            CollectiveKind::AllReduceRecursiveDoubling => {
+                steps = g.log2().ceil();
+                volume = g.log2().ceil() * bytes;
+            }
+            CollectiveKind::Broadcast => {
+                steps = g - 1.0;
+                volume = bytes;
+            }
+            CollectiveKind::Barrier => {
+                steps = 2.0 * (g - 1.0);
+                volume = 0.0;
+            }
+            CollectiveKind::PointToPoint => {
+                steps = 1.0;
+                volume = bytes;
+            }
+        }
+        steps * self.alpha + volume / self.bandwidth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_cost_is_free() {
+        let c = NullCost;
+        assert_eq!(c.compute_seconds(1e12), 0.0);
+        assert_eq!(c.collective_seconds(CollectiveKind::AllReduce, 8, 1e9), 0.0);
+    }
+
+    #[test]
+    fn ring_allreduce_matches_2_gm1_over_g() {
+        // Paper Eqs 3-5: all-reduce time = 2/β · (g-1)/g · n.
+        let m = RingCostModel::new(1.0, 100.0);
+        let t = m.collective_seconds(CollectiveKind::AllReduce, 4, 400.0);
+        assert!((t - 2.0 * (3.0 / 4.0) * 400.0 / 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ring_allgather_matches_gm1_over_g() {
+        // Paper Eq 1 shape: (g-1) · shard / β with shard = n/g.
+        let m = RingCostModel::new(1.0, 100.0);
+        let t = m.collective_seconds(CollectiveKind::AllGather, 8, 800.0);
+        assert!((t - (7.0 / 8.0) * 800.0 / 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solo_group_is_free() {
+        let m = RingCostModel::new(1.0, 1.0);
+        for kind in [
+            CollectiveKind::AllGather,
+            CollectiveKind::ReduceScatter,
+            CollectiveKind::AllReduce,
+        ] {
+            assert_eq!(m.collective_seconds(kind, 1, 1e6), 0.0);
+        }
+    }
+
+    #[test]
+    fn recursive_doubling_is_latency_optimal_for_small_messages() {
+        // alpha-dominated regime: log2(g) steps beat 2(g-1).
+        let m = RingCostModel::new(1.0, 1e12).with_latency(1e-5);
+        let small = 64.0;
+        let ring = m.collective_seconds(CollectiveKind::AllReduce, 16, small);
+        let rd = m.collective_seconds(CollectiveKind::AllReduceRecursiveDoubling, 16, small);
+        assert!(rd < ring, "rd {rd} should beat ring {ring} for tiny buffers");
+        // Bandwidth-dominated regime: ring wins.
+        let big = 1e9;
+        let ring_b = m.collective_seconds(CollectiveKind::AllReduce, 16, big);
+        let rd_b = m.collective_seconds(CollectiveKind::AllReduceRecursiveDoubling, 16, big);
+        assert!(ring_b < rd_b, "ring {ring_b} should beat rd {rd_b} for big buffers");
+    }
+
+    #[test]
+    fn latency_term_scales_with_steps() {
+        let m = RingCostModel::new(1.0, f64::INFINITY).with_latency(1e-6);
+        let t = m.collective_seconds(CollectiveKind::AllReduce, 5, 1000.0);
+        assert!((t - 8.0e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compute_rate() {
+        let m = RingCostModel::new(2.0e12, 1.0);
+        assert!((m.compute_seconds(4.0e12) - 2.0).abs() < 1e-12);
+    }
+}

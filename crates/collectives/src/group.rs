@@ -1,0 +1,139 @@
+//! Process groups: ordered subsets of world ranks over which collectives
+//! run. The 4D engine builds X / Y / Z / data groups out of these
+//! (hierarchical order: X innermost, data outermost, Section V-B).
+
+/// An ordered list of world ranks forming a communication group.
+///
+/// Order matters: a rank's *position* in the list defines its place in the
+/// ring, which chunk of a reduce-scatter it owns, and where its shard lands
+/// in an all-gather.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcessGroup {
+    ranks: Vec<usize>,
+    key: u64,
+}
+
+impl ProcessGroup {
+    /// Build a group from distinct ranks.
+    ///
+    /// # Panics
+    /// If `ranks` is empty or contains duplicates.
+    pub fn new(ranks: Vec<usize>) -> Self {
+        assert!(!ranks.is_empty(), "empty process group");
+        let mut sorted = ranks.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ranks.len(), "duplicate ranks in group");
+        let key = fnv1a(&ranks);
+        ProcessGroup { ranks, key }
+    }
+
+    /// The trivial group containing a single rank.
+    pub fn solo(rank: usize) -> Self {
+        ProcessGroup::new(vec![rank])
+    }
+
+    pub fn size(&self) -> usize {
+        self.ranks.len()
+    }
+
+    pub fn ranks(&self) -> &[usize] {
+        &self.ranks
+    }
+
+    /// A stable 64-bit identity used to namespace message tags, derived
+    /// from the member list.
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+
+    pub fn contains(&self, rank: usize) -> bool {
+        self.ranks.contains(&rank)
+    }
+
+    /// Position of `rank` within the group.
+    ///
+    /// # Panics
+    /// If `rank` is not a member.
+    pub fn position_of(&self, rank: usize) -> usize {
+        self.ranks
+            .iter()
+            .position(|&r| r == rank)
+            .unwrap_or_else(|| panic!("rank {rank} not in group {:?}", self.ranks))
+    }
+
+    /// World rank at group position `pos`.
+    pub fn rank_at(&self, pos: usize) -> usize {
+        self.ranks[pos]
+    }
+
+    /// Ring successor (by position) of `rank`.
+    pub fn next_of(&self, rank: usize) -> usize {
+        let p = self.position_of(rank);
+        self.ranks[(p + 1) % self.ranks.len()]
+    }
+
+    /// Ring predecessor (by position) of `rank`.
+    pub fn prev_of(&self, rank: usize) -> usize {
+        let p = self.position_of(rank);
+        self.ranks[(p + self.ranks.len() - 1) % self.ranks.len()]
+    }
+}
+
+fn fnv1a(ranks: &[usize]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &r in ranks {
+        for b in (r as u64).to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positions_and_ring() {
+        let g = ProcessGroup::new(vec![4, 2, 9]);
+        assert_eq!(g.size(), 3);
+        assert_eq!(g.position_of(2), 1);
+        assert_eq!(g.next_of(9), 4);
+        assert_eq!(g.prev_of(4), 9);
+        assert_eq!(g.rank_at(0), 4);
+    }
+
+    #[test]
+    fn keys_differ_by_membership_and_order() {
+        let a = ProcessGroup::new(vec![0, 1]);
+        let b = ProcessGroup::new(vec![1, 0]);
+        let c = ProcessGroup::new(vec![0, 2]);
+        assert_ne!(a.key(), c.key());
+        // Order is part of the identity: same members, different ring.
+        assert_ne!(a.key(), b.key());
+        // Deterministic.
+        assert_eq!(a.key(), ProcessGroup::new(vec![0, 1]).key());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate ranks")]
+    fn duplicates_rejected() {
+        let _ = ProcessGroup::new(vec![1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty process group")]
+    fn empty_rejected() {
+        let _ = ProcessGroup::new(vec![]);
+    }
+
+    #[test]
+    fn solo_group() {
+        let g = ProcessGroup::solo(5);
+        assert_eq!(g.size(), 1);
+        assert_eq!(g.next_of(5), 5);
+        assert_eq!(g.prev_of(5), 5);
+    }
+}

@@ -1,0 +1,28 @@
+//! Shared-memory collective communication for the AxoNN-rs correctness
+//! plane.
+//!
+//! This crate is the stand-in for NCCL / RCCL: a *world* of ranks (one OS
+//! thread each, spawned by `axonn-exec`) exchanging `f32` buffers through a
+//! tag-addressed mailbox, with the classic **ring** implementations of
+//! all-gather, reduce-scatter, all-reduce (reduce-scatter + all-gather, as
+//! in Rabenseifner) and broadcast over arbitrary *process groups* —
+//! exactly Assumption-1 of the paper's performance model. Non-blocking
+//! variants run on a per-rank communication worker thread and return
+//! handles, which is what lets `axonn-core` implement the paper's OAR /
+//! ORS / OAG overlap optimizations with real concurrency semantics.
+//!
+//! Every rank also carries a **virtual clock** advanced by a pluggable
+//! [`CostModel`] on compute and communication, so even small functional
+//! runs report simulated times consistent with the analytical plane in
+//! `axonn-sim`.
+
+pub mod comm;
+pub mod cost;
+pub mod group;
+pub mod mailbox;
+pub mod nonblocking;
+
+pub use comm::{Comm, CommWorld, ReduceOp};
+pub use cost::{CollectiveKind, CostModel, NullCost, RingCostModel};
+pub use group::ProcessGroup;
+pub use nonblocking::{AsyncHandle, AsyncOp};

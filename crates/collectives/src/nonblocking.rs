@@ -1,0 +1,318 @@
+//! Non-blocking collectives: the NCCL/RCCL asynchronous semantics that
+//! AxoNN's overlap optimizations (OAR, ORS, OAG — Section V-D) depend on.
+//!
+//! Each rank owns one *communication worker* thread, mirroring a GPU's
+//! communication stream: issued operations execute in issue order,
+//! concurrently with the issuing thread's compute. An issued operation
+//! returns an [`AsyncHandle`]; `wait` blocks until completion and merges
+//! the operation's virtual completion time into the rank's clock, so
+//! overlap genuinely reduces virtual batch time exactly when it reduces
+//! non-overlapped communication.
+
+use crate::comm::{clock_sync, Comm, CommShared};
+use crate::cost::CollectiveKind;
+use crate::group::ProcessGroup;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::Arc;
+
+/// A collective to run asynchronously, carrying its input buffer.
+#[derive(Debug, Clone)]
+pub enum AsyncOp {
+    /// In-place sum all-reduce of the buffer.
+    AllReduce(Vec<f32>),
+    /// Sum reduce-scatter; result is this rank's chunk.
+    ReduceScatter(Vec<f32>),
+    /// All-gather of this rank's shard; result is the concatenation.
+    AllGather(Vec<f32>),
+}
+
+impl AsyncOp {
+    fn kind(&self) -> CollectiveKind {
+        match self {
+            AsyncOp::AllReduce(_) => CollectiveKind::AllReduce,
+            AsyncOp::ReduceScatter(_) => CollectiveKind::ReduceScatter,
+            AsyncOp::AllGather(_) => CollectiveKind::AllGather,
+        }
+    }
+}
+
+pub(crate) struct Job {
+    group: ProcessGroup,
+    op: AsyncOp,
+    seq: u64,
+    issue_clock: f64,
+    reply: Sender<(Vec<f32>, f64)>,
+}
+
+/// Handle to an in-flight asynchronous collective.
+pub struct AsyncHandle {
+    rx: Receiver<(Vec<f32>, f64)>,
+    shared: Arc<CommShared>,
+}
+
+impl AsyncHandle {
+    /// Block until the collective completes; returns its result buffer.
+    /// Advances the rank's virtual clock to the operation's completion
+    /// time if it finished later than the compute stream.
+    pub fn wait(self) -> Vec<f32> {
+        let (result, completion) = self
+            .rx
+            .recv()
+            .expect("async collective worker terminated before completing");
+        if self.shared.track_time {
+            let mut clock = self.shared.clock.lock();
+            clock.now = clock.now.max(completion);
+        }
+        result
+    }
+
+    /// True if the collective already finished (never blocks).
+    pub fn is_ready(&self) -> bool {
+        !self.rx.is_empty()
+    }
+}
+
+impl Comm {
+    /// Issue an asynchronous collective on this rank's communication
+    /// stream. All group members must issue the matching operation (in
+    /// the same program order, as in SPMD code).
+    pub fn start_async(&self, group: &ProcessGroup, op: AsyncOp) -> AsyncHandle {
+        let seq = self.next_seq(group);
+        let issue_clock = if self.shared.track_time {
+            self.shared.clock.lock().now
+        } else {
+            0.0
+        };
+        let (reply_tx, reply_rx) = unbounded();
+        let job = Job {
+            group: group.clone(),
+            op,
+            seq,
+            issue_clock,
+            reply: reply_tx,
+        };
+        self.async_tx
+            .as_ref()
+            .expect("communicator has no async worker")
+            .send(job)
+            .expect("async worker terminated");
+        AsyncHandle {
+            rx: reply_rx,
+            shared: self.shared.clone(),
+        }
+    }
+
+    /// Convenience: asynchronous in-place all-reduce.
+    pub fn iall_reduce(&self, group: &ProcessGroup, buf: Vec<f32>) -> AsyncHandle {
+        self.start_async(group, AsyncOp::AllReduce(buf))
+    }
+
+    /// Convenience: asynchronous reduce-scatter.
+    pub fn ireduce_scatter(&self, group: &ProcessGroup, buf: Vec<f32>) -> AsyncHandle {
+        self.start_async(group, AsyncOp::ReduceScatter(buf))
+    }
+
+    /// Convenience: asynchronous all-gather.
+    pub fn iall_gather(&self, group: &ProcessGroup, shard: Vec<f32>) -> AsyncHandle {
+        self.start_async(group, AsyncOp::AllGather(shard))
+    }
+}
+
+/// Spawn the communication worker for `rank`. Returns the job queue; the
+/// worker exits when every `Comm` clone for the rank has been dropped.
+pub(crate) fn spawn_worker(rank: usize, shared: Arc<CommShared>) -> Sender<Job> {
+    let (tx, rx) = unbounded::<Job>();
+    std::thread::Builder::new()
+        .name(format!("axonn-comm-{rank}"))
+        .spawn(move || {
+            while let Ok(job) = rx.recv() {
+                run_job(rank, &shared, job);
+            }
+        })
+        .expect("failed to spawn communication worker");
+    tx
+}
+
+fn run_job(rank: usize, shared: &Arc<CommShared>, job: Job) {
+    let Job {
+        group,
+        op,
+        seq,
+        issue_clock,
+        reply,
+    } = job;
+    let kind = op.kind();
+    let bytes;
+    let result = match op {
+        AsyncOp::AllReduce(mut buf) => {
+            bytes = (buf.len() * 4) as f64;
+            crate::comm::ring_all_reduce(
+                shared,
+                rank,
+                &group,
+                seq,
+                &mut buf,
+                crate::comm::ReduceOp::Sum,
+            );
+            buf
+        }
+        AsyncOp::ReduceScatter(buf) => {
+            bytes = (buf.len() * 4) as f64;
+            crate::comm::ring_reduce_scatter(shared, rank, &group, seq, &buf)
+        }
+        AsyncOp::AllGather(shard) => {
+            bytes = (shard.len() * group.size() * 4) as f64;
+            crate::comm::ring_all_gather(shared, rank, &group, seq, &shard)
+        }
+    };
+    let completion = if shared.track_time && group.size() > 1 {
+        // The collective can start once every member has issued it and
+        // this rank's comm stream is free; it then runs for its modelled
+        // duration without blocking the compute stream.
+        let start = clock_sync(shared, rank, &group, seq, issue_clock);
+        let cost = shared.cost.collective_seconds(kind, group.size(), bytes);
+        let mut clock = shared.clock.lock();
+        let begin = start.max(clock.comm_free_async);
+        let done = begin + cost;
+        clock.comm_free_async = done;
+        done
+    } else {
+        issue_clock
+    };
+    // Receiver may have been dropped (fire-and-forget); that's fine.
+    let _ = reply.send((result, completion));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::CommWorld;
+    use crate::cost::RingCostModel;
+    use std::thread;
+
+    fn run_world<F, T>(n: usize, f: F) -> Vec<T>
+    where
+        F: Fn(Comm) -> T + Send + Sync + Clone + 'static,
+        T: Send + 'static,
+    {
+        let comms = CommWorld::create(n);
+        run_world_with(comms, f)
+    }
+
+    fn run_world_with<F, T>(comms: Vec<Comm>, f: F) -> Vec<T>
+    where
+        F: Fn(Comm) -> T + Send + Sync + Clone + 'static,
+        T: Send + 'static,
+    {
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|c| {
+                let f = f.clone();
+                thread::spawn(move || f(c))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    }
+
+    #[test]
+    fn async_all_reduce_matches_blocking() {
+        let results = run_world(4, |c| {
+            let g = ProcessGroup::new(vec![0, 1, 2, 3]);
+            let buf: Vec<f32> = (0..8).map(|i| (i + c.rank()) as f32).collect();
+            let h = c.iall_reduce(&g, buf.clone());
+            let async_out = h.wait();
+            let mut blocking = buf;
+            c.all_reduce(&g, &mut blocking);
+            (async_out, blocking)
+        });
+        for (a, b) in &results {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn async_ops_execute_in_issue_order() {
+        let results = run_world(2, |c| {
+            let g = ProcessGroup::new(vec![0, 1]);
+            let h1 = c.iall_reduce(&g, vec![1.0, 2.0]);
+            let h2 = c.iall_reduce(&g, vec![10.0, 20.0]);
+            (h1.wait(), h2.wait())
+        });
+        for (r1, r2) in &results {
+            assert_eq!(r1, &vec![2.0, 4.0]);
+            assert_eq!(r2, &vec![20.0, 40.0]);
+        }
+    }
+
+    #[test]
+    fn async_overlaps_with_blocking_on_other_group() {
+        // Worker runs group {0,1} op while main threads run {0,1} barrier-
+        // style blocking op on a different group layout.
+        let results = run_world(4, |c| {
+            let g01 = ProcessGroup::new(vec![0, 1]);
+            let g_all = ProcessGroup::new(vec![0, 1, 2, 3]);
+            let h = if g01.contains(c.rank()) {
+                Some(c.iall_gather(&g01, vec![c.rank() as f32]))
+            } else {
+                None
+            };
+            let mut buf = vec![1.0f32];
+            c.all_reduce(&g_all, &mut buf);
+            let gathered = h.map(|h| h.wait());
+            (buf, gathered)
+        });
+        for (i, (sum, gathered)) in results.iter().enumerate() {
+            assert_eq!(sum, &vec![4.0]);
+            if i < 2 {
+                assert_eq!(gathered.as_ref().unwrap(), &vec![0.0, 1.0]);
+            }
+        }
+    }
+
+    #[test]
+    fn overlap_reduces_virtual_time() {
+        // Timed world: a rank that overlaps an all-reduce with compute
+        // should finish earlier than one that serialises them.
+        let cost = Arc::new(RingCostModel::new(1e9, 1e9));
+        let make = || CommWorld::create_timed(2, cost.clone());
+
+        // Serial: collective then compute.
+        let serial = run_world_with(make(), |c| {
+            let g = ProcessGroup::new(vec![0, 1]);
+            let mut buf = vec![0.0f32; 1_000_000];
+            c.all_reduce(&g, &mut buf);
+            c.advance_compute(5e6); // 5 ms of compute
+            c.now()
+        });
+        // Overlapped: issue async, compute, then wait.
+        let overlapped = run_world_with(make(), |c| {
+            let g = ProcessGroup::new(vec![0, 1]);
+            let buf = vec![0.0f32; 1_000_000];
+            let h = c.iall_reduce(&g, buf);
+            c.advance_compute(5e6);
+            let _ = h.wait();
+            c.now()
+        });
+        for (s, o) in serial.iter().zip(&overlapped) {
+            assert!(
+                o < s,
+                "overlapped virtual time {o} should beat serial {s}"
+            );
+            // Comm cost = 2 * (1/2) * 4MB / 1GB/s = 4 ms; compute 5 ms.
+            // Serial ≈ 9 ms, overlapped ≈ max(5,4) = 5 ms.
+            assert!((s - 9.0e-3).abs() < 1.0e-3, "serial {s}");
+            assert!((o - 5.0e-3).abs() < 1.0e-3, "overlapped {o}");
+        }
+    }
+
+    #[test]
+    fn is_ready_eventually_true() {
+        let results = run_world(2, |c| {
+            let g = ProcessGroup::new(vec![0, 1]);
+            let h = c.iall_reduce(&g, vec![1.0]);
+            
+            h.wait()
+        });
+        assert_eq!(results[0], vec![2.0]);
+    }
+}

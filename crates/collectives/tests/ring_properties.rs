@@ -1,0 +1,204 @@
+//! Ring-collective correctness over randomly drawn worlds, groups, and
+//! buffer sizes, checked against direct (non-distributed) reductions.
+
+use axonn_collectives::{Comm, CommWorld, ProcessGroup};
+use proptest::prelude::*;
+use std::thread;
+
+/// Run `body` on every rank of a fresh world; collect results.
+fn spmd<T: Send + 'static>(
+    world: usize,
+    body: impl Fn(Comm) -> T + Send + Sync + Clone + 'static,
+) -> Vec<T> {
+    let comms = CommWorld::create(world);
+    let handles: Vec<_> = comms
+        .into_iter()
+        .map(|c| {
+            let body = body.clone();
+            thread::spawn(move || body(c))
+        })
+        .collect();
+    handles.into_iter().map(|h| h.join().unwrap()).collect()
+}
+
+/// Deterministic per-rank buffer.
+fn buffer(rank: usize, len: usize) -> Vec<f32> {
+    (0..len)
+        .map(|i| ((rank * 31 + i * 7) % 23) as f32 - 11.0)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn all_reduce_equals_direct_sum(world in 2usize..7, len in 1usize..40) {
+        let results = spmd(world, move |c| {
+            let g = ProcessGroup::new((0..world).collect());
+            let mut buf = buffer(c.rank(), len);
+            c.all_reduce(&g, &mut buf);
+            buf
+        });
+        let expect: Vec<f32> = (0..len)
+            .map(|i| (0..world).map(|r| buffer(r, len)[i]).sum())
+            .collect();
+        for r in &results {
+            for (a, b) in r.iter().zip(&expect) {
+                prop_assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_gather_concatenates_in_group_order(world in 2usize..7, shard in 1usize..20) {
+        let results = spmd(world, move |c| {
+            let g = ProcessGroup::new((0..world).collect());
+            c.all_gather(&g, &buffer(c.rank(), shard))
+        });
+        let expect: Vec<f32> = (0..world).flat_map(|r| buffer(r, shard)).collect();
+        for r in results {
+            prop_assert_eq!(&r, &expect);
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_chunks_match_positions(world in 2usize..7, per in 1usize..12) {
+        let len = per; // chunk length per rank
+        let results = spmd(world, move |c| {
+            let g = ProcessGroup::new((0..world).collect());
+            let buf = buffer(c.rank(), len * world);
+            c.reduce_scatter(&g, &buf)
+        });
+        for (rank, chunk) in results.iter().enumerate() {
+            prop_assert_eq!(chunk.len(), len);
+            for (i, v) in chunk.iter().enumerate() {
+                let idx = rank * len + i;
+                let expect: f32 = (0..world).map(|r| buffer(r, len * world)[idx]).sum();
+                prop_assert!((v - expect).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn subgroup_collectives_respect_membership(world in 4usize..8, len in 1usize..16) {
+        // Split the world into evens and odds; each group reduces only
+        // its members' data.
+        let results = spmd(world, move |c| {
+            let mine: Vec<usize> = (0..world).filter(|r| r % 2 == c.rank() % 2).collect();
+            let g = ProcessGroup::new(mine);
+            let mut buf = buffer(c.rank(), len);
+            c.all_reduce(&g, &mut buf);
+            buf
+        });
+        for (rank, r) in results.iter().enumerate() {
+            let members: Vec<usize> = (0..world).filter(|x| x % 2 == rank % 2).collect();
+            for (i, v) in r.iter().enumerate() {
+                let expect: f32 = members.iter().map(|&m| buffer(m, len)[i]).sum();
+                prop_assert!((v - expect).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_copies_root_buffer(world in 2usize..7, len in 1usize..20, root in 0usize..6) {
+        let root = root % world;
+        let results = spmd(world, move |c| {
+            let g = ProcessGroup::new((0..world).collect());
+            let mut buf = buffer(c.rank(), len);
+            c.broadcast(&g, root, &mut buf);
+            buf
+        });
+        let expect = buffer(root, len);
+        for r in results {
+            prop_assert_eq!(&r, &expect);
+        }
+    }
+
+    #[test]
+    fn all_reduce_with_nondivisible_lengths(world in 2usize..6, len in 1usize..17) {
+        // Internal padding must be invisible to callers.
+        let results = spmd(world, move |c| {
+            let g = ProcessGroup::new((0..world).collect());
+            let mut buf = vec![1.0f32; len];
+            c.all_reduce(&g, &mut buf);
+            buf
+        });
+        for r in results {
+            prop_assert_eq!(r.len(), len);
+            prop_assert!(r.iter().all(|&v| (v - world as f32).abs() < 1e-4));
+        }
+    }
+}
+
+#[test]
+fn collectives_are_deterministic_across_runs() {
+    let run = || {
+        spmd(4, |c| {
+            let g = ProcessGroup::new(vec![0, 1, 2, 3]);
+            let mut buf: Vec<f32> = (0..33).map(|i| (i as f32 + c.rank() as f32) * 0.3).collect();
+            c.all_reduce(&g, &mut buf);
+            buf
+        })
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn group_order_defines_ring_and_results_are_order_independent_for_sum() {
+    // Summation over a ring must not depend on member order.
+    let a = spmd(4, |c| {
+        let g = ProcessGroup::new(vec![0, 1, 2, 3]);
+        let mut buf = vec![c.rank() as f32 + 1.0];
+        c.all_reduce(&g, &mut buf);
+        buf[0]
+    });
+    let b = spmd(4, |c| {
+        let g = ProcessGroup::new(vec![3, 1, 0, 2]);
+        let mut buf = vec![c.rank() as f32 + 1.0];
+        c.all_reduce(&g, &mut buf);
+        buf[0]
+    });
+    assert_eq!(a, b);
+    assert!(a.iter().all(|&x| x == 10.0));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn recursive_doubling_matches_ring(world_exp in 1u32..4, len in 1usize..64) {
+        let world = 1usize << world_exp;
+        let rd = spmd(world, move |c| {
+            let g = ProcessGroup::new((0..world).collect());
+            let mut buf = buffer(c.rank(), len);
+            c.all_reduce_auto(&g, &mut buf);
+            buf
+        });
+        let ring = spmd(world, move |c| {
+            let g = ProcessGroup::new((0..world).collect());
+            let mut buf = buffer(c.rank(), len);
+            c.all_reduce(&g, &mut buf);
+            buf
+        });
+        for (a, b) in rd.iter().zip(&ring) {
+            for (x, y) in a.iter().zip(b) {
+                prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn auto_falls_back_to_ring_for_odd_groups(len in 1usize..32) {
+        // Group size 3 is not a power of two: auto must still be correct.
+        let rd = spmd(3, move |c| {
+            let g = ProcessGroup::new(vec![0, 1, 2]);
+            let mut buf = buffer(c.rank(), len);
+            c.all_reduce_auto(&g, &mut buf);
+            buf
+        });
+        for (i, v) in rd[0].iter().enumerate() {
+            let expect: f32 = (0..3).map(|r| buffer(r, len)[i]).sum();
+            prop_assert!((v - expect).abs() < 1e-3);
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! The 4D virtual grid from a rank's point of view: its coordinates and
+//! the four process groups it belongs to.
+//!
+//! Ranks are laid out hierarchically — X fastest-varying, then Y, then Z,
+//! then data — matching the Section V-B example (8 GPUs, all dims 2:
+//! X groups (0,1),(2,3),…; Y groups (0,2),(1,3),…).
+
+use axonn_collectives::ProcessGroup;
+
+/// A rank's view of the `G_x × G_y × G_z × G_data` grid.
+#[derive(Debug, Clone)]
+pub struct GridTopology {
+    pub gx: usize,
+    pub gy: usize,
+    pub gz: usize,
+    pub gd: usize,
+    pub rank: usize,
+    /// Coordinates (x, y, z, d) of this rank.
+    pub coords: (usize, usize, usize, usize),
+    x_group: ProcessGroup,
+    y_group: ProcessGroup,
+    z_group: ProcessGroup,
+    data_group: ProcessGroup,
+}
+
+impl GridTopology {
+    /// Build the topology for `rank` in a world of exactly
+    /// `gx·gy·gz·gd` ranks.
+    pub fn new(gx: usize, gy: usize, gz: usize, gd: usize, rank: usize) -> Self {
+        let total = gx * gy * gz * gd;
+        assert!(rank < total, "rank {rank} outside {total}-GPU grid");
+        let x = rank % gx;
+        let y = (rank / gx) % gy;
+        let z = (rank / (gx * gy)) % gz;
+        let d = rank / (gx * gy * gz);
+
+        let rank_of = |x: usize, y: usize, z: usize, d: usize| {
+            x + gx * (y + gy * (z + gz * d))
+        };
+        let x_group = ProcessGroup::new((0..gx).map(|i| rank_of(i, y, z, d)).collect());
+        let y_group = ProcessGroup::new((0..gy).map(|j| rank_of(x, j, z, d)).collect());
+        let z_group = ProcessGroup::new((0..gz).map(|k| rank_of(x, y, k, d)).collect());
+        let data_group = ProcessGroup::new((0..gd).map(|r| rank_of(x, y, z, r)).collect());
+
+        GridTopology {
+            gx,
+            gy,
+            gz,
+            gd,
+            rank,
+            coords: (x, y, z, d),
+            x_group,
+            y_group,
+            z_group,
+            data_group,
+        }
+    }
+
+    pub fn total_ranks(&self) -> usize {
+        self.gx * self.gy * self.gz * self.gd
+    }
+
+    pub fn tensor_parallel(&self) -> usize {
+        self.gx * self.gy * self.gz
+    }
+
+    pub fn x_group(&self) -> &ProcessGroup {
+        &self.x_group
+    }
+
+    pub fn y_group(&self) -> &ProcessGroup {
+        &self.y_group
+    }
+
+    pub fn z_group(&self) -> &ProcessGroup {
+        &self.z_group
+    }
+
+    pub fn data_group(&self) -> &ProcessGroup {
+        &self.data_group
+    }
+
+    /// The group that divides weight *rows* (`k`): Y for normal layers,
+    /// X for transposed ones.
+    pub fn row_group(&self, transposed: bool) -> &ProcessGroup {
+        if transposed {
+            &self.x_group
+        } else {
+            &self.y_group
+        }
+    }
+
+    /// The group that divides weight *columns* (`n`): X for normal
+    /// layers, Y for transposed ones.
+    pub fn col_group(&self, transposed: bool) -> &ProcessGroup {
+        if transposed {
+            &self.y_group
+        } else {
+            &self.x_group
+        }
+    }
+
+    /// This rank's block index along weight rows for a layer.
+    pub fn row_index(&self, transposed: bool) -> usize {
+        if transposed {
+            self.coords.0
+        } else {
+            self.coords.1
+        }
+    }
+
+    /// This rank's block index along weight columns for a layer.
+    pub fn col_index(&self, transposed: bool) -> usize {
+        if transposed {
+            self.coords.1
+        } else {
+            self.coords.0
+        }
+    }
+
+    /// Number of row blocks (`g_in`) for a layer.
+    pub fn row_parts(&self, transposed: bool) -> usize {
+        if transposed {
+            self.gx
+        } else {
+            self.gy
+        }
+    }
+
+    /// Number of column blocks (`g_out`) for a layer.
+    pub fn col_parts(&self, transposed: bool) -> usize {
+        if transposed {
+            self.gy
+        } else {
+            self.gx
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example() {
+        // 8 GPUs, 2x2x2x1: rank 5 has coords (1, 0, 1, 0).
+        let t = GridTopology::new(2, 2, 2, 1, 5);
+        assert_eq!(t.coords, (1, 0, 1, 0));
+        assert_eq!(t.x_group().ranks(), &[4, 5]);
+        assert_eq!(t.y_group().ranks(), &[5, 7]);
+        assert_eq!(t.z_group().ranks(), &[1, 5]);
+        assert_eq!(t.data_group().ranks(), &[5]);
+    }
+
+    #[test]
+    fn groups_contain_self() {
+        for rank in 0..16 {
+            let t = GridTopology::new(2, 2, 2, 2, rank);
+            assert!(t.x_group().contains(rank));
+            assert!(t.y_group().contains(rank));
+            assert!(t.z_group().contains(rank));
+            assert!(t.data_group().contains(rank));
+        }
+    }
+
+    #[test]
+    fn transposed_roles_swap() {
+        let t = GridTopology::new(4, 2, 1, 1, 5); // coords (1, 1, 0, 0)
+        assert_eq!(t.row_parts(false), 2);
+        assert_eq!(t.row_parts(true), 4);
+        assert_eq!(t.row_group(false).ranks(), t.y_group().ranks());
+        assert_eq!(t.row_group(true).ranks(), t.x_group().ranks());
+        assert_eq!(t.row_index(false), 1);
+        assert_eq!(t.col_index(true), 1);
+    }
+
+    #[test]
+    fn group_positions_match_coords() {
+        // A rank's position in each group equals its coordinate there —
+        // needed for block ownership in collectives.
+        for rank in 0..24 {
+            let t = GridTopology::new(2, 3, 2, 2, rank);
+            let (x, y, z, d) = t.coords;
+            assert_eq!(t.x_group().position_of(rank), x);
+            assert_eq!(t.y_group().position_of(rank), y);
+            assert_eq!(t.z_group().position_of(rank), z);
+            assert_eq!(t.data_group().position_of(rank), d);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_world_rank_panics() {
+        let _ = GridTopology::new(2, 2, 1, 1, 4);
+    }
+}

@@ -1,0 +1,151 @@
+//! Automated BLAS kernel tuning (Section V-C).
+//!
+//! The weight-gradient product `Iᵀ·dO` defaults to the TN kernel, which
+//! on some platforms (rocBLAS on Frontier, and our deliberately naive TN
+//! path in `axonn-tensor`) is far slower than NN. During the first batch
+//! the tuner times every strategy for each layer's product with real
+//! wall-clock measurements — exactly the paper's procedure — and locks in
+//! the fastest for the remaining iterations.
+
+use axonn_tensor::{gemm, MatMode, Matrix};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// How to compute `Iᵀ·dO` for one layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DwStrategy {
+    /// Call the TN kernel directly.
+    DirectTn,
+    /// Explicitly transpose `I`, then call the NN kernel — the rewrite
+    /// that gave the paper its ~8× matmul speedup on GPT-320B.
+    TransposeNn,
+}
+
+/// Per-layer kernel choices, learned on the first batch.
+#[derive(Debug)]
+pub struct KernelTuner {
+    enabled: bool,
+    choices: HashMap<usize, DwStrategy>,
+}
+
+impl KernelTuner {
+    pub fn new(enabled: bool) -> Self {
+        KernelTuner {
+            enabled,
+            choices: HashMap::new(),
+        }
+    }
+
+    /// The strategy locked in for `layer_id`, if tuned already.
+    pub fn choice(&self, layer_id: usize) -> Option<DwStrategy> {
+        self.choices.get(&layer_id).copied()
+    }
+
+    /// Compute `Iᵀ·dO`. Untuned mode always calls the TN kernel (the
+    /// framework default the paper starts from). With tuning enabled, the
+    /// first call for each layer times both strategies and records the
+    /// winner.
+    pub fn dw_gemm(&mut self, layer_id: usize, i_local: &Matrix, d_o: &Matrix) -> Matrix {
+        if !self.enabled {
+            return gemm(MatMode::TN, i_local, d_o);
+        }
+        match self.choices.get(&layer_id) {
+            Some(DwStrategy::DirectTn) => gemm(MatMode::TN, i_local, d_o),
+            Some(DwStrategy::TransposeNn) => {
+                let it = i_local.transposed();
+                gemm(MatMode::NN, &it, d_o)
+            }
+            None => {
+                let t0 = Instant::now();
+                let direct = gemm(MatMode::TN, i_local, d_o);
+                let t_direct = t0.elapsed();
+
+                let t1 = Instant::now();
+                let it = i_local.transposed();
+                let rerouted = gemm(MatMode::NN, &it, d_o);
+                let t_reroute = t1.elapsed();
+
+                debug_assert!(
+                    direct.approx_eq(&rerouted, 1e-4),
+                    "tuning strategies disagree numerically"
+                );
+                let strategy = if t_reroute < t_direct {
+                    DwStrategy::TransposeNn
+                } else {
+                    DwStrategy::DirectTn
+                };
+                self.choices.insert(layer_id, strategy);
+                // Return either result; they are numerically equal up to
+                // summation order.
+                if strategy == DwStrategy::TransposeNn {
+                    rerouted
+                } else {
+                    direct
+                }
+            }
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    pub fn tuned_layers(&self) -> usize {
+        self.choices.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axonn_tensor::gemm_reference;
+
+    #[test]
+    fn disabled_tuner_uses_tn_and_records_nothing() {
+        let mut t = KernelTuner::new(false);
+        let i = Matrix::random(32, 16, 1.0, 1);
+        let d = Matrix::random(32, 24, 1.0, 2);
+        let out = t.dw_gemm(0, &i, &d);
+        assert!(out.approx_eq(&gemm_reference(MatMode::TN, &i, &d), 1e-4));
+        assert_eq!(t.tuned_layers(), 0);
+        assert_eq!(t.choice(0), None);
+    }
+
+    #[test]
+    fn tuning_records_a_choice_and_stays_correct() {
+        let mut t = KernelTuner::new(true);
+        let i = Matrix::random(64, 48, 1.0, 3);
+        let d = Matrix::random(64, 56, 1.0, 4);
+        let first = t.dw_gemm(7, &i, &d);
+        assert_eq!(t.tuned_layers(), 1);
+        assert!(t.choice(7).is_some());
+        let second = t.dw_gemm(7, &i, &d);
+        assert!(first.approx_eq(&second, 1e-4));
+        assert!(first.approx_eq(&gemm_reference(MatMode::TN, &i, &d), 1e-3));
+    }
+
+    #[test]
+    fn large_contracted_dim_prefers_transpose_nn() {
+        // Our TN kernel walks A with stride m; for a big product the
+        // transpose+NN reroute should win, as on Frontier.
+        let mut t = KernelTuner::new(true);
+        let i = Matrix::random(768, 512, 1.0, 5);
+        let d = Matrix::random(768, 512, 1.0, 6);
+        let _ = t.dw_gemm(0, &i, &d);
+        assert_eq!(
+            t.choice(0),
+            Some(DwStrategy::TransposeNn),
+            "expected the NN reroute to beat the naive TN kernel"
+        );
+    }
+
+    #[test]
+    fn distinct_layers_tuned_independently() {
+        let mut t = KernelTuner::new(true);
+        let i = Matrix::random(32, 16, 1.0, 7);
+        let d = Matrix::random(32, 8, 1.0, 8);
+        let _ = t.dw_gemm(0, &i, &d);
+        let _ = t.dw_gemm(1, &i, &d);
+        assert_eq!(t.tuned_layers(), 2);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests for the 4D engine: random legal grids and layer sizes
+//! must always reproduce the serial reference, and the grid topology
+//! invariants must hold for arbitrary shapes.
+
+use axonn_core::{Activation, GridTopology, Network4d, OverlapConfig, SerialMlp};
+use axonn_exec::run_spmd;
+use axonn_tensor::Matrix;
+use proptest::prelude::*;
+
+/// A random legal (grid, dims) pair: dimensions are multiples of what the
+/// grid requires, grids stay small enough for threads.
+fn legal_case() -> impl Strategy<Value = ((usize, usize, usize, usize), Vec<usize>, u64)> {
+    let grid = prop_oneof![
+        Just((1usize, 1usize, 1usize, 1usize)),
+        Just((2, 1, 1, 1)),
+        Just((1, 2, 1, 1)),
+        Just((1, 1, 2, 1)),
+        Just((1, 1, 1, 2)),
+        Just((2, 2, 1, 1)),
+        Just((2, 1, 2, 1)),
+        Just((1, 2, 2, 1)),
+        Just((2, 1, 1, 2)),
+        Just((1, 1, 2, 2)),
+        Just((2, 2, 2, 1)),
+    ];
+    (grid, 1usize..4, 1usize..5, 0u64..500).prop_map(|(g, n_layers, width_mult, seed)| {
+        let (gx, gy, gz, _gd) = g;
+        // Every feature dim must divide by max(gx,gy)*gz; batch by gz*gd.
+        let unit = gx.max(gy) * gz * 2;
+        let dims: Vec<usize> = (0..=n_layers).map(|i| unit * (width_mult + i % 2)).collect();
+        (g, dims, seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn random_grids_match_serial(case in legal_case()) {
+        let ((gx, gy, gz, gd), dims, seed) = case;
+        let batch_rows = gz * gd * 4;
+        let x = Matrix::random(batch_rows, dims[0], 1.0, seed + 10_000);
+        let t = Matrix::random(batch_rows, *dims.last().unwrap(), 1.0, seed + 10_001);
+
+        let mut serial = SerialMlp::new(&dims, Activation::Gelu, seed);
+        let s_losses: Vec<f32> = (0..3).map(|_| serial.train_step(&x, &t, 0.01)).collect();
+
+        let dims2 = dims.clone();
+        let x2 = x.clone();
+        let t2 = t.clone();
+        let out = run_spmd(gx * gy * gz * gd, move |comm| {
+            let grid = GridTopology::new(gx, gy, gz, gd, comm.rank());
+            let mut net = Network4d::new(
+                comm,
+                grid,
+                &dims2,
+                Activation::Gelu,
+                seed,
+                OverlapConfig::all(),
+                false,
+            );
+            (0..3).map(|_| net.train_step(&x2, &t2, 0.01)).collect::<Vec<f32>>()
+        });
+        for (s, p) in s_losses.iter().zip(&out[0]) {
+            let rel = (s - p).abs() / s.abs().max(1e-3);
+            prop_assert!(
+                rel < 5e-3,
+                "grid {gx}x{gy}x{gz}x{gd} dims {dims:?}: serial {s} vs parallel {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn topology_groups_partition_and_intersect_correctly(
+        gx in 1usize..4, gy in 1usize..4, gz in 1usize..4, gd in 1usize..3
+    ) {
+        let total = gx * gy * gz * gd;
+        for rank in 0..total {
+            let t = GridTopology::new(gx, gy, gz, gd, rank);
+            // Sizes.
+            prop_assert_eq!(t.x_group().size(), gx);
+            prop_assert_eq!(t.y_group().size(), gy);
+            prop_assert_eq!(t.z_group().size(), gz);
+            prop_assert_eq!(t.data_group().size(), gd);
+            // Any two of this rank's groups intersect exactly in itself.
+            let groups = [t.x_group(), t.y_group(), t.z_group(), t.data_group()];
+            for (i, a) in groups.iter().enumerate() {
+                for b in groups.iter().skip(i + 1) {
+                    let common: Vec<usize> = a
+                        .ranks()
+                        .iter()
+                        .filter(|r| b.contains(**r))
+                        .copied()
+                        .collect();
+                    prop_assert_eq!(&common, &vec![rank]);
+                }
+            }
+            // Coordinates recompose the rank.
+            let (x, y, z, d) = t.coords;
+            prop_assert_eq!(x + gx * (y + gy * (z + gz * d)), rank);
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Threaded SPMD runtime for the correctness plane.
+//!
+//! The original AxoNN launches one process per GPU under MPI/torchrun;
+//! here a *rank* is an OS thread holding a [`Comm`]. [`run_spmd`] spawns
+//! the world, runs the same closure on every rank (Single Program,
+//! Multiple Data) and collects the per-rank results in rank order.
+//! Panics on any rank are propagated with the rank attached, so test
+//! failures point at the offending rank instead of deadlocking the world.
+
+use axonn_collectives::{Comm, CommWorld, CostModel};
+use std::sync::Arc;
+
+/// Run `body` on `world_size` ranks with no virtual-time tracking.
+/// Returns the per-rank results in rank order.
+pub fn run_spmd<F, T>(world_size: usize, body: F) -> Vec<T>
+where
+    F: Fn(Comm) -> T + Send + Sync + 'static,
+    T: Send + 'static,
+{
+    launch(CommWorld::create(world_size), body)
+}
+
+/// Run `body` on `world_size` ranks with virtual clocks advanced by
+/// `cost`. Returns the per-rank results in rank order.
+pub fn run_spmd_timed<F, T>(world_size: usize, cost: Arc<dyn CostModel>, body: F) -> Vec<T>
+where
+    F: Fn(Comm) -> T + Send + Sync + 'static,
+    T: Send + 'static,
+{
+    launch(CommWorld::create_timed(world_size, cost), body)
+}
+
+fn launch<F, T>(comms: Vec<Comm>, body: F) -> Vec<T>
+where
+    F: Fn(Comm) -> T + Send + Sync + 'static,
+    T: Send + 'static,
+{
+    let body = Arc::new(body);
+    let handles: Vec<_> = comms
+        .into_iter()
+        .map(|comm| {
+            let body = body.clone();
+            let rank = comm.rank();
+            std::thread::Builder::new()
+                .name(format!("axonn-rank-{rank}"))
+                .spawn(move || body(comm))
+                .expect("failed to spawn rank thread")
+        })
+        .collect();
+    handles
+        .into_iter()
+        .enumerate()
+        .map(|(rank, h)| match h.join() {
+            Ok(v) => v,
+            Err(e) => {
+                let msg = e
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| e.downcast_ref::<&str>().copied())
+                    .unwrap_or("<non-string panic payload>");
+                panic!("rank {rank} panicked: {msg}");
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axonn_collectives::ProcessGroup;
+
+    #[test]
+    fn results_in_rank_order() {
+        let out = run_spmd(6, |c| c.rank() * 10);
+        assert_eq!(out, vec![0, 10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn world_wide_all_reduce() {
+        let out = run_spmd(8, |c| {
+            let g = ProcessGroup::new((0..8).collect());
+            let mut v = vec![c.rank() as f32];
+            c.all_reduce(&g, &mut v);
+            v[0]
+        });
+        assert!(out.iter().all(|&x| x == 28.0));
+    }
+
+    #[test]
+    fn subgroup_collectives_do_not_interfere() {
+        let out = run_spmd(8, |c| {
+            // Two disjoint groups of 4 reduce independently.
+            let mine: Vec<usize> = if c.rank() < 4 {
+                (0..4).collect()
+            } else {
+                (4..8).collect()
+            };
+            let g = ProcessGroup::new(mine);
+            let mut v = vec![c.rank() as f32];
+            c.all_reduce(&g, &mut v);
+            v[0]
+        });
+        assert_eq!(out[..4], [6.0, 6.0, 6.0, 6.0]);
+        assert_eq!(out[4..], [22.0, 22.0, 22.0, 22.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 3 panicked: boom")]
+    fn rank_panic_is_attributed() {
+        run_spmd(4, |c| {
+            if c.rank() == 3 {
+                panic!("boom");
+            }
+        });
+    }
+}

@@ -1,0 +1,304 @@
+//! GPT-style transformer model zoo and FLOP accounting.
+//!
+//! Reproduces Table II of the paper (the 5B–640B GPT architectures used in
+//! every performance experiment) and Narayanan et al.'s analytical FLOP
+//! formulation, which the paper uses to compute "model flops" for all
+//! reported flop/s numbers (Section VI-C). Also exposes the per-layer
+//! fully-connected matrix shapes that the 4D algorithm, the performance
+//! model (Equations 1–6) and the simulator all consume.
+
+use serde::{Deserialize, Serialize};
+
+/// Default sequence length for all performance experiments.
+pub const DEFAULT_SEQ_LEN: usize = 2048;
+/// GPT-2/3 style vocabulary size (51,200 = 50,257 padded to a multiple of
+/// 1024 as in Megatron-LM).
+pub const DEFAULT_VOCAB: usize = 51_200;
+/// The global batch size used for the headline runs: 16.8M tokens
+/// (Table I), i.e. 8192 sequences of 2048 tokens.
+pub const HEADLINE_BATCH_TOKENS: usize = 16_777_216;
+
+/// Architecture of one GPT-style transformer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GptConfig {
+    pub name: String,
+    pub num_layers: usize,
+    pub hidden_size: usize,
+    pub num_heads: usize,
+    pub seq_len: usize,
+    pub vocab_size: usize,
+}
+
+impl GptConfig {
+    pub fn new(name: &str, num_layers: usize, hidden_size: usize, num_heads: usize) -> Self {
+        assert_eq!(
+            hidden_size % num_heads,
+            0,
+            "hidden size must divide evenly into heads"
+        );
+        GptConfig {
+            name: name.to_string(),
+            num_layers,
+            hidden_size,
+            num_heads,
+            seq_len: DEFAULT_SEQ_LEN,
+            vocab_size: DEFAULT_VOCAB,
+        }
+    }
+
+    /// Total trainable parameters: `12·l·h²·(1 + 13/(12h)) + (V + s)·h`
+    /// (attention + MLP + layernorms/biases + embeddings), the standard
+    /// GPT counting used alongside Narayanan's FLOP formula.
+    pub fn num_parameters(&self) -> u64 {
+        let l = self.num_layers as u64;
+        let h = self.hidden_size as u64;
+        let v = self.vocab_size as u64;
+        let s = self.seq_len as u64;
+        12 * l * h * h + 13 * l * h + (v + s) * h
+    }
+
+    /// "Model flops" per training iteration for `batch_tokens` tokens:
+    /// Narayanan et al.'s formula *without* activation recomputation,
+    /// `72·B·s·l·h²·(1 + s/(6h) + V/(12·l·h))` — this is the numerator of
+    /// every flop/s figure the paper reports.
+    pub fn model_flops_per_iter(&self, batch_tokens: usize) -> f64 {
+        self.flops_per_iter(batch_tokens, false)
+    }
+
+    /// Hardware flops per iteration *with* activation checkpointing
+    /// (which the paper enables for all runs): the forward pass is
+    /// recomputed during the backward pass, giving
+    /// `96·B·s·l·h²·(1 + s/(6h) + V/(16·l·h))`.
+    pub fn hardware_flops_per_iter(&self, batch_tokens: usize) -> f64 {
+        self.flops_per_iter(batch_tokens, true)
+    }
+
+    fn flops_per_iter(&self, batch_tokens: usize, with_recompute: bool) -> f64 {
+        let bs = batch_tokens as f64; // B·s
+        let l = self.num_layers as f64;
+        let h = self.hidden_size as f64;
+        let s = self.seq_len as f64;
+        let v = self.vocab_size as f64;
+        let (factor, vocab_div) = if with_recompute {
+            (96.0, 16.0)
+        } else {
+            (72.0, 12.0)
+        };
+        factor * bs * l * h * h * (1.0 + s / (6.0 * h) + v / (vocab_div * l * h))
+    }
+
+    /// Approximate model flops per token (the `6·N` rule): useful for
+    /// time-to-solution estimates over trillion-token corpora (Fig. 9).
+    pub fn model_flops_per_token(&self) -> f64 {
+        self.model_flops_per_iter(1_000_000) / 1.0e6
+    }
+
+    /// The fully-connected layers of one transformer block, in execution
+    /// order. These are the matrices Algorithm 1 parallelizes and the
+    /// quantities `m`, `k`, `n` in Equations 1–5: an FC layer multiplies
+    /// an `m×k` activation by a `k×n` weight.
+    pub fn block_fc_layers(&self) -> Vec<FcShape> {
+        let h = self.hidden_size;
+        vec![
+            FcShape::new("attn_qkv", h, 3 * h),
+            FcShape::new("attn_proj", h, h),
+            FcShape::new("mlp_up", h, 4 * h),
+            FcShape::new("mlp_down", 4 * h, h),
+        ]
+    }
+
+    /// All FC layers of the full network (blocks repeated `num_layers`
+    /// times), each tagged with the alternating "transposed" flag of the
+    /// paper's multi-layer scheme (Section V-A): every other FC swaps the
+    /// roles of the X and Y tensor-parallel groups.
+    pub fn network_fc_layers(&self) -> Vec<FcLayer> {
+        let mut out = Vec::with_capacity(self.num_layers * 4);
+        let mut idx = 0usize;
+        for _ in 0..self.num_layers {
+            for shape in self.block_fc_layers() {
+                out.push(FcLayer {
+                    shape,
+                    transposed: idx % 2 == 1,
+                });
+                idx += 1;
+            }
+        }
+        out
+    }
+}
+
+/// Shape of one fully-connected layer's weight: `k × n` (input features ×
+/// output features).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct FcShape {
+    pub name: &'static str,
+    pub k: usize,
+    pub n: usize,
+}
+
+impl FcShape {
+    pub fn new(name: &'static str, k: usize, n: usize) -> Self {
+        FcShape { name, k, n }
+    }
+
+    /// Weight elements.
+    pub fn weight_elems(&self) -> usize {
+        self.k * self.n
+    }
+
+    /// GEMM flops for the forward pass with `m` activation rows:
+    /// `2·m·k·n`, and three such products per training step (fwd + two in
+    /// bwd).
+    pub fn forward_flops(&self, m: usize) -> f64 {
+        2.0 * m as f64 * self.k as f64 * self.n as f64
+    }
+}
+
+/// One FC layer instance within the network, with the paper's alternating
+/// transpose flag.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct FcLayer {
+    pub shape: FcShape,
+    pub transposed: bool,
+}
+
+/// Table II of the paper: the GPT architectures used in the performance
+/// experiments.
+pub fn table2_models() -> Vec<GptConfig> {
+    vec![
+        GptConfig::new("GPT-5B", 24, 4096, 32),
+        GptConfig::new("GPT-10B", 32, 5120, 40),
+        GptConfig::new("GPT-20B", 32, 7168, 56),
+        GptConfig::new("GPT-40B", 38, 9216, 72),
+        GptConfig::new("GPT-60B", 56, 9216, 72),
+        GptConfig::new("GPT-80B", 42, 12288, 96),
+        GptConfig::new("GPT-160B", 84, 12288, 96),
+        GptConfig::new("GPT-320B", 96, 16384, 128),
+        GptConfig::new("GPT-640B", 192, 16384, 128),
+    ]
+}
+
+/// Look up a Table II model by its headline size, e.g. `20` for GPT-20B.
+pub fn model_by_billions(billions: usize) -> GptConfig {
+    table2_models()
+        .into_iter()
+        .find(|m| m.name == format!("GPT-{billions}B"))
+        .unwrap_or_else(|| panic!("no GPT-{billions}B in Table II"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_has_nine_models() {
+        let models = table2_models();
+        assert_eq!(models.len(), 9);
+        assert_eq!(models[0].name, "GPT-5B");
+        assert_eq!(models[8].name, "GPT-640B");
+    }
+
+    #[test]
+    fn parameter_counts_match_headline_sizes() {
+        // Each model's parameter count should be within 20% of its
+        // nominal size (the paper's names round generously).
+        for m in table2_models() {
+            let nominal: f64 = m
+                .name
+                .trim_start_matches("GPT-")
+                .trim_end_matches('B')
+                .parse::<f64>()
+                .unwrap()
+                * 1e9;
+            let actual = m.num_parameters() as f64;
+            let ratio = actual / nominal;
+            assert!(
+                (0.8..=1.25).contains(&ratio),
+                "{}: {actual:.3e} vs nominal {nominal:.3e} (ratio {ratio:.2})",
+                m.name
+            );
+        }
+    }
+
+    #[test]
+    fn gpt20b_parameters_near_19_7b() {
+        let m = model_by_billions(20);
+        let p = m.num_parameters() as f64;
+        assert!((1.95e10..2.05e10).contains(&p), "got {p:.3e}");
+    }
+
+    #[test]
+    fn hardware_flops_exceed_model_flops_by_recompute_factor() {
+        let m = model_by_billions(40);
+        let mf = m.model_flops_per_iter(HEADLINE_BATCH_TOKENS);
+        let hf = m.hardware_flops_per_iter(HEADLINE_BATCH_TOKENS);
+        let ratio = hf / mf;
+        // 96/72 = 4/3, slightly modified by the vocab term.
+        assert!((1.30..1.34).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn model_flops_consistent_with_6n_rule() {
+        // model flops per token ≈ 6·N for large models (attention and
+        // vocab corrections push it slightly above).
+        for m in table2_models() {
+            let per_token = m.model_flops_per_token();
+            let six_n = 6.0 * m.num_parameters() as f64;
+            let ratio = per_token / six_n;
+            assert!(
+                (0.95..1.35).contains(&ratio),
+                "{}: per-token {per_token:.3e} vs 6N {six_n:.3e} (ratio {ratio:.2})",
+                m.name
+            );
+        }
+    }
+
+    #[test]
+    fn perlmutter_headline_sanity() {
+        // Paper Table III: GPT-40B on 4096 A100s sustains 620.1 Pflop/s
+        // = 48.5% of peak. Model flops per iteration / 620.1 Pflop/s
+        // should therefore equal the iteration time; just check the FLOP
+        // count magnitude is sensible (~10^19 per 16.8M-token batch).
+        let m = model_by_billions(40);
+        let f = m.model_flops_per_iter(HEADLINE_BATCH_TOKENS);
+        assert!((1e18..1e20).contains(&f), "got {f:.3e}");
+    }
+
+    #[test]
+    fn fc_layers_shapes_and_transpose_alternation() {
+        let m = model_by_billions(5);
+        let h = m.hidden_size;
+        let layers = m.network_fc_layers();
+        assert_eq!(layers.len(), m.num_layers * 4);
+        assert_eq!(layers[0].shape, FcShape::new("attn_qkv", h, 3 * h));
+        assert_eq!(layers[3].shape, FcShape::new("mlp_down", 4 * h, h));
+        for (i, l) in layers.iter().enumerate() {
+            assert_eq!(l.transposed, i % 2 == 1, "layer {i}");
+        }
+    }
+
+    #[test]
+    fn block_flops_close_to_formula_core() {
+        // Sum of FC flops over the network ≈ the 72·B·s·l·h² core (the
+        // formula adds attention-score and vocab terms).
+        let m = model_by_billions(10);
+        let tokens = 4096usize;
+        let fc_total: f64 = m
+            .network_fc_layers()
+            .iter()
+            .map(|l| 3.0 * l.shape.forward_flops(tokens))
+            .sum();
+        let core = 72.0
+            * tokens as f64
+            * m.num_layers as f64
+            * (m.hidden_size as f64).powi(2);
+        let ratio = fc_total / core;
+        assert!((0.95..1.05).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "no GPT-7B")]
+    fn unknown_model_panics() {
+        let _ = model_by_billions(7);
+    }
+}

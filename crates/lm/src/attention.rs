@@ -1,0 +1,259 @@
+//! Causal multi-head self-attention with a hand-written backward pass.
+
+use crate::modules::{Linear, Param};
+use axonn_tensor::{gemm, MatMode, Matrix};
+
+/// Multi-head causal self-attention: QKV projection, per-head scaled
+/// dot-product attention with a causal mask, output projection.
+pub struct CausalSelfAttention {
+    pub qkv: Linear,
+    pub proj: Linear,
+    pub n_heads: usize,
+    pub seq_len: usize,
+    cache: Option<AttnCache>,
+}
+
+struct AttnCache {
+    /// Per (batch, head): Q, K, V (T × hd) and softmax probabilities P
+    /// (T × T).
+    per_head: Vec<(Matrix, Matrix, Matrix, Matrix)>,
+    batch: usize,
+    dim: usize,
+    /// Effective window length (== seq_len for full batches, shorter for
+    /// a single partial sequence).
+    t_eff: usize,
+}
+
+impl CausalSelfAttention {
+    pub fn new(dim: usize, n_heads: usize, seq_len: usize, seed: u64) -> Self {
+        assert_eq!(dim % n_heads, 0, "dim must divide into heads");
+        CausalSelfAttention {
+            qkv: Linear::new(dim, 3 * dim, seed),
+            proj: Linear::new(dim, dim, seed.wrapping_add(1)),
+            n_heads,
+            seq_len,
+            cache: None,
+        }
+    }
+
+    /// `x` is `(B·T) × d` for a batch of full windows, or `T' × d` for a
+    /// single (possibly partial) sequence; returns the same shape.
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let (rows, dim) = x.shape();
+        let t = if rows % self.seq_len == 0 && rows > 0 {
+            self.seq_len
+        } else {
+            assert!(
+                rows <= self.seq_len,
+                "activation rows {rows} must be a multiple of seq_len {} or at most one window",
+                self.seq_len
+            );
+            rows
+        };
+        let b = rows / t;
+        let hd = dim / self.n_heads;
+        let scale = 1.0 / (hd as f32).sqrt();
+
+        let qkv = self.qkv.forward(x); // (B·T) × 3d
+        let mut heads_out = Matrix::zeros(rows, dim);
+        let mut per_head = Vec::with_capacity(b * self.n_heads);
+
+        for bi in 0..b {
+            for h in 0..self.n_heads {
+                // Slice out Q, K, V for this (batch, head).
+                let mut q = Matrix::zeros(t, hd);
+                let mut k = Matrix::zeros(t, hd);
+                let mut v = Matrix::zeros(t, hd);
+                for ti in 0..t {
+                    let row = qkv.row(bi * t + ti);
+                    let off = h * hd;
+                    q.row_mut(ti).copy_from_slice(&row[off..off + hd]);
+                    k.row_mut(ti)
+                        .copy_from_slice(&row[dim + off..dim + off + hd]);
+                    v.row_mut(ti)
+                        .copy_from_slice(&row[2 * dim + off..2 * dim + off + hd]);
+                }
+                // Scores with causal mask, then softmax.
+                let mut s = gemm(MatMode::NT, &q, &k);
+                s.scale(scale);
+                let mut p = Matrix::zeros(t, t);
+                for i in 0..t {
+                    let srow = s.row(i);
+                    let maxv = srow[..=i].iter().cloned().fold(f32::MIN, f32::max);
+                    let mut denom = 0.0f32;
+                    for j in 0..=i {
+                        denom += (srow[j] - maxv).exp();
+                    }
+                    let prow = p.row_mut(i);
+                    for j in 0..=i {
+                        prow[j] = (srow[j] - maxv).exp() / denom;
+                    }
+                }
+                let o = gemm(MatMode::NN, &p, &v); // T × hd
+                for ti in 0..t {
+                    let dst = heads_out.row_mut(bi * t + ti);
+                    dst[h * hd..(h + 1) * hd].copy_from_slice(o.row(ti));
+                }
+                per_head.push((q, k, v, p));
+            }
+        }
+        self.cache = Some(AttnCache {
+            per_head,
+            batch: b,
+            dim,
+            t_eff: t,
+        });
+        self.proj.forward(&heads_out)
+    }
+
+    pub fn backward(&mut self, dy: &Matrix) -> Matrix {
+        let cache = self.cache.take().expect("attention backward before forward");
+        let d_heads = self.proj.backward(dy); // (B·T) × d
+        let t = cache.t_eff;
+        let dim = cache.dim;
+        let hd = dim / self.n_heads;
+        let scale = 1.0 / (hd as f32).sqrt();
+
+        let mut d_qkv = Matrix::zeros(cache.batch * t, 3 * dim);
+        for bi in 0..cache.batch {
+            for h in 0..self.n_heads {
+                let (q, k, v, p) = &cache.per_head[bi * self.n_heads + h];
+                // dO for this head.
+                let mut d_o = Matrix::zeros(t, hd);
+                for ti in 0..t {
+                    d_o.row_mut(ti)
+                        .copy_from_slice(&d_heads.row(bi * t + ti)[h * hd..(h + 1) * hd]);
+                }
+                // dV = Pᵀ·dO ; dP = dO·Vᵀ.
+                let d_v = gemm(MatMode::TN, p, &d_o);
+                let d_p = gemm(MatMode::NT, &d_o, v);
+                // Softmax backward (rows, causal support only):
+                // dS_ij = P_ij (dP_ij − Σ_l dP_il P_il).
+                let mut d_s = Matrix::zeros(t, t);
+                for i in 0..t {
+                    let prow = p.row(i);
+                    let dprow = d_p.row(i);
+                    let dot: f32 = (0..=i).map(|j| prow[j] * dprow[j]).sum();
+                    let dsrow = d_s.row_mut(i);
+                    for j in 0..=i {
+                        dsrow[j] = prow[j] * (dprow[j] - dot) * scale;
+                    }
+                }
+                // dQ = dS·K ; dK = dSᵀ·Q.
+                let d_q = gemm(MatMode::NN, &d_s, k);
+                let d_k = gemm(MatMode::TN, &d_s, q);
+                for ti in 0..t {
+                    let dst = d_qkv.row_mut(bi * t + ti);
+                    let off = h * hd;
+                    dst[off..off + hd].copy_from_slice(d_q.row(ti));
+                    dst[dim + off..dim + off + hd].copy_from_slice(d_k.row(ti));
+                    dst[2 * dim + off..2 * dim + off + hd].copy_from_slice(d_v.row(ti));
+                }
+            }
+        }
+        self.qkv.backward(&d_qkv)
+    }
+
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut p = self.qkv.params_mut();
+        p.extend(self.proj.params_mut());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn causality_holds() {
+        // Changing a later token must not change earlier outputs.
+        let mut a = CausalSelfAttention::new(8, 2, 4, 1);
+        let x1 = Matrix::random(4, 8, 1.0, 2);
+        let mut x2 = x1.clone();
+        for c in 0..8 {
+            x2[(3, c)] += 1.0; // perturb the last position
+        }
+        let mut a2 = CausalSelfAttention::new(8, 2, 4, 1);
+        let y1 = a.forward(&x1);
+        let y2 = a2.forward(&x2);
+        for ti in 0..3 {
+            for c in 0..8 {
+                assert!(
+                    (y1[(ti, c)] - y2[(ti, c)]).abs() < 1e-6,
+                    "position {ti} leaked future information"
+                );
+            }
+        }
+        // The perturbed position itself must change.
+        assert!(y1.row(3).iter().zip(y2.row(3)).any(|(a, b)| (a - b).abs() > 1e-6));
+    }
+
+    #[test]
+    fn attention_rows_sum_to_one_effect() {
+        // With V all-ones and zero proj bias, output before proj is all
+        // ones; check shape plumbing via a 1-head case where qkv weight
+        // makes V constant.
+        let mut a = CausalSelfAttention::new(4, 1, 3, 3);
+        let x = Matrix::random(6, 4, 1.0, 4); // B=2, T=3
+        let y = a.forward(&x);
+        assert_eq!(y.shape(), (6, 4));
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        let dim = 6;
+        let t = 4;
+        let x = Matrix::random(t, dim, 0.8, 5); // B=1
+        let wts: Vec<f32> = (0..t * dim).map(|i| ((i * 31 % 17) as f32 - 8.0) / 8.0).collect();
+        let loss = |y: &Matrix| -> f32 { y.as_slice().iter().zip(&wts).map(|(a, b)| a * b).sum() };
+
+        let mut attn = CausalSelfAttention::new(dim, 2, t, 6);
+        let y = attn.forward(&x);
+        let dy = Matrix::from_vec(t, dim, wts.clone());
+        let dx = attn.backward(&dy);
+        let _ = y;
+
+        for &(r, c) in &[(0usize, 0usize), (1, 3), (3, 5)] {
+            let h = 1e-2;
+            let mut xp = x.clone();
+            xp[(r, c)] += h;
+            let mut xm = x.clone();
+            xm[(r, c)] -= h;
+            let mut a1 = CausalSelfAttention::new(dim, 2, t, 6);
+            let mut a2 = CausalSelfAttention::new(dim, 2, t, 6);
+            let fd = (loss(&a1.forward(&xp)) - loss(&a2.forward(&xm))) / (2.0 * h);
+            assert!(
+                (dx[(r, c)] - fd).abs() < 3e-2 * (1.0 + fd.abs()),
+                "({r},{c}): analytic {} vs fd {fd}",
+                dx[(r, c)]
+            );
+        }
+    }
+
+    #[test]
+    fn weight_gradients_match_finite_difference() {
+        let dim = 4;
+        let t = 3;
+        let x = Matrix::random(t, dim, 0.8, 7);
+        let wts: Vec<f32> = (0..t * dim).map(|i| ((i % 5) as f32 - 2.0) / 2.0).collect();
+        let loss = |y: &Matrix| -> f32 { y.as_slice().iter().zip(&wts).map(|(a, b)| a * b).sum() };
+
+        let mut attn = CausalSelfAttention::new(dim, 2, t, 8);
+        let _ = attn.forward(&x);
+        let dy = Matrix::from_vec(t, dim, wts.clone());
+        let _ = attn.backward(&dy);
+        let analytic = attn.qkv.w.grad[(1, 2)];
+
+        let h = 2e-2;
+        let mut ap = CausalSelfAttention::new(dim, 2, t, 8);
+        ap.qkv.w.value[(1, 2)] += h;
+        let mut am = CausalSelfAttention::new(dim, 2, t, 8);
+        am.qkv.w.value[(1, 2)] -= h;
+        let fd = (loss(&ap.forward(&x)) - loss(&am.forward(&x))) / (2.0 * h);
+        assert!(
+            (analytic - fd).abs() < 3e-2 * (1.0 + fd.abs()),
+            "analytic {analytic} vs fd {fd}"
+        );
+    }
+}

@@ -1,0 +1,189 @@
+//! Model checkpointing: save and restore GPT weights.
+//!
+//! The memorization study fine-tunes from *pre-trained checkpoints*
+//! (Section VIII-B starts from TinyLlama/Llama weights); this module is
+//! the loading/saving machinery that makes that workflow real in the
+//! reproduction — pre-train once, snapshot, run many continued-training
+//! experiments from the same starting point.
+
+use crate::gpt::{Gpt, GptModelConfig};
+use axonn_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// A serializable snapshot of a model: architecture + parameter values
+/// (optimizer state is not checkpointed, as in most inference/fine-tune
+/// checkpoints).
+#[derive(Debug, Serialize, Deserialize)]
+pub struct Checkpoint {
+    pub vocab: usize,
+    pub seq_len: usize,
+    pub dim: usize,
+    pub n_heads: usize,
+    pub n_layers: usize,
+    pub seed: u64,
+    pub params: Vec<Matrix>,
+}
+
+impl Checkpoint {
+    /// Snapshot a model's parameters.
+    pub fn capture(model: &mut Gpt) -> Checkpoint {
+        let cfg = model.cfg.clone();
+        Checkpoint {
+            vocab: cfg.vocab,
+            seq_len: cfg.seq_len,
+            dim: cfg.dim,
+            n_heads: cfg.n_heads,
+            n_layers: cfg.n_layers,
+            seed: cfg.seed,
+            params: model.params_mut().iter().map(|p| p.value.clone()).collect(),
+        }
+    }
+
+    /// Rebuild a model from the snapshot.
+    ///
+    /// # Errors
+    /// If the parameter list does not match the architecture.
+    pub fn restore(&self) -> Result<Gpt, String> {
+        let mut model = Gpt::new(GptModelConfig {
+            vocab: self.vocab,
+            seq_len: self.seq_len,
+            dim: self.dim,
+            n_heads: self.n_heads,
+            n_layers: self.n_layers,
+            seed: self.seed,
+        });
+        let mut params = model.params_mut();
+        if params.len() != self.params.len() {
+            return Err(format!(
+                "checkpoint has {} tensors, architecture expects {}",
+                self.params.len(),
+                params.len()
+            ));
+        }
+        for (i, (dst, src)) in params.iter_mut().zip(&self.params).enumerate() {
+            if dst.value.shape() != src.shape() {
+                return Err(format!(
+                    "tensor {i}: checkpoint shape {:?} vs architecture {:?}",
+                    src.shape(),
+                    dst.value.shape()
+                ));
+            }
+            dst.value = src.clone();
+        }
+        Ok(model)
+    }
+
+    /// Serialize to any writer as JSON.
+    pub fn write_to(&self, w: impl Write) -> Result<(), String> {
+        serde_json::to_writer(w, self).map_err(|e| format!("serialize checkpoint: {e}"))
+    }
+
+    /// Deserialize from any reader.
+    pub fn read_from(r: impl Read) -> Result<Checkpoint, String> {
+        serde_json::from_reader(r).map_err(|e| format!("parse checkpoint: {e}"))
+    }
+
+    /// Save to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), String> {
+        let f = std::fs::File::create(path.as_ref())
+            .map_err(|e| format!("create {}: {e}", path.as_ref().display()))?;
+        self.write_to(std::io::BufWriter::new(f))
+    }
+
+    /// Load from a file.
+    pub fn load(path: impl AsRef<Path>) -> Result<Checkpoint, String> {
+        let f = std::fs::File::open(path.as_ref())
+            .map_err(|e| format!("open {}: {e}", path.as_ref().display()))?;
+        Self::read_from(std::io::BufReader::new(f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::AdamW;
+
+    fn toy() -> Gpt {
+        Gpt::new(GptModelConfig {
+            vocab: 10,
+            seq_len: 6,
+            dim: 8,
+            n_heads: 2,
+            n_layers: 1,
+            seed: 4,
+        })
+    }
+
+    #[test]
+    fn round_trip_preserves_behaviour_exactly() {
+        let mut model = toy();
+        let mut opt = AdamW::new(2e-3);
+        let seq = [1usize, 3, 5, 7, 2, 9];
+        for _ in 0..20 {
+            model.train_step(&seq[..5], &seq[1..6], None, &mut opt);
+        }
+        let before = model.forward(&seq[..5]);
+
+        let ck = Checkpoint::capture(&mut model);
+        let mut restored = ck.restore().unwrap();
+        let after = restored.forward(&seq[..5]);
+        assert_eq!(before, after, "restored model diverges");
+    }
+
+    #[test]
+    fn json_round_trip_through_memory() {
+        let mut model = toy();
+        let ck = Checkpoint::capture(&mut model);
+        let mut buf = Vec::new();
+        ck.write_to(&mut buf).unwrap();
+        let back = Checkpoint::read_from(buf.as_slice()).unwrap();
+        assert_eq!(back.params.len(), ck.params.len());
+        let mut a = ck.restore().unwrap();
+        let mut b = back.restore().unwrap();
+        let tokens = [0usize, 1, 2, 3];
+        assert_eq!(a.forward(&tokens), b.forward(&tokens));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let mut model = toy();
+        let ck = Checkpoint::capture(&mut model);
+        let dir = std::env::temp_dir().join("axonn_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("toy.json");
+        ck.save(&path).unwrap();
+        let back = Checkpoint::load(&path).unwrap();
+        assert_eq!(back.dim, 8);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mismatched_architecture_is_rejected() {
+        let mut model = toy();
+        let mut ck = Checkpoint::capture(&mut model);
+        ck.n_layers = 2; // architecture now expects more tensors
+        let err = ck.restore().map(|_| ()).unwrap_err();
+        assert!(err.contains("tensors"), "unexpected error: {err}");
+
+        let mut ck2 = Checkpoint::capture(&mut model);
+        ck2.params[0] = Matrix::zeros(3, 3); // wrong shape
+        let err2 = ck2.restore().map(|_| ()).unwrap_err();
+        assert!(err2.contains("shape"), "unexpected error: {err2}");
+    }
+
+    #[test]
+    fn restore_does_not_copy_optimizer_state() {
+        let mut model = toy();
+        let mut opt = AdamW::new(2e-3);
+        let seq = [1usize, 3, 5, 7, 2, 9];
+        model.train_step(&seq[..5], &seq[1..6], None, &mut opt);
+        let ck = Checkpoint::capture(&mut model);
+        let mut restored = ck.restore().unwrap();
+        for p in restored.params_mut() {
+            assert!(p.m.as_slice().iter().all(|&v| v == 0.0));
+            assert!(p.v.as_slice().iter().all(|&v| v == 0.0));
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Token-maskable cross-entropy.
+//!
+//! The mask is the hook for the Goldfish loss (Section VIII-D): masked
+//! positions are simply excluded from the loss (and hence from the
+//! gradient), so the model never receives a learning signal for them.
+
+use axonn_tensor::Matrix;
+
+/// Loss value plus the gradient w.r.t. the logits.
+pub struct CrossEntropyResult {
+    /// Mean negative log-likelihood over *unmasked* positions.
+    pub loss: f32,
+    /// `d loss / d logits`, same shape as the logits.
+    pub d_logits: Matrix,
+    /// How many positions contributed.
+    pub counted: usize,
+}
+
+/// Cross-entropy between `logits` (`N × V`) and `targets` (`N` ids).
+/// `mask[i] == false` excludes position `i` entirely. Passing `None`
+/// counts every position.
+pub fn cross_entropy(
+    logits: &Matrix,
+    targets: &[usize],
+    mask: Option<&[bool]>,
+) -> CrossEntropyResult {
+    let (n, v) = logits.shape();
+    assert_eq!(targets.len(), n, "one target per logit row");
+    if let Some(m) = mask {
+        assert_eq!(m.len(), n, "one mask bit per position");
+    }
+    let counted = mask.map_or(n, |m| m.iter().filter(|&&b| b).count());
+    let mut d = Matrix::zeros(n, v);
+    if counted == 0 {
+        return CrossEntropyResult {
+            loss: 0.0,
+            d_logits: d,
+            counted,
+        };
+    }
+    let inv = 1.0 / counted as f32;
+    let mut loss = 0.0f32;
+    for i in 0..n {
+        if let Some(m) = mask {
+            if !m[i] {
+                continue;
+            }
+        }
+        let row = logits.row(i);
+        let maxv = row.iter().cloned().fold(f32::MIN, f32::max);
+        let denom: f32 = row.iter().map(|&x| (x - maxv).exp()).sum();
+        let target = targets[i];
+        assert!(target < v, "target id {target} outside vocab {v}");
+        loss += -(row[target] - maxv - denom.ln()) * inv;
+        let drow = d.row_mut(i);
+        for (j, dv) in drow.iter_mut().enumerate() {
+            let p = (row[j] - maxv).exp() / denom;
+            *dv = (p - if j == target { 1.0 } else { 0.0 }) * inv;
+        }
+    }
+    CrossEntropyResult {
+        loss,
+        d_logits: d,
+        counted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_vocab() {
+        let logits = Matrix::zeros(3, 8);
+        let r = cross_entropy(&logits, &[0, 3, 7], None);
+        assert!((r.loss - (8.0f32).ln()).abs() < 1e-5);
+        assert_eq!(r.counted, 3);
+    }
+
+    #[test]
+    fn perfect_prediction_loss_near_zero() {
+        let mut logits = Matrix::zeros(2, 4);
+        logits[(0, 1)] = 50.0;
+        logits[(1, 2)] = 50.0;
+        let r = cross_entropy(&logits, &[1, 2], None);
+        assert!(r.loss < 1e-4);
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let logits = Matrix::random(4, 6, 2.0, 1);
+        let r = cross_entropy(&logits, &[0, 1, 2, 3], None);
+        for i in 0..4 {
+            let s: f32 = r.d_logits.row(i).iter().sum();
+            assert!(s.abs() < 1e-5, "row {i} grad sum {s}");
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let logits = Matrix::random(3, 5, 1.0, 2);
+        let targets = [2usize, 0, 4];
+        let r = cross_entropy(&logits, &targets, None);
+        for &(i, j) in &[(0usize, 2usize), (1, 1), (2, 4)] {
+            let h = 1e-3;
+            let mut lp = logits.clone();
+            lp[(i, j)] += h;
+            let mut lm = logits.clone();
+            lm[(i, j)] -= h;
+            let fd = (cross_entropy(&lp, &targets, None).loss
+                - cross_entropy(&lm, &targets, None).loss)
+                / (2.0 * h);
+            assert!(
+                (r.d_logits[(i, j)] - fd).abs() < 1e-3,
+                "({i},{j}): {} vs {fd}",
+                r.d_logits[(i, j)]
+            );
+        }
+    }
+
+    #[test]
+    fn masked_positions_have_no_gradient_and_no_loss() {
+        let logits = Matrix::random(4, 5, 1.0, 3);
+        let targets = [0usize, 1, 2, 3];
+        let mask = [true, false, true, false];
+        let r = cross_entropy(&logits, &targets, Some(&mask));
+        assert_eq!(r.counted, 2);
+        assert!(r.d_logits.row(1).iter().all(|&g| g == 0.0));
+        assert!(r.d_logits.row(3).iter().all(|&g| g == 0.0));
+        assert!(r.d_logits.row(0).iter().any(|&g| g != 0.0));
+        // Loss equals the unmasked-only mean.
+        let full = cross_entropy(&logits, &targets, Some(&[true; 4]));
+        assert!(full.loss > 0.0 && r.loss > 0.0);
+    }
+
+    #[test]
+    fn all_masked_is_zero() {
+        let logits = Matrix::random(2, 3, 1.0, 4);
+        let r = cross_entropy(&logits, &[0, 1], Some(&[false, false]));
+        assert_eq!(r.loss, 0.0);
+        assert_eq!(r.counted, 0);
+        assert!(r.d_logits.as_slice().iter().all(|&g| g == 0.0));
+    }
+}

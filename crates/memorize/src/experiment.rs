@@ -1,0 +1,508 @@
+//! The continued-pre-training experiment driver (Sections VIII-B/C/D).
+//!
+//! Protocol, mirroring the paper: (1) warm up the model on background
+//! data at the high learning rate; (2) inject the buckets — every epoch
+//! is one pass over each of its articles, trained in *batches* (the
+//! paper uses a fixed batch of 128 samples) — while decaying the
+//! learning rate; (3) prompt with the beginning of every article
+//! (including the untouched control bucket) and score an exact match if
+//! the model greedily reproduces the final `gen_tokens` tokens verbatim.
+
+use crate::corpus::{Article, Corpus};
+use crate::goldfish::{goldfish_mask, GoldfishParams};
+use axonn_lm::{AdamW, Gpt, GptModelConfig};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::Serialize;
+
+/// One rung of the model-size ladder.
+#[derive(Debug, Clone, Serialize)]
+pub struct ModelScale {
+    /// Display label, e.g. "70B-proxy".
+    pub label: String,
+    pub dim: usize,
+    pub n_heads: usize,
+    pub n_layers: usize,
+    /// Epochs of pre-training over the *whole* corpus (including the
+    /// control bucket) before the experiment. Nonzero only for the
+    /// largest scale, reproducing the paper's observation that the 405B
+    /// model had already memorized control documents during
+    /// pre-training.
+    pub pretrain_epochs: usize,
+}
+
+impl ModelScale {
+    pub fn new(label: &str, dim: usize, n_heads: usize, n_layers: usize) -> Self {
+        ModelScale {
+            label: label.into(),
+            dim,
+            n_heads,
+            n_layers,
+            pretrain_epochs: 0,
+        }
+    }
+
+    pub fn with_pretraining(mut self, epochs: usize) -> Self {
+        self.pretrain_epochs = epochs;
+        self
+    }
+}
+
+/// Experiment knobs (see module docs for the protocol).
+#[derive(Debug, Clone, Serialize)]
+pub struct ExperimentConfig {
+    pub vocab: usize,
+    pub seq_len: usize,
+    /// How many trailing tokens must be reproduced verbatim (the paper
+    /// uses 50).
+    pub gen_tokens: usize,
+    pub articles_per_bucket: usize,
+    /// Epochs for the trained buckets (the control bucket with 0 epochs
+    /// is always added).
+    pub bucket_epochs: Vec<usize>,
+    pub background_articles: usize,
+    pub warmup_steps: usize,
+    /// Peak learning rate (the paper warms up to 3e-4 and decays to
+    /// 3e-5; our tiny models tolerate higher rates).
+    pub lr_max: f32,
+    pub lr_min: f32,
+    /// Articles trained together per optimizer step (the paper uses a
+    /// batch of 128 samples).
+    pub batch_articles: usize,
+    /// Optimizer steps applied to each batch per epoch (scale
+    /// substitution: our models are millions of times smaller than
+    /// Llama, so one epoch applies a few steps instead of one — see
+    /// DESIGN.md).
+    pub steps_per_batch: usize,
+    /// Background articles mixed into every injection batch: the
+    /// continued-pre-training pressure that keeps gradients flowing on
+    /// general text while the buckets are injected. This is what makes
+    /// memorization *capacity-limited*: small models spend their capacity
+    /// tracking the background stream and fail to retain bucket content,
+    /// large models retain both — the emergence mechanism of Fig. 10.
+    pub background_mix: usize,
+    /// Goldfish masking, if enabled (Fig. 11 vs Fig. 10).
+    pub goldfish: Option<GoldfishParams>,
+    pub seed: u64,
+}
+
+impl ExperimentConfig {
+    /// A configuration sized for tests: seconds, not minutes.
+    pub fn smoke() -> Self {
+        ExperimentConfig {
+            vocab: 96,
+            seq_len: 32,
+            gen_tokens: 10,
+            articles_per_bucket: 3,
+            bucket_epochs: vec![1, 4, 6],
+            background_articles: 4,
+            warmup_steps: 4,
+            lr_max: 3e-3,
+            lr_min: 1.5e-3,
+            batch_articles: 3,
+            steps_per_batch: 4,
+            background_mix: 0,
+            goldfish: None,
+            seed: 17,
+        }
+    }
+
+    /// The configuration the figure-generating benches use. Sized for a
+    /// single CPU core (see the `calibrate_memorize` utility).
+    pub fn bench() -> Self {
+        ExperimentConfig {
+            vocab: 192,
+            seq_len: 48,
+            gen_tokens: 16,
+            articles_per_bucket: 6,
+            bucket_epochs: vec![1, 4, 6],
+            background_articles: 48,
+            warmup_steps: 8,
+            lr_max: 4e-3,
+            lr_min: 1e-3,
+            batch_articles: 6,
+            steps_per_batch: 14,
+            background_mix: 0,
+            goldfish: None,
+            seed: 1234,
+        }
+    }
+
+    pub fn with_goldfish(mut self, p: GoldfishParams) -> Self {
+        self.goldfish = Some(p);
+        self
+    }
+}
+
+/// Exact-match results for one bucket.
+#[derive(Debug, Clone, Serialize)]
+pub struct BucketResult {
+    pub epochs: usize,
+    pub exact_match_pct: f64,
+    pub matched: usize,
+    pub total: usize,
+}
+
+/// Results for one model scale.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScaleResult {
+    pub label: String,
+    pub parameters: usize,
+    /// Bucket results in the order `bucket_epochs` + control (0 epochs)
+    /// last.
+    pub buckets: Vec<BucketResult>,
+}
+
+/// Does the model reproduce the article's tail (within its first context
+/// window) verbatim from its head?
+pub fn exact_match(model: &mut Gpt, article: &Article, gen_tokens: usize) -> bool {
+    let window = model.cfg.seq_len.min(article.tokens.len());
+    assert!(gen_tokens < window, "generation longer than the window");
+    let prompt = &article.tokens[..window - gen_tokens];
+    let truth = &article.tokens[window - gen_tokens..window];
+    let generated = model.greedy_continuation(prompt, gen_tokens);
+    generated == truth
+}
+
+/// One batched training step over `articles`, repeated `steps` times.
+fn train_batch(
+    model: &mut Gpt,
+    opt: &mut AdamW,
+    articles: &[&Article],
+    steps: usize,
+    goldfish: Option<GoldfishParams>,
+) -> f32 {
+    if articles.is_empty() {
+        return 0.0;
+    }
+    let (inputs, targets) = Corpus::batched_pair(articles);
+    let mask = goldfish.map(|p| {
+        // Mask each article independently: the hash context never
+        // crosses article boundaries.
+        let mut m = Vec::with_capacity(inputs.len());
+        for a in articles {
+            let (x, _) = Corpus::training_pair(a);
+            m.extend(goldfish_mask(x, p));
+        }
+        m
+    });
+    let mut loss = 0.0;
+    for _ in 0..steps {
+        loss = model.train_step(&inputs, &targets, mask.as_deref(), opt);
+    }
+    loss
+}
+
+/// Run the full protocol for one model scale. Returns exact-match rates
+/// for every trained bucket plus the control.
+pub fn run_scale(scale: &ModelScale, cfg: &ExperimentConfig) -> ScaleResult {
+    let n_trained = cfg.bucket_epochs.len();
+    let corpus = Corpus::generate(
+        cfg.vocab,
+        cfg.seq_len,
+        n_trained + 1, // + control bucket
+        cfg.articles_per_bucket,
+        cfg.background_articles,
+        cfg.seed,
+    );
+    let mut model = Gpt::new(GptModelConfig {
+        vocab: cfg.vocab,
+        seq_len: cfg.seq_len,
+        dim: scale.dim,
+        n_heads: scale.n_heads,
+        n_layers: scale.n_layers,
+        seed: cfg.seed ^ 0xA5A5,
+    });
+    let params = model.num_parameters();
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5A5A);
+
+    // Optional pre-training over the whole corpus (largest scale only):
+    // this is what seeds nonzero memorization of the *control* bucket.
+    let mut opt = AdamW::new(cfg.lr_max);
+    for _ in 0..scale.pretrain_epochs {
+        let mut all: Vec<&Article> = corpus.buckets.iter().flatten().collect();
+        all.shuffle(&mut rng);
+        for batch in all.chunks(cfg.batch_articles) {
+            train_batch(&mut model, &mut opt, batch, cfg.steps_per_batch, cfg.goldfish);
+        }
+    }
+
+    // Warm-up on background data at the peak learning rate.
+    let bg: Vec<&Article> = corpus.background.iter().collect();
+    for step in 0..cfg.warmup_steps {
+        let start = (step * cfg.batch_articles) % bg.len().max(1);
+        let batch: Vec<&Article> = (0..cfg.batch_articles.min(bg.len()))
+            .map(|i| bg[(start + i) % bg.len()])
+            .collect();
+        train_batch(&mut model, &mut opt, &batch, 1, cfg.goldfish);
+    }
+
+    // Injection phase: epoch `e` trains every bucket whose epoch budget
+    // exceeds `e`, in shuffled batches mixed with a rolling stream of
+    // background articles (continued pre-training), while the learning
+    // rate decays.
+    let max_epochs = cfg.bucket_epochs.iter().copied().max().unwrap_or(0);
+    let total_epoch_slots: usize = cfg.bucket_epochs.iter().sum();
+    let mut slot = 0usize;
+    let mut bg_cursor = 0usize;
+    for e in 0..max_epochs {
+        let mut active: Vec<&Article> = cfg
+            .bucket_epochs
+            .iter()
+            .enumerate()
+            .filter(|(_, &epochs)| epochs > e)
+            .flat_map(|(b, _)| corpus.buckets[b].iter())
+            .collect();
+        if active.is_empty() {
+            continue;
+        }
+        active.shuffle(&mut rng);
+        let frac = slot as f32 / total_epoch_slots.max(1) as f32;
+        opt.lr = cfg.lr_max + (cfg.lr_min - cfg.lr_max) * frac;
+        for batch in active.chunks(cfg.batch_articles) {
+            let mut mixed: Vec<&Article> = batch.to_vec();
+            for _ in 0..cfg.background_mix.min(corpus.background.len()) {
+                mixed.push(&corpus.background[bg_cursor % corpus.background.len()]);
+                bg_cursor += 1;
+            }
+            train_batch(&mut model, &mut opt, &mixed, cfg.steps_per_batch, cfg.goldfish);
+        }
+        slot += cfg
+            .bucket_epochs
+            .iter()
+            .filter(|&&epochs| epochs > e)
+            .count();
+    }
+
+    // Evaluation: exact match per bucket; control last.
+    let mut buckets = Vec::new();
+    let mut order: Vec<(usize, usize)> = cfg
+        .bucket_epochs
+        .iter()
+        .enumerate()
+        .map(|(b, &e)| (b, e))
+        .collect();
+    order.push((n_trained, 0)); // control
+    for (b, epochs) in order {
+        let arts = &corpus.buckets[b];
+        let matched = arts
+            .iter()
+            .filter(|a| exact_match(&mut model, a, cfg.gen_tokens))
+            .count();
+        buckets.push(BucketResult {
+            epochs,
+            exact_match_pct: 100.0 * matched as f64 / arts.len() as f64,
+            matched,
+            total: arts.len(),
+        });
+    }
+    ScaleResult {
+        label: scale.label.clone(),
+        parameters: params,
+        buckets,
+    }
+}
+
+/// Aggregated exact-match statistics over several trials (the paper
+/// averages 5 trials for small models, 3 for 70B, 1 for 405B, with
+/// min/max error bars).
+#[derive(Debug, Clone, Serialize)]
+pub struct TrialStats {
+    pub label: String,
+    pub parameters: usize,
+    /// Per bucket (same order as [`ScaleResult::buckets`]): epochs,
+    /// mean / min / max exact-match percentage across trials.
+    pub buckets: Vec<BucketStats>,
+    pub trials: usize,
+}
+
+#[derive(Debug, Clone, Serialize)]
+pub struct BucketStats {
+    pub epochs: usize,
+    pub mean_pct: f64,
+    pub min_pct: f64,
+    pub max_pct: f64,
+}
+
+/// Run `trials` independent repetitions of the protocol (fresh corpus
+/// and model seeds per trial) and aggregate.
+pub fn run_scale_trials(scale: &ModelScale, cfg: &ExperimentConfig, trials: usize) -> TrialStats {
+    assert!(trials >= 1);
+    use rayon::prelude::*;
+    let per_trial: Vec<ScaleResult> = (0..trials)
+        .into_par_iter()
+        .map(|t| {
+            let mut c = cfg.clone();
+            c.seed = cfg.seed.wrapping_add(1000 * t as u64);
+            run_scale(scale, &c)
+        })
+        .collect();
+    let n_buckets = per_trial[0].buckets.len();
+    let buckets = (0..n_buckets)
+        .map(|b| {
+            let pcts: Vec<f64> = per_trial.iter().map(|r| r.buckets[b].exact_match_pct).collect();
+            BucketStats {
+                epochs: per_trial[0].buckets[b].epochs,
+                mean_pct: pcts.iter().sum::<f64>() / trials as f64,
+                min_pct: pcts.iter().cloned().fold(f64::INFINITY, f64::min),
+                max_pct: pcts.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+            }
+        })
+        .collect();
+    TrialStats {
+        label: scale.label.clone(),
+        parameters: per_trial[0].parameters,
+        buckets,
+        trials,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_experiment_runs_and_reports_all_buckets() {
+        let cfg = ExperimentConfig::smoke();
+        let scale = ModelScale::new("test", 32, 2, 1);
+        let r = run_scale(&scale, &cfg);
+        assert_eq!(r.buckets.len(), 4); // 1, 4, 6 epochs + control
+        assert_eq!(r.buckets[3].epochs, 0);
+        assert!(r.parameters > 0);
+        for b in &r.buckets {
+            assert_eq!(b.total, cfg.articles_per_bucket);
+            assert!((0.0..=100.0).contains(&b.exact_match_pct));
+        }
+    }
+
+    #[test]
+    fn large_model_memorizes_more_than_small() {
+        // The emergence-with-scale shape of Fig. 10, in miniature.
+        let mut cfg = ExperimentConfig::smoke();
+        cfg.bucket_epochs = vec![8];
+        cfg.articles_per_bucket = 2;
+        cfg.gen_tokens = 8;
+        cfg.steps_per_batch = 8;
+        let small = run_scale(&ModelScale::new("small", 8, 1, 1), &cfg);
+        let large = run_scale(&ModelScale::new("large", 96, 4, 2), &cfg);
+        let s = small.buckets[0].matched;
+        let l = large.buckets[0].matched;
+        assert!(l >= s, "large model matched {l} articles vs small {s}");
+        assert!(l >= 1, "the large model should memorize something");
+    }
+
+    #[test]
+    fn goldfish_suppresses_memorization() {
+        let mut cfg = ExperimentConfig::smoke();
+        cfg.bucket_epochs = vec![8];
+        cfg.articles_per_bucket = 2;
+        cfg.gen_tokens = 8;
+        cfg.steps_per_batch = 8;
+        let scale = ModelScale::new("large", 96, 4, 2);
+        let plain = run_scale(&scale, &cfg);
+        let fish = run_scale(
+            &scale,
+            &cfg.clone().with_goldfish(GoldfishParams { k: 2, h: 4 }),
+        );
+        assert!(
+            fish.buckets[0].matched <= plain.buckets[0].matched,
+            "goldfish increased memorization?!"
+        );
+        assert_eq!(fish.buckets[0].matched, 0, "goldfish should stop exact matches");
+    }
+
+    #[test]
+    fn control_bucket_stays_clean_without_pretraining() {
+        let cfg = ExperimentConfig::smoke();
+        let r = run_scale(&ModelScale::new("m", 48, 2, 2), &cfg);
+        assert_eq!(r.buckets.last().unwrap().matched, 0);
+    }
+
+    #[test]
+    fn pretraining_seeds_control_memorization_pressure() {
+        // With enough pre-training epochs over the whole corpus, even the
+        // control bucket shows exact matches (the 405B effect). Use a
+        // generous budget to keep the test robust.
+        // Isolate the mechanism: no injection phase, no warmup — the
+        // control bucket is only ever seen during pre-training, and the
+        // pretrained model must reproduce some of it (the 405B effect).
+        // End-of-protocol retention under continued training is a
+        // bench-level observation (fig10/fig11).
+        let mut cfg = ExperimentConfig::smoke();
+        cfg.articles_per_bucket = 2;
+        cfg.gen_tokens = 6;
+        cfg.steps_per_batch = 8;
+        cfg.bucket_epochs = vec![];
+        cfg.warmup_steps = 0;
+        let scale = ModelScale::new("pretrained", 160, 4, 2).with_pretraining(16);
+        let r = run_scale(&scale, &cfg);
+        assert!(
+            r.buckets.last().unwrap().matched >= 1,
+            "pre-training should leave control-bucket memorization"
+        );
+        // Without pre-training the same run leaves the control clean.
+        let clean = run_scale(&ModelScale::new("fresh", 160, 4, 2), &cfg);
+        assert_eq!(clean.buckets.last().unwrap().matched, 0);
+    }
+
+    #[test]
+    fn background_mixing_suppresses_memorization() {
+        // Continued-pretraining pressure: mixing fresh background data
+        // into every injection batch reduces what a capacity-limited
+        // model can retain verbatim.
+        let mut cfg = ExperimentConfig::smoke();
+        cfg.bucket_epochs = vec![8];
+        cfg.articles_per_bucket = 2;
+        cfg.gen_tokens = 8;
+        cfg.steps_per_batch = 8;
+        cfg.background_articles = 16;
+        let scale = ModelScale::new("m", 48, 2, 2);
+        let clean = run_scale(&scale, &cfg);
+        cfg.background_mix = 6;
+        let mixed = run_scale(&scale, &cfg);
+        assert!(
+            mixed.buckets[0].matched <= clean.buckets[0].matched,
+            "background mixing should not increase memorization: {} vs {}",
+            mixed.buckets[0].matched,
+            clean.buckets[0].matched
+        );
+    }
+
+    #[test]
+    fn trial_aggregation_statistics_are_consistent() {
+        let mut cfg = ExperimentConfig::smoke();
+        cfg.bucket_epochs = vec![2];
+        cfg.articles_per_bucket = 2;
+        cfg.warmup_steps = 2;
+        cfg.steps_per_batch = 1;
+        let stats = run_scale_trials(&ModelScale::new("m", 16, 2, 1), &cfg, 3);
+        assert_eq!(stats.trials, 3);
+        assert_eq!(stats.buckets.len(), 2); // one trained bucket + control
+        for b in &stats.buckets {
+            assert!(b.min_pct <= b.mean_pct && b.mean_pct <= b.max_pct);
+            assert!((0.0..=100.0).contains(&b.mean_pct));
+        }
+    }
+
+    #[test]
+    fn exact_match_detects_memorization_directly() {
+        let cfg = ExperimentConfig::smoke();
+        let corpus = Corpus::generate(cfg.vocab, 32, 1, 1, 0, 5);
+        let article = &corpus.buckets[0][0];
+        let mut model = Gpt::new(GptModelConfig {
+            vocab: cfg.vocab,
+            seq_len: 32,
+            dim: 64,
+            n_heads: 4,
+            n_layers: 2,
+            seed: 2,
+        });
+        let mut opt = AdamW::new(2e-3);
+        assert!(!exact_match(&mut model, article, 8), "untrained model matched");
+        for _ in 0..60 {
+            train_batch(&mut model, &mut opt, &[article], 1, None);
+        }
+        assert!(exact_match(&mut model, article, 8), "failed to memorize one article");
+    }
+}

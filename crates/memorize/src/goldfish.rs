@@ -1,0 +1,131 @@
+//! The Goldfish loss (Hans et al., cited as the paper's mitigation).
+//!
+//! A token at position `i` is *dropped from the loss* when a hash of the
+//! preceding `h` tokens is divisible by `k` — the "hashed context"
+//! variant, which drops the *same* tokens every time a given passage is
+//! seen (crucial: re-seeing a passage must not leak previously masked
+//! tokens). The paper runs k = 2, h = 13.
+
+/// Parameters of the Goldfish mask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub struct GoldfishParams {
+    /// Drop a token when `hash % k == 0` (so a fraction `1/k` of
+    /// positions is masked).
+    pub k: u64,
+    /// Context width of the hash.
+    pub h: usize,
+}
+
+impl GoldfishParams {
+    /// The paper's setting: k = 2, h = 13.
+    pub fn paper() -> Self {
+        GoldfishParams { k: 2, h: 13 }
+    }
+}
+
+/// Compute the Goldfish mask for a *target* sequence: `mask[i] == false`
+/// means target position `i` is excluded from the loss. `targets[i]` is
+/// predicted from context ending at `inputs[i]`, so the hash covers the
+/// `h` tokens of input context preceding (and including) position `i`.
+/// The first `h` positions are always kept (not enough context to hash).
+pub fn goldfish_mask(inputs: &[usize], params: GoldfishParams) -> Vec<bool> {
+    assert!(params.k >= 1, "k must be at least 1");
+    let n = inputs.len();
+    let mut mask = vec![true; n];
+    if params.k == 1 {
+        // k = 1 would mask everything hashable; treat as "mask none" is
+        // wrong — per definition hash % 1 == 0 always, so every position
+        // with context is dropped.
+        for m in mask.iter_mut().skip(params.h) {
+            *m = false;
+        }
+        return mask;
+    }
+    for i in params.h..n {
+        let window = &inputs[i - params.h..i];
+        if fnv1a(window).is_multiple_of(params.k) {
+            mask[i] = false;
+        }
+    }
+    mask
+}
+
+fn fnv1a(tokens: &[usize]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &t in tokens {
+        for b in (t as u64).to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(n: usize, seed: usize) -> Vec<usize> {
+        (0..n).map(|i| (i * 2654435761 + seed * 40503) % 97).collect()
+    }
+
+    #[test]
+    fn mask_is_deterministic_per_context() {
+        let s = seq(200, 1);
+        let p = GoldfishParams::paper();
+        assert_eq!(goldfish_mask(&s, p), goldfish_mask(&s, p));
+    }
+
+    #[test]
+    fn same_passage_masks_same_tokens_at_different_offsets() {
+        // The hashed-context property: mask decisions depend only on the
+        // local window, so a repeated passage is masked identically.
+        let passage = seq(60, 2);
+        let p = GoldfishParams::paper();
+        let mut doc1 = seq(20, 3);
+        doc1.extend_from_slice(&passage);
+        let mut doc2 = seq(35, 4);
+        doc2.extend_from_slice(&passage);
+        let m1 = goldfish_mask(&doc1, p);
+        let m2 = goldfish_mask(&doc2, p);
+        // Compare mask over the passage, skipping the first h positions
+        // (whose windows straddle the document prefix).
+        let h = p.h;
+        assert_eq!(
+            &m1[20 + h..20 + 60],
+            &m2[35 + h..35 + 60],
+            "passage masked differently in different documents"
+        );
+    }
+
+    #[test]
+    fn drop_rate_is_about_one_over_k() {
+        let s = seq(5000, 5);
+        for k in [2u64, 3, 4] {
+            let m = goldfish_mask(&s, GoldfishParams { k, h: 13 });
+            let dropped = m.iter().filter(|&&b| !b).count() as f64;
+            let eligible = (s.len() - 13) as f64;
+            let rate = dropped / eligible;
+            let expect = 1.0 / k as f64;
+            assert!(
+                (rate - expect).abs() < 0.05,
+                "k={k}: drop rate {rate:.3} vs {expect:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn first_h_positions_always_kept() {
+        let s = seq(50, 6);
+        let m = goldfish_mask(&s, GoldfishParams::paper());
+        assert!(m[..13].iter().all(|&b| b));
+    }
+
+    #[test]
+    fn k1_masks_everything_with_context() {
+        let s = seq(30, 7);
+        let m = goldfish_mask(&s, GoldfishParams { k: 1, h: 5 });
+        assert!(m[..5].iter().all(|&b| b));
+        assert!(m[5..].iter().all(|&b| !b));
+    }
+}

@@ -1,0 +1,30 @@
+//! The memorization laboratory (Section VIII of the paper).
+//!
+//! Reproduces the design of the paper's continued-pre-training study at
+//! CPU scale: a synthetic "Wikipedia" corpus split into four disjoint
+//! buckets, trained for 0 / 1 / 4 / 6 epochs after a warm-up phase, and
+//! evaluated with the exact-match metric — prompt the model with the
+//! beginning of each article and check whether it greedily reproduces the
+//! final tokens verbatim. The Goldfish loss (k, h) masks a
+//! pseudo-random, context-keyed subset of tokens out of the loss so long
+//! verbatim reproduction becomes impossible.
+//!
+//! Scale substitution (documented in DESIGN.md): our models are 10⁴–10⁶×
+//! smaller than Llama-2/3, so "model size" is swept over a width/depth
+//! ladder of the `axonn-lm` GPT, articles are one context window long,
+//! and each sighting of an article within an epoch applies a small fixed
+//! number of optimizer steps. The *shape* of the phenomenon — memorization
+//! emerging with capacity, increasing with epochs, catastrophic at the
+//! top of the ladder, suppressed by the Goldfish loss — is the
+//! reproduction target, not Llama-scale absolute numbers.
+
+pub mod corpus;
+pub mod experiment;
+pub mod goldfish;
+
+pub use corpus::{Article, Corpus};
+pub use experiment::{
+    exact_match, run_scale, run_scale_trials, BucketResult, BucketStats, ExperimentConfig,
+    ModelScale, ScaleResult, TrialStats,
+};
+pub use goldfish::{goldfish_mask, GoldfishParams};

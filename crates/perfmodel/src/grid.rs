@@ -1,0 +1,217 @@
+//! The 4D virtual grid: `G_x × G_y × G_z × G_data`.
+//!
+//! Process groups are organised hierarchically — X innermost, then Y,
+//! then Z, then data outermost — matching the concrete example in
+//! Section V-B (with 8 GPUs and all dimensions 2, the X groups are
+//! (0,1), (2,3), …; the Y groups (0,2), (1,3), …; and so on).
+
+use serde::{Deserialize, Serialize};
+
+/// One configuration of the 4D hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Grid4d {
+    pub gx: usize,
+    pub gy: usize,
+    pub gz: usize,
+    pub gd: usize,
+}
+
+impl Grid4d {
+    pub fn new(gx: usize, gy: usize, gz: usize, gd: usize) -> Self {
+        assert!(
+            gx >= 1 && gy >= 1 && gz >= 1 && gd >= 1,
+            "grid dimensions must be positive"
+        );
+        Grid4d { gx, gy, gz, gd }
+    }
+
+    /// Total GPUs in the configuration.
+    pub fn gpus(&self) -> usize {
+        self.gx * self.gy * self.gz * self.gd
+    }
+
+    /// GPUs per model replica (the tensor-parallel degree).
+    pub fn tensor_parallel(&self) -> usize {
+        self.gx * self.gy * self.gz
+    }
+
+    /// Dimension sizes in hierarchy order (X, Y, Z, data).
+    pub fn dims(&self) -> [usize; 4] {
+        [self.gx, self.gy, self.gz, self.gd]
+    }
+
+    /// Cumulative product of the dimensions *inside* level `i` — the
+    /// `Π_{j<i} G_j` prefix of Equation 7.
+    pub fn prefix(&self, level: usize) -> usize {
+        self.dims()[..level].iter().product()
+    }
+
+    /// The grid with the X and Y roles exchanged — what "transposed"
+    /// layers see (Section V-A).
+    pub fn swap_xy(&self) -> Grid4d {
+        Grid4d {
+            gx: self.gy,
+            gy: self.gx,
+            gz: self.gz,
+            gd: self.gd,
+        }
+    }
+
+    /// All ordered factorizations of `gpus` into the four dimensions —
+    /// the configuration space the performance model ranks. Covers
+    /// non-power-of-two partitions too (Alps runs on 6144 GPUs).
+    ///
+    /// # Panics
+    /// If `gpus` is zero.
+    pub fn enumerate(gpus: usize) -> Vec<Grid4d> {
+        assert!(gpus >= 1, "GPU count must be positive");
+        let mut out = Vec::new();
+        for gx in divisors(gpus) {
+            let rest_x = gpus / gx;
+            for gy in divisors(rest_x) {
+                let rest_y = rest_x / gy;
+                for gz in divisors(rest_y) {
+                    out.push(Grid4d::new(gx, gy, gz, rest_y / gz));
+                }
+            }
+        }
+        out
+    }
+
+    /// World ranks of every X / Y / Z / data group, given the hierarchical
+    /// rank layout. Level 0 = X, 1 = Y, 2 = Z, 3 = data. Each returned
+    /// group is ordered innermost-stride first, which fixes ring order.
+    pub fn groups_at_level(&self, level: usize) -> Vec<Vec<usize>> {
+        let dims = self.dims();
+        let size = dims[level];
+        let stride = self.prefix(level);
+        let total = self.gpus();
+        let mut groups = Vec::with_capacity(total / size);
+        for base in 0..total {
+            // `base` is a group leader iff its coordinate at `level` is 0.
+            if (base / stride).is_multiple_of(size) {
+                groups.push((0..size).map(|t| base + t * stride).collect());
+            }
+        }
+        groups
+    }
+
+    /// Coordinates `(x, y, z, d)` of a world rank under the hierarchical
+    /// layout.
+    pub fn coords_of(&self, rank: usize) -> (usize, usize, usize, usize) {
+        assert!(rank < self.gpus(), "rank {rank} outside grid");
+        let x = rank % self.gx;
+        let y = (rank / self.gx) % self.gy;
+        let z = (rank / (self.gx * self.gy)) % self.gz;
+        let d = rank / (self.gx * self.gy * self.gz);
+        (x, y, z, d)
+    }
+
+    /// Inverse of [`Grid4d::coords_of`].
+    pub fn rank_of(&self, x: usize, y: usize, z: usize, d: usize) -> usize {
+        assert!(x < self.gx && y < self.gy && z < self.gz && d < self.gd);
+        x + self.gx * (y + self.gy * (z + self.gz * d))
+    }
+}
+
+/// All divisors of `n`, ascending.
+fn divisors(n: usize) -> Vec<usize> {
+    let mut v: Vec<usize> = (1..=n).filter(|d| n.is_multiple_of(*d)).collect();
+    v.sort_unstable();
+    v
+}
+
+impl std::fmt::Display for Grid4d {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}x{}x{}x{} (x*y*z*d)",
+            self.gx, self.gy, self.gz, self.gd
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_groups() {
+        // Section V-B: 8 GPUs, all dims 2. X groups: (0,1),(2,3),(4,5),
+        // (6,7). Y groups: (0,2),(1,3),(4,6),(5,7).
+        let g = Grid4d::new(2, 2, 2, 1);
+        assert_eq!(
+            g.groups_at_level(0),
+            vec![vec![0, 1], vec![2, 3], vec![4, 5], vec![6, 7]]
+        );
+        assert_eq!(
+            g.groups_at_level(1),
+            vec![vec![0, 2], vec![1, 3], vec![4, 6], vec![5, 7]]
+        );
+        assert_eq!(g.groups_at_level(2), vec![vec![0, 4], vec![1, 5], vec![2, 6], vec![3, 7]]);
+    }
+
+    #[test]
+    fn enumerate_counts_compositions() {
+        // 2^5 = 32 GPUs: compositions of 5 into 4 nonneg parts = C(8,3).
+        assert_eq!(Grid4d::enumerate(32).len(), 56);
+        // Every enumerated grid multiplies back to 32.
+        assert!(Grid4d::enumerate(32).iter().all(|g| g.gpus() == 32));
+        // Degenerate world.
+        assert_eq!(Grid4d::enumerate(1), vec![Grid4d::new(1, 1, 1, 1)]);
+    }
+
+    #[test]
+    fn enumerate_has_no_duplicates() {
+        let mut v = Grid4d::enumerate(64);
+        let n = v.len();
+        v.sort_by_key(|g| (g.gx, g.gy, g.gz, g.gd));
+        v.dedup();
+        assert_eq!(v.len(), n);
+    }
+
+    #[test]
+    fn coords_round_trip() {
+        let g = Grid4d::new(2, 4, 2, 2);
+        for rank in 0..g.gpus() {
+            let (x, y, z, d) = g.coords_of(rank);
+            assert_eq!(g.rank_of(x, y, z, d), rank);
+        }
+    }
+
+    #[test]
+    fn prefix_products() {
+        let g = Grid4d::new(2, 4, 8, 16);
+        assert_eq!(g.prefix(0), 1);
+        assert_eq!(g.prefix(1), 2);
+        assert_eq!(g.prefix(2), 8);
+        assert_eq!(g.prefix(3), 64);
+    }
+
+    #[test]
+    fn swap_xy_is_involutive() {
+        let g = Grid4d::new(2, 8, 4, 1);
+        assert_eq!(g.swap_xy().swap_xy(), g);
+        assert_eq!(g.swap_xy(), Grid4d::new(8, 2, 4, 1));
+    }
+
+    #[test]
+    fn groups_partition_the_world() {
+        let g = Grid4d::new(2, 2, 4, 2);
+        for level in 0..4 {
+            let groups = g.groups_at_level(level);
+            let mut seen: Vec<usize> = groups.concat();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..g.gpus()).collect::<Vec<_>>(), "level {level}");
+        }
+    }
+
+    #[test]
+    fn enumerate_handles_non_powers_of_two() {
+        // 6 = 2·3: ordered factorizations into 4 parts = 4 (placements of
+        // the 2) × 4 (placements of the 3) = 16.
+        let v = Grid4d::enumerate(6);
+        assert_eq!(v.len(), 16);
+        assert!(v.iter().all(|g| g.gpus() == 6));
+    }
+}

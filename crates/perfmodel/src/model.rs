@@ -1,0 +1,289 @@
+//! Equations 1–6: per-layer and whole-network communication time, and the
+//! configuration ranking built on top of them.
+
+use crate::grid::Grid4d;
+use axonn_cluster::{effective_bandwidth, BandwidthDb, Machine};
+use axonn_gpt::GptConfig;
+use serde::Serialize;
+
+/// Bytes per element for communicated tensors (bf16 activations, weights
+/// and gradients — the mixed-precision regime of Section VI-A).
+pub const BYTES_PER_ELEM: f64 = 2.0;
+
+/// The five collective terms of Equation 6 for one FC layer.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct CommBreakdown {
+    /// Eq. 1 — all-gather of the Z-sharded weights (forward).
+    pub ag_z: f64,
+    /// Eq. 2 — reduce-scatter of weight gradients (backward).
+    pub rs_z: f64,
+    /// Eq. 3 — all-reduce of output activations (forward).
+    pub ar_y: f64,
+    /// Eq. 4 — all-reduce of input gradients (backward).
+    pub ar_x: f64,
+    /// Eq. 5 — data-parallel gradient all-reduce.
+    pub ar_data: f64,
+}
+
+impl CommBreakdown {
+    /// Equation 6: the sum of all terms.
+    pub fn total(&self) -> f64 {
+        self.ag_z + self.rs_z + self.ar_y + self.ar_x + self.ar_data
+    }
+}
+
+/// Hierarchical bandwidths `β_x, β_y, β_z, β_data` for a configuration
+/// (Equation 7 + Case-1 database).
+fn level_bandwidths(machine: &Machine, db: &BandwidthDb, grid: Grid4d) -> [f64; 4] {
+    let mut betas = [0.0f64; 4];
+    for (level, beta) in betas.iter_mut().enumerate() {
+        *beta = effective_bandwidth(machine, db, grid.prefix(level), grid.dims()[level]);
+    }
+    betas
+}
+
+/// Equations 1–5 for a single FC layer with activation rows `m` (tokens
+/// per model replica), weight shape `k×n`, on `grid`.
+///
+/// For layers with "transposed" weights (Section V-A) the roles of the X
+/// and Y groups are exchanged: pass the result of `grid.swap_xy()` *and*
+/// swapped bandwidths — or more simply, set `transposed` here.
+pub fn layer_comm_time(
+    machine: &Machine,
+    db: &BandwidthDb,
+    grid: Grid4d,
+    m: usize,
+    k: usize,
+    n: usize,
+    transposed: bool,
+) -> CommBreakdown {
+    let betas = level_bandwidths(machine, db, grid);
+    // Transposed layers swap which physical group plays the X role; the
+    // bandwidths follow the physical groups.
+    let (gx, gy, beta_x, beta_y) = if transposed {
+        (grid.gy, grid.gx, betas[1], betas[0])
+    } else {
+        (grid.gx, grid.gy, betas[0], betas[1])
+    };
+    let (gz, gd) = (grid.gz, grid.gd);
+    let (beta_z, beta_d) = (betas[2], betas[3]);
+    let (mf, kf, nf) = (m as f64, k as f64, n as f64);
+    let (gxf, gyf, gzf, gdf) = (gx as f64, gy as f64, gz as f64, gd as f64);
+
+    let ag_z = if gz > 1 {
+        (1.0 / beta_z) * (gzf - 1.0) * BYTES_PER_ELEM * kf * nf / (gxf * gyf * gzf)
+    } else {
+        0.0
+    };
+    let rs_z = if gz > 1 {
+        (1.0 / beta_z) * ((gzf - 1.0) / gzf) * BYTES_PER_ELEM * kf * nf / (gxf * gyf)
+    } else {
+        0.0
+    };
+    let ar_y = if gy > 1 {
+        (2.0 / beta_y) * ((gyf - 1.0) / gyf) * BYTES_PER_ELEM * mf * nf / (gzf * gxf)
+    } else {
+        0.0
+    };
+    let ar_x = if gx > 1 {
+        (2.0 / beta_x) * ((gxf - 1.0) / gxf) * BYTES_PER_ELEM * mf * kf / (gzf * gyf)
+    } else {
+        0.0
+    };
+    let ar_data = if gd > 1 {
+        (2.0 / beta_d) * ((gdf - 1.0) / gdf) * BYTES_PER_ELEM * kf * nf / (gxf * gyf * gzf)
+    } else {
+        0.0
+    };
+    CommBreakdown {
+        ag_z,
+        rs_z,
+        ar_y,
+        ar_x,
+        ar_data,
+    }
+}
+
+/// Whole-network communication time: Equation 6 applied to every FC layer
+/// of `model` (with the alternating transpose scheme) and summed.
+/// `batch_tokens` is the global batch; each model replica processes
+/// `batch_tokens / G_data` tokens.
+pub fn network_comm_time(
+    machine: &Machine,
+    db: &BandwidthDb,
+    grid: Grid4d,
+    model: &GptConfig,
+    batch_tokens: usize,
+) -> f64 {
+    assert_eq!(
+        batch_tokens % grid.gd,
+        0,
+        "batch tokens must divide across data-parallel groups"
+    );
+    let m = batch_tokens / grid.gd;
+    model
+        .network_fc_layers()
+        .iter()
+        .map(|l| {
+            layer_comm_time(machine, db, grid, m, l.shape.k, l.shape.n, l.transposed).total()
+        })
+        .sum()
+}
+
+/// A configuration with its predicted communication time.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct RankedConfig {
+    pub grid: Grid4d,
+    pub predicted_comm_seconds: f64,
+}
+
+/// Enumerate all 4D configurations of `gpus` and order them by predicted
+/// communication time, best first — the ordered list of Section V-B from
+/// which AxoNN tries the top few.
+///
+/// Configurations whose tensor-parallel sharding cannot hold the model
+/// (per-GPU weight shard above `mem_limit_bytes`, if given) are dropped,
+/// mirroring the memory feasibility check a real launch performs.
+pub fn rank_configs(
+    machine: &Machine,
+    db: &BandwidthDb,
+    model: &GptConfig,
+    batch_tokens: usize,
+    gpus: usize,
+    mem_limit_bytes: Option<f64>,
+) -> Vec<RankedConfig> {
+    let mut out: Vec<RankedConfig> = Grid4d::enumerate(gpus)
+        .into_iter()
+        .filter(|g| batch_tokens.is_multiple_of(g.gd))
+        .filter(|g| {
+            let Some(limit) = mem_limit_bytes else {
+                return true;
+            };
+            // Mixed-precision training state per parameter: bf16 weight
+            // (2) + bf16 grad (2) + fp32 master + two Adam moments (12).
+            let state_bytes = 16.0;
+            let per_gpu =
+                model.num_parameters() as f64 * state_bytes / g.tensor_parallel() as f64;
+            per_gpu <= limit
+        })
+        .map(|grid| RankedConfig {
+            grid,
+            predicted_comm_seconds: network_comm_time(machine, db, grid, model, batch_tokens),
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        a.predicted_comm_seconds
+            .total_cmp(&b.predicted_comm_seconds)
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axonn_gpt::model_by_billions;
+
+    fn setup() -> (Machine, BandwidthDb) {
+        let m = Machine::frontier();
+        let db = BandwidthDb::profile(&m);
+        (m, db)
+    }
+
+    #[test]
+    fn breakdown_terms_vanish_for_unit_dimensions() {
+        let (m, db) = setup();
+        let b = layer_comm_time(&m, &db, Grid4d::new(1, 1, 1, 1), 4096, 8192, 8192, false);
+        assert_eq!(b.total(), 0.0);
+
+        let b = layer_comm_time(&m, &db, Grid4d::new(1, 1, 8, 1), 4096, 8192, 8192, false);
+        assert!(b.ag_z > 0.0 && b.rs_z > 0.0);
+        assert_eq!(b.ar_x + b.ar_y + b.ar_data, 0.0);
+    }
+
+    #[test]
+    fn eq1_hand_computed() {
+        // Within-node Z group of 2 on Frontier: β from the database.
+        let (m, db) = setup();
+        let grid = Grid4d::new(1, 1, 2, 1);
+        let (k, n) = (4096, 4096);
+        let b = layer_comm_time(&m, &db, grid, 1024, k, n, false);
+        let beta = db.lookup(1, 2);
+        let expect = (1.0 / beta) * 1.0 * 2.0 * (k * n) as f64 / 2.0;
+        assert!((b.ag_z - expect).abs() < expect * 1e-12);
+    }
+
+    #[test]
+    fn eq5_uses_outermost_bandwidth() {
+        // Data-parallel groups span nodes; β = β_inter / min(Gnode, TP).
+        let (m, db) = setup();
+        let grid = Grid4d::new(8, 1, 1, 4); // TP=8 fills a node
+        let (k, n) = (8192, 8192);
+        let b = layer_comm_time(&m, &db, grid, 1024, k, n, false);
+        let beta = m.beta_inter / 8.0;
+        let expect = (2.0 / beta) * (3.0 / 4.0) * 2.0 * (k * n) as f64 / 8.0;
+        assert!((b.ar_data - expect).abs() < expect * 1e-12, "{} vs {expect}", b.ar_data);
+    }
+
+    #[test]
+    fn transposed_layer_swaps_x_and_y_costs() {
+        let (m, db) = setup();
+        let grid = Grid4d::new(4, 2, 1, 1);
+        // Square weights: ar terms differ only via (G, β) roles.
+        let normal = layer_comm_time(&m, &db, grid, 2048, 4096, 4096, false);
+        let transposed = layer_comm_time(&m, &db, grid, 2048, 4096, 4096, true);
+        assert!((normal.ar_x - transposed.ar_y).abs() < 1e-15);
+        assert!((normal.ar_y - transposed.ar_x).abs() < 1e-15);
+    }
+
+    #[test]
+    fn network_time_positive_and_scales_with_batch() {
+        let (m, db) = setup();
+        let model = model_by_billions(20);
+        let grid = Grid4d::new(8, 2, 2, 1);
+        let t1 = network_comm_time(&m, &db, grid, &model, 1 << 20);
+        let t2 = network_comm_time(&m, &db, grid, &model, 1 << 21);
+        assert!(t1 > 0.0);
+        // Activation terms grow with batch, weight terms don't.
+        assert!(t2 > t1 && t2 < 2.0 * t1);
+    }
+
+    #[test]
+    fn ranking_is_sorted_and_complete() {
+        let (m, db) = setup();
+        let model = model_by_billions(20);
+        let ranked = rank_configs(&m, &db, &model, 1 << 22, 32, None);
+        assert_eq!(ranked.len(), 56);
+        for w in ranked.windows(2) {
+            assert!(w[0].predicted_comm_seconds <= w[1].predicted_comm_seconds);
+        }
+    }
+
+    #[test]
+    fn pure_data_parallel_is_memory_infeasible_for_big_models() {
+        // On communication volume alone, pure DP looks attractive for
+        // large batches (only gradients move); what rules it out for a
+        // 20B model on 64 GB GCDs is memory, exactly as on Frontier. The
+        // ranking with a realistic memory limit must exclude TP degrees
+        // that cannot hold the model.
+        let (m, db) = setup();
+        let model = model_by_billions(20);
+        let ranked = rank_configs(&m, &db, &model, 1 << 22, 32, Some(64e9));
+        assert!(ranked
+            .iter()
+            .all(|r| r.grid != Grid4d::new(1, 1, 1, 32)));
+        // 20B params * 16 B/param = 320 GB of training state: needs TP >= 8.
+        assert!(ranked.iter().all(|r| r.grid.tensor_parallel() >= 8));
+    }
+
+    #[test]
+    fn memory_filter_drops_infeasible_configs() {
+        let (m, db) = setup();
+        let model = model_by_billions(20);
+        // 64 GB GCDs: pure data-parallel (TP=1) needs 20B*16B = 320 GB.
+        let ranked = rank_configs(&m, &db, &model, 1 << 22, 32, Some(64e9));
+        assert!(ranked.iter().all(|r| {
+            model.num_parameters() as f64 * 16.0 / r.grid.tensor_parallel() as f64 <= 64e9
+        }));
+        assert!(!ranked.is_empty());
+    }
+}

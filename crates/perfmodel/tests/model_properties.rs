@@ -1,0 +1,159 @@
+//! Property tests for the performance model: enumeration completeness,
+//! Equation 1–6 structure, and ranking invariants over random inputs.
+
+use axonn_cluster::{BandwidthDb, Machine};
+use axonn_gpt::model_by_billions;
+use axonn_perfmodel::{layer_comm_time, network_comm_time, rank_configs, Grid4d};
+use proptest::prelude::*;
+
+fn setup() -> (Machine, BandwidthDb) {
+    let m = Machine::frontier();
+    let db = BandwidthDb::profile(&m);
+    (m, db)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn enumeration_is_complete_and_exact(exp in 0u32..8) {
+        let gpus = 1usize << exp;
+        let grids = Grid4d::enumerate(gpus);
+        // Every grid multiplies to the GPU count.
+        prop_assert!(grids.iter().all(|g| g.gpus() == gpus));
+        // Count equals compositions of the exponent into 4 parts.
+        let e = exp as usize;
+        let expect = (e + 1) * (e + 2) * (e + 3) / 6;
+        prop_assert_eq!(grids.len(), expect);
+    }
+
+    #[test]
+    fn comm_time_is_nonnegative_and_finite(
+        gi in 0usize..56, m in 1usize..1_000_000, k_exp in 7usize..14, n_exp in 7usize..14
+    ) {
+        let (machine, db) = setup();
+        let grid = Grid4d::enumerate(32)[gi % 56];
+        let b = layer_comm_time(&machine, &db, grid, m, 1 << k_exp, 1 << n_exp, false);
+        for t in [b.ag_z, b.rs_z, b.ar_y, b.ar_x, b.ar_data, b.total()] {
+            prop_assert!(t.is_finite() && t >= 0.0);
+        }
+    }
+
+    #[test]
+    fn doubling_batch_never_reduces_comm_time(gi in 0usize..56, m in 1usize..100_000) {
+        let (machine, db) = setup();
+        let grid = Grid4d::enumerate(32)[gi % 56];
+        let a = layer_comm_time(&machine, &db, grid, m, 4096, 4096, false).total();
+        let b = layer_comm_time(&machine, &db, grid, 2 * m, 4096, 4096, false).total();
+        prop_assert!(b >= a);
+    }
+
+    #[test]
+    fn weight_terms_do_not_depend_on_batch(gi in 0usize..56, m in 1usize..100_000) {
+        let (machine, db) = setup();
+        let grid = Grid4d::enumerate(32)[gi % 56];
+        let a = layer_comm_time(&machine, &db, grid, m, 4096, 4096, false);
+        let b = layer_comm_time(&machine, &db, grid, 3 * m, 4096, 4096, false);
+        prop_assert_eq!(a.ag_z, b.ag_z);
+        prop_assert_eq!(a.rs_z, b.rs_z);
+        prop_assert_eq!(a.ar_data, b.ar_data);
+    }
+
+    #[test]
+    fn transposed_flag_equals_swapped_grid(gi in 0usize..56, m in 1usize..50_000) {
+        // layer(grid, transposed=true) must equal layer(grid.swap_xy(),
+        // transposed=false) with the group *bandwidths* following the
+        // physical groups — totals agree.
+        let (machine, db) = setup();
+        let grid = Grid4d::enumerate(32)[gi % 56];
+        let a = layer_comm_time(&machine, &db, grid, m, 8192, 8192, true).total();
+        // Swapping the grid changes which physical level each role maps
+        // to; with square weights the per-term volumes match.
+        let b = layer_comm_time(&machine, &db, grid, m, 8192, 8192, false);
+        let a2 = layer_comm_time(&machine, &db, grid, m, 8192, 8192, true);
+        // ar terms swap exactly; z and data terms are identical.
+        prop_assert_eq!(a2.ag_z, b.ag_z);
+        prop_assert_eq!(a2.rs_z, b.rs_z);
+        prop_assert_eq!(a2.ar_data, b.ar_data);
+        prop_assert!((a - (b.ag_z + b.rs_z + b.ar_y + b.ar_x + b.ar_data)).abs() <= a * 1e-9
+            || (a2.ar_x - b.ar_y).abs() + (a2.ar_y - b.ar_x).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranking_is_sorted_and_subset_of_enumeration(gpu_exp in 3u32..7) {
+        let (machine, db) = setup();
+        let gpus = 1usize << gpu_exp;
+        let model = model_by_billions(5);
+        let ranked = rank_configs(&machine, &db, &model, 1 << 16, gpus, None);
+        prop_assert!(!ranked.is_empty());
+        for w in ranked.windows(2) {
+            prop_assert!(w[0].predicted_comm_seconds <= w[1].predicted_comm_seconds);
+        }
+        prop_assert!(ranked.iter().all(|r| r.grid.gpus() == gpus));
+    }
+
+    #[test]
+    fn stricter_memory_limits_never_add_configs(gpu_exp in 4u32..7, lim_gb in 1.0f64..2000.0) {
+        let (machine, db) = setup();
+        let gpus = 1usize << gpu_exp;
+        let model = model_by_billions(5);
+        let loose = rank_configs(&machine, &db, &model, 1 << 16, gpus, Some(2.0 * lim_gb * 1e9));
+        let tight = rank_configs(&machine, &db, &model, 1 << 16, gpus, Some(lim_gb * 1e9));
+        prop_assert!(tight.len() <= loose.len());
+    }
+
+    #[test]
+    fn network_time_sums_layers(m_exp in 12usize..20) {
+        let (machine, db) = setup();
+        let model = model_by_billions(5);
+        let grid = Grid4d::new(2, 2, 2, 4);
+        let batch = 1usize << m_exp;
+        let total = network_comm_time(&machine, &db, grid, &model, batch);
+        let by_hand: f64 = model
+            .network_fc_layers()
+            .iter()
+            .map(|l| {
+                layer_comm_time(
+                    &machine,
+                    &db,
+                    grid,
+                    batch / grid.gd,
+                    l.shape.k,
+                    l.shape.n,
+                    l.transposed,
+                )
+                .total()
+            })
+            .sum();
+        prop_assert!((total - by_hand).abs() < 1e-9 * total.max(1e-12));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn hierarchical_group_rings_satisfy_assumption_2(
+        ex in 0u32..3, ey in 0u32..3, ez in 0u32..3, ed in 0u32..2
+    ) {
+        // Assumption-2: rings minimize node-boundary crossings. The
+        // hierarchical 4D layout produces groups whose natural member
+        // order is already crossing-minimal on contiguous node placement.
+        use axonn_cluster::{minimal_crossings, ring_node_crossings};
+        let grid = Grid4d::new(1 << ex, 1 << ey, 1 << ez, 1 << ed);
+        for gpus_per_node in [4usize, 8] {
+            for level in 0..4 {
+                for group in grid.groups_at_level(level) {
+                    prop_assert_eq!(
+                        ring_node_crossings(&group, gpus_per_node),
+                        minimal_crossings(&group, gpus_per_node),
+                        "grid {} level {} group {:?}",
+                        grid,
+                        level,
+                        group
+                    );
+                }
+            }
+        }
+    }
+}

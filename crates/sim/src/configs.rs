@@ -1,0 +1,231 @@
+//! Configuration selection on top of the simulator: the paper's
+//! "best of the model's top-10" procedure (Fig. 7's "Perf model" bars),
+//! the Megatron+HSDP baseline, and weak-scaling series helpers.
+
+use crate::batch::{simulate_batch, BatchBreakdown};
+use crate::options::SimOptions;
+use axonn_cluster::{BandwidthDb, Machine};
+use axonn_gpt::GptConfig;
+use axonn_perfmodel::{rank_configs, Grid4d};
+use rayon::prelude::*;
+use serde::Serialize;
+
+/// Bytes of training state per parameter: bf16 weight + bf16 gradient +
+/// fp32 master weight + two fp32 Adam moments.
+pub const STATE_BYTES_PER_PARAM: f64 = 16.0;
+/// Fraction of GPU memory available for parameters/optimizer (the rest is
+/// activations, buffers, fragmentation).
+pub const USABLE_MEM_FRACTION: f64 = 0.8;
+
+/// One point of a scaling study.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScalePoint {
+    pub model: String,
+    pub gpus: usize,
+    pub grid: Grid4d,
+    pub batch_tokens: usize,
+    pub breakdown: BatchBreakdown,
+    /// Sustained model flop/s across the whole partition.
+    pub model_flops_per_second: f64,
+    /// Percentage of the vendor-advertised aggregate peak.
+    pub pct_advertised_peak: f64,
+    /// Percentage of the empirically-measured aggregate peak.
+    pub pct_empirical_peak: f64,
+}
+
+fn mem_limit(machine: &Machine) -> f64 {
+    machine.mem_per_gpu * USABLE_MEM_FRACTION
+}
+
+/// Pick the fastest configuration among the performance model's top-`k`
+/// predictions by simulating each — exactly the launch procedure of
+/// Section V-B ("we can pick the top few configurations for actual
+/// experiments").
+pub fn pick_best_config(
+    machine: &Machine,
+    db: &BandwidthDb,
+    model: &GptConfig,
+    batch_tokens: usize,
+    gpus: usize,
+    opts: SimOptions,
+    top_k: usize,
+) -> (Grid4d, BatchBreakdown) {
+    let ranked = rank_configs(machine, db, model, batch_tokens, gpus, Some(mem_limit(machine)));
+    assert!(
+        !ranked.is_empty(),
+        "no feasible 4D configuration for {} on {gpus} GPUs of {}",
+        model.name,
+        machine.name
+    );
+    ranked
+        .par_iter()
+        .with_max_len(1)
+        .take(top_k)
+        .map(|r| (r.grid, simulate_batch(machine, db, r.grid, model, batch_tokens, opts)))
+        .min_by(|a, b| a.1.total_seconds.total_cmp(&b.1.total_seconds))
+        .expect("top-k selection is non-empty")
+}
+
+/// The Fig. 7 baseline: Megatron-style 1D tensor parallelism within a
+/// node (`G_x = G_node`) combined with hybrid sharded data parallelism
+/// across nodes (`G_z` sharding chosen just large enough for the model
+/// state to fit, data parallelism over the remainder) — "a hybrid of 1D
+/// tensor parallelism within node and hybrid sharded data parallelism
+/// across nodes (similar to FSDP)".
+pub fn baseline_config(machine: &Machine, model: &GptConfig, gpus: usize) -> Grid4d {
+    let gx = machine.gpus_per_node.min(gpus);
+    let state = model.num_parameters() as f64 * STATE_BYTES_PER_PARAM;
+    let mut gz = 1usize;
+    while state / (gx * gz) as f64 > mem_limit(machine) {
+        gz *= 2;
+        assert!(
+            gx * gz <= gpus,
+            "model {} cannot fit on {gpus} GPUs of {} even fully sharded",
+            model.name,
+            machine.name
+        );
+    }
+    let gd = gpus / (gx * gz);
+    Grid4d::new(gx, 1, gz, gd)
+}
+
+/// Simulate a weak-scaling series: for each `(model, gpus)` pair, select
+/// the best configuration (per `opts`) and record times and sustained
+/// flop/s. `batch_tokens` is held constant across the series, as in the
+/// paper's headline runs.
+pub fn weak_scaling_series(
+    machine: &Machine,
+    db: &BandwidthDb,
+    series: &[(GptConfig, usize)],
+    batch_tokens: usize,
+    opts: SimOptions,
+) -> Vec<ScalePoint> {
+    series
+        .iter()
+        .map(|(model, gpus)| {
+            let (grid, breakdown) =
+                pick_best_config(machine, db, model, batch_tokens, *gpus, opts, 30);
+            scale_point(machine, model, *gpus, grid, batch_tokens, breakdown)
+        })
+        .collect()
+}
+
+/// Assemble a [`ScalePoint`] from a simulated breakdown.
+pub fn scale_point(
+    machine: &Machine,
+    model: &GptConfig,
+    gpus: usize,
+    grid: Grid4d,
+    batch_tokens: usize,
+    breakdown: BatchBreakdown,
+) -> ScalePoint {
+    let flops = model.model_flops_per_iter(batch_tokens);
+    let rate = flops / breakdown.total_seconds;
+    ScalePoint {
+        model: model.name.clone(),
+        gpus,
+        grid,
+        batch_tokens,
+        breakdown,
+        model_flops_per_second: rate,
+        pct_advertised_peak: 100.0 * rate / (gpus as f64 * machine.advertised_peak()),
+        pct_empirical_peak: 100.0 * rate / (gpus as f64 * machine.empirical_peak()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axonn_gpt::model_by_billions;
+
+    fn setup() -> (Machine, BandwidthDb) {
+        let m = Machine::frontier();
+        let db = BandwidthDb::profile(&m);
+        (m, db)
+    }
+
+    #[test]
+    fn baseline_is_megatron_plus_hsdp() {
+        let (m, _) = setup();
+        let model = model_by_billions(20);
+        let g = baseline_config(&m, &model, 512);
+        assert_eq!(g.gx, 8, "TP fills the node");
+        assert_eq!(g.gy, 1);
+        // 20B * 16B = 320 GB; gx=8 gives 40 GB per GCD > 51.2 GB limit?
+        // 320/8 = 40 <= 51.2, so gz = 1.
+        assert_eq!(g.gz, 1);
+        assert_eq!(g.gpus(), 512);
+    }
+
+    #[test]
+    fn baseline_shards_when_model_is_big() {
+        let (m, _) = setup();
+        let model = model_by_billions(80);
+        let g = baseline_config(&m, &model, 1024);
+        // 80B*16 = 1.28 TB; /8 = 160 GB per GCD -> need gz >= 4.
+        assert!(g.gz >= 4);
+        assert_eq!(g.gpus(), 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fit")]
+    fn baseline_rejects_impossible_fits() {
+        let (m, _) = setup();
+        let model = model_by_billions(640);
+        let _ = baseline_config(&m, &model, 8);
+    }
+
+    #[test]
+    fn best_config_beats_baseline() {
+        // The heart of Fig. 7: the model-selected 4D configuration beats
+        // Megatron+HSDP.
+        let (m, db) = setup();
+        let model = model_by_billions(20);
+        let gpus = 512;
+        let batch = 1 << 22;
+        let opts = SimOptions::baseline();
+        let base_grid = baseline_config(&m, &model, gpus);
+        let base = simulate_batch(&m, &db, base_grid, &model, batch, opts);
+        let (best_grid, best) = pick_best_config(&m, &db, &model, batch, gpus, opts, 10);
+        assert!(
+            best.total_seconds < base.total_seconds,
+            "best {best_grid} {:.3}s vs baseline {base_grid} {:.3}s",
+            best.total_seconds,
+            base.total_seconds
+        );
+    }
+
+    #[test]
+    fn weak_scaling_series_stays_efficient_at_moderate_scale() {
+        let (m, db) = setup();
+        let series = vec![
+            (model_by_billions(5), 512),
+            (model_by_billions(10), 1024),
+            (model_by_billions(20), 2048),
+        ];
+        let pts = weak_scaling_series(&m, &db, &series, 1 << 24, SimOptions::full());
+        assert_eq!(pts.len(), 3);
+        // Weak scaling: batch time roughly flat (within 2x across the
+        // series) and efficiency above 20% of advertised peak.
+        let t0 = pts[0].breakdown.total_seconds;
+        for p in &pts {
+            assert!(p.breakdown.total_seconds < 2.0 * t0);
+            assert!(p.pct_advertised_peak > 20.0, "{}: {:.1}%", p.model, p.pct_advertised_peak);
+            assert!(p.pct_empirical_peak > p.pct_advertised_peak);
+        }
+    }
+
+    #[test]
+    fn flops_accounting_consistency() {
+        let (m, db) = setup();
+        let model = model_by_billions(10);
+        let grid = Grid4d::new(8, 1, 2, 8);
+        let batch = 1 << 21;
+        let b = simulate_batch(&m, &db, grid, &model, batch, SimOptions::full());
+        let p = scale_point(&m, &model, grid.gpus(), grid, batch, b);
+        let recomputed =
+            model.model_flops_per_iter(batch) / p.breakdown.total_seconds;
+        assert!((p.model_flops_per_second - recomputed).abs() < 1e-6 * recomputed);
+        assert!(p.pct_advertised_peak < 100.0);
+    }
+}

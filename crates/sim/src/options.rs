@@ -1,0 +1,125 @@
+//! Simulation options: which of the paper's optimizations are active and
+//! at what fidelity the timeline runs.
+
+use serde::Serialize;
+
+/// Fidelity knobs separating the "observed" simulator from the clean one.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Fidelity {
+    /// Per-ring-step latency for intra-node hops (seconds). The analytic
+    /// model's Assumption-3 sets this to zero.
+    pub alpha_intra: f64,
+    /// Per-ring-step latency for inter-node hops (seconds).
+    pub alpha_inter: f64,
+    /// Relative magnitude of deterministic congestion jitter applied to
+    /// every communication operation (0 = none).
+    pub noise: f64,
+    /// Seed for the jitter stream (a different seed = a different
+    /// "run" of the observed system).
+    pub seed: u64,
+}
+
+impl Fidelity {
+    /// Deterministic (no congestion noise) but with realistic
+    /// per-ring-step launch/hop latencies — without them, machine-wide
+    /// rings would be free and the simulator would happily pick
+    /// 32,768-GPU Z rings that no real system would tolerate. (The
+    /// *analytic* model keeps Assumption-3 and ignores latency, exactly
+    /// as in the paper.)
+    pub fn clean() -> Fidelity {
+        Fidelity {
+            alpha_intra: 2.0e-6,
+            alpha_inter: 10.0e-6,
+            noise: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// Strictly zero-overhead communication: the simulator then agrees
+    /// with the analytic model by construction (used in tests).
+    pub fn ideal() -> Fidelity {
+        Fidelity {
+            alpha_intra: 0.0,
+            alpha_inter: 0.0,
+            noise: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// Realistic effects the analytic model ignores: microsecond-scale
+    /// launch/hop latencies and run-to-run congestion variability
+    /// (Section VI-B notes "significant run-to-run performance
+    /// variability ... most likely due to network congestion").
+    pub fn observed(seed: u64) -> Fidelity {
+        Fidelity {
+            alpha_intra: 3.0e-6,
+            alpha_inter: 14.0e-6,
+            noise: 0.08,
+            seed,
+        }
+    }
+}
+
+/// Which optimizations (Sections V-C, V-D) are enabled for a simulated
+/// batch.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct SimOptions {
+    /// OAR: overlap the backward all-reduce of input gradients with the
+    /// weight-gradient GEMM.
+    pub overlap_ar: bool,
+    /// ORS: issue weight-gradient reduce-scatters asynchronously and wait
+    /// only at the end of the backward pass.
+    pub overlap_rs: bool,
+    /// OAG: prefetch forward all-gathers in topological order.
+    pub overlap_ag: bool,
+    /// Automated BLAS kernel tuning: route pathological TN matmuls
+    /// through an explicit transpose + NN kernel.
+    pub kernel_tuning: bool,
+    pub fidelity: Fidelity,
+}
+
+impl SimOptions {
+    /// Everything off: the no-overlap, untuned baseline of Figs. 5 & 7.
+    pub fn baseline() -> SimOptions {
+        SimOptions {
+            overlap_ar: false,
+            overlap_rs: false,
+            overlap_ag: false,
+            kernel_tuning: false,
+            fidelity: Fidelity::clean(),
+        }
+    }
+
+    /// Everything on: the full production configuration.
+    pub fn full() -> SimOptions {
+        SimOptions {
+            overlap_ar: true,
+            overlap_rs: true,
+            overlap_ag: true,
+            kernel_tuning: true,
+            fidelity: Fidelity::clean(),
+        }
+    }
+
+    pub fn with_fidelity(mut self, f: Fidelity) -> SimOptions {
+        self.fidelity = f;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        let b = SimOptions::baseline();
+        assert!(!b.overlap_ar && !b.overlap_rs && !b.overlap_ag && !b.kernel_tuning);
+        let f = SimOptions::full();
+        assert!(f.overlap_ar && f.overlap_rs && f.overlap_ag && f.kernel_tuning);
+        assert_eq!(Fidelity::clean().noise, 0.0);
+        assert_eq!(Fidelity::ideal().alpha_inter, 0.0);
+        assert!(Fidelity::clean().alpha_inter > 0.0);
+        assert!(Fidelity::observed(1).noise > 0.0);
+    }
+}

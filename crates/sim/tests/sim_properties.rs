@@ -1,0 +1,106 @@
+//! Cross-plane invariants: the simulator against the analytic model, and
+//! structural properties of simulated batches over random configurations.
+
+use axonn_cluster::{BandwidthDb, Machine};
+use axonn_gpt::model_by_billions;
+use axonn_perfmodel::{network_comm_time, Grid4d};
+use axonn_sim::{simulate_batch, Fidelity, SimOptions};
+use proptest::prelude::*;
+
+fn setup() -> (Machine, BandwidthDb) {
+    let m = Machine::frontier();
+    let db = BandwidthDb::profile(&m);
+    (m, db)
+}
+
+#[test]
+fn ideal_simulator_agrees_with_analytic_model_on_z_only_grids() {
+    // On a (1,1,Z,D) grid there are no forward/backward all-reduces, so
+    // the only collectives are exactly the Eq. 1/2/5 terms the model
+    // counts once per layer. With zero latency, no noise and no overlap,
+    // the simulator's issued communication must equal the model's
+    // prediction.
+    let (machine, db) = setup();
+    let model = model_by_billions(5);
+    let batch = 1 << 20;
+    for grid in [Grid4d::new(1, 1, 16, 4), Grid4d::new(1, 1, 64, 2)] {
+        let predicted = network_comm_time(&machine, &db, grid, &model, batch);
+        let opts = SimOptions::baseline().with_fidelity(Fidelity::ideal());
+        let b = simulate_batch(&machine, &db, grid, &model, batch, opts);
+        let rel = (b.issued_comm_seconds - predicted).abs() / predicted;
+        assert!(
+            rel < 1e-9,
+            "{grid}: sim {} vs model {predicted}",
+            b.issued_comm_seconds
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn breakdown_accounting_identity(gi in 0usize..120, batch_exp in 18usize..23) {
+        let (machine, db) = setup();
+        let grids = Grid4d::enumerate(128);
+        let grid = grids[gi % grids.len()];
+        let model = model_by_billions(5);
+        let b = simulate_batch(&machine, &db, grid, &model, 1 << batch_exp, SimOptions::full());
+        prop_assert!(b.total_seconds > 0.0);
+        prop_assert!(
+            (b.total_seconds - b.compute_seconds - b.exposed_comm_seconds).abs()
+                < 1e-9 * b.total_seconds
+        );
+        prop_assert!(b.exposed_comm_seconds >= -1e-12);
+        prop_assert!(b.issued_comm_seconds + 1e-12 >= b.exposed_comm_seconds);
+    }
+
+    #[test]
+    fn overlap_never_slows_a_batch(gi in 0usize..120) {
+        let (machine, db) = setup();
+        let grids = Grid4d::enumerate(128);
+        let grid = grids[gi % grids.len()];
+        let model = model_by_billions(5);
+        let batch = 1 << 20;
+        let base = simulate_batch(&machine, &db, grid, &model, batch, SimOptions::baseline());
+        let full = {
+            let mut o = SimOptions::full();
+            o.kernel_tuning = false; // isolate overlap
+            simulate_batch(&machine, &db, grid, &model, batch, o)
+        };
+        prop_assert!(full.total_seconds <= base.total_seconds * (1.0 + 1e-9));
+        // Overlap hides communication; it never changes how much compute
+        // runs.
+        prop_assert!((full.compute_seconds - base.compute_seconds).abs() < 1e-9 * base.compute_seconds);
+    }
+
+    #[test]
+    fn kernel_tuning_never_slows_compute(gi in 0usize..120) {
+        let (machine, db) = setup();
+        let grids = Grid4d::enumerate(128);
+        let grid = grids[gi % grids.len()];
+        let model = model_by_billions(20); // large hidden: tuning matters
+        let batch = 1 << 20;
+        let mut untuned = SimOptions::baseline();
+        untuned.kernel_tuning = false;
+        let mut tuned = untuned;
+        tuned.kernel_tuning = true;
+        let a = simulate_batch(&machine, &db, grid, &model, batch, untuned);
+        let b = simulate_batch(&machine, &db, grid, &model, batch, tuned);
+        prop_assert!(b.compute_seconds <= a.compute_seconds * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn noise_only_increases_time(gi in 0usize..56, seed in 1u64..100) {
+        let (machine, db) = setup();
+        let grids = Grid4d::enumerate(32);
+        let grid = grids[gi % grids.len()];
+        let model = model_by_billions(5);
+        let batch = 1 << 19;
+        let clean = simulate_batch(&machine, &db, grid, &model, batch,
+            SimOptions::full().with_fidelity(Fidelity::ideal()));
+        let noisy = simulate_batch(&machine, &db, grid, &model, batch,
+            SimOptions::full().with_fidelity(Fidelity::observed(seed)));
+        prop_assert!(noisy.total_seconds >= clean.total_seconds);
+    }
+}

@@ -1,0 +1,162 @@
+//! Software bfloat16.
+//!
+//! The paper trains in mixed precision: bf16 matmul operands and
+//! activations with f32 master weights and accumulation (Section VI-A,
+//! citing Kalamkar et al.). There is no hardware bf16 on the CPUs we run
+//! on, so this module implements the format in software: the top 16 bits of
+//! an IEEE-754 `f32`, with round-to-nearest-even on conversion.
+
+/// A bfloat16 value stored as the upper 16 bits of an `f32`.
+///
+/// bf16 keeps the full 8-bit exponent of `f32` (hence the paper's
+/// preference for it over fp16: same dynamic range as fp32) but only
+/// 7 mantissa bits, so conversion from `f32` loses precision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Bf16(pub u16);
+
+impl Bf16 {
+    pub const ZERO: Bf16 = Bf16(0);
+    pub const ONE: Bf16 = Bf16(0x3f80);
+
+    /// Convert from `f32` with round-to-nearest-even, matching the
+    /// behaviour of hardware bf16 conversion instructions.
+    #[inline]
+    pub fn from_f32(x: f32) -> Self {
+        let bits = x.to_bits();
+        if x.is_nan() {
+            // Quiet NaN, preserving the sign bit.
+            return Bf16(((bits >> 16) as u16) | 0x0040);
+        }
+        // Round to nearest even: add 0x7FFF plus the LSB of the result.
+        let round_bit = (bits >> 16) & 1;
+        let rounded = bits.wrapping_add(0x7fff + round_bit);
+        Bf16((rounded >> 16) as u16)
+    }
+
+    /// Widen back to `f32` (exact: bf16 values are a subset of f32).
+    #[inline]
+    pub fn to_f32(self) -> f32 {
+        f32::from_bits((self.0 as u32) << 16)
+    }
+
+    /// Round an `f32` through bf16 and back, i.e. quantize to the bf16
+    /// grid. This is the operation applied to GEMM operands in
+    /// mixed-precision mode.
+    #[inline]
+    pub fn round_f32(x: f32) -> f32 {
+        Self::from_f32(x).to_f32()
+    }
+
+    pub fn is_nan(self) -> bool {
+        (self.0 & 0x7f80) == 0x7f80 && (self.0 & 0x007f) != 0
+    }
+
+    pub fn is_infinite(self) -> bool {
+        (self.0 & 0x7fff) == 0x7f80
+    }
+}
+
+impl From<f32> for Bf16 {
+    fn from(x: f32) -> Self {
+        Bf16::from_f32(x)
+    }
+}
+
+impl From<Bf16> for f32 {
+    fn from(x: Bf16) -> Self {
+        x.to_f32()
+    }
+}
+
+/// Quantize a whole slice to the bf16 grid in place.
+pub fn round_slice(xs: &mut [f32]) {
+    for x in xs {
+        *x = Bf16::round_f32(*x);
+    }
+}
+
+/// Relative error bound of a single f32 -> bf16 -> f32 round trip for
+/// normal numbers: half a ULP of a 7-bit mantissa.
+pub const BF16_RELATIVE_ERROR: f32 = 1.0 / 256.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_small_integers() {
+        for i in -256..=256 {
+            let x = i as f32;
+            assert_eq!(Bf16::round_f32(x), x, "{i} should be exact in bf16");
+        }
+    }
+
+    #[test]
+    fn one_and_zero() {
+        assert_eq!(Bf16::from_f32(1.0), Bf16::ONE);
+        assert_eq!(Bf16::from_f32(0.0), Bf16::ZERO);
+        assert_eq!(Bf16::ONE.to_f32(), 1.0);
+    }
+
+    #[test]
+    fn round_to_nearest_even() {
+        // 1.0 + 2^-8 is exactly halfway between 1.0 and the next bf16
+        // (1.0 + 2^-7); ties go to even mantissa, i.e. down to 1.0.
+        let halfway = 1.0 + 2f32.powi(-8);
+        assert_eq!(Bf16::round_f32(halfway), 1.0);
+        // Just above the halfway point rounds up.
+        let above = 1.0 + 2f32.powi(-8) + 2f32.powi(-16);
+        assert_eq!(Bf16::round_f32(above), 1.0 + 2f32.powi(-7));
+    }
+
+    #[test]
+    fn relative_error_bound() {
+        let mut x = 1.0e-20f32;
+        while x < 1.0e20 {
+            let r = Bf16::round_f32(x);
+            let rel = ((r - x) / x).abs();
+            assert!(rel <= BF16_RELATIVE_ERROR, "x={x} r={r} rel={rel}");
+            x *= 1.7;
+        }
+    }
+
+    #[test]
+    fn keeps_f32_range() {
+        // The motivation for bf16 in the paper: same exponent range as f32.
+        let big = 3.0e38f32;
+        assert!(Bf16::round_f32(big).is_finite());
+        let tiny = 1.0e-38f32;
+        assert!(Bf16::round_f32(tiny) > 0.0);
+    }
+
+    #[test]
+    fn nan_and_inf() {
+        assert!(Bf16::from_f32(f32::NAN).is_nan());
+        assert!(Bf16::from_f32(f32::INFINITY).is_infinite());
+        assert!(Bf16::from_f32(f32::NEG_INFINITY).is_infinite());
+        assert_eq!(Bf16::from_f32(f32::INFINITY).to_f32(), f32::INFINITY);
+    }
+
+    #[test]
+    fn negative_symmetry() {
+        for &x in &[0.1f32, 1.5, 123.456, 9.9e9] {
+            assert_eq!(Bf16::round_f32(-x), -Bf16::round_f32(x));
+        }
+    }
+
+    #[test]
+    fn round_slice_matches_scalar() {
+        let mut v: Vec<f32> = (0..100).map(|i| (i as f32) * 0.937 - 40.0).collect();
+        let expect: Vec<f32> = v.iter().map(|&x| Bf16::round_f32(x)).collect();
+        round_slice(&mut v);
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn idempotent() {
+        for &x in &[0.3f32, -7.7, 1e12, -1e-12] {
+            let once = Bf16::round_f32(x);
+            assert_eq!(Bf16::round_f32(once), once);
+        }
+    }
+}

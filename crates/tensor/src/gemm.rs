@@ -1,0 +1,330 @@
+//! GEMM kernels with distinct NN / NT / TN code paths.
+//!
+//! Section V-C of the paper observed that BLAS libraries ship kernels of
+//! very different quality for the three operand-transposition modes (on
+//! Frontier a TN matmul ran at 6% of peak vs 55% for NN), and built an
+//! automated tuner that times all modes on the first batch. To reproduce
+//! that situation honestly on CPU, the three modes here are implemented
+//! with genuinely different memory-access patterns:
+//!
+//! * **NN** (`C = A·B`): blocked i-k-j loop with a unit-stride inner loop
+//!   over both `B` and `C` rows — the fast path.
+//! * **NT** (`C = A·Bᵀ`): row-by-row dot products — contiguous reads but a
+//!   scalar reduction, somewhat slower than NN.
+//! * **TN** (`C = Aᵀ·B`): textbook loop with column-strided access to `A`
+//!   — deliberately the naive implementation, and markedly slower for
+//!   large `k`, mirroring the rocBLAS behaviour the paper tuned around.
+//!
+//! All kernels accumulate in `f32`; [`gemm_bf16`] additionally quantizes
+//! the operands to the bf16 grid first, which is how the mixed-precision
+//! training mode reaches these kernels.
+
+use crate::matrix::Matrix;
+use rayon::prelude::*;
+
+/// Operand transposition mode of a matrix multiply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MatMode {
+    /// `C = A · B`
+    NN,
+    /// `C = A · Bᵀ`
+    NT,
+    /// `C = Aᵀ · B`
+    TN,
+}
+
+impl MatMode {
+    pub const ALL: [MatMode; 3] = [MatMode::NN, MatMode::NT, MatMode::TN];
+
+    /// Output shape for operand shapes `a` and `b` under this mode.
+    ///
+    /// # Panics
+    /// If the contracted dimensions do not match.
+    pub fn output_shape(self, a: (usize, usize), b: (usize, usize)) -> (usize, usize) {
+        match self {
+            MatMode::NN => {
+                assert_eq!(a.1, b.0, "NN: A cols must equal B rows");
+                (a.0, b.1)
+            }
+            MatMode::NT => {
+                assert_eq!(a.1, b.1, "NT: A cols must equal B cols");
+                (a.0, b.0)
+            }
+            MatMode::TN => {
+                assert_eq!(a.0, b.0, "TN: A rows must equal B rows");
+                (a.1, b.1)
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for MatMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            MatMode::NN => "NN",
+            MatMode::NT => "NT",
+            MatMode::TN => "TN",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Below this many multiply-adds the kernels stay single-threaded; rayon
+/// task overhead dominates tiny products.
+const PAR_THRESHOLD: usize = 64 * 64 * 64;
+
+/// Multiply with the given mode, allocating the output.
+pub fn gemm(mode: MatMode, a: &Matrix, b: &Matrix) -> Matrix {
+    let (m, n) = mode.output_shape(a.shape(), b.shape());
+    let mut c = Matrix::zeros(m, n);
+    gemm_into(mode, a, b, &mut c);
+    c
+}
+
+/// Multiply with the given mode into a preallocated output (overwritten).
+///
+/// # Panics
+/// If `c` does not have the shape implied by `mode`.
+pub fn gemm_into(mode: MatMode, a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    let expect = mode.output_shape(a.shape(), b.shape());
+    assert_eq!(c.shape(), expect, "output shape mismatch for {mode}");
+    match mode {
+        MatMode::NN => gemm_nn(a, b, c),
+        MatMode::NT => gemm_nt(a, b, c),
+        MatMode::TN => gemm_tn(a, b, c),
+    }
+}
+
+/// Mixed-precision multiply: quantize both operands to the bf16 grid,
+/// multiply with f32 accumulation. This is the entry point used by the
+/// training engine when `precision = Bf16Mixed`.
+pub fn gemm_bf16(mode: MatMode, a: &Matrix, b: &Matrix) -> Matrix {
+    let a16 = a.to_bf16();
+    let b16 = b.to_bf16();
+    gemm(mode, &a16, &b16)
+}
+
+/// NN fast path: for each row of C, accumulate k rank-1 row updates with a
+/// unit-stride inner loop.
+fn gemm_nn(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let work = m * n * k;
+    let body = |(i, c_row): (usize, &mut [f32])| {
+        c_row.fill(0.0);
+        let a_row = a.row(i);
+        for (p, &a_ip) in a_row.iter().enumerate().take(k) {
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = b.row(p);
+            for (c_v, &b_v) in c_row.iter_mut().zip(b_row) {
+                *c_v += a_ip * b_v;
+            }
+        }
+    };
+    if work >= PAR_THRESHOLD {
+        c.as_mut_slice()
+            .par_chunks_mut(n)
+            .enumerate()
+            .for_each(body);
+    } else {
+        c.as_mut_slice().chunks_mut(n).enumerate().for_each(body);
+    }
+}
+
+/// NT path: C[i][j] = dot(A row i, B row j).
+fn gemm_nt(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    let (m, k) = a.shape();
+    let n = b.rows();
+    let work = m * n * k;
+    let body = |(i, c_row): (usize, &mut [f32])| {
+        let a_row = a.row(i);
+        for (j, c_v) in c_row.iter_mut().enumerate() {
+            let b_row = b.row(j);
+            let mut acc = 0.0f32;
+            for (x, y) in a_row.iter().zip(b_row) {
+                acc += x * y;
+            }
+            *c_v = acc;
+        }
+    };
+    if work >= PAR_THRESHOLD {
+        c.as_mut_slice()
+            .par_chunks_mut(n)
+            .enumerate()
+            .for_each(body);
+    } else {
+        c.as_mut_slice().chunks_mut(n).enumerate().for_each(body);
+    }
+}
+
+/// TN path, deliberately naive: C[i][j] = sum_p A[p][i] * B[p][j] with a
+/// column-strided walk over `A`. This is the "bad kernel" the automated
+/// tuner learns to avoid by transposing `A` and calling NN instead.
+fn gemm_tn(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    let (k, m) = a.shape();
+    let n = b.cols();
+    let a_data = a.as_slice();
+    let work = m * n * k;
+    let body = |(i, c_row): (usize, &mut [f32])| {
+        for (j, c_v) in c_row.iter_mut().enumerate() {
+            let mut acc = 0.0f32;
+            // Column-strided access to A: stride m per step.
+            for p in 0..k {
+                acc += a_data[p * m + i] * b.row(p)[j];
+            }
+            *c_v = acc;
+        }
+    };
+    if work >= PAR_THRESHOLD {
+        c.as_mut_slice()
+            .par_chunks_mut(n)
+            .enumerate()
+            .for_each(body);
+    } else {
+        c.as_mut_slice().chunks_mut(n).enumerate().for_each(body);
+    }
+}
+
+/// Naive triple-loop reference used only by tests.
+pub fn gemm_reference(mode: MatMode, a: &Matrix, b: &Matrix) -> Matrix {
+    let (m, n) = mode.output_shape(a.shape(), b.shape());
+    let k = match mode {
+        MatMode::NN | MatMode::NT => a.cols(),
+        MatMode::TN => a.rows(),
+    };
+    let mut c = Matrix::zeros(m, n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                let av = match mode {
+                    MatMode::NN | MatMode::NT => a[(i, p)],
+                    MatMode::TN => a[(p, i)],
+                };
+                let bv = match mode {
+                    MatMode::NN | MatMode::TN => b[(p, j)],
+                    MatMode::NT => b[(j, p)],
+                };
+                acc += av * bv;
+            }
+            c[(i, j)] = acc;
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mats(m: usize, k: usize, n: usize, seed: u64) -> (Matrix, Matrix, Matrix) {
+        (
+            Matrix::random(m, k, 1.0, seed),
+            Matrix::random(k, n, 1.0, seed + 1),
+            Matrix::random(n, k, 1.0, seed + 2),
+        )
+    }
+
+    #[test]
+    fn nn_matches_reference() {
+        let (a, b, _) = mats(13, 7, 11, 1);
+        let c = gemm(MatMode::NN, &a, &b);
+        assert!(c.approx_eq(&gemm_reference(MatMode::NN, &a, &b), 1e-5));
+    }
+
+    #[test]
+    fn nt_matches_reference() {
+        let (a, _, bt) = mats(13, 7, 11, 2);
+        let c = gemm(MatMode::NT, &a, &bt);
+        assert!(c.approx_eq(&gemm_reference(MatMode::NT, &a, &bt), 1e-5));
+    }
+
+    #[test]
+    fn tn_matches_reference() {
+        let at = Matrix::random(7, 13, 1.0, 3);
+        let b = Matrix::random(7, 11, 1.0, 4);
+        let c = gemm(MatMode::TN, &at, &b);
+        assert!(c.approx_eq(&gemm_reference(MatMode::TN, &at, &b), 1e-5));
+    }
+
+    #[test]
+    fn modes_agree_via_explicit_transposes() {
+        // NT(A, B) == NN(A, Bᵀ) and TN(A, B) == NN(Aᵀ, B).
+        let a = Matrix::random(9, 6, 1.0, 5);
+        let b = Matrix::random(8, 6, 1.0, 6);
+        let nt = gemm(MatMode::NT, &a, &b);
+        let nn = gemm(MatMode::NN, &a, &b.transposed());
+        assert!(nt.approx_eq(&nn, 1e-5));
+
+        let a2 = Matrix::random(6, 9, 1.0, 7);
+        let b2 = Matrix::random(6, 8, 1.0, 8);
+        let tn = gemm(MatMode::TN, &a2, &b2);
+        let nn2 = gemm(MatMode::NN, &a2.transposed(), &b2);
+        assert!(tn.approx_eq(&nn2, 1e-5));
+    }
+
+    #[test]
+    fn identity_multiplication() {
+        let a = Matrix::random(5, 5, 1.0, 9);
+        let i = Matrix::eye(5);
+        assert!(gemm(MatMode::NN, &a, &i).approx_eq(&a, 1e-6));
+        assert!(gemm(MatMode::NN, &i, &a).approx_eq(&a, 1e-6));
+    }
+
+    #[test]
+    fn parallel_path_matches_serial() {
+        // Big enough to cross PAR_THRESHOLD.
+        let a = Matrix::random(96, 96, 1.0, 10);
+        let b = Matrix::random(96, 96, 1.0, 11);
+        let c = gemm(MatMode::NN, &a, &b);
+        assert!(c.approx_eq(&gemm_reference(MatMode::NN, &a, &b), 1e-4));
+    }
+
+    #[test]
+    fn output_shapes() {
+        assert_eq!(MatMode::NN.output_shape((2, 3), (3, 5)), (2, 5));
+        assert_eq!(MatMode::NT.output_shape((2, 3), (5, 3)), (2, 5));
+        assert_eq!(MatMode::TN.output_shape((3, 2), (3, 5)), (2, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "NN: A cols must equal B rows")]
+    fn shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 5);
+        let _ = gemm(MatMode::NN, &a, &b);
+    }
+
+    #[test]
+    fn gemm_bf16_quantizes_operands() {
+        // With operands exactly on the bf16 grid, bf16 gemm equals f32 gemm.
+        let mut a = Matrix::random(8, 8, 1.0, 12);
+        let mut b = Matrix::random(8, 8, 1.0, 13);
+        a.round_bf16();
+        b.round_bf16();
+        let full = gemm(MatMode::NN, &a, &b);
+        let mixed = gemm_bf16(MatMode::NN, &a, &b);
+        assert_eq!(full, mixed);
+    }
+
+    #[test]
+    fn gemm_bf16_error_is_bounded() {
+        let a = Matrix::random(16, 16, 1.0, 14);
+        let b = Matrix::random(16, 16, 1.0, 15);
+        let full = gemm(MatMode::NN, &a, &b);
+        let mixed = gemm_bf16(MatMode::NN, &a, &b);
+        // Two operands each within 2^-8 relative error, k=16 accumulation:
+        // generous bound of 0.05 absolute for unit-scale inputs.
+        assert!(full.max_abs_diff(&mixed) < 0.05);
+    }
+
+    #[test]
+    fn zero_sized_edges() {
+        let a = Matrix::zeros(0, 4);
+        let b = Matrix::zeros(4, 3);
+        let c = gemm(MatMode::NN, &a, &b);
+        assert_eq!(c.shape(), (0, 3));
+    }
+}

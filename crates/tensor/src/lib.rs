@@ -1,0 +1,20 @@
+//! Dense matrix kernels for the AxoNN-rs reproduction stack.
+//!
+//! This crate stands in for cuBLAS / rocBLAS in the original AxoNN: it
+//! provides row-major `f32` matrices, a software [`Bf16`] storage type used
+//! to emulate the paper's mixed-precision (bf16 compute / f32 master
+//! weights) regime, and tiled, rayon-parallel GEMM kernels with three
+//! *genuinely different* code paths for the NN / NT / TN operand modes
+//! (Section V-C of the paper). The mode-dependent performance difference is
+//! what makes the automated kernel tuner in `axonn-core` meaningful on CPU,
+//! just as the rocBLAS TN/NN gap made it meaningful on Frontier.
+
+pub mod bf16;
+pub mod gemm;
+pub mod matrix;
+pub mod shard;
+
+pub use bf16::Bf16;
+pub use gemm::{gemm, gemm_bf16, gemm_into, gemm_reference, MatMode};
+pub use matrix::Matrix;
+pub use shard::{block_of, concat_cols, concat_rows, shard_rows, unshard_rows, BlockSpec};

@@ -1,0 +1,180 @@
+//! Block decomposition helpers for the 4D algorithm.
+//!
+//! Algorithm 1 distributes the input activations `I` and the weight matrix
+//! `W` as 2D blocks over planes of the `G_x × G_y × G_z` grid, and further
+//! shards each `W` block along Z. These helpers cut and reassemble such
+//! blocks. All partitions require exact divisibility — the training engine
+//! validates grid/shape compatibility up front rather than padding, which
+//! matches AxoNN's requirement that hidden sizes divide the grid.
+
+use crate::matrix::Matrix;
+
+/// Which block of a `parts_r × parts_c` partition to take.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockSpec {
+    pub parts_r: usize,
+    pub parts_c: usize,
+    pub idx_r: usize,
+    pub idx_c: usize,
+}
+
+impl BlockSpec {
+    pub fn new(parts_r: usize, parts_c: usize, idx_r: usize, idx_c: usize) -> Self {
+        assert!(idx_r < parts_r, "row block index {idx_r} out of {parts_r}");
+        assert!(idx_c < parts_c, "col block index {idx_c} out of {parts_c}");
+        BlockSpec {
+            parts_r,
+            parts_c,
+            idx_r,
+            idx_c,
+        }
+    }
+}
+
+/// Extract the 2D block described by `spec` from `m`.
+///
+/// # Panics
+/// If the matrix dimensions are not divisible by the partition counts.
+pub fn block_of(m: &Matrix, spec: BlockSpec) -> Matrix {
+    let (rows, cols) = m.shape();
+    assert_eq!(
+        rows % spec.parts_r,
+        0,
+        "rows {rows} not divisible by {} row parts",
+        spec.parts_r
+    );
+    assert_eq!(
+        cols % spec.parts_c,
+        0,
+        "cols {cols} not divisible by {} col parts",
+        spec.parts_c
+    );
+    let br = rows / spec.parts_r;
+    let bc = cols / spec.parts_c;
+    let r0 = spec.idx_r * br;
+    let c0 = spec.idx_c * bc;
+    Matrix::from_fn(br, bc, |r, c| m[(r0 + r, c0 + c)])
+}
+
+/// Row-shard `m` into `parts` equal slabs and return slab `idx`.
+pub fn shard_rows(m: &Matrix, parts: usize, idx: usize) -> Matrix {
+    block_of(m, BlockSpec::new(parts, 1, idx, 0))
+}
+
+/// Reassemble row slabs (inverse of [`shard_rows`] over all indices).
+pub fn unshard_rows(shards: &[Matrix]) -> Matrix {
+    concat_rows(shards)
+}
+
+/// Stack matrices vertically. All inputs must share a column count.
+pub fn concat_rows(parts: &[Matrix]) -> Matrix {
+    assert!(!parts.is_empty(), "concat_rows of nothing");
+    let cols = parts[0].cols();
+    let rows: usize = parts
+        .iter()
+        .map(|p| {
+            assert_eq!(p.cols(), cols, "column mismatch in concat_rows");
+            p.rows()
+        })
+        .sum();
+    let mut data = Vec::with_capacity(rows * cols);
+    for p in parts {
+        data.extend_from_slice(p.as_slice());
+    }
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// Stack matrices horizontally. All inputs must share a row count.
+pub fn concat_cols(parts: &[Matrix]) -> Matrix {
+    assert!(!parts.is_empty(), "concat_cols of nothing");
+    let rows = parts[0].rows();
+    let cols: usize = parts
+        .iter()
+        .map(|p| {
+            assert_eq!(p.rows(), rows, "row mismatch in concat_cols");
+            p.cols()
+        })
+        .sum();
+    let mut out = Matrix::zeros(rows, cols);
+    for r in 0..rows {
+        let dst = out.row_mut(r);
+        let mut off = 0;
+        for p in parts {
+            let src = p.row(r);
+            dst[off..off + src.len()].copy_from_slice(src);
+            off += src.len();
+        }
+    }
+    out
+}
+
+/// Reassemble a full matrix from its `parts_r × parts_c` blocks laid out in
+/// row-major block order.
+pub fn assemble_blocks(blocks: &[Matrix], parts_r: usize, parts_c: usize) -> Matrix {
+    assert_eq!(blocks.len(), parts_r * parts_c, "wrong number of blocks");
+    let rows: Vec<Matrix> = (0..parts_r)
+        .map(|i| concat_cols(&blocks[i * parts_c..(i + 1) * parts_c]))
+        .collect();
+    concat_rows(&rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_extraction_round_trip() {
+        let m = Matrix::from_fn(6, 8, |r, c| (r * 8 + c) as f32);
+        let mut blocks = Vec::new();
+        for i in 0..3 {
+            for j in 0..4 {
+                blocks.push(block_of(&m, BlockSpec::new(3, 4, i, j)));
+            }
+        }
+        assert_eq!(assemble_blocks(&blocks, 3, 4), m);
+    }
+
+    #[test]
+    fn block_contents() {
+        let m = Matrix::from_fn(4, 4, |r, c| (r * 4 + c) as f32);
+        let b = block_of(&m, BlockSpec::new(2, 2, 1, 0));
+        assert_eq!(b.shape(), (2, 2));
+        assert_eq!(b.as_slice(), &[8.0, 9.0, 12.0, 13.0]);
+    }
+
+    #[test]
+    fn shard_and_unshard_rows() {
+        let m = Matrix::random(12, 5, 1.0, 3);
+        let shards: Vec<Matrix> = (0..4).map(|i| shard_rows(&m, 4, i)).collect();
+        assert!(shards.iter().all(|s| s.shape() == (3, 5)));
+        assert_eq!(unshard_rows(&shards), m);
+    }
+
+    #[test]
+    fn concat_cols_round_trip() {
+        let m = Matrix::random(5, 12, 1.0, 4);
+        let parts: Vec<Matrix> = (0..3)
+            .map(|j| block_of(&m, BlockSpec::new(1, 3, 0, j)))
+            .collect();
+        assert_eq!(concat_cols(&parts), m);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn indivisible_partition_panics() {
+        let m = Matrix::zeros(5, 5);
+        let _ = block_of(&m, BlockSpec::new(2, 1, 0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn out_of_range_block_panics() {
+        let _ = BlockSpec::new(2, 2, 2, 0);
+    }
+
+    #[test]
+    fn single_part_is_identity() {
+        let m = Matrix::random(7, 7, 1.0, 5);
+        assert_eq!(block_of(&m, BlockSpec::new(1, 1, 0, 0)), m);
+    }
+}

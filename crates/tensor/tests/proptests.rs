@@ -1,0 +1,111 @@
+//! Property tests for the tensor kernels: GEMM-mode agreement against
+//! the naive reference, shard/assemble round trips, and bf16 error
+//! bounds, over randomly drawn shapes.
+
+use axonn_tensor::shard::assemble_blocks;
+use axonn_tensor::{
+    block_of, concat_cols, concat_rows, gemm, gemm_bf16, gemm_reference, shard_rows,
+    unshard_rows, BlockSpec, MatMode, Matrix,
+};
+use proptest::prelude::*;
+
+fn dim() -> impl Strategy<Value = usize> {
+    1usize..24
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn gemm_nn_matches_reference(m in dim(), k in dim(), n in dim(), seed in 0u64..1000) {
+        let a = Matrix::random(m, k, 1.0, seed);
+        let b = Matrix::random(k, n, 1.0, seed + 1);
+        let fast = gemm(MatMode::NN, &a, &b);
+        let slow = gemm_reference(MatMode::NN, &a, &b);
+        prop_assert!(fast.approx_eq(&slow, 1e-4));
+    }
+
+    #[test]
+    fn gemm_nt_matches_reference(m in dim(), k in dim(), n in dim(), seed in 0u64..1000) {
+        let a = Matrix::random(m, k, 1.0, seed);
+        let b = Matrix::random(n, k, 1.0, seed + 1);
+        let fast = gemm(MatMode::NT, &a, &b);
+        let slow = gemm_reference(MatMode::NT, &a, &b);
+        prop_assert!(fast.approx_eq(&slow, 1e-4));
+    }
+
+    #[test]
+    fn gemm_tn_matches_reference(m in dim(), k in dim(), n in dim(), seed in 0u64..1000) {
+        let a = Matrix::random(k, m, 1.0, seed);
+        let b = Matrix::random(k, n, 1.0, seed + 1);
+        let fast = gemm(MatMode::TN, &a, &b);
+        let slow = gemm_reference(MatMode::TN, &a, &b);
+        prop_assert!(fast.approx_eq(&slow, 1e-4));
+    }
+
+    #[test]
+    fn transpose_is_involution(r in dim(), c in dim(), seed in 0u64..1000) {
+        let m = Matrix::random(r, c, 1.0, seed);
+        prop_assert_eq!(m.transposed().transposed(), m);
+    }
+
+    #[test]
+    fn gemm_transpose_identity(m in dim(), k in dim(), n in dim(), seed in 0u64..1000) {
+        // (A·B)ᵀ == Bᵀ·Aᵀ expressed through modes.
+        let a = Matrix::random(m, k, 1.0, seed);
+        let b = Matrix::random(k, n, 1.0, seed + 1);
+        let ab_t = gemm(MatMode::NN, &a, &b).transposed();
+        let bt_at = gemm(MatMode::NN, &b.transposed(), &a.transposed());
+        prop_assert!(ab_t.approx_eq(&bt_at, 1e-4));
+    }
+
+    #[test]
+    fn block_partition_reassembles(
+        pr in 1usize..5, pc in 1usize..5, br in 1usize..6, bc in 1usize..6, seed in 0u64..1000
+    ) {
+        let m = Matrix::random(pr * br, pc * bc, 1.0, seed);
+        let blocks: Vec<Matrix> = (0..pr)
+            .flat_map(|i| (0..pc).map(move |j| (i, j)))
+            .map(|(i, j)| block_of(&m, BlockSpec::new(pr, pc, i, j)))
+            .collect();
+        prop_assert_eq!(assemble_blocks(&blocks, pr, pc), m);
+    }
+
+    #[test]
+    fn row_shard_round_trip(parts in 1usize..8, rows_per in 1usize..6, cols in 1usize..8, seed in 0u64..1000) {
+        let m = Matrix::random(parts * rows_per, cols, 1.0, seed);
+        let shards: Vec<Matrix> = (0..parts).map(|i| shard_rows(&m, parts, i)).collect();
+        prop_assert_eq!(unshard_rows(&shards), m);
+    }
+
+    #[test]
+    fn concat_shapes(r in 1usize..6, c1 in 1usize..6, c2 in 1usize..6, seed in 0u64..1000) {
+        let a = Matrix::random(r, c1, 1.0, seed);
+        let b = Matrix::random(r, c2, 1.0, seed + 1);
+        let cc = concat_cols(&[a.clone(), b.clone()]);
+        prop_assert_eq!(cc.shape(), (r, c1 + c2));
+        let rr = concat_rows(&[a.transposed(), b.transposed()]);
+        prop_assert_eq!(rr.shape(), (c1 + c2, r));
+    }
+
+    #[test]
+    fn bf16_round_trip_error_bound(x in -1.0e30f32..1.0e30) {
+        let r = axonn_tensor::Bf16::round_f32(x);
+        if x != 0.0 && x.is_normal() {
+            prop_assert!(((r - x) / x).abs() <= 1.0 / 256.0, "x={x} r={r}");
+        }
+        // Idempotence.
+        prop_assert_eq!(axonn_tensor::Bf16::round_f32(r), r);
+    }
+
+    #[test]
+    fn bf16_gemm_error_scales_with_k(m in 1usize..8, k in 1usize..16, n in 1usize..8, seed in 0u64..1000) {
+        let a = Matrix::random(m, k, 1.0, seed);
+        let b = Matrix::random(k, n, 1.0, seed + 1);
+        let exact = gemm(MatMode::NN, &a, &b);
+        let mixed = gemm_bf16(MatMode::NN, &a, &b);
+        // |error| <= k * (2*eps + eps^2) for unit-bounded operands.
+        let bound = k as f32 * 3.0 * (1.0 / 256.0) + 1e-5;
+        prop_assert!(exact.max_abs_diff(&mixed) <= bound);
+    }
+}

@@ -1,0 +1,48 @@
+//! Memorization and the Goldfish loss, in miniature (Section VIII).
+//!
+//! Trains two copies of the same GPT on repeated synthetic "Wikipedia"
+//! articles — one with the standard loss, one with the Goldfish loss —
+//! and shows that only the first reproduces articles verbatim.
+//!
+//! ```sh
+//! cargo run --release --example memorize_demo
+//! ```
+
+use axonn::memorize::{run_scale, ExperimentConfig, GoldfishParams, ModelScale};
+
+fn main() {
+    let mut cfg = ExperimentConfig::smoke();
+    cfg.articles_per_bucket = 3;
+    cfg.bucket_epochs = vec![1, 4, 6];
+    cfg.seq_len = 40;
+    cfg.gen_tokens = 12;
+    cfg.steps_per_batch = 10;
+    cfg.lr_max = 3.5e-3;
+    cfg.lr_min = 2e-3;
+    let scale = ModelScale::new("demo GPT (d=128, 3 layers)", 128, 4, 3);
+
+    println!("Training on 3 buckets of {} articles (1 / 4 / 6 epochs) + untouched control…\n", cfg.articles_per_bucket);
+
+    let plain = run_scale(&scale, &cfg);
+    let goldfish = run_scale(&scale, &cfg.clone().with_goldfish(GoldfishParams::paper()));
+
+    println!("{:<28} {:>10} {:>10} {:>10} {:>12}", "", "1 epoch", "4 epochs", "6 epochs", "control(0)");
+    let fmt = |r: &axonn::memorize::ScaleResult| {
+        format!(
+            "{:<28} {:>9.0}% {:>9.0}% {:>9.0}% {:>11.0}%",
+            "",
+            r.buckets[0].exact_match_pct,
+            r.buckets[1].exact_match_pct,
+            r.buckets[2].exact_match_pct,
+            r.buckets[3].exact_match_pct
+        )
+    };
+    println!("standard loss{}", &fmt(&plain)[13..]);
+    println!("goldfish loss (k=2, h=13){}", &fmt(&goldfish)[25..]);
+
+    println!("\nExact match = the model greedily reproduces the last {} tokens of an", cfg.gen_tokens);
+    println!("article verbatim when prompted with its beginning. The Goldfish loss");
+    println!("drops ~1/k of tokens from the loss via a context-keyed hash, so verbatim");
+    println!("reproduction of long spans becomes impossible — memorization collapses");
+    println!("to the control level while the model still trains on the same data.");
+}

@@ -1,0 +1,71 @@
+//! Plan a large training run: use the communication performance model
+//! (Equations 1–7) to rank 4D configurations for a Table II model on a
+//! chosen machine, then confirm the top candidates with the simulator —
+//! the workflow AxoNN automates before touching a single GPU-hour.
+//!
+//! ```sh
+//! cargo run --release --example plan_training -- [frontier|perlmutter|alps] [billions] [gpus]
+//! ```
+
+use axonn::cluster::{BandwidthDb, Machine};
+use axonn::gpt::{model_by_billions, HEADLINE_BATCH_TOKENS};
+use axonn::perfmodel::rank_configs;
+use axonn::sim::{simulate_batch, SimOptions};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let machine_name = args.get(1).map(String::as_str).unwrap_or("frontier");
+    let billions: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(20);
+    let gpus: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(1024);
+
+    let machine = Machine::by_name(machine_name);
+    let db = BandwidthDb::profile(&machine);
+    let model = model_by_billions(billions);
+    let batch = HEADLINE_BATCH_TOKENS;
+
+    println!(
+        "Planning {} on {} GPUs of {} (batch = {:.1}M tokens)",
+        model.name,
+        gpus,
+        machine.name,
+        batch as f64 / 1e6
+    );
+    println!(
+        "Model: {} layers, hidden {}, {:.1}B parameters\n",
+        model.num_layers,
+        model.hidden_size,
+        model.num_parameters() as f64 / 1e9
+    );
+
+    let mem_limit = machine.mem_per_gpu * 0.8;
+    let ranked = rank_configs(&machine, &db, &model, batch, gpus, Some(mem_limit));
+    println!(
+        "{} feasible 4D configurations; top 10 by predicted communication time:",
+        ranked.len()
+    );
+    println!("{:>4}  {:>22}  {:>14}  {:>14}  {:>12}", "rank", "config (x*y*z*d)", "predicted comm", "simulated", "exposed comm");
+    let mut best: Option<(String, f64)> = None;
+    for (i, rc) in ranked.iter().take(10).enumerate() {
+        let b = simulate_batch(&machine, &db, rc.grid, &model, batch, SimOptions::full());
+        let label = format!("{}", rc.grid);
+        if best.as_ref().is_none_or(|(_, t)| b.total_seconds < *t) {
+            best = Some((label.clone(), b.total_seconds));
+        }
+        println!(
+            "{:>4}  {:>22}  {:>12.2} s  {:>12.2} s  {:>10.2} s",
+            i + 1,
+            label,
+            rc.predicted_comm_seconds,
+            b.total_seconds,
+            b.exposed_comm_seconds
+        );
+    }
+    let (grid, secs) = best.expect("at least one feasible configuration");
+    let rate = model.model_flops_per_iter(batch) / secs;
+    println!(
+        "\nRecommended launch: {grid} -> {:.2} s/iter, {:.1} Pflop/s sustained ({:.1}% of advertised peak)",
+        secs,
+        rate / 1e15,
+        100.0 * rate / (gpus as f64 * machine.advertised_peak())
+    );
+}

@@ -1,0 +1,43 @@
+//! Reproduce a miniature weak-scaling study (the Fig. 6 / Fig. 8
+//! workflow) on any of the three machine models, printing time per batch
+//! and sustained flop/s at each scale.
+//!
+//! ```sh
+//! cargo run --release --example scaling_study -- frontier
+//! ```
+
+use axonn::cluster::{BandwidthDb, Machine};
+use axonn::gpt::model_by_billions;
+use axonn::sim::{weak_scaling_series, SimOptions};
+
+fn main() {
+    let machine_name = std::env::args().nth(1).unwrap_or_else(|| "frontier".into());
+    let machine = Machine::by_name(&machine_name);
+    let db = BandwidthDb::profile(&machine);
+
+    let series: Vec<_> = [(5usize, 512usize), (10, 1024), (20, 2048), (40, 4096)]
+        .iter()
+        .map(|&(b, g)| (model_by_billions(b), g))
+        .collect();
+
+    println!("Weak scaling on {} (16.8M-token batches):\n", machine.name);
+    let points = weak_scaling_series(&machine, &db, &series, 1 << 24, SimOptions::full());
+    println!(
+        "{:>8} {:>7} {:>22} {:>12} {:>12} {:>10}",
+        "model", "GPUs", "config", "time/batch", "Pflop/s", "% peak"
+    );
+    for p in &points {
+        println!(
+            "{:>8} {:>7} {:>22} {:>10.2} s {:>12.1} {:>9.1}%",
+            p.model,
+            p.gpus,
+            format!("{}", p.grid),
+            p.breakdown.total_seconds,
+            p.model_flops_per_second / 1e15,
+            p.pct_advertised_peak
+        );
+    }
+    let eff = 100.0 * (points.last().unwrap().model_flops_per_second / points.last().unwrap().gpus as f64)
+        / (points[0].model_flops_per_second / points[0].gpus as f64);
+    println!("\nWeak-scaling efficiency at the largest point: {eff:.1}%");
+}

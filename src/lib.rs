@@ -1,0 +1,17 @@
+//! Umbrella crate for the AxoNN-rs reproduction workspace.
+//!
+//! Re-exports every subsystem crate under one roof so examples and
+//! integration tests can `use axonn::...`. See `DESIGN.md` at the
+//! repository root for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record.
+
+pub use axonn_cluster as cluster;
+pub use axonn_collectives as collectives;
+pub use axonn_core as engine;
+pub use axonn_exec as exec;
+pub use axonn_gpt as gpt;
+pub use axonn_lm as lm;
+pub use axonn_memorize as memorize;
+pub use axonn_perfmodel as perfmodel;
+pub use axonn_sim as sim;
+pub use axonn_tensor as tensor;
