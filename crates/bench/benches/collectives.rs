@@ -30,15 +30,19 @@ fn bench_collectives(c: &mut Criterion) {
                 })
             })
         });
-        g.bench_with_input(BenchmarkId::new("reduce_scatter", world), &world, |b, &w| {
-            b.iter(|| {
-                run_spmd(w, move |comm| {
-                    let group = ProcessGroup::new((0..w).collect());
-                    let buf = vec![1.0f32; ELEMS];
-                    comm.reduce_scatter(&group, &buf).len()
+        g.bench_with_input(
+            BenchmarkId::new("reduce_scatter", world),
+            &world,
+            |b, &w| {
+                b.iter(|| {
+                    run_spmd(w, move |comm| {
+                        let group = ProcessGroup::new((0..w).collect());
+                        let buf = vec![1.0f32; ELEMS];
+                        comm.reduce_scatter(&group, &buf).len()
+                    })
                 })
-            })
-        });
+            },
+        );
     }
     g.finish();
 }

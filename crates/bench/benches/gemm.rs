@@ -28,7 +28,9 @@ fn bench_bf16(c: &mut Criterion) {
     let a = Matrix::random(n, n, 1.0, 3);
     let b = Matrix::random(n, n, 1.0, 4);
     g.bench_function("f32", |bench| bench.iter(|| gemm(MatMode::NN, &a, &b)));
-    g.bench_function("bf16_mixed", |bench| bench.iter(|| gemm_bf16(MatMode::NN, &a, &b)));
+    g.bench_function("bf16_mixed", |bench| {
+        bench.iter(|| gemm_bf16(MatMode::NN, &a, &b))
+    });
     g.finish();
 }
 

@@ -24,7 +24,12 @@ fn step(gx: usize, gy: usize, gz: usize, gd: usize, overlap: OverlapConfig) -> f
 fn bench_grids(c: &mut Criterion) {
     let mut g = c.benchmark_group("parallel_train_step");
     g.measurement_time(Duration::from_secs(2)).sample_size(10);
-    for &(gx, gy, gz, gd) in &[(1usize, 1usize, 1usize, 1usize), (2, 1, 1, 1), (1, 1, 2, 1), (2, 2, 2, 1)] {
+    for &(gx, gy, gz, gd) in &[
+        (1usize, 1usize, 1usize, 1usize),
+        (2, 1, 1, 1),
+        (1, 1, 2, 1),
+        (2, 2, 2, 1),
+    ] {
         let label = format!("{gx}x{gy}x{gz}x{gd}");
         g.bench_with_input(BenchmarkId::new("no_overlap", &label), &(), |b, _| {
             b.iter(|| step(gx, gy, gz, gd, OverlapConfig::default()))

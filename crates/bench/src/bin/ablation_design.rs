@@ -10,9 +10,7 @@
 
 use axonn_bench::{emit_json, print_table, series};
 use axonn_collectives::{CollectiveKind, CostModel, RingCostModel};
-use axonn_perfmodel::{
-    estimate_memory, estimate_memory_replicated_w, network_comm_time, Grid4d,
-};
+use axonn_perfmodel::{estimate_memory, estimate_memory_replicated_w, network_comm_time, Grid4d};
 use axonn_sim::pick_best_config;
 use axonn_sim::SimOptions;
 use serde::Serialize;
@@ -35,7 +33,8 @@ fn main() {
     let mut json_rows = Vec::new();
     for (billions, gcds) in [(20usize, 2048usize), (40, 4096), (80, 8192)] {
         let model = axonn_gpt::model_by_billions(billions);
-        let (grid, _) = pick_best_config(&machine, &db, &model, batch, gcds, SimOptions::full(), 10);
+        let (grid, _) =
+            pick_best_config(&machine, &db, &model, batch, gcds, SimOptions::full(), 10);
         let sharded = estimate_memory(&model, grid, batch).total() / 1e9;
         let replicated = estimate_memory_replicated_w(&model, grid, batch).total() / 1e9;
         rows.push(vec![
@@ -60,7 +59,14 @@ fn main() {
     }
     print_table(
         "Ablation 1 — per-GCD memory: Z-sharded Ŵ (AxoNN) vs replicated W (Agarwal)",
-        &["model", "config", "sharded", "replicated", "factor", "note (64 GB GCDs)"],
+        &[
+            "model",
+            "config",
+            "sharded",
+            "replicated",
+            "factor",
+            "note (64 GB GCDs)",
+        ],
         &rows,
     );
 
@@ -85,16 +91,17 @@ fn main() {
     for bytes_exp in [10u32, 14, 18, 22, 26, 30] {
         let bytes = 2f64.powi(bytes_exp as i32);
         let ring = cost.collective_seconds(CollectiveKind::AllReduce, 64, bytes);
-        let rd = cost.collective_seconds(
-            CollectiveKind::AllReduceRecursiveDoubling,
-            64,
-            bytes,
-        );
+        let rd = cost.collective_seconds(CollectiveKind::AllReduceRecursiveDoubling, 64, bytes);
         rd_rows.push(vec![
             format!("{:.0} KiB", bytes / 1024.0),
             format!("{:.1} µs", ring * 1e6),
             format!("{:.1} µs", rd * 1e6),
-            if rd < ring { "recursive doubling" } else { "ring" }.into(),
+            if rd < ring {
+                "recursive doubling"
+            } else {
+                "ring"
+            }
+            .into(),
         ]);
     }
     print_table(

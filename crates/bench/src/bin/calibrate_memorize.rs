@@ -42,7 +42,10 @@ fn main() {
         "dim={dim} L={layers} steps={steps} lr={lr_max}->{lr_min} arts={per_bucket} seq={seq_len} gen={gen_tokens}"
     );
     for b in &r.buckets {
-        println!("  {} epochs: {:.0}% ({}/{})", b.epochs, b.exact_match_pct, b.matched, b.total);
+        println!(
+            "  {} epochs: {:.0}% ({}/{})",
+            b.epochs, b.exact_match_pct, b.matched, b.total
+        );
     }
     println!("  wall: {:.1}s", t0.elapsed().as_secs_f64());
 }

@@ -4,8 +4,8 @@
 //! with the Goldfish mask applied during training; exact-match rates
 //! should collapse to control-bucket levels.
 
-use axonn_bench::memor::{ladder, report, trials_for};
 use axonn_bench::emit_json;
+use axonn_bench::memor::{ladder, report, trials_for};
 use axonn_memorize::{run_scale_trials, ExperimentConfig, GoldfishParams, TrialStats};
 use rayon::prelude::*;
 

@@ -88,18 +88,30 @@ fn report(name: &str, points: &[Point]) {
                 p.grid.clone(),
                 fmt_secs(p.predicted_comm_seconds),
                 fmt_secs(p.observed_batch_seconds),
-                if p.observed_efficient { "efficient" } else { "" }.to_string(),
+                if p.observed_efficient {
+                    "efficient"
+                } else {
+                    ""
+                }
+                .to_string(),
             ]
         })
         .collect();
     print_table(
-        &format!("Fig. 2 — {name}: model rank vs observed batch time (top 15 of {})", points.len()),
-        &["rank", "config", "predicted comm", "observed batch", "top-10 observed?"],
+        &format!(
+            "Fig. 2 — {name}: model rank vs observed batch time (top 15 of {})",
+            points.len()
+        ),
+        &[
+            "rank",
+            "config",
+            "predicted comm",
+            "observed batch",
+            "top-10 observed?",
+        ],
         &rows,
     );
-    println!(
-        "{name}: {hits}/10 of the model's top-10 are observed-efficient (paper: 9/10)"
-    );
+    println!("{name}: {hits}/10 of the model's top-10 are observed-efficient (paper: 9/10)");
 }
 
 fn main() {

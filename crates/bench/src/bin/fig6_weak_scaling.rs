@@ -21,8 +21,7 @@ fn main() {
                 // Weak-scaling efficiency: problem size grows with the
                 // partition, so efficiency = (flops/gpu rate now) vs at
                 // the first point = (t0-normalized per-GPU throughput).
-                let eff = 100.0
-                    * (p.model_flops_per_second / p.gpus as f64)
+                let eff = 100.0 * (p.model_flops_per_second / p.gpus as f64)
                     / (points[0].model_flops_per_second / gpus0);
                 vec![
                     p.model.clone(),
@@ -37,7 +36,15 @@ fn main() {
             .collect();
         print_table(
             &format!("Fig. 6 — weak scaling on {machine_name} (batch = 16.8M tokens)"),
-            &["model", "GPUs", "config", "time/batch", "compute", "exposed comm", "efficiency"],
+            &[
+                "model",
+                "GPUs",
+                "config",
+                "time/batch",
+                "compute",
+                "exposed comm",
+                "efficiency",
+            ],
             &rows,
         );
         let _ = t0;
@@ -52,7 +59,10 @@ fn main() {
         paper::FRONTIER_EFFICIENCY_16K,
         paper::FRONTIER_EFFICIENCY_32K
     );
-    println!("  Alps      6,144 GPUs: paper {:.1}%", paper::ALPS_EFFICIENCY_6144);
+    println!(
+        "  Alps      6,144 GPUs: paper {:.1}%",
+        paper::ALPS_EFFICIENCY_6144
+    );
 
     emit_json("fig6_weak_scaling", &all_points);
 }

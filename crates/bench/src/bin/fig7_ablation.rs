@@ -61,8 +61,7 @@ fn main() {
                 total_seconds: b.total_seconds,
                 compute_seconds: b.compute_seconds,
                 exposed_comm_seconds: b.exposed_comm_seconds,
-                improvement_over_baseline_pct: 100.0
-                    * (1.0 - b.total_seconds / base.total_seconds),
+                improvement_over_baseline_pct: 100.0 * (1.0 - b.total_seconds / base.total_seconds),
             });
         }
     }
@@ -84,7 +83,16 @@ fn main() {
         .collect();
     print_table(
         "Fig. 7 — optimization ablation on Frontier (batch = 16.8M tokens)",
-        &["model", "GCDs", "variant", "config", "total", "compute", "exposed comm", "vs baseline"],
+        &[
+            "model",
+            "GCDs",
+            "variant",
+            "config",
+            "total",
+            "compute",
+            "exposed comm",
+            "vs baseline",
+        ],
         &rows,
     );
     println!("\nPaper: total improvements of 13-45% over the baseline; kernel tuning 2-4% at these sizes.");

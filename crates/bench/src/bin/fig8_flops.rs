@@ -27,9 +27,9 @@ fn main() {
         let pairs = series::weak_scaling_pairs(machine_name);
         let points = weak_scaling_series(&machine, &db, &pairs, batch, SimOptions::full());
         for p in points {
-            let reference = paper::TABLE3.iter().find(|r| {
-                r.machine == machine_name && r.gpus == p.gpus
-            });
+            let reference = paper::TABLE3
+                .iter()
+                .find(|r| r.machine == machine_name && r.gpus == p.gpus);
             out_rows.push(Row {
                 machine: machine_name.to_string(),
                 gpus: p.gpus,
@@ -64,15 +64,7 @@ fn main() {
     print_table(
         "Fig. 8 / Table III — sustained bf16 flop/s (ours vs paper)",
         &[
-            "machine",
-            "GPUs",
-            "model",
-            "Pflop/s",
-            "(paper)",
-            "%adv",
-            "(paper)",
-            "%emp",
-            "(paper)",
+            "machine", "GPUs", "model", "Pflop/s", "(paper)", "%adv", "(paper)", "%emp", "(paper)",
         ],
         &rows,
     );

@@ -27,7 +27,8 @@ fn run_model(billions: usize, gcd_counts: &[usize]) -> Vec<Point> {
 
     let mut points: Vec<Point> = Vec::new();
     for &gcds in gcd_counts {
-        let (grid, b) = pick_best_config(&machine, &db, &model, batch, gcds, SimOptions::full(), 30);
+        let (grid, b) =
+            pick_best_config(&machine, &db, &model, batch, gcds, SimOptions::full(), 30);
         let tts_days = b.total_seconds * iters / 86_400.0;
         points.push(Point {
             model: model.name.clone(),
@@ -65,7 +66,13 @@ fn main() {
             .collect();
         print_table(
             &format!("Fig. 9 — {name} strong scaling on Frontier (2T tokens)"),
-            &["GCDs", "config", "time/iter", "time-to-solution", "strong-scaling eff."],
+            &[
+                "GCDs",
+                "config",
+                "time/iter",
+                "time-to-solution",
+                "strong-scaling eff.",
+            ],
             &rows,
         );
     }

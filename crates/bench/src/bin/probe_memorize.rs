@@ -7,7 +7,10 @@ use axonn_lm::{AdamW, Gpt, GptModelConfig};
 use axonn_memorize::Corpus;
 
 fn main() {
-    let a: Vec<usize> = std::env::args().skip(1).map(|s| s.parse().unwrap()).collect();
+    let a: Vec<usize> = std::env::args()
+        .skip(1)
+        .map(|s| s.parse().unwrap())
+        .collect();
     let dim = *a.first().unwrap_or(&128);
     let layers = *a.get(1).unwrap_or(&3);
     let steps = *a.get(2).unwrap_or(&4);

@@ -47,11 +47,15 @@ fn main() {
         let (_, b) = pick_best_config(&machine, &db, &model, batch, gpus, SimOptions::full(), 30);
         let rate = model.model_flops_per_iter(batch) / b.total_seconds;
         let pct = 100.0 * rate / (gpus as f64 * machine.advertised_peak());
-        let unit = if machine_name == "Frontier" { "GCDs" } else { "GPUs" };
+        let unit = if machine_name == "Frontier" {
+            "GCDs"
+        } else {
+            "GPUs"
+        };
         rows.push(vec![
             "This Work (repro)".to_string(),
             "AxoNN-rs".to_string(),
-            model.name.replace("GPT-", "") .to_string(),
+            model.name.replace("GPT-", "").to_string(),
             "16.8M".to_string(),
             hw.to_string(),
             format!("{gpus} {unit}"),
@@ -69,7 +73,16 @@ fn main() {
 
     print_table(
         "Table I — large-scale LLM training studies (prior rows from the paper; ours simulated)",
-        &["study", "framework", "model", "batch", "hardware", "scale", "% peak", "Pflop/s"],
+        &[
+            "study",
+            "framework",
+            "model",
+            "batch",
+            "hardware",
+            "scale",
+            "% peak",
+            "Pflop/s",
+        ],
         &rows,
     );
     println!("\nPaper's own rows: 40B/4096 A100 -> 49% / 620.1; 320B/32768 GCD -> 22% / 1381.0; 60B/6144 H100 -> 23% / 1423.1");

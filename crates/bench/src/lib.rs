@@ -34,7 +34,10 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     };
     let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
     println!("{}", fmt_row(&header_cells));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }
@@ -46,8 +49,11 @@ pub fn emit_json<T: serde::Serialize>(name: &str, value: &T) -> PathBuf {
     let dir = PathBuf::from("results");
     fs::create_dir_all(&dir).expect("create results dir");
     let path = dir.join(format!("{name}.json"));
-    fs::write(&path, serde_json::to_string_pretty(value).expect("serialize"))
-        .expect("write results file");
+    fs::write(
+        &path,
+        serde_json::to_string_pretty(value).expect("serialize"),
+    )
+    .expect("write results file");
     println!("[results] wrote {}", path.display());
     path
 }

@@ -62,7 +62,15 @@ pub fn report(title: &str, results: &[TrialStats]) {
         .collect();
     print_table(
         title,
-        &["model", "params", "trials", "0 Ep (control)", "1 Ep", "4 Ep", "6 Ep"],
+        &[
+            "model",
+            "params",
+            "trials",
+            "0 Ep (control)",
+            "1 Ep",
+            "4 Ep",
+            "6 Ep",
+        ],
         &rows,
     );
 }

@@ -14,21 +14,126 @@ pub struct Table3Row {
 
 /// Table III of the paper, verbatim.
 pub const TABLE3: &[Table3Row] = &[
-    Table3Row { machine: "Perlmutter", gpus: 512, model_billions: 5, total_pflops: 80.8, pct_advertised: 50.6, pct_empirical: 56.2 },
-    Table3Row { machine: "Perlmutter", gpus: 1024, model_billions: 10, total_pflops: 197.8, pct_advertised: 61.9, pct_empirical: 68.8 },
-    Table3Row { machine: "Perlmutter", gpus: 2048, model_billions: 20, total_pflops: 352.5, pct_advertised: 55.2, pct_empirical: 61.3 },
-    Table3Row { machine: "Perlmutter", gpus: 4096, model_billions: 40, total_pflops: 620.1, pct_advertised: 48.5, pct_empirical: 53.9 },
-    Table3Row { machine: "Frontier", gpus: 512, model_billions: 5, total_pflops: 40.4, pct_advertised: 41.1, pct_empirical: 63.3 },
-    Table3Row { machine: "Frontier", gpus: 1024, model_billions: 10, total_pflops: 77.3, pct_advertised: 39.3, pct_empirical: 60.4 },
-    Table3Row { machine: "Frontier", gpus: 2048, model_billions: 20, total_pflops: 145.7, pct_advertised: 37.0, pct_empirical: 57.0 },
-    Table3Row { machine: "Frontier", gpus: 4096, model_billions: 40, total_pflops: 295.9, pct_advertised: 37.6, pct_empirical: 57.9 },
-    Table3Row { machine: "Frontier", gpus: 8192, model_billions: 80, total_pflops: 571.4, pct_advertised: 36.3, pct_empirical: 56.0 },
-    Table3Row { machine: "Frontier", gpus: 16384, model_billions: 160, total_pflops: 1019.9, pct_advertised: 32.4, pct_empirical: 49.9 },
-    Table3Row { machine: "Frontier", gpus: 32768, model_billions: 320, total_pflops: 1381.0, pct_advertised: 22.0, pct_empirical: 33.8 },
-    Table3Row { machine: "Alps", gpus: 1024, model_billions: 10, total_pflops: 310.0, pct_advertised: 30.6, pct_empirical: 37.3 },
-    Table3Row { machine: "Alps", gpus: 2048, model_billions: 20, total_pflops: 621.6, pct_advertised: 30.7, pct_empirical: 37.4 },
-    Table3Row { machine: "Alps", gpus: 4096, model_billions: 40, total_pflops: 1095.8, pct_advertised: 27.0, pct_empirical: 33.0 },
-    Table3Row { machine: "Alps", gpus: 6144, model_billions: 60, total_pflops: 1423.1, pct_advertised: 23.4, pct_empirical: 28.6 },
+    Table3Row {
+        machine: "Perlmutter",
+        gpus: 512,
+        model_billions: 5,
+        total_pflops: 80.8,
+        pct_advertised: 50.6,
+        pct_empirical: 56.2,
+    },
+    Table3Row {
+        machine: "Perlmutter",
+        gpus: 1024,
+        model_billions: 10,
+        total_pflops: 197.8,
+        pct_advertised: 61.9,
+        pct_empirical: 68.8,
+    },
+    Table3Row {
+        machine: "Perlmutter",
+        gpus: 2048,
+        model_billions: 20,
+        total_pflops: 352.5,
+        pct_advertised: 55.2,
+        pct_empirical: 61.3,
+    },
+    Table3Row {
+        machine: "Perlmutter",
+        gpus: 4096,
+        model_billions: 40,
+        total_pflops: 620.1,
+        pct_advertised: 48.5,
+        pct_empirical: 53.9,
+    },
+    Table3Row {
+        machine: "Frontier",
+        gpus: 512,
+        model_billions: 5,
+        total_pflops: 40.4,
+        pct_advertised: 41.1,
+        pct_empirical: 63.3,
+    },
+    Table3Row {
+        machine: "Frontier",
+        gpus: 1024,
+        model_billions: 10,
+        total_pflops: 77.3,
+        pct_advertised: 39.3,
+        pct_empirical: 60.4,
+    },
+    Table3Row {
+        machine: "Frontier",
+        gpus: 2048,
+        model_billions: 20,
+        total_pflops: 145.7,
+        pct_advertised: 37.0,
+        pct_empirical: 57.0,
+    },
+    Table3Row {
+        machine: "Frontier",
+        gpus: 4096,
+        model_billions: 40,
+        total_pflops: 295.9,
+        pct_advertised: 37.6,
+        pct_empirical: 57.9,
+    },
+    Table3Row {
+        machine: "Frontier",
+        gpus: 8192,
+        model_billions: 80,
+        total_pflops: 571.4,
+        pct_advertised: 36.3,
+        pct_empirical: 56.0,
+    },
+    Table3Row {
+        machine: "Frontier",
+        gpus: 16384,
+        model_billions: 160,
+        total_pflops: 1019.9,
+        pct_advertised: 32.4,
+        pct_empirical: 49.9,
+    },
+    Table3Row {
+        machine: "Frontier",
+        gpus: 32768,
+        model_billions: 320,
+        total_pflops: 1381.0,
+        pct_advertised: 22.0,
+        pct_empirical: 33.8,
+    },
+    Table3Row {
+        machine: "Alps",
+        gpus: 1024,
+        model_billions: 10,
+        total_pflops: 310.0,
+        pct_advertised: 30.6,
+        pct_empirical: 37.3,
+    },
+    Table3Row {
+        machine: "Alps",
+        gpus: 2048,
+        model_billions: 20,
+        total_pflops: 621.6,
+        pct_advertised: 30.7,
+        pct_empirical: 37.4,
+    },
+    Table3Row {
+        machine: "Alps",
+        gpus: 4096,
+        model_billions: 40,
+        total_pflops: 1095.8,
+        pct_advertised: 27.0,
+        pct_empirical: 33.0,
+    },
+    Table3Row {
+        machine: "Alps",
+        gpus: 6144,
+        model_billions: 60,
+        total_pflops: 1423.1,
+        pct_advertised: 23.4,
+        pct_empirical: 28.6,
+    },
 ];
 
 /// A prior-work row of Table I (the survey portion is static context).
@@ -45,14 +150,86 @@ pub struct Table1Row {
 }
 
 pub const TABLE1_PRIOR: &[Table1Row] = &[
-    Table1Row { study: "SUPER", framework: "LBANN", model_size: "3B*", batch_size: "0.5M*", hardware: "NVIDIA V100", scale: "1,024 GPUs", pct_peak: "-", petaflops: "-" },
-    Table1Row { study: "KARMA", framework: "KARMA", model_size: "17B", batch_size: "2.0M*", hardware: "NVIDIA V100", scale: "2,048 GPUs", pct_peak: "-", petaflops: "-" },
-    Table1Row { study: "FORGE", framework: "GPT-NeoX", model_size: "1.44B", batch_size: "16.8M", hardware: "AMD MI250X", scale: "2,048 GCDs", pct_peak: "~29%", petaflops: "~112.6" },
-    Table1Row { study: "Dash et al.", framework: "Megatron-DeepSpeed", model_size: "1000B", batch_size: "19.7M", hardware: "AMD MI250X", scale: "3,072 GCDs", pct_peak: "31.9%", petaflops: "188.0" },
-    Table1Row { study: "MT-NLG", framework: "Megatron-DeepSpeed", model_size: "530B", batch_size: "4.0M", hardware: "NVIDIA A100", scale: "3,360 GPUs", pct_peak: "36%", petaflops: "379.7" },
-    Table1Row { study: "Narayanan et al.", framework: "Megatron-LM", model_size: "1000B", batch_size: "6.3M", hardware: "NVIDIA A100", scale: "3,072 GPUs", pct_peak: "52%", petaflops: "502.0" },
-    Table1Row { study: "MegaScale", framework: "MegaScale", model_size: "175B", batch_size: "12.5M", hardware: "NVIDIA A100", scale: "12,288 GPUs", pct_peak: "55%", petaflops: "2166.3" },
-    Table1Row { study: "Google", framework: "Cloud TPU Multislice", model_size: "32B", batch_size: "417M", hardware: "TPUv5e", scale: "55,094 TPUs", pct_peak: "44.67%", petaflops: "4480.0" },
+    Table1Row {
+        study: "SUPER",
+        framework: "LBANN",
+        model_size: "3B*",
+        batch_size: "0.5M*",
+        hardware: "NVIDIA V100",
+        scale: "1,024 GPUs",
+        pct_peak: "-",
+        petaflops: "-",
+    },
+    Table1Row {
+        study: "KARMA",
+        framework: "KARMA",
+        model_size: "17B",
+        batch_size: "2.0M*",
+        hardware: "NVIDIA V100",
+        scale: "2,048 GPUs",
+        pct_peak: "-",
+        petaflops: "-",
+    },
+    Table1Row {
+        study: "FORGE",
+        framework: "GPT-NeoX",
+        model_size: "1.44B",
+        batch_size: "16.8M",
+        hardware: "AMD MI250X",
+        scale: "2,048 GCDs",
+        pct_peak: "~29%",
+        petaflops: "~112.6",
+    },
+    Table1Row {
+        study: "Dash et al.",
+        framework: "Megatron-DeepSpeed",
+        model_size: "1000B",
+        batch_size: "19.7M",
+        hardware: "AMD MI250X",
+        scale: "3,072 GCDs",
+        pct_peak: "31.9%",
+        petaflops: "188.0",
+    },
+    Table1Row {
+        study: "MT-NLG",
+        framework: "Megatron-DeepSpeed",
+        model_size: "530B",
+        batch_size: "4.0M",
+        hardware: "NVIDIA A100",
+        scale: "3,360 GPUs",
+        pct_peak: "36%",
+        petaflops: "379.7",
+    },
+    Table1Row {
+        study: "Narayanan et al.",
+        framework: "Megatron-LM",
+        model_size: "1000B",
+        batch_size: "6.3M",
+        hardware: "NVIDIA A100",
+        scale: "3,072 GPUs",
+        pct_peak: "52%",
+        petaflops: "502.0",
+    },
+    Table1Row {
+        study: "MegaScale",
+        framework: "MegaScale",
+        model_size: "175B",
+        batch_size: "12.5M",
+        hardware: "NVIDIA A100",
+        scale: "12,288 GPUs",
+        pct_peak: "55%",
+        petaflops: "2166.3",
+    },
+    Table1Row {
+        study: "Google",
+        framework: "Cloud TPU Multislice",
+        model_size: "32B",
+        batch_size: "417M",
+        hardware: "TPUv5e",
+        scale: "55,094 TPUs",
+        pct_peak: "44.67%",
+        petaflops: "4480.0",
+    },
 ];
 
 /// Fig. 6 weak-scaling efficiencies quoted in the text.

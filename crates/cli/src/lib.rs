@@ -4,7 +4,8 @@
 use axonn_cluster::{BandwidthDb, Machine};
 use axonn_gpt::{table2_models, GptConfig, HEADLINE_BATCH_TOKENS};
 use axonn_perfmodel::{rank_configs, Grid4d};
-use axonn_sim::{pick_best_config, simulate_batch, SimOptions};
+use axonn_sim::{pick_best_config, simulate_batch, simulate_batch_traced, SimOptions};
+use axonn_trace::{chrome_trace_json, TraceSink, TraceSummary};
 
 /// Usage text shown on parse errors.
 pub const USAGE: &str = "usage:
@@ -12,6 +13,7 @@ pub const USAGE: &str = "usage:
   axonnctl models
   axonnctl plan <machine> <model-billions> <gpus> [batch-tokens]
   axonnctl simulate <machine> <model-billions> <gx> <gy> <gz> <gd> [batch-tokens]
+  axonnctl trace <machine> <model-billions> <gx> <gy> <gz> <gd> [batch-tokens] [out-prefix]
   axonnctl profile <machine>";
 
 /// A parsed subcommand.
@@ -30,6 +32,14 @@ pub enum Command {
         billions: usize,
         grid: Grid4d,
         batch_tokens: usize,
+    },
+    Trace {
+        machine: String,
+        billions: usize,
+        grid: Grid4d,
+        batch_tokens: usize,
+        /// Output files are `<prefix>.trace.json` and `<prefix>.summary.json`.
+        prefix: String,
     },
     Profile {
         machine: String,
@@ -54,7 +64,9 @@ impl Command {
                 let billions = parse_num(it.next(), "model size (billions)")?;
                 let gpus = parse_num(it.next(), "gpu count")?;
                 let batch_tokens = match it.next() {
-                    Some(s) => s.parse().map_err(|_| format!("invalid batch tokens: '{s}'"))?,
+                    Some(s) => s
+                        .parse()
+                        .map_err(|_| format!("invalid batch tokens: '{s}'"))?,
                     None => HEADLINE_BATCH_TOKENS,
                 };
                 Ok(Command::Plan {
@@ -72,7 +84,9 @@ impl Command {
                 let gz = parse_num(it.next(), "gz")?;
                 let gd = parse_num(it.next(), "gd")?;
                 let batch_tokens = match it.next() {
-                    Some(s) => s.parse().map_err(|_| format!("invalid batch tokens: '{s}'"))?,
+                    Some(s) => s
+                        .parse()
+                        .map_err(|_| format!("invalid batch tokens: '{s}'"))?,
                     None => HEADLINE_BATCH_TOKENS,
                 };
                 Ok(Command::Simulate {
@@ -80,6 +94,31 @@ impl Command {
                     billions,
                     grid: Grid4d::new(gx, gy, gz, gd),
                     batch_tokens,
+                })
+            }
+            "trace" => {
+                let machine = it.next().ok_or("missing machine")?.clone();
+                let billions = parse_num(it.next(), "model size (billions)")?;
+                let gx = parse_num(it.next(), "gx")?;
+                let gy = parse_num(it.next(), "gy")?;
+                let gz = parse_num(it.next(), "gz")?;
+                let gd = parse_num(it.next(), "gd")?;
+                let batch_tokens = match it.next() {
+                    Some(s) => s
+                        .parse()
+                        .map_err(|_| format!("invalid batch tokens: '{s}'"))?,
+                    None => HEADLINE_BATCH_TOKENS,
+                };
+                let prefix = it
+                    .next()
+                    .cloned()
+                    .unwrap_or_else(|| format!("axonn-{machine}-{billions}b"));
+                Ok(Command::Trace {
+                    machine,
+                    billions,
+                    grid: Grid4d::new(gx, gy, gz, gd),
+                    batch_tokens,
+                    prefix,
                 })
             }
             "profile" => Ok(Command::Profile {
@@ -106,7 +145,10 @@ fn model(billions: usize) -> Result<GptConfig, String> {
         .find(|m| m.name == format!("GPT-{billions}B"))
         .ok_or_else(|| {
             let names: Vec<String> = table2_models().iter().map(|m| m.name.clone()).collect();
-            format!("no GPT-{billions}B in Table II (have: {})", names.join(", "))
+            format!(
+                "no GPT-{billions}B in Table II (have: {})",
+                names.join(", ")
+            )
         })
 }
 
@@ -234,6 +276,56 @@ pub fn run(cmd: Command) -> Result<(), String> {
             );
             Ok(())
         }
+        Command::Trace {
+            machine: mname,
+            billions,
+            grid,
+            batch_tokens,
+            prefix,
+        } => {
+            let mach = machine(&mname)?;
+            let db = BandwidthDb::profile(&mach);
+            let model = model(billions)?;
+            if batch_tokens % grid.gd != 0 {
+                return Err(format!(
+                    "batch tokens {batch_tokens} not divisible by G_data={}",
+                    grid.gd
+                ));
+            }
+            let sink = TraceSink::new(0);
+            let b = simulate_batch_traced(
+                &mach,
+                &db,
+                grid,
+                &model,
+                batch_tokens,
+                SimOptions::full(),
+                &sink,
+            );
+            let traces = vec![sink.finish()];
+            let summary = TraceSummary::from_traces(&traces);
+            let trace_path = format!("{prefix}.trace.json");
+            let summary_path = format!("{prefix}.summary.json");
+            std::fs::write(&trace_path, chrome_trace_json(&traces))
+                .map_err(|e| format!("writing {trace_path}: {e}"))?;
+            std::fs::write(&summary_path, summary.to_json_pretty())
+                .map_err(|e| format!("writing {summary_path}: {e}"))?;
+            println!(
+                "{} on {} — configuration {grid}, one traced batch:",
+                model.name, mach.name
+            );
+            println!("  time/batch      {:>10.3} s", b.total_seconds);
+            println!(
+                "  comm issued     {:>10.3} s, hidden {:.3} s ({:.1}% overlap efficiency)",
+                summary.overlap.total_issued_seconds,
+                summary.overlap.total_hidden_seconds,
+                100.0 * summary.overlap.overlap_efficiency
+            );
+            println!("  events          {:>10}", summary.total_events);
+            println!("wrote {trace_path} (load in Perfetto / chrome://tracing)");
+            println!("wrote {summary_path}");
+            Ok(())
+        }
         Command::Profile { machine: mname } => {
             let mach = machine(&mname)?;
             let db = BandwidthDb::profile(&mach);
@@ -261,7 +353,10 @@ mod tests {
 
     #[test]
     fn parse_simple_subcommands() {
-        assert_eq!(Command::parse(&sv(&["machines"])).unwrap(), Command::Machines);
+        assert_eq!(
+            Command::parse(&sv(&["machines"])).unwrap(),
+            Command::Machines
+        );
         assert_eq!(Command::parse(&sv(&["models"])).unwrap(), Command::Models);
         assert_eq!(
             Command::parse(&sv(&["profile", "frontier"])).unwrap(),
@@ -287,8 +382,10 @@ mod tests {
 
     #[test]
     fn parse_simulate_full() {
-        let c = Command::parse(&sv(&["simulate", "alps", "40", "2", "2", "16", "32", "1048576"]))
-            .unwrap();
+        let c = Command::parse(&sv(&[
+            "simulate", "alps", "40", "2", "2", "16", "32", "1048576",
+        ]))
+        .unwrap();
         match c {
             Command::Simulate {
                 grid, batch_tokens, ..
@@ -302,8 +399,12 @@ mod tests {
 
     #[test]
     fn parse_errors_are_informative() {
-        assert!(Command::parse(&[]).unwrap_err().contains("missing subcommand"));
-        assert!(Command::parse(&sv(&["dance"])).unwrap_err().contains("unknown subcommand"));
+        assert!(Command::parse(&[])
+            .unwrap_err()
+            .contains("missing subcommand"));
+        assert!(Command::parse(&sv(&["dance"]))
+            .unwrap_err()
+            .contains("unknown subcommand"));
         assert!(Command::parse(&sv(&["plan", "frontier"]))
             .unwrap_err()
             .contains("model size"));
@@ -327,6 +428,46 @@ mod tests {
             batch_tokens: 1 << 18,
         })
         .unwrap();
+    }
+
+    #[test]
+    fn parse_trace_defaults_prefix() {
+        let c = Command::parse(&sv(&["trace", "frontier", "20", "2", "2", "4", "8"])).unwrap();
+        match c {
+            Command::Trace {
+                grid,
+                batch_tokens,
+                prefix,
+                ..
+            } => {
+                assert_eq!(grid, Grid4d::new(2, 2, 4, 8));
+                assert_eq!(batch_tokens, HEADLINE_BATCH_TOKENS);
+                assert_eq!(prefix, "axonn-frontier-20b");
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_trace_writes_chrome_and_summary_files() {
+        let prefix = std::env::temp_dir().join("axonnctl-trace-test");
+        let prefix = prefix.to_str().unwrap().to_string();
+        run(Command::Trace {
+            machine: "frontier".into(),
+            billions: 5,
+            grid: Grid4d::new(2, 2, 2, 2),
+            batch_tokens: 1 << 17,
+            prefix: prefix.clone(),
+        })
+        .unwrap();
+        let chrome = std::fs::read_to_string(format!("{prefix}.trace.json")).unwrap();
+        let doc: serde_json::Value = serde_json::from_str(&chrome).expect("valid chrome JSON");
+        drop(doc);
+        let summary = std::fs::read_to_string(format!("{prefix}.summary.json")).unwrap();
+        let doc: serde_json::Value = serde_json::from_str(&summary).expect("valid summary JSON");
+        drop(doc);
+        std::fs::remove_file(format!("{prefix}.trace.json")).ok();
+        std::fs::remove_file(format!("{prefix}.summary.json")).ok();
     }
 
     #[test]

@@ -92,10 +92,7 @@ mod tests {
         // Arbitrary scattered membership over 4 nodes of 4.
         let ranks = [0usize, 5, 6, 9, 12, 13, 2, 15];
         let ring = crossing_minimal_ring(&ranks, 4);
-        assert_eq!(
-            ring_node_crossings(&ring, 4),
-            minimal_crossings(&ranks, 4)
-        );
+        assert_eq!(ring_node_crossings(&ring, 4), minimal_crossings(&ranks, 4));
     }
 
     #[test]
@@ -106,10 +103,7 @@ mod tests {
         // {base, base+4, base+8, base+12} — one per node; any order gives
         // 4 crossings, which equals the bound.
         let group = [0usize, 4, 8, 12];
-        assert_eq!(
-            ring_node_crossings(&group, 4),
-            minimal_crossings(&group, 4)
-        );
+        assert_eq!(ring_node_crossings(&group, 4), minimal_crossings(&group, 4));
         // X-groups are contiguous in-node: zero crossings.
         let x_group = [4usize, 5];
         assert_eq!(ring_node_crossings(&x_group, 4), 0);

@@ -9,10 +9,25 @@
 
 use crate::cost::{CollectiveKind, CostModel, NullCost};
 use crate::group::ProcessGroup;
-use crate::mailbox::{MsgKey, Transport};
+use crate::mailbox::{MsgKey, PoisonInfo, Transport};
+use axonn_trace::{CollOp, EventDetail, Stream, TraceSink};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Trace-event op label for a modelled collective kind.
+pub(crate) fn coll_op(kind: CollectiveKind) -> CollOp {
+    match kind {
+        CollectiveKind::AllGather => CollOp::AllGather,
+        CollectiveKind::ReduceScatter => CollOp::ReduceScatter,
+        CollectiveKind::AllReduce => CollOp::AllReduce,
+        CollectiveKind::AllReduceRecursiveDoubling => CollOp::AllReduceRd,
+        CollectiveKind::Broadcast => CollOp::Broadcast,
+        // Point-to-point transfers have no dedicated trace op; the
+        // barrier label is the closest stand-in and keeps the map total.
+        CollectiveKind::Barrier | CollectiveKind::PointToPoint => CollOp::Barrier,
+    }
+}
 
 /// Virtual-time state of one rank, shared between its main thread and its
 /// async communication worker.
@@ -39,6 +54,8 @@ pub(crate) struct CommShared {
     /// Per-group collective sequence numbers, assigned at issue time so
     /// async and blocking collectives on the same group never collide.
     pub(crate) seq: Mutex<HashMap<u64, u64>>,
+    /// Per-rank event recorder, present in traced worlds.
+    pub(crate) tracer: Option<Arc<TraceSink>>,
 }
 
 /// A rank's handle to the world: identity, transport, cost model, clock.
@@ -58,15 +75,33 @@ pub struct CommWorld;
 impl CommWorld {
     /// A world of `size` ranks with no virtual-time tracking.
     pub fn create(size: usize) -> Vec<Comm> {
-        Self::create_with_cost(size, Arc::new(NullCost), false)
+        Self::create_with_cost(size, Arc::new(NullCost), false, None)
     }
 
     /// A world of `size` ranks whose clocks advance per `cost`.
     pub fn create_timed(size: usize, cost: Arc<dyn CostModel>) -> Vec<Comm> {
-        Self::create_with_cost(size, cost, true)
+        Self::create_with_cost(size, cost, true, None)
     }
 
-    fn create_with_cost(size: usize, cost: Arc<dyn CostModel>, track_time: bool) -> Vec<Comm> {
+    /// A timed world whose ranks record trace events. The returned sinks
+    /// (one per rank, same order) stay valid after the `Comm`s are moved
+    /// to their threads; drain them with [`TraceSink::finish`] once the
+    /// run is over.
+    pub fn create_traced(
+        size: usize,
+        cost: Arc<dyn CostModel>,
+    ) -> (Vec<Comm>, Vec<Arc<TraceSink>>) {
+        let sinks: Vec<Arc<TraceSink>> = (0..size).map(TraceSink::new).collect();
+        let comms = Self::create_with_cost(size, cost, true, Some(&sinks));
+        (comms, sinks)
+    }
+
+    fn create_with_cost(
+        size: usize,
+        cost: Arc<dyn CostModel>,
+        track_time: bool,
+        tracers: Option<&[Arc<TraceSink>]>,
+    ) -> Vec<Comm> {
         assert!(size > 0, "world size must be positive");
         let transport = Transport::new(size);
         (0..size)
@@ -77,6 +112,7 @@ impl CommWorld {
                     track_time,
                     clock: Mutex::new(ClockState::default()),
                     seq: Mutex::new(HashMap::new()),
+                    tracer: tracers.map(|t| t[rank].clone()),
                 });
                 let async_tx = crate::nonblocking::spawn_worker(rank, shared.clone());
                 Comm {
@@ -136,6 +172,23 @@ impl Comm {
         self.shared.transport.world_size()
     }
 
+    /// This rank's event recorder, when the world was created traced.
+    pub fn tracer(&self) -> Option<&Arc<TraceSink>> {
+        self.shared.tracer.as_ref()
+    }
+
+    /// Mark the whole world dead because `origin_rank` panicked: every
+    /// rank blocked in (or later entering) a collective panics instead
+    /// of deadlocking on a peer that will never answer.
+    pub fn poison_world(&self, origin_rank: usize, message: String) {
+        self.shared.transport.poison(origin_rank, message);
+    }
+
+    /// The first recorded failure, if this world was poisoned.
+    pub fn poison_info(&self) -> Option<PoisonInfo> {
+        self.shared.transport.poison_info()
+    }
+
     /// Current virtual time of this rank.
     pub fn now(&self) -> f64 {
         self.shared.clock.lock().now
@@ -170,9 +223,7 @@ impl Comm {
     /// disjoint from collective keys).
     pub fn send(&self, dst: usize, tag: u64, data: Vec<f32>) {
         let key = msg_key(u64::MAX, tag, 0);
-        self.shared
-            .transport
-            .send(self.rank, dst, key, data);
+        self.shared.transport.send(self.rank, dst, key, data);
     }
 
     /// Raw tagged point-to-point receive.
@@ -185,12 +236,14 @@ impl Comm {
     /// concatenation of all members' shards in group-position order.
     pub fn all_gather(&self, group: &ProcessGroup, shard: &[f32]) -> Vec<f32> {
         let seq = self.next_seq(group);
+        let wall = self.wall_now();
         let out = ring_all_gather(&self.shared, self.rank, group, seq, shard);
         self.charge_blocking(
             group,
             seq,
             CollectiveKind::AllGather,
             (out.len() * 4) as f64,
+            wall,
         );
         out
     }
@@ -200,37 +253,41 @@ impl Comm {
     /// chunk (at its group position) of the elementwise sum.
     pub fn reduce_scatter(&self, group: &ProcessGroup, buf: &[f32]) -> Vec<f32> {
         let seq = self.next_seq(group);
+        let wall = self.wall_now();
         let out = ring_reduce_scatter(&self.shared, self.rank, group, seq, buf);
         self.charge_blocking(
             group,
             seq,
             CollectiveKind::ReduceScatter,
             (buf.len() * 4) as f64,
+            wall,
         );
         out
     }
 
     /// Blocking all-reduce (sum) in place: reduce-scatter + all-gather.
     /// Buffers of any length are accepted (padded internally).
-    pub fn all_reduce(&self, group: &ProcessGroup, buf: &mut Vec<f32>) {
+    pub fn all_reduce(&self, group: &ProcessGroup, buf: &mut [f32]) {
         self.all_reduce_op(group, buf, ReduceOp::Sum)
     }
 
     /// Blocking elementwise-max all-reduce (used by vocab-parallel
     /// softmax for the numerically stable row maximum).
-    pub fn all_reduce_max(&self, group: &ProcessGroup, buf: &mut Vec<f32>) {
+    pub fn all_reduce_max(&self, group: &ProcessGroup, buf: &mut [f32]) {
         self.all_reduce_op(group, buf, ReduceOp::Max)
     }
 
     /// Blocking all-reduce with an explicit reduction operator.
-    pub fn all_reduce_op(&self, group: &ProcessGroup, buf: &mut Vec<f32>, op: ReduceOp) {
+    pub fn all_reduce_op(&self, group: &ProcessGroup, buf: &mut [f32], op: ReduceOp) {
         let seq = self.next_seq(group);
+        let wall = self.wall_now();
         ring_all_reduce(&self.shared, self.rank, group, seq, buf, op);
         self.charge_blocking(
             group,
             seq,
             CollectiveKind::AllReduce,
             (buf.len() * 4) as f64,
+            wall,
         );
     }
 
@@ -238,16 +295,18 @@ impl Comm {
     /// recursive doubling for small buffers (latency-bound) on
     /// power-of-two groups, ring otherwise (bandwidth-bound). Results are
     /// identical up to floating-point summation order.
-    pub fn all_reduce_auto(&self, group: &ProcessGroup, buf: &mut Vec<f32>) {
+    pub fn all_reduce_auto(&self, group: &ProcessGroup, buf: &mut [f32]) {
         const SMALL_ELEMS: usize = 4096;
         if buf.len() <= SMALL_ELEMS && group.size().is_power_of_two() {
             let seq = self.next_seq(group);
+            let wall = self.wall_now();
             recursive_doubling_all_reduce(&self.shared, self.rank, group, seq, buf);
             self.charge_blocking(
                 group,
                 seq,
                 CollectiveKind::AllReduceRecursiveDoubling,
                 (buf.len() * 4) as f64,
+                wall,
             );
         } else {
             self.all_reduce(group, buf);
@@ -255,14 +314,16 @@ impl Comm {
     }
 
     /// Blocking broadcast from the member at group position `root_pos`.
-    pub fn broadcast(&self, group: &ProcessGroup, root_pos: usize, buf: &mut Vec<f32>) {
+    pub fn broadcast(&self, group: &ProcessGroup, root_pos: usize, buf: &mut [f32]) {
         let seq = self.next_seq(group);
+        let wall = self.wall_now();
         ring_broadcast(&self.shared, self.rank, group, seq, root_pos, buf);
         self.charge_blocking(
             group,
             seq,
             CollectiveKind::Broadcast,
             (buf.len() * 4) as f64,
+            wall,
         );
     }
 
@@ -270,25 +331,70 @@ impl Comm {
     pub fn barrier(&self, group: &ProcessGroup) {
         let mut token = vec![0.0f32];
         let seq = self.next_seq(group);
-        ring_all_reduce(&self.shared, self.rank, group, seq, &mut token, ReduceOp::Sum);
-        self.charge_blocking(group, seq, CollectiveKind::Barrier, 0.0);
+        let wall = self.wall_now();
+        ring_all_reduce(
+            &self.shared,
+            self.rank,
+            group,
+            seq,
+            &mut token,
+            ReduceOp::Sum,
+        );
+        self.charge_blocking(group, seq, CollectiveKind::Barrier, 0.0, wall);
+    }
+
+    /// Wall-clock timestamp for trace events (0 when not tracing).
+    pub(crate) fn wall_now(&self) -> u64 {
+        self.shared.tracer.as_ref().map(|t| t.now_ns()).unwrap_or(0)
     }
 
     /// Charge virtual time for a blocking collective: synchronise clocks
     /// across the group, add the modelled cost, and occupy the comm
-    /// stream.
-    fn charge_blocking(&self, group: &ProcessGroup, seq: u64, kind: CollectiveKind, bytes: f64) {
+    /// stream. Records the full compute-stream stall (entry → completion)
+    /// as a blocking collective span when tracing.
+    fn charge_blocking(
+        &self,
+        group: &ProcessGroup,
+        seq: u64,
+        kind: CollectiveKind,
+        bytes: f64,
+        wall_start: u64,
+    ) {
         if !self.shared.track_time || group.size() <= 1 {
             return;
         }
         let entry = self.shared.clock.lock().now;
         let start = clock_sync(&self.shared, self.rank, group, seq, entry);
-        let cost = self.shared.cost.collective_seconds(kind, group.size(), bytes);
-        let mut clock = self.shared.clock.lock();
-        let begin = start.max(clock.comm_free_sync);
-        let done = begin + cost;
-        clock.comm_free_sync = done;
-        clock.now = clock.now.max(done);
+        let cost = self
+            .shared
+            .cost
+            .collective_seconds(kind, group.size(), bytes);
+        let done = {
+            let mut clock = self.shared.clock.lock();
+            let begin = start.max(clock.comm_free_sync);
+            let done = begin + cost;
+            clock.comm_free_sync = done;
+            clock.now = clock.now.max(done);
+            done
+        };
+        if let Some(tracer) = &self.shared.tracer {
+            tracer.record(
+                Stream::Compute,
+                entry,
+                done,
+                wall_start,
+                tracer.now_ns(),
+                tracer.layer(),
+                EventDetail::Collective {
+                    op: coll_op(kind),
+                    group_size: group.size(),
+                    bytes: bytes as u64,
+                    seq,
+                    blocking: true,
+                    op_seconds: cost,
+                },
+            );
+        }
     }
 }
 
@@ -441,7 +547,7 @@ pub(crate) fn ring_all_reduce(
     rank: usize,
     group: &ProcessGroup,
     seq: u64,
-    buf: &mut Vec<f32>,
+    buf: &mut [f32],
     op: ReduceOp,
 ) {
     let g = group.size();
@@ -450,7 +556,7 @@ pub(crate) fn ring_all_reduce(
     }
     let n = buf.len();
     let padded = n.div_ceil(g) * g;
-    let mut work = buf.clone();
+    let mut work = buf.to_vec();
     // Padding must be the identity of the reduction operator.
     let pad = match op {
         ReduceOp::Sum => 0.0,
@@ -476,7 +582,10 @@ pub(crate) fn recursive_doubling_all_reduce(
     if g == 1 {
         return;
     }
-    assert!(g.is_power_of_two(), "recursive doubling needs a power-of-two group");
+    assert!(
+        g.is_power_of_two(),
+        "recursive doubling needs a power-of-two group"
+    );
     let gk = group.key();
     let pos = group.position_of(rank);
     let mut stride = 1usize;
@@ -506,7 +615,7 @@ pub(crate) fn ring_broadcast(
     group: &ProcessGroup,
     seq: u64,
     root_pos: usize,
-    buf: &mut Vec<f32>,
+    buf: &mut [f32],
 ) {
     let g = group.size();
     if g == 1 {
@@ -521,7 +630,7 @@ pub(crate) fn ring_broadcast(
                     rank,
                     group.rank_at(p),
                     msg_key(gk, seq, lane::BCAST + p as u32),
-                    buf.clone(),
+                    buf.to_vec(),
                 );
             }
         }

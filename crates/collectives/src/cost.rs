@@ -178,12 +178,18 @@ mod tests {
         let small = 64.0;
         let ring = m.collective_seconds(CollectiveKind::AllReduce, 16, small);
         let rd = m.collective_seconds(CollectiveKind::AllReduceRecursiveDoubling, 16, small);
-        assert!(rd < ring, "rd {rd} should beat ring {ring} for tiny buffers");
+        assert!(
+            rd < ring,
+            "rd {rd} should beat ring {ring} for tiny buffers"
+        );
         // Bandwidth-dominated regime: ring wins.
         let big = 1e9;
         let ring_b = m.collective_seconds(CollectiveKind::AllReduce, 16, big);
         let rd_b = m.collective_seconds(CollectiveKind::AllReduceRecursiveDoubling, 16, big);
-        assert!(ring_b < rd_b, "ring {ring_b} should beat rd {rd_b} for big buffers");
+        assert!(
+            ring_b < rd_b,
+            "ring {ring_b} should beat rd {rd_b} for big buffers"
+        );
     }
 
     #[test]

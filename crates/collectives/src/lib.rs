@@ -25,4 +25,5 @@ pub mod nonblocking;
 pub use comm::{Comm, CommWorld, ReduceOp};
 pub use cost::{CollectiveKind, CostModel, NullCost, RingCostModel};
 pub use group::ProcessGroup;
+pub use mailbox::PoisonInfo;
 pub use nonblocking::{AsyncHandle, AsyncOp};

@@ -18,6 +18,13 @@ use std::sync::Arc;
 /// collective) by the collective implementations.
 pub type MsgKey = u128;
 
+/// Why a world died: the first panicking rank and its panic message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoisonInfo {
+    pub origin_rank: usize,
+    pub message: String,
+}
+
 #[derive(Default)]
 struct Slot {
     queues: HashMap<(usize, MsgKey), VecDeque<Vec<f32>>>,
@@ -27,13 +34,16 @@ struct Slot {
 pub struct Mailbox {
     slot: Mutex<Slot>,
     signal: Condvar,
+    /// World-wide poison flag, shared by every mailbox of a transport.
+    poison: Arc<Mutex<Option<PoisonInfo>>>,
 }
 
 impl Mailbox {
-    fn new() -> Self {
+    fn new(poison: Arc<Mutex<Option<PoisonInfo>>>) -> Self {
         Mailbox {
             slot: Mutex::new(Slot::default()),
             signal: Condvar::new(),
+            poison,
         }
     }
 
@@ -46,6 +56,12 @@ impl Mailbox {
     fn take(&self, from: usize, key: MsgKey) -> Vec<f32> {
         let mut slot = self.slot.lock();
         loop {
+            if let Some(info) = self.poison.lock().clone() {
+                panic!(
+                    "world poisoned: rank {} panicked: {}",
+                    info.origin_rank, info.message
+                );
+            }
             if let Some(q) = slot.queues.get_mut(&(from, key)) {
                 if let Some(data) = q.pop_front() {
                     if q.is_empty() {
@@ -62,17 +78,61 @@ impl Mailbox {
 /// The transport shared by all ranks of a world.
 pub struct Transport {
     boxes: Vec<Mailbox>,
+    poison: Arc<Mutex<Option<PoisonInfo>>>,
 }
 
 impl Transport {
     pub fn new(world_size: usize) -> Arc<Self> {
+        let poison = Arc::new(Mutex::new(None));
         Arc::new(Transport {
-            boxes: (0..world_size).map(|_| Mailbox::new()).collect(),
+            boxes: (0..world_size)
+                .map(|_| Mailbox::new(poison.clone()))
+                .collect(),
+            poison,
         })
     }
 
     pub fn world_size(&self) -> usize {
         self.boxes.len()
+    }
+
+    /// Mark the world dead: every rank blocked in (or later entering) a
+    /// `recv` panics instead of waiting forever for a peer that will
+    /// never send. The first poisoner wins; later calls are ignored so
+    /// the original failure is the one reported.
+    pub fn poison(&self, origin_rank: usize, message: String) {
+        {
+            let mut slot = self.poison.lock();
+            if slot.is_some() {
+                return;
+            }
+            *slot = Some(PoisonInfo {
+                origin_rank,
+                message,
+            });
+        }
+        for mb in &self.boxes {
+            // Touch each mailbox lock so sleeping receivers observe the
+            // flag, then wake them.
+            drop(mb.slot.lock());
+            mb.signal.notify_all();
+        }
+    }
+
+    /// The first recorded failure, if the world was poisoned.
+    pub fn poison_info(&self) -> Option<PoisonInfo> {
+        self.poison.lock().clone()
+    }
+
+    /// Panic if the world has been poisoned (used at blocking entry
+    /// points that don't go through a mailbox).
+    pub fn check_poison(&self) {
+        if let Some(info) = self.poison_info() {
+            panic!(
+                "world poisoned: rank {} panicked: {}",
+                info.origin_rank, info.message
+            );
+        }
     }
 
     /// Deliver `data` to `dst`'s mailbox under `key`, stamped with the
@@ -137,6 +197,24 @@ mod tests {
         t.send(0, 2, 5, vec![2.0]);
         assert_eq!(t.recv(2, 0, 5), vec![2.0]);
         assert_eq!(t.recv(2, 1, 5), vec![1.0]);
+    }
+
+    #[test]
+    fn poison_wakes_blocked_receiver() {
+        let t = Transport::new(2);
+        let t2 = t.clone();
+        let h = thread::spawn(move || {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| t2.recv(1, 0, 9)))
+        });
+        thread::sleep(std::time::Duration::from_millis(20));
+        t.poison(0, "boom".to_string());
+        let result = h.join().unwrap();
+        let err = result.expect_err("blocked recv must panic after poison");
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert_eq!(msg, "world poisoned: rank 0 panicked: boom");
+        // First poisoner wins.
+        t.poison(1, "later".to_string());
+        assert_eq!(t.poison_info().unwrap().origin_rank, 0);
     }
 
     #[test]

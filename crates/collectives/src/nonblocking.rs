@@ -9,9 +9,10 @@
 //! overlap genuinely reduces virtual batch time exactly when it reduces
 //! non-overlapped communication.
 
-use crate::comm::{clock_sync, Comm, CommShared};
+use crate::comm::{clock_sync, coll_op, Comm, CommShared};
 use crate::cost::CollectiveKind;
 use crate::group::ProcessGroup;
+use axonn_trace::{EventDetail, Stream};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::sync::Arc;
 
@@ -41,6 +42,9 @@ pub(crate) struct Job {
     op: AsyncOp,
     seq: u64,
     issue_clock: f64,
+    /// Layer scope at issue time, stamped onto the execution span so
+    /// overlap reports attribute hidden time to the issuing layer.
+    layer: Option<usize>,
     reply: Sender<(Vec<f32>, f64)>,
 }
 
@@ -48,6 +52,9 @@ pub(crate) struct Job {
 pub struct AsyncHandle {
     rx: Receiver<(Vec<f32>, f64)>,
     shared: Arc<CommShared>,
+    kind: CollectiveKind,
+    seq: u64,
+    group_size: usize,
 }
 
 impl AsyncHandle {
@@ -55,13 +62,37 @@ impl AsyncHandle {
     /// Advances the rank's virtual clock to the operation's completion
     /// time if it finished later than the compute stream.
     pub fn wait(self) -> Vec<f32> {
-        let (result, completion) = self
-            .rx
-            .recv()
-            .expect("async collective worker terminated before completing");
+        self.shared.transport.check_poison();
+        let recv = self.rx.recv();
+        if recv.is_err() {
+            // The worker died; if the world was poisoned, report the
+            // original failure rather than the secondary symptom.
+            self.shared.transport.check_poison();
+        }
+        let (result, completion) =
+            recv.expect("async collective worker terminated before completing");
         if self.shared.track_time {
-            let mut clock = self.shared.clock.lock();
-            clock.now = clock.now.max(completion);
+            let (gap_start, gap_end) = {
+                let mut clock = self.shared.clock.lock();
+                let start = clock.now;
+                clock.now = clock.now.max(completion);
+                (start, clock.now)
+            };
+            if let Some(tracer) = self.shared.tracer.as_ref().filter(|_| self.group_size > 1) {
+                let now = tracer.now_ns();
+                tracer.record(
+                    Stream::Compute,
+                    gap_start,
+                    gap_end,
+                    now,
+                    now,
+                    tracer.layer(),
+                    EventDetail::OverlapWait {
+                        op: coll_op(self.kind),
+                        seq: self.seq,
+                    },
+                );
+            }
         }
         result
     }
@@ -77,18 +108,41 @@ impl Comm {
     /// stream. All group members must issue the matching operation (in
     /// the same program order, as in SPMD code).
     pub fn start_async(&self, group: &ProcessGroup, op: AsyncOp) -> AsyncHandle {
+        self.shared.transport.check_poison();
         let seq = self.next_seq(group);
         let issue_clock = if self.shared.track_time {
             self.shared.clock.lock().now
         } else {
             0.0
         };
+        let kind = op.kind();
+        let layer = self.shared.tracer.as_ref().and_then(|t| t.layer());
+        // Size-1 groups move no data; keep them out of the trace so an
+        // event exists iff the op really communicates (the blocking path
+        // skips them too).
+        if let Some(tracer) = self.tracer().filter(|_| group.size() > 1) {
+            let bytes = match &op {
+                AsyncOp::AllReduce(b) | AsyncOp::ReduceScatter(b) => b.len() * 4,
+                AsyncOp::AllGather(shard) => shard.len() * group.size() * 4,
+            };
+            tracer.mark(
+                Stream::Compute,
+                issue_clock,
+                EventDetail::Issue {
+                    op: coll_op(kind),
+                    group_size: group.size(),
+                    bytes: bytes as u64,
+                    seq,
+                },
+            );
+        }
         let (reply_tx, reply_rx) = unbounded();
         let job = Job {
             group: group.clone(),
             op,
             seq,
             issue_clock,
+            layer,
             reply: reply_tx,
         };
         self.async_tx
@@ -99,6 +153,9 @@ impl Comm {
         AsyncHandle {
             rx: reply_rx,
             shared: self.shared.clone(),
+            kind,
+            seq,
+            group_size: group.size(),
         }
     }
 
@@ -139,9 +196,11 @@ fn run_job(rank: usize, shared: &Arc<CommShared>, job: Job) {
         op,
         seq,
         issue_clock,
+        layer,
         reply,
     } = job;
     let kind = op.kind();
+    let wall_start = shared.tracer.as_ref().map(|t| t.now_ns()).unwrap_or(0);
     let bytes;
     let result = match op {
         AsyncOp::AllReduce(mut buf) => {
@@ -171,10 +230,31 @@ fn run_job(rank: usize, shared: &Arc<CommShared>, job: Job) {
         // duration without blocking the compute stream.
         let start = clock_sync(shared, rank, &group, seq, issue_clock);
         let cost = shared.cost.collective_seconds(kind, group.size(), bytes);
-        let mut clock = shared.clock.lock();
-        let begin = start.max(clock.comm_free_async);
-        let done = begin + cost;
-        clock.comm_free_async = done;
+        let (begin, done) = {
+            let mut clock = shared.clock.lock();
+            let begin = start.max(clock.comm_free_async);
+            let done = begin + cost;
+            clock.comm_free_async = done;
+            (begin, done)
+        };
+        if let Some(tracer) = &shared.tracer {
+            tracer.record(
+                Stream::Comm,
+                begin,
+                done,
+                wall_start,
+                tracer.now_ns(),
+                layer,
+                EventDetail::Collective {
+                    op: coll_op(kind),
+                    group_size: group.size(),
+                    bytes: bytes as u64,
+                    seq,
+                    blocking: false,
+                    op_seconds: cost,
+                },
+            );
+        }
         done
     } else {
         issue_clock
@@ -294,10 +374,7 @@ mod tests {
             c.now()
         });
         for (s, o) in serial.iter().zip(&overlapped) {
-            assert!(
-                o < s,
-                "overlapped virtual time {o} should beat serial {s}"
-            );
+            assert!(o < s, "overlapped virtual time {o} should beat serial {s}");
             // Comm cost = 2 * (1/2) * 4MB / 1GB/s = 4 ms; compute 5 ms.
             // Serial ≈ 9 ms, overlapped ≈ max(5,4) = 5 ms.
             assert!((s - 9.0e-3).abs() < 1.0e-3, "serial {s}");
@@ -310,7 +387,7 @@ mod tests {
         let results = run_world(2, |c| {
             let g = ProcessGroup::new(vec![0, 1]);
             let h = c.iall_reduce(&g, vec![1.0]);
-            
+
             h.wait()
         });
         assert_eq!(results[0], vec![2.0]);

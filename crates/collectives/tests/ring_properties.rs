@@ -135,7 +135,9 @@ fn collectives_are_deterministic_across_runs() {
     let run = || {
         spmd(4, |c| {
             let g = ProcessGroup::new(vec![0, 1, 2, 3]);
-            let mut buf: Vec<f32> = (0..33).map(|i| (i as f32 + c.rank() as f32) * 0.3).collect();
+            let mut buf: Vec<f32> = (0..33)
+                .map(|i| (i as f32 + c.rank() as f32) * 0.3)
+                .collect();
             c.all_reduce(&g, &mut buf);
             buf
         })

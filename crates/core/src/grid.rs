@@ -34,9 +34,7 @@ impl GridTopology {
         let z = (rank / (gx * gy)) % gz;
         let d = rank / (gx * gy * gz);
 
-        let rank_of = |x: usize, y: usize, z: usize, d: usize| {
-            x + gx * (y + gy * (z + gz * d))
-        };
+        let rank_of = |x: usize, y: usize, z: usize, d: usize| x + gx * (y + gy * (z + gz * d));
         let x_group = ProcessGroup::new((0..gx).map(|i| rank_of(i, y, z, d)).collect());
         let y_group = ProcessGroup::new((0..gy).map(|j| rank_of(x, j, z, d)).collect());
         let z_group = ProcessGroup::new((0..gz).map(|k| rank_of(x, y, k, d)).collect());

@@ -14,9 +14,32 @@
 //! (with swapped X/Y roles) expects as input.
 
 use crate::grid::GridTopology;
-use crate::tuner::KernelTuner;
+use crate::tuner::{DwStrategy, KernelTuner};
 use axonn_collectives::{AsyncHandle, Comm};
 use axonn_tensor::{block_of, gemm, shard_rows, BlockSpec, MatMode, Matrix};
+use axonn_trace::{EventDetail, Stream};
+
+/// Wall-clock timestamp for trace edges; 0 when tracing is off (the
+/// value is never recorded in that case).
+fn wall_now(comm: &Comm) -> u64 {
+    comm.tracer().map_or(0, |t| t.now_ns())
+}
+
+/// Record a compute-stream GEMM span whose start edges (`t0`, `wall0`)
+/// were captured before the product ran; end edges are read now.
+fn record_gemm(comm: &Comm, t0: f64, wall0: u64, mode: &'static str, flops: f64) {
+    if let Some(t) = comm.tracer() {
+        t.record(
+            Stream::Compute,
+            t0,
+            comm.now(),
+            wall0,
+            t.now_ns(),
+            t.layer(),
+            EventDetail::Gemm { mode, flops },
+        );
+    }
+}
 
 /// Which of the Section V-D overlap optimizations are active.
 #[derive(Debug, Clone, Copy, Default)]
@@ -97,8 +120,16 @@ impl ParallelLinear {
         let (k, n) = full_w.shape();
         let g_in = grid.row_parts(transposed);
         let g_out = grid.col_parts(transposed);
-        assert_eq!(k % g_in, 0, "layer {layer_id}: k={k} not divisible by row parts {g_in}");
-        assert_eq!(n % g_out, 0, "layer {layer_id}: n={n} not divisible by col parts {g_out}");
+        assert_eq!(
+            k % g_in,
+            0,
+            "layer {layer_id}: k={k} not divisible by row parts {g_in}"
+        );
+        assert_eq!(
+            n % g_out,
+            0,
+            "layer {layer_id}: n={n} not divisible by col parts {g_out}"
+        );
         assert_eq!(
             (k / g_in) % grid.gz,
             0,
@@ -108,7 +139,12 @@ impl ParallelLinear {
         );
         let block = block_of(
             full_w,
-            BlockSpec::new(g_in, g_out, grid.row_index(transposed), grid.col_index(transposed)),
+            BlockSpec::new(
+                g_in,
+                g_out,
+                grid.row_index(transposed),
+                grid.col_index(transposed),
+            ),
         );
         let w_shard = shard_rows(&block, grid.gz, grid.coords.2);
         let grad_shard = Matrix::zeros(w_shard.rows(), w_shard.cols());
@@ -147,8 +183,16 @@ impl ParallelLinear {
     /// (line 2 of Algorithm 1, prefetched in topological order).
     pub fn start_weight_gather(&mut self, comm: &Comm, grid: &GridTopology) {
         if self.prefetch.is_none() {
+            // Scope the issue event to this layer so the overlap report
+            // attributes the hidden all-gather time correctly.
+            if let Some(t) = comm.tracer() {
+                t.set_layer(Some(self.layer_id));
+            }
             self.prefetch =
                 Some(comm.iall_gather(grid.z_group(), self.w_shard.as_slice().to_vec()));
+            if let Some(t) = comm.tracer() {
+                t.set_layer(None);
+            }
         }
     }
 
@@ -180,6 +224,16 @@ impl ParallelLinear {
             "layer {}: input block has wrong width",
             self.layer_id
         );
+        let span = comm.tracer().and_then(|t| {
+            t.set_layer(Some(self.layer_id));
+            t.open_span(
+                Stream::Compute,
+                comm.now(),
+                EventDetail::LayerFwd {
+                    layer: self.layer_id,
+                },
+            )
+        });
         let mut w = self.gathered_weight(comm, grid);
         let i_local = match precision {
             Precision::F32 => i_local,
@@ -193,13 +247,21 @@ impl ParallelLinear {
                 i
             }
         };
+        let t0 = comm.now();
+        let wall0 = wall_now(comm);
         let o_partial = gemm(MatMode::NN, &i_local, &w);
-        comm.advance_compute(2.0 * i_local.rows() as f64 * w.rows() as f64 * w.cols() as f64);
+        let flops = 2.0 * i_local.rows() as f64 * w.rows() as f64 * w.cols() as f64;
+        comm.advance_compute(flops);
+        record_gemm(comm, t0, wall0, "NN", flops);
         let mut o = o_partial.into_vec();
         comm.all_reduce(grid.row_group(self.transposed), &mut o);
         let out = Matrix::from_vec(i_local.rows(), self.local_output_cols(grid), o);
         self.cached_i = Some(i_local);
         self.cached_w = Some(w);
+        if let Some(t) = comm.tracer() {
+            t.close_span(span, comm.now());
+            t.set_layer(None);
+        }
         out
     }
 
@@ -208,12 +270,28 @@ impl ParallelLinear {
     /// (Section VI-A: "we turn on activation checkpointing"). Costs one
     /// GEMM plus one output all-reduce, exactly like the real thing.
     pub fn recompute_output(&mut self, comm: &Comm, grid: &GridTopology) -> Matrix {
-        let i_local = self.cached_i.as_ref().expect("recompute without cached input");
-        let w = self.cached_w.as_ref().expect("recompute without cached weight");
+        let i_local = self
+            .cached_i
+            .as_ref()
+            .expect("recompute without cached input");
+        let w = self
+            .cached_w
+            .as_ref()
+            .expect("recompute without cached weight");
+        if let Some(t) = comm.tracer() {
+            t.set_layer(Some(self.layer_id));
+        }
+        let t0 = comm.now();
+        let wall0 = wall_now(comm);
         let o_partial = gemm(MatMode::NN, i_local, w);
-        comm.advance_compute(2.0 * i_local.rows() as f64 * w.rows() as f64 * w.cols() as f64);
+        let flops = 2.0 * i_local.rows() as f64 * w.rows() as f64 * w.cols() as f64;
+        comm.advance_compute(flops);
+        record_gemm(comm, t0, wall0, "NN", flops);
         let mut o = o_partial.into_vec();
         comm.all_reduce(grid.row_group(self.transposed), &mut o);
+        if let Some(t) = comm.tracer() {
+            t.set_layer(None);
+        }
         Matrix::from_vec(i_local.rows(), self.local_output_cols(grid), o)
     }
 
@@ -243,16 +321,33 @@ impl ParallelLinear {
             Precision::Bf16Mixed => d_o.to_bf16(),
         };
         let d_o = &d_o;
+        let span = comm.tracer().and_then(|t| {
+            t.set_layer(Some(self.layer_id));
+            t.open_span(
+                Stream::Compute,
+                comm.now(),
+                EventDetail::LayerBwd {
+                    layer: self.layer_id,
+                },
+            )
+        });
 
         // Line 11: dÎ = dO · Wᵀ.
+        let t0 = comm.now();
+        let wall0 = wall_now(comm);
         let d_i_partial = gemm(MatMode::NT, d_o, &w);
-        comm.advance_compute(2.0 * d_o.rows() as f64 * d_o.cols() as f64 * w.rows() as f64);
+        let flops = 2.0 * d_o.rows() as f64 * d_o.cols() as f64 * w.rows() as f64;
+        comm.advance_compute(flops);
+        record_gemm(comm, t0, wall0, "NT", flops);
 
         // Line 12: all-reduce across the col group — asynchronously under
         // OAR, overlapped with the dŴ GEMM below.
         let col_group = grid.col_group(self.transposed).clone();
         let (mut d_i_buf, ar_handle) = if overlap.oar && col_group.size() > 1 {
-            (None, Some(comm.iall_reduce(&col_group, d_i_partial.into_vec())))
+            (
+                None,
+                Some(comm.iall_reduce(&col_group, d_i_partial.into_vec())),
+            )
         } else {
             let mut buf = d_i_partial.into_vec();
             comm.all_reduce(&col_group, &mut buf);
@@ -260,10 +355,33 @@ impl ParallelLinear {
         };
 
         // Line 13: dŴ = Iᵀ · dO (via the kernel tuner).
+        let t0 = comm.now();
+        let wall0 = wall_now(comm);
         let d_w = tuner.dw_gemm(self.layer_id, &i_local, d_o);
-        comm.advance_compute(
-            2.0 * i_local.rows() as f64 * i_local.cols() as f64 * d_o.cols() as f64,
-        );
+        let flops = 2.0 * i_local.rows() as f64 * i_local.cols() as f64 * d_o.cols() as f64;
+        comm.advance_compute(flops);
+        let dw_mode = match tuner.choice(self.layer_id) {
+            Some(DwStrategy::TransposeNn) => "TN->NN",
+            _ => "TN",
+        };
+        record_gemm(comm, t0, wall0, dw_mode, flops);
+        if let Some(t) = comm.tracer() {
+            if let Some(o) = tuner.take_last_outcome() {
+                t.mark(
+                    Stream::Compute,
+                    comm.now(),
+                    EventDetail::TunerDecision {
+                        layer: o.layer_id,
+                        choice: match o.strategy {
+                            DwStrategy::DirectTn => "direct_tn",
+                            DwStrategy::TransposeNn => "transpose_nn",
+                        },
+                        direct_seconds: o.direct_seconds,
+                        reroute_seconds: o.reroute_seconds,
+                    },
+                );
+            }
+        }
 
         if let Some(h) = ar_handle {
             d_i_buf = Some(h.wait());
@@ -292,13 +410,21 @@ impl ParallelLinear {
             ));
             None
         };
+        if let Some(t) = comm.tracer() {
+            t.close_span(span, comm.now());
+            t.set_layer(None);
+        }
         (d_i, pending)
     }
 
     /// Add a resolved gradient shard (from a [`PendingGrad`] or a
     /// blocking reduce-scatter) into the layer's accumulator.
     pub fn accumulate_grad(&mut self, grad: Matrix) {
-        assert_eq!(grad.shape(), self.grad_shard.shape(), "gradient shape mismatch");
+        assert_eq!(
+            grad.shape(),
+            self.grad_shard.shape(),
+            "gradient shape mismatch"
+        );
         self.grad_shard.add_assign(&grad);
     }
 

@@ -30,7 +30,9 @@ pub mod tuner;
 
 pub use grid::GridTopology;
 pub use layer::{OverlapConfig, ParallelLinear, PendingGrad, Precision};
-pub use network::{distribute_input, distribute_output, Activation, NetConfig, Network4d, SerialMlp};
+pub use network::{
+    distribute_input, distribute_output, Activation, NetConfig, Network4d, SerialMlp,
+};
 pub use stack::{vocab_parallel_cross_entropy, ParallelEmbedding, TransformerStack, VocabCeResult};
 pub use transformer::{block_weight, ParallelLayerNorm, ParallelTransformerBlock};
 pub use tuner::{DwStrategy, KernelTuner};

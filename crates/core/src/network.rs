@@ -72,7 +72,12 @@ fn gelu_grad(x: f32) -> f32 {
 /// start bit-identical.
 fn init_weight(dims: &[usize], i: usize, seed: u64) -> Matrix {
     let scale = 1.0 / (dims[i] as f32).sqrt();
-    Matrix::random(dims[i], dims[i + 1], scale, seed.wrapping_add(i as u64 * 7919))
+    Matrix::random(
+        dims[i],
+        dims[i + 1],
+        scale,
+        seed.wrapping_add(i as u64 * 7919),
+    )
 }
 
 /// The serial reference MLP: plain full-batch SGD on sum-of-squares loss.
@@ -84,7 +89,9 @@ pub struct SerialMlp {
 impl SerialMlp {
     pub fn new(dims: &[usize], act: Activation, seed: u64) -> Self {
         assert!(dims.len() >= 2, "need at least one layer");
-        let weights = (0..dims.len() - 1).map(|i| init_weight(dims, i, seed)).collect();
+        let weights = (0..dims.len() - 1)
+            .map(|i| init_weight(dims, i, seed))
+            .collect();
         SerialMlp { weights, act }
     }
 
@@ -344,9 +351,19 @@ impl Network4d {
         let mut pending: Vec<PendingGrad> = Vec::new();
         let (overlap, precision) = (self.cfg.overlap, self.cfg.precision);
         for i in (0..self.layers.len()).rev() {
-            let prev_pre = if i > 0 { Some(self.pre_of(&pres, i - 1)) } else { None };
-            let (mut d_in, p) =
-                self.layers[i].backward(&self.comm, &self.grid, &d, overlap, &mut self.tuner, precision);
+            let prev_pre = if i > 0 {
+                Some(self.pre_of(&pres, i - 1))
+            } else {
+                None
+            };
+            let (mut d_in, p) = self.layers[i].backward(
+                &self.comm,
+                &self.grid,
+                &d,
+                overlap,
+                &mut self.tuner,
+                precision,
+            );
             if let Some(p) = p {
                 pending.push(p);
             }

@@ -169,6 +169,7 @@ pub struct TransformerStack {
 }
 
 impl TransformerStack {
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         grid: &GridTopology,
         vocab: usize,

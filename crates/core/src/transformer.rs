@@ -97,7 +97,10 @@ impl ParallelLayerNorm {
     }
 
     pub fn backward(&mut self, comm: &Comm, grid: &GridTopology, dy: &Matrix) -> Matrix {
-        let (x, means, inv_stds) = self.cache.take().expect("layernorm backward before forward");
+        let (x, means, inv_stds) = self
+            .cache
+            .take()
+            .expect("layernorm backward before forward");
         let (rows, local) = x.shape();
         let h = self.width as f32;
         // Cross-feature reductions: Σ dnorm and Σ dnorm·norm per row,
@@ -194,7 +197,8 @@ impl AttentionCore {
                     let row = qkv.row(s * t + ti);
                     q.row_mut(ti).copy_from_slice(&row[off..off + hd]);
                     k.row_mut(ti).copy_from_slice(&row[off + hd..off + 2 * hd]);
-                    v.row_mut(ti).copy_from_slice(&row[off + 2 * hd..off + 3 * hd]);
+                    v.row_mut(ti)
+                        .copy_from_slice(&row[off + 2 * hd..off + 3 * hd]);
                 }
                 let mut scores = gemm(MatMode::NT, &q, &k);
                 scores.scale(scale);
@@ -210,8 +214,7 @@ impl AttentionCore {
                 }
                 let o = gemm(MatMode::NN, &p, &v);
                 for ti in 0..t {
-                    out.row_mut(s * t + ti)[head * hd..(head + 1) * hd]
-                        .copy_from_slice(o.row(ti));
+                    out.row_mut(s * t + ti)[head * hd..(head + 1) * hd].copy_from_slice(o.row(ti));
                 }
                 cache.push((q, k, v, p));
             }
@@ -221,7 +224,10 @@ impl AttentionCore {
     }
 
     fn backward(&mut self, d_out: &Matrix) -> Matrix {
-        let cache = self.cache.take().expect("attention backward before forward");
+        let cache = self
+            .cache
+            .take()
+            .expect("attention backward before forward");
         let (rows, width) = d_out.shape();
         let t = self.seq_len;
         let hd = self.head_dim;
@@ -284,7 +290,12 @@ pub struct ParallelTransformerBlock {
 /// Deterministic seeded weight shared with the serial reference.
 pub fn block_weight(rows: usize, cols: usize, seed: u64, which: u64) -> Matrix {
     let scale = 1.0 / (rows as f32).sqrt();
-    Matrix::random(rows, cols, scale, seed.wrapping_add(which.wrapping_mul(6151)))
+    Matrix::random(
+        rows,
+        cols,
+        scale,
+        seed.wrapping_add(which.wrapping_mul(6151)),
+    )
 }
 
 impl ParallelTransformerBlock {
@@ -372,9 +383,9 @@ impl ParallelTransformerBlock {
         };
 
         // MLP half: out = h + fc2(gelu(fc1(ln2(h)))).
-        let (mut d_act, p) =
-            self.fc2
-                .backward(comm, grid, d_out, overlap, tuner, Precision::F32);
+        let (mut d_act, p) = self
+            .fc2
+            .backward(comm, grid, d_out, overlap, tuner, Precision::F32);
         push(p);
         Activation::Gelu.backprop(&fc1_pre, &mut d_act);
         let (d_n2, p) = self

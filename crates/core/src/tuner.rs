@@ -21,11 +21,25 @@ pub enum DwStrategy {
     TransposeNn,
 }
 
+/// One tuning measurement: what was timed and what won. Drained by the
+/// instrumentation right after the call that locked the choice in, so
+/// the decision lands in the trace at the point it was made.
+#[derive(Debug, Clone, Copy)]
+pub struct TuningOutcome {
+    pub layer_id: usize,
+    pub strategy: DwStrategy,
+    /// Measured wall time of the direct TN kernel (seconds).
+    pub direct_seconds: f64,
+    /// Measured wall time of the transpose + NN reroute (seconds).
+    pub reroute_seconds: f64,
+}
+
 /// Per-layer kernel choices, learned on the first batch.
 #[derive(Debug)]
 pub struct KernelTuner {
     enabled: bool,
     choices: HashMap<usize, DwStrategy>,
+    last_outcome: Option<TuningOutcome>,
 }
 
 impl KernelTuner {
@@ -33,7 +47,15 @@ impl KernelTuner {
         KernelTuner {
             enabled,
             choices: HashMap::new(),
+            last_outcome: None,
         }
+    }
+
+    /// The measurement recorded by the most recent tuning decision, if
+    /// one was made since the last call. Consuming it keeps one trace
+    /// event per decision.
+    pub fn take_last_outcome(&mut self) -> Option<TuningOutcome> {
+        self.last_outcome.take()
     }
 
     /// The strategy locked in for `layer_id`, if tuned already.
@@ -75,6 +97,12 @@ impl KernelTuner {
                     DwStrategy::DirectTn
                 };
                 self.choices.insert(layer_id, strategy);
+                self.last_outcome = Some(TuningOutcome {
+                    layer_id,
+                    strategy,
+                    direct_seconds: t_direct.as_secs_f64(),
+                    reroute_seconds: t_reroute.as_secs_f64(),
+                });
                 // Return either result; they are numerically equal up to
                 // summation order.
                 if strategy == DwStrategy::TransposeNn {
@@ -119,7 +147,15 @@ mod tests {
         let first = t.dw_gemm(7, &i, &d);
         assert_eq!(t.tuned_layers(), 1);
         assert!(t.choice(7).is_some());
+        let outcome = t.take_last_outcome().expect("decision just made");
+        assert_eq!(outcome.layer_id, 7);
+        assert_eq!(outcome.strategy, t.choice(7).unwrap());
+        assert!(outcome.direct_seconds >= 0.0 && outcome.reroute_seconds >= 0.0);
         let second = t.dw_gemm(7, &i, &d);
+        assert!(
+            t.take_last_outcome().is_none(),
+            "tuned call decides nothing"
+        );
         assert!(first.approx_eq(&second, 1e-4));
         assert!(first.approx_eq(&gemm_reference(MatMode::TN, &i, &d), 1e-3));
     }

@@ -27,7 +27,9 @@ fn legal_case() -> impl Strategy<Value = ((usize, usize, usize, usize), Vec<usiz
         let (gx, gy, gz, _gd) = g;
         // Every feature dim must divide by max(gx,gy)*gz; batch by gz*gd.
         let unit = gx.max(gy) * gz * 2;
-        let dims: Vec<usize> = (0..=n_layers).map(|i| unit * (width_mult + i % 2)).collect();
+        let dims: Vec<usize> = (0..=n_layers)
+            .map(|i| unit * (width_mult + i % 2))
+            .collect();
         (g, dims, seed)
     })
 }

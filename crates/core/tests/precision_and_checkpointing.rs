@@ -1,9 +1,11 @@
 //! Tests for the two Section VI-A training-regime features: bf16 mixed
 //! precision and activation checkpointing.
 
-use axonn_core::{Activation, GridTopology, NetConfig, Network4d, OverlapConfig, Precision, SerialMlp};
-use axonn_exec::{run_spmd, run_spmd_timed};
 use axonn_collectives::RingCostModel;
+use axonn_core::{
+    Activation, GridTopology, NetConfig, Network4d, OverlapConfig, Precision, SerialMlp,
+};
+use axonn_exec::{run_spmd, run_spmd_timed};
 use axonn_tensor::Matrix;
 use std::sync::Arc;
 
@@ -22,7 +24,9 @@ fn run(gx: usize, gy: usize, gz: usize, gd: usize, cfg: NetConfig, steps: usize)
         let grid = GridTopology::new(gx, gy, gz, gd, comm.rank());
         let mut net = Network4d::with_config(comm, grid, &DIMS, Activation::Gelu, SEED, cfg);
         let (x, t) = batch();
-        (0..steps).map(|_| net.train_step(&x, &t, 0.01)).collect::<Vec<f32>>()
+        (0..steps)
+            .map(|_| net.train_step(&x, &t, 0.01))
+            .collect::<Vec<f32>>()
     });
     out.into_iter().next().unwrap()
 }
@@ -31,7 +35,17 @@ fn run(gx: usize, gy: usize, gz: usize, gd: usize, cfg: NetConfig, steps: usize)
 fn checkpointing_is_numerically_identical() {
     // Recomputing activations repeats the exact same float operations, so
     // losses must match bit-for-bit.
-    let plain = run(2, 2, 2, 1, NetConfig { overlap: OverlapConfig::all(), ..Default::default() }, 4);
+    let plain = run(
+        2,
+        2,
+        2,
+        1,
+        NetConfig {
+            overlap: OverlapConfig::all(),
+            ..Default::default()
+        },
+        4,
+    );
     let ckpt = run(
         2,
         2,

@@ -2,8 +2,8 @@
 //! identical seeds, identical math, every legal grid.
 
 use axonn_core::{
-    block_weight, distribute_input, distribute_output, GridTopology, OverlapConfig,
-    ParallelTransformerBlock, KernelTuner,
+    block_weight, distribute_input, distribute_output, GridTopology, KernelTuner, OverlapConfig,
+    ParallelTransformerBlock,
 };
 use axonn_exec::run_spmd;
 use axonn_tensor::{gemm, MatMode, Matrix};
@@ -62,7 +62,8 @@ fn attention(qkv: &Matrix, heads: usize, seq: usize) -> Matrix {
                 let row = qkv.row(s * seq + t);
                 q.row_mut(t).copy_from_slice(&row[off..off + hd]);
                 k.row_mut(t).copy_from_slice(&row[off + hd..off + 2 * hd]);
-                v.row_mut(t).copy_from_slice(&row[off + 2 * hd..off + 3 * hd]);
+                v.row_mut(t)
+                    .copy_from_slice(&row[off + 2 * hd..off + 3 * hd]);
             }
             let mut scores = gemm(MatMode::NT, &q, &k);
             scores.scale(scale);
@@ -169,35 +170,55 @@ fn forward_matches_serial_on_trivial_grid() {
 fn forward_matches_serial_on_x_split() {
     // Heads split across X (2 heads per rank).
     for (out, expect) in parallel_forward(2, 1, 1, 1) {
-        assert!(out.approx_eq(&expect, 1e-4), "max diff {}", out.max_abs_diff(&expect));
+        assert!(
+            out.approx_eq(&expect, 1e-4),
+            "max diff {}",
+            out.max_abs_diff(&expect)
+        );
     }
 }
 
 #[test]
 fn forward_matches_serial_on_y_split() {
     for (out, expect) in parallel_forward(1, 2, 1, 1) {
-        assert!(out.approx_eq(&expect, 1e-4), "max diff {}", out.max_abs_diff(&expect));
+        assert!(
+            out.approx_eq(&expect, 1e-4),
+            "max diff {}",
+            out.max_abs_diff(&expect)
+        );
     }
 }
 
 #[test]
 fn forward_matches_serial_on_z_split() {
     for (out, expect) in parallel_forward(1, 1, 2, 1) {
-        assert!(out.approx_eq(&expect, 1e-4), "max diff {}", out.max_abs_diff(&expect));
+        assert!(
+            out.approx_eq(&expect, 1e-4),
+            "max diff {}",
+            out.max_abs_diff(&expect)
+        );
     }
 }
 
 #[test]
 fn forward_matches_serial_on_data_split() {
     for (out, expect) in parallel_forward(1, 1, 1, 2) {
-        assert!(out.approx_eq(&expect, 1e-4), "max diff {}", out.max_abs_diff(&expect));
+        assert!(
+            out.approx_eq(&expect, 1e-4),
+            "max diff {}",
+            out.max_abs_diff(&expect)
+        );
     }
 }
 
 #[test]
 fn forward_matches_serial_on_full_4d_grid() {
     for (out, expect) in parallel_forward(2, 2, 2, 2) {
-        assert!(out.approx_eq(&expect, 1e-4), "max diff {}", out.max_abs_diff(&expect));
+        assert!(
+            out.approx_eq(&expect, 1e-4),
+            "max diff {}",
+            out.max_abs_diff(&expect)
+        );
     }
 }
 

@@ -1,10 +1,10 @@
 //! End-to-end parallel GPT (embedding → blocks → head → vocab-parallel
 //! cross-entropy) against a serial reference with identical seeds.
 
+use axonn_collectives::ProcessGroup;
 use axonn_core::{
     block_weight, vocab_parallel_cross_entropy, GridTopology, OverlapConfig, TransformerStack,
 };
-use axonn_collectives::ProcessGroup;
 use axonn_exec::run_spmd;
 use axonn_tensor::{gemm, MatMode, Matrix};
 
@@ -62,7 +62,8 @@ mod serial {
                     let row = qkv.row(s * SEQ + t);
                     q.row_mut(t).copy_from_slice(&row[off..off + hd]);
                     k.row_mut(t).copy_from_slice(&row[off + hd..off + 2 * hd]);
-                    v.row_mut(t).copy_from_slice(&row[off + 2 * hd..off + 3 * hd]);
+                    v.row_mut(t)
+                        .copy_from_slice(&row[off + 2 * hd..off + 3 * hd]);
                 }
                 let mut scores = gemm(MatMode::NT, &q, &k);
                 scores.scale(scale);
@@ -77,8 +78,7 @@ mod serial {
                 }
                 let o = gemm(MatMode::NN, &p, &v);
                 for t in 0..SEQ {
-                    out.row_mut(s * SEQ + t)[head * hd..(head + 1) * hd]
-                        .copy_from_slice(o.row(t));
+                    out.row_mut(s * SEQ + t)[head * hd..(head + 1) * hd].copy_from_slice(o.row(t));
                 }
             }
         }
@@ -186,10 +186,7 @@ fn training_trajectories_agree_across_grids() {
         let losses = parallel_losses(gx, gy, gz, gd, 4);
         for (a, b) in reference.iter().zip(&losses) {
             let rel = ((a - b) / a).abs();
-            assert!(
-                rel < 5e-3,
-                "grid {gx}x{gy}x{gz}x{gd} diverged: {a} vs {b}"
-            );
+            assert!(rel < 5e-3, "grid {gx}x{gy}x{gz}x{gd} diverged: {a} vs {b}");
         }
     }
 }
@@ -227,8 +224,8 @@ fn vocab_parallel_ce_matches_direct_computation() {
         let row = full.row(r);
         let m = row.iter().cloned().fold(f32::MIN, f32::max);
         let denom: f32 = row.iter().map(|&v| (v - m).exp()).sum();
-        for c in 0..VOCAB {
-            let p = (row[c] - m).exp() / denom;
+        for (c, &logit) in row.iter().enumerate().take(VOCAB) {
+            let p = (logit - m).exp() / denom;
             let expect = (p - if c == t { 1.0 } else { 0.0 }) / rows as f32;
             let half = VOCAB / 2;
             let got = if c < half {

@@ -4,10 +4,17 @@
 //! here a *rank* is an OS thread holding a [`Comm`]. [`run_spmd`] spawns
 //! the world, runs the same closure on every rank (Single Program,
 //! Multiple Data) and collects the per-rank results in rank order.
-//! Panics on any rank are propagated with the rank attached, so test
-//! failures point at the offending rank instead of deadlocking the world.
+//!
+//! A panicking rank **poisons the world** before unwinding: every peer
+//! blocked in (or later entering) a collective panics instead of waiting
+//! forever for a message that will never come, and the launcher reports
+//! the *original* panicking rank rather than the first casualty. Without
+//! this, a panic on rank `k` while other ranks sit in a ring collective
+//! would deadlock the join loop.
 
 use axonn_collectives::{Comm, CommWorld, CostModel};
+use axonn_trace::RankTrace;
+use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
 
 /// Run `body` on `world_size` ranks with no virtual-time tracking.
@@ -30,12 +37,36 @@ where
     launch(CommWorld::create_timed(world_size, cost), body)
 }
 
+/// Results and traces of a traced SPMD run, both in rank order.
+pub struct TracedRun<T> {
+    pub results: Vec<T>,
+    pub traces: Vec<RankTrace>,
+}
+
+/// Run `body` on `world_size` ranks with virtual clocks advanced by
+/// `cost` and every rank recording trace events (collectives are
+/// instrumented automatically; `body` can add compute spans through
+/// `Comm::tracer`). Returns the per-rank results and finished traces.
+pub fn run_spmd_traced<F, T>(world_size: usize, cost: Arc<dyn CostModel>, body: F) -> TracedRun<T>
+where
+    F: Fn(Comm) -> T + Send + Sync + 'static,
+    T: Send + 'static,
+{
+    let (comms, sinks) = CommWorld::create_traced(world_size, cost);
+    let results = launch(comms, body);
+    let traces = sinks.iter().map(|s| s.finish()).collect();
+    TracedRun { results, traces }
+}
+
 fn launch<F, T>(comms: Vec<Comm>, body: F) -> Vec<T>
 where
     F: Fn(Comm) -> T + Send + Sync + 'static,
     T: Send + 'static,
 {
     let body = Arc::new(body);
+    // A probe clone lets the join loop read the poison flag after the
+    // rank threads are gone.
+    let probe = comms[0].clone();
     let handles: Vec<_> = comms
         .into_iter()
         .map(|comm| {
@@ -43,25 +74,66 @@ where
             let rank = comm.rank();
             std::thread::Builder::new()
                 .name(format!("axonn-rank-{rank}"))
-                .spawn(move || body(comm))
+                .spawn(move || {
+                    let poison_handle = comm.clone();
+                    match std::panic::catch_unwind(AssertUnwindSafe(|| body(comm))) {
+                        Ok(v) => v,
+                        Err(e) => {
+                            // Poison before unwinding so blocked peers
+                            // abort instead of deadlocking; secondary
+                            // (poison-induced) panics don't overwrite the
+                            // original because the first poisoner wins.
+                            if !is_poison_panic(&*e) {
+                                poison_handle.poison_world(rank, panic_message(&*e));
+                            }
+                            std::panic::resume_unwind(e);
+                        }
+                    }
+                })
                 .expect("failed to spawn rank thread")
         })
         .collect();
-    handles
+    let mut failed = false;
+    let results: Vec<Option<T>> = handles
         .into_iter()
-        .enumerate()
-        .map(|(rank, h)| match h.join() {
-            Ok(v) => v,
-            Err(e) => {
-                let msg = e
-                    .downcast_ref::<String>()
-                    .map(String::as_str)
-                    .or_else(|| e.downcast_ref::<&str>().copied())
-                    .unwrap_or("<non-string panic payload>");
-                panic!("rank {rank} panicked: {msg}");
+        .map(|h| match h.join() {
+            Ok(v) => Some(v),
+            Err(_) => {
+                failed = true;
+                None
             }
         })
+        .collect();
+    if failed {
+        match probe.poison_info() {
+            Some(info) => panic!("rank {} panicked: {}", info.origin_rank, info.message),
+            None => {
+                let rank = results.iter().position(Option::is_none).unwrap_or(0);
+                panic!("rank {rank} panicked: <unknown failure>");
+            }
+        }
+    }
+    results
+        .into_iter()
+        .map(|v| v.expect("checked above"))
         .collect()
+}
+
+/// True when a panic payload is a secondary, poison-induced abort rather
+/// than an original failure.
+fn is_poison_panic(e: &(dyn std::any::Any + Send)) -> bool {
+    e.downcast_ref::<String>()
+        .map(String::as_str)
+        .or_else(|| e.downcast_ref::<&str>().copied())
+        .is_some_and(|m| m.starts_with("world poisoned:"))
+}
+
+fn panic_message(e: &(dyn std::any::Any + Send)) -> String {
+    e.downcast_ref::<String>()
+        .map(String::as_str)
+        .or_else(|| e.downcast_ref::<&str>().copied())
+        .unwrap_or("<non-string panic payload>")
+        .to_string()
 }
 
 #[cfg(test)]
@@ -112,5 +184,76 @@ mod tests {
                 panic!("boom");
             }
         });
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 1 panicked: deliberate failure")]
+    fn rank_panic_does_not_deadlock_peers_blocked_in_collective() {
+        // Every rank except 1 enters a world-wide all-reduce and blocks
+        // on messages from rank 1, which panics instead of joining the
+        // collective. Before world poisoning this deadlocked the join
+        // loop (rank 0 never returned); now the poison wakes the blocked
+        // ranks and the original panic is attributed to rank 1.
+        run_spmd(4, |c| {
+            if c.rank() == 1 {
+                panic!("deliberate failure");
+            }
+            let g = ProcessGroup::new((0..4).collect());
+            let mut v = vec![c.rank() as f32];
+            c.all_reduce(&g, &mut v);
+            v[0]
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 2 panicked: async failure")]
+    fn rank_panic_does_not_deadlock_async_waiters() {
+        // Peers block in `AsyncHandle::wait` on a collective rank 2
+        // never issues; poisoning must reach them through their
+        // communication workers.
+        run_spmd(4, |c| {
+            if c.rank() == 2 {
+                panic!("async failure");
+            }
+            let g = ProcessGroup::new((0..4).collect());
+            let h = c.iall_reduce(&g, vec![c.rank() as f32]);
+            h.wait()
+        });
+    }
+
+    #[test]
+    fn traced_run_records_collectives_per_rank() {
+        use axonn_collectives::RingCostModel;
+        let run = run_spmd_traced(4, Arc::new(RingCostModel::new(1e9, 1e9)), |c| {
+            let g = ProcessGroup::new((0..4).collect());
+            let mut v = vec![c.rank() as f32; 1000];
+            c.all_reduce(&g, &mut v);
+            let h = c.iall_gather(&g, vec![c.rank() as f32]);
+            h.wait().len()
+        });
+        assert_eq!(run.results, vec![4, 4, 4, 4]);
+        assert_eq!(run.traces.len(), 4);
+        for (rank, trace) in run.traces.iter().enumerate() {
+            assert_eq!(trace.rank, rank);
+            let sig = trace.kind_signature();
+            assert_eq!(
+                sig,
+                vec![
+                    "collective:all_reduce".to_string(),
+                    "issue:all_gather".to_string(),
+                    "wait:all_gather".to_string(),
+                ],
+                "rank {rank} signature"
+            );
+            // The async execution span landed on the comm stream.
+            assert_eq!(
+                trace
+                    .stream_events(axonn_trace::Stream::Comm)
+                    .map(|e| e.detail.kind())
+                    .collect::<Vec<_>>(),
+                vec!["async:all_gather".to_string()]
+            );
+            assert!(trace.streams_monotone(), "rank {rank} timestamps");
+        }
     }
 }

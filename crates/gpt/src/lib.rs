@@ -288,10 +288,7 @@ mod tests {
             .iter()
             .map(|l| 3.0 * l.shape.forward_flops(tokens))
             .sum();
-        let core = 72.0
-            * tokens as f64
-            * m.num_layers as f64
-            * (m.hidden_size as f64).powi(2);
+        let core = 72.0 * tokens as f64 * m.num_layers as f64 * (m.hidden_size as f64).powi(2);
         let ratio = fc_total / core;
         assert!((0.95..1.05).contains(&ratio), "ratio {ratio}");
     }

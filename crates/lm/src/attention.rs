@@ -80,10 +80,7 @@ impl CausalSelfAttention {
                 for i in 0..t {
                     let srow = s.row(i);
                     let maxv = srow[..=i].iter().cloned().fold(f32::MIN, f32::max);
-                    let mut denom = 0.0f32;
-                    for j in 0..=i {
-                        denom += (srow[j] - maxv).exp();
-                    }
+                    let denom: f32 = srow[..=i].iter().map(|v| (v - maxv).exp()).sum();
                     let prow = p.row_mut(i);
                     for j in 0..=i {
                         prow[j] = (srow[j] - maxv).exp() / denom;
@@ -107,7 +104,10 @@ impl CausalSelfAttention {
     }
 
     pub fn backward(&mut self, dy: &Matrix) -> Matrix {
-        let cache = self.cache.take().expect("attention backward before forward");
+        let cache = self
+            .cache
+            .take()
+            .expect("attention backward before forward");
         let d_heads = self.proj.backward(dy); // (B·T) × d
         let t = cache.t_eff;
         let dim = cache.dim;
@@ -186,7 +186,11 @@ mod tests {
             }
         }
         // The perturbed position itself must change.
-        assert!(y1.row(3).iter().zip(y2.row(3)).any(|(a, b)| (a - b).abs() > 1e-6));
+        assert!(y1
+            .row(3)
+            .iter()
+            .zip(y2.row(3))
+            .any(|(a, b)| (a - b).abs() > 1e-6));
     }
 
     #[test]
@@ -205,7 +209,9 @@ mod tests {
         let dim = 6;
         let t = 4;
         let x = Matrix::random(t, dim, 0.8, 5); // B=1
-        let wts: Vec<f32> = (0..t * dim).map(|i| ((i * 31 % 17) as f32 - 8.0) / 8.0).collect();
+        let wts: Vec<f32> = (0..t * dim)
+            .map(|i| ((i * 31 % 17) as f32 - 8.0) / 8.0)
+            .collect();
         let loss = |y: &Matrix| -> f32 { y.as_slice().iter().zip(&wts).map(|(a, b)| a * b).sum() };
 
         let mut attn = CausalSelfAttention::new(dim, 2, t, 6);

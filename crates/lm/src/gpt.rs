@@ -145,7 +145,14 @@ impl Gpt {
     pub fn new(cfg: GptModelConfig) -> Self {
         let emb = Embedding::new(cfg.vocab, cfg.seq_len, cfg.dim, cfg.seed);
         let blocks = (0..cfg.n_layers)
-            .map(|i| Block::new(cfg.dim, cfg.n_heads, cfg.seq_len, cfg.seed + 1000 * (i as u64 + 1)))
+            .map(|i| {
+                Block::new(
+                    cfg.dim,
+                    cfg.n_heads,
+                    cfg.seq_len,
+                    cfg.seed + 1000 * (i as u64 + 1),
+                )
+            })
             .collect();
         let ln_f = LayerNorm::new(cfg.dim);
         let head = Linear::new(cfg.dim, cfg.vocab, cfg.seed.wrapping_add(99));
@@ -311,9 +318,7 @@ mod tests {
         let mut g = Gpt::new(cfg.clone());
         let mut opt = AdamW::new(1e-3);
         // Deterministic pattern: t_{i+1} = (t_i + 3) mod 12, two phases.
-        let make = |start: usize| -> Vec<usize> {
-            (0..9).map(|i| (start + 3 * i) % 12).collect()
-        };
+        let make = |start: usize| -> Vec<usize> { (0..9).map(|i| (start + 3 * i) % 12).collect() };
         let first;
         let mut last = 0.0;
         {

@@ -11,7 +11,7 @@
 
 use crate::attention::CausalSelfAttention;
 use crate::modules::{Linear, Param};
-use axonn_tensor::{Matrix};
+use axonn_tensor::Matrix;
 
 /// Root-mean-square normalization (no mean subtraction, no bias):
 /// `y = x / rms(x) * gain`.
@@ -54,10 +54,9 @@ impl RmsNorm {
         let (rows, d) = x.shape();
         let gains = self.gain.value.as_slice().to_vec();
         let mut dx = Matrix::zeros(rows, d);
-        for r in 0..rows {
+        for (r, &ir) in inv_rms.iter().enumerate().take(rows) {
             let xr = x.row(r);
             let dyr = dy.row(r);
-            let ir = inv_rms[r];
             // dL/dgain_c += dy_c * x_c * ir  (per row).
             for c in 0..d {
                 self.gain.grad.as_mut_slice()[c] += dyr[c] * xr[c] * ir;
@@ -278,7 +277,9 @@ mod tests {
     fn rmsnorm_backward_matches_finite_difference() {
         let dim = 6;
         let x = Matrix::random(3, dim, 1.0, 2);
-        let wts: Vec<f32> = (0..3 * dim).map(|i| ((i * 13 % 7) as f32 - 3.0) / 3.0).collect();
+        let wts: Vec<f32> = (0..3 * dim)
+            .map(|i| ((i * 13 % 7) as f32 - 3.0) / 3.0)
+            .collect();
         let loss = |m: &Matrix| -> f32 { m.as_slice().iter().zip(&wts).map(|(a, b)| a * b).sum() };
         let mut n = RmsNorm::new(dim);
         let _ = n.forward(&x);
@@ -318,7 +319,9 @@ mod tests {
     fn swiglu_backward_matches_finite_difference() {
         let dim = 6;
         let x = Matrix::random(3, dim, 0.8, 3);
-        let wts: Vec<f32> = (0..3 * dim).map(|i| ((i * 19 % 11) as f32 - 5.0) / 5.0).collect();
+        let wts: Vec<f32> = (0..3 * dim)
+            .map(|i| ((i * 19 % 11) as f32 - 5.0) / 5.0)
+            .collect();
         let loss = |m: &Matrix| -> f32 { m.as_slice().iter().zip(&wts).map(|(a, b)| a * b).sum() };
         let mut mlp = SwiGluMlp::new(dim, 9);
         let _ = mlp.forward(&x);
@@ -362,7 +365,10 @@ mod tests {
         let x = Matrix::random(3, 6, 1.0, 5);
         let y = rope.forward(&x);
         for c in 0..6 {
-            assert!((y[(0, c)] - x[(0, c)]).abs() < 1e-6, "pos 0 must be unrotated");
+            assert!(
+                (y[(0, c)] - x[(0, c)]).abs() < 1e-6,
+                "pos 0 must be unrotated"
+            );
         }
         // Later positions rotate.
         assert!((0..6).any(|c| (y[(2, c)] - x[(2, c)]).abs() > 1e-4));
@@ -401,7 +407,10 @@ mod tests {
             }
             last = res.loss;
         }
-        assert!(last < 0.3 * first, "Llama block failed to learn: {first} -> {last}");
+        assert!(
+            last < 0.3 * first,
+            "Llama block failed to learn: {first} -> {last}"
+        );
     }
 
     #[test]
@@ -409,7 +418,9 @@ mod tests {
         let dim = 8;
         let t = 3;
         let x = Matrix::random(t, dim, 0.5, 10);
-        let wts: Vec<f32> = (0..t * dim).map(|i| ((i * 7 % 13) as f32 - 6.0) / 6.0).collect();
+        let wts: Vec<f32> = (0..t * dim)
+            .map(|i| ((i * 7 % 13) as f32 - 6.0) / 6.0)
+            .collect();
         let loss = |m: &Matrix| -> f32 { m.as_slice().iter().zip(&wts).map(|(a, b)| a * b).sum() };
         let mut b = LlamaBlock::new(dim, 2, t, 11);
         let _ = b.forward(&x);

@@ -65,7 +65,10 @@ impl Linear {
     }
 
     pub fn backward(&mut self, dy: &Matrix) -> Matrix {
-        let x = self.cached_x.take().expect("Linear backward before forward");
+        let x = self
+            .cached_x
+            .take()
+            .expect("Linear backward before forward");
         let dw = gemm(MatMode::TN, &x, dy);
         self.w.grad.add_assign(&dw);
         for r in 0..dy.rows() {
@@ -144,14 +147,12 @@ impl LayerNorm {
                 self.bias.grad.as_mut_slice()[c] += dyr[c];
             }
             let sum_dnorm: f32 = dnorm.iter().sum();
-            let sum_dnorm_norm: f32 = (0..d)
-                .map(|c| dnorm[c] * (xr[c] - mean) * inv_std)
-                .sum();
+            let sum_dnorm_norm: f32 = (0..d).map(|c| dnorm[c] * (xr[c] - mean) * inv_std).sum();
             let dr = dx.row_mut(r);
             for c in 0..d {
                 let norm = (xr[c] - mean) * inv_std;
-                dr[c] = inv_std / d as f32
-                    * (d as f32 * dnorm[c] - sum_dnorm - norm * sum_dnorm_norm);
+                dr[c] =
+                    inv_std / d as f32 * (d as f32 * dnorm[c] - sum_dnorm - norm * sum_dnorm_norm);
             }
         }
         dx
@@ -268,7 +269,11 @@ mod tests {
         let fp = loss_and_grad_x(&mut |x| lp.forward(x), &x);
         let fm = loss_and_grad_x(&mut |x| lm.forward(x), &x);
         let fd = (fp - fm) / (2.0 * h);
-        assert!((l.w.grad[(0, 0)] - fd).abs() < 1e-2, "{} vs {fd}", l.w.grad[(0, 0)]);
+        assert!(
+            (l.w.grad[(0, 0)] - fd).abs() < 1e-2,
+            "{} vs {fd}",
+            l.w.grad[(0, 0)]
+        );
 
         // Check dL/dx[1][2].
         let mut xp = x.clone();
@@ -306,9 +311,7 @@ mod tests {
         let x = Matrix::random(3, dim, 1.0, 7);
         // Loss: weighted sum to make gradients non-uniform.
         let wts: Vec<f32> = (0..3 * dim).map(|i| (i as f32 * 0.37).sin()).collect();
-        let loss = |m: &Matrix| -> f32 {
-            m.as_slice().iter().zip(&wts).map(|(a, b)| a * b).sum()
-        };
+        let loss = |m: &Matrix| -> f32 { m.as_slice().iter().zip(&wts).map(|(a, b)| a * b).sum() };
         let mut ln = LayerNorm::new(dim);
         let y = ln.forward(&x);
         let dy = Matrix::from_vec(3, dim, wts.clone());

@@ -39,10 +39,10 @@ fn whole_model_gradient_matches_finite_difference() {
     // against central differences.
     let n_params = model.params_mut().len();
     let probes: Vec<(usize, usize)> = vec![
-        (0, 3),              // token embedding
-        (1, 0),              // position embedding
-        (n_params / 2, 0),   // somewhere in a block
-        (n_params - 2, 1),   // head weight
+        (0, 3),            // token embedding
+        (1, 0),            // position embedding
+        (n_params / 2, 0), // somewhere in a block
+        (n_params - 2, 1), // head weight
     ];
     let grads: Vec<f32> = probes
         .iter()

@@ -224,7 +224,13 @@ pub fn run_scale(scale: &ModelScale, cfg: &ExperimentConfig) -> ScaleResult {
         let mut all: Vec<&Article> = corpus.buckets.iter().flatten().collect();
         all.shuffle(&mut rng);
         for batch in all.chunks(cfg.batch_articles) {
-            train_batch(&mut model, &mut opt, batch, cfg.steps_per_batch, cfg.goldfish);
+            train_batch(
+                &mut model,
+                &mut opt,
+                batch,
+                cfg.steps_per_batch,
+                cfg.goldfish,
+            );
         }
     }
 
@@ -266,7 +272,13 @@ pub fn run_scale(scale: &ModelScale, cfg: &ExperimentConfig) -> ScaleResult {
                 mixed.push(&corpus.background[bg_cursor % corpus.background.len()]);
                 bg_cursor += 1;
             }
-            train_batch(&mut model, &mut opt, &mixed, cfg.steps_per_batch, cfg.goldfish);
+            train_batch(
+                &mut model,
+                &mut opt,
+                &mixed,
+                cfg.steps_per_batch,
+                cfg.goldfish,
+            );
         }
         slot += cfg
             .bucket_epochs
@@ -341,7 +353,10 @@ pub fn run_scale_trials(scale: &ModelScale, cfg: &ExperimentConfig, trials: usiz
     let n_buckets = per_trial[0].buckets.len();
     let buckets = (0..n_buckets)
         .map(|b| {
-            let pcts: Vec<f64> = per_trial.iter().map(|r| r.buckets[b].exact_match_pct).collect();
+            let pcts: Vec<f64> = per_trial
+                .iter()
+                .map(|r| r.buckets[b].exact_match_pct)
+                .collect();
             BucketStats {
                 epochs: per_trial[0].buckets[b].epochs,
                 mean_pct: pcts.iter().sum::<f64>() / trials as f64,
@@ -409,7 +424,10 @@ mod tests {
             fish.buckets[0].matched <= plain.buckets[0].matched,
             "goldfish increased memorization?!"
         );
-        assert_eq!(fish.buckets[0].matched, 0, "goldfish should stop exact matches");
+        assert_eq!(
+            fish.buckets[0].matched, 0,
+            "goldfish should stop exact matches"
+        );
     }
 
     #[test]
@@ -499,10 +517,16 @@ mod tests {
             seed: 2,
         });
         let mut opt = AdamW::new(2e-3);
-        assert!(!exact_match(&mut model, article, 8), "untrained model matched");
+        assert!(
+            !exact_match(&mut model, article, 8),
+            "untrained model matched"
+        );
         for _ in 0..60 {
             train_batch(&mut model, &mut opt, &[article], 1, None);
         }
-        assert!(exact_match(&mut model, article, 8), "failed to memorize one article");
+        assert!(
+            exact_match(&mut model, article, 8),
+            "failed to memorize one article"
+        );
     }
 }

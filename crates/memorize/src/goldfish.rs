@@ -66,7 +66,9 @@ mod tests {
     use super::*;
 
     fn seq(n: usize, seed: usize) -> Vec<usize> {
-        (0..n).map(|i| (i * 2654435761 + seed * 40503) % 97).collect()
+        (0..n)
+            .map(|i| (i * 2654435761 + seed * 40503) % 97)
+            .collect()
     }
 
     #[test]

@@ -148,7 +148,10 @@ mod tests {
             g.groups_at_level(1),
             vec![vec![0, 2], vec![1, 3], vec![4, 6], vec![5, 7]]
         );
-        assert_eq!(g.groups_at_level(2), vec![vec![0, 4], vec![1, 5], vec![2, 6], vec![3, 7]]);
+        assert_eq!(
+            g.groups_at_level(2),
+            vec![vec![0, 4], vec![1, 5], vec![2, 6], vec![3, 7]]
+        );
     }
 
     #[test]

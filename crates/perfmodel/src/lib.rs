@@ -14,6 +14,4 @@ pub mod model;
 
 pub use grid::Grid4d;
 pub use memory::{estimate_memory, estimate_memory_replicated_w, fits, MemoryEstimate};
-pub use model::{
-    layer_comm_time, network_comm_time, rank_configs, CommBreakdown, RankedConfig,
-};
+pub use model::{layer_comm_time, network_comm_time, rank_configs, CommBreakdown, RankedConfig};

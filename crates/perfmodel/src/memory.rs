@@ -109,9 +109,8 @@ mod tests {
         let m = model_by_billions(20);
         let g = Grid4d::new(4, 2, 4, 8);
         let e = estimate_memory(&m, g, 1 << 20);
-        let per_param =
-            (e.weights + e.gradients + e.optimizer) * g.tensor_parallel() as f64
-                / m.num_parameters() as f64;
+        let per_param = (e.weights + e.gradients + e.optimizer) * g.tensor_parallel() as f64
+            / m.num_parameters() as f64;
         assert!((per_param - 16.0).abs() < 1e-9);
     }
 

@@ -124,9 +124,7 @@ pub fn network_comm_time(
     model
         .network_fc_layers()
         .iter()
-        .map(|l| {
-            layer_comm_time(machine, db, grid, m, l.shape.k, l.shape.n, l.transposed).total()
-        })
+        .map(|l| layer_comm_time(machine, db, grid, m, l.shape.k, l.shape.n, l.transposed).total())
         .sum()
 }
 
@@ -162,8 +160,7 @@ pub fn rank_configs(
             // Mixed-precision training state per parameter: bf16 weight
             // (2) + bf16 grad (2) + fp32 master + two Adam moments (12).
             let state_bytes = 16.0;
-            let per_gpu =
-                model.num_parameters() as f64 * state_bytes / g.tensor_parallel() as f64;
+            let per_gpu = model.num_parameters() as f64 * state_bytes / g.tensor_parallel() as f64;
             per_gpu <= limit
         })
         .map(|grid| RankedConfig {
@@ -221,7 +218,11 @@ mod tests {
         let b = layer_comm_time(&m, &db, grid, 1024, k, n, false);
         let beta = m.beta_inter / 8.0;
         let expect = (2.0 / beta) * (3.0 / 4.0) * 2.0 * (k * n) as f64 / 8.0;
-        assert!((b.ar_data - expect).abs() < expect * 1e-12, "{} vs {expect}", b.ar_data);
+        assert!(
+            (b.ar_data - expect).abs() < expect * 1e-12,
+            "{} vs {expect}",
+            b.ar_data
+        );
     }
 
     #[test]
@@ -268,9 +269,7 @@ mod tests {
         let (m, db) = setup();
         let model = model_by_billions(20);
         let ranked = rank_configs(&m, &db, &model, 1 << 22, 32, Some(64e9));
-        assert!(ranked
-            .iter()
-            .all(|r| r.grid != Grid4d::new(1, 1, 1, 32)));
+        assert!(ranked.iter().all(|r| r.grid != Grid4d::new(1, 1, 1, 32)));
         // 20B params * 16 B/param = 320 GB of training state: needs TP >= 8.
         assert!(ranked.iter().all(|r| r.grid.tensor_parallel() >= 8));
     }

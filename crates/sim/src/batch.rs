@@ -21,6 +21,7 @@ use crate::options::SimOptions;
 use axonn_cluster::{effective_bandwidth, BandwidthDb, GemmMode, Machine};
 use axonn_gpt::GptConfig;
 use axonn_perfmodel::Grid4d;
+use axonn_trace::{CollOp, EventDetail, Stream, TraceSink};
 use serde::Serialize;
 
 /// Simulated timing of one training iteration.
@@ -77,6 +78,40 @@ const CHAN_AG: usize = 0;
 const CHAN_AR: usize = 1;
 const CHAN_RS: usize = 2;
 
+/// Trace stream a channel's spans land on.
+fn chan_stream(chan: usize) -> Stream {
+    match chan {
+        CHAN_AG => Stream::CommAg,
+        CHAN_AR => Stream::CommAr,
+        _ => Stream::CommRs,
+    }
+}
+
+fn coll_op(kind: Coll) -> CollOp {
+    match kind {
+        Coll::AllGather => CollOp::AllGather,
+        Coll::ReduceScatter => CollOp::ReduceScatter,
+        Coll::AllReduce => CollOp::AllReduce,
+    }
+}
+
+fn gemm_label(mode: GemmMode) -> &'static str {
+    match mode {
+        GemmMode::NN => "NN",
+        GemmMode::NT => "NT",
+        GemmMode::TN => "TN",
+    }
+}
+
+/// A simulated asynchronous collective awaiting its wait point.
+struct AsyncTicket {
+    done: f64,
+    op: CollOp,
+    seq: u64,
+    /// False for size-1 groups, which move no data and leave no events.
+    real: bool,
+}
+
 struct Timeline<'a> {
     machine: &'a Machine,
     db: &'a BandwidthDb,
@@ -89,6 +124,9 @@ struct Timeline<'a> {
     chan: [f64; 3],
     compute_sum: f64,
     comm_sum: f64,
+    /// Event sink when the batch is traced (one representative rank).
+    sink: Option<&'a TraceSink>,
+    next_seq: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -121,26 +159,117 @@ impl<'a> Timeline<'a> {
         (steps * alpha + volume / beta) * self.jitter.comm_factor()
     }
 
+    fn bump_seq(&mut self) -> u64 {
+        let s = self.next_seq;
+        self.next_seq += 1;
+        s
+    }
+
     /// Blocking collective: compute stream waits for the channel and the
     /// operation.
     fn blocking_coll(&mut self, chan: usize, level: usize, kind: Coll, bytes: f64) {
+        let size = self.grid.dims()[level];
+        let entry = self.t_comp;
         let dur = self.coll_duration(level, kind, bytes);
         self.comm_sum += dur;
         let start = self.t_comp.max(self.chan[chan]);
         let done = start + dur;
         self.chan[chan] = done;
         self.t_comp = done;
+        if size > 1 {
+            if let Some(sink) = self.sink {
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                sink.record_scoped(
+                    Stream::Compute,
+                    entry,
+                    done,
+                    EventDetail::Collective {
+                        op: coll_op(kind),
+                        group_size: size,
+                        bytes: bytes as u64,
+                        seq,
+                        blocking: true,
+                        op_seconds: dur,
+                    },
+                );
+            }
+        }
     }
 
     /// Asynchronous collective issued at `issue` (compute-stream time);
-    /// returns its completion time.
-    fn async_coll(&mut self, chan: usize, level: usize, kind: Coll, bytes: f64, issue: f64) -> f64 {
+    /// returns a ticket carrying its completion time.
+    fn async_coll(
+        &mut self,
+        chan: usize,
+        level: usize,
+        kind: Coll,
+        bytes: f64,
+        issue: f64,
+    ) -> AsyncTicket {
+        let size = self.grid.dims()[level];
         let dur = self.coll_duration(level, kind, bytes);
         self.comm_sum += dur;
         let start = issue.max(self.chan[chan]);
         let done = start + dur;
         self.chan[chan] = done;
-        done
+        let op = coll_op(kind);
+        let seq = self.bump_seq();
+        let real = size > 1;
+        if real {
+            if let Some(sink) = self.sink {
+                sink.mark(
+                    Stream::Compute,
+                    issue,
+                    EventDetail::Issue {
+                        op,
+                        group_size: size,
+                        bytes: bytes as u64,
+                        seq,
+                    },
+                );
+                sink.record_scoped(
+                    chan_stream(chan),
+                    start,
+                    done,
+                    EventDetail::Collective {
+                        op,
+                        group_size: size,
+                        bytes: bytes as u64,
+                        seq,
+                        blocking: false,
+                        op_seconds: dur,
+                    },
+                );
+            }
+        }
+        AsyncTicket {
+            done,
+            op,
+            seq,
+            real,
+        }
+    }
+
+    /// Wait point of an asynchronous collective: the compute stream
+    /// stalls until the ticket's completion (a zero-length gap when the
+    /// operation finished earlier — fully hidden).
+    fn wait_async(&mut self, ticket: &AsyncTicket) {
+        let gap_start = self.t_comp;
+        self.t_comp = self.t_comp.max(ticket.done);
+        if ticket.real {
+            if let Some(sink) = self.sink {
+                sink.record_scoped(
+                    Stream::Compute,
+                    gap_start,
+                    self.t_comp,
+                    EventDetail::OverlapWait {
+                        op: ticket.op,
+                        seq: ticket.seq,
+                    },
+                );
+            }
+        }
     }
 
     /// Local GEMM on the compute stream. `global_ref` is the unsharded
@@ -149,8 +278,20 @@ impl<'a> Timeline<'a> {
     /// shard).
     fn gemm(&mut self, m: f64, k: f64, n: f64, mode: GemmMode, global_ref: usize) {
         let dur = self.gemm_duration(m, k, n, mode, global_ref) * self.jitter.compute_factor();
+        let t0 = self.t_comp;
         self.compute_sum += dur;
         self.t_comp += dur;
+        if let Some(sink) = self.sink {
+            sink.record_scoped(
+                Stream::Compute,
+                t0,
+                self.t_comp,
+                EventDetail::Gemm {
+                    mode: gemm_label(mode),
+                    flops: 2.0 * m * k * n,
+                },
+            );
+        }
     }
 
     fn gemm_duration(&self, m: f64, k: f64, n: f64, mode: GemmMode, global_ref: usize) -> f64 {
@@ -171,16 +312,49 @@ impl<'a> Timeline<'a> {
     /// mode against transpose-copy + NN and take the faster.
     fn dw_gemm(&mut self, m: f64, k: f64, n: f64, global_ref: usize) {
         let direct = self.gemm_duration(k, m, n, GemmMode::TN, global_ref);
+        let mut mode = "TN";
+        let mut rerouted = f64::NAN;
         let dur = if self.opts.kernel_tuning {
             // Transpose I (m×k bf16): one read + one write of the buffer.
             let transpose = 2.0 * (m * k * 2.0) / self.machine.hbm_bw;
-            let rerouted = transpose + self.gemm_duration(k, m, n, GemmMode::NN, global_ref);
+            rerouted = transpose + self.gemm_duration(k, m, n, GemmMode::NN, global_ref);
+            if rerouted < direct {
+                mode = "TN->NN";
+            }
             direct.min(rerouted)
         } else {
             direct
         } * self.jitter.compute_factor();
+        let t0 = self.t_comp;
         self.compute_sum += dur;
         self.t_comp += dur;
+        if let Some(sink) = self.sink {
+            sink.record_scoped(
+                Stream::Compute,
+                t0,
+                self.t_comp,
+                EventDetail::Gemm {
+                    mode,
+                    flops: 2.0 * m * k * n,
+                },
+            );
+            if self.opts.kernel_tuning {
+                sink.mark(
+                    Stream::Compute,
+                    self.t_comp,
+                    EventDetail::TunerDecision {
+                        layer: sink.layer().unwrap_or(0),
+                        choice: if mode == "TN->NN" {
+                            "transpose_nn"
+                        } else {
+                            "direct_tn"
+                        },
+                        direct_seconds: direct,
+                        reroute_seconds: rerouted,
+                    },
+                );
+            }
+        }
     }
 
     /// Extra non-GEMM compute (attention scores, softmax, vocab)
@@ -191,8 +365,17 @@ impl<'a> Timeline<'a> {
             * self.machine.sw_derate;
         let rate = self.machine.advertised_peak() * best * 0.75;
         let dur = flops / rate * self.jitter.compute_factor();
+        let t0 = self.t_comp;
         self.compute_sum += dur;
         self.t_comp += dur;
+        if let Some(sink) = self.sink {
+            sink.record_scoped(
+                Stream::Compute,
+                t0,
+                self.t_comp,
+                EventDetail::Aux { label: "aux" },
+            );
+        }
     }
 }
 
@@ -216,7 +399,39 @@ pub fn simulate_batch(
     batch_tokens: usize,
     opts: SimOptions,
 ) -> BatchBreakdown {
-    assert_eq!(batch_tokens % grid.gd, 0, "batch must divide over data groups");
+    simulate_batch_with(machine, db, grid, model, batch_tokens, opts, None)
+}
+
+/// Simulate one training iteration while recording every compute and
+/// communication span into `sink` (the timeline of one representative
+/// rank; training is SPMD-symmetric). Finish the sink afterwards to get
+/// the [`axonn_trace::RankTrace`].
+pub fn simulate_batch_traced(
+    machine: &Machine,
+    db: &BandwidthDb,
+    grid: Grid4d,
+    model: &GptConfig,
+    batch_tokens: usize,
+    opts: SimOptions,
+    sink: &TraceSink,
+) -> BatchBreakdown {
+    simulate_batch_with(machine, db, grid, model, batch_tokens, opts, Some(sink))
+}
+
+fn simulate_batch_with(
+    machine: &Machine,
+    db: &BandwidthDb,
+    grid: Grid4d,
+    model: &GptConfig,
+    batch_tokens: usize,
+    opts: SimOptions,
+    sink: Option<&TraceSink>,
+) -> BatchBreakdown {
+    assert_eq!(
+        batch_tokens % grid.gd,
+        0,
+        "batch must divide over data groups"
+    );
     let layers = model.network_fc_layers();
     let m_rep = (batch_tokens / grid.gd) as f64;
     let gzf = grid.gz as f64;
@@ -231,6 +446,8 @@ pub fn simulate_batch(
         chan: [0.0; 3],
         compute_sum: 0.0,
         comm_sum: 0.0,
+        sink,
+        next_seq: 0,
     };
 
     // Non-FC compute per GPU, spread over the per-layer charge points
@@ -249,16 +466,22 @@ pub fn simulate_batch(
     let aux_per_point = ((hw_total - fc_total).max(0.0)) / (4.0 * layers.len() as f64);
 
     // ---- Forward pass ----
-    let mut ag_prefetched: Vec<f64> = Vec::with_capacity(layers.len());
+    let mut ag_prefetched: Vec<AsyncTicket> = Vec::with_capacity(layers.len());
     if opts.overlap_ag {
         // OAG: the topological order is known at batch start; all-gathers
         // pipeline on their channel ahead of the compute wave.
-        for l in &layers {
+        for (i, l) in layers.iter().enumerate() {
             let (kl, nl) = layer_levels(l.transposed);
             let lk = l.shape.k as f64 / grid.dims()[kl] as f64;
             let ln = l.shape.n as f64 / grid.dims()[nl] as f64;
-            let done = tl.async_coll(CHAN_AG, 2, Coll::AllGather, lk * ln * 2.0, 0.0);
-            ag_prefetched.push(done);
+            if let Some(s) = tl.sink {
+                s.set_layer(Some(i));
+            }
+            let ticket = tl.async_coll(CHAN_AG, 2, Coll::AllGather, lk * ln * 2.0, 0.0);
+            if let Some(s) = tl.sink {
+                s.set_layer(None);
+            }
+            ag_prefetched.push(ticket);
         }
     }
     for (i, l) in layers.iter().enumerate() {
@@ -266,9 +489,17 @@ pub fn simulate_batch(
         let lk = l.shape.k as f64 / grid.dims()[kl] as f64;
         let ln = l.shape.n as f64 / grid.dims()[nl] as f64;
         let lm = m_rep / gzf;
+        let span = tl.sink.and_then(|s| {
+            s.set_layer(Some(i));
+            s.open_span(
+                Stream::Compute,
+                tl.t_comp,
+                EventDetail::LayerFwd { layer: i },
+            )
+        });
         // Weight all-gather (Eq. 1).
         if opts.overlap_ag {
-            tl.t_comp = tl.t_comp.max(ag_prefetched[i]);
+            tl.wait_async(&ag_prefetched[i]);
         } else {
             tl.blocking_coll(CHAN_AG, 2, Coll::AllGather, lk * ln * 2.0);
         }
@@ -277,16 +508,28 @@ pub fn simulate_batch(
         tl.aux_compute(aux_per_point);
         // Output all-reduce over the k-dividing groups (Eq. 3).
         tl.blocking_coll(CHAN_AR, kl, Coll::AllReduce, lm * ln * 2.0);
+        if let Some(s) = tl.sink {
+            s.close_span(span, tl.t_comp);
+            s.set_layer(None);
+        }
     }
 
     // ---- Backward pass (reverse order, with activation checkpointing) ----
-    let mut pending_rs: Vec<f64> = Vec::new();
-    for l in layers.iter().rev() {
+    let mut pending_rs: Vec<AsyncTicket> = Vec::new();
+    for (i, l) in layers.iter().enumerate().rev() {
         let (kl, nl) = layer_levels(l.transposed);
         let lk = l.shape.k as f64 / grid.dims()[kl] as f64;
         let ln = l.shape.n as f64 / grid.dims()[nl] as f64;
         let lm = m_rep / gzf;
         let gref = l.shape.k.min(l.shape.n);
+        let span = tl.sink.and_then(|s| {
+            s.set_layer(Some(i));
+            s.open_span(
+                Stream::Compute,
+                tl.t_comp,
+                EventDetail::LayerBwd { layer: i },
+            )
+        });
 
         // Recompute the forward (checkpointing): GEMM + output all-reduce.
         tl.gemm(lm, lk, ln, GemmMode::NN, gref);
@@ -298,7 +541,7 @@ pub fn simulate_batch(
         tl.gemm(lm, ln, lk, GemmMode::NT, gref);
         tl.aux_compute(aux_per_point);
         let ar_bytes = lm * lk * 2.0;
-        let ar_done = if opts.overlap_ar {
+        let ar_ticket = if opts.overlap_ar {
             let issue = tl.t_comp;
             Some(tl.async_coll(CHAN_AR, nl, Coll::AllReduce, ar_bytes, issue))
         } else {
@@ -309,9 +552,9 @@ pub fn simulate_batch(
         // Weight-gradient GEMM (line 13; the TN product).
         tl.dw_gemm(lm, lk, ln, gref);
         tl.aux_compute(aux_per_point);
-        if let Some(done) = ar_done {
+        if let Some(ticket) = ar_ticket {
             // OAR: wait for the overlapped all-reduce now.
-            tl.t_comp = tl.t_comp.max(done);
+            tl.wait_async(&ticket);
         }
 
         // Weight-gradient reduce-scatter over Z (line 14, Eq. 2).
@@ -322,10 +565,14 @@ pub fn simulate_batch(
         } else {
             tl.blocking_coll(CHAN_RS, 2, Coll::ReduceScatter, rs_bytes);
         }
+        if let Some(s) = tl.sink {
+            s.close_span(span, tl.t_comp);
+            s.set_layer(None);
+        }
     }
     // ORS: the gradients are needed only before the data-parallel phase.
-    for done in pending_rs {
-        tl.t_comp = tl.t_comp.max(done);
+    for ticket in &pending_rs {
+        tl.wait_async(ticket);
     }
 
     // ---- Data-parallel gradient all-reduce (Eq. 5), bucketed ----

@@ -50,7 +50,14 @@ pub fn pick_best_config(
     opts: SimOptions,
     top_k: usize,
 ) -> (Grid4d, BatchBreakdown) {
-    let ranked = rank_configs(machine, db, model, batch_tokens, gpus, Some(mem_limit(machine)));
+    let ranked = rank_configs(
+        machine,
+        db,
+        model,
+        batch_tokens,
+        gpus,
+        Some(mem_limit(machine)),
+    );
     assert!(
         !ranked.is_empty(),
         "no feasible 4D configuration for {} on {gpus} GPUs of {}",
@@ -61,7 +68,12 @@ pub fn pick_best_config(
         .par_iter()
         .with_max_len(1)
         .take(top_k)
-        .map(|r| (r.grid, simulate_batch(machine, db, r.grid, model, batch_tokens, opts)))
+        .map(|r| {
+            (
+                r.grid,
+                simulate_batch(machine, db, r.grid, model, batch_tokens, opts),
+            )
+        })
         .min_by(|a, b| a.1.total_seconds.total_cmp(&b.1.total_seconds))
         .expect("top-k selection is non-empty")
 }
@@ -210,7 +222,12 @@ mod tests {
         let t0 = pts[0].breakdown.total_seconds;
         for p in &pts {
             assert!(p.breakdown.total_seconds < 2.0 * t0);
-            assert!(p.pct_advertised_peak > 20.0, "{}: {:.1}%", p.model, p.pct_advertised_peak);
+            assert!(
+                p.pct_advertised_peak > 20.0,
+                "{}: {:.1}%",
+                p.model,
+                p.pct_advertised_peak
+            );
             assert!(p.pct_empirical_peak > p.pct_advertised_peak);
         }
     }
@@ -223,8 +240,7 @@ mod tests {
         let batch = 1 << 21;
         let b = simulate_batch(&m, &db, grid, &model, batch, SimOptions::full());
         let p = scale_point(&m, &model, grid.gpus(), grid, batch, b);
-        let recomputed =
-            model.model_flops_per_iter(batch) / p.breakdown.total_seconds;
+        let recomputed = model.model_flops_per_iter(batch) / p.breakdown.total_seconds;
         assert!((p.model_flops_per_second - recomputed).abs() < 1e-6 * recomputed);
         assert!(p.pct_advertised_peak < 100.0);
     }

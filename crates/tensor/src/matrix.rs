@@ -204,7 +204,11 @@ impl Matrix {
     /// Largest absolute elementwise difference; `f32::INFINITY` on shape
     /// mismatch would hide bugs, so shapes must match.
     pub fn max_abs_diff(&self, other: &Matrix) -> f32 {
-        assert_eq!(self.shape(), other.shape(), "shape mismatch in max_abs_diff");
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "shape mismatch in max_abs_diff"
+        );
         self.data
             .iter()
             .zip(&other.data)
@@ -214,7 +218,11 @@ impl Matrix {
 
     /// Frobenius norm.
     pub fn frobenius_norm(&self) -> f32 {
-        self.data.iter().map(|x| (*x as f64).powi(2)).sum::<f64>().sqrt() as f32
+        self.data
+            .iter()
+            .map(|x| (*x as f64).powi(2))
+            .sum::<f64>()
+            .sqrt() as f32
     }
 
     /// True if all elements are within `tol` of `other`, scaled by

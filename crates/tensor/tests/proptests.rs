@@ -4,8 +4,8 @@
 
 use axonn_tensor::shard::assemble_blocks;
 use axonn_tensor::{
-    block_of, concat_cols, concat_rows, gemm, gemm_bf16, gemm_reference, shard_rows,
-    unshard_rows, BlockSpec, MatMode, Matrix,
+    block_of, concat_cols, concat_rows, gemm, gemm_bf16, gemm_reference, shard_rows, unshard_rows,
+    BlockSpec, MatMode, Matrix,
 };
 use proptest::prelude::*;
 

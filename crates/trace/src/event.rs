@@ -1,0 +1,316 @@
+//! The unified event vocabulary shared by both execution planes.
+//!
+//! The correctness plane (`axonn-exec` + `axonn-collectives`) and the
+//! performance plane (`axonn-sim`) record the *same* event types, which
+//! is what makes a 4D run and its simulation directly diffable: the
+//! ordered sequence of event kinds on the compute stream is the
+//! schedule, independent of which plane produced it.
+
+use serde::{Serialize, Value};
+
+/// Which per-rank track an event belongs to.
+///
+/// The exec plane uses `Compute` plus the single `Comm` track of its
+/// asynchronous collective worker; the simulator models one channel per
+/// collective type, mirroring AxoNN's per-communicator NCCL streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Stream {
+    Compute,
+    Comm,
+    CommAg,
+    CommAr,
+    CommRs,
+}
+
+impl Stream {
+    /// Stable small integer for Chrome-trace `tid`s.
+    pub fn index(self) -> u64 {
+        match self {
+            Stream::Compute => 0,
+            Stream::Comm => 1,
+            Stream::CommAg => 1,
+            Stream::CommAr => 2,
+            Stream::CommRs => 3,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Stream::Compute => "compute",
+            Stream::Comm => "comm",
+            Stream::CommAg => "comm.all_gather",
+            Stream::CommAr => "comm.all_reduce",
+            Stream::CommRs => "comm.reduce_scatter",
+        }
+    }
+}
+
+/// Collective operation, as named in the paper's Eqs. 1–5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum CollOp {
+    AllGather,
+    ReduceScatter,
+    AllReduce,
+    /// The small-message recursive-doubling all-reduce specialization.
+    AllReduceRd,
+    Broadcast,
+    Barrier,
+}
+
+impl CollOp {
+    pub fn name(self) -> &'static str {
+        match self {
+            CollOp::AllGather => "all_gather",
+            CollOp::ReduceScatter => "reduce_scatter",
+            CollOp::AllReduce => "all_reduce",
+            CollOp::AllReduceRd => "all_reduce_rd",
+            CollOp::Broadcast => "broadcast",
+            CollOp::Barrier => "barrier",
+        }
+    }
+}
+
+/// What happened during an event's span.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventDetail {
+    /// A local GEMM on the compute stream. `mode` is the operand
+    /// transposition actually executed (`"NN"`, `"NT"`, `"TN"`, or
+    /// `"TN->NN"` when the kernel tuner rerouted through a transpose).
+    Gemm { mode: &'static str, flops: f64 },
+    /// A collective occupying the stream it is recorded on: the compute
+    /// stream for blocking calls (the span is the full stall, entry to
+    /// completion), a comm stream for asynchronous execution.
+    /// `op_seconds` is the modelled cost of the operation itself.
+    Collective {
+        op: CollOp,
+        group_size: usize,
+        bytes: u64,
+        seq: u64,
+        blocking: bool,
+        op_seconds: f64,
+    },
+    /// Instantaneous marker on the compute stream: an asynchronous
+    /// collective was handed to the communication worker.
+    Issue {
+        op: CollOp,
+        group_size: usize,
+        bytes: u64,
+        seq: u64,
+    },
+    /// The compute stream blocked waiting on an asynchronous handle.
+    /// A zero-length wait means the collective was fully hidden.
+    OverlapWait { op: CollOp, seq: u64 },
+    /// One layer's forward pass (outer span on the compute stream).
+    LayerFwd { layer: usize },
+    /// One layer's backward pass.
+    LayerBwd { layer: usize },
+    /// The kernel tuner locked in a strategy for a layer's dW GEMM.
+    TunerDecision {
+        layer: usize,
+        choice: &'static str,
+        direct_seconds: f64,
+        reroute_seconds: f64,
+    },
+    /// Non-GEMM compute charged by the simulator (attention, softmax…).
+    Aux { label: &'static str },
+}
+
+impl EventDetail {
+    /// The event-kind label used for cross-plane schedule comparison:
+    /// coarse enough to be plane-independent (no sizes, no timings),
+    /// fine enough to pin the schedule (op names included).
+    pub fn kind(&self) -> String {
+        match self {
+            EventDetail::Gemm { .. } => "gemm".to_string(),
+            EventDetail::Collective { op, blocking, .. } => {
+                if *blocking {
+                    format!("collective:{}", op.name())
+                } else {
+                    format!("async:{}", op.name())
+                }
+            }
+            EventDetail::Issue { op, .. } => format!("issue:{}", op.name()),
+            EventDetail::OverlapWait { op, .. } => format!("wait:{}", op.name()),
+            EventDetail::LayerFwd { .. } => "layer_fwd".to_string(),
+            EventDetail::LayerBwd { .. } => "layer_bwd".to_string(),
+            EventDetail::TunerDecision { .. } => "tuner_decision".to_string(),
+            EventDetail::Aux { .. } => "aux".to_string(),
+        }
+    }
+
+    /// Short display name for Chrome-trace rows.
+    pub fn display_name(&self) -> String {
+        match self {
+            EventDetail::Gemm { mode, .. } => format!("gemm {mode}"),
+            EventDetail::Collective { op, group_size, .. } => {
+                format!("{} g={group_size}", op.name())
+            }
+            EventDetail::Issue { op, .. } => format!("issue {}", op.name()),
+            EventDetail::OverlapWait { op, .. } => format!("wait {}", op.name()),
+            EventDetail::LayerFwd { layer } => format!("fwd L{layer}"),
+            EventDetail::LayerBwd { layer } => format!("bwd L{layer}"),
+            EventDetail::TunerDecision { layer, choice, .. } => {
+                format!("tune L{layer} -> {choice}")
+            }
+            EventDetail::Aux { label } => format!("aux {label}"),
+        }
+    }
+}
+
+impl Serialize for EventDetail {
+    fn serialize(&self) -> Value {
+        let mut fields: Vec<(String, Value)> = vec![("kind".into(), Value::Str(self.kind()))];
+        match self {
+            EventDetail::Gemm { mode, flops } => {
+                fields.push(("mode".into(), mode.serialize()));
+                fields.push(("flops".into(), flops.serialize()));
+            }
+            EventDetail::Collective {
+                op,
+                group_size,
+                bytes,
+                seq,
+                blocking,
+                op_seconds,
+            } => {
+                fields.push(("op".into(), Value::Str(op.name().into())));
+                fields.push(("group_size".into(), group_size.serialize()));
+                fields.push(("bytes".into(), bytes.serialize()));
+                fields.push(("seq".into(), seq.serialize()));
+                fields.push(("blocking".into(), blocking.serialize()));
+                fields.push(("op_seconds".into(), op_seconds.serialize()));
+            }
+            EventDetail::Issue {
+                op,
+                group_size,
+                bytes,
+                seq,
+            } => {
+                fields.push(("op".into(), Value::Str(op.name().into())));
+                fields.push(("group_size".into(), group_size.serialize()));
+                fields.push(("bytes".into(), bytes.serialize()));
+                fields.push(("seq".into(), seq.serialize()));
+            }
+            EventDetail::OverlapWait { op, seq } => {
+                fields.push(("op".into(), Value::Str(op.name().into())));
+                fields.push(("seq".into(), seq.serialize()));
+            }
+            EventDetail::LayerFwd { layer } | EventDetail::LayerBwd { layer } => {
+                fields.push(("layer".into(), layer.serialize()));
+            }
+            EventDetail::TunerDecision {
+                layer,
+                choice,
+                direct_seconds,
+                reroute_seconds,
+            } => {
+                fields.push(("layer".into(), layer.serialize()));
+                fields.push(("choice".into(), choice.serialize()));
+                fields.push(("direct_seconds".into(), direct_seconds.serialize()));
+                fields.push(("reroute_seconds".into(), reroute_seconds.serialize()));
+            }
+            EventDetail::Aux { label } => {
+                fields.push(("label".into(), label.serialize()));
+            }
+        }
+        Value::Object(fields)
+    }
+}
+
+/// One recorded span (or instantaneous marker, when `t_end == t_start`).
+///
+/// Events carry both clocks: `t_start`/`t_end` are *virtual* seconds from
+/// the plane's cost model (deterministic, the basis of every comparison
+/// and report), `wall_start_ns`/`wall_end_ns` are host nanoseconds from
+/// recorder creation (diagnostic only, excluded from canonical output).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    pub stream: Stream,
+    pub t_start: f64,
+    pub t_end: f64,
+    pub wall_start_ns: u64,
+    pub wall_end_ns: u64,
+    /// The layer whose forward/backward this event belongs to, when the
+    /// recording site had that context (asynchronous collectives keep
+    /// the layer that *issued* them).
+    pub layer: Option<usize>,
+    pub detail: EventDetail,
+}
+
+impl TraceEvent {
+    /// Serialize without the wall-clock fields — the canonical form used
+    /// for determinism checks and cross-plane diffing.
+    pub fn canonical_value(&self) -> Value {
+        Value::Object(vec![
+            ("stream".into(), Value::Str(self.stream.name().into())),
+            ("t_start".into(), self.t_start.serialize()),
+            ("t_end".into(), self.t_end.serialize()),
+            (
+                "layer".into(),
+                match self.layer {
+                    Some(l) => l.serialize(),
+                    None => Value::Null,
+                },
+            ),
+            ("detail".into(), self.detail.serialize()),
+        ])
+    }
+}
+
+impl Serialize for TraceEvent {
+    fn serialize(&self) -> Value {
+        let Value::Object(mut fields) = self.canonical_value() else {
+            unreachable!("canonical_value always returns an object");
+        };
+        fields.push(("wall_start_ns".into(), self.wall_start_ns.serialize()));
+        fields.push(("wall_end_ns".into(), self.wall_end_ns.serialize()));
+        Value::Object(fields)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_distinguish_blocking_from_async() {
+        let mk = |blocking| EventDetail::Collective {
+            op: CollOp::AllReduce,
+            group_size: 4,
+            bytes: 1024,
+            seq: 0,
+            blocking,
+            op_seconds: 1e-3,
+        };
+        assert_eq!(mk(true).kind(), "collective:all_reduce");
+        assert_eq!(mk(false).kind(), "async:all_reduce");
+        assert_eq!(
+            EventDetail::OverlapWait {
+                op: CollOp::AllGather,
+                seq: 3
+            }
+            .kind(),
+            "wait:all_gather"
+        );
+    }
+
+    #[test]
+    fn canonical_form_excludes_wall_time() {
+        let ev = TraceEvent {
+            stream: Stream::Compute,
+            t_start: 1.0,
+            t_end: 2.0,
+            wall_start_ns: 123,
+            wall_end_ns: 456,
+            layer: Some(1),
+            detail: EventDetail::Gemm {
+                mode: "NN",
+                flops: 100.0,
+            },
+        };
+        let canon = serde_json::to_string(&ev.canonical_value()).unwrap();
+        assert!(!canon.contains("wall"), "canonical form leaked wall time");
+        let full = serde_json::to_string(&ev).unwrap();
+        assert!(full.contains("wall_start_ns"));
+    }
+}

@@ -1,0 +1,243 @@
+//! Metrics registry: monotonic counters and fixed-bucket histograms,
+//! plus the standard aggregation from finished traces.
+
+use std::collections::BTreeMap;
+
+use serde::{Serialize, Value};
+
+use crate::event::EventDetail;
+use crate::sink::RankTrace;
+
+/// Fixed-bucket histogram. Bucket `i` counts observations `<= bounds[i]`;
+/// one implicit overflow bucket counts the rest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    sum: f64,
+    total: u64,
+}
+
+impl Histogram {
+    /// `bounds` must be strictly increasing.
+    pub fn new(bounds: Vec<f64>) -> Histogram {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        let counts = vec![0; bounds.len() + 1];
+        Histogram {
+            bounds,
+            counts,
+            sum: 0.0,
+            total: 0,
+        }
+    }
+
+    pub fn observe(&mut self, value: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.sum += value;
+        self.total += 1;
+    }
+
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+}
+
+impl Serialize for Histogram {
+    fn serialize(&self) -> Value {
+        Value::Object(vec![
+            ("bounds".into(), self.bounds.serialize()),
+            ("counts".into(), self.counts.serialize()),
+            ("sum".into(), self.sum.serialize()),
+            ("total".into(), self.total.serialize()),
+        ])
+    }
+}
+
+/// Named counters + histograms. Keys are sorted (BTreeMap), so the JSON
+/// form is deterministic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// Byte-size bucket bounds (64 B .. 256 MiB, powers of 16).
+const BYTES_BOUNDS: [f64; 5] = [64.0, 1024.0, 16384.0, 262_144.0, 4_194_304.0];
+/// Seconds bucket bounds (1 µs .. 10 s, decades).
+const SECONDS_BOUNDS: [f64; 8] = [1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0];
+
+impl MetricsRegistry {
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    pub fn observe(&mut self, name: &str, bounds: &[f64], value: f64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(bounds.to_vec()))
+            .observe(value);
+    }
+
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// The standard aggregation: bytes moved per collective op, GEMM
+    /// flops per mode, and collective op-time histograms, across all
+    /// ranks of a run.
+    pub fn from_traces(traces: &[RankTrace]) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        for trace in traces {
+            for ev in &trace.events {
+                match &ev.detail {
+                    EventDetail::Collective {
+                        op,
+                        bytes,
+                        op_seconds,
+                        ..
+                    } => {
+                        reg.counter_add(&format!("collective.{}.calls", op.name()), 1);
+                        reg.counter_add(&format!("collective.{}.bytes", op.name()), *bytes);
+                        reg.observe(
+                            &format!("collective.{}.bytes_hist", op.name()),
+                            &BYTES_BOUNDS,
+                            *bytes as f64,
+                        );
+                        reg.observe(
+                            &format!("collective.{}.seconds_hist", op.name()),
+                            &SECONDS_BOUNDS,
+                            *op_seconds,
+                        );
+                    }
+                    EventDetail::Gemm { mode, flops } => {
+                        reg.counter_add(&format!("gemm.{mode}.calls"), 1);
+                        reg.counter_add(&format!("gemm.{mode}.flops"), *flops as u64);
+                    }
+                    EventDetail::OverlapWait { .. } => {
+                        reg.counter_add("overlap.waits", 1);
+                        reg.observe(
+                            "overlap.wait_seconds_hist",
+                            &SECONDS_BOUNDS,
+                            ev.t_end - ev.t_start,
+                        );
+                    }
+                    EventDetail::TunerDecision { .. } => {
+                        reg.counter_add("tuner.decisions", 1);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        reg
+    }
+}
+
+impl Serialize for MetricsRegistry {
+    fn serialize(&self) -> Value {
+        let counters = Value::Object(
+            self.counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.serialize()))
+                .collect(),
+        );
+        let histograms = Value::Object(
+            self.histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.serialize()))
+                .collect(),
+        );
+        Value::Object(vec![
+            ("counters".into(), counters),
+            ("histograms".into(), histograms),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{CollOp, Stream};
+    use crate::sink::TraceSink;
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(vec![1.0, 10.0]);
+        h.observe(0.5);
+        h.observe(5.0);
+        h.observe(100.0);
+        assert_eq!(h.bucket_counts(), &[1, 1, 1]);
+        assert_eq!(h.count(), 3);
+        assert!((h.sum() - 105.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn histogram_rejects_bad_bounds() {
+        Histogram::new(vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn aggregates_bytes_and_flops_from_traces() {
+        let sink = TraceSink::new(0);
+        sink.record_scoped(
+            Stream::Compute,
+            0.0,
+            1.0,
+            crate::event::EventDetail::Collective {
+                op: CollOp::AllReduce,
+                group_size: 4,
+                bytes: 4096,
+                seq: 0,
+                blocking: true,
+                op_seconds: 1.0,
+            },
+        );
+        sink.record_scoped(
+            Stream::Compute,
+            1.0,
+            2.0,
+            crate::event::EventDetail::Gemm {
+                mode: "NN",
+                flops: 1000.0,
+            },
+        );
+        let reg = MetricsRegistry::from_traces(&[sink.finish()]);
+        assert_eq!(reg.counter("collective.all_reduce.bytes"), 4096);
+        assert_eq!(reg.counter("collective.all_reduce.calls"), 1);
+        assert_eq!(reg.counter("gemm.NN.flops"), 1000);
+        assert_eq!(
+            reg.histogram("collective.all_reduce.bytes_hist")
+                .unwrap()
+                .count(),
+            1
+        );
+        // Deterministic serialization (sorted keys).
+        let a = serde_json::to_string(&reg).unwrap();
+        let b = serde_json::to_string(&reg.clone()).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -21,12 +21,18 @@ fn main() {
     cfg.lr_min = 2e-3;
     let scale = ModelScale::new("demo GPT (d=128, 3 layers)", 128, 4, 3);
 
-    println!("Training on 3 buckets of {} articles (1 / 4 / 6 epochs) + untouched control…\n", cfg.articles_per_bucket);
+    println!(
+        "Training on 3 buckets of {} articles (1 / 4 / 6 epochs) + untouched control…\n",
+        cfg.articles_per_bucket
+    );
 
     let plain = run_scale(&scale, &cfg);
     let goldfish = run_scale(&scale, &cfg.clone().with_goldfish(GoldfishParams::paper()));
 
-    println!("{:<28} {:>10} {:>10} {:>10} {:>12}", "", "1 epoch", "4 epochs", "6 epochs", "control(0)");
+    println!(
+        "{:<28} {:>10} {:>10} {:>10} {:>12}",
+        "", "1 epoch", "4 epochs", "6 epochs", "control(0)"
+    );
     let fmt = |r: &axonn::memorize::ScaleResult| {
         format!(
             "{:<28} {:>9.0}% {:>9.0}% {:>9.0}% {:>11.0}%",
@@ -40,7 +46,10 @@ fn main() {
     println!("standard loss{}", &fmt(&plain)[13..]);
     println!("goldfish loss (k=2, h=13){}", &fmt(&goldfish)[25..]);
 
-    println!("\nExact match = the model greedily reproduces the last {} tokens of an", cfg.gen_tokens);
+    println!(
+        "\nExact match = the model greedily reproduces the last {} tokens of an",
+        cfg.gen_tokens
+    );
     println!("article verbatim when prompted with its beginning. The Goldfish loss");
     println!("drops ~1/k of tokens from the loss via a context-keyed hash, so verbatim");
     println!("reproduction of long spans becomes impossible — memorization collapses");

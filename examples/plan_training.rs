@@ -43,7 +43,10 @@ fn main() {
         "{} feasible 4D configurations; top 10 by predicted communication time:",
         ranked.len()
     );
-    println!("{:>4}  {:>22}  {:>14}  {:>14}  {:>12}", "rank", "config (x*y*z*d)", "predicted comm", "simulated", "exposed comm");
+    println!(
+        "{:>4}  {:>22}  {:>14}  {:>14}  {:>12}",
+        "rank", "config (x*y*z*d)", "predicted comm", "simulated", "exposed comm"
+    );
     let mut best: Option<(String, f64)> = None;
     for (i, rc) in ranked.iter().take(10).enumerate() {
         let b = simulate_batch(&machine, &db, rc.grid, &model, batch, SimOptions::full());

@@ -40,7 +40,9 @@ fn main() {
             OverlapConfig::all(),
             true, // first-batch BLAS kernel tuning
         );
-        (0..STEPS).map(|_| net.train_step(&x2, &t2, LR)).collect::<Vec<f32>>()
+        (0..STEPS)
+            .map(|_| net.train_step(&x2, &t2, LR))
+            .collect::<Vec<f32>>()
     });
     let parallel_losses = &results[0];
 

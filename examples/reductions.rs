@@ -26,7 +26,8 @@ fn main() {
         serial_loss = serial.train_step(&x, &t, 0.01);
     }
 
-    let cases: [(&str, (usize, usize, usize, usize)); 5] = [
+    type Case = (&'static str, (usize, usize, usize, usize));
+    let cases: [Case; 5] = [
         ("FSDP / ZeRO-3        (1,1,8,1)", (1, 1, 8, 1)),
         ("HSDP / ZeRO++        (1,1,4,2)", (1, 1, 4, 2)),
         ("Megatron 1D TP + DP  (4,1,1,2)", (4, 1, 1, 2)),

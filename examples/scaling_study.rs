@@ -37,7 +37,8 @@ fn main() {
             p.pct_advertised_peak
         );
     }
-    let eff = 100.0 * (points.last().unwrap().model_flops_per_second / points.last().unwrap().gpus as f64)
+    let eff = 100.0
+        * (points.last().unwrap().model_flops_per_second / points.last().unwrap().gpus as f64)
         / (points[0].model_flops_per_second / points[0].gpus as f64);
     println!("\nWeak-scaling efficiency at the largest point: {eff:.1}%");
 }

@@ -15,3 +15,4 @@ pub use axonn_memorize as memorize;
 pub use axonn_perfmodel as perfmodel;
 pub use axonn_sim as sim;
 pub use axonn_tensor as tensor;
+pub use axonn_trace as trace;

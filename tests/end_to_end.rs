@@ -36,13 +36,12 @@ fn sixteen_rank_full_4d_training_matches_serial() {
             true,
         );
         let (x, t) = batch();
-        (0..4).map(|_| net.train_step(&x, &t, 0.01)).collect::<Vec<f32>>()
+        (0..4)
+            .map(|_| net.train_step(&x, &t, 0.01))
+            .collect::<Vec<f32>>()
     });
     for (s, p) in serial_losses.iter().zip(&losses[0]) {
-        assert!(
-            ((s - p) / s).abs() < 2e-3,
-            "serial {s} vs parallel {p}"
-        );
+        assert!(((s - p) / s).abs() < 2e-3, "serial {s} vs parallel {p}");
     }
 }
 
@@ -55,15 +54,7 @@ fn overlap_reduces_virtual_batch_time() {
         let cost = cost.clone();
         let times = run_spmd_timed(8, cost, move |comm| {
             let grid = GridTopology::new(2, 1, 4, 1, comm.rank());
-            let mut net = Network4d::new(
-                comm,
-                grid,
-                &DIMS,
-                Activation::Gelu,
-                SEED,
-                overlap,
-                false,
-            );
+            let mut net = Network4d::new(comm, grid, &DIMS, Activation::Gelu, SEED, overlap, false);
             let (x, t) = batch();
             for _ in 0..2 {
                 net.train_step(&x, &t, 0.01);

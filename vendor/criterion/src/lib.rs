@@ -1,0 +1,194 @@
+//! Vendored stand-in for the `criterion` crate (see `vendor/README.md`).
+//!
+//! Runs each benchmark closure a handful of times and prints the best
+//! wall-clock time — enough to eyeball regressions locally without the
+//! statistical machinery. When invoked by `cargo test` (which passes
+//! `--test` to benchmark targets), `criterion_main!` exits immediately,
+//! exactly like the real crate, so the test suite stays fast.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identifier of one parameterized benchmark case.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn new<S: Into<String>, P: fmt::Display>(function_name: S, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Timer handed to benchmark closures.
+pub struct Bencher {
+    iterations: u32,
+    best: Option<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..self.iterations {
+            let start = Instant::now();
+            black_box(routine());
+            let elapsed = start.elapsed();
+            self.best = Some(match self.best {
+                Some(b) => b.min(elapsed),
+                None => elapsed,
+            });
+        }
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    iterations: u32,
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            iterations: if self.iterations == 0 {
+                3
+            } else {
+                self.iterations
+            },
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Criterion {
+        run_one(name, 3, f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    iterations: u32,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub keys effort off
+    /// `sample_size` alone.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Interpreted loosely: a couple of warm iterations, capped for speed.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.iterations = (n as u32).clamp(1, 5);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, f: F) {
+        run_one(&format!("{}/{}", self.name, id), self.iterations, f);
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id), self.iterations, |b| {
+            f(b, input)
+        });
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, iterations: u32, mut f: F) {
+    let mut b = Bencher {
+        iterations,
+        best: None,
+    };
+    f(&mut b);
+    match b.best {
+        Some(best) => println!("bench {label:<50} best {best:>12.3?} of {iterations}"),
+        None => println!("bench {label:<50} (no iter call)"),
+    }
+}
+
+/// Identity function that defeats trivial dead-code elimination.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// True when the binary is being driven by `cargo test`.
+pub fn running_under_cargo_test() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Under `cargo test` the bench target is run with `--test`;
+            // real criterion exits immediately there, and so do we.
+            if $crate::running_under_cargo_test() {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_and_records() {
+        let mut counted = 0u32;
+        let mut b = Bencher {
+            iterations: 3,
+            best: None,
+        };
+        b.iter(|| counted += 1);
+        assert_eq!(counted, 3);
+        assert!(b.best.is_some());
+    }
+
+    #[test]
+    fn group_api_chains() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.measurement_time(Duration::from_millis(1)).sample_size(2);
+        let mut ran = 0;
+        g.bench_with_input(BenchmarkId::new("f", 10), &10, |b, &n| {
+            b.iter(|| black_box(n * 2));
+            ran += 1;
+        });
+        g.bench_function("plain", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn id_formats_name_and_param() {
+        assert_eq!(BenchmarkId::new("ag", 64).to_string(), "ag/64");
+        assert_eq!(BenchmarkId::new(format!("m{}", 1), "x").to_string(), "m1/x");
+    }
+}

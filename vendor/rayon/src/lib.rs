@@ -1,0 +1,192 @@
+//! Vendored stand-in for the `rayon` crate (see `vendor/README.md`).
+//!
+//! `par_chunks_mut(..).enumerate().for_each(..)` — the GEMM hot path —
+//! runs on real scoped threads, splitting the slice into one contiguous
+//! band of chunks per available core. The remaining adapters
+//! (`par_iter`, `into_par_iter`) delegate to ordinary sequential
+//! iterators: they are only used on coarse, already-fast outer loops
+//! where parallelism is a nicety rather than a requirement.
+
+/// Wrapper marking an iterator as "parallel". Iteration itself is
+/// sequential; rayon-specific knobs are accepted and ignored.
+pub struct Par<I>(I);
+
+impl<I: Iterator> Iterator for Par<I> {
+    type Item = I::Item;
+
+    fn next(&mut self) -> Option<I::Item> {
+        self.0.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.0.size_hint()
+    }
+}
+
+impl<I> Par<I> {
+    /// Work-splitting hint; meaningless for the sequential fallback.
+    pub fn with_max_len(self, _max: usize) -> Par<I> {
+        self
+    }
+}
+
+/// `collection.into_par_iter()` for anything iterable.
+pub trait IntoParallelIterator {
+    type Item;
+    type Iter: Iterator<Item = Self::Item>;
+    fn into_par_iter(self) -> Par<Self::Iter>;
+}
+
+impl<C: IntoIterator> IntoParallelIterator for C {
+    type Item = C::Item;
+    type Iter = C::IntoIter;
+    fn into_par_iter(self) -> Par<C::IntoIter> {
+        Par(self.into_iter())
+    }
+}
+
+/// `collection.par_iter()` for anything whose reference is iterable.
+pub trait IntoParallelRefIterator<'a> {
+    type Item: 'a;
+    type Iter: Iterator<Item = Self::Item>;
+    fn par_iter(&'a self) -> Par<Self::Iter>;
+}
+
+impl<'a, C: 'a + ?Sized> IntoParallelRefIterator<'a> for C
+where
+    &'a C: IntoIterator,
+{
+    type Item = <&'a C as IntoIterator>::Item;
+    type Iter = <&'a C as IntoIterator>::IntoIter;
+    fn par_iter(&'a self) -> Par<Self::Iter> {
+        Par(self.into_iter())
+    }
+}
+
+/// Mutable chunk-parallelism over slices — the one genuinely parallel
+/// primitive here.
+pub trait ParallelSliceMut<T: Send> {
+    fn par_chunks_mut(&mut self, chunk: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk > 0, "chunk size must be non-zero");
+        ParChunksMut { slice: self, chunk }
+    }
+}
+
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    pub fn enumerate(self) -> EnumeratedParChunksMut<'a, T> {
+        EnumeratedParChunksMut(self)
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        self.enumerate().for_each(|(_, c)| f(c));
+    }
+}
+
+pub struct EnumeratedParChunksMut<'a, T>(ParChunksMut<'a, T>);
+
+impl<'a, T: Send> EnumeratedParChunksMut<'a, T> {
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        let ParChunksMut { slice, chunk } = self.0;
+        let len = slice.len();
+        if len == 0 {
+            return;
+        }
+        let nchunks = len.div_ceil(chunk);
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(nchunks);
+        if workers <= 1 {
+            for (i, c) in slice.chunks_mut(chunk).enumerate() {
+                f((i, c));
+            }
+            return;
+        }
+        // One contiguous band of whole chunks per worker.
+        let per = nchunks.div_ceil(workers);
+        let f = &f;
+        std::thread::scope(|s| {
+            let mut rest = slice;
+            let mut base = 0usize;
+            while !rest.is_empty() {
+                let take = (per * chunk).min(rest.len());
+                let (band, tail) = std::mem::take(&mut rest).split_at_mut(take);
+                rest = tail;
+                let first = base;
+                base += per;
+                s.spawn(move || {
+                    for (j, c) in band.chunks_mut(chunk).enumerate() {
+                        f((first + j, c));
+                    }
+                });
+            }
+        });
+    }
+}
+
+pub mod prelude {
+    pub use super::{IntoParallelIterator, IntoParallelRefIterator, Par, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_chunks_mut_visits_every_chunk_once() {
+        let mut data = vec![0u32; 1003];
+        data.as_mut_slice()
+            .par_chunks_mut(10)
+            .enumerate()
+            .for_each(|(i, c)| {
+                for v in c.iter_mut() {
+                    *v = i as u32 + 1;
+                }
+            });
+        for (pos, v) in data.iter().enumerate() {
+            assert_eq!(*v, (pos / 10) as u32 + 1, "wrong band at {pos}");
+        }
+    }
+
+    #[test]
+    fn par_iter_adapters_behave_like_iterators() {
+        let v = vec![5, 1, 4, 2];
+        let doubled: Vec<i32> = v.par_iter().with_max_len(1).map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![10, 2, 8, 4]);
+        let total: i32 = (0..10).into_par_iter().sum();
+        assert_eq!(total, 45);
+        assert_eq!(v.par_iter().min_by(|a, b| a.cmp(b)), Some(&1));
+    }
+
+    #[test]
+    fn empty_and_single_chunk_edges() {
+        let mut empty: Vec<u8> = vec![];
+        empty
+            .as_mut_slice()
+            .par_chunks_mut(4)
+            .for_each(|_| panic!());
+        let mut one = vec![1u8, 2, 3];
+        one.as_mut_slice()
+            .par_chunks_mut(16)
+            .enumerate()
+            .for_each(|(i, c)| {
+                assert_eq!(i, 0);
+                assert_eq!(c.len(), 3);
+            });
+    }
+}

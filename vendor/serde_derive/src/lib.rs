@@ -1,0 +1,248 @@
+//! Vendored stand-in for `serde_derive` (see `vendor/README.md`).
+//!
+//! Generates impls of the vendored `serde::Serialize`/`Deserialize`
+//! value-tree traits. Because the build environment has no crates.io
+//! access, this macro parses the item's `TokenStream` by hand instead of
+//! using `syn`/`quote`, and supports exactly the shapes this workspace
+//! derives on: non-generic structs with named fields and non-generic
+//! enums with unit variants. Anything else is a compile error naming the
+//! limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Item {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<String> },
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => {
+            return format!("::std::compile_error!({msg:?});")
+                .parse()
+                .expect("compile_error tokens")
+        }
+    };
+    let code = match (&item, mode) {
+        (Item::Struct { name, fields }, Mode::Serialize) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::serialize(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(::std::vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        (Item::Struct { name, fields }, Mode::Deserialize) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::deserialize(v.field({f:?})?)?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         ::std::result::Result::Ok({name} {{ {entries} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        (Item::Enum { name, variants }, Mode::Serialize) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => \
+                         ::serde::Value::Str(::std::string::String::from({v:?})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        (Item::Enum { name, variants }, Mode::Deserialize) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match v.as_str()? {{\n\
+                             {arms}\n\
+                             other => ::std::result::Result::Err(::serde::Error::custom(\
+                                 ::std::format!(\"unknown {name} variant {{other}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("generated impl tokens")
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attrs_and_vis(&tokens, &mut pos);
+
+    let keyword = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde derive: expected `struct` or `enum`".into()),
+    };
+    pos += 1;
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde derive: expected item name".into()),
+    };
+    pos += 1;
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde derive (vendored): generic type `{name}` is not supported"
+        ));
+    }
+    let body = match tokens.get(pos) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        _ => {
+            return Err(format!(
+                "serde derive (vendored): `{name}` must have a braced body \
+                 (tuple/unit items are not supported)"
+            ))
+        }
+    };
+
+    match keyword.as_str() {
+        "struct" => Ok(Item::Struct {
+            name,
+            fields: parse_named_fields(body)?,
+        }),
+        "enum" => Ok(Item::Enum {
+            name,
+            variants: parse_unit_variants(body)?,
+        }),
+        other => Err(format!("serde derive: unexpected keyword `{other}`")),
+    }
+}
+
+/// Advance past `#[...]` attributes and `pub`/`pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 2; // '#' + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *pos += 1;
+                if matches!(
+                    tokens.get(*pos),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *pos += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let field = match &tokens[pos] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("serde derive: expected field name, got `{other}`")),
+        };
+        pos += 1;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            _ => return Err(format!("serde derive: expected `:` after field `{field}`")),
+        }
+        // Skip the type: everything up to a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while pos < tokens.len() {
+            match &tokens[pos] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+        fields.push(field);
+    }
+    Ok(fields)
+}
+
+fn parse_unit_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let variant = match &tokens[pos] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => {
+                return Err(format!(
+                    "serde derive: expected variant name, got `{other}`"
+                ))
+            }
+        };
+        pos += 1;
+        match tokens.get(pos) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => pos += 1,
+            Some(_) => {
+                return Err(format!(
+                    "serde derive (vendored): variant `{variant}` carries data; \
+                     only unit variants are supported"
+                ))
+            }
+        }
+        variants.push(variant);
+    }
+    Ok(variants)
+}
