@@ -2,6 +2,7 @@
 //! execution, kept in a library so the logic is unit-testable.
 
 use axonn_cluster::{BandwidthDb, Machine};
+use axonn_ft::{legal_resume_grids, CheckpointStore};
 use axonn_gpt::{table2_models, GptConfig, HEADLINE_BATCH_TOKENS};
 use axonn_perfmodel::{rank_configs, Grid4d};
 use axonn_sim::{pick_best_config, simulate_batch, simulate_batch_traced, SimOptions};
@@ -14,7 +15,8 @@ pub const USAGE: &str = "usage:
   axonnctl plan <machine> <model-billions> <gpus> [batch-tokens]
   axonnctl simulate <machine> <model-billions> <gx> <gy> <gz> <gd> [batch-tokens]
   axonnctl trace <machine> <model-billions> <gx> <gy> <gz> <gd> [batch-tokens] [out-prefix]
-  axonnctl profile <machine>";
+  axonnctl profile <machine>
+  axonnctl resume <checkpoint-dir> [target-gpus] [step]";
 
 /// A parsed subcommand.
 #[derive(Debug, Clone, PartialEq)]
@@ -43,6 +45,15 @@ pub enum Command {
     },
     Profile {
         machine: String,
+    },
+    /// Inspect a fault-tolerance checkpoint store and print the legal
+    /// grids a resume could use on `gpus` ranks (default: the grid size
+    /// that wrote the checkpoint).
+    Resume {
+        dir: String,
+        gpus: Option<usize>,
+        /// Specific step to inspect (default: the latest durable one).
+        step: Option<u64>,
     },
 }
 
@@ -124,6 +135,21 @@ impl Command {
             "profile" => Ok(Command::Profile {
                 machine: it.next().ok_or("missing machine")?.clone(),
             }),
+            "resume" => {
+                let dir = it.next().ok_or("missing checkpoint dir")?.clone();
+                let gpus = match it.next() {
+                    Some(s) => Some(
+                        s.parse()
+                            .map_err(|_| format!("invalid target gpus: '{s}'"))?,
+                    ),
+                    None => None,
+                };
+                let step = match it.next() {
+                    Some(s) => Some(s.parse().map_err(|_| format!("invalid step: '{s}'"))?),
+                    None => None,
+                };
+                Ok(Command::Resume { dir, gpus, step })
+            }
             other => Err(format!("unknown subcommand '{other}'")),
         }
     }
@@ -340,6 +366,43 @@ pub fn run(cmd: Command) -> Result<(), String> {
             println!("\nJSON:\n{}", db.to_json());
             Ok(())
         }
+        Command::Resume { dir, gpus, step } => {
+            let store = CheckpointStore::new(&dir);
+            let step = match step.or_else(|| store.latest_step()) {
+                Some(s) => s,
+                None => return Err(format!("no durable checkpoint found under {dir}")),
+            };
+            let manifest = store.manifest(step).map_err(|e| e.to_string())?;
+            let src_grid = manifest.grid();
+            let dims = manifest.dims_usize();
+            println!("checkpoint {dir} step {step}:");
+            println!("  written by      {src_grid} ({} ranks)", src_grid.gpus());
+            println!("  training seed   {}", manifest.seed);
+            println!("  model dims      {dims:?}");
+            println!("  batch rows      {}", manifest.batch_rows);
+            println!(
+                "  shards          {} files, {} layer checksums each",
+                manifest.shards.len(),
+                manifest
+                    .shards
+                    .first()
+                    .map_or(0, |s| s.layer_checksums.len())
+            );
+            let target = gpus.unwrap_or_else(|| src_grid.gpus());
+            let legal = legal_resume_grids(&dims, manifest.batch_rows as usize, target);
+            if legal.is_empty() {
+                return Err(format!(
+                    "no legal {target}-rank grid can resume dims {dims:?} with batch {}",
+                    manifest.batch_rows
+                ));
+            }
+            println!("\nlegal resume grids on {target} rank(s):");
+            for g in &legal {
+                let marker = if *g == src_grid { "  (original)" } else { "" };
+                println!("  {g}{marker}");
+            }
+            Ok(())
+        }
     }
 }
 
@@ -488,6 +551,78 @@ mod tests {
         })
         .unwrap_err();
         assert!(e.contains("unknown machine"));
+    }
+
+    #[test]
+    fn parse_resume_variants() {
+        assert_eq!(
+            Command::parse(&sv(&["resume", "/tmp/ckpt"])).unwrap(),
+            Command::Resume {
+                dir: "/tmp/ckpt".into(),
+                gpus: None,
+                step: None
+            }
+        );
+        assert_eq!(
+            Command::parse(&sv(&["resume", "/tmp/ckpt", "8", "4"])).unwrap(),
+            Command::Resume {
+                dir: "/tmp/ckpt".into(),
+                gpus: Some(8),
+                step: Some(4)
+            }
+        );
+        assert!(Command::parse(&sv(&["resume"]))
+            .unwrap_err()
+            .contains("checkpoint dir"));
+    }
+
+    #[test]
+    fn run_resume_lists_legal_grids() {
+        use axonn_core::{Activation, GridTopology, Network4d, OverlapConfig};
+        use axonn_exec::run_spmd;
+        use axonn_ft::save_checkpoint;
+        use axonn_perfmodel::Grid4d as G;
+        use axonn_tensor::Matrix;
+        use std::sync::Arc as StdArc;
+
+        let dir = std::env::temp_dir().join(format!("axonnctl_resume_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = StdArc::new(axonn_ft::CheckpointStore::new(&dir));
+        let grid = G::new(2, 1, 1, 1);
+        let store2 = store.clone();
+        run_spmd(2, move |comm| {
+            let topo = GridTopology::new(2, 1, 1, 1, comm.rank());
+            let mut net = Network4d::new(
+                comm,
+                topo,
+                &[8, 16, 8],
+                Activation::Gelu,
+                3,
+                OverlapConfig::all(),
+                false,
+            );
+            let x = Matrix::random(4, 8, 1.0, 5);
+            let t = Matrix::random(4, 8, 1.0, 6);
+            net.train_step(&x, &t, 0.01);
+            let shards = net.weight_shards();
+            save_checkpoint(net.comm(), &grid, &store2, 1, 3, &[8, 16, 8], 4, &shards).unwrap();
+        });
+        // Inspect for a different target rank count.
+        run(Command::Resume {
+            dir: dir.to_str().unwrap().into(),
+            gpus: Some(4),
+            step: None,
+        })
+        .unwrap();
+        // Missing/empty store is a clear error.
+        let e = run(Command::Resume {
+            dir: "/nonexistent/ckpt".into(),
+            gpus: None,
+            step: None,
+        })
+        .unwrap_err();
+        assert!(e.contains("no durable checkpoint"), "unexpected: {e}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -6,8 +6,14 @@
 //! reduce-scatter followed by all-gather (Rabenseifner). Reduction order
 //! around the ring is fixed by group order, so results are deterministic
 //! (bit-identical across runs for the same grid).
+//!
+//! Every collective has two faces: the infallible legacy API (panics on a
+//! poisoned world or lost peer, preserving PR 1's semantics) and a
+//! fallible `try_*` API returning [`CommError`], which is what the
+//! fault-tolerant supervisor builds on.
 
 use crate::cost::{CollectiveKind, CostModel, NullCost};
+use crate::fault::{unwrap_comm, CommError, FaultConfig};
 use crate::group::ProcessGroup;
 use crate::mailbox::{MsgKey, PoisonInfo, Transport};
 use axonn_trace::{CollOp, EventDetail, Stream, TraceSink};
@@ -75,12 +81,28 @@ pub struct CommWorld;
 impl CommWorld {
     /// A world of `size` ranks with no virtual-time tracking.
     pub fn create(size: usize) -> Vec<Comm> {
-        Self::create_with_cost(size, Arc::new(NullCost), false, None)
+        Self::create_with_cost(size, Arc::new(NullCost), false, None, FaultConfig::none())
     }
 
     /// A world of `size` ranks whose clocks advance per `cost`.
     pub fn create_timed(size: usize, cost: Arc<dyn CostModel>) -> Vec<Comm> {
-        Self::create_with_cost(size, cost, true, None)
+        Self::create_with_cost(size, cost, true, None, FaultConfig::none())
+    }
+
+    /// An untimed world with deterministic fault injection installed
+    /// (message drops, link stalls, recv timeout).
+    pub fn create_faulty(size: usize, faults: FaultConfig) -> Vec<Comm> {
+        Self::create_with_cost(size, Arc::new(NullCost), false, None, faults)
+    }
+
+    /// A timed world with fault injection (stall rules need a clock to
+    /// be observable).
+    pub fn create_timed_faulty(
+        size: usize,
+        cost: Arc<dyn CostModel>,
+        faults: FaultConfig,
+    ) -> Vec<Comm> {
+        Self::create_with_cost(size, cost, true, None, faults)
     }
 
     /// A timed world whose ranks record trace events. The returned sinks
@@ -92,7 +114,7 @@ impl CommWorld {
         cost: Arc<dyn CostModel>,
     ) -> (Vec<Comm>, Vec<Arc<TraceSink>>) {
         let sinks: Vec<Arc<TraceSink>> = (0..size).map(TraceSink::new).collect();
-        let comms = Self::create_with_cost(size, cost, true, Some(&sinks));
+        let comms = Self::create_with_cost(size, cost, true, Some(&sinks), FaultConfig::none());
         (comms, sinks)
     }
 
@@ -101,9 +123,10 @@ impl CommWorld {
         cost: Arc<dyn CostModel>,
         track_time: bool,
         tracers: Option<&[Arc<TraceSink>]>,
+        faults: FaultConfig,
     ) -> Vec<Comm> {
         assert!(size > 0, "world size must be positive");
-        let transport = Transport::new(size);
+        let transport = Transport::with_faults(size, faults);
         (0..size)
             .map(|rank| {
                 let shared = Arc::new(CommShared {
@@ -189,6 +212,18 @@ impl Comm {
         self.shared.transport.poison_info()
     }
 
+    /// Declare `rank` dead without poisoning the world: receivers
+    /// blocked on it get [`CommError::PeerLost`] while surviving ranks
+    /// keep communicating. Used by the supervisor's failure detector.
+    pub fn mark_dead(&self, rank: usize, reason: &str) {
+        self.shared.transport.mark_dead(rank, reason);
+    }
+
+    /// True if `rank` has been marked dead.
+    pub fn is_dead(&self, rank: usize) -> bool {
+        self.shared.transport.is_dead(rank)
+    }
+
     /// Current virtual time of this rank.
     pub fn now(&self) -> f64 {
         self.shared.clock.lock().now
@@ -219,8 +254,8 @@ impl Comm {
         out
     }
 
-    /// Raw tagged point-to-point send (test/debug helper; tag space is
-    /// disjoint from collective keys).
+    /// Raw tagged point-to-point send (tag space is disjoint from
+    /// collective keys).
     pub fn send(&self, dst: usize, tag: u64, data: Vec<f32>) {
         let key = msg_key(u64::MAX, tag, 0);
         self.shared.transport.send(self.rank, dst, key, data);
@@ -228,47 +263,77 @@ impl Comm {
 
     /// Raw tagged point-to-point receive.
     pub fn recv(&self, src: usize, tag: u64) -> Vec<f32> {
+        unwrap_comm(self.try_recv(src, tag))
+    }
+
+    /// Fallible tagged point-to-point receive: resolves to
+    /// [`CommError::PeerLost`] if `src` is dead or silent past the recv
+    /// timeout instead of blocking forever.
+    pub fn try_recv(&self, src: usize, tag: u64) -> Result<Vec<f32>, CommError> {
         let key = msg_key(u64::MAX, tag, 0);
-        self.shared.transport.recv(self.rank, src, key)
+        self.shared.transport.recv_result(self.rank, src, key)
     }
 
     /// Blocking all-gather: every member contributes `shard`; returns the
     /// concatenation of all members' shards in group-position order.
     pub fn all_gather(&self, group: &ProcessGroup, shard: &[f32]) -> Vec<f32> {
+        unwrap_comm(self.try_all_gather(group, shard))
+    }
+
+    /// Fallible all-gather.
+    pub fn try_all_gather(
+        &self,
+        group: &ProcessGroup,
+        shard: &[f32],
+    ) -> Result<Vec<f32>, CommError> {
         let seq = self.next_seq(group);
         let wall = self.wall_now();
-        let out = ring_all_gather(&self.shared, self.rank, group, seq, shard);
+        let out = ring_all_gather(&self.shared, self.rank, group, seq, shard)?;
         self.charge_blocking(
             group,
             seq,
             CollectiveKind::AllGather,
             (out.len() * 4) as f64,
             wall,
-        );
-        out
+        )?;
+        Ok(out)
     }
 
     /// Blocking reduce-scatter (sum): every member contributes a buffer of
     /// identical length divisible by the group size; returns this rank's
     /// chunk (at its group position) of the elementwise sum.
     pub fn reduce_scatter(&self, group: &ProcessGroup, buf: &[f32]) -> Vec<f32> {
+        unwrap_comm(self.try_reduce_scatter(group, buf))
+    }
+
+    /// Fallible reduce-scatter.
+    pub fn try_reduce_scatter(
+        &self,
+        group: &ProcessGroup,
+        buf: &[f32],
+    ) -> Result<Vec<f32>, CommError> {
         let seq = self.next_seq(group);
         let wall = self.wall_now();
-        let out = ring_reduce_scatter(&self.shared, self.rank, group, seq, buf);
+        let out = ring_reduce_scatter(&self.shared, self.rank, group, seq, buf)?;
         self.charge_blocking(
             group,
             seq,
             CollectiveKind::ReduceScatter,
             (buf.len() * 4) as f64,
             wall,
-        );
-        out
+        )?;
+        Ok(out)
     }
 
     /// Blocking all-reduce (sum) in place: reduce-scatter + all-gather.
     /// Buffers of any length are accepted (padded internally).
     pub fn all_reduce(&self, group: &ProcessGroup, buf: &mut [f32]) {
         self.all_reduce_op(group, buf, ReduceOp::Sum)
+    }
+
+    /// Fallible in-place sum all-reduce.
+    pub fn try_all_reduce(&self, group: &ProcessGroup, buf: &mut [f32]) -> Result<(), CommError> {
+        self.try_all_reduce_op(group, buf, ReduceOp::Sum)
     }
 
     /// Blocking elementwise-max all-reduce (used by vocab-parallel
@@ -279,16 +344,26 @@ impl Comm {
 
     /// Blocking all-reduce with an explicit reduction operator.
     pub fn all_reduce_op(&self, group: &ProcessGroup, buf: &mut [f32], op: ReduceOp) {
+        unwrap_comm(self.try_all_reduce_op(group, buf, op))
+    }
+
+    /// Fallible all-reduce with an explicit reduction operator.
+    pub fn try_all_reduce_op(
+        &self,
+        group: &ProcessGroup,
+        buf: &mut [f32],
+        op: ReduceOp,
+    ) -> Result<(), CommError> {
         let seq = self.next_seq(group);
         let wall = self.wall_now();
-        ring_all_reduce(&self.shared, self.rank, group, seq, buf, op);
+        ring_all_reduce(&self.shared, self.rank, group, seq, buf, op)?;
         self.charge_blocking(
             group,
             seq,
             CollectiveKind::AllReduce,
             (buf.len() * 4) as f64,
             wall,
-        );
+        )
     }
 
     /// Blocking all-reduce choosing the algorithm the way NCCL does:
@@ -300,13 +375,18 @@ impl Comm {
         if buf.len() <= SMALL_ELEMS && group.size().is_power_of_two() {
             let seq = self.next_seq(group);
             let wall = self.wall_now();
-            recursive_doubling_all_reduce(&self.shared, self.rank, group, seq, buf);
-            self.charge_blocking(
-                group,
-                seq,
-                CollectiveKind::AllReduceRecursiveDoubling,
-                (buf.len() * 4) as f64,
-                wall,
+            unwrap_comm(
+                recursive_doubling_all_reduce(&self.shared, self.rank, group, seq, buf).and_then(
+                    |()| {
+                        self.charge_blocking(
+                            group,
+                            seq,
+                            CollectiveKind::AllReduceRecursiveDoubling,
+                            (buf.len() * 4) as f64,
+                            wall,
+                        )
+                    },
+                ),
             );
         } else {
             self.all_reduce(group, buf);
@@ -315,20 +395,36 @@ impl Comm {
 
     /// Blocking broadcast from the member at group position `root_pos`.
     pub fn broadcast(&self, group: &ProcessGroup, root_pos: usize, buf: &mut [f32]) {
+        unwrap_comm(self.try_broadcast(group, root_pos, buf))
+    }
+
+    /// Fallible broadcast.
+    pub fn try_broadcast(
+        &self,
+        group: &ProcessGroup,
+        root_pos: usize,
+        buf: &mut [f32],
+    ) -> Result<(), CommError> {
         let seq = self.next_seq(group);
         let wall = self.wall_now();
-        ring_broadcast(&self.shared, self.rank, group, seq, root_pos, buf);
+        ring_broadcast(&self.shared, self.rank, group, seq, root_pos, buf)?;
         self.charge_blocking(
             group,
             seq,
             CollectiveKind::Broadcast,
             (buf.len() * 4) as f64,
             wall,
-        );
+        )
     }
 
     /// Block until every group member has arrived.
     pub fn barrier(&self, group: &ProcessGroup) {
+        unwrap_comm(self.try_barrier(group))
+    }
+
+    /// Fallible barrier: completes only when every member arrived, or
+    /// reports the peer that never will.
+    pub fn try_barrier(&self, group: &ProcessGroup) -> Result<(), CommError> {
         let mut token = vec![0.0f32];
         let seq = self.next_seq(group);
         let wall = self.wall_now();
@@ -339,8 +435,8 @@ impl Comm {
             seq,
             &mut token,
             ReduceOp::Sum,
-        );
-        self.charge_blocking(group, seq, CollectiveKind::Barrier, 0.0, wall);
+        )?;
+        self.charge_blocking(group, seq, CollectiveKind::Barrier, 0.0, wall)
     }
 
     /// Wall-clock timestamp for trace events (0 when not tracing).
@@ -349,9 +445,10 @@ impl Comm {
     }
 
     /// Charge virtual time for a blocking collective: synchronise clocks
-    /// across the group, add the modelled cost, and occupy the comm
-    /// stream. Records the full compute-stream stall (entry → completion)
-    /// as a blocking collective span when tracing.
+    /// across the group, add the modelled cost (plus any injected link
+    /// stall pending against this rank), and occupy the comm stream.
+    /// Records the full compute-stream stall (entry → completion) as a
+    /// blocking collective span when tracing.
     fn charge_blocking(
         &self,
         group: &ProcessGroup,
@@ -359,16 +456,18 @@ impl Comm {
         kind: CollectiveKind,
         bytes: f64,
         wall_start: u64,
-    ) {
+    ) -> Result<(), CommError> {
         if !self.shared.track_time || group.size() <= 1 {
-            return;
+            return Ok(());
         }
         let entry = self.shared.clock.lock().now;
-        let start = clock_sync(&self.shared, self.rank, group, seq, entry);
+        let start = clock_sync(&self.shared, self.rank, group, seq, entry)?;
+        let stall = self.shared.transport.take_stall(self.rank);
         let cost = self
             .shared
             .cost
-            .collective_seconds(kind, group.size(), bytes);
+            .collective_seconds(kind, group.size(), bytes)
+            + stall;
         let done = {
             let mut clock = self.shared.clock.lock();
             let begin = start.max(clock.comm_free_sync);
@@ -395,6 +494,7 @@ impl Comm {
                 },
             );
         }
+        Ok(())
     }
 }
 
@@ -405,16 +505,18 @@ pub(crate) fn clock_sync(
     group: &ProcessGroup,
     seq: u64,
     value: f64,
-) -> f64 {
+) -> Result<f64, CommError> {
     let gk = group.key();
     let pos = group.position_of(rank);
     let root = group.rank_at(0);
     if pos == 0 {
         let mut maxv = value;
         for p in 1..group.size() {
-            let v = shared
-                .transport
-                .recv(rank, group.rank_at(p), msg_key(gk, seq, lane::CLOCK_UP));
+            let v = shared.transport.recv_result(
+                rank,
+                group.rank_at(p),
+                msg_key(gk, seq, lane::CLOCK_UP),
+            )?;
             maxv = maxv.max(v[0] as f64);
         }
         for p in 1..group.size() {
@@ -425,7 +527,7 @@ pub(crate) fn clock_sync(
                 vec![maxv as f32],
             );
         }
-        maxv
+        Ok(maxv)
     } else {
         shared.transport.send(
             rank,
@@ -435,8 +537,8 @@ pub(crate) fn clock_sync(
         );
         let v = shared
             .transport
-            .recv(rank, root, msg_key(gk, seq, lane::CLOCK_DOWN));
-        v[0] as f64
+            .recv_result(rank, root, msg_key(gk, seq, lane::CLOCK_DOWN))?;
+        Ok(v[0] as f64)
     }
 }
 
@@ -448,10 +550,10 @@ pub(crate) fn ring_all_gather(
     group: &ProcessGroup,
     seq: u64,
     shard: &[f32],
-) -> Vec<f32> {
+) -> Result<Vec<f32>, CommError> {
     let g = group.size();
     if g == 1 {
-        return shard.to_vec();
+        return Ok(shard.to_vec());
     }
     let gk = group.key();
     let pos = group.position_of(rank);
@@ -469,13 +571,14 @@ pub(crate) fn ring_all_gather(
             out[send_c * chunk..(send_c + 1) * chunk].to_vec(),
         );
         let recv_c = (pos + g - s - 1) % g;
-        let data = shared
-            .transport
-            .recv(rank, prev, msg_key(gk, seq, lane::AG + s as u32));
+        let data =
+            shared
+                .transport
+                .recv_result(rank, prev, msg_key(gk, seq, lane::AG + s as u32))?;
         assert_eq!(data.len(), chunk, "all-gather shard length mismatch");
         out[recv_c * chunk..(recv_c + 1) * chunk].copy_from_slice(&data);
     }
-    out
+    Ok(out)
 }
 
 /// Ring reduce-scatter (sum) over a group. Returns the chunk owned by this
@@ -486,7 +589,7 @@ pub(crate) fn ring_reduce_scatter(
     group: &ProcessGroup,
     seq: u64,
     buf: &[f32],
-) -> Vec<f32> {
+) -> Result<Vec<f32>, CommError> {
     ring_reduce_scatter_op(shared, rank, group, seq, buf, ReduceOp::Sum)
 }
 
@@ -498,10 +601,10 @@ pub(crate) fn ring_reduce_scatter_op(
     seq: u64,
     buf: &[f32],
     op: ReduceOp,
-) -> Vec<f32> {
+) -> Result<Vec<f32>, CommError> {
     let g = group.size();
     if g == 1 {
-        return buf.to_vec();
+        return Ok(buf.to_vec());
     }
     assert_eq!(
         buf.len() % g,
@@ -526,9 +629,10 @@ pub(crate) fn ring_reduce_scatter_op(
             work[send_c * chunk..(send_c + 1) * chunk].to_vec(),
         );
         let recv_c = (pos + 2 * g - s - 2) % g;
-        let data = shared
-            .transport
-            .recv(rank, prev, msg_key(gk, seq, lane::RS + s as u32));
+        let data =
+            shared
+                .transport
+                .recv_result(rank, prev, msg_key(gk, seq, lane::RS + s as u32))?;
         assert_eq!(data.len(), chunk, "reduce-scatter chunk length mismatch");
         for (w, d) in work[recv_c * chunk..(recv_c + 1) * chunk]
             .iter_mut()
@@ -537,7 +641,7 @@ pub(crate) fn ring_reduce_scatter_op(
             *w = op.combine(*w, *d);
         }
     }
-    work[pos * chunk..(pos + 1) * chunk].to_vec()
+    Ok(work[pos * chunk..(pos + 1) * chunk].to_vec())
 }
 
 /// Ring all-reduce (sum) in place: pad to a multiple of the group size,
@@ -549,10 +653,10 @@ pub(crate) fn ring_all_reduce(
     seq: u64,
     buf: &mut [f32],
     op: ReduceOp,
-) {
+) -> Result<(), CommError> {
     let g = group.size();
     if g == 1 {
-        return;
+        return Ok(());
     }
     let n = buf.len();
     let padded = n.div_ceil(g) * g;
@@ -563,9 +667,10 @@ pub(crate) fn ring_all_reduce(
         ReduceOp::Max => f32::NEG_INFINITY,
     };
     work.resize(padded, pad);
-    let mine = ring_reduce_scatter_op(shared, rank, group, seq, &work, op);
-    let full = ring_all_gather(shared, rank, group, seq, &mine);
+    let mine = ring_reduce_scatter_op(shared, rank, group, seq, &work, op)?;
+    let full = ring_all_gather(shared, rank, group, seq, &mine)?;
     buf.copy_from_slice(&full[..n]);
+    Ok(())
 }
 
 /// Recursive-doubling all-reduce: at step `s`, exchange the whole buffer
@@ -577,10 +682,10 @@ pub(crate) fn recursive_doubling_all_reduce(
     group: &ProcessGroup,
     seq: u64,
     buf: &mut [f32],
-) {
+) -> Result<(), CommError> {
     let g = group.size();
     if g == 1 {
-        return;
+        return Ok(());
     }
     assert!(
         g.is_power_of_two(),
@@ -597,7 +702,7 @@ pub(crate) fn recursive_doubling_all_reduce(
             .send(rank, partner, msg_key(gk, seq, lane::RD + s), buf.to_vec());
         let data = shared
             .transport
-            .recv(rank, partner, msg_key(gk, seq, lane::RD + s));
+            .recv_result(rank, partner, msg_key(gk, seq, lane::RD + s))?;
         assert_eq!(data.len(), buf.len(), "recursive-doubling length mismatch");
         for (b, d) in buf.iter_mut().zip(&data) {
             *b += d;
@@ -605,6 +710,7 @@ pub(crate) fn recursive_doubling_all_reduce(
         stride <<= 1;
         s += 1;
     }
+    Ok(())
 }
 
 /// Broadcast from group position `root_pos` around the ring (pipelined as
@@ -616,10 +722,10 @@ pub(crate) fn ring_broadcast(
     seq: u64,
     root_pos: usize,
     buf: &mut [f32],
-) {
+) -> Result<(), CommError> {
     let g = group.size();
     if g == 1 {
-        return;
+        return Ok(());
     }
     let gk = group.key();
     let pos = group.position_of(rank);
@@ -635,12 +741,13 @@ pub(crate) fn ring_broadcast(
             }
         }
     } else {
-        let data = shared.transport.recv(
+        let data = shared.transport.recv_result(
             rank,
             group.rank_at(root_pos),
             msg_key(gk, seq, lane::BCAST + pos as u32),
-        );
+        )?;
         assert_eq!(data.len(), buf.len(), "broadcast length mismatch");
         buf.copy_from_slice(&data);
     }
+    Ok(())
 }

@@ -18,12 +18,17 @@
 
 pub mod comm;
 pub mod cost;
+pub mod fault;
 pub mod group;
 pub mod mailbox;
 pub mod nonblocking;
 
 pub use comm::{Comm, CommWorld, ReduceOp};
 pub use cost::{CollectiveKind, CostModel, NullCost, RingCostModel};
+pub use fault::{
+    CommError, DropRule, FailureKind, FailureRecord, FaultConfig, InjectedKill, StallRule,
+    DEFAULT_RECV_TIMEOUT,
+};
 pub use group::ProcessGroup;
 pub use mailbox::PoisonInfo;
 pub use nonblocking::{AsyncHandle, AsyncOp};

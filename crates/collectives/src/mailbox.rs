@@ -8,10 +8,18 @@
 //! collectives between the same rank pairs concurrently without
 //! interleaving corruption — the property the overlap optimizations rely
 //! on.
+//!
+//! The transport is also the fault boundary: ranks can be marked dead
+//! (receivers waiting on them get [`CommError::PeerLost`] instead of
+//! hanging), every blocking receive is bounded by a timeout, and a
+//! [`FaultConfig`] can deterministically drop or stall point-to-point
+//! messages for fault-injection tests.
 
+use crate::fault::{CommError, FaultConfig, DEFAULT_RECV_TIMEOUT};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Message key: identifies which logical transfer a buffer belongs to.
 /// Built from (group key, per-group sequence number, step within the
@@ -36,14 +44,20 @@ pub struct Mailbox {
     signal: Condvar,
     /// World-wide poison flag, shared by every mailbox of a transport.
     poison: Arc<Mutex<Option<PoisonInfo>>>,
+    /// World-wide dead-rank registry (rank → reason), shared likewise.
+    dead: Arc<Mutex<HashMap<usize, String>>>,
 }
 
 impl Mailbox {
-    fn new(poison: Arc<Mutex<Option<PoisonInfo>>>) -> Self {
+    fn new(
+        poison: Arc<Mutex<Option<PoisonInfo>>>,
+        dead: Arc<Mutex<HashMap<usize, String>>>,
+    ) -> Self {
         Mailbox {
             slot: Mutex::new(Slot::default()),
             signal: Condvar::new(),
             poison,
+            dead,
         }
     }
 
@@ -53,42 +67,84 @@ impl Mailbox {
         self.signal.notify_all();
     }
 
-    fn take(&self, from: usize, key: MsgKey) -> Vec<f32> {
+    fn take(&self, from: usize, key: MsgKey, timeout: Duration) -> Result<Vec<f32>, CommError> {
+        let deadline = Instant::now() + timeout;
         let mut slot = self.slot.lock();
         loop {
             if let Some(info) = self.poison.lock().clone() {
-                panic!(
-                    "world poisoned: rank {} panicked: {}",
-                    info.origin_rank, info.message
-                );
+                return Err(CommError::Poisoned(info));
             }
+            // Drain queued messages before consulting the dead set: a
+            // rank may die *after* sending, and those bytes are valid.
             if let Some(q) = slot.queues.get_mut(&(from, key)) {
                 if let Some(data) = q.pop_front() {
                     if q.is_empty() {
                         slot.queues.remove(&(from, key));
                     }
-                    return data;
+                    return Ok(data);
                 }
             }
-            self.signal.wait(&mut slot);
+            if let Some(reason) = self.dead.lock().get(&from).cloned() {
+                return Err(CommError::PeerLost {
+                    peer: from,
+                    detail: reason,
+                });
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(CommError::PeerLost {
+                    peer: from,
+                    detail: format!("recv timed out after {timeout:?}"),
+                });
+            }
+            self.signal.wait_for(&mut slot, deadline - now);
         }
     }
+}
+
+/// Consumable fault-injection state (rules are spent as they fire).
+#[derive(Default)]
+struct FaultRuntime {
+    drops: Vec<crate::fault::DropRule>,
+    stalls: Vec<crate::fault::StallRule>,
+    /// Messages sent per (src, dst) link, counted before drop decisions.
+    link_counts: HashMap<(usize, usize), u64>,
 }
 
 /// The transport shared by all ranks of a world.
 pub struct Transport {
     boxes: Vec<Mailbox>,
     poison: Arc<Mutex<Option<PoisonInfo>>>,
+    dead: Arc<Mutex<HashMap<usize, String>>>,
+    faults: Mutex<FaultRuntime>,
+    /// Virtual seconds of injected link stall awaiting consumption by
+    /// each rank's next blocking collective (timed worlds).
+    pending_stall: Vec<Mutex<f64>>,
+    recv_timeout: Duration,
 }
 
 impl Transport {
     pub fn new(world_size: usize) -> Arc<Self> {
+        Self::with_faults(world_size, FaultConfig::none())
+    }
+
+    /// A transport with deterministic fault injection installed.
+    pub fn with_faults(world_size: usize, config: FaultConfig) -> Arc<Self> {
         let poison = Arc::new(Mutex::new(None));
+        let dead = Arc::new(Mutex::new(HashMap::new()));
         Arc::new(Transport {
             boxes: (0..world_size)
-                .map(|_| Mailbox::new(poison.clone()))
+                .map(|_| Mailbox::new(poison.clone(), dead.clone()))
                 .collect(),
             poison,
+            dead,
+            faults: Mutex::new(FaultRuntime {
+                drops: config.drops,
+                stalls: config.stalls,
+                link_counts: HashMap::new(),
+            }),
+            pending_stall: (0..world_size).map(|_| Mutex::new(0.0)).collect(),
+            recv_timeout: config.recv_timeout.unwrap_or(DEFAULT_RECV_TIMEOUT),
         })
     }
 
@@ -111,12 +167,7 @@ impl Transport {
                 message,
             });
         }
-        for mb in &self.boxes {
-            // Touch each mailbox lock so sleeping receivers observe the
-            // flag, then wake them.
-            drop(mb.slot.lock());
-            mb.signal.notify_all();
-        }
+        self.wake_all();
     }
 
     /// The first recorded failure, if the world was poisoned.
@@ -135,23 +186,99 @@ impl Transport {
         }
     }
 
+    /// Declare `rank` dead without killing the world: receivers blocked
+    /// on it (now or later) get [`CommError::PeerLost`] while traffic
+    /// between surviving ranks continues. This is the recoverable
+    /// counterpart of [`poison`](Self::poison) — the supervisor marks
+    /// failed ranks dead so the remaining ranks drain out with typed
+    /// errors instead of a world-wide panic.
+    pub fn mark_dead(&self, rank: usize, reason: &str) {
+        self.dead.lock().insert(rank, reason.to_string());
+        self.wake_all();
+    }
+
+    /// True if `rank` has been marked dead.
+    pub fn is_dead(&self, rank: usize) -> bool {
+        self.dead.lock().contains_key(&rank)
+    }
+
+    /// Ranks currently marked dead, with reasons.
+    pub fn dead_ranks(&self) -> Vec<(usize, String)> {
+        let mut v: Vec<(usize, String)> = self
+            .dead
+            .lock()
+            .iter()
+            .map(|(r, m)| (*r, m.clone()))
+            .collect();
+        v.sort_by_key(|(r, _)| *r);
+        v
+    }
+
+    fn wake_all(&self) {
+        for mb in &self.boxes {
+            // Touch each mailbox lock so sleeping receivers observe the
+            // flag, then wake them.
+            drop(mb.slot.lock());
+            mb.signal.notify_all();
+        }
+    }
+
     /// Deliver `data` to `dst`'s mailbox under `key`, stamped with the
-    /// sender's rank. Never blocks.
+    /// sender's rank. Never blocks. Subject to injected drop/stall rules.
     pub fn send(&self, src: usize, dst: usize, key: MsgKey, data: Vec<f32>) {
         debug_assert!(dst < self.boxes.len(), "send to rank {dst} out of world");
+        {
+            let mut faults = self.faults.lock();
+            let count = faults.link_counts.entry((src, dst)).or_insert(0);
+            *count += 1;
+            let n = *count;
+            if let Some(i) = faults
+                .drops
+                .iter()
+                .position(|r| r.src == src && r.dst == dst && r.nth == n)
+            {
+                faults.drops.remove(i);
+                return; // the message is lost on the wire
+            }
+            if let Some(i) = faults
+                .stalls
+                .iter()
+                .position(|r| r.src == src && r.dst == dst)
+            {
+                let rule = faults.stalls.remove(i);
+                *self.pending_stall[dst].lock() += rule.seconds;
+            }
+        }
         self.boxes[dst].deposit(src, key, data);
     }
 
     /// Block until a message from `src` with `key` arrives at `dst`.
+    ///
+    /// # Panics
+    /// On poison (legacy message format) or lost peer; the fallible
+    /// variant is [`recv_result`](Self::recv_result).
     pub fn recv(&self, dst: usize, src: usize, key: MsgKey) -> Vec<f32> {
+        crate::fault::unwrap_comm(self.recv_result(dst, src, key))
+    }
+
+    /// Block until a message from `src` with `key` arrives at `dst`, or
+    /// until `src` is known dead / the recv timeout expires.
+    pub fn recv_result(&self, dst: usize, src: usize, key: MsgKey) -> Result<Vec<f32>, CommError> {
         debug_assert!(dst < self.boxes.len(), "recv at rank {dst} out of world");
-        self.boxes[dst].take(src, key)
+        self.boxes[dst].take(src, key, self.recv_timeout)
+    }
+
+    /// Consume the virtual stall seconds accumulated against `rank` by
+    /// injected link stalls (returns 0.0 when none are pending).
+    pub fn take_stall(&self, rank: usize) -> f64 {
+        std::mem::take(&mut *self.pending_stall[rank].lock())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{DropRule, StallRule};
     use std::thread;
 
     #[test]
@@ -215,6 +342,99 @@ mod tests {
         // First poisoner wins.
         t.poison(1, "later".to_string());
         assert_eq!(t.poison_info().unwrap().origin_rank, 0);
+    }
+
+    #[test]
+    fn mark_dead_wakes_blocked_receiver_with_peer_lost() {
+        let t = Transport::new(2);
+        let t2 = t.clone();
+        let h = thread::spawn(move || t2.recv_result(1, 0, 9));
+        thread::sleep(std::time::Duration::from_millis(20));
+        t.mark_dead(0, "injected kill");
+        let err = h.join().unwrap().expect_err("recv from dead peer");
+        assert_eq!(
+            err,
+            CommError::PeerLost {
+                peer: 0,
+                detail: "injected kill".into()
+            }
+        );
+        assert!(t.is_dead(0));
+        assert_eq!(t.dead_ranks(), vec![(0, "injected kill".to_string())]);
+        // Survivor-to-survivor traffic is unaffected.
+        t.send(1, 1, 3, vec![4.0]);
+        assert_eq!(t.recv(1, 1, 3), vec![4.0]);
+    }
+
+    #[test]
+    fn messages_sent_before_death_remain_receivable() {
+        let t = Transport::new(2);
+        t.send(0, 1, 5, vec![1.0]);
+        t.mark_dead(0, "late");
+        assert_eq!(t.recv_result(1, 0, 5).unwrap(), vec![1.0]);
+        assert!(matches!(
+            t.recv_result(1, 0, 5),
+            Err(CommError::PeerLost { peer: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn recv_times_out_as_peer_lost() {
+        let t = Transport::with_faults(
+            2,
+            FaultConfig::none().with_recv_timeout(Duration::from_millis(30)),
+        );
+        let start = Instant::now();
+        let err = t.recv_result(1, 0, 9).expect_err("must time out");
+        assert!(start.elapsed() >= Duration::from_millis(25));
+        match err {
+            CommError::PeerLost { peer, detail } => {
+                assert_eq!(peer, 0);
+                assert!(detail.contains("timed out"), "detail: {detail}");
+            }
+            other => panic!("expected PeerLost, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn injected_drop_loses_exactly_one_message() {
+        let t = Transport::with_faults(
+            2,
+            FaultConfig::none()
+                .with_drop(DropRule {
+                    src: 0,
+                    dst: 1,
+                    nth: 2,
+                })
+                .with_recv_timeout(Duration::from_millis(30)),
+        );
+        t.send(0, 1, 1, vec![1.0]); // 1st: delivered
+        t.send(0, 1, 2, vec![2.0]); // 2nd: dropped
+        t.send(0, 1, 3, vec![3.0]); // 3rd: delivered
+        assert_eq!(t.recv(1, 0, 1), vec![1.0]);
+        assert_eq!(t.recv(1, 0, 3), vec![3.0]);
+        assert!(matches!(
+            t.recv_result(1, 0, 2),
+            Err(CommError::PeerLost { peer: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn injected_stall_accrues_to_receiver() {
+        let t = Transport::with_faults(
+            2,
+            FaultConfig::none().with_stall(StallRule {
+                src: 0,
+                dst: 1,
+                seconds: 2.5,
+            }),
+        );
+        assert_eq!(t.take_stall(1), 0.0);
+        t.send(0, 1, 1, vec![1.0]);
+        t.send(0, 1, 2, vec![2.0]); // rule already consumed
+        assert_eq!(t.take_stall(1), 2.5);
+        assert_eq!(t.take_stall(1), 0.0);
+        assert_eq!(t.take_stall(0), 0.0);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 
 use crate::comm::{clock_sync, coll_op, Comm, CommShared};
 use crate::cost::CollectiveKind;
+use crate::fault::{unwrap_comm, CommError};
 use crate::group::ProcessGroup;
 use axonn_trace::{EventDetail, Stream};
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -45,12 +46,13 @@ pub(crate) struct Job {
     /// Layer scope at issue time, stamped onto the execution span so
     /// overlap reports attribute hidden time to the issuing layer.
     layer: Option<usize>,
-    reply: Sender<(Vec<f32>, f64)>,
+    reply: Sender<Result<(Vec<f32>, f64), CommError>>,
 }
 
 /// Handle to an in-flight asynchronous collective.
 pub struct AsyncHandle {
-    rx: Receiver<(Vec<f32>, f64)>,
+    rx: Receiver<Result<(Vec<f32>, f64), CommError>>,
+    rank: usize,
     shared: Arc<CommShared>,
     kind: CollectiveKind,
     seq: u64,
@@ -61,16 +63,36 @@ impl AsyncHandle {
     /// Block until the collective completes; returns its result buffer.
     /// Advances the rank's virtual clock to the operation's completion
     /// time if it finished later than the compute stream.
+    ///
+    /// # Panics
+    /// On a poisoned world (legacy message format) or a lost peer; the
+    /// fallible variant is [`try_wait`](Self::try_wait).
     pub fn wait(self) -> Vec<f32> {
-        self.shared.transport.check_poison();
-        let recv = self.rx.recv();
-        if recv.is_err() {
-            // The worker died; if the world was poisoned, report the
-            // original failure rather than the secondary symptom.
-            self.shared.transport.check_poison();
+        unwrap_comm(self.try_wait())
+    }
+
+    /// Block until the collective completes or its ring path fails with
+    /// a typed [`CommError`].
+    pub fn try_wait(self) -> Result<Vec<f32>, CommError> {
+        if let Some(info) = self.shared.transport.poison_info() {
+            return Err(CommError::Poisoned(info));
         }
-        let (result, completion) =
-            recv.expect("async collective worker terminated before completing");
+        let recv = self.rx.recv();
+        let (result, completion) = match recv {
+            Ok(Ok(pair)) => pair,
+            Ok(Err(e)) => return Err(e),
+            Err(_) => {
+                // The worker died; if the world was poisoned, report the
+                // original failure rather than the secondary symptom.
+                return Err(match self.shared.transport.poison_info() {
+                    Some(info) => CommError::Poisoned(info),
+                    None => CommError::PeerLost {
+                        peer: self.rank,
+                        detail: "async collective worker terminated before completing".into(),
+                    },
+                });
+            }
+        };
         if self.shared.track_time {
             let (gap_start, gap_end) = {
                 let mut clock = self.shared.clock.lock();
@@ -94,7 +116,7 @@ impl AsyncHandle {
                 );
             }
         }
-        result
+        Ok(result)
     }
 
     /// True if the collective already finished (never blocks).
@@ -152,6 +174,7 @@ impl Comm {
             .expect("async worker terminated");
         AsyncHandle {
             rx: reply_rx,
+            rank: self.rank(),
             shared: self.shared.clone(),
             kind,
             seq,
@@ -201,66 +224,70 @@ fn run_job(rank: usize, shared: &Arc<CommShared>, job: Job) {
     } = job;
     let kind = op.kind();
     let wall_start = shared.tracer.as_ref().map(|t| t.now_ns()).unwrap_or(0);
-    let bytes;
-    let result = match op {
-        AsyncOp::AllReduce(mut buf) => {
-            bytes = (buf.len() * 4) as f64;
-            crate::comm::ring_all_reduce(
-                shared,
-                rank,
-                &group,
-                seq,
-                &mut buf,
-                crate::comm::ReduceOp::Sum,
-            );
-            buf
-        }
-        AsyncOp::ReduceScatter(buf) => {
-            bytes = (buf.len() * 4) as f64;
-            crate::comm::ring_reduce_scatter(shared, rank, &group, seq, &buf)
-        }
-        AsyncOp::AllGather(shard) => {
-            bytes = (shard.len() * group.size() * 4) as f64;
-            crate::comm::ring_all_gather(shared, rank, &group, seq, &shard)
-        }
-    };
-    let completion = if shared.track_time && group.size() > 1 {
-        // The collective can start once every member has issued it and
-        // this rank's comm stream is free; it then runs for its modelled
-        // duration without blocking the compute stream.
-        let start = clock_sync(shared, rank, &group, seq, issue_clock);
-        let cost = shared.cost.collective_seconds(kind, group.size(), bytes);
-        let (begin, done) = {
-            let mut clock = shared.clock.lock();
-            let begin = start.max(clock.comm_free_async);
-            let done = begin + cost;
-            clock.comm_free_async = done;
-            (begin, done)
-        };
-        if let Some(tracer) = &shared.tracer {
-            tracer.record(
-                Stream::Comm,
-                begin,
-                done,
-                wall_start,
-                tracer.now_ns(),
-                layer,
-                EventDetail::Collective {
-                    op: coll_op(kind),
-                    group_size: group.size(),
-                    bytes: bytes as u64,
+    let outcome = (|| -> Result<(Vec<f32>, f64), CommError> {
+        let bytes;
+        let result = match op {
+            AsyncOp::AllReduce(mut buf) => {
+                bytes = (buf.len() * 4) as f64;
+                crate::comm::ring_all_reduce(
+                    shared,
+                    rank,
+                    &group,
                     seq,
-                    blocking: false,
-                    op_seconds: cost,
-                },
-            );
-        }
-        done
-    } else {
-        issue_clock
-    };
+                    &mut buf,
+                    crate::comm::ReduceOp::Sum,
+                )?;
+                buf
+            }
+            AsyncOp::ReduceScatter(buf) => {
+                bytes = (buf.len() * 4) as f64;
+                crate::comm::ring_reduce_scatter(shared, rank, &group, seq, &buf)?
+            }
+            AsyncOp::AllGather(shard) => {
+                bytes = (shard.len() * group.size() * 4) as f64;
+                crate::comm::ring_all_gather(shared, rank, &group, seq, &shard)?
+            }
+        };
+        let completion = if shared.track_time && group.size() > 1 {
+            // The collective can start once every member has issued it and
+            // this rank's comm stream is free; it then runs for its modelled
+            // duration without blocking the compute stream.
+            let start = clock_sync(shared, rank, &group, seq, issue_clock)?;
+            let stall = shared.transport.take_stall(rank);
+            let cost = shared.cost.collective_seconds(kind, group.size(), bytes) + stall;
+            let (begin, done) = {
+                let mut clock = shared.clock.lock();
+                let begin = start.max(clock.comm_free_async);
+                let done = begin + cost;
+                clock.comm_free_async = done;
+                (begin, done)
+            };
+            if let Some(tracer) = &shared.tracer {
+                tracer.record(
+                    Stream::Comm,
+                    begin,
+                    done,
+                    wall_start,
+                    tracer.now_ns(),
+                    layer,
+                    EventDetail::Collective {
+                        op: coll_op(kind),
+                        group_size: group.size(),
+                        bytes: bytes as u64,
+                        seq,
+                        blocking: false,
+                        op_seconds: cost,
+                    },
+                );
+            }
+            done
+        } else {
+            issue_clock
+        };
+        Ok((result, completion))
+    })();
     // Receiver may have been dropped (fire-and-forget); that's fine.
-    let _ = reply.send((result, completion));
+    let _ = reply.send(outcome);
 }
 
 #[cfg(test)]

@@ -399,6 +399,39 @@ impl Network4d {
             .collect()
     }
 
+    /// This rank's local weight shards, one per layer, exactly as laid
+    /// out by the grid (x/y tile, z-shard) — the unit of grid-sharded
+    /// checkpointing in `axonn-ft`.
+    pub fn weight_shards(&self) -> Vec<&Matrix> {
+        self.layers.iter().map(|l| l.weight_shard()).collect()
+    }
+
+    /// Replace every layer's weights from full (global) matrices — the
+    /// restore path of checkpoint/resume. Each matrix must match its
+    /// layer's global `k × n` shape; slicing reuses the exact
+    /// construction-time layout, so a restore is a pure copy
+    /// (bit-identical weights on every rank). Gradient shards and layer
+    /// caches are reset; call only at a step boundary.
+    pub fn load_full_weights(&mut self, full: &[Matrix]) {
+        assert_eq!(
+            full.len(),
+            self.layers.len(),
+            "restore has {} layers, network has {}",
+            full.len(),
+            self.layers.len()
+        );
+        for (layer, w) in self.layers.iter_mut().zip(full) {
+            assert_eq!(
+                (layer.k, layer.n),
+                w.shape(),
+                "layer {} restore shape mismatch",
+                layer.layer_id
+            );
+            *layer =
+                ParallelLinear::from_full_weight(&self.grid, layer.layer_id, w, layer.transposed);
+        }
+    }
+
     /// Number of layers whose dŴ kernel the tuner has locked in.
     pub fn tuned_layers(&self) -> usize {
         self.tuner.tuned_layers()

@@ -12,6 +12,12 @@
 //! this, a panic on rank `k` while other ranks sit in a ring collective
 //! would deadlock the join loop.
 
+pub mod supervise;
+
+pub use supervise::{
+    run_spmd_fallible, run_spmd_supervised, AttemptSpec, RecoveryLog, SupervisedRun, WorldFailure,
+};
+
 use axonn_collectives::{Comm, CommWorld, CostModel};
 use axonn_trace::RankTrace;
 use std::panic::AssertUnwindSafe;

@@ -1,0 +1,520 @@
+//! Grid-sharded checkpoints: each rank serializes exactly its own weight
+//! shards; rank 0 writes a manifest describing the grid, step, seed and
+//! per-shard checksums; the loader verifies every checksum and can
+//! reassemble the full parameters to reshard for a *different* legal
+//! grid (elastic resume).
+//!
+//! On-disk layout under the store directory:
+//!
+//! ```text
+//! <dir>/step-00000004/shard-r0000.json   one file per rank
+//! <dir>/step-00000004/manifest.json      written last, by rank 0
+//! ```
+//!
+//! The manifest is written via temp-file + rename after every shard file
+//! exists, so a `manifest.json` that parses implies a complete
+//! checkpoint; a crash mid-save leaves a step directory without a
+//! manifest, which [`CheckpointStore::latest_step`] simply skips.
+
+use crate::layout::{assemble_layer, layer_transposed};
+use axonn_collectives::{Comm, ProcessGroup};
+use axonn_perfmodel::Grid4d;
+use axonn_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+pub const MANIFEST_MAGIC: &str = "axonn-ft-checkpoint";
+pub const MANIFEST_VERSION: u64 = 1;
+pub const SHARD_MAGIC: &str = "axonn-ft-shard";
+
+/// Why a checkpoint could not be written or read back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CkptError {
+    /// Filesystem-level failure (missing file, unwritable directory…).
+    Io(String),
+    /// The bytes were there but wrong: parse failure, bad magic/version,
+    /// checksum mismatch, shape mismatch.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for CkptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CkptError::Io(m) => write!(f, "checkpoint io error: {m}"),
+            CkptError::Corrupt(m) => write!(f, "corrupt checkpoint: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CkptError {}
+
+/// One rank's entry in the manifest: its grid coordinates and the
+/// FNV-1a64 digest of each layer shard it wrote (hex, since the vendored
+/// JSON layer keeps integers in f64 range).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShardEntry {
+    pub rank: u64,
+    pub x: u64,
+    pub y: u64,
+    pub z: u64,
+    pub d: u64,
+    pub layer_checksums: Vec<String>,
+}
+
+/// The checkpoint manifest, written last by rank 0. Its existence (and
+/// parseability) is the commit point of a save.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Manifest {
+    pub magic: String,
+    pub version: u64,
+    /// Steps completed when the snapshot was taken: resuming replays
+    /// steps `step..total`.
+    pub step: u64,
+    pub seed: u64,
+    pub gx: u64,
+    pub gy: u64,
+    pub gz: u64,
+    pub gd: u64,
+    pub dims: Vec<u64>,
+    pub batch_rows: u64,
+    pub shards: Vec<ShardEntry>,
+}
+
+impl Manifest {
+    pub fn grid(&self) -> Grid4d {
+        Grid4d::new(
+            self.gx as usize,
+            self.gy as usize,
+            self.gz as usize,
+            self.gd as usize,
+        )
+    }
+
+    pub fn dims_usize(&self) -> Vec<usize> {
+        self.dims.iter().map(|&d| d as usize).collect()
+    }
+}
+
+/// One rank's shard file: its weight shards for every layer, in layer
+/// order, exactly as laid out by the grid.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShardFile {
+    pub magic: String,
+    pub rank: u64,
+    pub step: u64,
+    pub layers: Vec<Matrix>,
+}
+
+/// A directory of step checkpoints.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+}
+
+impl CheckpointStore {
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        CheckpointStore { dir: dir.into() }
+    }
+
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    pub fn step_dir(&self, step: u64) -> PathBuf {
+        self.dir.join(format!("step-{step:08}"))
+    }
+
+    pub fn shard_path(&self, step: u64, rank: usize) -> PathBuf {
+        self.step_dir(step).join(format!("shard-r{rank:04}.json"))
+    }
+
+    pub fn manifest_path(&self, step: u64) -> PathBuf {
+        self.step_dir(step).join("manifest.json")
+    }
+
+    /// Write one rank's shard file (temp + rename). Returns the FNV-1a64
+    /// digest of each layer shard, in layer order.
+    pub fn save_shard(
+        &self,
+        step: u64,
+        rank: usize,
+        layers: &[&Matrix],
+    ) -> Result<Vec<u64>, CkptError> {
+        let dir = self.step_dir(step);
+        std::fs::create_dir_all(&dir).map_err(|e| CkptError::Io(format!("mkdir {dir:?}: {e}")))?;
+        let checksums: Vec<u64> = layers.iter().map(|m| m.fnv1a64()).collect();
+        let file = ShardFile {
+            magic: SHARD_MAGIC.to_string(),
+            rank: rank as u64,
+            step,
+            layers: layers.iter().map(|&m| m.clone()).collect(),
+        };
+        write_json_atomic(&self.shard_path(step, rank), &file)?;
+        Ok(checksums)
+    }
+
+    /// Write the manifest (temp + rename) — the commit point of the save.
+    pub fn save_manifest(&self, manifest: &Manifest) -> Result<(), CkptError> {
+        write_json_atomic(&self.manifest_path(manifest.step), manifest)
+    }
+
+    /// Read and validate the manifest of a step.
+    pub fn manifest(&self, step: u64) -> Result<Manifest, CkptError> {
+        let path = self.manifest_path(step);
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| CkptError::Io(format!("read {path:?}: {e}")))?;
+        let m: Manifest = serde_json::from_str(&text)
+            .map_err(|e| CkptError::Corrupt(format!("{path:?}: {e}")))?;
+        if m.magic != MANIFEST_MAGIC {
+            return Err(CkptError::Corrupt(format!(
+                "{path:?}: bad magic {:?}",
+                m.magic
+            )));
+        }
+        if m.version != MANIFEST_VERSION {
+            return Err(CkptError::Corrupt(format!(
+                "{path:?}: unsupported version {}",
+                m.version
+            )));
+        }
+        if m.shards.len() != m.grid().gpus() {
+            return Err(CkptError::Corrupt(format!(
+                "{path:?}: {} shard entries for a {} grid",
+                m.shards.len(),
+                m.grid()
+            )));
+        }
+        Ok(m)
+    }
+
+    /// The highest step with a complete (manifest-committed, parseable)
+    /// checkpoint, if any. Step directories without a valid manifest —
+    /// crashed mid-save — are skipped.
+    pub fn latest_step(&self) -> Option<u64> {
+        let entries = std::fs::read_dir(&self.dir).ok()?;
+        let mut steps: Vec<u64> = entries
+            .filter_map(|e| {
+                let name = e.ok()?.file_name().into_string().ok()?;
+                let step: u64 = name.strip_prefix("step-")?.parse().ok()?;
+                self.manifest(step).ok().map(|_| step)
+            })
+            .collect();
+        steps.sort_unstable();
+        steps.pop()
+    }
+
+    /// Read one rank's shard file and verify it against the manifest:
+    /// magic, rank, step, layer count and every layer checksum.
+    pub fn load_shard(&self, manifest: &Manifest, rank: usize) -> Result<ShardFile, CkptError> {
+        let path = self.shard_path(manifest.step, rank);
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| CkptError::Io(format!("read {path:?}: {e}")))?;
+        let shard: ShardFile = serde_json::from_str(&text)
+            .map_err(|e| CkptError::Corrupt(format!("{path:?}: {e}")))?;
+        if shard.magic != SHARD_MAGIC {
+            return Err(CkptError::Corrupt(format!(
+                "{path:?}: bad magic {:?}",
+                shard.magic
+            )));
+        }
+        if shard.rank != rank as u64 || shard.step != manifest.step {
+            return Err(CkptError::Corrupt(format!(
+                "{path:?}: header says rank {} step {}, expected rank {rank} step {}",
+                shard.rank, shard.step, manifest.step
+            )));
+        }
+        let entry = &manifest.shards[rank];
+        if shard.layers.len() != entry.layer_checksums.len() {
+            return Err(CkptError::Corrupt(format!(
+                "{path:?}: {} layers, manifest lists {}",
+                shard.layers.len(),
+                entry.layer_checksums.len()
+            )));
+        }
+        for (i, (m, want_hex)) in shard.layers.iter().zip(&entry.layer_checksums).enumerate() {
+            let want = u64::from_str_radix(want_hex, 16).map_err(|e| {
+                CkptError::Corrupt(format!("{path:?}: layer {i} checksum {want_hex:?}: {e}"))
+            })?;
+            let got = m.fnv1a64();
+            if got != want {
+                return Err(CkptError::Corrupt(format!(
+                    "{path:?}: layer {i} checksum mismatch (stored {want:016x}, recomputed {got:016x})"
+                )));
+            }
+        }
+        Ok(shard)
+    }
+
+    /// Reassemble every layer's *full* weight from the `d = 0` shards of
+    /// the grid that wrote the checkpoint, verifying all checksums. The
+    /// result can be re-sliced for any legal grid — same or different.
+    pub fn load_full_layers(&self, manifest: &Manifest) -> Result<Vec<Matrix>, CkptError> {
+        let grid = manifest.grid();
+        let dims = manifest.dims_usize();
+        if dims.len() < 2 {
+            return Err(CkptError::Corrupt(format!(
+                "manifest dims {dims:?}: need at least one layer"
+            )));
+        }
+        // Read (and verify) each d=0 rank's shard file once.
+        let mut shards: Vec<Option<ShardFile>> = vec![None; grid.gpus()];
+        for (rank, slot) in shards.iter_mut().enumerate() {
+            let (_, _, _, d) = grid.coords_of(rank);
+            if d == 0 {
+                *slot = Some(self.load_shard(manifest, rank)?);
+            }
+        }
+        let n_layers = dims.len() - 1;
+        let mut full = Vec::with_capacity(n_layers);
+        for layer in 0..n_layers {
+            let w = assemble_layer(&grid, layer_transposed(layer), |rank| {
+                shards[rank].as_ref().expect("d=0 shard loaded").layers[layer].clone()
+            });
+            if w.shape() != (dims[layer], dims[layer + 1]) {
+                return Err(CkptError::Corrupt(format!(
+                    "layer {layer}: assembled shape {:?}, manifest dims say {:?}",
+                    w.shape(),
+                    (dims[layer], dims[layer + 1])
+                )));
+            }
+            full.push(w);
+        }
+        Ok(full)
+    }
+}
+
+fn write_json_atomic<T: Serialize>(path: &Path, value: &T) -> Result<(), CkptError> {
+    let text =
+        serde_json::to_string(value).map_err(|e| CkptError::Corrupt(format!("serialize: {e}")))?;
+    let tmp = path.with_extension("json.tmp");
+    std::fs::write(&tmp, text).map_err(|e| CkptError::Io(format!("write {tmp:?}: {e}")))?;
+    std::fs::rename(&tmp, path).map_err(|e| CkptError::Io(format!("rename to {path:?}: {e}")))?;
+    Ok(())
+}
+
+/// Split a u64 digest into two f32 bit-patterns so checksums can ride a
+/// float all-gather losslessly (no arithmetic ever touches them).
+fn digest_to_f32s(c: u64) -> [f32; 2] {
+    [
+        f32::from_bits((c >> 32) as u32),
+        f32::from_bits((c & 0xffff_ffff) as u32),
+    ]
+}
+
+fn digest_from_f32s(hi: f32, lo: f32) -> u64 {
+    ((hi.to_bits() as u64) << 32) | lo.to_bits() as u64
+}
+
+/// Collective checkpoint save: every rank writes its own shard file,
+/// checksums are all-gathered, rank 0 writes the manifest, and a final
+/// world barrier guarantees the manifest is durable before any rank
+/// takes another step (rank 0 enters the barrier only after the rename).
+#[allow(clippy::too_many_arguments)]
+pub fn save_checkpoint(
+    comm: &Comm,
+    grid: &Grid4d,
+    store: &CheckpointStore,
+    step: u64,
+    seed: u64,
+    dims: &[usize],
+    batch_rows: usize,
+    shards: &[&Matrix],
+) -> Result<(), CkptError> {
+    assert_eq!(comm.world_size(), grid.gpus(), "comm world must match grid");
+    let rank = comm.rank();
+    let checksums = store.save_shard(step, rank, shards)?;
+    let flat: Vec<f32> = checksums.iter().flat_map(|&c| digest_to_f32s(c)).collect();
+    let world = ProcessGroup::new((0..comm.world_size()).collect());
+    let all = comm.all_gather(&world, &flat);
+    if rank == 0 {
+        let per = flat.len();
+        let entries = (0..comm.world_size())
+            .map(|r| {
+                let (x, y, z, d) = grid.coords_of(r);
+                let base = r * per;
+                ShardEntry {
+                    rank: r as u64,
+                    x: x as u64,
+                    y: y as u64,
+                    z: z as u64,
+                    d: d as u64,
+                    layer_checksums: (0..shards.len())
+                        .map(|l| {
+                            let c = digest_from_f32s(all[base + 2 * l], all[base + 2 * l + 1]);
+                            format!("{c:016x}")
+                        })
+                        .collect(),
+                }
+            })
+            .collect();
+        store.save_manifest(&Manifest {
+            magic: MANIFEST_MAGIC.to_string(),
+            version: MANIFEST_VERSION,
+            step,
+            seed,
+            gx: grid.gx as u64,
+            gy: grid.gy as u64,
+            gz: grid.gz as u64,
+            gd: grid.gd as u64,
+            dims: dims.iter().map(|&d| d as u64).collect(),
+            batch_rows: batch_rows as u64,
+            shards: entries,
+        })?;
+    }
+    comm.barrier(&world);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::shard_layer;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("axonn_ft_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn write_full_checkpoint(
+        store: &CheckpointStore,
+        grid: &Grid4d,
+        dims: &[usize],
+        step: u64,
+    ) -> Vec<Matrix> {
+        let full: Vec<Matrix> = (0..dims.len() - 1)
+            .map(|i| Matrix::random(dims[i], dims[i + 1], 1.0, 42 + i as u64))
+            .collect();
+        let mut entries = Vec::new();
+        for rank in 0..grid.gpus() {
+            let shards: Vec<Matrix> = full
+                .iter()
+                .enumerate()
+                .map(|(i, w)| shard_layer(w, grid, rank, layer_transposed(i)))
+                .collect();
+            let refs: Vec<&Matrix> = shards.iter().collect();
+            let sums = store.save_shard(step, rank, &refs).unwrap();
+            let (x, y, z, d) = grid.coords_of(rank);
+            entries.push(ShardEntry {
+                rank: rank as u64,
+                x: x as u64,
+                y: y as u64,
+                z: z as u64,
+                d: d as u64,
+                layer_checksums: sums.iter().map(|c| format!("{c:016x}")).collect(),
+            });
+        }
+        store
+            .save_manifest(&Manifest {
+                magic: MANIFEST_MAGIC.to_string(),
+                version: MANIFEST_VERSION,
+                step,
+                seed: 1,
+                gx: grid.gx as u64,
+                gy: grid.gy as u64,
+                gz: grid.gz as u64,
+                gd: grid.gd as u64,
+                dims: dims.iter().map(|&d| d as u64).collect(),
+                batch_rows: 4,
+                shards: entries,
+            })
+            .unwrap();
+        full
+    }
+
+    #[test]
+    fn save_load_round_trip_reconstructs_full_weights() {
+        let dir = tmpdir("roundtrip");
+        let store = CheckpointStore::new(&dir);
+        let grid = Grid4d::new(2, 2, 1, 1);
+        let dims = [8, 12, 8];
+        let full = write_full_checkpoint(&store, &grid, &dims, 4);
+        assert_eq!(store.latest_step(), Some(4));
+        let manifest = store.manifest(4).unwrap();
+        let back = store.load_full_layers(&manifest).unwrap();
+        for (a, b) in full.iter().zip(&back) {
+            assert_eq!(a.as_slice(), b.as_slice());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bit_flip_in_shard_is_detected() {
+        let dir = tmpdir("bitflip");
+        let store = CheckpointStore::new(&dir);
+        let grid = Grid4d::new(2, 1, 1, 1);
+        write_full_checkpoint(&store, &grid, &[4, 4], 2);
+        // Flip a single mantissa bit of one element in rank 1's shard and
+        // write the file back — the checksum must catch it.
+        let path = store.shard_path(2, 1);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut shard: ShardFile = serde_json::from_str(&text).unwrap();
+        let v = shard.layers[0].as_mut_slice();
+        v[0] = f32::from_bits(v[0].to_bits() ^ 1);
+        std::fs::write(&path, serde_json::to_string(&shard).unwrap()).unwrap();
+        let manifest = store.manifest(2).unwrap();
+        let err = store.load_full_layers(&manifest).unwrap_err();
+        assert!(
+            matches!(&err, CkptError::Corrupt(m) if m.contains("checksum mismatch")),
+            "unexpected error: {err}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_manifest_is_not_latest() {
+        let dir = tmpdir("truncated");
+        let store = CheckpointStore::new(&dir);
+        let grid = Grid4d::new(1, 2, 1, 1);
+        write_full_checkpoint(&store, &grid, &[4, 4], 2);
+        write_full_checkpoint(&store, &grid, &[4, 4], 6);
+        // Truncate the later manifest: the store must fall back to step 2.
+        let path = store.manifest_path(6);
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+        assert_eq!(store.latest_step(), Some(2));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_manifest_means_no_checkpoint() {
+        let dir = tmpdir("nomanifest");
+        let store = CheckpointStore::new(&dir);
+        assert_eq!(store.latest_step(), None);
+        // A step dir with shards but no manifest (crash mid-save).
+        std::fs::create_dir_all(store.step_dir(3)).unwrap();
+        assert_eq!(store.latest_step(), None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let dir = tmpdir("version");
+        let store = CheckpointStore::new(&dir);
+        let grid = Grid4d::new(1, 1, 1, 1);
+        write_full_checkpoint(&store, &grid, &[4, 4], 1);
+        let path = store.manifest_path(1);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let bumped = text.replace("\"version\":1", "\"version\":99");
+        assert_ne!(text, bumped, "version field not found to corrupt");
+        std::fs::write(&path, bumped).unwrap();
+        let err = store.manifest(1).unwrap_err();
+        assert!(matches!(&err, CkptError::Corrupt(m) if m.contains("version")));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn digest_f32_round_trip_is_lossless() {
+        for c in [
+            0u64,
+            1,
+            u64::MAX,
+            0x7fc0_0000_dead_beef,
+            0xcbf2_9ce4_8422_2325,
+        ] {
+            let [hi, lo] = digest_to_f32s(c);
+            assert_eq!(digest_from_f32s(hi, lo), c);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Fault-tolerant training for the AxoNN reproduction (`axonn-ft`).
+//!
+//! Production runs on Frontier/Alps-scale machines lose nodes; the paper
+//! stack's answer is sharded checkpoints plus supervised restart. This
+//! crate provides the three layers of that story on top of the threaded
+//! SPMD runtime:
+//!
+//! - [`layout`] — the pure math of grid-sharded weights: slice a full
+//!   parameter into exactly the per-rank shards `Network4d` holds, and
+//!   reassemble them — including for a *different* legal grid
+//!   (resharding / elastic resume).
+//! - [`checkpoint`] — the durable form: per-rank shard files plus a
+//!   rank-0 manifest (grid shape, step, seed, per-shard FNV-1a64
+//!   checksums) committed by atomic rename; loading verifies every
+//!   checksum and fails loudly on corruption.
+//! - [`plan`] and [`supervisor`] — deterministic fault schedules (kills,
+//!   message drops, link stalls) and the checkpoint-aware training loop
+//!   that runs under `axonn_exec::run_spmd_supervised`, restarting from
+//!   the last manifest and recording the recovery lifecycle through
+//!   `axonn-trace`.
+
+pub mod checkpoint;
+pub mod layout;
+pub mod plan;
+pub mod supervisor;
+
+pub use checkpoint::{
+    save_checkpoint, CheckpointStore, CkptError, Manifest, ShardEntry, ShardFile, MANIFEST_MAGIC,
+    MANIFEST_VERSION, SHARD_MAGIC,
+};
+pub use layout::{assemble_layer, grid_fits, layer_transposed, legal_resume_grids, shard_layer};
+pub use plan::{FaultPlan, KillRule};
+pub use supervisor::{train_supervised, RecoveryPolicy, TrainOutcome, TrainSpec};

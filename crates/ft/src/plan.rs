@@ -1,0 +1,187 @@
+//! Deterministic fault plans: *what goes wrong, when* — fixed up front
+//! so every failure a test or experiment injects is exactly
+//! reproducible.
+//!
+//! A [`FaultPlan`] scripts three failure modes, each keyed by the
+//! supervisor's attempt index so a fault fires in the world it targets
+//! and never again after the restart:
+//!
+//! - **kills** — rank `r` dies at the top of step `s` (panics with
+//!   [`InjectedKill`], which the supervisor classifies as restartable);
+//! - **drops** — the nth message on a link is lost in transit (the
+//!   receiver times out into `CommError::PeerLost`);
+//! - **stalls** — a link deposits extra virtual latency once (timed
+//!   worlds observe a slow link, nothing fails).
+
+use axonn_collectives::{DropRule, FaultConfig, InjectedKill, StallRule};
+use std::time::Duration;
+
+/// A scripted rank kill: in attempt `attempt`, rank `rank` dies at the
+/// top of step `step` (before computing it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KillRule {
+    pub attempt: u64,
+    pub rank: usize,
+    pub step: u64,
+}
+
+/// A deterministic schedule of injected faults for a supervised run.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    pub kills: Vec<KillRule>,
+    pub drops: Vec<(u64, DropRule)>,
+    pub stalls: Vec<(u64, StallRule)>,
+    /// Recv timeout installed in every attempt's transport (`None` keeps
+    /// the collectives' default).
+    pub recv_timeout: Option<Duration>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    pub fn kill(mut self, attempt: u64, rank: usize, step: u64) -> Self {
+        self.kills.push(KillRule {
+            attempt,
+            rank,
+            step,
+        });
+        self
+    }
+
+    pub fn drop_message(mut self, attempt: u64, rule: DropRule) -> Self {
+        self.drops.push((attempt, rule));
+        self
+    }
+
+    pub fn stall_link(mut self, attempt: u64, rule: StallRule) -> Self {
+        self.stalls.push((attempt, rule));
+        self
+    }
+
+    pub fn with_recv_timeout(mut self, timeout: Duration) -> Self {
+        self.recv_timeout = Some(timeout);
+        self
+    }
+
+    /// A seeded schedule of `n_kills` kills, one per attempt: attempt `a`
+    /// (for `a < n_kills`) loses a pseudo-random rank at a pseudo-random
+    /// step in `1..total_steps`. Derived via SplitMix64, so the same seed
+    /// always scripts the same failures.
+    pub fn seeded_kills(seed: u64, world_size: usize, total_steps: u64, n_kills: usize) -> Self {
+        assert!(world_size > 0 && total_steps > 1, "nothing to kill");
+        let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
+        let mut plan = FaultPlan::none();
+        for attempt in 0..n_kills as u64 {
+            let rank = (splitmix64(&mut state) % world_size as u64) as usize;
+            let step = 1 + splitmix64(&mut state) % (total_steps - 1);
+            plan = plan.kill(attempt, rank, step);
+        }
+        plan
+    }
+
+    /// The transport-level faults (drops, stalls, timeout) scheduled for
+    /// one attempt, in [`FaultConfig`] form for `CommWorld`.
+    pub fn transport_config(&self, attempt: u64) -> FaultConfig {
+        let mut cfg = FaultConfig::none();
+        for (a, rule) in &self.drops {
+            if *a == attempt {
+                cfg = cfg.with_drop(*rule);
+            }
+        }
+        for (a, rule) in &self.stalls {
+            if *a == attempt {
+                cfg = cfg.with_stall(*rule);
+            }
+        }
+        if let Some(t) = self.recv_timeout {
+            cfg = cfg.with_recv_timeout(t);
+        }
+        cfg
+    }
+
+    /// Scheduled kill for `(attempt, rank, step)`, if any — the rank body
+    /// calls this at every step boundary and dies here when scripted.
+    ///
+    /// # Panics
+    /// With an [`InjectedKill`] payload when a kill matches.
+    pub fn check_kill(&self, attempt: u64, rank: usize, step: u64) {
+        if self
+            .kills
+            .iter()
+            .any(|k| k.attempt == attempt && k.rank == rank && k.step == step)
+        {
+            std::panic::panic_any(InjectedKill { rank, step });
+        }
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_kill_fires_only_on_exact_match() {
+        let plan = FaultPlan::none().kill(1, 2, 5);
+        plan.check_kill(0, 2, 5); // wrong attempt
+        plan.check_kill(1, 1, 5); // wrong rank
+        plan.check_kill(1, 2, 4); // wrong step
+        let payload = std::panic::catch_unwind(|| plan.check_kill(1, 2, 5)).unwrap_err();
+        let kill = payload.downcast_ref::<InjectedKill>().unwrap();
+        assert_eq!((kill.rank, kill.step), (2, 5));
+    }
+
+    #[test]
+    fn seeded_plans_are_reproducible_and_in_range() {
+        let a = FaultPlan::seeded_kills(7, 4, 10, 3);
+        let b = FaultPlan::seeded_kills(7, 4, 10, 3);
+        assert_eq!(a.kills, b.kills);
+        assert_eq!(a.kills.len(), 3);
+        for (i, k) in a.kills.iter().enumerate() {
+            assert_eq!(k.attempt, i as u64);
+            assert!(k.rank < 4);
+            assert!(k.step >= 1 && k.step < 10);
+        }
+        let c = FaultPlan::seeded_kills(8, 4, 10, 3);
+        assert_ne!(a.kills, c.kills, "different seeds should differ");
+    }
+
+    #[test]
+    fn transport_config_selects_by_attempt() {
+        let plan = FaultPlan::none()
+            .drop_message(
+                0,
+                DropRule {
+                    src: 0,
+                    dst: 1,
+                    nth: 1,
+                },
+            )
+            .stall_link(
+                1,
+                StallRule {
+                    src: 1,
+                    dst: 0,
+                    seconds: 2.0,
+                },
+            )
+            .with_recv_timeout(Duration::from_millis(50));
+        let a0 = plan.transport_config(0);
+        assert_eq!(a0.drops.len(), 1);
+        assert!(a0.stalls.is_empty());
+        let a1 = plan.transport_config(1);
+        assert!(a1.drops.is_empty());
+        assert_eq!(a1.stalls.len(), 1);
+        assert_eq!(a1.recv_timeout, Some(Duration::from_millis(50)));
+    }
+}

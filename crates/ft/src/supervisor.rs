@@ -1,0 +1,305 @@
+//! Checkpoint-aware supervised training: run a 4D-parallel MLP in
+//! checkpoint epochs under `axonn_exec::run_spmd_supervised`, restarting
+//! from the latest durable manifest after every failure — on the same
+//! grid, or (elastic resume) on a different legal one.
+//!
+//! The recovery contract, asserted by the root `fault_tolerance` tests:
+//! resuming on the *same* grid is bit-identical to an uninterrupted run
+//! (training is Markovian in the weights and the batch schedule, and the
+//! shard/assemble path is a pure copy); resuming on a *different* grid
+//! restores bit-identical weights and then diverges only by collective
+//! summation order, staying within floating-point tolerance.
+
+use crate::checkpoint::{save_checkpoint, CheckpointStore};
+use crate::layout::grid_fits;
+use crate::plan::FaultPlan;
+use axonn_core::{Activation, GridTopology, Network4d, OverlapConfig};
+use axonn_exec::{run_spmd_supervised, AttemptSpec, RecoveryLog};
+use axonn_perfmodel::Grid4d;
+use axonn_tensor::Matrix;
+use axonn_trace::RankTrace;
+use std::path::Path;
+use std::sync::Arc;
+
+/// What to train: the global model and batch schedule, independent of
+/// any grid. `batch(step)` must be a pure function of the step so a
+/// resumed run replays the exact batches the original would have seen.
+#[derive(Clone)]
+pub struct TrainSpec {
+    pub dims: Vec<usize>,
+    pub act: Activation,
+    pub seed: u64,
+    pub lr: f32,
+    pub total_steps: u64,
+    /// Save a checkpoint every this many steps (0 disables saving).
+    pub checkpoint_every: u64,
+    pub batch: Arc<dyn Fn(u64) -> (Matrix, Matrix) + Send + Sync>,
+}
+
+/// How to recover: which grid each attempt runs on, how many restarts to
+/// tolerate, and which faults to inject.
+#[derive(Debug, Clone)]
+pub struct RecoveryPolicy {
+    /// Grid for attempt `a` is `grids[min(a, len-1)]` — a single entry
+    /// means "always relaunch the same shape"; appending a smaller grid
+    /// scripts an elastic shrink on the first restart.
+    pub grids: Vec<Grid4d>,
+    /// Restarts allowed beyond the first attempt.
+    pub max_restarts: u64,
+    pub plan: FaultPlan,
+}
+
+/// Result of a supervised training run that eventually completed.
+pub struct TrainOutcome {
+    /// `(step, loss)` for every step the *successful* attempt executed —
+    /// starting at the resume step, not 0, when it restarted from a
+    /// checkpoint.
+    pub losses: Vec<(u64, f32)>,
+    /// Full (gathered) weights of every layer after the last step.
+    pub weights: Vec<Matrix>,
+    /// Worlds launched, including the successful one.
+    pub attempts: u64,
+    /// The recovery lifecycle (failures, restarts, checkpoints, resumes,
+    /// reshards) as a trace, exportable to Chrome trace JSON.
+    pub trace: RankTrace,
+}
+
+/// Train under supervision, checkpointing to `dir` and restarting from
+/// the latest manifest after every failure, per `policy`. Returns an
+/// error if the policy gives up (restart budget exhausted or the
+/// checkpoint store turned out to be unusable).
+///
+/// Kernel auto-tuning is deliberately off in the rank bodies: the tuner
+/// may reroute a collective after a restart, changing summation order
+/// and breaking the same-grid bit-identity contract.
+pub fn train_supervised(
+    spec: &TrainSpec,
+    policy: &RecoveryPolicy,
+    dir: impl AsRef<Path>,
+) -> Result<TrainOutcome, String> {
+    assert!(!policy.grids.is_empty(), "policy needs at least one grid");
+    assert!(spec.dims.len() >= 2, "need at least one layer");
+    let store = Arc::new(CheckpointStore::new(dir.as_ref()));
+    let batch_rows = (spec.batch)(0).0.rows();
+    for grid in &policy.grids {
+        assert!(
+            grid_fits(grid, &spec.dims, batch_rows),
+            "grid {grid} cannot run dims {:?} with batch {batch_rows}",
+            spec.dims
+        );
+    }
+
+    let log = RecoveryLog::new();
+    let mut policy_err: Option<String> = None;
+    let run = run_spmd_supervised(&log, |attempt, failure| {
+        if attempt > policy.max_restarts {
+            policy_err = Some(format!(
+                "gave up after {attempt} attempt(s); last failure: {}",
+                failure.map_or_else(|| "<none>".to_string(), |f| f.to_string())
+            ));
+            return None;
+        }
+        let grid = policy.grids[(attempt as usize).min(policy.grids.len() - 1)];
+        // Resume from the latest durable checkpoint, if any (a manifest
+        // may also predate this process — warm starts are free).
+        let (start_step, restore) = match store.latest_step() {
+            Some(step) => {
+                let manifest = match store.manifest(step) {
+                    Ok(m) => m,
+                    Err(e) => {
+                        policy_err = Some(e.to_string());
+                        return None;
+                    }
+                };
+                if manifest.grid() != grid {
+                    log.event("reshard", attempt, step, 0);
+                }
+                let full = match store.load_full_layers(&manifest) {
+                    Ok(f) => f,
+                    Err(e) => {
+                        policy_err = Some(e.to_string());
+                        return None;
+                    }
+                };
+                log.event("resume", attempt, step, 0);
+                (step, Some(Arc::new(full)))
+            }
+            None => (0, None),
+        };
+
+        let spec = spec.clone();
+        let faults = policy.plan.transport_config(attempt);
+        let plan = policy.plan.clone();
+        let store = store.clone();
+        let log = log.clone();
+        let body = move |comm: axonn_collectives::Comm| {
+            let rank = comm.rank();
+            let topo = GridTopology::new(grid.gx, grid.gy, grid.gz, grid.gd, rank);
+            let mut net = Network4d::new(
+                comm,
+                topo,
+                &spec.dims,
+                spec.act,
+                spec.seed,
+                OverlapConfig::all(),
+                false, // kernel tuning off: keeps summation order stable
+            );
+            if let Some(full) = &restore {
+                net.load_full_weights(full);
+            }
+            let mut losses = Vec::new();
+            for step in start_step..spec.total_steps {
+                plan.check_kill(attempt, rank, step);
+                let (x, t) = (spec.batch)(step);
+                let loss = net.train_step(&x, &t, spec.lr);
+                losses.push((step, loss));
+                let done = step + 1; // steps completed = resume point
+                if spec.checkpoint_every > 0
+                    && done % spec.checkpoint_every == 0
+                    && done < spec.total_steps
+                {
+                    let shards = net.weight_shards();
+                    save_checkpoint(
+                        net.comm(),
+                        &grid,
+                        &store,
+                        done,
+                        spec.seed,
+                        &spec.dims,
+                        batch_rows,
+                        &shards,
+                    )
+                    .unwrap_or_else(|e| panic!("checkpoint at step {done} failed: {e}"));
+                    if rank == 0 {
+                        log.event("checkpoint", attempt, done, 0);
+                    }
+                }
+            }
+            let weights = net.gather_full_weights();
+            (losses, weights)
+        };
+        Some(AttemptSpec {
+            world_size: grid.gpus(),
+            faults,
+            body: Arc::new(body),
+        })
+    });
+
+    match run.results {
+        Some(mut results) => {
+            let (losses, weights) = results.swap_remove(0);
+            Ok(TrainOutcome {
+                losses,
+                weights,
+                attempts: run.attempts,
+                trace: log.finish(),
+            })
+        }
+        None => Err(policy_err.unwrap_or_else(|| "supervisor gave up".to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("axonn_ft_sup_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn toy_spec(total_steps: u64, checkpoint_every: u64) -> TrainSpec {
+        TrainSpec {
+            dims: vec![8, 16, 8],
+            act: Activation::Gelu,
+            seed: 11,
+            lr: 0.02,
+            total_steps,
+            checkpoint_every,
+            batch: Arc::new(|step| {
+                (
+                    Matrix::random(4, 8, 1.0, 1000 + step),
+                    Matrix::random(4, 8, 1.0, 2000 + step),
+                )
+            }),
+        }
+    }
+
+    #[test]
+    fn healthy_run_completes_in_one_attempt() {
+        let dir = tmpdir("healthy");
+        let out = train_supervised(
+            &toy_spec(4, 2),
+            &RecoveryPolicy {
+                grids: vec![Grid4d::new(2, 1, 1, 1)],
+                max_restarts: 0,
+                plan: FaultPlan::none(),
+            },
+            &dir,
+        )
+        .unwrap();
+        assert_eq!(out.attempts, 1);
+        assert_eq!(out.losses.len(), 4);
+        assert_eq!(out.weights.len(), 2);
+        // Checkpoint at step 2 exists; the would-be step-4 save is
+        // skipped (end of run).
+        assert_eq!(CheckpointStore::new(&dir).latest_step(), Some(2));
+        let kinds = out.trace.kind_signature();
+        assert_eq!(kinds, vec!["recovery:checkpoint", "recovery:completed"]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn kill_restart_resumes_from_checkpoint() {
+        let dir = tmpdir("kill");
+        let out = train_supervised(
+            &toy_spec(6, 2),
+            &RecoveryPolicy {
+                grids: vec![Grid4d::new(2, 1, 1, 1)],
+                max_restarts: 1,
+                plan: FaultPlan::none().kill(0, 1, 3),
+            },
+            &dir,
+        )
+        .unwrap();
+        assert_eq!(out.attempts, 2);
+        // Attempt 0 checkpointed after step 2 and died at step 3; the
+        // relaunch resumes at step 2.
+        assert_eq!(out.losses.first().map(|&(s, _)| s), Some(2));
+        assert_eq!(out.losses.last().map(|&(s, _)| s), Some(5));
+        let kinds = out.trace.kind_signature();
+        assert_eq!(
+            kinds,
+            vec![
+                "recovery:checkpoint",       // attempt 0, step 2
+                "recovery:failure_detected", // kill at step 3
+                "recovery:resume",           // from step 2
+                "recovery:restart",
+                "recovery:checkpoint", // attempt 1, step 4
+                "recovery:completed",
+            ]
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn restart_budget_exhaustion_reports_last_failure() {
+        let dir = tmpdir("budget");
+        let err = train_supervised(
+            &toy_spec(4, 2),
+            &RecoveryPolicy {
+                grids: vec![Grid4d::new(2, 1, 1, 1)],
+                max_restarts: 0,
+                plan: FaultPlan::none().kill(0, 0, 1),
+            },
+            &dir,
+        )
+        .map(|_| ())
+        .unwrap_err();
+        assert!(err.contains("gave up"), "unexpected error: {err}");
+        assert!(err.contains("injected kill"), "unexpected error: {err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

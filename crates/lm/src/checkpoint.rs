@@ -12,11 +12,20 @@ use serde::{Deserialize, Serialize};
 use std::io::{Read, Write};
 use std::path::Path;
 
-/// A serializable snapshot of a model: architecture + parameter values
-/// (optimizer state is not checkpointed, as in most inference/fine-tune
-/// checkpoints).
+/// File-format magic of a serialized checkpoint.
+pub const CHECKPOINT_MAGIC: &str = "AXNN-LMCK";
+/// Current checkpoint format version; older/newer files fail loading
+/// with a clear message instead of silently misreading.
+pub const CHECKPOINT_VERSION: u64 = 1;
+
+/// A serializable snapshot of a model: versioned envelope, architecture,
+/// parameter values and a per-tensor FNV-1a64 checksum (hex). Optimizer
+/// state is not checkpointed, as in most inference/fine-tune
+/// checkpoints.
 #[derive(Debug, Serialize, Deserialize)]
 pub struct Checkpoint {
+    pub magic: String,
+    pub version: u64,
     pub vocab: usize,
     pub seq_len: usize,
     pub dim: usize,
@@ -24,21 +33,70 @@ pub struct Checkpoint {
     pub n_layers: usize,
     pub seed: u64,
     pub params: Vec<Matrix>,
+    /// FNV-1a64 digest of each tensor in `params`, in order — any bit
+    /// flip between save and load is caught at read time.
+    pub param_checksums: Vec<String>,
 }
 
 impl Checkpoint {
     /// Snapshot a model's parameters.
     pub fn capture(model: &mut Gpt) -> Checkpoint {
         let cfg = model.cfg.clone();
+        let params: Vec<Matrix> = model.params_mut().iter().map(|p| p.value.clone()).collect();
+        let param_checksums = params
+            .iter()
+            .map(|m| format!("{:016x}", m.fnv1a64()))
+            .collect();
         Checkpoint {
+            magic: CHECKPOINT_MAGIC.to_string(),
+            version: CHECKPOINT_VERSION,
             vocab: cfg.vocab,
             seq_len: cfg.seq_len,
             dim: cfg.dim,
             n_heads: cfg.n_heads,
             n_layers: cfg.n_layers,
             seed: cfg.seed,
-            params: model.params_mut().iter().map(|p| p.value.clone()).collect(),
+            params,
+            param_checksums,
         }
+    }
+
+    /// Validate the envelope and every tensor checksum.
+    ///
+    /// # Errors
+    /// On bad magic, unsupported version, checksum count mismatch, or
+    /// any tensor whose recomputed digest differs from the stored one.
+    pub fn verify(&self) -> Result<(), String> {
+        if self.magic != CHECKPOINT_MAGIC {
+            return Err(format!(
+                "not a model checkpoint: magic {:?}, expected {CHECKPOINT_MAGIC:?}",
+                self.magic
+            ));
+        }
+        if self.version != CHECKPOINT_VERSION {
+            return Err(format!(
+                "unsupported checkpoint version {} (this build reads {CHECKPOINT_VERSION})",
+                self.version
+            ));
+        }
+        if self.param_checksums.len() != self.params.len() {
+            return Err(format!(
+                "checkpoint lists {} checksums for {} tensors",
+                self.param_checksums.len(),
+                self.params.len()
+            ));
+        }
+        for (i, (m, want_hex)) in self.params.iter().zip(&self.param_checksums).enumerate() {
+            let want = u64::from_str_radix(want_hex, 16)
+                .map_err(|e| format!("tensor {i}: malformed checksum {want_hex:?}: {e}"))?;
+            let got = m.fnv1a64();
+            if got != want {
+                return Err(format!(
+                    "tensor {i}: checksum mismatch (stored {want:016x}, recomputed {got:016x}) — checkpoint is corrupt"
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Rebuild a model from the snapshot.
@@ -80,9 +138,14 @@ impl Checkpoint {
         serde_json::to_writer(w, self).map_err(|e| format!("serialize checkpoint: {e}"))
     }
 
-    /// Deserialize from any reader.
+    /// Deserialize from any reader, validating the envelope and every
+    /// tensor checksum — truncated or bit-flipped files fail here with a
+    /// clear message instead of producing a silently wrong model.
     pub fn read_from(r: impl Read) -> Result<Checkpoint, String> {
-        serde_json::from_reader(r).map_err(|e| format!("parse checkpoint: {e}"))
+        let ck: Checkpoint =
+            serde_json::from_reader(r).map_err(|e| format!("parse checkpoint: {e}"))?;
+        ck.verify()?;
+        Ok(ck)
     }
 
     /// Save to a file.
@@ -171,6 +234,46 @@ mod tests {
         ck2.params[0] = Matrix::zeros(3, 3); // wrong shape
         let err2 = ck2.restore().map(|_| ()).unwrap_err();
         assert!(err2.contains("shape"), "unexpected error: {err2}");
+    }
+
+    #[test]
+    fn single_bit_flip_is_detected_at_load() {
+        let mut model = toy();
+        let ck = Checkpoint::capture(&mut model);
+        let mut buf = Vec::new();
+        ck.write_to(&mut buf).unwrap();
+        // Round-trip through JSON, flip one mantissa bit of one weight,
+        // and re-serialize — load must refuse the file.
+        let mut tampered: Checkpoint = serde_json::from_reader(buf.as_slice()).unwrap();
+        let v = tampered.params[0].as_mut_slice();
+        v[0] = f32::from_bits(v[0].to_bits() ^ 1);
+        let mut buf2 = Vec::new();
+        serde_json::to_writer(&mut buf2, &tampered).unwrap();
+        let err = Checkpoint::read_from(buf2.as_slice()).unwrap_err();
+        assert!(err.contains("checksum mismatch"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn truncated_file_fails_with_parse_error() {
+        let mut model = toy();
+        let ck = Checkpoint::capture(&mut model);
+        let mut buf = Vec::new();
+        ck.write_to(&mut buf).unwrap();
+        let err = Checkpoint::read_from(&buf[..buf.len() / 2]).unwrap_err();
+        assert!(err.contains("parse checkpoint"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn wrong_magic_and_version_are_rejected() {
+        let mut model = toy();
+        let mut ck = Checkpoint::capture(&mut model);
+        ck.version = CHECKPOINT_VERSION + 1;
+        let err = ck.verify().unwrap_err();
+        assert!(err.contains("version"), "unexpected error: {err}");
+        ck.version = CHECKPOINT_VERSION;
+        ck.magic = "not-a-checkpoint".into();
+        let err = ck.verify().unwrap_err();
+        assert!(err.contains("magic"), "unexpected error: {err}");
     }
 
     #[test]

@@ -17,4 +17,6 @@ pub mod shard;
 pub use bf16::Bf16;
 pub use gemm::{gemm, gemm_bf16, gemm_into, gemm_reference, MatMode};
 pub use matrix::Matrix;
-pub use shard::{block_of, concat_cols, concat_rows, shard_rows, unshard_rows, BlockSpec};
+pub use shard::{
+    assemble_blocks, block_of, concat_cols, concat_rows, shard_rows, unshard_rows, BlockSpec,
+};

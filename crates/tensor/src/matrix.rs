@@ -225,6 +225,27 @@ impl Matrix {
             .sqrt() as f32
     }
 
+    /// FNV-1a hash over the shape and the exact bit patterns of every
+    /// element. Used for checkpoint integrity checks: any single bit flip
+    /// in shape or data changes the digest.
+    pub fn fnv1a64(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        mix(&(self.rows as u64).to_le_bytes());
+        mix(&(self.cols as u64).to_le_bytes());
+        for x in &self.data {
+            mix(&x.to_bits().to_le_bytes());
+        }
+        h
+    }
+
     /// True if all elements are within `tol` of `other`, scaled by
     /// magnitude (mixed absolute/relative comparison for tests).
     pub fn approx_eq(&self, other: &Matrix, tol: f32) -> bool {

@@ -72,6 +72,17 @@ fn span_event(rank: usize, ev: &TraceEvent) -> Value {
             args.push(("direct_seconds".into(), direct_seconds.serialize()));
             args.push(("reroute_seconds".into(), reroute_seconds.serialize()));
         }
+        EventDetail::Recovery {
+            event,
+            attempt,
+            step,
+            rank,
+        } => {
+            args.push(("event".into(), event.serialize()));
+            args.push(("attempt".into(), attempt.serialize()));
+            args.push(("step".into(), step.serialize()));
+            args.push(("rank".into(), rank.serialize()));
+        }
         _ => {}
     }
 

@@ -113,6 +113,22 @@ pub enum EventDetail {
     },
     /// Non-GEMM compute charged by the simulator (attention, softmax…).
     Aux { label: &'static str },
+    /// A supervisor lifecycle event: failure detection, restart,
+    /// resharding, checkpoint, resume, completion. Recorded on the
+    /// supervisor's own timeline by `run_spmd_supervised`.
+    Recovery {
+        /// Which lifecycle transition ("failure_detected", "restart",
+        /// "reshard", "checkpoint", "resume", "give_up", "completed").
+        event: &'static str,
+        /// Relaunch attempt index (0 = first launch).
+        attempt: u64,
+        /// Training step the event refers to (e.g. the checkpointed
+        /// step being resumed from), when known.
+        step: u64,
+        /// The rank the event is about (the failed rank for
+        /// "failure_detected"), or 0 when not rank-specific.
+        rank: usize,
+    },
 }
 
 impl EventDetail {
@@ -135,6 +151,7 @@ impl EventDetail {
             EventDetail::LayerBwd { .. } => "layer_bwd".to_string(),
             EventDetail::TunerDecision { .. } => "tuner_decision".to_string(),
             EventDetail::Aux { .. } => "aux".to_string(),
+            EventDetail::Recovery { event, .. } => format!("recovery:{event}"),
         }
     }
 
@@ -153,6 +170,12 @@ impl EventDetail {
                 format!("tune L{layer} -> {choice}")
             }
             EventDetail::Aux { label } => format!("aux {label}"),
+            EventDetail::Recovery {
+                event,
+                attempt,
+                rank,
+                ..
+            } => format!("recovery {event} a{attempt} r{rank}"),
         }
     }
 }
@@ -211,6 +234,17 @@ impl Serialize for EventDetail {
             }
             EventDetail::Aux { label } => {
                 fields.push(("label".into(), label.serialize()));
+            }
+            EventDetail::Recovery {
+                event,
+                attempt,
+                step,
+                rank,
+            } => {
+                fields.push(("event".into(), event.serialize()));
+                fields.push(("attempt".into(), attempt.serialize()));
+                fields.push(("step".into(), step.serialize()));
+                fields.push(("rank".into(), rank.serialize()));
             }
         }
         Value::Object(fields)

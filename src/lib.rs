@@ -9,6 +9,7 @@ pub use axonn_cluster as cluster;
 pub use axonn_collectives as collectives;
 pub use axonn_core as engine;
 pub use axonn_exec as exec;
+pub use axonn_ft as ft;
 pub use axonn_gpt as gpt;
 pub use axonn_lm as lm;
 pub use axonn_memorize as memorize;

@@ -1,0 +1,223 @@
+//! End-to-end fault tolerance: kill a rank mid-run, restart under the
+//! supervisor from the last grid-sharded checkpoint, and verify the
+//! recovery contract against an uninterrupted run —
+//!
+//! - same grid: bit-identical losses and final weights (training is
+//!   Markovian in the weights and the step-indexed batch schedule, and
+//!   shard/restore is a pure copy);
+//! - different grid (elastic resume): bit-identical restored weights,
+//!   then divergence only by collective summation order — final weights
+//!   within floating-point tolerance;
+//! - the whole lifecycle (checkpoint, failure, resume, reshard, restart,
+//!   completed) visible in the Chrome-trace export.
+
+use axonn::engine::Activation;
+use axonn::ft::{train_supervised, FaultPlan, RecoveryPolicy, TrainOutcome, TrainSpec};
+use axonn::perfmodel::Grid4d;
+use axonn::tensor::Matrix;
+use axonn::trace::chrome_trace_json;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+const DIMS: [usize; 3] = [8, 16, 8];
+const SEED: u64 = 17;
+const TOTAL_STEPS: u64 = 6;
+
+fn spec() -> TrainSpec {
+    TrainSpec {
+        dims: DIMS.to_vec(),
+        act: Activation::Gelu,
+        seed: SEED,
+        lr: 0.02,
+        total_steps: TOTAL_STEPS,
+        checkpoint_every: 2,
+        batch: Arc::new(|step| {
+            (
+                Matrix::random(4, DIMS[0], 1.0, 1000 + step),
+                Matrix::random(4, DIMS[2], 1.0, 2000 + step),
+            )
+        }),
+    }
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("axonn_ft_e2e_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// An uninterrupted supervised run on `grid` — the reference the
+/// recovery contract is checked against.
+fn baseline(grid: Grid4d, tag: &str) -> TrainOutcome {
+    let dir = tmpdir(tag);
+    let out = train_supervised(
+        &spec(),
+        &RecoveryPolicy {
+            grids: vec![grid],
+            max_restarts: 0,
+            plan: FaultPlan::none(),
+        },
+        &dir,
+    )
+    .unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(out.attempts, 1, "baseline must not restart");
+    out
+}
+
+#[test]
+fn same_grid_kill_and_resume_is_bit_identical() {
+    let grid = Grid4d::new(2, 2, 1, 1);
+    let reference = baseline(grid, "base_same");
+
+    // Rank 2 dies at the top of step 3; the last checkpoint is step 2.
+    let dir = tmpdir("kill_same");
+    let out = train_supervised(
+        &spec(),
+        &RecoveryPolicy {
+            grids: vec![grid],
+            max_restarts: 1,
+            plan: FaultPlan::none().kill(0, 2, 3),
+        },
+        &dir,
+    )
+    .unwrap();
+    assert_eq!(out.attempts, 2, "exactly one restart");
+
+    // The resumed attempt replays steps 2..6 with bit-identical losses.
+    assert_eq!(out.losses.first().map(|&(s, _)| s), Some(2));
+    for &(step, loss) in &out.losses {
+        let (_, ref_loss) = reference.losses[step as usize];
+        assert_eq!(
+            loss.to_bits(),
+            ref_loss.to_bits(),
+            "step {step}: resumed loss {loss} vs uninterrupted {ref_loss}"
+        );
+    }
+
+    // Final weights are bit-equal, layer by layer.
+    assert_eq!(out.weights.len(), reference.weights.len());
+    for (i, (a, b)) in out.weights.iter().zip(&reference.weights).enumerate() {
+        assert_eq!(
+            a.as_slice(),
+            b.as_slice(),
+            "layer {i}: resumed weights differ from uninterrupted run"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cross_grid_resume_stays_within_tolerance() {
+    let src = Grid4d::new(2, 2, 1, 1);
+    let dst = Grid4d::new(1, 2, 2, 1);
+    let reference = baseline(src, "base_cross");
+
+    // Same kill, but the relaunch reshards onto a different 4-rank grid.
+    let dir = tmpdir("kill_cross");
+    let out = train_supervised(
+        &spec(),
+        &RecoveryPolicy {
+            grids: vec![src, dst],
+            max_restarts: 1,
+            plan: FaultPlan::none().kill(0, 2, 3),
+        },
+        &dir,
+    )
+    .unwrap();
+    assert_eq!(out.attempts, 2);
+
+    // The resumed grid reduces in a different order, so losses and
+    // weights drift by rounding only.
+    for &(step, loss) in &out.losses {
+        let (_, ref_loss) = reference.losses[step as usize];
+        let rel = (loss - ref_loss).abs() / ref_loss.abs().max(1e-3);
+        assert!(
+            rel < 2e-3,
+            "step {step}: resharded loss {loss} vs uninterrupted {ref_loss}"
+        );
+    }
+    for (i, (a, b)) in out.weights.iter().zip(&reference.weights).enumerate() {
+        assert!(
+            a.approx_eq(b, 1e-2),
+            "layer {i}: resharded weights drifted beyond tolerance (max diff {})",
+            a.max_abs_diff(b)
+        );
+    }
+
+    // The reshard is recorded in the recovery lifecycle.
+    let kinds = out.trace.kind_signature();
+    assert!(
+        kinds.contains(&"recovery:reshard".to_string()),
+        "lifecycle missing reshard: {kinds:?}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn recovery_lifecycle_exports_to_chrome_trace() {
+    let grid = Grid4d::new(2, 1, 1, 1);
+    let dir = tmpdir("chrome");
+    let out = train_supervised(
+        &spec(),
+        &RecoveryPolicy {
+            grids: vec![grid],
+            max_restarts: 1,
+            plan: FaultPlan::none().kill(0, 1, 3),
+        },
+        &dir,
+    )
+    .unwrap();
+    let kinds = out.trace.kind_signature();
+    for expected in [
+        "recovery:checkpoint",
+        "recovery:failure_detected",
+        "recovery:resume",
+        "recovery:restart",
+        "recovery:completed",
+    ] {
+        assert!(
+            kinds.contains(&expected.to_string()),
+            "missing {expected} in {kinds:?}"
+        );
+    }
+
+    // The export parses as JSON and carries the recovery markers.
+    let json = chrome_trace_json(&[out.trace]);
+    let doc: serde_json::Value = serde_json::from_str(&json).expect("valid chrome JSON");
+    drop(doc);
+    assert!(json.contains("recovery:failure_detected"));
+    assert!(json.contains("recovery:completed"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn dropped_message_recovers_via_restart_not_hang() {
+    // A lost transport message in attempt 0 surfaces as a recv timeout →
+    // PeerLost → supervised restart; nothing hangs and the run completes.
+    let grid = Grid4d::new(2, 1, 1, 1);
+    let dir = tmpdir("droprec");
+    let out = train_supervised(
+        &spec(),
+        &RecoveryPolicy {
+            grids: vec![grid],
+            max_restarts: 1,
+            plan: FaultPlan::none()
+                .drop_message(
+                    0,
+                    axonn::collectives::DropRule {
+                        src: 0,
+                        dst: 1,
+                        nth: 3,
+                    },
+                )
+                .with_recv_timeout(std::time::Duration::from_millis(200)),
+        },
+        &dir,
+    )
+    .unwrap();
+    assert_eq!(out.attempts, 2, "the drop must force exactly one restart");
+    assert_eq!(out.losses.last().map(|&(s, _)| s), Some(TOTAL_STEPS - 1));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -60,6 +60,17 @@ impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     }
 }
 
+/// Result of a timed condvar wait; mirrors parking_lot's type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// True if the wait ended because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
 /// Condition variable compatible with [`Mutex`] guards.
 #[derive(Debug, Default)]
 pub struct Condvar {
@@ -80,6 +91,21 @@ impl Condvar {
             .wait(std_guard)
             .unwrap_or_else(PoisonError::into_inner);
         guard.inner = Some(std_guard);
+    }
+
+    /// Wait with a timeout; mirrors parking_lot's `wait_for` signature.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let std_guard = guard.inner.take().expect("guard taken");
+        let (std_guard, res) = self
+            .inner
+            .wait_timeout(std_guard, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.inner = Some(std_guard);
+        WaitTimeoutResult(res.timed_out())
     }
 
     pub fn notify_one(&self) {
