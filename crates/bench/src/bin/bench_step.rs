@@ -1,0 +1,118 @@
+//! CI perf-regression gate: measure the wall-clock training step and
+//! compare against the committed baseline.
+//!
+//! Usage:
+//!   bench_step [--iters N] [--check BASELINE.json] [--threshold F]
+//!              [--write-baseline]
+//!
+//! Always writes `results/BENCH_step_time.json`. With `--check`, exits
+//! non-zero when the median step time regresses by more than the
+//! threshold (default 20%) relative to the baseline file. With
+//! `--write-baseline`, also refreshes `results/bench_step_baseline.json`
+//! (commit that file to move the gate).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use axonn_bench::step::{compare, load_report, run_step_bench, StepBenchConfig};
+use axonn_bench::{emit_json, print_table};
+
+const DEFAULT_THRESHOLD: f64 = 0.20;
+
+fn main() -> ExitCode {
+    let mut cfg = StepBenchConfig::default();
+    let mut check: Option<PathBuf> = None;
+    let mut threshold = DEFAULT_THRESHOLD;
+    let mut write_baseline = false;
+
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--iters" => {
+                cfg.iters = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--iters needs a positive integer");
+            }
+            "--check" => {
+                check = Some(PathBuf::from(argv.next().expect("--check needs a path")));
+            }
+            "--threshold" => {
+                threshold = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threshold needs a fraction, e.g. 0.2");
+            }
+            "--write-baseline" => write_baseline = true,
+            other => {
+                eprintln!("unknown flag {other}");
+                eprintln!("usage: bench_step [--iters N] [--check BASELINE.json] [--threshold F] [--write-baseline]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let report = run_step_bench(&cfg);
+    print_table(
+        "bench_step — wall-clock training step",
+        &["metric", "value"],
+        &[
+            vec![
+                "median step".into(),
+                format!("{:.3} ms", report.median_step_ms),
+            ],
+            vec![
+                "gate step (fast-half median)".into(),
+                format!("{:.3} ms", report.gate_step_ms),
+            ],
+            vec![
+                "min / max step".into(),
+                format!("{:.3} / {:.3} ms", report.min_step_ms, report.max_step_ms),
+            ],
+            vec![
+                "median all-reduce (1M f32)".into(),
+                format!("{:.3} ms", report.median_allreduce_ms),
+            ],
+            vec![
+                "pool hits / misses".into(),
+                format!("{} / {}", report.pool_hits, report.pool_misses),
+            ],
+            vec![
+                "fresh alloc".into(),
+                format!("{:.1} KiB", report.pool_alloc_bytes as f64 / 1024.0),
+            ],
+        ],
+    );
+    emit_json("BENCH_step_time", &report);
+    if write_baseline {
+        emit_json("bench_step_baseline", &report);
+    }
+
+    if let Some(baseline_path) = check {
+        let baseline = match load_report(&baseline_path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("[perf-gate] {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let verdict = compare(&report, &baseline, threshold);
+        println!(
+            "[perf-gate] step {:+.1}% (gate {:+.0}%), all-reduce {:+.1}% vs {}",
+            verdict.step_delta * 100.0,
+            verdict.threshold * 100.0,
+            verdict.allreduce_delta * 100.0,
+            baseline_path.display(),
+        );
+        if verdict.regressed {
+            eprintln!(
+                "[perf-gate] FAIL: step time (fast-half median) regressed {:.1}% > {:.0}% threshold",
+                verdict.step_delta * 100.0,
+                verdict.threshold * 100.0
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("[perf-gate] PASS");
+    }
+    ExitCode::SUCCESS
+}

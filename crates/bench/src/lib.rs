@@ -12,6 +12,7 @@ use std::path::PathBuf;
 pub mod memor;
 pub mod paper;
 pub mod series;
+pub mod step;
 
 /// Render an aligned text table.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {

@@ -1,0 +1,310 @@
+//! Wall-clock training-step benchmark backing the CI perf-regression
+//! gate.
+//!
+//! Unlike the figure binaries (which report *virtual* seconds from the
+//! cost model), this module measures real elapsed time of
+//! `Network4d::train_step` on a live thread world, plus a pooled
+//! all-reduce microbenchmark, and compares the medians against a
+//! committed baseline (`results/bench_step_baseline.json`). The CI
+//! `perf-gate` job fails the build when the median step time regresses
+//! by more than the threshold.
+
+use std::time::Instant;
+
+use axonn_collectives::{PoolStats, ProcessGroup};
+use axonn_core::{Activation, GridTopology, Network4d, OverlapConfig};
+use axonn_exec::run_spmd;
+use axonn_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Grid and workload for the gate benchmark. Small enough to finish in
+/// seconds on a CI runner, large enough that the transport (pooled
+/// all-gathers/all-reduces across the 2×1×2×1 grid) dominates noise.
+pub struct StepBenchConfig {
+    /// Grid shape `(gx, gy, gz, gd)`; world size is the product.
+    pub grid: (usize, usize, usize, usize),
+    /// Global feature sizes (`dims.len() - 1` layers).
+    pub dims: Vec<usize>,
+    /// Global batch rows.
+    pub batch: usize,
+    /// Timed iterations.
+    pub iters: usize,
+    /// Untimed warmup iterations (fills the buffer pool).
+    pub warmup: usize,
+    /// Element count for the all-reduce microbenchmark.
+    pub allreduce_elems: usize,
+}
+
+impl Default for StepBenchConfig {
+    fn default() -> Self {
+        StepBenchConfig {
+            grid: (2, 1, 2, 1),
+            // Large enough (~30 ms/step) that scheduler jitter amortizes;
+            // a smaller step makes the gate median too noisy to compare
+            // across runs.
+            dims: vec![256, 512, 256],
+            batch: 64,
+            iters: 30,
+            warmup: 5,
+            allreduce_elems: 1 << 20,
+        }
+    }
+}
+
+/// One benchmark run, as written to `results/BENCH_step_time.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StepBenchReport {
+    /// Median wall time of one `train_step`, milliseconds.
+    pub median_step_ms: f64,
+    /// Fastest / slowest timed iteration, milliseconds.
+    pub min_step_ms: f64,
+    pub max_step_ms: f64,
+    /// Median wall time of one pooled all-reduce of
+    /// `allreduce_elems` f32s, milliseconds.
+    pub median_allreduce_ms: f64,
+    /// Gate statistics: median of the *fastest half* of iterations.
+    /// The raw median absorbs scheduler contention spikes (slow-tail
+    /// outliers on loaded runners); the fast-half median tracks the
+    /// achievable step time and is what the CI gate compares.
+    pub gate_step_ms: f64,
+    pub gate_allreduce_ms: f64,
+    /// World size and iteration count the medians were taken over.
+    pub world_size: usize,
+    pub iters: usize,
+    /// Transport buffer-pool counters over the whole run (warmup
+    /// included): recycled checkouts vs fresh allocations.
+    pub pool_hits: u64,
+    pub pool_misses: u64,
+    pub pool_alloc_bytes: u64,
+}
+
+/// What each rank returns from the benchmark world; only rank 0's entry
+/// is populated.
+type RankTimings = Option<(Vec<f64>, Vec<f64>, PoolStats)>;
+
+fn median(samples: &mut [f64]) -> f64 {
+    assert!(!samples.is_empty(), "no samples");
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+    let n = samples.len();
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        0.5 * (samples[n / 2 - 1] + samples[n / 2])
+    }
+}
+
+/// Median of the fastest half of the samples (sorts in place).
+fn fast_half_median(samples: &mut [f64]) -> f64 {
+    let _ = median(samples); // sorts
+    let half = samples.len().div_ceil(2);
+    median(&mut samples[..half].to_vec())
+}
+
+/// Artificial slowdown multiplier for gate self-tests: every measured
+/// duration is scaled by `AXONN_BENCH_SLOWDOWN` (e.g. `2.0`). Lets CI
+/// changes to the gate be exercised without a real regression.
+fn slowdown() -> f64 {
+    std::env::var("AXONN_BENCH_SLOWDOWN")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|v| *v > 0.0)
+        .unwrap_or(1.0)
+}
+
+/// Run the benchmark: `warmup + iters` barrier-bracketed training steps
+/// and an all-reduce microbench on a fresh world, timings taken on
+/// rank 0.
+pub fn run_step_bench(cfg: &StepBenchConfig) -> StepBenchReport {
+    let (gx, gy, gz, gd) = cfg.grid;
+    let world_size = gx * gy * gz * gd;
+    let dims = cfg.dims.clone();
+    let batch = cfg.batch;
+    let iters = cfg.iters;
+    let warmup = cfg.warmup;
+    let ar_elems = cfg.allreduce_elems;
+
+    let results: Vec<RankTimings> = run_spmd(world_size, move |comm| {
+        let rank = comm.rank();
+        let grid = GridTopology::new(gx, gy, gz, gd, rank);
+        let mut net = Network4d::new(
+            comm.clone(),
+            grid,
+            &dims,
+            Activation::Gelu,
+            7,
+            OverlapConfig::all(),
+            false,
+        );
+        let x = Matrix::random(batch, dims[0], 1.0, 11);
+        let t = Matrix::random(batch, dims[dims.len() - 1], 1.0, 13);
+        let world = ProcessGroup::new((0..world_size).collect());
+
+        let mut step_ms = Vec::with_capacity(iters);
+        for i in 0..warmup + iters {
+            comm.barrier(&world);
+            let t0 = Instant::now();
+            net.train_step(&x, &t, 0.01);
+            comm.barrier(&world);
+            if i >= warmup {
+                step_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+            }
+        }
+
+        let buf = vec![1.0f32; ar_elems];
+        let mut ar_ms = Vec::with_capacity(iters);
+        for i in 0..warmup + iters {
+            let mut work = buf.clone();
+            comm.barrier(&world);
+            let t0 = Instant::now();
+            comm.all_reduce(&world, &mut work);
+            comm.barrier(&world);
+            if i >= warmup {
+                ar_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+            }
+        }
+
+        if rank == 0 {
+            Some((step_ms, ar_ms, comm.pool_stats()))
+        } else {
+            None
+        }
+    });
+
+    let (mut step_ms, mut ar_ms, pool) = results
+        .into_iter()
+        .flatten()
+        .next()
+        .expect("rank 0 must report timings");
+    let scale = slowdown();
+    StepBenchReport {
+        median_step_ms: median(&mut step_ms) * scale,
+        min_step_ms: step_ms.first().copied().unwrap_or(0.0) * scale,
+        max_step_ms: step_ms.last().copied().unwrap_or(0.0) * scale,
+        median_allreduce_ms: median(&mut ar_ms) * scale,
+        gate_step_ms: fast_half_median(&mut step_ms) * scale,
+        gate_allreduce_ms: fast_half_median(&mut ar_ms) * scale,
+        world_size,
+        iters,
+        pool_hits: pool.hits,
+        pool_misses: pool.misses,
+        pool_alloc_bytes: pool.alloc_bytes,
+    }
+}
+
+/// Outcome of comparing a fresh report against the committed baseline.
+#[derive(Debug, Clone, Serialize)]
+pub struct GateVerdict {
+    /// Relative change of the median step time vs baseline
+    /// (`0.2` = 20% slower, negative = faster).
+    pub step_delta: f64,
+    /// Relative change of the all-reduce microbench median.
+    pub allreduce_delta: f64,
+    /// Allowed regression before the gate fails.
+    pub threshold: f64,
+    /// `true` when `step_delta > threshold`.
+    pub regressed: bool,
+}
+
+/// Compare `current` against `baseline` with the given regression
+/// threshold (fraction, e.g. `0.2` for 20%). Only the end-to-end step
+/// median gates; the all-reduce delta is reported for diagnosis.
+pub fn compare(
+    current: &StepBenchReport,
+    baseline: &StepBenchReport,
+    threshold: f64,
+) -> GateVerdict {
+    let rel = |now: f64, then: f64| {
+        if then > 0.0 {
+            (now - then) / then
+        } else {
+            0.0
+        }
+    };
+    let step_delta = rel(current.gate_step_ms, baseline.gate_step_ms);
+    GateVerdict {
+        step_delta,
+        allreduce_delta: rel(current.gate_allreduce_ms, baseline.gate_allreduce_ms),
+        threshold,
+        regressed: step_delta > threshold,
+    }
+}
+
+/// Load a previously emitted report from a JSON file.
+pub fn load_report(path: &std::path::Path) -> Result<StepBenchReport, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    serde_json::from_str(&text).map_err(|e| format!("cannot parse {}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(step: f64, ar: f64) -> StepBenchReport {
+        StepBenchReport {
+            median_step_ms: step,
+            min_step_ms: step,
+            max_step_ms: step,
+            median_allreduce_ms: ar,
+            gate_step_ms: step,
+            gate_allreduce_ms: ar,
+            world_size: 4,
+            iters: 5,
+            pool_hits: 0,
+            pool_misses: 0,
+            pool_alloc_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn gate_passes_within_threshold_and_fails_beyond() {
+        let base = report(10.0, 2.0);
+        let ok = compare(&report(11.5, 2.0), &base, 0.2);
+        assert!(!ok.regressed, "15% slower must pass a 20% gate");
+        let bad = compare(&report(25.0, 2.0), &base, 0.2);
+        assert!(bad.regressed, "2.5x slower must fail");
+        assert!(bad.step_delta > 1.4 && bad.step_delta < 1.6);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let r = report(12.25, 3.5);
+        let text = serde_json::to_string(&r).unwrap();
+        let back: StepBenchReport = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.median_step_ms, r.median_step_ms);
+        assert_eq!(back.pool_alloc_bytes, r.pool_alloc_bytes);
+    }
+
+    #[test]
+    fn median_of_even_and_odd_sample_counts() {
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&mut [4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn fast_half_median_ignores_slow_tail() {
+        // Fastest half of [1,2,3,100] is [1,2] -> 1.5; the contention
+        // spike at 100 must not move the gate statistic.
+        assert_eq!(fast_half_median(&mut [100.0, 2.0, 1.0, 3.0]), 1.5);
+    }
+
+    #[test]
+    fn tiny_bench_run_produces_sane_report() {
+        let cfg = StepBenchConfig {
+            grid: (2, 1, 1, 1),
+            dims: vec![16, 32, 16],
+            batch: 8,
+            iters: 2,
+            warmup: 1,
+            allreduce_elems: 4096,
+        };
+        let r = run_step_bench(&cfg);
+        assert_eq!(r.world_size, 2);
+        assert!(r.median_step_ms > 0.0);
+        assert!(r.median_allreduce_ms > 0.0);
+        assert!(
+            r.pool_hits > 0,
+            "repeated steps must recycle pooled slabs, got {r:?}"
+        );
+    }
+}

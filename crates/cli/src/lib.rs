@@ -1,6 +1,7 @@
 //! Library backing `axonnctl`: argument parsing and subcommand
 //! execution, kept in a library so the logic is unit-testable.
 
+use axonn_bench::step::{compare as bench_compare, load_report, run_step_bench, StepBenchConfig};
 use axonn_cluster::{BandwidthDb, Machine};
 use axonn_ft::{legal_resume_grids, CheckpointStore};
 use axonn_gpt::{table2_models, GptConfig, HEADLINE_BATCH_TOKENS};
@@ -16,7 +17,8 @@ pub const USAGE: &str = "usage:
   axonnctl simulate <machine> <model-billions> <gx> <gy> <gz> <gd> [batch-tokens]
   axonnctl trace <machine> <model-billions> <gx> <gy> <gz> <gd> [batch-tokens] [out-prefix]
   axonnctl profile <machine>
-  axonnctl resume <checkpoint-dir> [target-gpus] [step]";
+  axonnctl resume <checkpoint-dir> [target-gpus] [step]
+  axonnctl bench [baseline.json]";
 
 /// A parsed subcommand.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,6 +56,12 @@ pub enum Command {
         gpus: Option<usize>,
         /// Specific step to inspect (default: the latest durable one).
         step: Option<u64>,
+    },
+    /// Run the wall-clock step benchmark and print the delta against a
+    /// baseline file (default: the committed
+    /// `results/bench_step_baseline.json`).
+    Bench {
+        baseline: Option<String>,
     },
 }
 
@@ -150,6 +158,9 @@ impl Command {
                 };
                 Ok(Command::Resume { dir, gpus, step })
             }
+            "bench" => Ok(Command::Bench {
+                baseline: it.next().cloned(),
+            }),
             other => Err(format!("unknown subcommand '{other}'")),
         }
     }
@@ -403,6 +414,42 @@ pub fn run(cmd: Command) -> Result<(), String> {
             }
             Ok(())
         }
+        Command::Bench { baseline } => {
+            let cfg = StepBenchConfig::default();
+            let report = run_step_bench(&cfg);
+            println!(
+                "median step      {:.3} ms   (min {:.3} / max {:.3}, gate stat {:.3})",
+                report.median_step_ms, report.min_step_ms, report.max_step_ms, report.gate_step_ms
+            );
+            println!("median all-reduce {:.3} ms", report.median_allreduce_ms);
+            println!(
+                "buffer pool      {} hits / {} misses, {:.1} KiB fresh alloc",
+                report.pool_hits,
+                report.pool_misses,
+                report.pool_alloc_bytes as f64 / 1024.0
+            );
+            let path = std::path::PathBuf::from(
+                baseline.unwrap_or_else(|| "results/bench_step_baseline.json".to_string()),
+            );
+            match load_report(&path) {
+                Ok(base) => {
+                    let v = bench_compare(&report, &base, 0.20);
+                    println!(
+                        "vs {}: step {:+.1}%, all-reduce {:+.1}%{}",
+                        path.display(),
+                        v.step_delta * 100.0,
+                        v.allreduce_delta * 100.0,
+                        if v.regressed {
+                            "  ** exceeds 20% regression gate **"
+                        } else {
+                            ""
+                        }
+                    );
+                }
+                Err(e) => println!("(no baseline comparison: {e})"),
+            }
+            Ok(())
+        }
     }
 }
 
@@ -421,6 +468,16 @@ mod tests {
             Command::Machines
         );
         assert_eq!(Command::parse(&sv(&["models"])).unwrap(), Command::Models);
+        assert_eq!(
+            Command::parse(&sv(&["bench"])).unwrap(),
+            Command::Bench { baseline: None }
+        );
+        assert_eq!(
+            Command::parse(&sv(&["bench", "old.json"])).unwrap(),
+            Command::Bench {
+                baseline: Some("old.json".into())
+            }
+        );
         assert_eq!(
             Command::parse(&sv(&["profile", "frontier"])).unwrap(),
             Command::Profile {

@@ -16,7 +16,8 @@ use crate::cost::{CollectiveKind, CostModel, NullCost};
 use crate::fault::{unwrap_comm, CommError, FaultConfig};
 use crate::group::ProcessGroup;
 use crate::mailbox::{MsgKey, PoisonInfo, Transport};
-use axonn_trace::{CollOp, EventDetail, Stream, TraceSink};
+use crate::pool::{segment_ranges, Payload, PipelineConfig, PoolStats};
+use axonn_trace::{CollOp, EventDetail, Stream, TraceSink, XferStats};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -81,18 +82,18 @@ pub struct CommWorld;
 impl CommWorld {
     /// A world of `size` ranks with no virtual-time tracking.
     pub fn create(size: usize) -> Vec<Comm> {
-        Self::create_with_cost(size, Arc::new(NullCost), false, None, FaultConfig::none())
+        Self::builder(size).build()
     }
 
     /// A world of `size` ranks whose clocks advance per `cost`.
     pub fn create_timed(size: usize, cost: Arc<dyn CostModel>) -> Vec<Comm> {
-        Self::create_with_cost(size, cost, true, None, FaultConfig::none())
+        Self::builder(size).cost(cost).build()
     }
 
     /// An untimed world with deterministic fault injection installed
     /// (message drops, link stalls, recv timeout).
     pub fn create_faulty(size: usize, faults: FaultConfig) -> Vec<Comm> {
-        Self::create_with_cost(size, Arc::new(NullCost), false, None, faults)
+        Self::builder(size).faults(faults).build()
     }
 
     /// A timed world with fault injection (stall rules need a clock to
@@ -102,7 +103,7 @@ impl CommWorld {
         cost: Arc<dyn CostModel>,
         faults: FaultConfig,
     ) -> Vec<Comm> {
-        Self::create_with_cost(size, cost, true, None, faults)
+        Self::builder(size).cost(cost).faults(faults).build()
     }
 
     /// A timed world whose ranks record trace events. The returned sinks
@@ -113,20 +114,74 @@ impl CommWorld {
         size: usize,
         cost: Arc<dyn CostModel>,
     ) -> (Vec<Comm>, Vec<Arc<TraceSink>>) {
-        let sinks: Vec<Arc<TraceSink>> = (0..size).map(TraceSink::new).collect();
-        let comms = Self::create_with_cost(size, cost, true, Some(&sinks), FaultConfig::none());
+        Self::builder(size).cost(cost).build_traced()
+    }
+
+    /// Start configuring a world explicitly (cost model, fault
+    /// injection, chunk-pipeline policy).
+    pub fn builder(size: usize) -> WorldBuilder {
+        WorldBuilder {
+            size,
+            cost: Arc::new(NullCost),
+            track_time: false,
+            faults: FaultConfig::none(),
+            pipeline: PipelineConfig::default(),
+        }
+    }
+}
+
+/// Configures and creates a [`Comm`] world.
+pub struct WorldBuilder {
+    size: usize,
+    cost: Arc<dyn CostModel>,
+    track_time: bool,
+    faults: FaultConfig,
+    pipeline: PipelineConfig,
+}
+
+impl WorldBuilder {
+    /// Advance virtual clocks per `cost` (implies time tracking).
+    pub fn cost(mut self, cost: Arc<dyn CostModel>) -> Self {
+        self.cost = cost;
+        self.track_time = true;
+        self
+    }
+
+    /// Install deterministic fault injection.
+    pub fn faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Override the chunk-pipeline segmentation policy (the default
+    /// splits payloads of ≥ 16 Ki elements into up to 4 chunks).
+    pub fn pipeline(mut self, pipeline: PipelineConfig) -> Self {
+        self.pipeline = pipeline;
+        self
+    }
+
+    /// Create the world.
+    pub fn build(self) -> Vec<Comm> {
+        self.build_inner(None)
+    }
+
+    /// Create the world with per-rank trace sinks.
+    pub fn build_traced(self) -> (Vec<Comm>, Vec<Arc<TraceSink>>) {
+        let sinks: Vec<Arc<TraceSink>> = (0..self.size).map(TraceSink::new).collect();
+        let comms = self.build_inner(Some(&sinks));
         (comms, sinks)
     }
 
-    fn create_with_cost(
-        size: usize,
-        cost: Arc<dyn CostModel>,
-        track_time: bool,
-        tracers: Option<&[Arc<TraceSink>]>,
-        faults: FaultConfig,
-    ) -> Vec<Comm> {
+    fn build_inner(self, tracers: Option<&[Arc<TraceSink>]>) -> Vec<Comm> {
+        let WorldBuilder {
+            size,
+            cost,
+            track_time,
+            faults,
+            pipeline,
+        } = self;
         assert!(size > 0, "world size must be positive");
-        let transport = Transport::with_faults(size, faults);
+        let transport = Transport::with_opts(size, faults, pipeline);
         (0..size)
             .map(|rank| {
                 let shared = Arc::new(CommShared {
@@ -163,7 +218,7 @@ pub enum ReduceOp {
 
 impl ReduceOp {
     #[inline]
-    fn combine(self, a: f32, b: f32) -> f32 {
+    pub(crate) fn combine(self, a: f32, b: f32) -> f32 {
         match self {
             ReduceOp::Sum => a + b,
             ReduceOp::Max => a.max(b),
@@ -171,19 +226,86 @@ impl ReduceOp {
     }
 }
 
-/// Sub-channel lanes within one collective's key space.
+/// Sub-channel lanes within one collective's key space. Each lane spans
+/// `0x1_0000` sub-keys, addressed as `lane + step * SEG_STRIDE + segment`
+/// by [`sub`] — up to 256 ring steps of up to 256 pipeline segments.
 pub(crate) mod lane {
-    /// Ring steps of the reduce-scatter phase: `RS + s`.
+    /// Ring steps of the reduce-scatter phase.
     pub const RS: u32 = 0;
-    /// Ring steps of the all-gather phase: `AG + s`.
+    /// Ring steps of the all-gather phase.
     pub const AG: u32 = 0x0001_0000;
-    /// Broadcast fan-out: `BCAST + receiver position`.
+    /// Pipelined broadcast chain: `BCAST + segment`.
     pub const BCAST: u32 = 0x0002_0000;
     /// Clock synchronisation (gather to root, then fan-out).
     pub const CLOCK_UP: u32 = 0x0003_0000;
     pub const CLOCK_DOWN: u32 = 0x0004_0000;
     /// Recursive-doubling exchange steps: `RD + s`.
     pub const RD: u32 = 0x0005_0000;
+}
+
+/// Sub-keys per ring step (and therefore the cap on pipeline segments).
+pub(crate) const SEG_STRIDE: u32 = 256;
+
+/// Sub-key of pipeline `segment` within ring `step` (lane-relative).
+#[inline]
+pub(crate) fn sub(step: usize, segment: usize) -> u32 {
+    debug_assert!(step < 256, "ring step {step} exceeds key space");
+    debug_assert!(
+        segment < SEG_STRIDE as usize,
+        "segment {segment} exceeds key space"
+    );
+    step as u32 * SEG_STRIDE + segment as u32
+}
+
+/// Per-collective transport statistics gathered by the ring functions:
+/// how the payload was segmented and how the slab pool behaved. Kept
+/// local to the operation (not read back from the world-wide pool) so
+/// concurrent collectives on the compute and comm-worker threads don't
+/// smear each other's numbers.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct HopStats {
+    pub(crate) chunks: u32,
+    pub(crate) alloc_bytes: u64,
+    pub(crate) pool_hits: u64,
+    pub(crate) pool_misses: u64,
+}
+
+impl HopStats {
+    /// Record one hop-buffer checkout of `elems` elements.
+    fn note(&mut self, hit: bool, elems: usize) {
+        if hit {
+            self.pool_hits += 1;
+        } else {
+            self.pool_misses += 1;
+            self.alloc_bytes += (elems * 4) as u64;
+        }
+    }
+
+    pub(crate) fn xfer(&self) -> XferStats {
+        XferStats {
+            chunks: self.chunks,
+            alloc_bytes: self.alloc_bytes,
+            pool_hits: self.pool_hits,
+            pool_misses: self.pool_misses,
+        }
+    }
+}
+
+/// Copy `src` into a pooled slab, tallying the checkout into `stats`.
+fn pooled(shared: &CommShared, src: &[f32], stats: &mut HopStats) -> Payload {
+    let (payload, hit) = Payload::copy_pooled(shared.transport.pool(), src);
+    stats.note(hit, src.len());
+    payload
+}
+
+/// Segment count for a payload of `len` elements under the world's
+/// pipeline policy, clamped to the key-space cap.
+fn segments(shared: &CommShared, len: usize) -> usize {
+    shared
+        .transport
+        .pipeline()
+        .segments_for(len)
+        .min(SEG_STRIDE as usize)
 }
 
 impl Comm {
@@ -255,27 +377,47 @@ impl Comm {
     }
 
     /// Raw tagged point-to-point send (tag space is disjoint from
-    /// collective keys).
-    pub fn send(&self, dst: usize, tag: u64, data: Vec<f32>) {
+    /// collective keys). Accepts anything convertible to a [`Payload`];
+    /// re-sending a received payload is zero-copy.
+    pub fn send(&self, dst: usize, tag: u64, data: impl Into<Payload>) {
         let key = msg_key(u64::MAX, tag, 0);
         self.shared.transport.send(self.rank, dst, key, data);
     }
 
     /// Raw tagged point-to-point receive.
-    pub fn recv(&self, src: usize, tag: u64) -> Vec<f32> {
+    pub fn recv(&self, src: usize, tag: u64) -> Payload {
         unwrap_comm(self.try_recv(src, tag))
     }
 
     /// Fallible tagged point-to-point receive: resolves to
     /// [`CommError::PeerLost`] if `src` is dead or silent past the recv
     /// timeout instead of blocking forever.
-    pub fn try_recv(&self, src: usize, tag: u64) -> Result<Vec<f32>, CommError> {
+    pub fn try_recv(&self, src: usize, tag: u64) -> Result<Payload, CommError> {
         let key = msg_key(u64::MAX, tag, 0);
         self.shared.transport.recv_result(self.rank, src, key)
     }
 
+    /// Copy `src` into a slab checked out of the world's buffer pool —
+    /// the preferred way to build payloads for [`send`](Self::send) and
+    /// the pooled async collectives, since the slab is recycled once the
+    /// last receiver drops it.
+    pub fn pooled_payload(&self, src: &[f32]) -> Payload {
+        Payload::copy_pooled(self.shared.transport.pool(), src).0
+    }
+
+    /// Allocation statistics of the world's slab pool since creation.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.shared.transport.pool().stats()
+    }
+
     /// Blocking all-gather: every member contributes `shard`; returns the
     /// concatenation of all members' shards in group-position order.
+    ///
+    /// Every member must contribute a shard of the same length — ranks
+    /// cannot verify this locally, so a mismatch is caught at receive
+    /// time (length assertion on each incoming block), not returned as
+    /// a typed error like the [`try_reduce_scatter`](Self::try_reduce_scatter)
+    /// divisibility check.
     pub fn all_gather(&self, group: &ProcessGroup, shard: &[f32]) -> Vec<f32> {
         unwrap_comm(self.try_all_gather(group, shard))
     }
@@ -288,13 +430,15 @@ impl Comm {
     ) -> Result<Vec<f32>, CommError> {
         let seq = self.next_seq(group);
         let wall = self.wall_now();
-        let out = ring_all_gather(&self.shared, self.rank, group, seq, shard)?;
+        let mut stats = HopStats::default();
+        let out = ring_all_gather(&self.shared, self.rank, group, seq, shard, &mut stats)?;
         self.charge_blocking(
             group,
             seq,
             CollectiveKind::AllGather,
             (out.len() * 4) as f64,
             wall,
+            stats,
         )?;
         Ok(out)
     }
@@ -306,7 +450,9 @@ impl Comm {
         unwrap_comm(self.try_reduce_scatter(group, buf))
     }
 
-    /// Fallible reduce-scatter.
+    /// Fallible reduce-scatter. Returns
+    /// [`CommError::InvalidBuffer`] when the buffer length is not
+    /// divisible by the group size (no messages move in that case).
     pub fn try_reduce_scatter(
         &self,
         group: &ProcessGroup,
@@ -314,13 +460,15 @@ impl Comm {
     ) -> Result<Vec<f32>, CommError> {
         let seq = self.next_seq(group);
         let wall = self.wall_now();
-        let out = ring_reduce_scatter(&self.shared, self.rank, group, seq, buf)?;
+        let mut stats = HopStats::default();
+        let out = ring_reduce_scatter(&self.shared, self.rank, group, seq, buf, &mut stats)?;
         self.charge_blocking(
             group,
             seq,
             CollectiveKind::ReduceScatter,
             (buf.len() * 4) as f64,
             wall,
+            stats,
         )?;
         Ok(out)
     }
@@ -356,13 +504,15 @@ impl Comm {
     ) -> Result<(), CommError> {
         let seq = self.next_seq(group);
         let wall = self.wall_now();
-        ring_all_reduce(&self.shared, self.rank, group, seq, buf, op)?;
+        let mut stats = HopStats::default();
+        ring_all_reduce(&self.shared, self.rank, group, seq, buf, op, &mut stats)?;
         self.charge_blocking(
             group,
             seq,
             CollectiveKind::AllReduce,
             (buf.len() * 4) as f64,
             wall,
+            stats,
         )
     }
 
@@ -375,18 +525,19 @@ impl Comm {
         if buf.len() <= SMALL_ELEMS && group.size().is_power_of_two() {
             let seq = self.next_seq(group);
             let wall = self.wall_now();
+            let mut stats = HopStats::default();
             unwrap_comm(
-                recursive_doubling_all_reduce(&self.shared, self.rank, group, seq, buf).and_then(
-                    |()| {
+                recursive_doubling_all_reduce(&self.shared, self.rank, group, seq, buf, &mut stats)
+                    .and_then(|()| {
                         self.charge_blocking(
                             group,
                             seq,
                             CollectiveKind::AllReduceRecursiveDoubling,
                             (buf.len() * 4) as f64,
                             wall,
+                            stats,
                         )
-                    },
-                ),
+                    }),
             );
         } else {
             self.all_reduce(group, buf);
@@ -407,13 +558,23 @@ impl Comm {
     ) -> Result<(), CommError> {
         let seq = self.next_seq(group);
         let wall = self.wall_now();
-        ring_broadcast(&self.shared, self.rank, group, seq, root_pos, buf)?;
+        let mut stats = HopStats::default();
+        ring_broadcast(
+            &self.shared,
+            self.rank,
+            group,
+            seq,
+            root_pos,
+            buf,
+            &mut stats,
+        )?;
         self.charge_blocking(
             group,
             seq,
             CollectiveKind::Broadcast,
             (buf.len() * 4) as f64,
             wall,
+            stats,
         )
     }
 
@@ -428,6 +589,7 @@ impl Comm {
         let mut token = vec![0.0f32];
         let seq = self.next_seq(group);
         let wall = self.wall_now();
+        let mut stats = HopStats::default();
         ring_all_reduce(
             &self.shared,
             self.rank,
@@ -435,8 +597,9 @@ impl Comm {
             seq,
             &mut token,
             ReduceOp::Sum,
+            &mut stats,
         )?;
-        self.charge_blocking(group, seq, CollectiveKind::Barrier, 0.0, wall)
+        self.charge_blocking(group, seq, CollectiveKind::Barrier, 0.0, wall, stats)
     }
 
     /// Wall-clock timestamp for trace events (0 when not tracing).
@@ -456,6 +619,7 @@ impl Comm {
         kind: CollectiveKind,
         bytes: f64,
         wall_start: u64,
+        stats: HopStats,
     ) -> Result<(), CommError> {
         if !self.shared.track_time || group.size() <= 1 {
             return Ok(());
@@ -463,11 +627,12 @@ impl Comm {
         let entry = self.shared.clock.lock().now;
         let start = clock_sync(&self.shared, self.rank, group, seq, entry)?;
         let stall = self.shared.transport.take_stall(self.rank);
-        let cost = self
-            .shared
-            .cost
-            .collective_seconds(kind, group.size(), bytes)
-            + stall;
+        let cost = self.shared.cost.collective_seconds_chunked(
+            kind,
+            group.size(),
+            bytes,
+            stats.chunks.max(1) as usize,
+        ) + stall;
         let done = {
             let mut clock = self.shared.clock.lock();
             let begin = start.max(clock.comm_free_sync);
@@ -477,7 +642,7 @@ impl Comm {
             done
         };
         if let Some(tracer) = &self.shared.tracer {
-            tracer.record(
+            tracer.record_xfer(
                 Stream::Compute,
                 entry,
                 done,
@@ -492,6 +657,7 @@ impl Comm {
                     blocking: true,
                     op_seconds: cost,
                 },
+                stats.xfer(),
             );
         }
         Ok(())
@@ -544,12 +710,23 @@ pub(crate) fn clock_sync(
 
 /// Ring all-gather over a group. `shard` is this rank's contribution;
 /// returns all shards concatenated in group-position order.
+///
+/// Every member must contribute the same shard length (an SPMD contract
+/// this rank cannot check locally; violations surface as a per-segment
+/// length-mismatch panic at the receiver).
+///
+/// Each per-step block is segmented into pipeline chunks sent as pooled
+/// slabs: sends never block, so segment `j` of step `s` is already on
+/// the wire while segment `j-1` is being copied out at the receiver —
+/// and each slab is bounded by `shard/S`, which is what lets the pool
+/// recycle hop buffers across steps instead of allocating per hop.
 pub(crate) fn ring_all_gather(
     shared: &CommShared,
     rank: usize,
     group: &ProcessGroup,
     seq: u64,
     shard: &[f32],
+    stats: &mut HopStats,
 ) -> Result<Vec<f32>, CommError> {
     let g = group.size();
     if g == 1 {
@@ -560,23 +737,29 @@ pub(crate) fn ring_all_gather(
     let next = group.next_of(rank);
     let prev = group.prev_of(rank);
     let chunk = shard.len();
+    let segs = segments(shared, chunk);
+    stats.chunks = stats.chunks.max(segs as u32);
     let mut out = vec![0.0f32; chunk * g];
     out[pos * chunk..(pos + 1) * chunk].copy_from_slice(shard);
     for s in 0..g - 1 {
         let send_c = (pos + g - s) % g;
-        shared.transport.send(
-            rank,
-            next,
-            msg_key(gk, seq, lane::AG + s as u32),
-            out[send_c * chunk..(send_c + 1) * chunk].to_vec(),
-        );
-        let recv_c = (pos + g - s - 1) % g;
-        let data =
+        let send_base = send_c * chunk;
+        for (j, r) in segment_ranges(chunk, segs).enumerate() {
+            let payload = pooled(shared, &out[send_base + r.start..send_base + r.end], stats);
             shared
                 .transport
-                .recv_result(rank, prev, msg_key(gk, seq, lane::AG + s as u32))?;
-        assert_eq!(data.len(), chunk, "all-gather shard length mismatch");
-        out[recv_c * chunk..(recv_c + 1) * chunk].copy_from_slice(&data);
+                .send(rank, next, msg_key(gk, seq, lane::AG + sub(s, j)), payload);
+        }
+        let recv_c = (pos + g - s - 1) % g;
+        let recv_base = recv_c * chunk;
+        for (j, r) in segment_ranges(chunk, segs).enumerate() {
+            let data =
+                shared
+                    .transport
+                    .recv_result(rank, prev, msg_key(gk, seq, lane::AG + sub(s, j)))?;
+            assert_eq!(data.len(), r.len(), "all-gather shard length mismatch");
+            out[recv_base + r.start..recv_base + r.end].copy_from_slice(&data);
+        }
     }
     Ok(out)
 }
@@ -589,11 +772,19 @@ pub(crate) fn ring_reduce_scatter(
     group: &ProcessGroup,
     seq: u64,
     buf: &[f32],
+    stats: &mut HopStats,
 ) -> Result<Vec<f32>, CommError> {
-    ring_reduce_scatter_op(shared, rank, group, seq, buf, ReduceOp::Sum)
+    ring_reduce_scatter_op(shared, rank, group, seq, buf, ReduceOp::Sum, stats)
 }
 
 /// Ring reduce-scatter with an explicit reduction operator.
+///
+/// The buffer length must be divisible by the group size; an indivisible
+/// length is rejected with [`CommError::InvalidBuffer`] *before* any
+/// message moves (the seed transport silently assumed divisibility).
+/// Segmentation follows the same pipeline policy as all-gather; the
+/// elementwise reduction order around the ring is unchanged by it, so
+/// results stay bit-identical to the unsegmented reference.
 pub(crate) fn ring_reduce_scatter_op(
     shared: &CommShared,
     rank: usize,
@@ -601,44 +792,51 @@ pub(crate) fn ring_reduce_scatter_op(
     seq: u64,
     buf: &[f32],
     op: ReduceOp,
+    stats: &mut HopStats,
 ) -> Result<Vec<f32>, CommError> {
     let g = group.size();
     if g == 1 {
         return Ok(buf.to_vec());
     }
-    assert_eq!(
-        buf.len() % g,
-        0,
-        "reduce-scatter buffer length {} not divisible by group size {g}",
-        buf.len()
-    );
+    if !buf.len().is_multiple_of(g) {
+        return Err(CommError::InvalidBuffer {
+            op: "reduce_scatter",
+            detail: format!("length {} not divisible by group size {g}", buf.len()),
+        });
+    }
     let gk = group.key();
     let pos = group.position_of(rank);
     let next = group.next_of(rank);
     let prev = group.prev_of(rank);
     let chunk = buf.len() / g;
+    let segs = segments(shared, chunk);
+    stats.chunks = stats.chunks.max(segs as u32);
     let mut work = buf.to_vec();
     for s in 0..g - 1 {
         // Logical chunk indices: after g-1 steps this rank owns chunk
         // `pos`, fully reduced around the ring.
         let send_c = (pos + 2 * g - s - 1) % g;
-        shared.transport.send(
-            rank,
-            next,
-            msg_key(gk, seq, lane::RS + s as u32),
-            work[send_c * chunk..(send_c + 1) * chunk].to_vec(),
-        );
-        let recv_c = (pos + 2 * g - s - 2) % g;
-        let data =
+        let send_base = send_c * chunk;
+        for (j, r) in segment_ranges(chunk, segs).enumerate() {
+            let payload = pooled(shared, &work[send_base + r.start..send_base + r.end], stats);
             shared
                 .transport
-                .recv_result(rank, prev, msg_key(gk, seq, lane::RS + s as u32))?;
-        assert_eq!(data.len(), chunk, "reduce-scatter chunk length mismatch");
-        for (w, d) in work[recv_c * chunk..(recv_c + 1) * chunk]
-            .iter_mut()
-            .zip(&data)
-        {
-            *w = op.combine(*w, *d);
+                .send(rank, next, msg_key(gk, seq, lane::RS + sub(s, j)), payload);
+        }
+        let recv_c = (pos + 2 * g - s - 2) % g;
+        let recv_base = recv_c * chunk;
+        for (j, r) in segment_ranges(chunk, segs).enumerate() {
+            let data =
+                shared
+                    .transport
+                    .recv_result(rank, prev, msg_key(gk, seq, lane::RS + sub(s, j)))?;
+            assert_eq!(data.len(), r.len(), "reduce-scatter chunk length mismatch");
+            for (w, d) in work[recv_base + r.start..recv_base + r.end]
+                .iter_mut()
+                .zip(data.iter())
+            {
+                *w = op.combine(*w, *d);
+            }
         }
     }
     Ok(work[pos * chunk..(pos + 1) * chunk].to_vec())
@@ -653,6 +851,7 @@ pub(crate) fn ring_all_reduce(
     seq: u64,
     buf: &mut [f32],
     op: ReduceOp,
+    stats: &mut HopStats,
 ) -> Result<(), CommError> {
     let g = group.size();
     if g == 1 {
@@ -667,8 +866,8 @@ pub(crate) fn ring_all_reduce(
         ReduceOp::Max => f32::NEG_INFINITY,
     };
     work.resize(padded, pad);
-    let mine = ring_reduce_scatter_op(shared, rank, group, seq, &work, op)?;
-    let full = ring_all_gather(shared, rank, group, seq, &mine)?;
+    let mine = ring_reduce_scatter_op(shared, rank, group, seq, &work, op, stats)?;
+    let full = ring_all_gather(shared, rank, group, seq, &mine, stats)?;
     buf.copy_from_slice(&full[..n]);
     Ok(())
 }
@@ -682,6 +881,7 @@ pub(crate) fn recursive_doubling_all_reduce(
     group: &ProcessGroup,
     seq: u64,
     buf: &mut [f32],
+    stats: &mut HopStats,
 ) -> Result<(), CommError> {
     let g = group.size();
     if g == 1 {
@@ -691,20 +891,24 @@ pub(crate) fn recursive_doubling_all_reduce(
         g.is_power_of_two(),
         "recursive doubling needs a power-of-two group"
     );
+    // Recursive doubling serves the latency-bound small-message regime:
+    // whole-buffer exchanges, never segmented.
+    stats.chunks = stats.chunks.max(1);
     let gk = group.key();
     let pos = group.position_of(rank);
     let mut stride = 1usize;
     let mut s = 0u32;
     while stride < g {
         let partner = group.rank_at(pos ^ stride);
+        let payload = pooled(shared, buf, stats);
         shared
             .transport
-            .send(rank, partner, msg_key(gk, seq, lane::RD + s), buf.to_vec());
+            .send(rank, partner, msg_key(gk, seq, lane::RD + s), payload);
         let data = shared
             .transport
             .recv_result(rank, partner, msg_key(gk, seq, lane::RD + s))?;
         assert_eq!(data.len(), buf.len(), "recursive-doubling length mismatch");
-        for (b, d) in buf.iter_mut().zip(&data) {
+        for (b, d) in buf.iter_mut().zip(data.iter()) {
             *b += d;
         }
         stride <<= 1;
@@ -713,8 +917,14 @@ pub(crate) fn recursive_doubling_all_reduce(
     Ok(())
 }
 
-/// Broadcast from group position `root_pos` around the ring (pipelined as
-/// a single pass; cost is modelled separately).
+/// Broadcast from group position `root_pos` as a chunk-pipelined chain
+/// around the ring: the root segments the buffer into pooled payloads
+/// and streams them to its successor; every other rank forwards each
+/// segment to the next rank (an `Arc` clone — the slab is never copied
+/// on the wire) *before* unpacking it locally, so segment `j` travels
+/// hop `k+1` while segment `j+1` travels hop `k`. The seed transport
+/// instead star-fanned one full copy of the buffer per receiver from the
+/// root; the chain matches the pipelined cost the model charges.
 pub(crate) fn ring_broadcast(
     shared: &CommShared,
     rank: usize,
@@ -722,6 +932,7 @@ pub(crate) fn ring_broadcast(
     seq: u64,
     root_pos: usize,
     buf: &mut [f32],
+    stats: &mut HopStats,
 ) -> Result<(), CommError> {
     let g = group.size();
     if g == 1 {
@@ -729,25 +940,35 @@ pub(crate) fn ring_broadcast(
     }
     let gk = group.key();
     let pos = group.position_of(rank);
-    if pos == root_pos {
-        for p in 0..g {
-            if p != root_pos {
-                shared.transport.send(
-                    rank,
-                    group.rank_at(p),
-                    msg_key(gk, seq, lane::BCAST + p as u32),
-                    buf.to_vec(),
-                );
-            }
+    let segs = segments(shared, buf.len());
+    stats.chunks = stats.chunks.max(segs as u32);
+    // Distance from the root along the chain; the rank at distance g-1
+    // is the tail and forwards nothing.
+    let dist = (pos + g - root_pos) % g;
+    let next = group.rank_at((pos + 1) % g);
+    let prev = group.rank_at((pos + g - 1) % g);
+    if dist == 0 {
+        for (j, r) in segment_ranges(buf.len(), segs).enumerate() {
+            let payload = pooled(shared, &buf[r], stats);
+            shared.transport.send(
+                rank,
+                next,
+                msg_key(gk, seq, lane::BCAST + j as u32),
+                payload,
+            );
         }
     } else {
-        let data = shared.transport.recv_result(
-            rank,
-            group.rank_at(root_pos),
-            msg_key(gk, seq, lane::BCAST + pos as u32),
-        )?;
-        assert_eq!(data.len(), buf.len(), "broadcast length mismatch");
-        buf.copy_from_slice(&data);
+        for (j, r) in segment_ranges(buf.len(), segs).enumerate() {
+            let key = msg_key(gk, seq, lane::BCAST + j as u32);
+            let data = shared.transport.recv_result(rank, prev, key)?;
+            if dist + 1 < g {
+                // Forward before unpacking: zero-copy, and the next hop
+                // overlaps this rank's local copy.
+                shared.transport.send(rank, next, key, data.clone());
+            }
+            assert_eq!(data.len(), r.len(), "broadcast length mismatch");
+            buf[r].copy_from_slice(&data);
+        }
     }
     Ok(())
 }

@@ -33,6 +33,21 @@ pub trait CostModel: Send + Sync {
     /// all-reduce/broadcast; the gathered size for all-gather; the
     /// pre-scatter size for reduce-scatter).
     fn collective_seconds(&self, kind: CollectiveKind, group_size: usize, bytes: f64) -> f64;
+
+    /// Seconds charged for a collective whose payload the transport
+    /// segmented into `chunks` pipeline chunks. The default ignores the
+    /// segmentation (models without a latency term are chunk-blind);
+    /// latency-aware models charge per chunk, not per message.
+    fn collective_seconds_chunked(
+        &self,
+        kind: CollectiveKind,
+        group_size: usize,
+        bytes: f64,
+        chunks: usize,
+    ) -> f64 {
+        let _ = chunks;
+        self.collective_seconds(kind, group_size, bytes)
+    }
 }
 
 /// Charges nothing: virtual clocks stay at zero. The default for pure
@@ -130,6 +145,47 @@ impl CostModel for RingCostModel {
         }
         steps * self.alpha + volume / self.bandwidth
     }
+
+    /// Per-chunk charging. Ring all-gather / reduce-scatter / all-reduce
+    /// are already bandwidth-optimal, so segmentation leaves the volume
+    /// term untouched and only multiplies the per-step latency (each
+    /// step now sends `chunks` messages, each paying α). A pipelined
+    /// ring *broadcast* genuinely benefits: the chain drains in
+    /// `g + S - 2` slots of `α + n/(S·β)` instead of `g - 1` full-buffer
+    /// hops, approaching `n/β` as S grows — which is what the flat model
+    /// above already assumed. With `alpha == 0` (the paper's
+    /// Assumption-3 and this model's default) every chunked cost equals
+    /// its unchunked counterpart, so segmentation never perturbs
+    /// existing virtual timelines.
+    fn collective_seconds_chunked(
+        &self,
+        kind: CollectiveKind,
+        group_size: usize,
+        bytes: f64,
+        chunks: usize,
+    ) -> f64 {
+        let g = group_size as f64;
+        let s = chunks.max(1) as f64;
+        if group_size <= 1 {
+            return 0.0;
+        }
+        match kind {
+            CollectiveKind::AllGather | CollectiveKind::ReduceScatter => {
+                (g - 1.0) * s * self.alpha + (g - 1.0) / g * bytes / self.bandwidth
+            }
+            CollectiveKind::AllReduce => {
+                2.0 * (g - 1.0) * s * self.alpha + 2.0 * (g - 1.0) / g * bytes / self.bandwidth
+            }
+            CollectiveKind::Broadcast => {
+                let slots = g + s - 2.0;
+                slots * (self.alpha + bytes / (s * self.bandwidth))
+            }
+            CollectiveKind::Barrier => 2.0 * (g - 1.0) * s * self.alpha,
+            CollectiveKind::AllReduceRecursiveDoubling | CollectiveKind::PointToPoint => {
+                self.collective_seconds(kind, group_size, bytes)
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -203,5 +259,51 @@ mod tests {
     fn compute_rate() {
         let m = RingCostModel::new(2.0e12, 1.0);
         assert!((m.compute_seconds(4.0e12) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chunked_equals_unchunked_when_alpha_is_zero() {
+        // Assumption-3 (zero per-step latency): segmentation must not
+        // perturb any modelled time, whatever the chunk count.
+        let m = RingCostModel::new(1e9, 1e9);
+        for kind in [
+            CollectiveKind::AllGather,
+            CollectiveKind::ReduceScatter,
+            CollectiveKind::AllReduce,
+            CollectiveKind::Barrier,
+        ] {
+            for chunks in [1usize, 2, 4, 8] {
+                let base = m.collective_seconds(kind, 4, 4e6);
+                let chunked = m.collective_seconds_chunked(kind, 4, 4e6, chunks);
+                assert!(
+                    (base - chunked).abs() < 1e-15,
+                    "{kind:?} S={chunks}: {base} vs {chunked}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_latency_term_charges_per_chunk() {
+        let m = RingCostModel::new(1.0, f64::INFINITY).with_latency(1e-6);
+        // All-reduce on g=5: 2(g-1)·S steps of alpha.
+        let t = m.collective_seconds_chunked(CollectiveKind::AllReduce, 5, 1000.0, 3);
+        assert!((t - 24.0e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pipelined_broadcast_approaches_bandwidth_bound() {
+        // Bandwidth-bound chain: more chunks → closer to n/β.
+        let m = RingCostModel::new(1.0, 100.0);
+        let n = 1000.0;
+        let g = 8;
+        let t1 = m.collective_seconds_chunked(CollectiveKind::Broadcast, g, n, 1);
+        let t4 = m.collective_seconds_chunked(CollectiveKind::Broadcast, g, n, 4);
+        let t64 = m.collective_seconds_chunked(CollectiveKind::Broadcast, g, n, 64);
+        assert!(t4 < t1, "pipelining must help: S=4 {t4} vs S=1 {t1}");
+        assert!(t64 < t4);
+        let bound = n / 100.0;
+        assert!(t64 < 1.2 * bound, "S=64 {t64} should near n/β = {bound}");
+        assert!(t64 >= bound, "no model beats the serial bandwidth bound");
     }
 }

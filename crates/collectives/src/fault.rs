@@ -31,6 +31,15 @@ pub enum CommError {
     /// The world was poisoned (some rank panicked) before or during the
     /// operation.
     Poisoned(PoisonInfo),
+    /// The caller handed a collective a buffer it cannot operate on
+    /// (e.g. a reduce-scatter length not divisible by the group size).
+    /// Raised *before* any message moves, so no peer is left waiting.
+    InvalidBuffer {
+        /// The collective that rejected the buffer.
+        op: &'static str,
+        /// What was wrong with it.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for CommError {
@@ -44,6 +53,9 @@ impl std::fmt::Display for CommError {
                 "world poisoned: rank {} panicked: {}",
                 info.origin_rank, info.message
             ),
+            CommError::InvalidBuffer { op, detail } => {
+                write!(f, "invalid buffer for {op}: {detail}")
+            }
         }
     }
 }
@@ -156,6 +168,10 @@ pub(crate) fn unwrap_comm<T>(r: Result<T, CommError>) -> T {
             "world poisoned: rank {} panicked: {}",
             info.origin_rank, info.message
         ),
+        // A bad buffer is a caller bug: the infallible API panics with
+        // the formatted diagnosis (a `String` payload, classified as a
+        // genuine panic by the supervisor).
+        Err(e @ CommError::InvalidBuffer { .. }) => panic!("{e}"),
         Err(e @ CommError::PeerLost { .. }) => std::panic::panic_any(e),
     }
 }
@@ -176,6 +192,14 @@ mod tests {
             message: "boom".into(),
         });
         assert_eq!(p.to_string(), "world poisoned: rank 1 panicked: boom");
+        let b = CommError::InvalidBuffer {
+            op: "reduce_scatter",
+            detail: "length 10 not divisible by group size 4".into(),
+        };
+        assert_eq!(
+            b.to_string(),
+            "invalid buffer for reduce_scatter: length 10 not divisible by group size 4"
+        );
     }
 
     #[test]

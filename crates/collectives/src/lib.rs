@@ -22,8 +22,10 @@ pub mod fault;
 pub mod group;
 pub mod mailbox;
 pub mod nonblocking;
+pub mod pool;
+pub mod reference;
 
-pub use comm::{Comm, CommWorld, ReduceOp};
+pub use comm::{Comm, CommWorld, ReduceOp, WorldBuilder};
 pub use cost::{CollectiveKind, CostModel, NullCost, RingCostModel};
 pub use fault::{
     CommError, DropRule, FailureKind, FailureRecord, FaultConfig, InjectedKill, StallRule,
@@ -32,3 +34,4 @@ pub use fault::{
 pub use group::ProcessGroup;
 pub use mailbox::PoisonInfo;
 pub use nonblocking::{AsyncHandle, AsyncOp};
+pub use pool::{BufferPool, Payload, PipelineConfig, PoolStats};

@@ -16,6 +16,7 @@
 //! messages for fault-injection tests.
 
 use crate::fault::{CommError, FaultConfig, DEFAULT_RECV_TIMEOUT};
+use crate::pool::{BufferPool, Payload, PipelineConfig};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -35,7 +36,7 @@ pub struct PoisonInfo {
 
 #[derive(Default)]
 struct Slot {
-    queues: HashMap<(usize, MsgKey), VecDeque<Vec<f32>>>,
+    queues: HashMap<(usize, MsgKey), VecDeque<Payload>>,
 }
 
 /// One rank's inbox.
@@ -61,13 +62,13 @@ impl Mailbox {
         }
     }
 
-    fn deposit(&self, from: usize, key: MsgKey, data: Vec<f32>) {
+    fn deposit(&self, from: usize, key: MsgKey, data: Payload) {
         let mut slot = self.slot.lock();
         slot.queues.entry((from, key)).or_default().push_back(data);
         self.signal.notify_all();
     }
 
-    fn take(&self, from: usize, key: MsgKey, timeout: Duration) -> Result<Vec<f32>, CommError> {
+    fn take(&self, from: usize, key: MsgKey, timeout: Duration) -> Result<Payload, CommError> {
         let deadline = Instant::now() + timeout;
         let mut slot = self.slot.lock();
         loop {
@@ -121,6 +122,10 @@ pub struct Transport {
     /// each rank's next blocking collective (timed worlds).
     pending_stall: Vec<Mutex<f64>>,
     recv_timeout: Duration,
+    /// World-wide slab pool backing pooled payloads.
+    pool: BufferPool,
+    /// Segmentation policy for ring pipeline chunks.
+    pipeline: PipelineConfig,
 }
 
 impl Transport {
@@ -130,6 +135,16 @@ impl Transport {
 
     /// A transport with deterministic fault injection installed.
     pub fn with_faults(world_size: usize, config: FaultConfig) -> Arc<Self> {
+        Self::with_opts(world_size, config, PipelineConfig::default())
+    }
+
+    /// A transport with fault injection and an explicit chunk-pipeline
+    /// policy.
+    pub fn with_opts(
+        world_size: usize,
+        config: FaultConfig,
+        pipeline: PipelineConfig,
+    ) -> Arc<Self> {
         let poison = Arc::new(Mutex::new(None));
         let dead = Arc::new(Mutex::new(HashMap::new()));
         Arc::new(Transport {
@@ -145,11 +160,23 @@ impl Transport {
             }),
             pending_stall: (0..world_size).map(|_| Mutex::new(0.0)).collect(),
             recv_timeout: config.recv_timeout.unwrap_or(DEFAULT_RECV_TIMEOUT),
+            pool: BufferPool::new(),
+            pipeline,
         })
     }
 
     pub fn world_size(&self) -> usize {
         self.boxes.len()
+    }
+
+    /// The world's slab pool.
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    /// The world's chunk-pipeline policy.
+    pub fn pipeline(&self) -> &PipelineConfig {
+        &self.pipeline
     }
 
     /// Mark the world dead: every rank blocked in (or later entering) a
@@ -225,7 +252,10 @@ impl Transport {
 
     /// Deliver `data` to `dst`'s mailbox under `key`, stamped with the
     /// sender's rank. Never blocks. Subject to injected drop/stall rules.
-    pub fn send(&self, src: usize, dst: usize, key: MsgKey, data: Vec<f32>) {
+    /// Accepts anything convertible to a [`Payload`]; forwarding a
+    /// received payload is an `Arc` clone, not a copy.
+    pub fn send(&self, src: usize, dst: usize, key: MsgKey, data: impl Into<Payload>) {
+        let data = data.into();
         debug_assert!(dst < self.boxes.len(), "send to rank {dst} out of world");
         {
             let mut faults = self.faults.lock();
@@ -257,13 +287,13 @@ impl Transport {
     /// # Panics
     /// On poison (legacy message format) or lost peer; the fallible
     /// variant is [`recv_result`](Self::recv_result).
-    pub fn recv(&self, dst: usize, src: usize, key: MsgKey) -> Vec<f32> {
+    pub fn recv(&self, dst: usize, src: usize, key: MsgKey) -> Payload {
         crate::fault::unwrap_comm(self.recv_result(dst, src, key))
     }
 
     /// Block until a message from `src` with `key` arrives at `dst`, or
     /// until `src` is known dead / the recv timeout expires.
-    pub fn recv_result(&self, dst: usize, src: usize, key: MsgKey) -> Result<Vec<f32>, CommError> {
+    pub fn recv_result(&self, dst: usize, src: usize, key: MsgKey) -> Result<Payload, CommError> {
         debug_assert!(dst < self.boxes.len(), "recv at rank {dst} out of world");
         self.boxes[dst].take(src, key, self.recv_timeout)
     }
@@ -435,6 +465,21 @@ mod tests {
         assert_eq!(t.take_stall(1), 2.5);
         assert_eq!(t.take_stall(1), 0.0);
         assert_eq!(t.take_stall(0), 0.0);
+    }
+
+    #[test]
+    fn forwarded_payload_shares_storage() {
+        // A ring rank forwarding a received chunk to its successor must
+        // not copy: the same slab sits in both mailboxes.
+        let t = Transport::new(3);
+        let (p, _) = crate::pool::Payload::copy_pooled(t.pool(), &[1.0, 2.0]);
+        t.send(0, 1, 7, p);
+        let got = t.recv(1, 0, 7);
+        let ptr = got.as_slice().as_ptr();
+        t.send(1, 2, 7, got.clone());
+        let fwd = t.recv(2, 1, 7);
+        assert_eq!(fwd.as_slice().as_ptr(), ptr, "forwarding must be zero-copy");
+        assert_eq!(fwd, vec![1.0, 2.0]);
     }
 
     #[test]

@@ -9,23 +9,30 @@
 //! overlap genuinely reduces virtual batch time exactly when it reduces
 //! non-overlapped communication.
 
-use crate::comm::{clock_sync, coll_op, Comm, CommShared};
+use crate::comm::{clock_sync, coll_op, Comm, CommShared, HopStats};
 use crate::cost::CollectiveKind;
 use crate::fault::{unwrap_comm, CommError};
 use crate::group::ProcessGroup;
+use crate::pool::Payload;
 use axonn_trace::{EventDetail, Stream};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::sync::Arc;
 
-/// A collective to run asynchronously, carrying its input buffer.
+/// A collective to run asynchronously, carrying its input payload.
+///
+/// Payloads are reference-counted ([`Payload`]), so issuing an async
+/// collective hands the worker a view of the caller's buffer without
+/// materialising an intermediate `Vec` — `From<Vec<f32>>` keeps the old
+/// call shape working, and [`Comm::pooled_payload`] builds slabs that
+/// return to the world's pool.
 #[derive(Debug, Clone)]
 pub enum AsyncOp {
     /// In-place sum all-reduce of the buffer.
-    AllReduce(Vec<f32>),
+    AllReduce(Payload),
     /// Sum reduce-scatter; result is this rank's chunk.
-    ReduceScatter(Vec<f32>),
+    ReduceScatter(Payload),
     /// All-gather of this rank's shard; result is the concatenation.
-    AllGather(Vec<f32>),
+    AllGather(Payload),
 }
 
 impl AsyncOp {
@@ -183,18 +190,34 @@ impl Comm {
     }
 
     /// Convenience: asynchronous in-place all-reduce.
-    pub fn iall_reduce(&self, group: &ProcessGroup, buf: Vec<f32>) -> AsyncHandle {
-        self.start_async(group, AsyncOp::AllReduce(buf))
+    pub fn iall_reduce(&self, group: &ProcessGroup, buf: impl Into<Payload>) -> AsyncHandle {
+        self.start_async(group, AsyncOp::AllReduce(buf.into()))
     }
 
     /// Convenience: asynchronous reduce-scatter.
-    pub fn ireduce_scatter(&self, group: &ProcessGroup, buf: Vec<f32>) -> AsyncHandle {
-        self.start_async(group, AsyncOp::ReduceScatter(buf))
+    pub fn ireduce_scatter(&self, group: &ProcessGroup, buf: impl Into<Payload>) -> AsyncHandle {
+        self.start_async(group, AsyncOp::ReduceScatter(buf.into()))
     }
 
     /// Convenience: asynchronous all-gather.
-    pub fn iall_gather(&self, group: &ProcessGroup, shard: Vec<f32>) -> AsyncHandle {
-        self.start_async(group, AsyncOp::AllGather(shard))
+    pub fn iall_gather(&self, group: &ProcessGroup, shard: impl Into<Payload>) -> AsyncHandle {
+        self.start_async(group, AsyncOp::AllGather(shard.into()))
+    }
+
+    /// Asynchronous all-gather of a borrowed shard via a pooled slab:
+    /// no intermediate `Vec` is materialised at the call site and the
+    /// slab returns to the world's pool after the collective consumes
+    /// it.
+    pub fn iall_gather_pooled(&self, group: &ProcessGroup, shard: &[f32]) -> AsyncHandle {
+        let payload = self.pooled_payload(shard);
+        self.start_async(group, AsyncOp::AllGather(payload))
+    }
+
+    /// Asynchronous sum all-reduce of a borrowed buffer via a pooled
+    /// slab (see [`iall_gather_pooled`](Self::iall_gather_pooled)).
+    pub fn iall_reduce_pooled(&self, group: &ProcessGroup, buf: &[f32]) -> AsyncHandle {
+        let payload = self.pooled_payload(buf);
+        self.start_async(group, AsyncOp::AllReduce(payload))
     }
 }
 
@@ -226,9 +249,13 @@ fn run_job(rank: usize, shared: &Arc<CommShared>, job: Job) {
     let wall_start = shared.tracer.as_ref().map(|t| t.now_ns()).unwrap_or(0);
     let outcome = (|| -> Result<(Vec<f32>, f64), CommError> {
         let bytes;
+        let mut stats = HopStats::default();
         let result = match op {
-            AsyncOp::AllReduce(mut buf) => {
-                bytes = (buf.len() * 4) as f64;
+            AsyncOp::AllReduce(payload) => {
+                bytes = (payload.len() * 4) as f64;
+                // Zero-copy when the caller's handle was the last
+                // reference; otherwise one copy into a work buffer.
+                let mut buf = payload.into_vec();
                 crate::comm::ring_all_reduce(
                     shared,
                     rank,
@@ -236,16 +263,17 @@ fn run_job(rank: usize, shared: &Arc<CommShared>, job: Job) {
                     seq,
                     &mut buf,
                     crate::comm::ReduceOp::Sum,
+                    &mut stats,
                 )?;
                 buf
             }
-            AsyncOp::ReduceScatter(buf) => {
-                bytes = (buf.len() * 4) as f64;
-                crate::comm::ring_reduce_scatter(shared, rank, &group, seq, &buf)?
+            AsyncOp::ReduceScatter(payload) => {
+                bytes = (payload.len() * 4) as f64;
+                crate::comm::ring_reduce_scatter(shared, rank, &group, seq, &payload, &mut stats)?
             }
             AsyncOp::AllGather(shard) => {
                 bytes = (shard.len() * group.size() * 4) as f64;
-                crate::comm::ring_all_gather(shared, rank, &group, seq, &shard)?
+                crate::comm::ring_all_gather(shared, rank, &group, seq, &shard, &mut stats)?
             }
         };
         let completion = if shared.track_time && group.size() > 1 {
@@ -254,7 +282,12 @@ fn run_job(rank: usize, shared: &Arc<CommShared>, job: Job) {
             // duration without blocking the compute stream.
             let start = clock_sync(shared, rank, &group, seq, issue_clock)?;
             let stall = shared.transport.take_stall(rank);
-            let cost = shared.cost.collective_seconds(kind, group.size(), bytes) + stall;
+            let cost = shared.cost.collective_seconds_chunked(
+                kind,
+                group.size(),
+                bytes,
+                stats.chunks.max(1) as usize,
+            ) + stall;
             let (begin, done) = {
                 let mut clock = shared.clock.lock();
                 let begin = start.max(clock.comm_free_async);
@@ -263,7 +296,7 @@ fn run_job(rank: usize, shared: &Arc<CommShared>, job: Job) {
                 (begin, done)
             };
             if let Some(tracer) = &shared.tracer {
-                tracer.record(
+                tracer.record_xfer(
                     Stream::Comm,
                     begin,
                     done,
@@ -278,6 +311,7 @@ fn run_job(rank: usize, shared: &Arc<CommShared>, job: Job) {
                         blocking: false,
                         op_seconds: cost,
                     },
+                    stats.xfer(),
                 );
             }
             done

@@ -1,0 +1,194 @@
+//! Reference ring collectives: the seed transport's exact algorithms,
+//! kept as the oracle the pooled/pipelined implementations are proven
+//! bit-identical against.
+//!
+//! These are deliberately naive — one fresh `Vec` per hop, no pooling,
+//! no segmentation, a star fan-out broadcast — and charge no virtual
+//! time. They run on the same transport (so they compose with live
+//! worlds; each call claims its own sequence numbers) and exist for the
+//! equivalence property tests and as executable documentation of the
+//! baseline the pooled transport replaced.
+
+use crate::comm::{lane, msg_key, Comm, ReduceOp};
+use crate::fault::{unwrap_comm, CommError};
+use crate::group::ProcessGroup;
+
+impl Comm {
+    /// Seed-style ring all-gather (unpooled, unsegmented). Returns all
+    /// members' shards concatenated in group-position order.
+    pub fn reference_all_gather(&self, group: &ProcessGroup, shard: &[f32]) -> Vec<f32> {
+        unwrap_comm(self.try_reference_all_gather(group, shard))
+    }
+
+    /// Fallible [`reference_all_gather`](Self::reference_all_gather).
+    pub fn try_reference_all_gather(
+        &self,
+        group: &ProcessGroup,
+        shard: &[f32],
+    ) -> Result<Vec<f32>, CommError> {
+        let g = group.size();
+        if g == 1 {
+            return Ok(shard.to_vec());
+        }
+        let seq = self.next_seq(group);
+        let shared = &self.shared;
+        let rank = self.rank();
+        let gk = group.key();
+        let pos = group.position_of(rank);
+        let next = group.next_of(rank);
+        let prev = group.prev_of(rank);
+        let chunk = shard.len();
+        let mut out = vec![0.0f32; chunk * g];
+        out[pos * chunk..(pos + 1) * chunk].copy_from_slice(shard);
+        for s in 0..g - 1 {
+            let send_c = (pos + g - s) % g;
+            shared.transport.send(
+                rank,
+                next,
+                msg_key(gk, seq, lane::AG + s as u32),
+                out[send_c * chunk..(send_c + 1) * chunk].to_vec(),
+            );
+            let recv_c = (pos + g - s - 1) % g;
+            let data =
+                shared
+                    .transport
+                    .recv_result(rank, prev, msg_key(gk, seq, lane::AG + s as u32))?;
+            assert_eq!(data.len(), chunk, "all-gather shard length mismatch");
+            out[recv_c * chunk..(recv_c + 1) * chunk].copy_from_slice(&data);
+        }
+        Ok(out)
+    }
+
+    /// Seed-style ring reduce-scatter (sum). The buffer length must be
+    /// divisible by the group size.
+    pub fn reference_reduce_scatter(&self, group: &ProcessGroup, buf: &[f32]) -> Vec<f32> {
+        unwrap_comm(self.try_reference_reduce_scatter(group, buf, ReduceOp::Sum))
+    }
+
+    /// Fallible reference reduce-scatter with an explicit operator.
+    pub fn try_reference_reduce_scatter(
+        &self,
+        group: &ProcessGroup,
+        buf: &[f32],
+        op: ReduceOp,
+    ) -> Result<Vec<f32>, CommError> {
+        let g = group.size();
+        if g == 1 {
+            return Ok(buf.to_vec());
+        }
+        if !buf.len().is_multiple_of(g) {
+            return Err(CommError::InvalidBuffer {
+                op: "reduce_scatter",
+                detail: format!("length {} not divisible by group size {g}", buf.len()),
+            });
+        }
+        let seq = self.next_seq(group);
+        let shared = &self.shared;
+        let rank = self.rank();
+        let gk = group.key();
+        let pos = group.position_of(rank);
+        let next = group.next_of(rank);
+        let prev = group.prev_of(rank);
+        let chunk = buf.len() / g;
+        let mut work = buf.to_vec();
+        for s in 0..g - 1 {
+            let send_c = (pos + 2 * g - s - 1) % g;
+            shared.transport.send(
+                rank,
+                next,
+                msg_key(gk, seq, lane::RS + s as u32),
+                work[send_c * chunk..(send_c + 1) * chunk].to_vec(),
+            );
+            let recv_c = (pos + 2 * g - s - 2) % g;
+            let data =
+                shared
+                    .transport
+                    .recv_result(rank, prev, msg_key(gk, seq, lane::RS + s as u32))?;
+            assert_eq!(data.len(), chunk, "reduce-scatter chunk length mismatch");
+            for (w, d) in work[recv_c * chunk..(recv_c + 1) * chunk]
+                .iter_mut()
+                .zip(data.iter())
+            {
+                *w = op.combine(*w, *d);
+            }
+        }
+        Ok(work[pos * chunk..(pos + 1) * chunk].to_vec())
+    }
+
+    /// Seed-style in-place sum all-reduce: pad, reduce-scatter,
+    /// all-gather, truncate — identical arithmetic pairing to the pooled
+    /// path, which is exactly what the equivalence tests assert.
+    pub fn reference_all_reduce(&self, group: &ProcessGroup, buf: &mut [f32]) {
+        unwrap_comm(self.try_reference_all_reduce(group, buf, ReduceOp::Sum))
+    }
+
+    /// Fallible reference all-reduce with an explicit operator.
+    pub fn try_reference_all_reduce(
+        &self,
+        group: &ProcessGroup,
+        buf: &mut [f32],
+        op: ReduceOp,
+    ) -> Result<(), CommError> {
+        let g = group.size();
+        if g == 1 {
+            return Ok(());
+        }
+        let n = buf.len();
+        let padded = n.div_ceil(g) * g;
+        let mut work = buf.to_vec();
+        let pad = match op {
+            ReduceOp::Sum => 0.0,
+            ReduceOp::Max => f32::NEG_INFINITY,
+        };
+        work.resize(padded, pad);
+        let mine = self.try_reference_reduce_scatter(group, &work, op)?;
+        let full = self.try_reference_all_gather(group, &mine)?;
+        buf.copy_from_slice(&full[..n]);
+        Ok(())
+    }
+
+    /// Seed-style broadcast: the root sends one full copy of the buffer
+    /// to every other member (star fan-out).
+    pub fn reference_broadcast(&self, group: &ProcessGroup, root_pos: usize, buf: &mut [f32]) {
+        unwrap_comm(self.try_reference_broadcast(group, root_pos, buf))
+    }
+
+    /// Fallible reference broadcast.
+    pub fn try_reference_broadcast(
+        &self,
+        group: &ProcessGroup,
+        root_pos: usize,
+        buf: &mut [f32],
+    ) -> Result<(), CommError> {
+        let g = group.size();
+        if g == 1 {
+            return Ok(());
+        }
+        let seq = self.next_seq(group);
+        let shared = &self.shared;
+        let rank = self.rank();
+        let gk = group.key();
+        let pos = group.position_of(rank);
+        if pos == root_pos {
+            for p in 0..g {
+                if p != root_pos {
+                    shared.transport.send(
+                        rank,
+                        group.rank_at(p),
+                        msg_key(gk, seq, lane::BCAST + p as u32),
+                        buf.to_vec(),
+                    );
+                }
+            }
+        } else {
+            let data = shared.transport.recv_result(
+                rank,
+                group.rank_at(root_pos),
+                msg_key(gk, seq, lane::BCAST + pos as u32),
+            )?;
+            assert_eq!(data.len(), buf.len(), "broadcast length mismatch");
+            buf.copy_from_slice(&data);
+        }
+        Ok(())
+    }
+}

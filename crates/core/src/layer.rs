@@ -188,8 +188,7 @@ impl ParallelLinear {
             if let Some(t) = comm.tracer() {
                 t.set_layer(Some(self.layer_id));
             }
-            self.prefetch =
-                Some(comm.iall_gather(grid.z_group(), self.w_shard.as_slice().to_vec()));
+            self.prefetch = Some(comm.iall_gather_pooled(grid.z_group(), self.w_shard.as_slice()));
             if let Some(t) = comm.tracer() {
                 t.set_layer(None);
             }

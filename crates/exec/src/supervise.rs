@@ -60,7 +60,9 @@ fn classify_panic(rank: usize, e: &(dyn std::any::Any + Send)) -> FailureRecord 
     if let Some(err) = e.downcast_ref::<CommError>() {
         let kind = match err {
             CommError::PeerLost { .. } => FailureKind::PeerLost,
-            CommError::Poisoned(_) => FailureKind::Panic,
+            // A bad buffer is a caller bug at the origin rank, like any
+            // other panic — not a cascading peer failure.
+            CommError::Poisoned(_) | CommError::InvalidBuffer { .. } => FailureKind::Panic,
         };
         return FailureRecord {
             rank,

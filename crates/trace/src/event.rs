@@ -70,6 +70,40 @@ impl CollOp {
     }
 }
 
+/// Transport-level transfer statistics attached to collective spans by
+/// the pooled exec-plane transport: how many pipeline chunks the payload
+/// was segmented into, and how the buffer pool behaved (bytes freshly
+/// allocated vs. slabs recycled). Zero for planes/events without a real
+/// transport (the simulator, GEMMs, markers).
+///
+/// Pool behaviour depends on how the OS interleaved the ranks' threads,
+/// so these counters live on [`TraceEvent`] *outside* the canonical
+/// serialization — like wall time, they are diagnostic, not part of the
+/// deterministic schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct XferStats {
+    /// Pipeline segments the payload was split into (0 when the event is
+    /// not a transport-backed collective).
+    pub chunks: u32,
+    /// Bytes of fresh heap allocation the transport performed.
+    pub alloc_bytes: u64,
+    /// Hop buffers served from the pool without allocating.
+    pub pool_hits: u64,
+    /// Hop buffers that missed the pool and had to allocate.
+    pub pool_misses: u64,
+}
+
+impl Serialize for XferStats {
+    fn serialize(&self) -> Value {
+        Value::Object(vec![
+            ("chunks".into(), self.chunks.serialize()),
+            ("alloc_bytes".into(), self.alloc_bytes.serialize()),
+            ("pool_hits".into(), self.pool_hits.serialize()),
+            ("pool_misses".into(), self.pool_misses.serialize()),
+        ])
+    }
+}
+
 /// What happened during an event's span.
 #[derive(Debug, Clone, PartialEq)]
 pub enum EventDetail {
@@ -269,6 +303,9 @@ pub struct TraceEvent {
     /// the layer that *issued* them).
     pub layer: Option<usize>,
     pub detail: EventDetail,
+    /// Transport transfer statistics (pooled exec transport only; zero
+    /// elsewhere). Excluded from the canonical form — see [`XferStats`].
+    pub xfer: XferStats,
 }
 
 impl TraceEvent {
@@ -298,6 +335,7 @@ impl Serialize for TraceEvent {
         };
         fields.push(("wall_start_ns".into(), self.wall_start_ns.serialize()));
         fields.push(("wall_end_ns".into(), self.wall_end_ns.serialize()));
+        fields.push(("xfer".into(), self.xfer.serialize()));
         Value::Object(fields)
     }
 }
@@ -341,10 +379,22 @@ mod tests {
                 mode: "NN",
                 flops: 100.0,
             },
+            xfer: XferStats {
+                chunks: 4,
+                alloc_bytes: 4096,
+                pool_hits: 3,
+                pool_misses: 1,
+            },
         };
         let canon = serde_json::to_string(&ev.canonical_value()).unwrap();
         assert!(!canon.contains("wall"), "canonical form leaked wall time");
+        assert!(
+            !canon.contains("pool_hits"),
+            "canonical form leaked transfer stats"
+        );
         let full = serde_json::to_string(&ev).unwrap();
         assert!(full.contains("wall_start_ns"));
+        assert!(full.contains("pool_hits"));
+        assert!(full.contains("alloc_bytes"));
     }
 }

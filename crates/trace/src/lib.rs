@@ -25,7 +25,7 @@ mod report;
 mod sink;
 
 pub use chrome::chrome_trace_json;
-pub use event::{CollOp, EventDetail, Stream, TraceEvent};
+pub use event::{CollOp, EventDetail, Stream, TraceEvent, XferStats};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use report::{LayerOverlap, OverlapReport, TraceSummary};
 pub use sink::{OpenSpan, RankTrace, TraceSink};

@@ -132,6 +132,25 @@ impl MetricsRegistry {
                             &SECONDS_BOUNDS,
                             *op_seconds,
                         );
+                        // Transport-layer counters from the pooled
+                        // transport; zero-valued adds still create the
+                        // keys so reports can rely on their presence.
+                        reg.counter_add(
+                            &format!("collective.{}.chunks", op.name()),
+                            ev.xfer.chunks as u64,
+                        );
+                        reg.counter_add(
+                            &format!("collective.{}.alloc_bytes", op.name()),
+                            ev.xfer.alloc_bytes,
+                        );
+                        reg.counter_add(
+                            &format!("collective.{}.pool_hits", op.name()),
+                            ev.xfer.pool_hits,
+                        );
+                        reg.counter_add(
+                            &format!("collective.{}.pool_misses", op.name()),
+                            ev.xfer.pool_misses,
+                        );
                     }
                     EventDetail::Gemm { mode, flops } => {
                         reg.counter_add(&format!("gemm.{mode}.calls"), 1);
@@ -239,5 +258,54 @@ mod tests {
         let a = serde_json::to_string(&reg).unwrap();
         let b = serde_json::to_string(&reg.clone()).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn aggregates_transport_xfer_counters() {
+        use crate::event::XferStats;
+        let sink = TraceSink::new(0);
+        let coll = |seq| crate::event::EventDetail::Collective {
+            op: CollOp::AllReduce,
+            group_size: 4,
+            bytes: 4096,
+            seq,
+            blocking: true,
+            op_seconds: 1.0,
+        };
+        sink.record_xfer(
+            Stream::Compute,
+            0.0,
+            1.0,
+            0,
+            0,
+            None,
+            coll(0),
+            XferStats {
+                chunks: 2,
+                alloc_bytes: 8192,
+                pool_hits: 0,
+                pool_misses: 2,
+            },
+        );
+        sink.record_xfer(
+            Stream::Compute,
+            1.0,
+            2.0,
+            0,
+            0,
+            None,
+            coll(1),
+            XferStats {
+                chunks: 2,
+                alloc_bytes: 0,
+                pool_hits: 2,
+                pool_misses: 0,
+            },
+        );
+        let reg = MetricsRegistry::from_traces(&[sink.finish()]);
+        assert_eq!(reg.counter("collective.all_reduce.chunks"), 4);
+        assert_eq!(reg.counter("collective.all_reduce.alloc_bytes"), 8192);
+        assert_eq!(reg.counter("collective.all_reduce.pool_hits"), 2);
+        assert_eq!(reg.counter("collective.all_reduce.pool_misses"), 2);
     }
 }

@@ -6,7 +6,7 @@ use std::time::Instant;
 
 use serde::{Serialize, Value};
 
-use crate::event::{EventDetail, Stream, TraceEvent};
+use crate::event::{EventDetail, Stream, TraceEvent, XferStats};
 
 const STREAMS: usize = 4;
 
@@ -90,6 +90,32 @@ impl TraceSink {
         layer: Option<usize>,
         detail: EventDetail,
     ) {
+        self.record_xfer(
+            stream,
+            t_start,
+            t_end,
+            wall_start_ns,
+            wall_end_ns,
+            layer,
+            detail,
+            XferStats::default(),
+        );
+    }
+
+    /// [`record`](Self::record) with transport transfer statistics
+    /// attached (used by the pooled exec transport for collective spans).
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_xfer(
+        &self,
+        stream: Stream,
+        t_start: f64,
+        t_end: f64,
+        wall_start_ns: u64,
+        wall_end_ns: u64,
+        layer: Option<usize>,
+        detail: EventDetail,
+        xfer: XferStats,
+    ) {
         if !self.is_enabled() {
             return;
         }
@@ -101,6 +127,7 @@ impl TraceSink {
             wall_end_ns,
             layer,
             detail,
+            xfer,
         };
         self.streams[stream_slot(stream)]
             .lock()
@@ -144,6 +171,7 @@ impl TraceSink {
             wall_end_ns: wall,
             layer: self.layer(),
             detail,
+            xfer: XferStats::default(),
         });
         Some(OpenSpan { slot, index })
     }
