@@ -3,7 +3,7 @@
 //!
 //! Usage:
 //!   bench_step [--iters N] [--check BASELINE.json] [--threshold F]
-//!              [--write-baseline]
+//!              [--write-baseline] [--per-tensor]
 //!
 //! Always writes `results/BENCH_step_time.json`. With `--check`, exits
 //! non-zero when the median step time regresses by more than the
@@ -16,6 +16,7 @@ use std::process::ExitCode;
 
 use axonn_bench::step::{compare, load_report, run_step_bench, StepBenchConfig};
 use axonn_bench::{emit_json, print_table};
+use axonn_core::GradSyncMode;
 
 const DEFAULT_THRESHOLD: f64 = 0.20;
 
@@ -44,9 +45,13 @@ fn main() -> ExitCode {
                     .expect("--threshold needs a fraction, e.g. 0.2");
             }
             "--write-baseline" => write_baseline = true,
+            // Benchmark the serial per-tensor oracle instead of the
+            // bucketed ZeRO-1 pipeline (for measuring the pipeline's win
+            // on the same grid; not for baselines).
+            "--per-tensor" => cfg.grad_sync = GradSyncMode::PerTensor,
             other => {
                 eprintln!("unknown flag {other}");
-                eprintln!("usage: bench_step [--iters N] [--check BASELINE.json] [--threshold F] [--write-baseline]");
+                eprintln!("usage: bench_step [--iters N] [--check BASELINE.json] [--threshold F] [--write-baseline] [--per-tensor]");
                 return ExitCode::FAILURE;
             }
         }
@@ -68,6 +73,14 @@ fn main() -> ExitCode {
             vec![
                 "min / max step".into(),
                 format!("{:.3} / {:.3} ms", report.min_step_ms, report.max_step_ms),
+            ],
+            vec![
+                "median grad-sync phase".into(),
+                format!("{:.3} ms", report.median_grad_sync_ms),
+            ],
+            vec![
+                "gate grad-sync (fast-half median)".into(),
+                format!("{:.3} ms", report.gate_grad_sync_ms),
             ],
             vec![
                 "median all-reduce (1M f32)".into(),

@@ -12,7 +12,7 @@
 use std::time::Instant;
 
 use axonn_collectives::{PoolStats, ProcessGroup};
-use axonn_core::{Activation, GridTopology, Network4d, OverlapConfig};
+use axonn_core::{Activation, GradSyncMode, GridTopology, NetConfig, Network4d, OverlapConfig};
 use axonn_exec::run_spmd;
 use axonn_tensor::Matrix;
 use serde::{Deserialize, Serialize};
@@ -33,12 +33,20 @@ pub struct StepBenchConfig {
     pub warmup: usize,
     /// Element count for the all-reduce microbenchmark.
     pub allreduce_elems: usize,
+    /// Gradient-sync schedule to benchmark: the bucketed ZeRO-1
+    /// pipeline (default) or the serial per-tensor oracle — useful for
+    /// measuring the pipeline's win on the same grid.
+    pub grad_sync: GradSyncMode,
 }
 
 impl Default for StepBenchConfig {
     fn default() -> Self {
         StepBenchConfig {
-            grid: (2, 1, 2, 1),
+            // gd = 2 so the gate also covers the data-parallel tail —
+            // the bucketed gradient pipeline and ZeRO-1 sharded step.
+            // Per-rank compute is identical to the old 2×1×2×1 grid
+            // (same world size, same local batch rows).
+            grid: (2, 1, 1, 2),
             // Large enough (~30 ms/step) that scheduler jitter amortizes;
             // a smaller step makes the gate median too noisy to compare
             // across runs.
@@ -47,6 +55,7 @@ impl Default for StepBenchConfig {
             iters: 30,
             warmup: 5,
             allreduce_elems: 1 << 20,
+            grad_sync: GradSyncMode::default(),
         }
     }
 }
@@ -62,12 +71,17 @@ pub struct StepBenchReport {
     /// Median wall time of one pooled all-reduce of
     /// `allreduce_elems` f32s, milliseconds.
     pub median_allreduce_ms: f64,
+    /// Median wall time of the ORS-drain + data-parallel gradient phase
+    /// inside `train_step` (the bucketed pipeline, or the per-tensor
+    /// oracle), milliseconds.
+    pub median_grad_sync_ms: f64,
     /// Gate statistics: median of the *fastest half* of iterations.
     /// The raw median absorbs scheduler contention spikes (slow-tail
     /// outliers on loaded runners); the fast-half median tracks the
     /// achievable step time and is what the CI gate compares.
     pub gate_step_ms: f64,
     pub gate_allreduce_ms: f64,
+    pub gate_grad_sync_ms: f64,
     /// World size and iteration count the medians were taken over.
     pub world_size: usize,
     pub iters: usize,
@@ -79,8 +93,8 @@ pub struct StepBenchReport {
 }
 
 /// What each rank returns from the benchmark world; only rank 0's entry
-/// is populated.
-type RankTimings = Option<(Vec<f64>, Vec<f64>, PoolStats)>;
+/// is populated: (step ms, grad-sync ms, all-reduce ms, pool counters).
+type RankTimings = Option<(Vec<f64>, Vec<f64>, Vec<f64>, PoolStats)>;
 
 fn median(samples: &mut [f64]) -> f64 {
     assert!(!samples.is_empty(), "no samples");
@@ -122,24 +136,29 @@ pub fn run_step_bench(cfg: &StepBenchConfig) -> StepBenchReport {
     let iters = cfg.iters;
     let warmup = cfg.warmup;
     let ar_elems = cfg.allreduce_elems;
+    let grad_sync = cfg.grad_sync;
 
     let results: Vec<RankTimings> = run_spmd(world_size, move |comm| {
         let rank = comm.rank();
         let grid = GridTopology::new(gx, gy, gz, gd, rank);
-        let mut net = Network4d::new(
+        let mut net = Network4d::with_config(
             comm.clone(),
             grid,
             &dims,
             Activation::Gelu,
             7,
-            OverlapConfig::all(),
-            false,
+            NetConfig {
+                overlap: OverlapConfig::all(),
+                grad_sync,
+                ..NetConfig::default()
+            },
         );
         let x = Matrix::random(batch, dims[0], 1.0, 11);
         let t = Matrix::random(batch, dims[dims.len() - 1], 1.0, 13);
         let world = ProcessGroup::new((0..world_size).collect());
 
         let mut step_ms = Vec::with_capacity(iters);
+        let mut sync_ms = Vec::with_capacity(iters);
         for i in 0..warmup + iters {
             comm.barrier(&world);
             let t0 = Instant::now();
@@ -147,6 +166,7 @@ pub fn run_step_bench(cfg: &StepBenchConfig) -> StepBenchReport {
             comm.barrier(&world);
             if i >= warmup {
                 step_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                sync_ms.push(net.last_grad_sync_seconds() * 1e3);
             }
         }
 
@@ -164,13 +184,13 @@ pub fn run_step_bench(cfg: &StepBenchConfig) -> StepBenchReport {
         }
 
         if rank == 0 {
-            Some((step_ms, ar_ms, comm.pool_stats()))
+            Some((step_ms, sync_ms, ar_ms, comm.pool_stats()))
         } else {
             None
         }
     });
 
-    let (mut step_ms, mut ar_ms, pool) = results
+    let (mut step_ms, mut sync_ms, mut ar_ms, pool) = results
         .into_iter()
         .flatten()
         .next()
@@ -181,8 +201,10 @@ pub fn run_step_bench(cfg: &StepBenchConfig) -> StepBenchReport {
         min_step_ms: step_ms.first().copied().unwrap_or(0.0) * scale,
         max_step_ms: step_ms.last().copied().unwrap_or(0.0) * scale,
         median_allreduce_ms: median(&mut ar_ms) * scale,
+        median_grad_sync_ms: median(&mut sync_ms) * scale,
         gate_step_ms: fast_half_median(&mut step_ms) * scale,
         gate_allreduce_ms: fast_half_median(&mut ar_ms) * scale,
+        gate_grad_sync_ms: fast_half_median(&mut sync_ms) * scale,
         world_size,
         iters,
         pool_hits: pool.hits,
@@ -246,8 +268,10 @@ mod tests {
             min_step_ms: step,
             max_step_ms: step,
             median_allreduce_ms: ar,
+            median_grad_sync_ms: step / 10.0,
             gate_step_ms: step,
             gate_allreduce_ms: ar,
+            gate_grad_sync_ms: step / 10.0,
             world_size: 4,
             iters: 5,
             pool_hits: 0,
@@ -297,11 +321,16 @@ mod tests {
             iters: 2,
             warmup: 1,
             allreduce_elems: 4096,
+            grad_sync: GradSyncMode::default(),
         };
         let r = run_step_bench(&cfg);
         assert_eq!(r.world_size, 2);
         assert!(r.median_step_ms > 0.0);
         assert!(r.median_allreduce_ms > 0.0);
+        assert!(
+            r.median_grad_sync_ms > 0.0 && r.median_grad_sync_ms < r.median_step_ms,
+            "grad-sync phase must be timed and lie inside the step, got {r:?}"
+        );
         assert!(
             r.pool_hits > 0,
             "repeated steps must recycle pooled slabs, got {r:?}"

@@ -1,13 +1,18 @@
 //! Library backing `axonnctl`: argument parsing and subcommand
 //! execution, kept in a library so the logic is unit-testable.
 
+use std::sync::Arc;
+
 use axonn_bench::step::{compare as bench_compare, load_report, run_step_bench, StepBenchConfig};
 use axonn_cluster::{BandwidthDb, Machine};
+use axonn_collectives::{CostModel, RingCostModel};
+use axonn_core::{GridTopology, OverlapConfig, TransformerStack};
+use axonn_exec::run_spmd_traced;
 use axonn_ft::{legal_resume_grids, CheckpointStore};
 use axonn_gpt::{table2_models, GptConfig, HEADLINE_BATCH_TOKENS};
 use axonn_perfmodel::{rank_configs, Grid4d};
 use axonn_sim::{pick_best_config, simulate_batch, simulate_batch_traced, SimOptions};
-use axonn_trace::{chrome_trace_json, TraceSink, TraceSummary};
+use axonn_trace::{chrome_trace_json, OverlapReport, TraceSink, TraceSummary};
 
 /// Usage text shown on parse errors.
 pub const USAGE: &str = "usage:
@@ -421,7 +426,18 @@ pub fn run(cmd: Command) -> Result<(), String> {
                 "median step      {:.3} ms   (min {:.3} / max {:.3}, gate stat {:.3})",
                 report.median_step_ms, report.min_step_ms, report.max_step_ms, report.gate_step_ms
             );
+            println!(
+                "median grad-sync {:.3} ms   (gate stat {:.3})",
+                report.median_grad_sync_ms, report.gate_grad_sync_ms
+            );
             println!("median all-reduce {:.3} ms", report.median_allreduce_ms);
+            let dp = grad_sync_overlap_report();
+            println!(
+                "grad-sync overlap efficiency {:.1}%  ({:.3} ms issued / {:.3} ms hidden on the virtual clock)",
+                dp.overlap_efficiency * 100.0,
+                dp.total_issued_seconds * 1e3,
+                dp.total_hidden_seconds * 1e3
+            );
             println!(
                 "buffer pool      {} hits / {} misses, {:.1} KiB fresh alloc",
                 report.pool_hits,
@@ -434,10 +450,16 @@ pub fn run(cmd: Command) -> Result<(), String> {
             match load_report(&path) {
                 Ok(base) => {
                     let v = bench_compare(&report, &base, 0.20);
+                    let sync_delta = if base.gate_grad_sync_ms > 0.0 {
+                        (report.gate_grad_sync_ms - base.gate_grad_sync_ms) / base.gate_grad_sync_ms
+                    } else {
+                        0.0
+                    };
                     println!(
-                        "vs {}: step {:+.1}%, all-reduce {:+.1}%{}",
+                        "vs {}: step {:+.1}%, grad-sync {:+.1}%, all-reduce {:+.1}%{}",
                         path.display(),
                         v.step_delta * 100.0,
+                        sync_delta * 100.0,
                         v.allreduce_delta * 100.0,
                         if v.regressed {
                             "  ** exceeds 20% regression gate **"
@@ -453,12 +475,38 @@ pub fn run(cmd: Command) -> Result<(), String> {
     }
 }
 
+/// Grad-sync overlap probe behind `axonnctl bench`: one traced training
+/// step of a tiny transformer stack on a (1, 2, 2, 2) grid with small
+/// buckets, so several buckets seal — and issue their reduce-scatters —
+/// while the backward drain is still running. The returned report counts
+/// only the bucketed pipeline's data-group collectives and says how much
+/// of their virtual-clock time was hidden under other work.
+fn grad_sync_overlap_report() -> OverlapReport {
+    let cost: Arc<dyn CostModel> = Arc::new(RingCostModel::new(1e8, 1e8));
+    let run = run_spmd_traced(8, cost, |comm| {
+        let grid = GridTopology::new(1, 2, 2, 2, comm.rank());
+        let mut stack = TransformerStack::new(&grid, 8, 8, 2, 2, 4, 42, OverlapConfig::all());
+        stack.set_grad_bucket_elems(8);
+        let tokens: Vec<usize> = (0..16).map(|i| (i * 5 + 1) % 8).collect();
+        let targets: Vec<usize> = (0..16).map(|i| (i * 3 + 2) % 8).collect();
+        stack.train_step(&comm, &grid, &tokens, &targets, 0.01)
+    });
+    OverlapReport::data_parallel_overlap(&run.traces)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn sv(args: &[&str]) -> Vec<String> {
         args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn grad_sync_overlap_probe_reports_hidden_time() {
+        let dp = grad_sync_overlap_report();
+        assert!(dp.total_issued_seconds > 0.0, "probe issued nothing: {dp:?}");
+        assert!(dp.overlap_efficiency > 0.0, "probe hid nothing: {dp:?}");
     }
 
     #[test]

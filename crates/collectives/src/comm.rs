@@ -241,6 +241,9 @@ pub(crate) mod lane {
     pub const CLOCK_DOWN: u32 = 0x0004_0000;
     /// Recursive-doubling exchange steps: `RD + s`.
     pub const RD: u32 = 0x0005_0000;
+    /// Direct-exchange (linear-order) reduce-scatter: `LRS + segment`.
+    /// One logical step — receivers disambiguate senders by source rank.
+    pub const LRS: u32 = 0x0006_0000;
 }
 
 /// Sub-keys per ring step (and therefore the cap on pipeline segments).
@@ -471,6 +474,73 @@ impl Comm {
             stats,
         )?;
         Ok(out)
+    }
+
+    /// Blocking reduce-scatter (sum) with canonical fold order: bits are
+    /// independent of how tensors were packed into the buffer (see
+    /// [`linear_reduce_scatter`]). Same per-rank volume and cost as
+    /// [`reduce_scatter`](Self::reduce_scatter).
+    pub fn reduce_scatter_linear(&self, group: &ProcessGroup, buf: &[f32]) -> Vec<f32> {
+        unwrap_comm(self.try_reduce_scatter_linear(group, buf))
+    }
+
+    /// Fallible canonical-order reduce-scatter.
+    pub fn try_reduce_scatter_linear(
+        &self,
+        group: &ProcessGroup,
+        buf: &[f32],
+    ) -> Result<Vec<f32>, CommError> {
+        let seq = self.next_seq(group);
+        let wall = self.wall_now();
+        let mut stats = HopStats::default();
+        let out = linear_reduce_scatter(&self.shared, self.rank, group, seq, buf, &mut stats)?;
+        self.charge_blocking(
+            group,
+            seq,
+            CollectiveKind::ReduceScatter,
+            (buf.len() * 4) as f64,
+            wall,
+            stats,
+        )?;
+        Ok(out)
+    }
+
+    /// Blocking all-reduce (sum) with canonical reduction order: linear
+    /// reduce-scatter + ring all-gather, so the summation order seen by
+    /// every element is the fixed group order — independent of buffer
+    /// layout, unlike [`all_reduce`](Self::all_reduce). Any length is
+    /// accepted (padded internally).
+    pub fn all_reduce_linear(&self, group: &ProcessGroup, buf: &mut [f32]) {
+        unwrap_comm(self.try_all_reduce_linear(group, buf))
+    }
+
+    /// Fallible canonical-order all-reduce.
+    pub fn try_all_reduce_linear(
+        &self,
+        group: &ProcessGroup,
+        buf: &mut [f32],
+    ) -> Result<(), CommError> {
+        let g = group.size();
+        if g == 1 {
+            return Ok(());
+        }
+        let seq = self.next_seq(group);
+        let wall = self.wall_now();
+        let mut stats = HopStats::default();
+        let n = buf.len();
+        let mut work = buf.to_vec();
+        work.resize(n.div_ceil(g) * g, 0.0);
+        let mine = linear_reduce_scatter(&self.shared, self.rank, group, seq, &work, &mut stats)?;
+        let full = ring_all_gather(&self.shared, self.rank, group, seq, &mine, &mut stats)?;
+        buf.copy_from_slice(&full[..n]);
+        self.charge_blocking(
+            group,
+            seq,
+            CollectiveKind::AllReduce,
+            (n * 4) as f64,
+            wall,
+            stats,
+        )
     }
 
     /// Blocking all-reduce (sum) in place: reduce-scatter + all-gather.
@@ -840,6 +910,93 @@ pub(crate) fn ring_reduce_scatter_op(
         }
     }
     Ok(work[pos * chunk..(pos + 1) * chunk].to_vec())
+}
+
+/// Direct-exchange reduce-scatter (sum) with a *canonical* fold order:
+/// every member sends its slice `o` straight to the member at group
+/// position `o`, which folds the `g` contributions in fixed
+/// group-position order `((c_0 + c_1) + c_2) + …`. Ring reduce-scatter
+/// instead folds in ring order — a rotation of the group order that
+/// differs per owned chunk — so its bits depend on how tensors are
+/// packed into the buffer. The gradient bucketizer relies on this
+/// layout independence to stay bit-identical to the per-tensor oracle
+/// for any bucket geometry.
+///
+/// Per-rank volume matches the ring algorithm (`(g-1)/g · n` bytes sent
+/// and received), so callers charge it as a regular reduce-scatter.
+pub(crate) fn linear_reduce_scatter(
+    shared: &CommShared,
+    rank: usize,
+    group: &ProcessGroup,
+    seq: u64,
+    buf: &[f32],
+    stats: &mut HopStats,
+) -> Result<Vec<f32>, CommError> {
+    let g = group.size();
+    if g == 1 {
+        return Ok(buf.to_vec());
+    }
+    if !buf.len().is_multiple_of(g) {
+        return Err(CommError::InvalidBuffer {
+            op: "reduce_scatter_linear",
+            detail: format!("length {} not divisible by group size {g}", buf.len()),
+        });
+    }
+    let gk = group.key();
+    let pos = group.position_of(rank);
+    let chunk = buf.len() / g;
+    let segs = segments(shared, chunk);
+    stats.chunks = stats.chunks.max(segs as u32);
+    // All sends first (the transport never blocks on send), then receive
+    // in group-position order so the fold order is the same on every
+    // owner regardless of arrival order.
+    for o in 0..g {
+        if o == pos {
+            continue;
+        }
+        let base = o * chunk;
+        for (j, r) in segment_ranges(chunk, segs).enumerate() {
+            let payload = pooled(shared, &buf[base + r.start..base + r.end], stats);
+            shared.transport.send(
+                rank,
+                group.rank_at(o),
+                msg_key(gk, seq, lane::LRS + j as u32),
+                payload,
+            );
+        }
+    }
+    let own = &buf[pos * chunk..(pos + 1) * chunk];
+    let mut acc = vec![0.0f32; chunk];
+    let mut first = true;
+    for p in 0..g {
+        if p == pos {
+            if first {
+                acc.copy_from_slice(own);
+            } else {
+                for (a, &v) in acc.iter_mut().zip(own) {
+                    *a += v;
+                }
+            }
+        } else {
+            for (j, r) in segment_ranges(chunk, segs).enumerate() {
+                let data = shared.transport.recv_result(
+                    rank,
+                    group.rank_at(p),
+                    msg_key(gk, seq, lane::LRS + j as u32),
+                )?;
+                assert_eq!(data.len(), r.len(), "linear reduce-scatter length mismatch");
+                if first {
+                    acc[r].copy_from_slice(&data);
+                } else {
+                    for (a, &v) in acc[r].iter_mut().zip(data.iter()) {
+                        *a += v;
+                    }
+                }
+            }
+        }
+        first = false;
+    }
+    Ok(acc)
 }
 
 /// Ring all-reduce (sum) in place: pad to a multiple of the group size,

@@ -31,6 +31,10 @@ pub enum AsyncOp {
     AllReduce(Payload),
     /// Sum reduce-scatter; result is this rank's chunk.
     ReduceScatter(Payload),
+    /// Sum reduce-scatter with canonical (layout-independent) fold
+    /// order — same cost and volume as `ReduceScatter`, different
+    /// summation order (see `Comm::reduce_scatter_linear`).
+    ReduceScatterLinear(Payload),
     /// All-gather of this rank's shard; result is the concatenation.
     AllGather(Payload),
 }
@@ -39,7 +43,9 @@ impl AsyncOp {
     fn kind(&self) -> CollectiveKind {
         match self {
             AsyncOp::AllReduce(_) => CollectiveKind::AllReduce,
-            AsyncOp::ReduceScatter(_) => CollectiveKind::ReduceScatter,
+            AsyncOp::ReduceScatter(_) | AsyncOp::ReduceScatterLinear(_) => {
+                CollectiveKind::ReduceScatter
+            }
             AsyncOp::AllGather(_) => CollectiveKind::AllGather,
         }
     }
@@ -151,7 +157,9 @@ impl Comm {
         // skips them too).
         if let Some(tracer) = self.tracer().filter(|_| group.size() > 1) {
             let bytes = match &op {
-                AsyncOp::AllReduce(b) | AsyncOp::ReduceScatter(b) => b.len() * 4,
+                AsyncOp::AllReduce(b)
+                | AsyncOp::ReduceScatter(b)
+                | AsyncOp::ReduceScatterLinear(b) => b.len() * 4,
                 AsyncOp::AllGather(shard) => shard.len() * group.size() * 4,
             };
             tracer.mark(
@@ -219,6 +227,14 @@ impl Comm {
         let payload = self.pooled_payload(buf);
         self.start_async(group, AsyncOp::AllReduce(payload))
     }
+
+    /// Asynchronous canonical-order reduce-scatter of a borrowed buffer
+    /// via a pooled slab — the bucket-granular primitive of the gradient
+    /// sync pipeline.
+    pub fn ireduce_scatter_linear_pooled(&self, group: &ProcessGroup, buf: &[f32]) -> AsyncHandle {
+        let payload = self.pooled_payload(buf);
+        self.start_async(group, AsyncOp::ReduceScatterLinear(payload))
+    }
 }
 
 /// Spawn the communication worker for `rank`. Returns the job queue; the
@@ -270,6 +286,10 @@ fn run_job(rank: usize, shared: &Arc<CommShared>, job: Job) {
             AsyncOp::ReduceScatter(payload) => {
                 bytes = (payload.len() * 4) as f64;
                 crate::comm::ring_reduce_scatter(shared, rank, &group, seq, &payload, &mut stats)?
+            }
+            AsyncOp::ReduceScatterLinear(payload) => {
+                bytes = (payload.len() * 4) as f64;
+                crate::comm::linear_reduce_scatter(shared, rank, &group, seq, &payload, &mut stats)?
             }
             AsyncOp::AllGather(shard) => {
                 bytes = (shard.len() * group.size() * 4) as f64;

@@ -131,6 +131,20 @@ proptest! {
 }
 
 #[test]
+fn async_linear_reduce_scatter_matches_blocking_bitwise() {
+    let results = spmd(4, |c| {
+        let g = ProcessGroup::new(vec![0, 1, 2, 3]);
+        let buf = buffer(c.rank(), 48);
+        let async_out = c.ireduce_scatter_linear_pooled(&g, &buf).wait();
+        let blocking = c.reduce_scatter_linear(&g, &buf);
+        (async_out, blocking)
+    });
+    for (a, b) in &results {
+        assert_eq!(a, b);
+    }
+}
+
+#[test]
 fn collectives_are_deterministic_across_runs() {
     let run = || {
         spmd(4, |c| {
@@ -185,6 +199,51 @@ proptest! {
         for (a, b) in rd.iter().zip(&ring) {
             for (x, y) in a.iter().zip(b) {
                 prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn linear_reduce_scatter_folds_in_group_order(world in 2usize..7, per in 1usize..12) {
+        let results = spmd(world, move |c| {
+            let g = ProcessGroup::new((0..world).collect());
+            let buf = buffer(c.rank(), per * world);
+            c.reduce_scatter_linear(&g, &buf)
+        });
+        for (rank, chunk) in results.iter().enumerate() {
+            prop_assert_eq!(chunk.len(), per);
+            for (i, v) in chunk.iter().enumerate() {
+                let idx = rank * per + i;
+                // The canonical fold is exactly group order — a bit-exact
+                // contract, unlike the ring's rotation-dependent order.
+                let mut expect: Option<f32> = None;
+                for r in 0..world {
+                    let x = buffer(r, per * world)[idx];
+                    expect = Some(match expect { None => x, Some(a) => a + x });
+                }
+                prop_assert_eq!(v.to_bits(), expect.unwrap().to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn all_reduce_linear_matches_rank_order_fold(world in 2usize..6, len in 1usize..33) {
+        // Nondivisible lengths exercise the internal padding too.
+        let results = spmd(world, move |c| {
+            let g = ProcessGroup::new((0..world).collect());
+            let mut buf = buffer(c.rank(), len);
+            c.all_reduce_linear(&g, &mut buf);
+            buf
+        });
+        for r in &results {
+            prop_assert_eq!(r.len(), len);
+            for (i, v) in r.iter().enumerate() {
+                let mut expect: Option<f32> = None;
+                for rk in 0..world {
+                    let x = buffer(rk, len)[i];
+                    expect = Some(match expect { None => x, Some(a) => a + x });
+                }
+                prop_assert_eq!(v.to_bits(), expect.unwrap().to_bits());
             }
         }
     }

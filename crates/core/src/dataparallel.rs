@@ -10,20 +10,31 @@ use axonn_tensor::Matrix;
 
 /// Sum the given gradient shards across the data-parallel group in one
 /// flat bucket (fewer, larger messages — the standard DDP optimization).
+///
+/// The reduction runs as an explicit canonical-order reduce-scatter +
+/// all-gather straight off the pre-padded flat bucket: no internal work
+/// buffer (`all_reduce` would copy the bucket again before padding), and
+/// wire hops ride pooled payload slabs. Canonical (group-position) fold
+/// order also makes the result layout-independent — the property the
+/// bucketed gradient pipeline's bit-identity oracle relies on.
 pub fn sync_gradients(comm: &Comm, group: &ProcessGroup, grads: &mut [&mut Matrix]) {
-    if group.size() <= 1 || grads.is_empty() {
+    let g = group.size();
+    if g <= 1 || grads.is_empty() {
         return;
     }
-    let total: usize = grads.iter().map(|g| g.len()).sum();
-    let mut bucket = Vec::with_capacity(total);
-    for g in grads.iter() {
-        bucket.extend_from_slice(g.as_slice());
+    let total: usize = grads.iter().map(|m| m.len()).sum();
+    let padded = total.div_ceil(g) * g;
+    let mut bucket = Vec::with_capacity(padded);
+    for m in grads.iter() {
+        bucket.extend_from_slice(m.as_slice());
     }
-    comm.all_reduce(group, &mut bucket);
+    bucket.resize(padded, 0.0);
+    let mine = comm.reduce_scatter_linear(group, &bucket);
+    let full = comm.all_gather(group, &mine);
     let mut off = 0;
-    for g in grads.iter_mut() {
-        let n = g.len();
-        g.as_mut_slice().copy_from_slice(&bucket[off..off + n]);
+    for m in grads.iter_mut() {
+        let n = m.len();
+        m.as_mut_slice().copy_from_slice(&full[off..off + n]);
         off += n;
     }
 }

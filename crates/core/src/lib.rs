@@ -21,6 +21,7 @@
 //! the virtual clocks of `axonn-collectives`.
 
 pub mod dataparallel;
+pub mod gradsync;
 pub mod grid;
 pub mod layer;
 pub mod network;
@@ -28,6 +29,7 @@ pub mod stack;
 pub mod transformer;
 pub mod tuner;
 
+pub use gradsync::{GradSyncMode, GradSyncPipeline, ParamStore, DEFAULT_BUCKET_ELEMS};
 pub use grid::GridTopology;
 pub use layer::{OverlapConfig, ParallelLinear, PendingGrad, Precision};
 pub use network::{

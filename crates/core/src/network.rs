@@ -10,6 +10,7 @@
 //! core of the whole reproduction and is exercised heavily in tests.
 
 use crate::dataparallel::sync_gradients;
+use crate::gradsync::{GradSyncMode, GradSyncPipeline, ParamStore, DEFAULT_BUCKET_ELEMS};
 use crate::grid::GridTopology;
 use crate::layer::{OverlapConfig, ParallelLinear, PendingGrad, Precision};
 use crate::tuner::KernelTuner;
@@ -177,7 +178,7 @@ pub fn distribute_output(full: &Matrix, grid: &GridTopology, transposed: bool) -
 }
 
 /// Engine-level options beyond the overlap set.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct NetConfig {
     pub overlap: OverlapConfig,
     /// First-batch BLAS kernel auto-tuning (Section V-C).
@@ -189,6 +190,25 @@ pub struct NetConfig {
     /// backward. Identical numerics, extra compute and output
     /// all-reduces — exactly the trade the paper makes.
     pub activation_checkpointing: bool,
+    /// Data-parallel gradient phase: the overlapped bucketed pipeline
+    /// with the ZeRO-1 sharded step (default) or the serial per-tensor
+    /// oracle. Bit-identical to each other for every grid.
+    pub grad_sync: GradSyncMode,
+    /// Bucket capacity in elements for the bucketed pipeline.
+    pub grad_bucket_elems: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            overlap: OverlapConfig::default(),
+            kernel_tuning: false,
+            precision: Precision::default(),
+            activation_checkpointing: false,
+            grad_sync: GradSyncMode::default(),
+            grad_bucket_elems: DEFAULT_BUCKET_ELEMS,
+        }
+    }
 }
 
 /// The 4D-parallel MLP on one rank.
@@ -200,6 +220,21 @@ pub struct Network4d {
     cfg: NetConfig,
     tuner: KernelTuner,
     world: ProcessGroup,
+    last_grad_sync: f64,
+}
+
+/// [`ParamStore`] over the MLP's weight shards: tensor id = layer id.
+struct MlpParams<'a> {
+    layers: &'a mut [ParallelLinear],
+}
+
+impl ParamStore for MlpParams<'_> {
+    fn read(&self, tensor: usize, range: std::ops::Range<usize>, dst: &mut [f32]) {
+        dst.copy_from_slice(&self.layers[tensor].weight_shard().as_slice()[range]);
+    }
+    fn write(&mut self, tensor: usize, range: std::ops::Range<usize>, src: &[f32]) {
+        self.layers[tensor].weight_shard_mut().as_mut_slice()[range].copy_from_slice(src);
+    }
 }
 
 impl Network4d {
@@ -256,7 +291,15 @@ impl Network4d {
             cfg,
             tuner,
             world,
+            last_grad_sync: 0.0,
         }
+    }
+
+    /// Wall-clock seconds the last `train_step` spent in the ORS drain +
+    /// data-parallel gradient phase (bucketed pipeline or per-tensor
+    /// oracle). Bench probes read this to report the `grad_sync` phase.
+    pub fn last_grad_sync_seconds(&self) -> f64 {
+        self.last_grad_sync
     }
 
     pub fn comm(&self) -> &Comm {
@@ -372,22 +415,60 @@ impl Network4d {
             }
             d = d_in;
         }
-        // ORS: wait for all deferred reduce-scatters now, right before
-        // the data-parallel phase.
-        for p in pending {
-            let (layer_id, grad) = p.wait();
-            self.layers[layer_id].accumulate_grad(grad);
-        }
-
-        // Data-parallel all-reduce over all layers' gradients, bucketed.
+        // ORS drain + data-parallel gradient phase, timed as one unit —
+        // the bucketed pipeline interleaves the drain with its own
+        // collectives, so the two are not separable from outside.
+        let t_sync = std::time::Instant::now();
         let data_group = self.grid.data_group().clone();
-        let mut grads: Vec<&mut Matrix> =
-            self.layers.iter_mut().map(|l| l.grad_shard_mut()).collect();
-        sync_gradients(&self.comm, &data_group, &mut grads);
-
-        for layer in &mut self.layers {
-            layer.apply_sgd(lr);
+        match self.cfg.grad_sync {
+            GradSyncMode::Bucketed => {
+                let mut pipe = GradSyncPipeline::new(
+                    self.comm.clone(),
+                    data_group,
+                    self.cfg.grad_bucket_elems,
+                );
+                if pending.is_empty() {
+                    // ORS off: gradients landed synchronously during
+                    // backward; feed them in the same reverse-backward
+                    // order the deferred path would.
+                    for i in (0..self.layers.len()).rev() {
+                        pipe.push(i, self.layers[i].grad_shard().as_slice());
+                    }
+                } else {
+                    // As each deferred Z reduce-scatter resolves, its
+                    // gradient goes straight into a bucket; full buckets
+                    // issue their data-parallel reduce-scatter while the
+                    // remaining ORS waits are still draining.
+                    for p in pending {
+                        let (layer_id, grad) = p.wait();
+                        self.layers[layer_id].accumulate_grad(grad);
+                        pipe.push(layer_id, self.layers[layer_id].grad_shard().as_slice());
+                    }
+                }
+                pipe.step(
+                    lr,
+                    &mut MlpParams {
+                        layers: &mut self.layers,
+                    },
+                );
+                for layer in &mut self.layers {
+                    layer.grad_shard_mut().scale(0.0);
+                }
+            }
+            GradSyncMode::PerTensor => {
+                for p in pending {
+                    let (layer_id, grad) = p.wait();
+                    self.layers[layer_id].accumulate_grad(grad);
+                }
+                let mut grads: Vec<&mut Matrix> =
+                    self.layers.iter_mut().map(|l| l.grad_shard_mut()).collect();
+                sync_gradients(&self.comm, &data_group, &mut grads);
+                for layer in &mut self.layers {
+                    layer.apply_sgd(lr);
+                }
+            }
         }
+        self.last_grad_sync = t_sync.elapsed().as_secs_f64();
         loss
     }
 

@@ -10,6 +10,7 @@
 //! (max and sum-exp all-reduced across the column group, the Megatron-LM
 //! technique) so no rank ever materialises the full logit matrix.
 
+use crate::gradsync::{GradSyncMode, GradSyncPipeline, ParamStore, DEFAULT_BUCKET_ELEMS};
 use crate::grid::GridTopology;
 use crate::layer::{OverlapConfig, ParallelLinear, PendingGrad, Precision};
 use crate::transformer::{block_weight, ParallelLayerNorm, ParallelTransformerBlock};
@@ -71,11 +72,21 @@ impl ParallelEmbedding {
     }
 
     /// Token rows are sharded over Z and data: finish the gradient
-    /// reduction across those groups.
+    /// reduction across those groups. The data stage folds in canonical
+    /// group order so the result is bitwise comparable with the bucketed
+    /// gradient pipeline.
     pub fn sync_grads(&mut self, comm: &Comm, grid: &GridTopology) {
         let mut buf = self.grad.as_slice().to_vec();
         comm.all_reduce(grid.z_group(), &mut buf);
-        comm.all_reduce(grid.data_group(), &mut buf);
+        comm.all_reduce_linear(grid.data_group(), &mut buf);
+        self.grad = Matrix::from_vec(self.grad.rows(), self.grad.cols(), buf);
+    }
+
+    /// Z-group-only gradient reduction: the bucketed pipeline performs
+    /// the data-parallel stage (and the update) itself.
+    pub fn sync_grads_z(&mut self, comm: &Comm, grid: &GridTopology) {
+        let mut buf = self.grad.as_slice().to_vec();
+        comm.all_reduce(grid.z_group(), &mut buf);
         self.grad = Matrix::from_vec(self.grad.rows(), self.grad.cols(), buf);
     }
 
@@ -166,6 +177,100 @@ pub struct TransformerStack {
     tuner: KernelTuner,
     overlap: OverlapConfig,
     world: ProcessGroup,
+    grad_sync: GradSyncMode,
+    grad_bucket_elems: usize,
+}
+
+/// [`ParamStore`] over every parameter tensor of the stack. Tensor ids,
+/// with `B = blocks.len()` and `base = 4B + 1`:
+///
+/// - `0 .. 4B`          FC weight shards (block-major: qkv, proj, fc1, fc2),
+/// - `4B`               the head weight shard,
+/// - `base + 2k [+ 1]`  gain [bias] of norm `k` (`k = 2b` → `ln1` of
+///   block `b`, `k = 2b + 1` → `ln2`, `k = 2B` → the final LayerNorm),
+/// - `base + 4B + 2`    the embedding table shard.
+struct StackParams<'a> {
+    blocks: &'a mut [ParallelTransformerBlock],
+    final_ln: &'a mut ParallelLayerNorm,
+    head: &'a mut ParallelLinear,
+    emb: &'a mut ParallelEmbedding,
+}
+
+impl StackParams<'_> {
+    fn param(&self, tensor: usize) -> &Matrix {
+        let nb = self.blocks.len();
+        let base = 4 * nb + 1;
+        if tensor < 4 * nb {
+            let b = &self.blocks[tensor / 4];
+            match tensor % 4 {
+                0 => b.qkv.weight_shard(),
+                1 => b.proj.weight_shard(),
+                2 => b.fc1.weight_shard(),
+                _ => b.fc2.weight_shard(),
+            }
+        } else if tensor == 4 * nb {
+            self.head.weight_shard()
+        } else if tensor < base + 2 * (2 * nb + 1) {
+            let k = (tensor - base) / 2;
+            let ln = if k == 2 * nb {
+                &*self.final_ln
+            } else if k % 2 == 0 {
+                &self.blocks[k / 2].ln1
+            } else {
+                &self.blocks[k / 2].ln2
+            };
+            if (tensor - base) % 2 == 0 {
+                &ln.gain
+            } else {
+                &ln.bias
+            }
+        } else {
+            debug_assert_eq!(tensor, base + 4 * nb + 2, "unknown tensor id");
+            &self.emb.table
+        }
+    }
+
+    fn param_mut(&mut self, tensor: usize) -> &mut Matrix {
+        let nb = self.blocks.len();
+        let base = 4 * nb + 1;
+        if tensor < 4 * nb {
+            let b = &mut self.blocks[tensor / 4];
+            match tensor % 4 {
+                0 => b.qkv.weight_shard_mut(),
+                1 => b.proj.weight_shard_mut(),
+                2 => b.fc1.weight_shard_mut(),
+                _ => b.fc2.weight_shard_mut(),
+            }
+        } else if tensor == 4 * nb {
+            self.head.weight_shard_mut()
+        } else if tensor < base + 2 * (2 * nb + 1) {
+            let k = (tensor - base) / 2;
+            let ln = if k == 2 * nb {
+                &mut *self.final_ln
+            } else if k % 2 == 0 {
+                &mut self.blocks[k / 2].ln1
+            } else {
+                &mut self.blocks[k / 2].ln2
+            };
+            if (tensor - base) % 2 == 0 {
+                &mut ln.gain
+            } else {
+                &mut ln.bias
+            }
+        } else {
+            debug_assert_eq!(tensor, base + 4 * nb + 2, "unknown tensor id");
+            &mut self.emb.table
+        }
+    }
+}
+
+impl ParamStore for StackParams<'_> {
+    fn read(&self, tensor: usize, range: std::ops::Range<usize>, dst: &mut [f32]) {
+        dst.copy_from_slice(&self.param(tensor).as_slice()[range]);
+    }
+    fn write(&mut self, tensor: usize, range: std::ops::Range<usize>, src: &[f32]) {
+        self.param_mut(tensor).as_mut_slice()[range].copy_from_slice(src);
+    }
 }
 
 impl TransformerStack {
@@ -209,7 +314,20 @@ impl TransformerStack {
             tuner: KernelTuner::new(false),
             overlap,
             world: ProcessGroup::new((0..grid.total_ranks()).collect()),
+            grad_sync: GradSyncMode::default(),
+            grad_bucket_elems: DEFAULT_BUCKET_ELEMS,
         }
+    }
+
+    /// Select the data-parallel gradient phase (bucketed pipeline vs the
+    /// per-tensor oracle). Both are bit-identical for every grid.
+    pub fn set_grad_sync(&mut self, mode: GradSyncMode) {
+        self.grad_sync = mode;
+    }
+
+    /// Override the bucket capacity (elements) of the bucketed pipeline.
+    pub fn set_grad_bucket_elems(&mut self, elems: usize) {
+        self.grad_bucket_elems = elems;
     }
 
     /// This rank's slice of the global token list (rows split over data
@@ -285,34 +403,104 @@ impl TransformerStack {
         self.emb.backward(&d);
 
         // Deferred reduce-scatters (ORS), then gradient synchronisation.
-        for p in pending {
-            let (id, grad) = p.wait();
-            self.fc_by_id(id).accumulate_grad(grad);
-        }
         let dg = grid.data_group().clone();
-        {
-            let mut grads: Vec<&mut Matrix> = Vec::new();
-            for b in &mut self.blocks {
-                for l in b.fc_layers_mut() {
-                    grads.push(l.grad_shard_mut());
+        match self.grad_sync {
+            GradSyncMode::Bucketed => {
+                // Reverse-backward feed: as each tensor's Z reduction
+                // resolves it goes straight into a bucket, so full
+                // buckets' data-parallel reduce-scatters stream while
+                // later ORS waits (and the norm/embedding Z stages) are
+                // still draining. Tensor ids per [`StackParams`].
+                let nb = self.blocks.len();
+                let base = 4 * nb + 1;
+                let mut pipe =
+                    GradSyncPipeline::new(comm.clone(), dg, self.grad_bucket_elems);
+                let mut it = pending.into_iter();
+                if let Some(p) = it.next() {
+                    let (id, grad) = p.wait();
+                    self.fc_by_id(id).accumulate_grad(grad);
                 }
+                pipe.push(4 * nb, self.head.grad_shard().as_slice());
+                self.final_ln.sync_param_grads_z(comm, grid);
+                pipe.push(base + 2 * (2 * nb), self.final_ln.gain_grad.as_slice());
+                pipe.push(base + 2 * (2 * nb) + 1, self.final_ln.bias_grad.as_slice());
+                for bi in (0..nb).rev() {
+                    // The block's four deferred reduce-scatters resolve
+                    // in backward order: fc2, fc1, proj, qkv.
+                    for local in [3usize, 2, 1, 0] {
+                        let id = 4 * bi + local;
+                        if let Some(p) = it.next() {
+                            let (pid, grad) = p.wait();
+                            debug_assert_eq!(pid, id, "pending order mismatch");
+                            self.fc_by_id(pid).accumulate_grad(grad);
+                        }
+                        pipe.push(id, self.fc_by_id(id).grad_shard().as_slice());
+                    }
+                    let b = &mut self.blocks[bi];
+                    b.ln2.sync_param_grads_z(comm, grid);
+                    b.ln1.sync_param_grads_z(comm, grid);
+                    let (k1, k2) = (2 * bi, 2 * bi + 1);
+                    pipe.push(base + 2 * k2, b.ln2.gain_grad.as_slice());
+                    pipe.push(base + 2 * k2 + 1, b.ln2.bias_grad.as_slice());
+                    pipe.push(base + 2 * k1, b.ln1.gain_grad.as_slice());
+                    pipe.push(base + 2 * k1 + 1, b.ln1.bias_grad.as_slice());
+                }
+                self.emb.sync_grads_z(comm, grid);
+                pipe.push(base + 4 * nb + 2, self.emb.grad.as_slice());
+                pipe.step(
+                    lr,
+                    &mut StackParams {
+                        blocks: &mut self.blocks,
+                        final_ln: &mut self.final_ln,
+                        head: &mut self.head,
+                        emb: &mut self.emb,
+                    },
+                );
+                // Zero the accumulators `apply_sgd` used to clear.
+                for b in &mut self.blocks {
+                    b.ln1.gain_grad.scale(0.0);
+                    b.ln1.bias_grad.scale(0.0);
+                    b.ln2.gain_grad.scale(0.0);
+                    b.ln2.bias_grad.scale(0.0);
+                    for l in b.fc_layers_mut() {
+                        l.grad_shard_mut().scale(0.0);
+                    }
+                }
+                self.final_ln.gain_grad.scale(0.0);
+                self.final_ln.bias_grad.scale(0.0);
+                self.head.grad_shard_mut().scale(0.0);
+                self.emb.grad.scale(0.0);
             }
-            grads.push(self.head.grad_shard_mut());
-            crate::dataparallel::sync_gradients(comm, &dg, &mut grads);
-        }
-        for b in &mut self.blocks {
-            b.sync_norm_grads(comm, grid);
-        }
-        self.final_ln.sync_param_grads(comm, grid);
-        self.emb.sync_grads(comm, grid);
+            GradSyncMode::PerTensor => {
+                for p in pending {
+                    let (id, grad) = p.wait();
+                    self.fc_by_id(id).accumulate_grad(grad);
+                }
+                {
+                    let mut grads: Vec<&mut Matrix> = Vec::new();
+                    for b in &mut self.blocks {
+                        for l in b.fc_layers_mut() {
+                            grads.push(l.grad_shard_mut());
+                        }
+                    }
+                    grads.push(self.head.grad_shard_mut());
+                    crate::dataparallel::sync_gradients(comm, &dg, &mut grads);
+                }
+                for b in &mut self.blocks {
+                    b.sync_norm_grads(comm, grid);
+                }
+                self.final_ln.sync_param_grads(comm, grid);
+                self.emb.sync_grads(comm, grid);
 
-        // Update.
-        for b in &mut self.blocks {
-            b.apply_sgd(lr);
+                // Update.
+                for b in &mut self.blocks {
+                    b.apply_sgd(lr);
+                }
+                self.final_ln.apply_sgd(lr);
+                self.head.apply_sgd(lr);
+                self.emb.apply_sgd(lr);
+            }
         }
-        self.final_ln.apply_sgd(lr);
-        self.head.apply_sgd(lr);
-        self.emb.apply_sgd(lr);
 
         // Each rank's CE covered only its (Z, data) row slice (already
         // scaled by 1/total_rows); sum the distinct slices across the

@@ -138,11 +138,32 @@ impl ParallelLayerNorm {
 
     /// Gain/bias gradients are summed over local rows; rows are split
     /// over Z (and data), so finish the reduction across those groups.
+    ///
+    /// The data stage uses the canonical-order all-reduce so the result
+    /// is bitwise comparable with the bucketed gradient pipeline, which
+    /// reduces these tensors inside mixed buckets.
     pub fn sync_param_grads(&mut self, comm: &Comm, grid: &GridTopology) {
+        let mut buf = self.fused_grads();
+        comm.all_reduce(grid.z_group(), &mut buf);
+        comm.all_reduce_linear(grid.data_group(), &mut buf);
+        self.split_grads(&buf);
+    }
+
+    /// Z-group-only gradient reduction: used by the bucketed pipeline,
+    /// which takes over the data-parallel stage (and the update) itself.
+    pub fn sync_param_grads_z(&mut self, comm: &Comm, grid: &GridTopology) {
+        let mut buf = self.fused_grads();
+        comm.all_reduce(grid.z_group(), &mut buf);
+        self.split_grads(&buf);
+    }
+
+    fn fused_grads(&self) -> Vec<f32> {
         let mut buf = self.gain_grad.as_slice().to_vec();
         buf.extend_from_slice(self.bias_grad.as_slice());
-        comm.all_reduce(grid.z_group(), &mut buf);
-        comm.all_reduce(grid.data_group(), &mut buf);
+        buf
+    }
+
+    fn split_grads(&mut self, buf: &[f32]) {
         let local = self.gain.cols();
         self.gain_grad = Matrix::from_vec(1, local, buf[..local].to_vec());
         self.bias_grad = Matrix::from_vec(1, local, buf[local..].to_vec());

@@ -90,8 +90,17 @@ pub fn layer_comm_time(
     } else {
         0.0
     };
+    // Eq. 5 charged as the bucketed ZeRO-1 schedule actually runs it: a
+    // reduce-scatter of the gradient bucket plus an all-gather of the
+    // updated slices. Each half moves ((g-1)/g)·V bytes, so the total
+    // equals the classic all-reduce volume — the schedule rearranges
+    // *when* the bytes move (overlapped with the ORS drain), not how
+    // many there are.
     let ar_data = if gd > 1 {
-        (2.0 / beta_d) * ((gdf - 1.0) / gdf) * BYTES_PER_ELEM * kf * nf / (gxf * gyf * gzf)
+        let grad_bytes = BYTES_PER_ELEM * kf * nf / (gxf * gyf * gzf);
+        let rs_d = (1.0 / beta_d) * ((gdf - 1.0) / gdf) * grad_bytes;
+        let ag_d = (1.0 / beta_d) * ((gdf - 1.0) / gdf) * grad_bytes;
+        rs_d + ag_d
     } else {
         0.0
     };

@@ -364,19 +364,64 @@ pub fn simulate_mlp_step(cfg: &MlpStepConfig, cost: &dyn CostModel) -> RankTrace
         m.sink.close_span(span, m.now);
         m.sink.set_layer(None);
     }
-    // ORS drain, in issue (= reverse layer) order.
-    for t in &pending {
+    // ---- data-parallel gradient phase: the bucketed pipeline ----
+    // Mirrors `axonn_core::gradsync::GradSyncPipeline` under the default
+    // `GradSyncMode::Bucketed`: the ORS drain feeds each layer's gradient
+    // shard into fixed-capacity buckets in reverse-backward order; every
+    // sealed bucket immediately issues a non-blocking canonical-order
+    // reduce-scatter (unattributed — no layer scope); the ZeRO-1 sharded
+    // update is pure local compute (no events); each updated slice
+    // returns via a non-blocking all-gather. Both bucket collectives
+    // report the padded bucket volume, exactly as the exec plane does.
+    const BUCKET_ELEMS: usize = 32 * 1024; // = axonn_core::DEFAULT_BUCKET_ELEMS
+
+    let mut rs_tickets: Vec<(Ticket, usize)> = Vec::new();
+    let mut fill = 0usize;
+    let mut seal = |m: &mut Mirror, fill: &mut usize| {
+        if *fill == 0 {
+            return;
+        }
+        let padded = fill.div_ceil(cfg.gd) * cfg.gd;
+        if cfg.gd > 1 {
+            let t = m.issue(
+                CollectiveKind::ReduceScatter,
+                cfg.gd,
+                (padded * 4) as f64,
+            );
+            rs_tickets.push((t, padded));
+        }
+        *fill = 0;
+    };
+    for (idx, i) in (0..n_layers).rev().enumerate() {
+        if cfg.ors {
+            // Drain this layer's deferred Z reduce-scatter, then bucket
+            // its gradient — overlapping the remaining waits.
+            m.wait(&pending[idx]);
+        }
+        let (_, lk, ln) = cfg.shape(i);
+        let mut rem = (lk / cfg.gz as f64 * ln) as usize;
+        while rem > 0 {
+            let take = (BUCKET_ELEMS - fill).min(rem);
+            fill += take;
+            rem -= take;
+            if fill == BUCKET_ELEMS {
+                seal(&mut m, &mut fill);
+            }
+        }
+    }
+    seal(&mut m, &mut fill); // flush the final partial bucket
+    drop(seal);
+
+    // ZeRO-1 step: per bucket in issue order, wait the reduce-scatter
+    // and issue the all-gather of the updated slice; then wait gathers.
+    let mut gathers: Vec<Ticket> = Vec::with_capacity(rs_tickets.len());
+    for (t, padded) in &rs_tickets {
+        m.wait(t);
+        gathers.push(m.issue(CollectiveKind::AllGather, cfg.gd, (*padded * 4) as f64));
+    }
+    for t in &gathers {
         m.wait(t);
     }
-
-    // ---- data-parallel gradient sync: one flat bucket ----
-    let grad_elems: f64 = (0..n_layers)
-        .map(|i| {
-            let (_, lk, ln) = cfg.shape(i);
-            lk / cfg.gz as f64 * ln
-        })
-        .sum();
-    m.blocking(CollectiveKind::AllReduce, cfg.gd, grad_elems * 4.0);
 
     m.sink.finish()
 }

@@ -106,6 +106,11 @@ pub fn gemm_bf16(mode: MatMode, a: &Matrix, b: &Matrix) -> Matrix {
 
 /// NN fast path: for each row of C, accumulate k rank-1 row updates with a
 /// unit-stride inner loop.
+///
+/// The zero-skip (ReLU outputs make whole A entries vanish) is decided
+/// once per A row, not per element: dense rows — the common case for
+/// weights and raw activations — take a branch-free accumulation loop,
+/// and only rows that actually contain zeros pay the per-element test.
 fn gemm_nn(a: &Matrix, b: &Matrix, c: &mut Matrix) {
     let (m, k) = a.shape();
     let n = b.cols();
@@ -113,13 +118,22 @@ fn gemm_nn(a: &Matrix, b: &Matrix, c: &mut Matrix) {
     let body = |(i, c_row): (usize, &mut [f32])| {
         c_row.fill(0.0);
         let a_row = a.row(i);
-        for (p, &a_ip) in a_row.iter().enumerate().take(k) {
-            if a_ip == 0.0 {
-                continue;
+        if a_row.iter().take(k).any(|&v| v == 0.0) {
+            for (p, &a_ip) in a_row.iter().enumerate().take(k) {
+                if a_ip == 0.0 {
+                    continue;
+                }
+                let b_row = b.row(p);
+                for (c_v, &b_v) in c_row.iter_mut().zip(b_row) {
+                    *c_v += a_ip * b_v;
+                }
             }
-            let b_row = b.row(p);
-            for (c_v, &b_v) in c_row.iter_mut().zip(b_row) {
-                *c_v += a_ip * b_v;
+        } else {
+            for (p, &a_ip) in a_row.iter().enumerate().take(k) {
+                let b_row = b.row(p);
+                for (c_v, &b_v) in c_row.iter_mut().zip(b_row) {
+                    *c_v += a_ip * b_v;
+                }
             }
         }
     };

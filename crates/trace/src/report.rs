@@ -173,6 +173,56 @@ impl OverlapReport {
             compute_seconds,
         }
     }
+
+    /// Overlap accounting restricted to the *data-parallel gradient
+    /// pipeline*: asynchronous reduce-scatter / all-gather spans issued
+    /// outside any layer scope (bucketed gradient collectives are the
+    /// only unattributed async ops — per-layer OAR/ORS/OAG spans carry
+    /// the issuing layer) together with their matching waits. The serial
+    /// per-tensor tail issues only blocking collectives, so its
+    /// efficiency here is identically zero; any positive value certifies
+    /// real overlap between bucket communication and backward compute.
+    pub fn data_parallel_overlap(traces: &[RankTrace]) -> OverlapReport {
+        let filtered: Vec<RankTrace> = traces
+            .iter()
+            .map(|trace| {
+                // (op, seq) pairs of the bucket collectives on this rank;
+                // waits are matched against the same per-rank key space.
+                let mut keys: Vec<(crate::event::CollOp, u64)> = Vec::new();
+                let mut events: Vec<crate::event::TraceEvent> = Vec::new();
+                for ev in &trace.events {
+                    if let EventDetail::Collective {
+                        op,
+                        seq,
+                        blocking: false,
+                        ..
+                    } = &ev.detail
+                    {
+                        let bucket_op = matches!(
+                            op,
+                            crate::event::CollOp::ReduceScatter | crate::event::CollOp::AllGather
+                        );
+                        if ev.layer.is_none() && bucket_op {
+                            keys.push((*op, *seq));
+                            events.push(ev.clone());
+                        }
+                    }
+                }
+                for ev in &trace.events {
+                    if let EventDetail::OverlapWait { op, seq } = &ev.detail {
+                        if keys.contains(&(*op, *seq)) {
+                            events.push(ev.clone());
+                        }
+                    }
+                }
+                RankTrace {
+                    rank: trace.rank,
+                    events,
+                }
+            })
+            .collect();
+        OverlapReport::from_traces(&filtered)
+    }
 }
 
 /// Compact machine-readable summary of a traced run.
@@ -284,6 +334,56 @@ mod tests {
         let report = OverlapReport::from_traces(&[sink.finish()]);
         assert!((report.total_hidden_seconds - 0.5).abs() < 1e-12);
         assert_eq!(report.overlap_efficiency, 1.0);
+    }
+
+    #[test]
+    fn data_parallel_overlap_selects_unattributed_bucket_ops() {
+        let rs = |seq, op_seconds| EventDetail::Collective {
+            op: CollOp::ReduceScatter,
+            group_size: 2,
+            bytes: 512,
+            seq,
+            blocking: false,
+            op_seconds,
+        };
+        let sink = TraceSink::new(0);
+        // Layer-scoped ORS span: excluded from the data-parallel view.
+        sink.set_layer(Some(3));
+        sink.record_scoped(Stream::Comm, 0.0, 1.0, rs(0, 1.0));
+        sink.set_layer(None);
+        // Unattributed bucket reduce-scatter: 0.9 of 1.0s hidden.
+        sink.record_scoped(Stream::Comm, 0.0, 1.0, rs(1, 1.0));
+        sink.record_scoped(
+            Stream::Compute,
+            0.9,
+            1.0,
+            EventDetail::OverlapWait {
+                op: CollOp::ReduceScatter,
+                seq: 1,
+            },
+        );
+        // Blocking all-reduce (the serial tail): also excluded.
+        sink.record_scoped(
+            Stream::Compute,
+            1.0,
+            2.0,
+            EventDetail::Collective {
+                op: CollOp::AllReduce,
+                group_size: 2,
+                bytes: 512,
+                seq: 2,
+                blocking: true,
+                op_seconds: 1.0,
+            },
+        );
+        let traces = [sink.finish()];
+        let dp = OverlapReport::data_parallel_overlap(&traces);
+        assert!((dp.total_issued_seconds - 1.0).abs() < 1e-12);
+        assert!((dp.total_hidden_seconds - 0.9).abs() < 1e-12);
+        assert!((dp.overlap_efficiency - 0.9).abs() < 1e-12);
+        // The full report still sees everything.
+        let full = OverlapReport::from_traces(&traces);
+        assert!(full.total_issued_seconds > 2.9);
     }
 
     #[test]
