@@ -6,13 +6,18 @@ use std::sync::Arc;
 use axonn_bench::step::{compare as bench_compare, load_report, run_step_bench, StepBenchConfig};
 use axonn_cluster::{BandwidthDb, Machine};
 use axonn_collectives::{CostModel, RingCostModel};
-use axonn_core::{GridTopology, OverlapConfig, TransformerStack};
+use axonn_core::{
+    default_mlp_shape, default_transformer_shape, extract_mlp_schedules,
+    extract_transformer_schedules, transformer_grid_fits, GridTopology, OverlapConfig,
+    TransformerStack,
+};
 use axonn_exec::run_spmd_traced;
-use axonn_ft::{legal_resume_grids, CheckpointStore};
+use axonn_ft::{grid_fits, legal_resume_grids, CheckpointStore};
 use axonn_gpt::{table2_models, GptConfig, HEADLINE_BATCH_TOKENS};
 use axonn_perfmodel::{rank_configs, Grid4d};
 use axonn_sim::{pick_best_config, simulate_batch, simulate_batch_traced, SimOptions};
 use axonn_trace::{chrome_trace_json, OverlapReport, TraceSink, TraceSummary};
+use axonn_verify::{check_schedules, inject, DefectKind};
 
 /// Usage text shown on parse errors.
 pub const USAGE: &str = "usage:
@@ -23,7 +28,9 @@ pub const USAGE: &str = "usage:
   axonnctl trace <machine> <model-billions> <gx> <gy> <gz> <gd> [batch-tokens] [out-prefix]
   axonnctl profile <machine>
   axonnctl resume <checkpoint-dir> [target-gpus] [step]
-  axonnctl bench [baseline.json]";
+  axonnctl bench [baseline.json]
+  axonnctl verify <gx> <gy> <gz> <gd> [mlp|transformer] [--inject reorder|missing-wait|count-mismatch]
+  axonnctl verify --all-grids <gpus> [mlp|transformer]";
 
 /// A parsed subcommand.
 #[derive(Debug, Clone, PartialEq)]
@@ -68,6 +75,48 @@ pub enum Command {
     Bench {
         baseline: Option<String>,
     },
+    /// Statically certify the collective schedule of one training step
+    /// on a specific grid: extract per-rank streams on a dry world, then
+    /// run cross-rank matching, the deadlock simulation and the leak
+    /// lints. `--inject` seeds a defect into rank 1's stream first and
+    /// expects the verifier to reject it.
+    Verify {
+        grid: Grid4d,
+        model: VerifyModel,
+        inject: Option<DefectKind>,
+    },
+    /// Verify every legal grid for a GPU budget (the same enumeration
+    /// elastic restart uses) and print a summary table.
+    VerifyAll {
+        gpus: usize,
+        model: VerifyModel,
+    },
+}
+
+/// Which model family `axonnctl verify` extracts a schedule from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerifyModel {
+    Mlp,
+    Transformer,
+}
+
+impl VerifyModel {
+    fn parse(s: &str) -> Result<VerifyModel, String> {
+        match s {
+            "mlp" => Ok(VerifyModel::Mlp),
+            "transformer" => Ok(VerifyModel::Transformer),
+            other => Err(format!(
+                "unknown model '{other}' (expected mlp or transformer)"
+            )),
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        match self {
+            VerifyModel::Mlp => "mlp",
+            VerifyModel::Transformer => "transformer",
+        }
+    }
 }
 
 impl Command {
@@ -166,6 +215,43 @@ impl Command {
             "bench" => Ok(Command::Bench {
                 baseline: it.next().cloned(),
             }),
+            "verify" => {
+                let first = it.next().ok_or("missing grid (or --all-grids)")?;
+                if first == "--all-grids" {
+                    let gpus = parse_num(it.next(), "gpu count")?;
+                    let model = match it.next() {
+                        Some(s) => VerifyModel::parse(s)?,
+                        None => VerifyModel::Mlp,
+                    };
+                    return Ok(Command::VerifyAll { gpus, model });
+                }
+                let gx = first
+                    .parse::<usize>()
+                    .map_err(|_| format!("invalid gx: '{first}'"))?;
+                let gy = parse_num(it.next(), "gy")?;
+                let gz = parse_num(it.next(), "gz")?;
+                let gd = parse_num(it.next(), "gd")?;
+                let mut model = VerifyModel::Mlp;
+                let mut inject = None;
+                while let Some(arg) = it.next() {
+                    if arg == "--inject" {
+                        let kind = it.next().ok_or("missing defect after --inject")?;
+                        inject = Some(DefectKind::parse(kind).ok_or_else(|| {
+                            format!(
+                                "unknown defect '{kind}' (expected reorder, \
+                                 missing-wait or count-mismatch)"
+                            )
+                        })?);
+                    } else {
+                        model = VerifyModel::parse(arg)?;
+                    }
+                }
+                Ok(Command::Verify {
+                    grid: Grid4d::new(gx, gy, gz, gd),
+                    model,
+                    inject,
+                })
+            }
             other => Err(format!("unknown subcommand '{other}'")),
         }
     }
@@ -472,6 +558,136 @@ pub fn run(cmd: Command) -> Result<(), String> {
             }
             Ok(())
         }
+        Command::Verify {
+            grid,
+            model,
+            inject: defect,
+        } => {
+            let mut streams = extract_verify_streams(&grid, model)?;
+            if let Some(kind) = defect {
+                if grid.gpus() < 2 {
+                    return Err("--inject needs a world of at least 2 ranks".to_string());
+                }
+                if !inject(&mut streams, 1, kind) {
+                    return Err(format!(
+                        "could not inject '{}' into rank 1's stream",
+                        kind.label()
+                    ));
+                }
+                println!("injected defect '{}' into rank 1", kind.label());
+            }
+            let report = check_schedules(&streams);
+            println!("{report}");
+            match defect {
+                None if report.is_ok() => Ok(()),
+                None => Err("schedule verification failed".to_string()),
+                Some(kind) if report.is_ok() => Err(format!(
+                    "injected defect '{}' was not detected",
+                    kind.label()
+                )),
+                Some(kind) => {
+                    println!("defect '{}' correctly rejected", kind.label());
+                    Ok(())
+                }
+            }
+        }
+        Command::VerifyAll { gpus, model } => {
+            if gpus == 0 {
+                return Err("gpu count must be positive".to_string());
+            }
+            // MLP reuses the elastic-restart enumerator so `verify
+            // --all-grids` and `resume` agree on what "legal" means.
+            let grids: Vec<Grid4d> = match model {
+                VerifyModel::Mlp => {
+                    let (dims, batch) = default_mlp_shape(gpus);
+                    legal_resume_grids(&dims, batch, gpus)
+                }
+                VerifyModel::Transformer => {
+                    let shape = default_transformer_shape(gpus);
+                    Grid4d::enumerate(gpus)
+                        .into_iter()
+                        .filter(|g| transformer_grid_fits(g.gx, g.gy, g.gz, g.gd, &shape))
+                        .collect()
+                }
+            };
+            println!(
+                "verifying {} {} grid(s) on {gpus} rank(s)",
+                grids.len(),
+                model.label()
+            );
+            println!("{:<20} {:>6} {:>8}  verdict", "grid", "ranks", "issues");
+            let mut rejected = 0usize;
+            for g in &grids {
+                let streams = extract_verify_streams(g, model)?;
+                let report = check_schedules(&streams);
+                println!(
+                    "{:<20} {:>6} {:>8}  {}",
+                    format!("{}x{}x{}x{}", g.gx, g.gy, g.gz, g.gd),
+                    report.ranks,
+                    report.issues,
+                    if report.is_ok() { "OK" } else { "REJECTED" }
+                );
+                if !report.is_ok() {
+                    rejected += 1;
+                    for d in &report.diagnostics {
+                        println!("    {d}");
+                    }
+                }
+            }
+            if rejected > 0 {
+                Err(format!("{rejected} grid(s) failed schedule verification"))
+            } else {
+                println!("all {} grid(s) verified clean", grids.len());
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Extract per-rank schedule streams for one training step of the
+/// default-shaped model on `grid`, rejecting shapes that don't fit with
+/// a clean error instead of a downstream assert.
+fn extract_verify_streams(
+    grid: &Grid4d,
+    model: VerifyModel,
+) -> Result<Vec<Vec<axonn_collectives::SchedEvent>>, String> {
+    let world = grid.gpus();
+    let (gx, gy, gz, gd) = (grid.gx, grid.gy, grid.gz, grid.gd);
+    match model {
+        VerifyModel::Mlp => {
+            let (dims, batch) = default_mlp_shape(world);
+            if !grid_fits(grid, &dims, batch) {
+                return Err(format!(
+                    "mlp shape {dims:?} (batch {batch}) does not fit grid \
+                     {gx}x{gy}x{gz}x{gd}"
+                ));
+            }
+            Ok(extract_mlp_schedules(
+                gx,
+                gy,
+                gz,
+                gd,
+                &dims,
+                batch,
+                OverlapConfig::all(),
+            ))
+        }
+        VerifyModel::Transformer => {
+            let shape = default_transformer_shape(world);
+            if !transformer_grid_fits(gx, gy, gz, gd, &shape) {
+                return Err(format!(
+                    "transformer shape {shape:?} does not fit grid {gx}x{gy}x{gz}x{gd}"
+                ));
+            }
+            Ok(extract_transformer_schedules(
+                gx,
+                gy,
+                gz,
+                gd,
+                &shape,
+                OverlapConfig::all(),
+            ))
+        }
     }
 }
 
@@ -505,7 +721,10 @@ mod tests {
     #[test]
     fn grad_sync_overlap_probe_reports_hidden_time() {
         let dp = grad_sync_overlap_report();
-        assert!(dp.total_issued_seconds > 0.0, "probe issued nothing: {dp:?}");
+        assert!(
+            dp.total_issued_seconds > 0.0,
+            "probe issued nothing: {dp:?}"
+        );
         assert!(dp.overlap_efficiency > 0.0, "probe hid nothing: {dp:?}");
     }
 
@@ -656,6 +875,110 @@ mod tests {
         })
         .unwrap_err();
         assert!(e.contains("unknown machine"));
+    }
+
+    #[test]
+    fn parse_verify_variants() {
+        assert_eq!(
+            Command::parse(&sv(&["verify", "2", "1", "2", "1"])).unwrap(),
+            Command::Verify {
+                grid: Grid4d::new(2, 1, 2, 1),
+                model: VerifyModel::Mlp,
+                inject: None
+            }
+        );
+        assert_eq!(
+            Command::parse(&sv(&["verify", "1", "2", "1", "2", "transformer"])).unwrap(),
+            Command::Verify {
+                grid: Grid4d::new(1, 2, 1, 2),
+                model: VerifyModel::Transformer,
+                inject: None
+            }
+        );
+        assert_eq!(
+            Command::parse(&sv(&["verify", "2", "2", "1", "1", "--inject", "reorder"])).unwrap(),
+            Command::Verify {
+                grid: Grid4d::new(2, 2, 1, 1),
+                model: VerifyModel::Mlp,
+                inject: Some(DefectKind::Reorder)
+            }
+        );
+        assert_eq!(
+            Command::parse(&sv(&["verify", "--all-grids", "8", "transformer"])).unwrap(),
+            Command::VerifyAll {
+                gpus: 8,
+                model: VerifyModel::Transformer
+            }
+        );
+        assert!(
+            Command::parse(&sv(&["verify", "2", "1", "1", "1", "--inject", "bogus"]))
+                .unwrap_err()
+                .contains("unknown defect")
+        );
+        assert!(
+            Command::parse(&sv(&["verify", "2", "1", "1", "1", "resnet"]))
+                .unwrap_err()
+                .contains("unknown model")
+        );
+    }
+
+    #[test]
+    fn run_verify_accepts_clean_grids() {
+        run(Command::Verify {
+            grid: Grid4d::new(2, 1, 2, 1),
+            model: VerifyModel::Mlp,
+            inject: None,
+        })
+        .unwrap();
+        run(Command::Verify {
+            grid: Grid4d::new(1, 2, 1, 2),
+            model: VerifyModel::Transformer,
+            inject: None,
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn run_verify_rejects_each_seeded_defect() {
+        for defect in [
+            DefectKind::Reorder,
+            DefectKind::MissingWait,
+            DefectKind::CountMismatch,
+        ] {
+            // Ok(()) here means "the defect was injected AND rejected";
+            // a clean report under --inject is an Err.
+            run(Command::Verify {
+                grid: Grid4d::new(2, 2, 1, 1),
+                model: VerifyModel::Mlp,
+                inject: Some(defect),
+            })
+            .unwrap_or_else(|e| panic!("{}: {e}", defect.label()));
+        }
+    }
+
+    #[test]
+    fn run_verify_all_grids_sweeps_the_enumeration() {
+        run(Command::VerifyAll {
+            gpus: 4,
+            model: VerifyModel::Mlp,
+        })
+        .unwrap();
+        run(Command::VerifyAll {
+            gpus: 4,
+            model: VerifyModel::Transformer,
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn run_verify_inject_needs_two_ranks() {
+        let e = run(Command::Verify {
+            grid: Grid4d::new(1, 1, 1, 1),
+            model: VerifyModel::Mlp,
+            inject: Some(DefectKind::Reorder),
+        })
+        .unwrap_err();
+        assert!(e.contains("at least 2 ranks"));
     }
 
     #[test]

@@ -17,6 +17,7 @@ use crate::fault::{unwrap_comm, CommError, FaultConfig};
 use crate::group::ProcessGroup;
 use crate::mailbox::{MsgKey, PoisonInfo, Transport};
 use crate::pool::{segment_ranges, Payload, PipelineConfig, PoolStats};
+use crate::sched::{SchedEvent, SchedKind, SchedOp};
 use axonn_trace::{CollOp, EventDetail, Stream, TraceSink, XferStats};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -63,6 +64,10 @@ pub(crate) struct CommShared {
     pub(crate) seq: Mutex<HashMap<u64, u64>>,
     /// Per-rank event recorder, present in traced worlds.
     pub(crate) tracer: Option<Arc<TraceSink>>,
+    /// Dry (symbolic) mode: collectives record their schedule event and
+    /// return zero-filled results immediately — no messages, no workers.
+    /// Used by the static verifier to extract per-rank schedules.
+    pub(crate) dry: bool,
 }
 
 /// A rank's handle to the world: identity, transport, cost model, clock.
@@ -126,7 +131,32 @@ impl CommWorld {
             track_time: false,
             faults: FaultConfig::none(),
             pipeline: PipelineConfig::default(),
+            record_schedule: None,
+            dry: false,
         }
+    }
+
+    /// A **dry** world for symbolic schedule extraction: every collective
+    /// records its schedule event and returns a zero-filled result of the
+    /// correct shape without moving a message (no async workers are
+    /// spawned, so ranks can be driven serially from one thread). Raw
+    /// point-to-point send/recv is not available in dry mode. Schedule
+    /// recording is always on; read the streams back with
+    /// [`Comm::schedule_streams`].
+    pub fn dry(size: usize) -> Vec<Comm> {
+        let mut b = Self::builder(size);
+        b.dry = true;
+        b.build()
+    }
+}
+
+/// Default recording policy: on in debug builds, off in release, with
+/// `AXONN_SCHED_VERIFY=1`/`0` overriding either way.
+fn default_recording() -> bool {
+    match std::env::var("AXONN_SCHED_VERIFY") {
+        Ok(v) if v == "0" || v.eq_ignore_ascii_case("false") => false,
+        Ok(_) => true,
+        Err(_) => cfg!(debug_assertions),
     }
 }
 
@@ -137,6 +167,8 @@ pub struct WorldBuilder {
     track_time: bool,
     faults: FaultConfig,
     pipeline: PipelineConfig,
+    record_schedule: Option<bool>,
+    dry: bool,
 }
 
 impl WorldBuilder {
@@ -160,6 +192,14 @@ impl WorldBuilder {
         self
     }
 
+    /// Force per-rank schedule recording on or off. The default follows
+    /// the build profile (on under `debug_assertions`), overridable with
+    /// `AXONN_SCHED_VERIFY=1`/`0`; dry worlds always record.
+    pub fn record_schedule(mut self, on: bool) -> Self {
+        self.record_schedule = Some(on);
+        self
+    }
+
     /// Create the world.
     pub fn build(self) -> Vec<Comm> {
         self.build_inner(None)
@@ -179,9 +219,12 @@ impl WorldBuilder {
             track_time,
             faults,
             pipeline,
+            record_schedule,
+            dry,
         } = self;
         assert!(size > 0, "world size must be positive");
-        let transport = Transport::with_opts(size, faults, pipeline);
+        let record = dry || record_schedule.unwrap_or_else(default_recording);
+        let transport = Transport::with_opts_recording(size, faults, pipeline, record);
         (0..size)
             .map(|rank| {
                 let shared = Arc::new(CommShared {
@@ -191,12 +234,16 @@ impl WorldBuilder {
                     clock: Mutex::new(ClockState::default()),
                     seq: Mutex::new(HashMap::new()),
                     tracer: tracers.map(|t| t[rank].clone()),
+                    dry,
                 });
-                let async_tx = crate::nonblocking::spawn_worker(rank, shared.clone());
+                // Dry worlds never spawn workers: async issues complete
+                // eagerly with symbolic results.
+                let async_tx =
+                    (!dry).then(|| crate::nonblocking::spawn_worker(rank, shared.clone()));
                 Comm {
                     rank,
                     shared,
-                    async_tx: Some(async_tx),
+                    async_tx,
                 }
             })
             .collect()
@@ -226,10 +273,16 @@ impl ReduceOp {
     }
 }
 
-/// Sub-channel lanes within one collective's key space. Each lane spans
-/// `0x1_0000` sub-keys, addressed as `lane + step * SEG_STRIDE + segment`
-/// by [`sub`] — up to 256 ring steps of up to 256 pipeline segments.
-pub(crate) mod lane {
+/// Sub-channel lanes within one collective's key space.
+///
+/// The canonical description of the lane-key convention — how
+/// `lane + step * 256 + segment` partitions the 32-bit sub-key space, and
+/// how the full message key composes with the group key and sequence
+/// number — lives in the [`crate::sched`] module docs; this module is just
+/// the constants. Each lane spans `0x1_0000` sub-keys, addressed as
+/// `lane + step * SEG_STRIDE + segment` by `sub` — up to 256 ring steps of
+/// up to 256 pipeline segments.
+pub mod lane {
     /// Ring steps of the reduce-scatter phase.
     pub const RS: u32 = 0;
     /// Ring steps of the all-gather phase.
@@ -379,10 +432,93 @@ impl Comm {
         out
     }
 
+    /// True when this communicator belongs to a dry (symbolic) world.
+    pub fn is_dry(&self) -> bool {
+        self.shared.dry
+    }
+
+    /// Record a collective issue into this rank's schedule stream.
+    /// Size-1 groups move no data and leave no events — the same rule
+    /// the tracer and the `axonn-sim` analytical plane follow, so
+    /// extracted and simulated schedules line up op for op.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn record_issue(
+        &self,
+        kind: SchedKind,
+        group: &ProcessGroup,
+        elems: usize,
+        root: Option<usize>,
+        reduce: Option<ReduceOp>,
+        blocking: bool,
+        pooled: bool,
+        seq: u64,
+    ) {
+        if group.size() > 1 && self.shared.transport.recording_schedule() {
+            self.shared.transport.record_event(
+                self.rank,
+                SchedEvent::Issue(SchedOp::new(
+                    kind, group, elems, root, reduce, blocking, pooled, seq,
+                )),
+            );
+        }
+    }
+
+    /// Record a structural marker (e.g. `bucket_seal`) into this rank's
+    /// schedule stream, for the verifier's leak lints. No-op when
+    /// schedule recording is off.
+    pub fn record_schedule_marker(&self, label: &'static str) {
+        if self.shared.transport.recording_schedule() {
+            self.shared
+                .transport
+                .record_event(self.rank, SchedEvent::Marker { label });
+        }
+    }
+
+    /// Snapshot of every rank's recorded schedule stream, when this world
+    /// records schedules (dry worlds and debug/`AXONN_SCHED_VERIFY=1`
+    /// runtime worlds).
+    pub fn schedule_streams(&self) -> Option<Vec<Vec<SchedEvent>>> {
+        self.shared.transport.schedule_streams()
+    }
+
+    /// True when the recorded streams reflect a fully successful run (no
+    /// poison, dead ranks, or typed comm errors) and are therefore
+    /// required to satisfy the SPMD matching property.
+    pub fn schedule_clean(&self) -> bool {
+        self.shared.transport.schedule_clean()
+    }
+
+    /// Symbolic reduce-scatter result: mirrors the divisibility contract
+    /// of the real ring/linear implementations, byte for byte on the
+    /// diagnostic, without moving data.
+    pub(crate) fn dry_reduce_scatter(
+        &self,
+        len: usize,
+        group: &ProcessGroup,
+        op: &'static str,
+    ) -> Result<Vec<f32>, CommError> {
+        let g = group.size();
+        if g == 1 {
+            return Ok(vec![0.0; len]);
+        }
+        if !len.is_multiple_of(g) {
+            self.shared.transport.note_error();
+            return Err(CommError::InvalidBuffer {
+                op,
+                detail: format!("length {len} not divisible by group size {g}"),
+            });
+        }
+        Ok(vec![0.0; len / g])
+    }
+
     /// Raw tagged point-to-point send (tag space is disjoint from
     /// collective keys). Accepts anything convertible to a [`Payload`];
     /// re-sending a received payload is zero-copy.
     pub fn send(&self, dst: usize, tag: u64, data: impl Into<Payload>) {
+        assert!(
+            !self.shared.dry,
+            "raw point-to-point send is not supported in dry schedule extraction"
+        );
         let key = msg_key(u64::MAX, tag, 0);
         self.shared.transport.send(self.rank, dst, key, data);
     }
@@ -396,6 +532,10 @@ impl Comm {
     /// [`CommError::PeerLost`] if `src` is dead or silent past the recv
     /// timeout instead of blocking forever.
     pub fn try_recv(&self, src: usize, tag: u64) -> Result<Payload, CommError> {
+        assert!(
+            !self.shared.dry,
+            "raw point-to-point recv is not supported in dry schedule extraction"
+        );
         let key = msg_key(u64::MAX, tag, 0);
         self.shared.transport.recv_result(self.rank, src, key)
     }
@@ -432,6 +572,19 @@ impl Comm {
         shard: &[f32],
     ) -> Result<Vec<f32>, CommError> {
         let seq = self.next_seq(group);
+        self.record_issue(
+            SchedKind::AllGather,
+            group,
+            shard.len(),
+            None,
+            None,
+            true,
+            false,
+            seq,
+        );
+        if self.shared.dry {
+            return Ok(vec![0.0; shard.len() * group.size()]);
+        }
         let wall = self.wall_now();
         let mut stats = HopStats::default();
         let out = ring_all_gather(&self.shared, self.rank, group, seq, shard, &mut stats)?;
@@ -462,6 +615,19 @@ impl Comm {
         buf: &[f32],
     ) -> Result<Vec<f32>, CommError> {
         let seq = self.next_seq(group);
+        self.record_issue(
+            SchedKind::ReduceScatter,
+            group,
+            buf.len(),
+            None,
+            Some(ReduceOp::Sum),
+            true,
+            false,
+            seq,
+        );
+        if self.shared.dry {
+            return self.dry_reduce_scatter(buf.len(), group, "reduce_scatter");
+        }
         let wall = self.wall_now();
         let mut stats = HopStats::default();
         let out = ring_reduce_scatter(&self.shared, self.rank, group, seq, buf, &mut stats)?;
@@ -491,6 +657,19 @@ impl Comm {
         buf: &[f32],
     ) -> Result<Vec<f32>, CommError> {
         let seq = self.next_seq(group);
+        self.record_issue(
+            SchedKind::ReduceScatterLinear,
+            group,
+            buf.len(),
+            None,
+            Some(ReduceOp::Sum),
+            true,
+            false,
+            seq,
+        );
+        if self.shared.dry {
+            return self.dry_reduce_scatter(buf.len(), group, "reduce_scatter_linear");
+        }
         let wall = self.wall_now();
         let mut stats = HopStats::default();
         let out = linear_reduce_scatter(&self.shared, self.rank, group, seq, buf, &mut stats)?;
@@ -525,6 +704,19 @@ impl Comm {
             return Ok(());
         }
         let seq = self.next_seq(group);
+        self.record_issue(
+            SchedKind::AllReduceLinear,
+            group,
+            buf.len(),
+            None,
+            Some(ReduceOp::Sum),
+            true,
+            false,
+            seq,
+        );
+        if self.shared.dry {
+            return Ok(());
+        }
         let wall = self.wall_now();
         let mut stats = HopStats::default();
         let n = buf.len();
@@ -573,6 +765,19 @@ impl Comm {
         op: ReduceOp,
     ) -> Result<(), CommError> {
         let seq = self.next_seq(group);
+        self.record_issue(
+            SchedKind::AllReduce,
+            group,
+            buf.len(),
+            None,
+            Some(op),
+            true,
+            false,
+            seq,
+        );
+        if self.shared.dry {
+            return Ok(());
+        }
         let wall = self.wall_now();
         let mut stats = HopStats::default();
         ring_all_reduce(&self.shared, self.rank, group, seq, buf, op, &mut stats)?;
@@ -594,6 +799,19 @@ impl Comm {
         const SMALL_ELEMS: usize = 4096;
         if buf.len() <= SMALL_ELEMS && group.size().is_power_of_two() {
             let seq = self.next_seq(group);
+            self.record_issue(
+                SchedKind::AllReduceRd,
+                group,
+                buf.len(),
+                None,
+                Some(ReduceOp::Sum),
+                true,
+                false,
+                seq,
+            );
+            if self.shared.dry {
+                return;
+            }
             let wall = self.wall_now();
             let mut stats = HopStats::default();
             unwrap_comm(
@@ -627,6 +845,19 @@ impl Comm {
         buf: &mut [f32],
     ) -> Result<(), CommError> {
         let seq = self.next_seq(group);
+        self.record_issue(
+            SchedKind::Broadcast,
+            group,
+            buf.len(),
+            Some(root_pos),
+            None,
+            true,
+            false,
+            seq,
+        );
+        if self.shared.dry {
+            return Ok(());
+        }
         let wall = self.wall_now();
         let mut stats = HopStats::default();
         ring_broadcast(
@@ -658,6 +889,19 @@ impl Comm {
     pub fn try_barrier(&self, group: &ProcessGroup) -> Result<(), CommError> {
         let mut token = vec![0.0f32];
         let seq = self.next_seq(group);
+        self.record_issue(
+            SchedKind::Barrier,
+            group,
+            1,
+            None,
+            Some(ReduceOp::Sum),
+            true,
+            false,
+            seq,
+        );
+        if self.shared.dry {
+            return Ok(());
+        }
         let wall = self.wall_now();
         let mut stats = HopStats::default();
         ring_all_reduce(
@@ -869,6 +1113,7 @@ pub(crate) fn ring_reduce_scatter_op(
         return Ok(buf.to_vec());
     }
     if !buf.len().is_multiple_of(g) {
+        shared.transport.note_error();
         return Err(CommError::InvalidBuffer {
             op: "reduce_scatter",
             detail: format!("length {} not divisible by group size {g}", buf.len()),
@@ -937,6 +1182,7 @@ pub(crate) fn linear_reduce_scatter(
         return Ok(buf.to_vec());
     }
     if !buf.len().is_multiple_of(g) {
+        shared.transport.note_error();
         return Err(CommError::InvalidBuffer {
             op: "reduce_scatter_linear",
             detail: format!("length {} not divisible by group size {g}", buf.len()),

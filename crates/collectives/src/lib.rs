@@ -24,6 +24,7 @@ pub mod mailbox;
 pub mod nonblocking;
 pub mod pool;
 pub mod reference;
+pub mod sched;
 
 pub use comm::{Comm, CommWorld, ReduceOp, WorldBuilder};
 pub use cost::{CollectiveKind, CostModel, NullCost, RingCostModel};
@@ -35,3 +36,4 @@ pub use group::ProcessGroup;
 pub use mailbox::PoisonInfo;
 pub use nonblocking::{AsyncHandle, AsyncOp};
 pub use pool::{BufferPool, Payload, PipelineConfig, PoolStats};
+pub use sched::{SchedEvent, SchedKind, SchedOp};

@@ -17,10 +17,14 @@
 
 use crate::fault::{CommError, FaultConfig, DEFAULT_RECV_TIMEOUT};
 use crate::pool::{BufferPool, Payload, PipelineConfig};
+use crate::sched::SchedEvent;
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+#[cfg(not(loom))]
+use std::time::Instant;
 
 /// Message key: identifies which logical transfer a buffer belongs to.
 /// Built from (group key, per-group sequence number, step within the
@@ -69,6 +73,11 @@ impl Mailbox {
     }
 
     fn take(&self, from: usize, key: MsgKey, timeout: Duration) -> Result<Payload, CommError> {
+        // Under `--cfg loom` there is no wall clock: waits are untimed so the
+        // model checker explores interleavings deterministically, and a
+        // protocol that would need the timeout to make progress shows up as
+        // a model deadlock instead.
+        #[cfg(not(loom))]
         let deadline = Instant::now() + timeout;
         let mut slot = self.slot.lock();
         loop {
@@ -91,14 +100,22 @@ impl Mailbox {
                     detail: reason,
                 });
             }
-            let now = Instant::now();
-            if now >= deadline {
-                return Err(CommError::PeerLost {
-                    peer: from,
-                    detail: format!("recv timed out after {timeout:?}"),
-                });
+            #[cfg(not(loom))]
+            {
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(CommError::PeerLost {
+                        peer: from,
+                        detail: format!("recv timed out after {timeout:?}"),
+                    });
+                }
+                self.signal.wait_for(&mut slot, deadline - now);
             }
-            self.signal.wait_for(&mut slot, deadline - now);
+            #[cfg(loom)]
+            {
+                let _ = timeout;
+                self.signal.wait(&mut slot);
+            }
         }
     }
 }
@@ -126,6 +143,13 @@ pub struct Transport {
     pool: BufferPool,
     /// Segmentation policy for ring pipeline chunks.
     pipeline: PipelineConfig,
+    /// Per-rank collective-schedule streams for the static verifier
+    /// (`axonn-verify`), present when schedule recording is enabled.
+    sched: Option<Vec<Mutex<Vec<SchedEvent>>>>,
+    /// Set whenever a typed [`CommError`] is produced anywhere in the
+    /// world; an errored run's schedule streams are legitimately
+    /// asymmetric, so the teardown verifier skips them.
+    saw_error: AtomicBool,
 }
 
 impl Transport {
@@ -145,6 +169,18 @@ impl Transport {
         config: FaultConfig,
         pipeline: PipelineConfig,
     ) -> Arc<Self> {
+        Self::with_opts_recording(world_size, config, pipeline, false)
+    }
+
+    /// A transport with schedule recording switched on or off explicitly
+    /// (the world builder decides the default from the build profile and
+    /// `AXONN_SCHED_VERIFY`).
+    pub(crate) fn with_opts_recording(
+        world_size: usize,
+        config: FaultConfig,
+        pipeline: PipelineConfig,
+        record_schedule: bool,
+    ) -> Arc<Self> {
         let poison = Arc::new(Mutex::new(None));
         let dead = Arc::new(Mutex::new(HashMap::new()));
         Arc::new(Transport {
@@ -162,6 +198,9 @@ impl Transport {
             recv_timeout: config.recv_timeout.unwrap_or(DEFAULT_RECV_TIMEOUT),
             pool: BufferPool::new(),
             pipeline,
+            sched: record_schedule
+                .then(|| (0..world_size).map(|_| Mutex::new(Vec::new())).collect()),
+            saw_error: AtomicBool::new(false),
         })
     }
 
@@ -295,13 +334,54 @@ impl Transport {
     /// until `src` is known dead / the recv timeout expires.
     pub fn recv_result(&self, dst: usize, src: usize, key: MsgKey) -> Result<Payload, CommError> {
         debug_assert!(dst < self.boxes.len(), "recv at rank {dst} out of world");
-        self.boxes[dst].take(src, key, self.recv_timeout)
+        let out = self.boxes[dst].take(src, key, self.recv_timeout);
+        if out.is_err() {
+            self.note_error();
+        }
+        out
     }
 
     /// Consume the virtual stall seconds accumulated against `rank` by
     /// injected link stalls (returns 0.0 when none are pending).
     pub fn take_stall(&self, rank: usize) -> f64 {
         std::mem::take(&mut *self.pending_stall[rank].lock())
+    }
+
+    /// True when this world records per-rank collective schedules.
+    pub fn recording_schedule(&self) -> bool {
+        self.sched.is_some()
+    }
+
+    /// Append a schedule event to `rank`'s stream (no-op when recording
+    /// is off).
+    pub(crate) fn record_event(&self, rank: usize, ev: SchedEvent) {
+        if let Some(logs) = &self.sched {
+            logs[rank].lock().push(ev);
+        }
+    }
+
+    /// Snapshot of every rank's recorded schedule stream, when recording
+    /// is enabled.
+    pub fn schedule_streams(&self) -> Option<Vec<Vec<SchedEvent>>> {
+        self.sched
+            .as_ref()
+            .map(|logs| logs.iter().map(|l| l.lock().clone()).collect())
+    }
+
+    /// Note that a typed communication error was produced somewhere in
+    /// this world (see [`schedule_clean`](Self::schedule_clean)).
+    pub(crate) fn note_error(&self) {
+        self.saw_error.store(true, Ordering::Relaxed);
+    }
+
+    /// True when the recorded schedule streams reflect a fully successful
+    /// run: no poison, no dead ranks, no typed communication errors. Only
+    /// such streams are required to satisfy the SPMD matching property —
+    /// fault-injected or failed runs legally diverge mid-collective.
+    pub fn schedule_clean(&self) -> bool {
+        self.poison_info().is_none()
+            && self.dead.lock().is_empty()
+            && !self.saw_error.load(Ordering::Relaxed)
     }
 }
 

@@ -14,6 +14,7 @@ use crate::cost::CollectiveKind;
 use crate::fault::{unwrap_comm, CommError};
 use crate::group::ProcessGroup;
 use crate::pool::Payload;
+use crate::sched::{SchedEvent, SchedKind};
 use axonn_trace::{EventDetail, Stream};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::sync::Arc;
@@ -49,6 +50,27 @@ impl AsyncOp {
             AsyncOp::AllGather(_) => CollectiveKind::AllGather,
         }
     }
+
+    /// Verifier kind: finer than [`CollectiveKind`] — the two
+    /// reduce-scatter algorithms use disjoint wire lanes and must not
+    /// match each other.
+    fn sched_kind(&self) -> SchedKind {
+        match self {
+            AsyncOp::AllReduce(_) => SchedKind::AllReduce,
+            AsyncOp::ReduceScatter(_) => SchedKind::ReduceScatter,
+            AsyncOp::ReduceScatterLinear(_) => SchedKind::ReduceScatterLinear,
+            AsyncOp::AllGather(_) => SchedKind::AllGather,
+        }
+    }
+
+    fn payload(&self) -> &Payload {
+        match self {
+            AsyncOp::AllReduce(p)
+            | AsyncOp::ReduceScatter(p)
+            | AsyncOp::ReduceScatterLinear(p)
+            | AsyncOp::AllGather(p) => p,
+        }
+    }
 }
 
 pub(crate) struct Job {
@@ -69,6 +91,7 @@ pub struct AsyncHandle {
     shared: Arc<CommShared>,
     kind: CollectiveKind,
     seq: u64,
+    group_key: u64,
     group_size: usize,
 }
 
@@ -87,6 +110,17 @@ impl AsyncHandle {
     /// Block until the collective completes or its ring path fails with
     /// a typed [`CommError`].
     pub fn try_wait(self) -> Result<Vec<f32>, CommError> {
+        // Size-1 groups leave no Issue events (see `Comm::record_issue`),
+        // so their waits must stay invisible too.
+        if self.group_size > 1 && self.shared.transport.recording_schedule() {
+            self.shared.transport.record_event(
+                self.rank,
+                SchedEvent::Wait {
+                    group_key: self.group_key,
+                    seq: self.seq,
+                },
+            );
+        }
         if let Some(info) = self.shared.transport.poison_info() {
             return Err(CommError::Poisoned(info));
         }
@@ -145,6 +179,46 @@ impl Comm {
     pub fn start_async(&self, group: &ProcessGroup, op: AsyncOp) -> AsyncHandle {
         self.shared.transport.check_poison();
         let seq = self.next_seq(group);
+        self.record_issue(
+            op.sched_kind(),
+            group,
+            op.payload().len(),
+            None,
+            match op {
+                AsyncOp::AllGather(_) => None,
+                _ => Some(crate::ReduceOp::Sum),
+            },
+            false,
+            op.payload().is_pooled(),
+            seq,
+        );
+        if self.shared.dry {
+            // No comm worker exists in dry worlds: synthesise the
+            // symbolic (zero-filled) result eagerly so the handle's
+            // `wait` completes immediately, preserving the real API's
+            // issue/wait shape for schedule extraction.
+            let (reply_tx, reply_rx) = unbounded();
+            let result = match &op {
+                AsyncOp::AllReduce(p) => Ok((vec![0.0; p.len()], 0.0)),
+                AsyncOp::ReduceScatter(p) => self
+                    .dry_reduce_scatter(p.len(), group, "reduce_scatter")
+                    .map(|v| (v, 0.0)),
+                AsyncOp::ReduceScatterLinear(p) => self
+                    .dry_reduce_scatter(p.len(), group, "reduce_scatter_linear")
+                    .map(|v| (v, 0.0)),
+                AsyncOp::AllGather(p) => Ok((vec![0.0; p.len() * group.size()], 0.0)),
+            };
+            let _ = reply_tx.send(result);
+            return AsyncHandle {
+                rx: reply_rx,
+                rank: self.rank(),
+                shared: self.shared.clone(),
+                kind: op.kind(),
+                seq,
+                group_key: group.key(),
+                group_size: group.size(),
+            };
+        }
         let issue_clock = if self.shared.track_time {
             self.shared.clock.lock().now
         } else {
@@ -193,6 +267,7 @@ impl Comm {
             shared: self.shared.clone(),
             kind,
             seq,
+            group_key: group.key(),
             group_size: group.size(),
         }
     }

@@ -199,6 +199,13 @@ impl Payload {
         &self.slab.data
     }
 
+    /// True when this payload rides a pool-recycled slab (built by
+    /// [`copy_pooled`](Self::copy_pooled)) rather than a plain owned
+    /// vector. Size class 0 is reserved for unpooled wraps.
+    pub fn is_pooled(&self) -> bool {
+        self.slab.class != 0
+    }
+
     pub fn len(&self) -> usize {
         self.slab.data.len()
     }

@@ -1,0 +1,195 @@
+//! Schedule-event vocabulary for the static collective verifier.
+//!
+//! Every communicator records, per rank, the ordered stream of collective
+//! operations it issues — kind, group, element count, blocking/non-blocking,
+//! and the issue/wait pairing of async handles. `axonn-verify` consumes these
+//! streams to prove the SPMD matching property the 4D algorithm relies on
+//! (every rank issues the same collectives, on the same groups, in the same
+//! per-lane order) and to lint for deadlocks and leaks, all without moving a
+//! byte of data.
+//!
+//! Recording happens in two modes:
+//! * **dry extraction** ([`crate::CommWorld::dry`]): collectives return
+//!   zero-filled results immediately, so a whole training step can be
+//!   replayed per rank, serially, to extract its symbolic schedule;
+//! * **runtime shadow** (debug builds, or `AXONN_SCHED_VERIFY=1`): live
+//!   worlds append to the same per-rank logs while executing normally, and
+//!   `axonn_exec::run_spmd` cross-checks the streams at teardown.
+//!
+//! # Lane keys (canonical reference)
+//!
+//! Within one collective (one `(group, seq)` pair) the transport's 32-bit
+//! sub-key space is partitioned into **lanes** of `0x1_0000` sub-keys each,
+//! one lane per wire protocol phase. A message's sub-key is
+//!
+//! ```text
+//! lane + step * 256 + segment
+//! ```
+//!
+//! where `step` is the ring/exchange step (up to 256) and `segment` the
+//! chunk-pipeline segment within that step (up to 256, the `SEG_STRIDE`).
+//! The lane constants live in [`crate::comm::lane`]; the full message key is
+//! `(group_key << 64) | (seq << 32) | sub_key`. Everything the verifier calls
+//! a "communicator lane" is the `(group, lane)` projection of this space:
+//! per-lane FIFO order is exactly what the mailbox transport guarantees, so
+//! per-lane schedule equality is the property that rules out cross-rank
+//! deadlock and misdelivery.
+
+use crate::group::ProcessGroup;
+use crate::ReduceOp;
+use std::fmt;
+
+/// The verifier-visible kind of a scheduled collective. Finer-grained than
+/// [`crate::CollectiveKind`]: algorithms that use disjoint wire lanes (ring
+/// vs. linear reduce-scatter, ring vs. recursive-doubling all-reduce) must
+/// not be considered matching, so each gets its own kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchedKind {
+    /// Ring all-gather (`lane::AG`).
+    AllGather,
+    /// Ring reduce-scatter (`lane::RS`).
+    ReduceScatter,
+    /// Canonical-order direct-exchange reduce-scatter (`lane::LRS`).
+    ReduceScatterLinear,
+    /// Ring all-reduce = reduce-scatter + all-gather (`lane::RS` + `lane::AG`).
+    AllReduce,
+    /// Canonical-order all-reduce = linear reduce-scatter + ring all-gather
+    /// (`lane::LRS` + `lane::AG`).
+    AllReduceLinear,
+    /// Recursive-doubling all-reduce (`lane::RD`).
+    AllReduceRd,
+    /// Chain broadcast (`lane::BCAST`).
+    Broadcast,
+    /// Barrier (a 1-element ring all-reduce on `lane::RS`/`lane::AG`).
+    Barrier,
+}
+
+impl SchedKind {
+    /// Short lowercase label used in diagnostics.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SchedKind::AllGather => "all_gather",
+            SchedKind::ReduceScatter => "reduce_scatter",
+            SchedKind::ReduceScatterLinear => "reduce_scatter_linear",
+            SchedKind::AllReduce => "all_reduce",
+            SchedKind::AllReduceLinear => "all_reduce_linear",
+            SchedKind::AllReduceRd => "all_reduce_rd",
+            SchedKind::Broadcast => "broadcast",
+            SchedKind::Barrier => "barrier",
+        }
+    }
+
+    /// The wire lanes (see [`crate::comm::lane`]) this kind occupies, in
+    /// protocol order.
+    pub fn lanes(&self) -> &'static [u32] {
+        use crate::comm::lane;
+        match self {
+            SchedKind::AllGather => &[lane::AG],
+            SchedKind::ReduceScatter => &[lane::RS],
+            SchedKind::ReduceScatterLinear => &[lane::LRS],
+            SchedKind::AllReduce | SchedKind::Barrier => &[lane::RS, lane::AG],
+            SchedKind::AllReduceLinear => &[lane::LRS, lane::AG],
+            SchedKind::AllReduceRd => &[lane::RD],
+            SchedKind::Broadcast => &[lane::BCAST],
+        }
+    }
+}
+
+impl fmt::Display for SchedKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One collective issue as seen by the verifier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedOp {
+    pub kind: SchedKind,
+    /// The communicator group, by its ordered member list — order is part of
+    /// group identity (it fixes ring neighbours and fold order).
+    pub ranks: Vec<usize>,
+    /// The group's fnv1a key, as used in message keys.
+    pub group_key: u64,
+    /// Contributed elements (shard length for all-gather, full buffer
+    /// length otherwise). Must agree across members.
+    pub elems: usize,
+    /// Broadcast root (group position), when applicable.
+    pub root: Option<usize>,
+    /// Reduction operator, when applicable.
+    pub reduce: Option<ReduceOp>,
+    /// True for blocking calls; false for async issues (completed by a
+    /// matching [`SchedEvent::Wait`]).
+    pub blocking: bool,
+    /// True when the async payload rides a pooled slab.
+    pub pooled: bool,
+    /// Per-group issue sequence number claimed by this op.
+    pub seq: u64,
+}
+
+impl fmt::Display for SchedOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[elems={}", self.kind, self.elems)?;
+        if let Some(root) = self.root {
+            write!(f, ", root={root}")?;
+        }
+        if let Some(op) = self.reduce {
+            write!(f, ", op={op:?}")?;
+        }
+        if !self.blocking {
+            f.write_str(", async")?;
+        }
+        write!(f, ", seq={}]", self.seq)
+    }
+}
+
+/// One entry of a rank's recorded schedule stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchedEvent {
+    /// A collective was issued (blocking call entered, or async job
+    /// submitted to the comm worker).
+    Issue(SchedOp),
+    /// An async handle was waited on, identified by its `(group, seq)`.
+    Wait { group_key: u64, seq: u64 },
+    /// A structural marker from a higher layer (e.g. `bucket_seal` from the
+    /// gradient bucketizer), consumed by leak lints.
+    Marker { label: &'static str },
+}
+
+impl fmt::Display for SchedEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedEvent::Issue(op) => write!(f, "issue {op}"),
+            SchedEvent::Wait { group_key, seq } => {
+                write!(f, "wait[group={group_key:#x}, seq={seq}]")
+            }
+            SchedEvent::Marker { label } => write!(f, "marker[{label}]"),
+        }
+    }
+}
+
+impl SchedOp {
+    /// Build an op from a live issue site.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        kind: SchedKind,
+        group: &ProcessGroup,
+        elems: usize,
+        root: Option<usize>,
+        reduce: Option<ReduceOp>,
+        blocking: bool,
+        pooled: bool,
+        seq: u64,
+    ) -> Self {
+        SchedOp {
+            kind,
+            ranks: group.ranks().to_vec(),
+            group_key: group.key(),
+            elems,
+            root,
+            reduce,
+            blocking,
+            pooled,
+            seq,
+        }
+    }
+}

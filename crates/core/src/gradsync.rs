@@ -145,6 +145,9 @@ impl GradSyncPipeline {
         let entries = std::mem::take(&mut self.cur_entries);
         let data = std::mem::take(&mut self.cur);
         let (rs, local) = if g > 1 {
+            // Marker consumed by axonn-verify's leak lint: every sealed
+            // bucket must be followed by its linear reduce-scatter.
+            self.comm.record_schedule_marker("bucket_seal");
             (
                 Some(self.comm.ireduce_scatter_linear_pooled(&self.group, &data)),
                 None,
@@ -285,8 +288,7 @@ mod tests {
                 let out = run_spmd(world, move |c| {
                     let group = ProcessGroup::new((0..world).collect());
                     let rank = c.rank();
-                    let mut store =
-                        VecStore(lens_v.iter().map(|&l| vec![0.25f32; l]).collect());
+                    let mut store = VecStore(lens_v.iter().map(|&l| vec![0.25f32; l]).collect());
                     let mut pipe = GradSyncPipeline::new(c.clone(), group.clone(), bucket_elems);
                     for (id, &len) in lens_v.iter().enumerate() {
                         pipe.push(id, &tensor(rank, id, len));

@@ -25,6 +25,7 @@ pub mod gradsync;
 pub mod grid;
 pub mod layer;
 pub mod network;
+pub mod schedule;
 pub mod stack;
 pub mod transformer;
 pub mod tuner;
@@ -34,6 +35,10 @@ pub use grid::GridTopology;
 pub use layer::{OverlapConfig, ParallelLinear, PendingGrad, Precision};
 pub use network::{
     distribute_input, distribute_output, Activation, NetConfig, Network4d, SerialMlp,
+};
+pub use schedule::{
+    default_mlp_shape, default_transformer_shape, extract_mlp_schedules,
+    extract_transformer_schedules, mlp_grid_fits, transformer_grid_fits, TransformerShape,
 };
 pub use stack::{vocab_parallel_cross_entropy, ParallelEmbedding, TransformerStack, VocabCeResult};
 pub use transformer::{block_weight, ParallelLayerNorm, ParallelTransformerBlock};

@@ -214,12 +214,12 @@ impl StackParams<'_> {
             let k = (tensor - base) / 2;
             let ln = if k == 2 * nb {
                 &*self.final_ln
-            } else if k % 2 == 0 {
+            } else if k.is_multiple_of(2) {
                 &self.blocks[k / 2].ln1
             } else {
                 &self.blocks[k / 2].ln2
             };
-            if (tensor - base) % 2 == 0 {
+            if (tensor - base).is_multiple_of(2) {
                 &ln.gain
             } else {
                 &ln.bias
@@ -247,12 +247,12 @@ impl StackParams<'_> {
             let k = (tensor - base) / 2;
             let ln = if k == 2 * nb {
                 &mut *self.final_ln
-            } else if k % 2 == 0 {
+            } else if k.is_multiple_of(2) {
                 &mut self.blocks[k / 2].ln1
             } else {
                 &mut self.blocks[k / 2].ln2
             };
-            if (tensor - base) % 2 == 0 {
+            if (tensor - base).is_multiple_of(2) {
                 &mut ln.gain
             } else {
                 &mut ln.bias
@@ -413,8 +413,7 @@ impl TransformerStack {
                 // still draining. Tensor ids per [`StackParams`].
                 let nb = self.blocks.len();
                 let base = 4 * nb + 1;
-                let mut pipe =
-                    GradSyncPipeline::new(comm.clone(), dg, self.grad_bucket_elems);
+                let mut pipe = GradSyncPipeline::new(comm.clone(), dg, self.grad_bucket_elems);
                 let mut it = pending.into_iter();
                 if let Some(p) = it.next() {
                     let (id, grad) = p.wait();

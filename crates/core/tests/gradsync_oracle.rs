@@ -114,10 +114,19 @@ fn transformer_stack_bucketed_matches_oracle_bitwise() {
             let targets: Vec<usize> = (0..16).map(|i| (i * 3 + 2) % 8).collect();
             let mut losses = Vec::new();
             for _ in 0..2 {
-                losses.push(stack.train_step(&comm, &grid, &tokens, &targets, 0.05).to_bits());
+                losses.push(
+                    stack
+                        .train_step(&comm, &grid, &tokens, &targets, 0.05)
+                        .to_bits(),
+                );
             }
             let mut bits: Vec<Vec<u32>> = Vec::new();
-            let grab = |m: &Matrix| m.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<u32>>();
+            let grab = |m: &Matrix| {
+                m.as_slice()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<u32>>()
+            };
             bits.push(grab(&stack.emb.table));
             for b in &stack.blocks {
                 bits.push(grab(b.qkv.weight_shard()));

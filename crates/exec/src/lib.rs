@@ -119,6 +119,19 @@ where
             }
         }
     }
+    // Post-run schedule certification: when recording was on (dry worlds,
+    // debug builds, or AXONN_SCHED_VERIFY=1) and all ranks completed
+    // cleanly, cross-check the recorded collective streams. Matching-only
+    // here — completion already witnesses deadlock freedom.
+    if let Some(streams) = probe.schedule_streams() {
+        if probe.schedule_clean() {
+            let report = axonn_verify::check_runtime(&streams);
+            assert!(
+                report.is_ok(),
+                "collective schedule verification failed:\n{report}"
+            );
+        }
+    }
     results
         .into_iter()
         .map(|v| v.expect("checked above"))

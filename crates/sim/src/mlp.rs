@@ -383,11 +383,7 @@ pub fn simulate_mlp_step(cfg: &MlpStepConfig, cost: &dyn CostModel) -> RankTrace
         }
         let padded = fill.div_ceil(cfg.gd) * cfg.gd;
         if cfg.gd > 1 {
-            let t = m.issue(
-                CollectiveKind::ReduceScatter,
-                cfg.gd,
-                (padded * 4) as f64,
-            );
+            let t = m.issue(CollectiveKind::ReduceScatter, cfg.gd, (padded * 4) as f64);
             rs_tickets.push((t, padded));
         }
         *fill = 0;
@@ -410,7 +406,6 @@ pub fn simulate_mlp_step(cfg: &MlpStepConfig, cost: &dyn CostModel) -> RankTrace
         }
     }
     seal(&mut m, &mut fill); // flush the final partial bucket
-    drop(seal);
 
     // ZeRO-1 step: per bucket in issue order, wait the reduce-scatter
     // and issue the all-gather of the updated slice; then wait gathers.

@@ -1,0 +1,201 @@
+//! Verifier diagnostics: typed findings with stable, precise rendering.
+//!
+//! Every diagnostic names the rank(s) involved and the event or op index
+//! where the problem was observed, so a failing `axonnctl verify` run (or
+//! the teardown check in `axonn_exec::run_spmd`) points at the exact
+//! first divergence rather than a generic "schedules differ".
+
+use std::fmt;
+
+/// One verifier finding. Severity is uniform: any diagnostic means the
+/// schedule violates the SPMD collective contract (or leaks resources)
+/// and the configuration must not be launched.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Diagnostic {
+    /// Two ranks disagree on the `index`-th collective issued on a
+    /// communicator group: different kind, member list, element count,
+    /// root, or reduction — or one rank stopped issuing early.
+    /// `left`/`right` are the rendered ops (`None` = stream ended).
+    Mismatch {
+        group_key: u64,
+        index: usize,
+        rank_a: usize,
+        rank_b: usize,
+        left: Option<String>,
+        right: Option<String>,
+    },
+    /// A rank waited on an async handle before (or without ever)
+    /// issuing the matching collective.
+    WaitBeforeIssue {
+        rank: usize,
+        event_index: usize,
+        group_key: u64,
+        seq: u64,
+    },
+    /// A rank waited twice on the same `(group, seq)` instance.
+    DoubleWait {
+        rank: usize,
+        event_index: usize,
+        group_key: u64,
+        seq: u64,
+    },
+    /// An async collective was issued but its handle never waited by
+    /// schedule end.
+    UnwaitedHandle {
+        rank: usize,
+        issue_index: usize,
+        op: String,
+    },
+    /// An unwaited async op holds a pooled slab, so the slab is still
+    /// reachable (not yet recycled) when the schedule ends.
+    PooledLeak {
+        rank: usize,
+        issue_index: usize,
+        op: String,
+    },
+    /// A `bucket_seal` marker was not followed by the linear
+    /// reduce-scatter that drains the sealed bucket.
+    BucketNotReduced { rank: usize, marker_index: usize },
+    /// A reduce-scatter was issued with a buffer length not divisible
+    /// by the group size. `message` is formatted identically to the
+    /// runtime `CommError::InvalidBuffer` display, so static and
+    /// dynamic rejections agree byte for byte.
+    IndivisibleReduceScatter {
+        rank: usize,
+        event_index: usize,
+        message: String,
+    },
+    /// The schedule cannot complete under the portable blocking
+    /// contract (every blocking collective may synchronise all
+    /// members): the fixpoint simulation wedged with the listed ranks
+    /// stuck at the described ops.
+    Deadlock { stuck: Vec<(usize, String)> },
+}
+
+fn opt_op(op: &Option<String>) -> &str {
+    op.as_deref().unwrap_or("nothing (stream ended)")
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Diagnostic::Mismatch {
+                group_key,
+                index,
+                rank_a,
+                rank_b,
+                left,
+                right,
+            } => write!(
+                f,
+                "collective mismatch on group {group_key:#x} at op #{index}: \
+                 rank {rank_a} issued {}, rank {rank_b} issued {}",
+                opt_op(left),
+                opt_op(right)
+            ),
+            Diagnostic::WaitBeforeIssue {
+                rank,
+                event_index,
+                group_key,
+                seq,
+            } => write!(
+                f,
+                "rank {rank} event #{event_index}: wait on (group {group_key:#x}, seq {seq}) \
+                 before any matching async issue"
+            ),
+            Diagnostic::DoubleWait {
+                rank,
+                event_index,
+                group_key,
+                seq,
+            } => write!(
+                f,
+                "rank {rank} event #{event_index}: second wait on \
+                 (group {group_key:#x}, seq {seq})"
+            ),
+            Diagnostic::UnwaitedHandle {
+                rank,
+                issue_index,
+                op,
+            } => write!(
+                f,
+                "rank {rank}: async {op} issued at event #{issue_index} is never waited"
+            ),
+            Diagnostic::PooledLeak {
+                rank,
+                issue_index,
+                op,
+            } => write!(
+                f,
+                "rank {rank}: pooled slab of async {op} issued at event #{issue_index} \
+                 is still reachable at schedule end"
+            ),
+            Diagnostic::BucketNotReduced { rank, marker_index } => write!(
+                f,
+                "rank {rank}: bucket sealed at event #{marker_index} but never reduced \
+                 (no reduce_scatter_linear follows)"
+            ),
+            Diagnostic::IndivisibleReduceScatter {
+                rank,
+                event_index,
+                message,
+            } => write!(f, "rank {rank} event #{event_index}: {message}"),
+            Diagnostic::Deadlock { stuck } => {
+                write!(
+                    f,
+                    "schedule cannot complete under the blocking-collective contract; stuck:"
+                )?;
+                for (rank, what) in stuck {
+                    write!(f, " [rank {rank}: {what}]")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// The outcome of a verification pass over one world's schedule streams.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Report {
+    /// World size (number of per-rank streams checked).
+    pub ranks: usize,
+    /// Total collective issues across all ranks.
+    pub issues: usize,
+    /// Findings, in checker order (local lints, cross-rank matching,
+    /// deadlock simulation). Empty means the schedule is certified.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// True when no checker produced a finding.
+    pub fn is_ok(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_ok() {
+            write!(
+                f,
+                "schedule OK: {} ranks, {} collective issues, 0 diagnostics",
+                self.ranks, self.issues
+            )
+        } else {
+            writeln!(
+                f,
+                "schedule REJECTED: {} ranks, {} collective issues, {} diagnostic(s):",
+                self.ranks,
+                self.issues,
+                self.diagnostics.len()
+            )?;
+            for (i, d) in self.diagnostics.iter().enumerate() {
+                if i > 0 {
+                    writeln!(f)?;
+                }
+                write!(f, "  {i}: {d}")?;
+            }
+            Ok(())
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Seeded schedule defects for negative-path testing: corrupt one
+//! rank's extracted stream the way a real SPMD bug would, then assert
+//! the verifier rejects it with a diagnostic naming the divergence.
+
+use axonn_collectives::SchedEvent;
+
+/// The defect families the verifier must catch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DefectKind {
+    /// Operations swapped on one rank — the classic mismatched-order
+    /// bug. Prefers swapping two differing issues on the *same*
+    /// communicator (caught by the matching checker); otherwise swaps a
+    /// wait before its own issue (caught by the lints). Swaps across
+    /// independent communicators are deliberately never injected: the
+    /// transport keys every message by `(group, seq, lane)`, so such
+    /// reorders are harmless and the verifier rightly accepts them.
+    Reorder,
+    /// A wait dropped from one rank: the handle (and any pooled slab it
+    /// holds) leaks.
+    MissingWait,
+    /// One rank contributes a different element count to a collective.
+    CountMismatch,
+}
+
+impl DefectKind {
+    pub fn label(&self) -> &'static str {
+        match self {
+            DefectKind::Reorder => "reorder",
+            DefectKind::MissingWait => "missing-wait",
+            DefectKind::CountMismatch => "count-mismatch",
+        }
+    }
+
+    /// Parse a CLI spelling (`reorder`, `missing-wait`, `count-mismatch`).
+    pub fn parse(s: &str) -> Option<DefectKind> {
+        match s {
+            "reorder" => Some(DefectKind::Reorder),
+            "missing-wait" => Some(DefectKind::MissingWait),
+            "count-mismatch" => Some(DefectKind::CountMismatch),
+            _ => None,
+        }
+    }
+}
+
+fn differs(a: &SchedEvent, b: &SchedEvent) -> bool {
+    match (a, b) {
+        (SchedEvent::Issue(x), SchedEvent::Issue(y)) => {
+            x.kind != y.kind
+                || x.ranks != y.ranks
+                || x.elems != y.elems
+                || x.root != y.root
+                || x.reduce != y.reduce
+        }
+        _ => false,
+    }
+}
+
+/// Corrupt `rank`'s stream in place. Returns `false` when the stream
+/// has no site the defect applies to (e.g. no waits to drop).
+pub fn inject(streams: &mut [Vec<SchedEvent>], rank: usize, defect: DefectKind) -> bool {
+    let Some(stream) = streams.get_mut(rank) else {
+        return false;
+    };
+    match defect {
+        DefectKind::Reorder => {
+            let issues: Vec<usize> = stream
+                .iter()
+                .enumerate()
+                .filter_map(|(i, e)| matches!(e, SchedEvent::Issue(_)).then_some(i))
+                .collect();
+            // Prefer swapping differing ops on the *same* communicator
+            // (first-divergent-op matching diagnostic); otherwise swap
+            // a wait ahead of its own issue (wait-before-issue lint).
+            let same_group = |a: usize, b: usize| match (&stream[a], &stream[b]) {
+                (SchedEvent::Issue(x), SchedEvent::Issue(y)) => x.group_key == y.group_key,
+                _ => false,
+            };
+            let mut pick = None;
+            'outer: for (n, &p) in issues.iter().enumerate() {
+                for &q in &issues[n + 1..] {
+                    if differs(&stream[p], &stream[q]) && same_group(p, q) {
+                        pick = Some((p, q));
+                        break 'outer;
+                    }
+                }
+            }
+            if pick.is_none() {
+                'outer: for (w, ev) in stream.iter().enumerate() {
+                    let SchedEvent::Wait { group_key, seq } = ev else {
+                        continue;
+                    };
+                    for (i, prior) in stream.iter().enumerate().take(w) {
+                        if let SchedEvent::Issue(op) = prior {
+                            if !op.blocking && op.group_key == *group_key && op.seq == *seq {
+                                pick = Some((i, w));
+                                break 'outer;
+                            }
+                        }
+                    }
+                }
+            }
+            match pick {
+                Some((p, q)) => {
+                    stream.swap(p, q);
+                    true
+                }
+                None => false,
+            }
+        }
+        DefectKind::MissingWait => {
+            let pos = stream
+                .iter()
+                .position(|e| matches!(e, SchedEvent::Wait { .. }));
+            match pos {
+                Some(i) => {
+                    stream.remove(i);
+                    true
+                }
+                None => false,
+            }
+        }
+        DefectKind::CountMismatch => {
+            for ev in stream.iter_mut() {
+                if let SchedEvent::Issue(op) = ev {
+                    op.elems += 1;
+                    return true;
+                }
+            }
+            false
+        }
+    }
+}

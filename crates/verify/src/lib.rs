@@ -1,0 +1,364 @@
+//! `axonn-verify`: static verification of collective schedules.
+//!
+//! The 4D-parallel training step is SPMD code over ring collectives; its
+//! correctness (and its freedom from distributed deadlock) rests on a
+//! contract no type system enforces: *every member of a communicator
+//! issues the same collectives, in the same per-communicator order, with
+//! agreeing shapes, and completes every handle it opens*. This crate
+//! proves that contract for a concrete configuration **before** any rank
+//! is spawned, by checking the symbolic schedules extracted from a dry
+//! world (`axonn_collectives::CommWorld::dry` — see
+//! `axonn_collectives::sched` for the event vocabulary and the canonical
+//! lane-key reference).
+//!
+//! Three checkers run over the per-rank event streams:
+//!
+//! 1. **Cross-rank matching** ([`matching`]): per-communicator
+//!    subsequences must be identical in kind, member list, element
+//!    count, root, and reduction. Diagnostics name the first divergent
+//!    op per rank pair.
+//! 2. **Deadlock simulation** ([`deadlock`]): a conservative fixpoint
+//!    execution under the portable blocking contract (any collective
+//!    may synchronise its whole group), catching circular blocking
+//!    waits across communicator lanes.
+//! 3. **Local lints** ([`lints`]): wait-before-issue and double-wait,
+//!    handles issued but never waited (and the pooled slabs they keep
+//!    reachable), buckets sealed but never reduced, and the static
+//!    mirror of the transport's indivisible reduce-scatter rejection —
+//!    rendered byte-identically to the runtime `CommError`.
+//!
+//! Entry points: [`check_schedules`] for the full pre-launch
+//! certification (`axonnctl verify`), [`check_runtime`] for the cheaper
+//! matching-only cross-check that `axonn_exec::run_spmd` applies to
+//! shadow-recorded schedules at teardown. [`inject`] seeds defects for
+//! negative-path tests.
+
+pub mod deadlock;
+pub mod diag;
+pub mod inject;
+pub mod lints;
+pub mod matching;
+
+pub use diag::{Diagnostic, Report};
+pub use inject::{inject, DefectKind};
+pub use lints::{indivisible_message, BUCKET_SEAL};
+
+use axonn_collectives::SchedEvent;
+
+fn count_issues(streams: &[Vec<SchedEvent>]) -> usize {
+    streams
+        .iter()
+        .flatten()
+        .filter(|e| matches!(e, SchedEvent::Issue(_)))
+        .count()
+}
+
+/// Full pre-launch certification: local lints, cross-rank matching, and
+/// the deadlock simulation, in that order.
+pub fn check_schedules(streams: &[Vec<SchedEvent>]) -> Report {
+    let mut diagnostics = lints::check(streams);
+    diagnostics.extend(matching::check(streams));
+    diagnostics.extend(deadlock::check(streams));
+    Report {
+        ranks: streams.len(),
+        issues: count_issues(streams),
+        diagnostics,
+    }
+}
+
+/// Runtime cross-check: matching only. Live runs may legally
+/// fire-and-forget handles (the worker still completes them), and the
+/// run's own completion already witnesses deadlock freedom, so only the
+/// cross-rank matching property is re-checked on shadow recordings.
+pub fn check_runtime(streams: &[Vec<SchedEvent>]) -> Report {
+    Report {
+        ranks: streams.len(),
+        issues: count_issues(streams),
+        diagnostics: matching::check(streams),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axonn_collectives::{ReduceOp, SchedKind, SchedOp};
+
+    fn op(kind: SchedKind, ranks: &[usize], elems: usize) -> SchedOp {
+        SchedOp {
+            kind,
+            ranks: ranks.to_vec(),
+            group_key: ranks.iter().fold(0xcbf2_9ce4u64, |h, r| {
+                (h ^ *r as u64).wrapping_mul(0x0100_0000_01b3)
+            }),
+            elems,
+            root: None,
+            reduce: match kind {
+                SchedKind::AllGather | SchedKind::Broadcast => None,
+                _ => Some(ReduceOp::Sum),
+            },
+            blocking: true,
+            pooled: false,
+            seq: 0,
+        }
+    }
+
+    fn issue(kind: SchedKind, ranks: &[usize], elems: usize, seq: u64) -> SchedEvent {
+        let mut o = op(kind, ranks, elems);
+        o.seq = seq;
+        SchedEvent::Issue(o)
+    }
+
+    fn async_issue(
+        kind: SchedKind,
+        ranks: &[usize],
+        elems: usize,
+        seq: u64,
+        pooled: bool,
+    ) -> (SchedEvent, SchedEvent) {
+        let mut o = op(kind, ranks, elems);
+        o.blocking = false;
+        o.pooled = pooled;
+        o.seq = seq;
+        let wait = SchedEvent::Wait {
+            group_key: o.group_key,
+            seq,
+        };
+        (SchedEvent::Issue(o), wait)
+    }
+
+    #[test]
+    fn identical_streams_certify() {
+        let mk = || {
+            vec![
+                issue(SchedKind::AllGather, &[0, 1], 8, 0),
+                issue(SchedKind::AllReduce, &[0, 1], 16, 1),
+            ]
+        };
+        let report = check_schedules(&[mk(), mk()]);
+        assert!(report.is_ok(), "{report}");
+        assert_eq!(report.ranks, 2);
+        assert_eq!(report.issues, 4);
+    }
+
+    #[test]
+    fn count_mismatch_names_first_divergent_op() {
+        let a = vec![
+            issue(SchedKind::AllGather, &[0, 1], 8, 0),
+            issue(SchedKind::AllReduce, &[0, 1], 16, 1),
+        ];
+        let b = vec![
+            issue(SchedKind::AllGather, &[0, 1], 8, 0),
+            issue(SchedKind::AllReduce, &[0, 1], 17, 1),
+        ];
+        let report = check_schedules(&[a, b]);
+        let m = report
+            .diagnostics
+            .iter()
+            .find_map(|d| match d {
+                Diagnostic::Mismatch {
+                    index,
+                    rank_a,
+                    rank_b,
+                    ..
+                } => Some((*index, *rank_a, *rank_b)),
+                _ => None,
+            })
+            .expect("mismatch diagnostic");
+        assert_eq!(m, (1, 0, 1), "{report}");
+    }
+
+    #[test]
+    fn same_group_reorder_is_a_mismatch_at_op_zero() {
+        let a = vec![
+            issue(SchedKind::AllGather, &[0, 1], 8, 0),
+            issue(SchedKind::ReduceScatter, &[0, 1], 8, 1),
+        ];
+        let mut b = a.clone();
+        b.swap(0, 1);
+        let report = check_schedules(&[a, b]);
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| matches!(d, Diagnostic::Mismatch { index: 0, .. })));
+    }
+
+    #[test]
+    fn truncated_stream_is_a_mismatch() {
+        let a = vec![
+            issue(SchedKind::AllGather, &[0, 1], 8, 0),
+            issue(SchedKind::AllReduce, &[0, 1], 16, 1),
+        ];
+        let b = vec![issue(SchedKind::AllGather, &[0, 1], 8, 0)];
+        let report = check_schedules(&[a, b]);
+        assert!(report.diagnostics.iter().any(|d| matches!(
+            d,
+            Diagnostic::Mismatch {
+                index: 1,
+                right: None,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn opposite_order_groups_deadlock() {
+        // Group identity includes member order: [0,1] and [1,0] are
+        // distinct communicators over the same ranks. Issuing them in
+        // opposite orders is the classic cross-communicator deadlock.
+        let fwd = op(SchedKind::AllReduce, &[0, 1], 4);
+        let rev = op(SchedKind::AllReduce, &[1, 0], 4);
+        let a = vec![
+            SchedEvent::Issue(fwd.clone()),
+            SchedEvent::Issue(rev.clone()),
+        ];
+        let b = vec![SchedEvent::Issue(rev), SchedEvent::Issue(fwd)];
+        let report = check_schedules(&[a, b]);
+        let deadlock = report
+            .diagnostics
+            .iter()
+            .find_map(|d| match d {
+                Diagnostic::Deadlock { stuck } => Some(stuck.clone()),
+                _ => None,
+            })
+            .expect("deadlock diagnostic");
+        assert_eq!(deadlock.len(), 2, "both ranks stuck: {report}");
+    }
+
+    #[test]
+    fn async_issue_wait_pairs_certify_and_overlap() {
+        // Async issue on one group overlapping a blocking op on another,
+        // waited after: legal, completes, no lints.
+        let mk = || {
+            let (i, w) = async_issue(SchedKind::ReduceScatterLinear, &[0, 1], 8, 0, true);
+            vec![i, issue(SchedKind::AllReduce, &[0, 1], 4, 1), w]
+        };
+        let report = check_schedules(&[mk(), mk()]);
+        assert!(report.is_ok(), "{report}");
+    }
+
+    #[test]
+    fn missing_wait_flags_handle_and_pooled_leak() {
+        let (i, _w) = async_issue(SchedKind::AllGather, &[0, 1], 8, 0, true);
+        let stream = vec![i];
+        let report = check_schedules(&[stream.clone(), stream]);
+        assert!(report.diagnostics.iter().any(|d| matches!(
+            d,
+            Diagnostic::UnwaitedHandle {
+                rank: 0,
+                issue_index: 0,
+                ..
+            }
+        )));
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| matches!(d, Diagnostic::PooledLeak { .. })));
+    }
+
+    #[test]
+    fn wait_before_issue_flagged() {
+        let (i, w) = async_issue(SchedKind::AllGather, &[0, 1], 8, 0, false);
+        let early = vec![w.clone(), i.clone()];
+        let report = check_schedules(&[early, vec![i, w]]);
+        assert!(report.diagnostics.iter().any(|d| matches!(
+            d,
+            Diagnostic::WaitBeforeIssue {
+                rank: 0,
+                event_index: 0,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn double_wait_flagged() {
+        let (i, w) = async_issue(SchedKind::AllGather, &[0, 1], 8, 0, false);
+        let doubled = vec![i.clone(), w.clone(), w.clone()];
+        let report = check_schedules(&[doubled, vec![i, w]]);
+        assert!(report.diagnostics.iter().any(|d| matches!(
+            d,
+            Diagnostic::DoubleWait {
+                rank: 0,
+                event_index: 2,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn sealed_bucket_without_reduce_flagged() {
+        let seal = SchedEvent::Marker { label: BUCKET_SEAL };
+        let mk_good = || {
+            let (i, w) = async_issue(SchedKind::ReduceScatterLinear, &[0, 1], 8, 0, true);
+            vec![SchedEvent::Marker { label: BUCKET_SEAL }, i, w]
+        };
+        assert!(check_schedules(&[mk_good(), mk_good()]).is_ok());
+
+        let bad = vec![seal, issue(SchedKind::AllReduce, &[0, 1], 4, 0)];
+        let report = check_schedules(&[bad.clone(), bad]);
+        assert!(report.diagnostics.iter().any(|d| matches!(
+            d,
+            Diagnostic::BucketNotReduced {
+                rank: 0,
+                marker_index: 0
+            }
+        )));
+    }
+
+    #[test]
+    fn static_indivisible_matches_runtime_error_text() {
+        use axonn_collectives::{CommWorld, ProcessGroup};
+        let stream = vec![issue(SchedKind::ReduceScatter, &[0, 1, 2, 3], 10, 0)];
+        let report = check_schedules(&[stream.clone(), stream.clone(), stream.clone(), stream]);
+        let static_msg = report
+            .diagnostics
+            .iter()
+            .find_map(|d| match d {
+                Diagnostic::IndivisibleReduceScatter { message, .. } => Some(message.clone()),
+                _ => None,
+            })
+            .expect("static indivisible diagnostic");
+
+        // The dry world raises the same rejection dynamically.
+        let comms = CommWorld::dry(4);
+        let g = ProcessGroup::new(vec![0, 1, 2, 3]);
+        let err = comms[0]
+            .try_reduce_scatter(&g, &[0.0; 10])
+            .expect_err("indivisible buffer must be rejected");
+        assert_eq!(static_msg, err.to_string());
+        assert!(!comms[0].schedule_clean());
+    }
+
+    #[test]
+    fn runtime_check_skips_lints() {
+        // Fire-and-forget is legal at runtime: no diagnostics from the
+        // matching-only pass even though a handle is never waited.
+        let (i, _w) = async_issue(SchedKind::AllGather, &[0, 1], 8, 0, false);
+        let stream = vec![i];
+        assert!(check_runtime(&[stream.clone(), stream]).is_ok());
+    }
+
+    #[test]
+    fn injected_defects_are_detected() {
+        let mk = || {
+            let (i, w) = async_issue(SchedKind::ReduceScatterLinear, &[0, 1], 8, 2, true);
+            vec![
+                issue(SchedKind::AllGather, &[0, 1], 8, 0),
+                issue(SchedKind::AllReduce, &[0, 1], 16, 1),
+                i,
+                w,
+            ]
+        };
+        for defect in [
+            DefectKind::Reorder,
+            DefectKind::MissingWait,
+            DefectKind::CountMismatch,
+        ] {
+            let mut streams = vec![mk(), mk()];
+            assert!(check_schedules(&streams).is_ok());
+            assert!(inject(&mut streams, 1, defect), "{defect:?} applicable");
+            let report = check_schedules(&streams);
+            assert!(!report.is_ok(), "{defect:?} must be rejected");
+        }
+    }
+}

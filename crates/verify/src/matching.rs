@@ -1,0 +1,85 @@
+//! Cross-rank collective matching: the MPI/NCCL contract that every
+//! member of a communicator issues the same collectives, in the same
+//! per-communicator order, with agreeing shapes.
+//!
+//! Each rank's stream is projected onto its communicator groups (the
+//! `(group, lane)` spaces of `axonn_collectives::sched`); within one
+//! group the member subsequences must be identical in
+//! `(kind, member list, element count, root, reduction)`. Sequence
+//! numbers and the blocking/async flag are *not* compared: seqs agree by
+//! construction when the projections agree, and a blocking issue on one
+//! rank legally matches an async issue on another (messages ride the
+//! same lanes either way).
+
+use crate::diag::Diagnostic;
+use axonn_collectives::{SchedEvent, SchedOp};
+use std::collections::BTreeMap;
+
+/// The compared projection: everything but seq, blocking, and pooled.
+fn same(a: &SchedOp, b: &SchedOp) -> bool {
+    a.kind == b.kind
+        && a.ranks == b.ranks
+        && a.elems == b.elems
+        && a.root == b.root
+        && a.reduce == b.reduce
+}
+
+/// Run the matching checker over all ranks' streams.
+pub fn check(streams: &[Vec<SchedEvent>]) -> Vec<Diagnostic> {
+    // Deterministic group order so diagnostics are stable run to run.
+    let mut per_group: BTreeMap<u64, Vec<Vec<&SchedOp>>> = BTreeMap::new();
+    for (rank, stream) in streams.iter().enumerate() {
+        for ev in stream {
+            if let SchedEvent::Issue(op) = ev {
+                let slots = per_group
+                    .entry(op.group_key)
+                    .or_insert_with(|| vec![Vec::new(); streams.len()]);
+                slots[rank].push(op);
+            }
+        }
+    }
+
+    let mut diags = Vec::new();
+    for (gk, by_rank) in &per_group {
+        // Participants: every rank named by the first observed op, plus
+        // any rank that issued on this key (a foreign issuer is itself a
+        // divergence and will be caught by the elementwise compare).
+        let mut participants: Vec<usize> = Vec::new();
+        if let Some(op) = by_rank.iter().find_map(|v| v.first()) {
+            participants.extend(op.ranks.iter().copied().filter(|&r| r < streams.len()));
+        }
+        for (rank, ops) in by_rank.iter().enumerate() {
+            if !ops.is_empty() && !participants.contains(&rank) {
+                participants.push(rank);
+            }
+        }
+        participants.sort_unstable();
+        let Some(&reference) = participants.first() else {
+            continue;
+        };
+        for &other in participants.iter().skip(1) {
+            let a = &by_rank[reference];
+            let b = &by_rank[other];
+            let n = a.len().max(b.len());
+            for i in 0..n {
+                let (la, lb) = (a.get(i), b.get(i));
+                let diverged = match (la, lb) {
+                    (Some(x), Some(y)) => !same(x, y),
+                    _ => true,
+                };
+                if diverged {
+                    diags.push(Diagnostic::Mismatch {
+                        group_key: *gk,
+                        index: i,
+                        rank_a: reference,
+                        rank_b: other,
+                        left: la.map(|o| o.to_string()),
+                        right: lb.map(|o| o.to_string()),
+                    });
+                    break; // first divergence per rank pair
+                }
+            }
+        }
+    }
+    diags
+}

@@ -17,3 +17,4 @@ pub use axonn_perfmodel as perfmodel;
 pub use axonn_sim as sim;
 pub use axonn_tensor as tensor;
 pub use axonn_trace as trace;
+pub use axonn_verify as verify;

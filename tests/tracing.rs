@@ -202,8 +202,7 @@ fn bucketed_pipeline_overlaps_data_group_collectives() {
     let run_mode = |mode: GradSyncMode| {
         run_spmd_traced(8, cost(), move |comm| {
             let grid = GridTopology::new(1, 2, 2, 2, comm.rank());
-            let mut stack =
-                TransformerStack::new(&grid, 8, 8, 2, 2, 4, SEED, OverlapConfig::all());
+            let mut stack = TransformerStack::new(&grid, 8, 8, 2, 2, 4, SEED, OverlapConfig::all());
             stack.set_grad_sync(mode);
             // Tiny buckets so several seal (and issue) mid-drain.
             stack.set_grad_bucket_elems(8);

@@ -1,0 +1,286 @@
+//! Workspace-level verification integration: negative-path defect
+//! seeding against real extracted schedules (exact rank/op-index
+//! diagnostics), property-based "verifier-accepted implies run_spmd
+//! completes", and cross-plane agreement between the dry-extracted
+//! schedule and the simulator's mirrored collective sequence.
+
+use axonn::collectives::{RingCostModel, SchedEvent, SchedKind};
+use axonn::engine::{
+    default_mlp_shape, default_transformer_shape, extract_mlp_schedules,
+    extract_transformer_schedules, transformer_grid_fits, Activation, GridTopology, Network4d,
+    OverlapConfig, TransformerStack,
+};
+use axonn::exec::run_spmd;
+use axonn::perfmodel::Grid4d;
+use axonn::sim::{simulate_mlp_step, MlpStepConfig};
+use axonn::tensor::Matrix;
+use axonn::trace::{CollOp, EventDetail, Stream};
+use axonn::verify::{check_schedules, inject, DefectKind, Diagnostic};
+use proptest::prelude::*;
+
+/// The `(group, seq)`-keyed wait and its matching async issue in a clean
+/// stream — the pair the reorder/missing-wait defects manipulate.
+fn first_wait_and_issue(stream: &[SchedEvent]) -> (usize, usize) {
+    let w = stream
+        .iter()
+        .position(|e| matches!(e, SchedEvent::Wait { .. }))
+        .expect("stream has a wait");
+    let SchedEvent::Wait { group_key, seq } = &stream[w] else {
+        unreachable!()
+    };
+    let i = (0..w)
+        .position(|i| match &stream[i] {
+            SchedEvent::Issue(op) => !op.blocking && op.group_key == *group_key && op.seq == *seq,
+            _ => false,
+        })
+        .expect("wait has a matching issue");
+    (i, w)
+}
+
+#[test]
+fn count_mismatch_is_named_at_op_zero_on_the_corrupted_rank() {
+    let (dims, batch) = default_mlp_shape(4);
+    let mut streams = extract_mlp_schedules(2, 2, 1, 1, &dims, batch, OverlapConfig::all());
+    assert!(check_schedules(&streams).is_ok(), "clean schedule rejected");
+
+    assert!(inject(&mut streams, 1, DefectKind::CountMismatch));
+    let report = check_schedules(&streams);
+    assert!(!report.is_ok());
+    // The first issue of a stream is necessarily op #0 of its own
+    // communicator, so the diagnostic must name index 0 and rank 1.
+    assert!(
+        report.diagnostics.iter().any(|d| matches!(
+            d,
+            Diagnostic::Mismatch {
+                index: 0,
+                rank_a,
+                rank_b,
+                ..
+            } if *rank_a == 1 || *rank_b == 1
+        )),
+        "no op-#0 mismatch naming rank 1: {report}"
+    );
+}
+
+#[test]
+fn missing_wait_is_named_at_the_orphaned_issue_index() {
+    let (dims, batch) = default_mlp_shape(4);
+    let mut streams = extract_mlp_schedules(2, 2, 1, 1, &dims, batch, OverlapConfig::all());
+    let (issue_at, _) = first_wait_and_issue(&streams[1]);
+
+    assert!(inject(&mut streams, 1, DefectKind::MissingWait));
+    let report = check_schedules(&streams);
+    assert!(!report.is_ok());
+    assert!(
+        report.diagnostics.iter().any(|d| matches!(
+            d,
+            Diagnostic::UnwaitedHandle { rank: 1, issue_index, .. } if *issue_index == issue_at
+        )),
+        "no unwaited-handle diagnostic at rank 1 event #{issue_at}: {report}"
+    );
+}
+
+#[test]
+fn reorder_without_divergent_pair_becomes_wait_before_issue() {
+    // On a pure tensor-parallel grid every communicator repeats one
+    // (kind, elems) shape, so the injector falls back to swapping a wait
+    // ahead of its own issue; the lint must name the landing index.
+    let (dims, batch) = default_mlp_shape(4);
+    let mut streams = extract_mlp_schedules(2, 2, 1, 1, &dims, batch, OverlapConfig::all());
+    let (issue_at, _) = first_wait_and_issue(&streams[1]);
+
+    assert!(inject(&mut streams, 1, DefectKind::Reorder));
+    let report = check_schedules(&streams);
+    assert!(!report.is_ok());
+    assert!(
+        report.diagnostics.iter().any(|d| matches!(
+            d,
+            Diagnostic::WaitBeforeIssue { rank: 1, event_index, .. } if *event_index == issue_at
+        )),
+        "no wait-before-issue diagnostic at rank 1 event #{issue_at}: {report}"
+    );
+}
+
+#[test]
+fn reorder_with_divergent_pair_is_a_matching_mismatch() {
+    // With gz = 2 each z-communicator interleaves all-gathers and
+    // reduce-scatters, so the injector finds a same-communicator
+    // differing pair and the matching checker names the divergence.
+    let (dims, batch) = default_mlp_shape(4);
+    let mut streams = extract_mlp_schedules(2, 1, 2, 1, &dims, batch, OverlapConfig::all());
+    assert!(check_schedules(&streams).is_ok());
+
+    assert!(inject(&mut streams, 1, DefectKind::Reorder));
+    let report = check_schedules(&streams);
+    assert!(!report.is_ok());
+    assert!(
+        report.diagnostics.iter().any(|d| matches!(
+            d,
+            Diagnostic::Mismatch { rank_a, rank_b, left: Some(_), right: Some(_), .. }
+                if *rank_a == 1 || *rank_b == 1
+        )),
+        "no matching mismatch naming rank 1: {report}"
+    );
+}
+
+#[test]
+fn transformer_defects_are_rejected_too() {
+    let shape = default_transformer_shape(4);
+    for defect in [
+        DefectKind::Reorder,
+        DefectKind::MissingWait,
+        DefectKind::CountMismatch,
+    ] {
+        let mut streams = extract_transformer_schedules(1, 2, 1, 2, &shape, OverlapConfig::all());
+        assert!(check_schedules(&streams).is_ok(), "clean schedule rejected");
+        assert!(inject(&mut streams, 1, defect), "{defect:?} applicable");
+        assert!(
+            !check_schedules(&streams).is_ok(),
+            "{defect:?} not rejected"
+        );
+    }
+}
+
+/// SchedKind → the simulator's collective vocabulary. The schedule plane
+/// distinguishes ring vs linear vs recursive-doubling variants; the
+/// trace vocabulary names the collective itself.
+fn sched_coll_name(kind: SchedKind) -> &'static str {
+    match kind {
+        SchedKind::AllGather => CollOp::AllGather.name(),
+        SchedKind::ReduceScatter | SchedKind::ReduceScatterLinear => CollOp::ReduceScatter.name(),
+        SchedKind::AllReduce | SchedKind::AllReduceLinear => CollOp::AllReduce.name(),
+        SchedKind::AllReduceRd => CollOp::AllReduceRd.name(),
+        SchedKind::Broadcast => CollOp::Broadcast.name(),
+        SchedKind::Barrier => CollOp::Barrier.name(),
+    }
+}
+
+#[test]
+fn dry_extracted_schedule_matches_sim_collective_sequence() {
+    // Rank 0's dry-extracted issue order must equal the performance
+    // plane's mirrored collective order: both planes claim to replay the
+    // same Algorithm-1 control flow, and this pins them together.
+    for (gx, gy, gz, gd) in [(2usize, 1usize, 2usize, 1usize), (1, 2, 2, 2)] {
+        let dims = vec![8usize, 8, 8];
+        let batch = 8usize;
+        let streams = extract_mlp_schedules(gx, gy, gz, gd, &dims, batch, OverlapConfig::all());
+        let extracted: Vec<&'static str> = streams[0]
+            .iter()
+            .filter_map(|e| match e {
+                SchedEvent::Issue(op) => Some(sched_coll_name(op.kind)),
+                _ => None,
+            })
+            .collect();
+
+        let trace = simulate_mlp_step(
+            &MlpStepConfig {
+                gx,
+                gy,
+                gz,
+                gd,
+                dims,
+                batch_rows: batch,
+                oar: true,
+                ors: true,
+                oag: true,
+                kernel_tuning: false,
+                activation_checkpointing: false,
+            },
+            &RingCostModel::new(1e8, 1e8),
+        );
+        let mirrored: Vec<&'static str> = trace
+            .stream_events(Stream::Compute)
+            .filter_map(|e| match &e.detail {
+                EventDetail::Collective { op, .. } => Some(op.name()),
+                EventDetail::Issue { op, .. } => Some(op.name()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            extracted, mirrored,
+            "planes disagree on ({gx},{gy},{gz},{gd})"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Soundness of the certificate: any randomly chosen grid whose
+    /// extracted MLP schedule the verifier accepts must complete a real
+    /// `run_spmd` training step (the exec teardown re-checks the live
+    /// streams, so a hang or mismatch would fail here).
+    #[test]
+    fn accepted_mlp_configs_complete_under_run_spmd(
+        world_pick in 0usize..3,
+        grid_pick in 0u64..1_000,
+        seed in 0u64..500,
+    ) {
+        let world = [2usize, 4, 8][world_pick];
+        let grids = Grid4d::enumerate(world);
+        let g = grids[(grid_pick as usize) % grids.len()];
+        let (dims, batch) = default_mlp_shape(world);
+
+        let streams =
+            extract_mlp_schedules(g.gx, g.gy, g.gz, g.gd, &dims, batch, OverlapConfig::all());
+        let report = check_schedules(&streams);
+        prop_assert!(report.is_ok(), "verifier rejected {g:?}: {report}");
+
+        let dims2 = dims.clone();
+        let losses = run_spmd(world, move |comm| {
+            let grid = GridTopology::new(g.gx, g.gy, g.gz, g.gd, comm.rank());
+            let mut net = Network4d::new(
+                comm,
+                grid,
+                &dims2,
+                Activation::Gelu,
+                seed,
+                OverlapConfig::all(),
+                false,
+            );
+            let x = Matrix::random(batch, dims2[0], 1.0, seed + 1);
+            let t = Matrix::random(batch, *dims2.last().unwrap(), 1.0, seed + 2);
+            net.train_step(&x, &t, 0.01)
+        });
+        prop_assert!(losses.iter().all(|l| l.is_finite()));
+    }
+
+    /// Same soundness property for the transformer stack.
+    #[test]
+    fn accepted_transformer_configs_complete_under_run_spmd(
+        grid_pick in 0u64..1_000,
+        seed in 0u64..500,
+    ) {
+        let world = 4usize;
+        let shape = default_transformer_shape(world);
+        let grids: Vec<Grid4d> = Grid4d::enumerate(world)
+            .into_iter()
+            .filter(|g| transformer_grid_fits(g.gx, g.gy, g.gz, g.gd, &shape))
+            .collect();
+        let g = grids[(grid_pick as usize) % grids.len()];
+
+        let streams =
+            extract_transformer_schedules(g.gx, g.gy, g.gz, g.gd, &shape, OverlapConfig::all());
+        let report = check_schedules(&streams);
+        prop_assert!(report.is_ok(), "verifier rejected {g:?}: {report}");
+
+        let n_tokens = shape.seqs * shape.seq_len;
+        let tokens: Vec<usize> = (0..n_tokens).map(|i| (i * 5 + 1) % shape.vocab).collect();
+        let targets: Vec<usize> = (0..n_tokens).map(|i| (i * 3 + 2) % shape.vocab).collect();
+        let losses = run_spmd(world, move |comm| {
+            let grid = GridTopology::new(g.gx, g.gy, g.gz, g.gd, comm.rank());
+            let mut stack = TransformerStack::new(
+                &grid,
+                shape.vocab,
+                shape.hidden,
+                shape.n_heads,
+                shape.n_layers,
+                shape.seq_len,
+                seed,
+                OverlapConfig::all(),
+            );
+            stack.train_step(&comm, &grid, &tokens, &targets, 0.01)
+        });
+        prop_assert!(losses.iter().all(|l| l.is_finite()));
+    }
+}

@@ -1,0 +1,939 @@
+//! Offline stand-in for the [`loom`](https://docs.rs/loom) exhaustive
+//! concurrency model checker, following the same vendoring convention as the
+//! other stubs in `vendor/` (see `vendor/README.md`): a small, dependency-free
+//! subset of the real crate's surface, faithful enough that swapping the real
+//! crate back in is a manifest-only change.
+//!
+//! # What it does
+//!
+//! [`model`] runs a closure repeatedly, exploring every distinct interleaving
+//! of its threads at the granularity of *synchronization operations* (mutex
+//! acquire attempts, condvar waits and notifies, atomic accesses, spawns and
+//! joins). Threads are real OS threads, but a cooperative "baton" scheduler
+//! lets exactly one run at a time; at each synchronization point the scheduler
+//! consults a depth-first search over schedules, replaying a recorded decision
+//! prefix and then deviating at the last branch point with unexplored
+//! alternatives. The search terminates when every branch has been explored.
+//!
+//! Failures surface as panics from [`model`]:
+//! * a panic on any modeled thread aborts the execution and is re-raised;
+//! * a state where no thread can run while some thread is still blocked is
+//!   reported as a deadlock — this is also how *lost wakeups* manifest,
+//!   because a waiter that missed its notification blocks forever.
+//!
+//! # Fidelity limits (vs. real loom)
+//!
+//! * Interleavings are explored at lock/atomic granularity, not at the level
+//!   of individual memory accesses; `std::sync::Arc` internals are assumed
+//!   correct rather than modeled.
+//! * Timeouts never fire inside a model: `Condvar::wait_timeout` behaves as a
+//!   plain `wait`. A protocol that relies on a timeout for liveness is
+//!   therefore reported as a deadlock — which is exactly the property the
+//!   transport tests want to check.
+//! * `notify_one` deterministically wakes the lowest-numbered waiter instead
+//!   of branching over all waiters.
+//!
+//! Outside of [`model`] every primitive falls back to plain `std` behavior, so
+//! code compiled with `--cfg loom` still runs normally when not under test.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering as AtomOrd};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+/// Default cap on explored schedules before [`model`] gives up.
+pub const DEFAULT_MAX_BRANCHES: usize = 200_000;
+
+// ---------------------------------------------------------------------------
+// Scheduler runtime
+// ---------------------------------------------------------------------------
+
+pub(crate) mod rt {
+    use super::*;
+    use std::any::Any;
+    use std::cell::RefCell;
+
+    /// Payload used to silently unwind threads of an aborted execution. The
+    /// panic hook installed by [`model`] suppresses its report.
+    pub(crate) struct AbortToken;
+
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub(crate) enum Run {
+        Runnable,
+        /// Blocked trying to acquire mutex object `.0`.
+        BlockedMutex(usize),
+        /// Parked on condvar object `.0`.
+        WaitingCondvar(usize),
+        /// Waiting for thread `.0` to finish.
+        BlockedJoin(usize),
+        Finished,
+    }
+
+    struct ThreadState {
+        run: Run,
+    }
+
+    /// One scheduling decision: which runnable thread got the baton.
+    pub(crate) struct Choice {
+        chosen: usize,
+        candidates: Vec<usize>,
+    }
+
+    pub(crate) struct SchedState {
+        threads: Vec<ThreadState>,
+        active: usize,
+        decisions: Vec<Choice>,
+        replay: Vec<usize>,
+        next_object: usize,
+        abort: bool,
+        panic_payload: Option<Box<dyn Any + Send>>,
+        deadlock: Option<String>,
+        /// OS threads registered and not yet past `finish`.
+        live: usize,
+    }
+
+    pub(crate) struct Execution {
+        state: StdMutex<SchedState>,
+        cv: StdCondvar,
+    }
+
+    thread_local! {
+        static CURRENT: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+    }
+
+    /// The executing model context of the calling thread, if any.
+    pub(crate) fn current() -> Option<(Arc<Execution>, usize)> {
+        CURRENT.with(|c| c.borrow().clone())
+    }
+
+    pub(crate) fn enter(exec: Arc<Execution>, tid: usize) {
+        CURRENT.with(|c| *c.borrow_mut() = Some((exec, tid)));
+    }
+
+    impl Execution {
+        pub(crate) fn new(replay: Vec<usize>) -> Self {
+            Execution {
+                state: StdMutex::new(SchedState {
+                    threads: Vec::new(),
+                    active: 0,
+                    decisions: Vec::new(),
+                    replay,
+                    next_object: 0,
+                    abort: false,
+                    panic_payload: None,
+                    deadlock: None,
+                    live: 0,
+                }),
+                cv: StdCondvar::new(),
+            }
+        }
+
+        fn lock(&self) -> StdMutexGuard<'_, SchedState> {
+            self.state.lock().unwrap_or_else(|e| e.into_inner())
+        }
+
+        /// Register a new modeled thread; returns its id.
+        pub(crate) fn register_thread(&self) -> usize {
+            let mut st = self.lock();
+            st.threads.push(ThreadState { run: Run::Runnable });
+            st.live += 1;
+            st.threads.len() - 1
+        }
+
+        /// A fresh id for a synchronization object (mutex/condvar).
+        pub(crate) fn fresh_object(&self) -> usize {
+            let mut st = self.lock();
+            st.next_object += 1;
+            st.next_object
+        }
+
+        pub(crate) fn thread_finished(&self, tid: usize) -> bool {
+            self.lock().threads[tid].run == Run::Finished
+        }
+    }
+
+    fn runnable(st: &SchedState) -> Vec<usize> {
+        st.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.run == Run::Runnable)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Consume one decision slot: pick the next thread to hold the baton.
+    /// Returns `None` when no thread is runnable (deadlock candidate).
+    fn choose_locked(st: &mut SchedState) -> Option<usize> {
+        let candidates = runnable(st);
+        if candidates.is_empty() {
+            return None;
+        }
+        let idx = st.decisions.len();
+        let chosen = if idx < st.replay.len() {
+            let c = st.replay[idx];
+            assert!(
+                candidates.contains(&c),
+                "loom: non-deterministic execution — replayed thread {c} is not \
+                 runnable at decision {idx} (candidates {candidates:?}); model \
+                 closures must be deterministic apart from scheduling"
+            );
+            c
+        } else {
+            candidates[0]
+        };
+        st.decisions.push(Choice { chosen, candidates });
+        Some(chosen)
+    }
+
+    fn deadlock_report(st: &SchedState) -> String {
+        st.threads
+            .iter()
+            .enumerate()
+            .map(|(i, t)| format!("  thread {i}: {:?}", t.run))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    fn mark_deadlock(st: &mut SchedState) {
+        if st.deadlock.is_none() {
+            st.deadlock = Some(deadlock_report(st));
+        }
+        st.abort = true;
+    }
+
+    /// Park until this thread holds the baton and is runnable.
+    fn wait_my_turn(exec: &Execution, mut st: StdMutexGuard<'_, SchedState>, me: usize) {
+        loop {
+            if st.abort {
+                drop(st);
+                panic::panic_any(AbortToken);
+            }
+            if st.active == me && st.threads[me].run == Run::Runnable {
+                return;
+            }
+            st = exec.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Entry protocol for a freshly spawned modeled thread.
+    pub(crate) fn wait_until_active(exec: &Execution, me: usize) {
+        let st = exec.lock();
+        wait_my_turn(exec, st, me);
+    }
+
+    /// A scheduling decision point taken by the (active) calling thread: the
+    /// baton may move to any runnable thread, including back to the caller.
+    pub(crate) fn schedule_point(exec: &Execution, me: usize) {
+        let mut st = exec.lock();
+        if st.abort {
+            drop(st);
+            panic::panic_any(AbortToken);
+        }
+        debug_assert_eq!(st.active, me, "schedule_point from a non-active thread");
+        let chosen = choose_locked(&mut st).expect("active thread is runnable");
+        if chosen != me {
+            st.active = chosen;
+            exec.cv.notify_all();
+            wait_my_turn(exec, st, me);
+        }
+    }
+
+    /// The active thread blocks (`why`) and hands the baton to another
+    /// runnable thread; declares deadlock if there is none. Returns once the
+    /// thread is runnable and active again.
+    pub(crate) fn block(exec: &Execution, me: usize, why: Run) {
+        let mut st = exec.lock();
+        if st.abort {
+            drop(st);
+            panic::panic_any(AbortToken);
+        }
+        st.threads[me].run = why;
+        match choose_locked(&mut st) {
+            Some(next) => st.active = next,
+            None => mark_deadlock(&mut st),
+        }
+        exec.cv.notify_all();
+        wait_my_turn(exec, st, me);
+    }
+
+    /// A mutex was released: every thread blocked on it may retry.
+    pub(crate) fn mutex_released(exec: &Execution, lock_id: usize) {
+        let mut st = exec.lock();
+        if st.abort {
+            return; // unwinding — do not reschedule
+        }
+        for t in &mut st.threads {
+            if t.run == Run::BlockedMutex(lock_id) {
+                t.run = Run::Runnable;
+            }
+        }
+        exec.cv.notify_all();
+    }
+
+    /// Wake condvar waiters. Wakes the lowest-numbered waiter when `all` is
+    /// false (deterministic `notify_one`).
+    pub(crate) fn condvar_notify(exec: &Execution, cv_id: usize, all: bool) {
+        let mut st = exec.lock();
+        if st.abort {
+            return;
+        }
+        for t in &mut st.threads {
+            if t.run == Run::WaitingCondvar(cv_id) {
+                t.run = Run::Runnable;
+                if !all {
+                    break;
+                }
+            }
+        }
+        exec.cv.notify_all();
+    }
+
+    /// Terminal protocol for a modeled thread; `panicked` carries a caught
+    /// panic payload (an [`AbortToken`] payload is not treated as a failure).
+    pub(crate) fn finish(exec: &Execution, me: usize, panicked: Option<Box<dyn Any + Send>>) {
+        let mut st = exec.lock();
+        st.threads[me].run = Run::Finished;
+        for t in &mut st.threads {
+            if t.run == Run::BlockedJoin(me) {
+                t.run = Run::Runnable;
+            }
+        }
+        if let Some(p) = panicked {
+            if !p.is::<AbortToken>() && st.panic_payload.is_none() {
+                st.panic_payload = Some(p);
+                st.abort = true;
+            }
+        }
+        if !st.abort && st.threads.iter().any(|t| t.run != Run::Finished) {
+            match choose_locked(&mut st) {
+                Some(next) => st.active = next,
+                None => mark_deadlock(&mut st),
+            }
+        }
+        st.live -= 1;
+        exec.cv.notify_all();
+    }
+
+    impl Execution {
+        /// Block the controller until every modeled OS thread has finished.
+        fn wait_quiescent(&self) {
+            let mut st = self.lock();
+            while st.live > 0 {
+                st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+    }
+
+    /// Advance the DFS: produce the replay prefix of the next unexplored
+    /// schedule, or `None` when the search space is exhausted.
+    fn backtrack(decisions: &[Choice]) -> Option<Vec<usize>> {
+        for i in (0..decisions.len()).rev() {
+            let d = &decisions[i];
+            let pos = d
+                .candidates
+                .iter()
+                .position(|&c| c == d.chosen)
+                .expect("chosen thread was a candidate");
+            if pos + 1 < d.candidates.len() {
+                let mut replay: Vec<usize> = decisions[..i].iter().map(|d| d.chosen).collect();
+                replay.push(d.candidates[pos + 1]);
+                return Some(replay);
+            }
+        }
+        None
+    }
+
+    fn install_hook() {
+        use std::sync::Once;
+        static HOOK: Once = Once::new();
+        HOOK.call_once(|| {
+            let prev = panic::take_hook();
+            panic::set_hook(Box::new(move |info| {
+                if info.payload().downcast_ref::<AbortToken>().is_none() {
+                    prev(info);
+                }
+            }));
+        });
+    }
+
+    /// See crate docs: exhaustively explore the interleavings of `f`.
+    pub fn model<F>(f: F)
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        install_hook();
+        let max_branches = std::env::var("LOOM_MAX_BRANCHES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(DEFAULT_MAX_BRANCHES);
+        let f = Arc::new(f);
+        let mut replay: Vec<usize> = Vec::new();
+        let mut iterations = 0usize;
+        loop {
+            iterations += 1;
+            assert!(
+                iterations <= max_branches,
+                "loom: exceeded {max_branches} explored schedules \
+                 (set LOOM_MAX_BRANCHES to raise the cap)"
+            );
+            let exec = Arc::new(Execution::new(replay.clone()));
+            let root = exec.register_thread();
+            debug_assert_eq!(root, 0);
+            let (e2, f2) = (exec.clone(), f.clone());
+            let os = std::thread::Builder::new()
+                .name("loom-root".into())
+                .spawn(move || {
+                    enter(e2.clone(), root);
+                    wait_until_active(&e2, root);
+                    let r = panic::catch_unwind(AssertUnwindSafe(|| f2()));
+                    finish(&e2, root, r.err());
+                })
+                .expect("spawn loom root thread");
+            let _ = os.join();
+            exec.wait_quiescent();
+            let mut st = exec.lock();
+            if let Some(p) = st.panic_payload.take() {
+                eprintln!("loom: panic after exploring {iterations} schedule(s)");
+                drop(st);
+                panic::resume_unwind(p);
+            }
+            if let Some(d) = st.deadlock.take() {
+                panic!(
+                    "loom: deadlock detected after exploring {iterations} \
+                     schedule(s); thread states:\n{d}"
+                );
+            }
+            match backtrack(&st.decisions) {
+                Some(next) => {
+                    drop(st);
+                    replay = next;
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+pub use rt::model;
+
+// ---------------------------------------------------------------------------
+// thread
+// ---------------------------------------------------------------------------
+
+/// Mirror of `loom::thread` (subset of `std::thread`).
+pub mod thread {
+    use super::rt::{self, Run};
+    use super::*;
+
+    enum Inner<T> {
+        Os(std::thread::JoinHandle<T>),
+        Managed {
+            exec: Arc<rt::Execution>,
+            tid: usize,
+            slot: Arc<StdMutex<Option<T>>>,
+            os: std::thread::JoinHandle<()>,
+        },
+    }
+
+    pub struct JoinHandle<T> {
+        inner: Inner<T>,
+    }
+
+    /// Spawn a thread. Inside [`model`](super::model) the thread is scheduled
+    /// cooperatively; outside it this is `std::thread::spawn`.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        match rt::current() {
+            None => JoinHandle {
+                inner: Inner::Os(std::thread::spawn(f)),
+            },
+            Some((exec, me)) => {
+                let tid = exec.register_thread();
+                let slot: Arc<StdMutex<Option<T>>> = Arc::new(StdMutex::new(None));
+                let (e2, s2) = (exec.clone(), slot.clone());
+                let os = std::thread::Builder::new()
+                    .name(format!("loom-{tid}"))
+                    .spawn(move || {
+                        rt::enter(e2.clone(), tid);
+                        rt::wait_until_active(&e2, tid);
+                        let r = panic::catch_unwind(AssertUnwindSafe(f));
+                        match r {
+                            Ok(v) => {
+                                *s2.lock().unwrap_or_else(|e| e.into_inner()) = Some(v);
+                                rt::finish(&e2, tid, None);
+                            }
+                            Err(p) => rt::finish(&e2, tid, Some(p)),
+                        }
+                    })
+                    .expect("spawn loom thread");
+                // The spawn itself is a decision point: the child may run
+                // immediately or the parent may continue.
+                rt::schedule_point(&exec, me);
+                JoinHandle {
+                    inner: Inner::Managed {
+                        exec,
+                        tid,
+                        slot,
+                        os,
+                    },
+                }
+            }
+        }
+    }
+
+    impl<T> JoinHandle<T> {
+        pub fn join(self) -> std::thread::Result<T> {
+            match self.inner {
+                Inner::Os(h) => h.join(),
+                Inner::Managed {
+                    exec,
+                    tid,
+                    slot,
+                    os,
+                } => {
+                    let (_, me) = rt::current().expect("join outside of model");
+                    loop {
+                        if super::sync::thread_finished(&exec, tid) {
+                            break;
+                        }
+                        rt::block(&exec, me, Run::BlockedJoin(tid));
+                    }
+                    let _ = os.join();
+                    match slot.lock().unwrap_or_else(|e| e.into_inner()).take() {
+                        Some(v) => Ok(v),
+                        // The thread panicked; the execution is aborting and
+                        // the payload will be re-raised by `model`.
+                        None => panic::panic_any(rt::AbortToken),
+                    }
+                }
+            }
+        }
+    }
+
+    /// A pure scheduling point.
+    pub fn yield_now() {
+        if let Some((exec, me)) = rt::current() {
+            rt::schedule_point(&exec, me);
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// sync
+// ---------------------------------------------------------------------------
+
+/// Mirror of `loom::sync` (subset of `std::sync`).
+pub mod sync {
+    use super::rt::{self, Run};
+    use super::*;
+    pub use std::sync::{Arc, LockResult, TryLockError, TryLockResult};
+
+    pub(crate) fn thread_finished(exec: &rt::Execution, tid: usize) -> bool {
+        exec.thread_finished(tid)
+    }
+
+    /// A mutex whose acquire attempts are scheduling decision points inside a
+    /// model, and a plain `std::sync::Mutex` outside one.
+    pub struct Mutex<T: ?Sized> {
+        id: AtomicUsize,
+        inner: StdMutex<T>,
+    }
+
+    pub struct MutexGuard<'a, T: ?Sized> {
+        lock: &'a Mutex<T>,
+        inner: Option<StdMutexGuard<'a, T>>,
+    }
+
+    impl<T> Mutex<T> {
+        pub const fn new(t: T) -> Self {
+            Mutex {
+                id: AtomicUsize::new(0),
+                inner: StdMutex::new(t),
+            }
+        }
+
+        pub fn into_inner(self) -> LockResult<T> {
+            Ok(self.inner.into_inner().unwrap_or_else(|e| e.into_inner()))
+        }
+    }
+
+    impl<T: ?Sized> Mutex<T> {
+        /// Lazily-assigned per-execution scheduler object id.
+        pub(crate) fn object_id(&self, exec: &rt::Execution) -> usize {
+            let id = self.id.load(AtomOrd::Relaxed);
+            if id != 0 {
+                return id;
+            }
+            let fresh = exec.fresh_object();
+            match self
+                .id
+                .compare_exchange(0, fresh, AtomOrd::Relaxed, AtomOrd::Relaxed)
+            {
+                Ok(_) => fresh,
+                Err(existing) => existing,
+            }
+        }
+
+        pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+            match rt::current() {
+                None => {
+                    let g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+                    Ok(MutexGuard {
+                        lock: self,
+                        inner: Some(g),
+                    })
+                }
+                Some((exec, me)) => {
+                    let id = self.object_id(&exec);
+                    loop {
+                        rt::schedule_point(&exec, me);
+                        match self.inner.try_lock() {
+                            Ok(g) => {
+                                return Ok(MutexGuard {
+                                    lock: self,
+                                    inner: Some(g),
+                                })
+                            }
+                            Err(TryLockError::WouldBlock) => {
+                                rt::block(&exec, me, Run::BlockedMutex(id));
+                            }
+                            Err(TryLockError::Poisoned(p)) => {
+                                return Ok(MutexGuard {
+                                    lock: self,
+                                    inner: Some(p.into_inner()),
+                                })
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        pub fn try_lock(&self) -> TryLockResult<MutexGuard<'_, T>> {
+            if let Some((exec, me)) = rt::current() {
+                rt::schedule_point(&exec, me);
+            }
+            match self.inner.try_lock() {
+                Ok(g) => Ok(MutexGuard {
+                    lock: self,
+                    inner: Some(g),
+                }),
+                Err(TryLockError::Poisoned(p)) => Ok(MutexGuard {
+                    lock: self,
+                    inner: Some(p.into_inner()),
+                }),
+                Err(TryLockError::WouldBlock) => Err(TryLockError::WouldBlock),
+            }
+        }
+    }
+
+    impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            self.inner.take();
+            if let Some((exec, _)) = rt::current() {
+                let id = self.lock.id.load(AtomOrd::Relaxed);
+                if id != 0 {
+                    rt::mutex_released(&exec, id);
+                }
+            }
+        }
+    }
+
+    impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.inner.as_ref().expect("guard live")
+        }
+    }
+
+    impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.inner.as_mut().expect("guard live")
+        }
+    }
+
+    /// Result of a timed condvar wait; inside a model the timeout never fires.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct WaitTimeoutResult(pub(crate) bool);
+
+    impl WaitTimeoutResult {
+        pub fn timed_out(&self) -> bool {
+            self.0
+        }
+    }
+
+    /// A condition variable with real lost-wakeup semantics: a notification
+    /// with no parked waiter is dropped, exactly like `std`/POSIX condvars —
+    /// which is what makes missed-wakeup bugs reachable by the model.
+    pub struct Condvar {
+        id: AtomicUsize,
+        inner: StdCondvar,
+    }
+
+    impl Default for Condvar {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl Condvar {
+        pub const fn new() -> Self {
+            Condvar {
+                id: AtomicUsize::new(0),
+                inner: StdCondvar::new(),
+            }
+        }
+
+        fn object_id(&self, exec: &rt::Execution) -> usize {
+            let id = self.id.load(AtomOrd::Relaxed);
+            if id != 0 {
+                return id;
+            }
+            let fresh = exec.fresh_object();
+            match self
+                .id
+                .compare_exchange(0, fresh, AtomOrd::Relaxed, AtomOrd::Relaxed)
+            {
+                Ok(_) => fresh,
+                Err(existing) => existing,
+            }
+        }
+
+        pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+            match rt::current() {
+                None => {
+                    let mut guard = guard;
+                    let lock = guard.lock;
+                    let inner = guard.inner.take().expect("guard live");
+                    // Forget the wrapper so its Drop does not double-release.
+                    std::mem::forget(guard);
+                    let inner = self.inner.wait(inner).unwrap_or_else(|e| e.into_inner());
+                    Ok(MutexGuard {
+                        lock,
+                        inner: Some(inner),
+                    })
+                }
+                Some((exec, me)) => {
+                    let cv_id = self.object_id(&exec);
+                    let lock = guard.lock;
+                    // Atomic release-and-park: dropping the guard releases the
+                    // mutex, and no other thread can run until `block` passes
+                    // the baton on.
+                    drop(guard);
+                    rt::block(&exec, me, Run::WaitingCondvar(cv_id));
+                    lock.lock()
+                }
+            }
+        }
+
+        /// Inside a model the timeout never fires (see crate docs); outside
+        /// one this is `std`'s `wait_timeout`.
+        pub fn wait_timeout<'a, T>(
+            &self,
+            guard: MutexGuard<'a, T>,
+            dur: std::time::Duration,
+        ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+            match rt::current() {
+                None => {
+                    let mut guard = guard;
+                    let lock = guard.lock;
+                    let inner = guard.inner.take().expect("guard live");
+                    std::mem::forget(guard);
+                    let (inner, res) = self
+                        .inner
+                        .wait_timeout(inner, dur)
+                        .unwrap_or_else(|e| e.into_inner());
+                    Ok((
+                        MutexGuard {
+                            lock,
+                            inner: Some(inner),
+                        },
+                        WaitTimeoutResult(res.timed_out()),
+                    ))
+                }
+                Some(_) => {
+                    let g = self.wait(guard).unwrap_or_else(|e| e.into_inner());
+                    Ok((g, WaitTimeoutResult(false)))
+                }
+            }
+        }
+
+        pub fn notify_one(&self) {
+            match rt::current() {
+                None => self.inner.notify_one(),
+                Some((exec, me)) => {
+                    let id = self.object_id(&exec);
+                    rt::schedule_point(&exec, me);
+                    rt::condvar_notify(&exec, id, false);
+                }
+            }
+        }
+
+        pub fn notify_all(&self) {
+            match rt::current() {
+                None => self.inner.notify_all(),
+                Some((exec, me)) => {
+                    let id = self.object_id(&exec);
+                    rt::schedule_point(&exec, me);
+                    rt::condvar_notify(&exec, id, true);
+                }
+            }
+        }
+    }
+
+    /// Atomics whose accesses are scheduling decision points inside a model.
+    pub mod atomic {
+        use super::super::rt;
+        pub use std::sync::atomic::Ordering;
+
+        macro_rules! atomic {
+            ($name:ident, $std:ty, $val:ty) => {
+                pub struct $name(pub(crate) $std);
+
+                impl $name {
+                    pub const fn new(v: $val) -> Self {
+                        Self(<$std>::new(v))
+                    }
+                    fn point() {
+                        if let Some((exec, me)) = rt::current() {
+                            rt::schedule_point(&exec, me);
+                        }
+                    }
+                    pub fn load(&self, o: Ordering) -> $val {
+                        Self::point();
+                        self.0.load(o)
+                    }
+                    pub fn store(&self, v: $val, o: Ordering) {
+                        Self::point();
+                        self.0.store(v, o)
+                    }
+                    pub fn swap(&self, v: $val, o: Ordering) -> $val {
+                        Self::point();
+                        self.0.swap(v, o)
+                    }
+                    pub fn compare_exchange(
+                        &self,
+                        cur: $val,
+                        new: $val,
+                        ok: Ordering,
+                        err: Ordering,
+                    ) -> Result<$val, $val> {
+                        Self::point();
+                        self.0.compare_exchange(cur, new, ok, err)
+                    }
+                }
+            };
+        }
+
+        atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+        atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+        atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+
+        impl AtomicUsize {
+            pub fn fetch_add(&self, v: usize, o: Ordering) -> usize {
+                if let Some((exec, me)) = rt::current() {
+                    rt::schedule_point(&exec, me);
+                }
+                self.0.fetch_add(v, o)
+            }
+        }
+        impl AtomicU64 {
+            pub fn fetch_add(&self, v: u64, o: Ordering) -> u64 {
+                if let Some((exec, me)) = rt::current() {
+                    rt::schedule_point(&exec, me);
+                }
+                self.0.fetch_add(v, o)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::{Condvar, Mutex};
+    use super::thread;
+    use std::sync::Arc;
+
+    #[test]
+    fn single_thread_model_runs_once() {
+        super::model(|| {
+            let m = Mutex::new(1);
+            assert_eq!(*m.lock().unwrap(), 1);
+        });
+    }
+
+    #[test]
+    fn two_thread_counter_is_exhaustive() {
+        super::model(|| {
+            let m = Arc::new(Mutex::new(0));
+            let m2 = m.clone();
+            let h = thread::spawn(move || {
+                *m2.lock().unwrap() += 1;
+            });
+            *m.lock().unwrap() += 1;
+            h.join().unwrap();
+            assert_eq!(*m.lock().unwrap(), 2);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn lost_wakeup_is_detected() {
+        // Classic missed-notification bug: the waiter checks the flag, the
+        // notifier fires in between, and the waiter then parks forever. The
+        // model must find the interleaving where the notify lands before the
+        // wait.
+        super::model(|| {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let p2 = pair.clone();
+            let h = thread::spawn(move || {
+                // BUG (deliberate): set the flag *without* holding the lock
+                // around the predicate/notify pair.
+                *p2.0.lock().unwrap() = true;
+                p2.1.notify_one();
+            });
+            let (lock, cv) = (&pair.0, &pair.1);
+            let ready = *lock.lock().unwrap();
+            if !ready {
+                // BUG (deliberate): the predicate was checked with the lock
+                // released — the notify can land in this window and be lost,
+                // and the wait below never re-checks.
+                let g = lock.lock().unwrap();
+                let _g = cv.wait(g).unwrap();
+            }
+            h.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn correct_condvar_protocol_passes() {
+        super::model(|| {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let p2 = pair.clone();
+            let h = thread::spawn(move || {
+                *p2.0.lock().unwrap() = true;
+                p2.1.notify_all();
+            });
+            let (lock, cv) = (&pair.0, &pair.1);
+            let mut g = lock.lock().unwrap();
+            while !*g {
+                g = cv.wait(g).unwrap();
+            }
+            drop(g);
+            h.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn primitives_work_outside_model() {
+        let m = Mutex::new(5);
+        *m.lock().unwrap() += 1;
+        assert_eq!(*m.lock().unwrap(), 6);
+        let h = thread::spawn(|| 7);
+        assert_eq!(h.join().unwrap(), 7);
+    }
+}

@@ -7,20 +7,33 @@
 //! real crate: locks are slightly heavier (std mutexes) and poisoning is
 //! transparently ignored, matching parking_lot's non-poisoning semantics.
 
+//! When built with `RUSTFLAGS="--cfg loom"`, [`Mutex`] and [`Condvar`] are
+//! instead backed by the vendored `loom` model checker's primitives, so code
+//! using this crate can be exhaustively interleaving-checked inside
+//! `loom::model` while behaving normally outside of one.
+
 use std::ops::{Deref, DerefMut};
 use std::sync::PoisonError;
 
+#[cfg(loom)]
+mod loom_impl;
+#[cfg(loom)]
+pub use loom_impl::{Condvar, Mutex, MutexGuard, WaitTimeoutResult};
+
 /// Non-poisoning mutex with parking_lot's `lock() -> guard` signature.
+#[cfg(not(loom))]
 #[derive(Debug, Default)]
 pub struct Mutex<T: ?Sized> {
     inner: std::sync::Mutex<T>,
 }
 
+#[cfg(not(loom))]
 pub struct MutexGuard<'a, T: ?Sized> {
     // `Option` so `Condvar::wait` can temporarily take the std guard out.
     inner: Option<std::sync::MutexGuard<'a, T>>,
 }
 
+#[cfg(not(loom))]
 impl<T> Mutex<T> {
     pub const fn new(value: T) -> Mutex<T> {
         Mutex {
@@ -35,6 +48,7 @@ impl<T> Mutex<T> {
     }
 }
 
+#[cfg(not(loom))]
 impl<T: ?Sized> Mutex<T> {
     pub fn lock(&self) -> MutexGuard<'_, T> {
         MutexGuard {
@@ -47,6 +61,7 @@ impl<T: ?Sized> Mutex<T> {
     }
 }
 
+#[cfg(not(loom))]
 impl<T: ?Sized> Deref for MutexGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
@@ -54,6 +69,7 @@ impl<T: ?Sized> Deref for MutexGuard<'_, T> {
     }
 }
 
+#[cfg(not(loom))]
 impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
         self.inner.as_mut().expect("guard taken")
@@ -62,8 +78,10 @@ impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
 
 /// Result of a timed condvar wait; mirrors parking_lot's type.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg(not(loom))]
 pub struct WaitTimeoutResult(bool);
 
+#[cfg(not(loom))]
 impl WaitTimeoutResult {
     /// True if the wait ended because the timeout elapsed.
     pub fn timed_out(&self) -> bool {
@@ -73,10 +91,12 @@ impl WaitTimeoutResult {
 
 /// Condition variable compatible with [`Mutex`] guards.
 #[derive(Debug, Default)]
+#[cfg(not(loom))]
 pub struct Condvar {
     inner: std::sync::Condvar,
 }
 
+#[cfg(not(loom))]
 impl Condvar {
     pub const fn new() -> Condvar {
         Condvar {
