@@ -3,30 +3,62 @@
 //!
 //! Usage:
 //!   bench_step [--iters N] [--check BASELINE.json] [--threshold F]
-//!              [--write-baseline] [--per-tensor]
+//!              [--write-baseline] [--per-tensor] [--no-drift]
+//!              [--overhead-check [F]]
 //!
-//! Always writes `results/BENCH_step_time.json`. With `--check`, exits
-//! non-zero when the median step time regresses by more than the
-//! threshold (default 20%) relative to the baseline file. With
-//! `--write-baseline`, also refreshes `results/bench_step_baseline.json`
-//! (commit that file to move the gate).
+//! Always writes `results/BENCH_step_time.json` and (unless
+//! `--no-drift`) the perfmodel drift report
+//! `results/DRIFT_perfmodel.json`. With `--check`, exits non-zero when
+//! the median step time regresses by more than the threshold (default
+//! 20%) relative to the baseline file. With `--write-baseline`, also
+//! refreshes `results/bench_step_baseline.json` (commit that file to
+//! move the gate). With `--overhead-check`, re-runs the step benchmark
+//! with live metrics disabled (`AXONN_METRICS=0`) and fails when the
+//! telemetry plane costs more than the given fraction of step time
+//! (default 1%).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use axonn_bench::drift::{run_drift, DriftConfig};
 use axonn_bench::step::{compare, load_report, run_step_bench, StepBenchConfig};
 use axonn_bench::{emit_json, print_table};
 use axonn_core::GradSyncMode;
 
 const DEFAULT_THRESHOLD: f64 = 0.20;
+const DEFAULT_OVERHEAD_THRESHOLD: f64 = 0.01;
+
+/// Telemetry overhead assertion: gate step time with the live registry
+/// on vs. `AXONN_METRICS=0`, using the min of two runs per mode to
+/// shave scheduler noise. Returns the signed fractional delta.
+fn overhead_delta(cfg: &StepBenchConfig) -> f64 {
+    let gate_min = |on: bool| {
+        // Safety of set_var: this binary is single-threaded at this
+        // point (benchmark worlds are created after the var is set).
+        if on {
+            std::env::set_var("AXONN_METRICS", "1");
+        } else {
+            std::env::set_var("AXONN_METRICS", "0");
+        }
+        (0..2)
+            .map(|_| run_step_bench(cfg).gate_step_ms)
+            .fold(f64::MAX, f64::min)
+    };
+    let with_metrics = gate_min(true);
+    let without = gate_min(false);
+    std::env::remove_var("AXONN_METRICS");
+    (with_metrics - without) / without
+}
 
 fn main() -> ExitCode {
     let mut cfg = StepBenchConfig::default();
     let mut check: Option<PathBuf> = None;
     let mut threshold = DEFAULT_THRESHOLD;
     let mut write_baseline = false;
+    let mut emit_drift = true;
+    let mut overhead_check: Option<f64> = None;
 
-    let mut argv = std::env::args().skip(1);
+    let mut argv = std::env::args().skip(1).peekable();
     while let Some(arg) = argv.next() {
         match arg.as_str() {
             "--iters" => {
@@ -49,9 +81,22 @@ fn main() -> ExitCode {
             // bucketed ZeRO-1 pipeline (for measuring the pipeline's win
             // on the same grid; not for baselines).
             "--per-tensor" => cfg.grad_sync = GradSyncMode::PerTensor,
+            "--no-drift" => emit_drift = false,
+            "--overhead-check" => {
+                // Optional fraction operand (e.g. `--overhead-check 0.02`).
+                let mut frac = DEFAULT_OVERHEAD_THRESHOLD;
+                if let Some(f) = argv.peek().and_then(|v| v.parse::<f64>().ok()) {
+                    argv.next();
+                    frac = f;
+                }
+                overhead_check = Some(frac);
+            }
             other => {
                 eprintln!("unknown flag {other}");
-                eprintln!("usage: bench_step [--iters N] [--check BASELINE.json] [--threshold F] [--write-baseline] [--per-tensor]");
+                eprintln!(
+                    "usage: bench_step [--iters N] [--check BASELINE.json] [--threshold F] \
+                     [--write-baseline] [--per-tensor] [--no-drift] [--overhead-check [F]]"
+                );
                 return ExitCode::FAILURE;
             }
         }
@@ -99,6 +144,53 @@ fn main() -> ExitCode {
     emit_json("BENCH_step_time", &report);
     if write_baseline {
         emit_json("bench_step_baseline", &report);
+    }
+
+    if emit_drift {
+        let drift = run_drift(&DriftConfig::default());
+        let rows: Vec<Vec<String>> = drift
+            .entries
+            .iter()
+            .map(|e| {
+                vec![
+                    e.op.to_string(),
+                    format!("{}", e.elems),
+                    format!("{:.3}", e.measured_s * 1e3),
+                    format!("{:.3}", e.predicted_s * 1e3),
+                    format!("{:.2}", e.ratio),
+                ]
+            })
+            .collect();
+        print_table(
+            "perfmodel drift — measured vs Eq. 1–5 (calibrated β̂)",
+            &["op", "elems/rank", "measured ms", "predicted ms", "ratio"],
+            &rows,
+        );
+        println!(
+            "[drift] calibrated bandwidth {:.2} MiB/s over {} ranks",
+            drift.bandwidth_estimate / (1024.0 * 1024.0),
+            drift.world
+        );
+        let path = emit_json("DRIFT_perfmodel", &drift);
+        println!("[drift] wrote {}", path.display());
+    }
+
+    if let Some(frac) = overhead_check {
+        let delta = overhead_delta(&cfg);
+        println!(
+            "[telemetry-overhead] gate step delta with metrics on vs AXONN_METRICS=0: {:+.2}% (limit {:.0}%)",
+            delta * 100.0,
+            frac * 100.0
+        );
+        if delta > frac {
+            eprintln!(
+                "[telemetry-overhead] FAIL: live metrics cost {:.2}% > {:.0}% of step time",
+                delta * 100.0,
+                frac * 100.0
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("[telemetry-overhead] PASS");
     }
 
     if let Some(baseline_path) = check {

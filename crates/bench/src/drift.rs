@@ -1,0 +1,291 @@
+//! Perfmodel drift report: measured collective latencies vs. the ring
+//! model's Eq. 1–5 predictions, bucketed by message size.
+//!
+//! ROADMAP item 3 asks for the estimator to be validated against real
+//! counters. This module produces the falsifiable artifact: it runs the
+//! actual thread-backed collectives at several message sizes, takes
+//! wall-clock medians, calibrates an effective bandwidth `β̂` from the
+//! largest all-reduce (the bandwidth-dominated regime), then predicts
+//! every other (op, size) point with `RingCostModel` under that `β̂`.
+//! The measured/predicted ratio per point is the drift — near 1.0 in
+//! the bandwidth regime, systematically above 1.0 at small sizes where
+//! the α latency term (Assumption-3 sets it to zero) dominates reality.
+//!
+//! The report is written as `results/DRIFT_perfmodel.json` by
+//! `bench_step`.
+
+use axonn_collectives::{CollectiveKind, ProcessGroup, RingCostModel};
+use axonn_exec::run_spmd;
+use axonn_trace::{Histogram, SECONDS_BOUNDS};
+use serde::{Serialize, Value};
+use std::time::Instant;
+
+/// Configuration of the drift sweep.
+#[derive(Debug, Clone)]
+pub struct DriftConfig {
+    /// World size (ring group spans all ranks).
+    pub world: usize,
+    /// Per-rank element counts to sweep (f32 elements).
+    pub elems: Vec<usize>,
+    /// Timed iterations per (op, size) point.
+    pub iters: usize,
+    /// Warmup iterations per point (discarded).
+    pub warmup: usize,
+}
+
+impl Default for DriftConfig {
+    fn default() -> DriftConfig {
+        DriftConfig {
+            world: 4,
+            elems: vec![1 << 10, 1 << 14, 1 << 18, 1 << 20],
+            iters: 7,
+            warmup: 2,
+        }
+    }
+}
+
+/// One measured-vs-predicted point.
+#[derive(Debug, Clone)]
+pub struct DriftEntry {
+    /// Collective name (`all_gather`, `reduce_scatter`, `all_reduce`).
+    pub op: &'static str,
+    /// Per-rank input elements.
+    pub elems: usize,
+    /// Bytes as charged to the cost model (the `n` of Eq. 1–5).
+    pub bytes: u64,
+    /// Group size `g`.
+    pub group: usize,
+    /// Median measured wall seconds.
+    pub measured_s: f64,
+    /// Eq. 1–5 prediction under the calibrated bandwidth.
+    pub predicted_s: f64,
+    /// measured / predicted (> 1 means the model is optimistic).
+    pub ratio: f64,
+}
+
+impl Serialize for DriftEntry {
+    fn serialize(&self) -> Value {
+        Value::Object(vec![
+            ("op".into(), self.op.serialize()),
+            ("elems".into(), self.elems.serialize()),
+            ("bytes".into(), self.bytes.serialize()),
+            ("group".into(), self.group.serialize()),
+            ("measured_s".into(), self.measured_s.serialize()),
+            ("predicted_s".into(), self.predicted_s.serialize()),
+            ("ratio".into(), self.ratio.serialize()),
+        ])
+    }
+}
+
+/// The full drift report.
+#[derive(Debug, Clone)]
+pub struct DriftReport {
+    /// World size the sweep ran on.
+    pub world: usize,
+    /// Effective link bandwidth (bytes/s) calibrated from the largest
+    /// all-reduce point.
+    pub bandwidth_estimate: f64,
+    /// Every (op, size) point.
+    pub entries: Vec<DriftEntry>,
+    /// Per-op measured-latency histograms over the standard seconds
+    /// buckets — the "per-collective measured latency histogram" the
+    /// live plane also publishes, here in committed-artifact form.
+    pub latency_hists: Vec<(String, Histogram)>,
+}
+
+impl Serialize for DriftReport {
+    fn serialize(&self) -> Value {
+        Value::Object(vec![
+            ("world".into(), self.world.serialize()),
+            (
+                "bandwidth_estimate".into(),
+                self.bandwidth_estimate.serialize(),
+            ),
+            ("entries".into(), self.entries.serialize()),
+            (
+                "latency_hists".into(),
+                Value::Object(
+                    self.latency_hists
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.serialize()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+fn median(mut samples: Vec<f64>) -> f64 {
+    assert!(!samples.is_empty(), "no samples");
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+    let n = samples.len();
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        0.5 * (samples[n / 2 - 1] + samples[n / 2])
+    }
+}
+
+/// Cost-model `bytes` for each measured op, matching exactly what the
+/// runtime charges (`charge_blocking` call sites): all-gather is billed
+/// on the *gathered* buffer, the others on the input buffer.
+fn model_bytes(op: &'static str, elems: usize, g: usize) -> u64 {
+    match op {
+        "all_gather" => (elems * g * 4) as u64,
+        _ => (elems * 4) as u64,
+    }
+}
+
+fn model_kind(op: &'static str) -> CollectiveKind {
+    match op {
+        "all_gather" => CollectiveKind::AllGather,
+        "reduce_scatter" => CollectiveKind::ReduceScatter,
+        "all_reduce" => CollectiveKind::AllReduce,
+        other => unreachable!("unknown drift op {other}"),
+    }
+}
+
+const OPS: [&str; 3] = ["all_gather", "reduce_scatter", "all_reduce"];
+
+/// Run the sweep and assemble the report.
+pub fn run_drift(cfg: &DriftConfig) -> DriftReport {
+    let g = cfg.world;
+    let iters = cfg.iters;
+    let warmup = cfg.warmup;
+    // (op, elems) -> median measured seconds.
+    let mut measured: Vec<(&'static str, usize, f64)> = Vec::new();
+    for &elems in &cfg.elems {
+        // One world per size; all three ops measured in it, each
+        // barrier-bracketed so ranks start together and a slow rank
+        // cannot smear into the next op's timing.
+        let timings = run_spmd(g, move |c| {
+            let group = ProcessGroup::new((0..g).collect());
+            let mut out = Vec::new();
+            for op in OPS {
+                let mut samples = Vec::new();
+                for i in 0..warmup + iters {
+                    c.barrier(&group);
+                    let t0 = Instant::now();
+                    match op {
+                        "all_gather" => {
+                            let shard = vec![1.0f32; elems];
+                            let _ = c.all_gather(&group, &shard);
+                        }
+                        "reduce_scatter" => {
+                            let buf = vec![1.0f32; elems];
+                            let _ = c.reduce_scatter(&group, &buf);
+                        }
+                        _ => {
+                            let mut buf = vec![1.0f32; elems];
+                            c.all_reduce(&group, &mut buf);
+                        }
+                    }
+                    let dt = t0.elapsed().as_secs_f64();
+                    if i >= warmup {
+                        samples.push(dt);
+                    }
+                }
+                out.push(median(samples));
+            }
+            out
+        });
+        // Per (op, size): the slowest rank's median — a collective is
+        // only done when its last rank is done.
+        for (k, op) in OPS.iter().enumerate() {
+            let worst = timings.iter().map(|r| r[k]).fold(f64::MIN, f64::max);
+            measured.push((op, elems, worst));
+        }
+    }
+
+    // Calibrate β̂ from the largest all-reduce: t = 2(g-1)/g · n/β.
+    let (_, cal_elems, cal_t) = *measured
+        .iter()
+        .filter(|(op, _, _)| *op == "all_reduce")
+        .max_by_key(|(_, elems, _)| *elems)
+        .expect("all_reduce measured");
+    let gf = g as f64;
+    let cal_bytes = model_bytes("all_reduce", cal_elems, g) as f64;
+    let bandwidth = (2.0 * (gf - 1.0) / gf * cal_bytes) / cal_t.max(1e-12);
+    let model = RingCostModel::new(1e12, bandwidth);
+
+    let mut hists: Vec<(String, Histogram)> = OPS
+        .iter()
+        .map(|op| {
+            (
+                format!("collective.{op}.measured_seconds_hist"),
+                Histogram::new(SECONDS_BOUNDS.to_vec()),
+            )
+        })
+        .collect();
+    let entries = measured
+        .into_iter()
+        .map(|(op, elems, t)| {
+            let bytes = model_bytes(op, elems, g);
+            let predicted = axonn_collectives::CostModel::collective_seconds(
+                &model,
+                model_kind(op),
+                g,
+                bytes as f64,
+            );
+            let hist_idx = OPS.iter().position(|o| *o == op).expect("known op");
+            hists[hist_idx].1.observe(t);
+            DriftEntry {
+                op,
+                elems,
+                bytes,
+                group: g,
+                measured_s: t,
+                predicted_s: predicted,
+                ratio: if predicted > 0.0 {
+                    t / predicted
+                } else {
+                    f64::NAN
+                },
+            }
+        })
+        .collect();
+
+    DriftReport {
+        world: g,
+        bandwidth_estimate: bandwidth,
+        entries,
+        latency_hists: hists,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drift_report_shape() {
+        // A tiny sweep: structure and calibration sanity, not accuracy.
+        let cfg = DriftConfig {
+            world: 2,
+            elems: vec![256, 4096],
+            iters: 3,
+            warmup: 1,
+        };
+        let report = run_drift(&cfg);
+        assert_eq!(report.entries.len(), 6); // 3 ops × 2 sizes
+        assert!(report.bandwidth_estimate > 0.0);
+        for e in &report.entries {
+            assert!(e.measured_s > 0.0, "{e:?}");
+            assert!(e.predicted_s > 0.0, "{e:?}");
+        }
+        // Calibration makes the largest all-reduce ratio exactly 1.
+        let cal = report
+            .entries
+            .iter()
+            .filter(|e| e.op == "all_reduce")
+            .max_by_key(|e| e.elems)
+            .unwrap();
+        assert!((cal.ratio - 1.0).abs() < 1e-9, "ratio {}", cal.ratio);
+        // Histograms saw every point.
+        let total: u64 = report.latency_hists.iter().map(|(_, h)| h.count()).sum();
+        assert_eq!(total, 6);
+        // Serializes to JSON.
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("bandwidth_estimate"));
+    }
+}

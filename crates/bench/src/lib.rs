@@ -9,6 +9,7 @@
 use std::fs;
 use std::path::PathBuf;
 
+pub mod drift;
 pub mod memor;
 pub mod paper;
 pub mod series;

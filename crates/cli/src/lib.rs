@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use axonn_bench::step::{compare as bench_compare, load_report, run_step_bench, StepBenchConfig};
 use axonn_cluster::{BandwidthDb, Machine};
-use axonn_collectives::{CostModel, RingCostModel};
+use axonn_collectives::{Comm, CommWorld, CostModel, ProcessGroup, RingCostModel};
 use axonn_core::{
     default_mlp_shape, default_transformer_shape, extract_mlp_schedules,
     extract_transformer_schedules, transformer_grid_fits, GridTopology, OverlapConfig,
@@ -15,8 +15,12 @@ use axonn_exec::run_spmd_traced;
 use axonn_ft::{grid_fits, legal_resume_grids, CheckpointStore};
 use axonn_gpt::{table2_models, GptConfig, HEADLINE_BATCH_TOKENS};
 use axonn_perfmodel::{rank_configs, Grid4d};
-use axonn_sim::{pick_best_config, simulate_batch, simulate_batch_traced, SimOptions};
-use axonn_trace::{chrome_trace_json, OverlapReport, TraceSink, TraceSummary};
+use axonn_sim::{
+    pick_best_config, publish_live_metrics, simulate_batch, simulate_batch_traced, SimOptions,
+};
+use axonn_trace::{
+    chrome_trace_json, LiveRegistry, MetricsSnapshot, OverlapReport, TraceSink, TraceSummary,
+};
 use axonn_verify::{check_schedules, inject, DefectKind};
 
 /// Usage text shown on parse errors.
@@ -29,6 +33,7 @@ pub const USAGE: &str = "usage:
   axonnctl profile <machine>
   axonnctl resume <checkpoint-dir> [target-gpus] [step]
   axonnctl bench [baseline.json]
+  axonnctl monitor [refreshes] [--sim]
   axonnctl verify <gx> <gy> <gz> <gd> [mlp|transformer] [--inject reorder|missing-wait|count-mismatch]
   axonnctl verify --all-grids <gpus> [mlp|transformer]";
 
@@ -74,6 +79,16 @@ pub enum Command {
     /// `results/bench_step_baseline.json`).
     Bench {
         baseline: Option<String>,
+    },
+    /// Live per-rank telemetry table. The default mode runs a small
+    /// in-process job on the thread-backed runtime and refreshes a table
+    /// of step rate, collective counts, bytes moved, heartbeat age and
+    /// pending receives from the live registry + transport heartbeats.
+    /// `--sim` publishes a simulated batch through the same registry —
+    /// same metric names, no running job needed.
+    Monitor {
+        refreshes: usize,
+        sim: bool,
     },
     /// Statically certify the collective schedule of one training step
     /// on a specific grid: extract per-rank streams on a dry world, then
@@ -215,6 +230,20 @@ impl Command {
             "bench" => Ok(Command::Bench {
                 baseline: it.next().cloned(),
             }),
+            "monitor" => {
+                let mut refreshes = 3usize;
+                let mut sim = false;
+                for arg in it {
+                    if arg == "--sim" {
+                        sim = true;
+                    } else {
+                        refreshes = arg
+                            .parse()
+                            .map_err(|_| format!("invalid refresh count: '{arg}'"))?;
+                    }
+                }
+                Ok(Command::Monitor { refreshes, sim })
+            }
             "verify" => {
                 let first = it.next().ok_or("missing grid (or --all-grids)")?;
                 if first == "--all-grids" {
@@ -554,9 +583,24 @@ pub fn run(cmd: Command) -> Result<(), String> {
                         }
                     );
                 }
-                Err(e) => println!("(no baseline comparison: {e})"),
+                Err(e) => {
+                    return Err(format!(
+                        "no step-time baseline to compare against: {e}\n\
+                         generate one with `cargo run --release -p axonn-bench \
+                         --bin bench_step -- --write-baseline` (commits to \
+                         results/bench_step_baseline.json), or pass an explicit \
+                         baseline path: axonnctl bench <baseline.json>"
+                    ))
+                }
             }
             Ok(())
+        }
+        Command::Monitor { refreshes, sim } => {
+            if sim {
+                monitor_sim(refreshes)
+            } else {
+                monitor_live(refreshes)
+            }
         }
         Command::Verify {
             grid,
@@ -642,6 +686,179 @@ pub fn run(cmd: Command) -> Result<(), String> {
             }
         }
     }
+}
+
+/// Overlap efficiency from a live snapshot: the fraction of issued
+/// collective time the execution plane did *not* spend blocked in
+/// `wait` (1 − Σ overlap.wait_seconds / Σ collective seconds). `None`
+/// until any timed collective has been recorded.
+fn snapshot_overlap_efficiency(snap: &MetricsSnapshot) -> Option<f64> {
+    let comm_sum: f64 = snap
+        .histograms
+        .iter()
+        .filter(|(k, _)| k.starts_with("collective.") && k.ends_with(".seconds_hist"))
+        .map(|(_, h)| h.sum())
+        .sum();
+    if comm_sum <= 0.0 {
+        return None;
+    }
+    let wait_sum = snap
+        .histograms
+        .get("overlap.wait_seconds_hist")
+        .map(|h| h.sum())
+        .unwrap_or(0.0);
+    Some((1.0 - wait_sum / comm_sum).clamp(0.0, 1.0))
+}
+
+/// One refresh of the `monitor` per-rank table, rendered from the
+/// transport heartbeats and step counters. Public-in-crate so tests can
+/// assert on the rendering without scraping stdout.
+fn render_monitor_table(
+    probe: &Comm,
+    steps: &[u64],
+    elapsed_s: f64,
+    snap: &MetricsSnapshot,
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>4} {:>7} {:>8} {:>7} {:>9} {:>9}  {}\n",
+        "rank", "steps", "step/s", "colls", "MB moved", "hb age", "pending"
+    ));
+    for t in probe.telemetry() {
+        let steps_done = steps.get(t.rank).copied().unwrap_or(0);
+        let pending = match &t.pending {
+            Some(p) => format!("{} <- rank {} ({} ms)", p.lane, p.src, p.age_ms),
+            None => t
+                .current_op
+                .map(|op| format!("in {op}"))
+                .unwrap_or_else(|| "-".into()),
+        };
+        out.push_str(&format!(
+            "{:>4} {:>7} {:>8.1} {:>7} {:>9.2} {:>6} ms  {}\n",
+            t.rank,
+            steps_done,
+            steps_done as f64 / elapsed_s.max(1e-9),
+            t.collectives,
+            t.bytes_sent as f64 / (1024.0 * 1024.0),
+            t.heartbeat_age_ms,
+            pending
+        ));
+    }
+    match snapshot_overlap_efficiency(snap) {
+        Some(eff) => out.push_str(&format!(
+            "overlap efficiency {:.1}% (virtual clock)\n",
+            eff * 100.0
+        )),
+        None => out.push_str("overlap efficiency n/a (no timed collectives yet)\n"),
+    }
+    out
+}
+
+/// `axonnctl monitor`: drive a small 4-rank training-shaped job on the
+/// thread-backed runtime with a live registry wired in, and refresh the
+/// per-rank table while it runs. Ends with a Prometheus excerpt to show
+/// the exposition path.
+fn monitor_live(refreshes: usize) -> Result<(), String> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::{Duration, Instant};
+
+    const WORLD: usize = 4;
+    let refreshes = refreshes.max(1);
+    let registry = LiveRegistry::new_enabled(true);
+    let comms = CommWorld::builder(WORLD)
+        .cost(Arc::new(RingCostModel::new(1e9, 1e9)))
+        .metrics(registry.clone())
+        .build();
+    let probe = comms[0].clone();
+    let steps: Arc<Vec<AtomicU64>> = Arc::new((0..WORLD).map(|_| AtomicU64::new(0)).collect());
+    let per_refresh_steps = 20usize;
+    let total_steps = per_refresh_steps * refreshes;
+    let start = Instant::now();
+    let workers: Vec<_> = comms
+        .into_iter()
+        .map(|c| {
+            let steps = steps.clone();
+            std::thread::spawn(move || {
+                let g = ProcessGroup::new((0..WORLD).collect());
+                for _ in 0..total_steps {
+                    let mut grads = vec![c.rank() as f32; 4096];
+                    c.all_reduce(&g, &mut grads);
+                    steps[c.rank()].fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            })
+        })
+        .collect();
+    for r in 0..refreshes {
+        std::thread::sleep(Duration::from_millis(40));
+        let counts: Vec<u64> = steps.iter().map(|s| s.load(Ordering::Relaxed)).collect();
+        println!("--- refresh {}/{refreshes} ---", r + 1);
+        print!(
+            "{}",
+            render_monitor_table(
+                &probe,
+                &counts,
+                start.elapsed().as_secs_f64(),
+                &registry.snapshot()
+            )
+        );
+    }
+    for w in workers {
+        w.join()
+            .map_err(|_| "monitor worker panicked".to_string())?;
+    }
+    println!("\nPrometheus exposition (excerpt):");
+    for line in registry
+        .snapshot()
+        .prometheus_text()
+        .lines()
+        .filter(|l| l.contains("axonn_collective_all_reduce"))
+        .take(12)
+    {
+        println!("{line}");
+    }
+    Ok(())
+}
+
+/// `axonnctl monitor --sim`: publish a simulated batch through the same
+/// live registry and render the snapshot — identical metric names to a
+/// running job, so dashboards can be built before the job exists.
+fn monitor_sim(refreshes: usize) -> Result<(), String> {
+    let mach = machine("frontier")?;
+    let db = BandwidthDb::profile(&mach);
+    let model = model(5)?;
+    let grid = Grid4d::new(2, 2, 2, 4);
+    let registry = LiveRegistry::new_enabled(true);
+    for r in 0..refreshes.max(1) {
+        let sink = TraceSink::new(0);
+        let b = simulate_batch_traced(&mach, &db, grid, &model, 1 << 18, SimOptions::full(), &sink);
+        publish_live_metrics(&[sink.finish()], &registry);
+        println!(
+            "--- refresh {}/{} (simulated {} on {}, {:.3} s/batch) ---",
+            r + 1,
+            refreshes.max(1),
+            model.name,
+            mach.name,
+            b.total_seconds
+        );
+        let snap = registry.snapshot();
+        for (name, value) in snap
+            .counters
+            .iter()
+            .filter(|(k, _)| k.ends_with(".calls") || k.ends_with(".bytes"))
+        {
+            println!("{name:<40} {value}");
+        }
+        match snapshot_overlap_efficiency(&snap) {
+            Some(eff) => println!("overlap efficiency {:.1}% (virtual clock)", eff * 100.0),
+            None => println!("overlap efficiency n/a"),
+        }
+    }
+    println!("\nPrometheus exposition (excerpt):");
+    for line in registry.snapshot().prometheus_text().lines().take(12) {
+        println!("{line}");
+    }
+    Ok(())
 }
 
 /// Extract per-rank schedule streams for one training step of the
@@ -751,6 +968,87 @@ mod tests {
                 machine: "frontier".into()
             }
         );
+    }
+
+    #[test]
+    fn parse_monitor_variants() {
+        assert_eq!(
+            Command::parse(&sv(&["monitor"])).unwrap(),
+            Command::Monitor {
+                refreshes: 3,
+                sim: false
+            }
+        );
+        assert_eq!(
+            Command::parse(&sv(&["monitor", "5", "--sim"])).unwrap(),
+            Command::Monitor {
+                refreshes: 5,
+                sim: true
+            }
+        );
+        assert!(Command::parse(&sv(&["monitor", "soon"]))
+            .unwrap_err()
+            .contains("invalid refresh count"));
+    }
+
+    #[test]
+    fn run_monitor_live_renders_snapshot() {
+        // The acceptance check: `axonnctl monitor` renders a live
+        // per-rank table against a running (in-process) job.
+        run(Command::Monitor {
+            refreshes: 2,
+            sim: false,
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn run_monitor_sim_publishes_same_names() {
+        run(Command::Monitor {
+            refreshes: 1,
+            sim: true,
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn monitor_table_renders_ranks_and_overlap() {
+        use std::time::Duration;
+        let registry = LiveRegistry::new_enabled(true);
+        let comms = CommWorld::builder(2)
+            .cost(Arc::new(RingCostModel::new(1e9, 1e9)))
+            .metrics(registry.clone())
+            .build();
+        let probe = comms[0].clone();
+        let workers: Vec<_> = comms
+            .into_iter()
+            .map(|c| {
+                std::thread::spawn(move || {
+                    let g = ProcessGroup::new((0..2).collect());
+                    let mut v = vec![c.rank() as f32; 256];
+                    c.all_reduce(&g, &mut v);
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        std::thread::sleep(Duration::from_millis(1));
+        let table = render_monitor_table(&probe, &[1, 1], 0.05, &registry.snapshot());
+        assert!(table.contains("rank"), "{table}");
+        assert!(table.contains("overlap efficiency"), "{table}");
+        // Both ranks appear with their step counts.
+        assert!(table.lines().count() >= 4, "{table}");
+    }
+
+    #[test]
+    fn bench_without_baseline_is_a_clear_error() {
+        let e = run(Command::Bench {
+            baseline: Some("/nonexistent/baseline.json".into()),
+        })
+        .unwrap_err();
+        assert!(e.contains("no step-time baseline"), "unexpected: {e}");
+        assert!(e.contains("--write-baseline"), "no guidance: {e}");
     }
 
     #[test]

@@ -68,6 +68,9 @@ pub(crate) struct CommShared {
     /// return zero-filled results immediately — no messages, no workers.
     /// Used by the static verifier to extract per-rank schedules.
     pub(crate) dry: bool,
+    /// Live metrics facade, present when the telemetry plane is on.
+    /// Pre-registered handles: stamping is atomic adds, no allocation.
+    pub(crate) metrics: Option<Arc<axonn_trace::LiveCollectives>>,
 }
 
 /// A rank's handle to the world: identity, transport, cost model, clock.
@@ -79,6 +82,27 @@ pub struct Comm {
     rank: usize,
     pub(crate) shared: Arc<CommShared>,
     pub(crate) async_tx: Option<crossbeam::channel::Sender<crate::nonblocking::Job>>,
+}
+
+/// RAII marker for "this rank is inside collective `op`" — the watchdog
+/// names the op when the rank stalls mid-collective. Cleared (and a
+/// flight breadcrumb written) on drop, including unwinds.
+pub(crate) struct OpScope<'a> {
+    comm: &'a Comm,
+    op: &'static str,
+}
+
+impl Drop for OpScope<'_> {
+    fn drop(&mut self) {
+        let transport = &self.comm.shared.transport;
+        transport.beats().clear_op(self.comm.rank);
+        #[cfg(not(loom))]
+        transport
+            .flight(self.comm.rank)
+            .record(format!("exit {}", self.op));
+        #[cfg(loom)]
+        let _ = self.op;
+    }
 }
 
 /// Factory for communicator worlds.
@@ -132,6 +156,7 @@ impl CommWorld {
             faults: FaultConfig::none(),
             pipeline: PipelineConfig::default(),
             record_schedule: None,
+            metrics: None,
             dry: false,
         }
     }
@@ -168,6 +193,7 @@ pub struct WorldBuilder {
     faults: FaultConfig,
     pipeline: PipelineConfig,
     record_schedule: Option<bool>,
+    metrics: Option<axonn_trace::LiveRegistry>,
     dry: bool,
 }
 
@@ -200,6 +226,15 @@ impl WorldBuilder {
         self
     }
 
+    /// Publish live metrics into `registry` (overriding the default
+    /// world-private registry gated by `AXONN_METRICS`). This is how an
+    /// observer (`axonnctl monitor`, the watchdog, tests) shares the
+    /// registry with the world it is watching.
+    pub fn metrics(mut self, registry: axonn_trace::LiveRegistry) -> Self {
+        self.metrics = Some(registry);
+        self
+    }
+
     /// Create the world.
     pub fn build(self) -> Vec<Comm> {
         self.build_inner(None)
@@ -220,11 +255,28 @@ impl WorldBuilder {
             faults,
             pipeline,
             record_schedule,
+            metrics,
             dry,
         } = self;
         assert!(size > 0, "world size must be positive");
         let record = dry || record_schedule.unwrap_or_else(default_recording);
         let transport = Transport::with_opts_recording(size, faults, pipeline, record);
+        // Live metrics: an explicit registry always publishes; otherwise
+        // a world-private registry is created unless AXONN_METRICS=0.
+        // Dry worlds never stamp (they execute nothing).
+        let live = if dry {
+            None
+        } else {
+            match metrics {
+                Some(reg) => Some(Arc::new(axonn_trace::LiveCollectives::new(&reg))),
+                None if axonn_trace::metrics_enabled() => {
+                    Some(Arc::new(axonn_trace::LiveCollectives::new(
+                        &axonn_trace::LiveRegistry::new_enabled(true),
+                    )))
+                }
+                None => None,
+            }
+        };
         (0..size)
             .map(|rank| {
                 let shared = Arc::new(CommShared {
@@ -235,6 +287,7 @@ impl WorldBuilder {
                     seq: Mutex::new(HashMap::new()),
                     tracer: tracers.map(|t| t[rank].clone()),
                     dry,
+                    metrics: live.clone(),
                 });
                 // Dry worlds never spawn workers: async issues complete
                 // eagerly with symbolic results.
@@ -376,6 +429,48 @@ impl Comm {
     /// This rank's event recorder, when the world was created traced.
     pub fn tracer(&self) -> Option<&Arc<TraceSink>> {
         self.shared.tracer.as_ref()
+    }
+
+    /// Process-unique id of this world (flight-recorder dumps are named
+    /// `flight_w{id}_rank{r}.json`).
+    pub fn world_id(&self) -> u64 {
+        self.shared.transport.world_id()
+    }
+
+    /// The live registry this world publishes into, when telemetry is
+    /// on. Observers snapshot it for JSON / Prometheus exposition.
+    pub fn live_registry(&self) -> Option<&axonn_trace::LiveRegistry> {
+        self.shared.metrics.as_ref().map(|m| m.registry())
+    }
+
+    /// Observer-side health snapshot of every rank: heartbeat age,
+    /// current op, pending receive (peer + lane), progress counters.
+    pub fn telemetry(&self) -> Vec<crate::telemetry::RankTelemetry> {
+        self.shared.transport.telemetry()
+    }
+
+    /// This rank's flight recorder.
+    #[cfg(not(loom))]
+    pub fn flight(&self) -> &Arc<axonn_trace::FlightRecorder> {
+        self.shared.transport.flight(self.rank)
+    }
+
+    /// Dump `rank`'s flight recorder to disk (watchdog trips, failure
+    /// detection), returning the written path.
+    #[cfg(not(loom))]
+    pub fn dump_flight_rank(
+        &self,
+        rank: usize,
+        reason: &str,
+    ) -> std::io::Result<std::path::PathBuf> {
+        self.shared.transport.dump_flight(rank, reason)
+    }
+
+    /// Dump every rank's flight recorder (best effort), returning the
+    /// written paths.
+    #[cfg(not(loom))]
+    pub fn dump_flight_all(&self, reason: &str) -> Vec<std::path::PathBuf> {
+        self.shared.transport.dump_flight_all(reason)
     }
 
     /// Mark the whole world dead because `origin_rank` panicked: every
@@ -585,6 +680,7 @@ impl Comm {
         if self.shared.dry {
             return Ok(vec![0.0; shard.len() * group.size()]);
         }
+        let _op = self.op_scope("all_gather");
         let wall = self.wall_now();
         let mut stats = HopStats::default();
         let out = ring_all_gather(&self.shared, self.rank, group, seq, shard, &mut stats)?;
@@ -628,6 +724,7 @@ impl Comm {
         if self.shared.dry {
             return self.dry_reduce_scatter(buf.len(), group, "reduce_scatter");
         }
+        let _op = self.op_scope("reduce_scatter");
         let wall = self.wall_now();
         let mut stats = HopStats::default();
         let out = ring_reduce_scatter(&self.shared, self.rank, group, seq, buf, &mut stats)?;
@@ -670,6 +767,7 @@ impl Comm {
         if self.shared.dry {
             return self.dry_reduce_scatter(buf.len(), group, "reduce_scatter_linear");
         }
+        let _op = self.op_scope("reduce_scatter");
         let wall = self.wall_now();
         let mut stats = HopStats::default();
         let out = linear_reduce_scatter(&self.shared, self.rank, group, seq, buf, &mut stats)?;
@@ -717,6 +815,7 @@ impl Comm {
         if self.shared.dry {
             return Ok(());
         }
+        let _op = self.op_scope("all_reduce");
         let wall = self.wall_now();
         let mut stats = HopStats::default();
         let n = buf.len();
@@ -778,6 +877,7 @@ impl Comm {
         if self.shared.dry {
             return Ok(());
         }
+        let _op = self.op_scope("all_reduce");
         let wall = self.wall_now();
         let mut stats = HopStats::default();
         ring_all_reduce(&self.shared, self.rank, group, seq, buf, op, &mut stats)?;
@@ -812,6 +912,7 @@ impl Comm {
             if self.shared.dry {
                 return;
             }
+            let _op = self.op_scope("all_reduce_rd");
             let wall = self.wall_now();
             let mut stats = HopStats::default();
             unwrap_comm(
@@ -858,6 +959,7 @@ impl Comm {
         if self.shared.dry {
             return Ok(());
         }
+        let _op = self.op_scope("broadcast");
         let wall = self.wall_now();
         let mut stats = HopStats::default();
         ring_broadcast(
@@ -902,6 +1004,7 @@ impl Comm {
         if self.shared.dry {
             return Ok(());
         }
+        let _op = self.op_scope("barrier");
         let wall = self.wall_now();
         let mut stats = HopStats::default();
         ring_all_reduce(
@@ -921,6 +1024,35 @@ impl Comm {
         self.shared.tracer.as_ref().map(|t| t.now_ns()).unwrap_or(0)
     }
 
+    /// Mark this rank as inside collective `op` until the guard drops.
+    /// The watchdog reads the marker to name the op a stalled rank was
+    /// executing; the flight recorder gets entry/exit breadcrumbs.
+    pub(crate) fn op_scope(&self, op: &'static str) -> OpScope<'_> {
+        self.shared.transport.beats().set_op(self.rank, op);
+        #[cfg(not(loom))]
+        self.shared
+            .transport
+            .flight(self.rank)
+            .record(format!("enter {op}"));
+        OpScope { comm: self, op }
+    }
+
+    /// Stamp one finished blocking/async collective into the live
+    /// metrics plane (no-op when telemetry is off). `seconds` carries
+    /// the modelled op time on timed worlds.
+    pub(crate) fn stamp_metrics(
+        &self,
+        kind: CollectiveKind,
+        bytes: u64,
+        seconds: Option<f64>,
+        xfer: XferStats,
+    ) {
+        self.shared.transport.beats().note_collective(self.rank);
+        if let Some(m) = &self.shared.metrics {
+            m.record_collective(coll_op(kind), bytes, seconds, xfer);
+        }
+    }
+
     /// Charge virtual time for a blocking collective: synchronise clocks
     /// across the group, add the modelled cost (plus any injected link
     /// stall pending against this rank), and occupy the comm stream.
@@ -935,7 +1067,14 @@ impl Comm {
         wall_start: u64,
         stats: HopStats,
     ) -> Result<(), CommError> {
-        if !self.shared.track_time || group.size() <= 1 {
+        if group.size() <= 1 {
+            return Ok(());
+        }
+        if !self.shared.track_time {
+            // Untimed worlds still stamp the live plane (no modelled
+            // seconds — matching `from_traces`, which only sees timed
+            // runs' op_seconds).
+            self.stamp_metrics(kind, bytes as u64, None, stats.xfer());
             return Ok(());
         }
         let entry = self.shared.clock.lock().now;
@@ -955,6 +1094,7 @@ impl Comm {
             clock.now = clock.now.max(done);
             done
         };
+        self.stamp_metrics(kind, bytes as u64, Some(cost), stats.xfer());
         if let Some(tracer) = &self.shared.tracer {
             tracer.record_xfer(
                 Stream::Compute,

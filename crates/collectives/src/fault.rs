@@ -100,12 +100,26 @@ pub struct StallRule {
     pub seconds: f64,
 }
 
+/// Stall the `src → dst` link once in *wall* time: delivery of the
+/// first message over the link is held back by `hold` real seconds
+/// while the sender proceeds. Unlike [`StallRule`] (virtual latency,
+/// visible only to the cost model), a wall stall leaves the receiver
+/// genuinely blocked in its receive — exactly what a hung NIC or a
+/// preempted peer looks like to the straggler watchdog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WallStallRule {
+    pub src: usize,
+    pub dst: usize,
+    pub hold: Duration,
+}
+
 /// Transport-level fault injection configuration, fixed at world
 /// creation so runs are deterministic.
 #[derive(Debug, Clone, Default)]
 pub struct FaultConfig {
     pub drops: Vec<DropRule>,
     pub stalls: Vec<StallRule>,
+    pub wall_stalls: Vec<WallStallRule>,
     /// Bound on every blocking receive; `None` uses
     /// [`DEFAULT_RECV_TIMEOUT`].
     pub recv_timeout: Option<Duration>,
@@ -125,6 +139,11 @@ impl FaultConfig {
 
     pub fn with_stall(mut self, rule: StallRule) -> Self {
         self.stalls.push(rule);
+        self
+    }
+
+    pub fn with_wall_stall(mut self, rule: WallStallRule) -> Self {
+        self.wall_stalls.push(rule);
         self
     }
 

@@ -25,15 +25,17 @@ pub mod nonblocking;
 pub mod pool;
 pub mod reference;
 pub mod sched;
+pub mod telemetry;
 
 pub use comm::{Comm, CommWorld, ReduceOp, WorldBuilder};
 pub use cost::{CollectiveKind, CostModel, NullCost, RingCostModel};
 pub use fault::{
     CommError, DropRule, FailureKind, FailureRecord, FaultConfig, InjectedKill, StallRule,
-    DEFAULT_RECV_TIMEOUT,
+    WallStallRule, DEFAULT_RECV_TIMEOUT,
 };
 pub use group::ProcessGroup;
 pub use mailbox::PoisonInfo;
 pub use nonblocking::{AsyncHandle, AsyncOp};
 pub use pool::{BufferPool, Payload, PipelineConfig, PoolStats};
 pub use sched::{SchedEvent, SchedKind, SchedOp};
+pub use telemetry::{lane_name, Beats, PendingRecv, RankTelemetry};

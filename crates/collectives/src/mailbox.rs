@@ -18,9 +18,10 @@
 use crate::fault::{CommError, FaultConfig, DEFAULT_RECV_TIMEOUT};
 use crate::pool::{BufferPool, Payload, PipelineConfig};
 use crate::sched::SchedEvent;
+use crate::telemetry::{Beats, RankTelemetry};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 #[cfg(not(loom))]
@@ -125,13 +126,31 @@ impl Mailbox {
 struct FaultRuntime {
     drops: Vec<crate::fault::DropRule>,
     stalls: Vec<crate::fault::StallRule>,
+    /// Wall-clock link stalls (loom models never fire them: delivery
+    /// happens on a real sleeping thread, which loom cannot schedule).
+    #[cfg_attr(loom, allow(dead_code))]
+    wall_stalls: Vec<crate::fault::WallStallRule>,
     /// Messages sent per (src, dst) link, counted before drop decisions.
     link_counts: HashMap<(usize, usize), u64>,
 }
 
+/// Monotonic world-id source for flight-recorder dump names: every
+/// transport in the process gets a distinct id, so dumps from parallel
+/// tests never clobber each other.
+static NEXT_WORLD_ID: AtomicU64 = AtomicU64::new(1);
+
 /// The transport shared by all ranks of a world.
 pub struct Transport {
-    boxes: Vec<Mailbox>,
+    /// Mailboxes are behind an `Arc` so wall-stall delivery threads can
+    /// outlive the borrow (they capture the vec, not the transport).
+    boxes: Arc<Vec<Mailbox>>,
+    /// Process-unique world id, baked into flight-recorder dump names.
+    id: u64,
+    /// Per-rank heartbeat/pending-recv telemetry for the watchdog.
+    beats: Beats,
+    /// Per-rank crash-surviving event rings.
+    #[cfg(not(loom))]
+    flight: Vec<Arc<axonn_trace::FlightRecorder>>,
     poison: Arc<Mutex<Option<PoisonInfo>>>,
     dead: Arc<Mutex<HashMap<usize, String>>>,
     faults: Mutex<FaultRuntime>,
@@ -183,15 +202,25 @@ impl Transport {
     ) -> Arc<Self> {
         let poison = Arc::new(Mutex::new(None));
         let dead = Arc::new(Mutex::new(HashMap::new()));
+        let id = NEXT_WORLD_ID.fetch_add(1, Ordering::Relaxed);
         Arc::new(Transport {
-            boxes: (0..world_size)
-                .map(|_| Mailbox::new(poison.clone(), dead.clone()))
+            boxes: Arc::new(
+                (0..world_size)
+                    .map(|_| Mailbox::new(poison.clone(), dead.clone()))
+                    .collect(),
+            ),
+            id,
+            beats: Beats::new(world_size),
+            #[cfg(not(loom))]
+            flight: (0..world_size)
+                .map(|r| Arc::new(axonn_trace::FlightRecorder::new(id, r)))
                 .collect(),
             poison,
             dead,
             faults: Mutex::new(FaultRuntime {
                 drops: config.drops,
                 stalls: config.stalls,
+                wall_stalls: config.wall_stalls,
                 link_counts: HashMap::new(),
             }),
             pending_stall: (0..world_size).map(|_| Mutex::new(0.0)).collect(),
@@ -281,7 +310,7 @@ impl Transport {
     }
 
     fn wake_all(&self) {
-        for mb in &self.boxes {
+        for mb in self.boxes.iter() {
             // Touch each mailbox lock so sleeping receivers observe the
             // flag, then wake them.
             drop(mb.slot.lock());
@@ -296,6 +325,9 @@ impl Transport {
     pub fn send(&self, src: usize, dst: usize, key: MsgKey, data: impl Into<Payload>) {
         let data = data.into();
         debug_assert!(dst < self.boxes.len(), "send to rank {dst} out of world");
+        if src < self.beats.size() {
+            self.beats.note_send(src, (data.len() * 4) as u64);
+        }
         {
             let mut faults = self.faults.lock();
             let count = faults.link_counts.entry((src, dst)).or_insert(0);
@@ -317,6 +349,29 @@ impl Transport {
                 let rule = faults.stalls.remove(i);
                 *self.pending_stall[dst].lock() += rule.seconds;
             }
+            #[cfg(not(loom))]
+            if let Some(i) = faults
+                .wall_stalls
+                .iter()
+                .position(|r| r.src == src && r.dst == dst)
+            {
+                let rule = faults.wall_stalls.remove(i);
+                drop(faults);
+                // Hold delivery back in *wall* time: the sender returns
+                // immediately (send never blocks) while the receiver
+                // stays genuinely parked in `take` until a detached
+                // delivery thread wakes up and deposits — what a stalled
+                // link looks like to the watchdog.
+                let boxes = self.boxes.clone();
+                std::thread::Builder::new()
+                    .name(format!("axonn-wall-stall-{src}-{dst}"))
+                    .spawn(move || {
+                        std::thread::sleep(rule.hold);
+                        boxes[dst].deposit(src, key, data);
+                    })
+                    .expect("spawn wall-stall delivery thread");
+                return;
+            }
         }
         self.boxes[dst].deposit(src, key, data);
     }
@@ -334,9 +389,18 @@ impl Transport {
     /// until `src` is known dead / the recv timeout expires.
     pub fn recv_result(&self, dst: usize, src: usize, key: MsgKey) -> Result<Payload, CommError> {
         debug_assert!(dst < self.boxes.len(), "recv at rank {dst} out of world");
+        self.beats.begin_recv(dst, src, key);
         let out = self.boxes[dst].take(src, key, self.recv_timeout);
+        self.beats.end_recv(dst);
         if out.is_err() {
             self.note_error();
+            #[cfg(not(loom))]
+            if let Err(e) = &out {
+                self.flight[dst].record(format!(
+                    "recv error src={src} lane={} key={key:#x}: {e}",
+                    crate::telemetry::lane_name(key)
+                ));
+            }
         }
         out
     }
@@ -345,6 +409,43 @@ impl Transport {
     /// injected link stalls (returns 0.0 when none are pending).
     pub fn take_stall(&self, rank: usize) -> f64 {
         std::mem::take(&mut *self.pending_stall[rank].lock())
+    }
+
+    /// Process-unique id of this world (flight dumps are named by it).
+    pub fn world_id(&self) -> u64 {
+        self.id
+    }
+
+    /// The per-rank heartbeat/pending-recv table (observer side).
+    pub fn beats(&self) -> &Beats {
+        &self.beats
+    }
+
+    /// Observer-side health snapshot of every rank.
+    pub fn telemetry(&self) -> Vec<RankTelemetry> {
+        self.beats.snapshot_all()
+    }
+
+    /// The flight recorder for `rank`.
+    #[cfg(not(loom))]
+    pub fn flight(&self, rank: usize) -> &Arc<axonn_trace::FlightRecorder> {
+        &self.flight[rank]
+    }
+
+    /// Dump `rank`'s flight recorder to disk, returning the path.
+    #[cfg(not(loom))]
+    pub fn dump_flight(&self, rank: usize, reason: &str) -> std::io::Result<std::path::PathBuf> {
+        self.flight[rank].dump(reason)
+    }
+
+    /// Dump every rank's flight recorder (best effort — ranks whose
+    /// dump fails are skipped), returning the written paths.
+    #[cfg(not(loom))]
+    pub fn dump_flight_all(&self, reason: &str) -> Vec<std::path::PathBuf> {
+        self.flight
+            .iter()
+            .filter_map(|fr| fr.dump(reason).ok())
+            .collect()
     }
 
     /// True when this world records per-rank collective schedules.

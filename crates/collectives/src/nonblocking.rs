@@ -147,6 +147,11 @@ impl AsyncHandle {
                 clock.now = clock.now.max(completion);
                 (start, clock.now)
             };
+            if self.group_size > 1 {
+                if let Some(m) = &self.shared.metrics {
+                    m.record_wait(gap_end - gap_start);
+                }
+            }
             if let Some(tracer) = self.shared.tracer.as_ref().filter(|_| self.group_size > 1) {
                 let now = tracer.now_ns();
                 tracer.record(
@@ -338,6 +343,9 @@ fn run_job(rank: usize, shared: &Arc<CommShared>, job: Job) {
     } = job;
     let kind = op.kind();
     let wall_start = shared.tracer.as_ref().map(|t| t.now_ns()).unwrap_or(0);
+    // Watchdog marker: the comm worker is inside this collective until
+    // the job resolves (cleared below, error or not).
+    shared.transport.beats().set_op(rank, coll_op(kind).name());
     let outcome = (|| -> Result<(Vec<f32>, f64), CommError> {
         let bytes;
         let mut stats = HopStats::default();
@@ -371,6 +379,7 @@ fn run_job(rank: usize, shared: &Arc<CommShared>, job: Job) {
                 crate::comm::ring_all_gather(shared, rank, &group, seq, &shard, &mut stats)?
             }
         };
+        let modeled_cost;
         let completion = if shared.track_time && group.size() > 1 {
             // The collective can start once every member has issued it and
             // this rank's comm stream is free; it then runs for its modelled
@@ -383,6 +392,7 @@ fn run_job(rank: usize, shared: &Arc<CommShared>, job: Job) {
                 bytes,
                 stats.chunks.max(1) as usize,
             ) + stall;
+            modeled_cost = Some(cost);
             let (begin, done) = {
                 let mut clock = shared.clock.lock();
                 let begin = start.max(clock.comm_free_async);
@@ -411,10 +421,18 @@ fn run_job(rank: usize, shared: &Arc<CommShared>, job: Job) {
             }
             done
         } else {
+            modeled_cost = None;
             issue_clock
         };
+        if group.size() > 1 {
+            shared.transport.beats().note_collective(rank);
+            if let Some(m) = &shared.metrics {
+                m.record_collective(coll_op(kind), bytes as u64, modeled_cost, stats.xfer());
+            }
+        }
         Ok((result, completion))
     })();
+    shared.transport.beats().clear_op(rank);
     // Receiver may have been dropped (fire-and-forget); that's fine.
     let _ = reply.send(outcome);
 }

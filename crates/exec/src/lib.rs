@@ -13,9 +13,13 @@
 //! would deadlock the join loop.
 
 pub mod supervise;
+pub mod watchdog;
 
 pub use supervise::{
     run_spmd_fallible, run_spmd_supervised, AttemptSpec, RecoveryLog, SupervisedRun, WorldFailure,
+};
+pub use watchdog::{
+    watchdog_threshold, StallReport, Watchdog, WatchdogConfig, DEFAULT_WATCHDOG_MS,
 };
 
 use axonn_collectives::{Comm, CommWorld, CostModel};
@@ -112,9 +116,19 @@ where
         .collect();
     if failed {
         match probe.poison_info() {
-            Some(info) => panic!("rank {} panicked: {}", info.origin_rank, info.message),
+            Some(info) => {
+                // Crash post-mortem: persist every rank's flight
+                // recorder before re-raising (the post-hoc tracer never
+                // finishes on failed runs, so this is the only data).
+                probe.dump_flight_all(&format!(
+                    "world poisoned: rank {} panicked: {}",
+                    info.origin_rank, info.message
+                ));
+                panic!("rank {} panicked: {}", info.origin_rank, info.message)
+            }
             None => {
                 let rank = results.iter().position(Option::is_none).unwrap_or(0);
+                probe.dump_flight_all(&format!("rank {rank} panicked: <unknown failure>"));
                 panic!("rank {rank} panicked: <unknown failure>");
             }
         }

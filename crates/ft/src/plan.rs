@@ -11,9 +11,12 @@
 //! - **drops** — the nth message on a link is lost in transit (the
 //!   receiver times out into `CommError::PeerLost`);
 //! - **stalls** — a link deposits extra virtual latency once (timed
-//!   worlds observe a slow link, nothing fails).
+//!   worlds observe a slow link, nothing fails);
+//! - **wall stalls** — a link holds one delivery back in *wall* time,
+//!   leaving the receiver genuinely blocked (what the straggler
+//!   watchdog exists to catch).
 
-use axonn_collectives::{DropRule, FaultConfig, InjectedKill, StallRule};
+use axonn_collectives::{DropRule, FaultConfig, InjectedKill, StallRule, WallStallRule};
 use std::time::Duration;
 
 /// A scripted rank kill: in attempt `attempt`, rank `rank` dies at the
@@ -31,6 +34,7 @@ pub struct FaultPlan {
     pub kills: Vec<KillRule>,
     pub drops: Vec<(u64, DropRule)>,
     pub stalls: Vec<(u64, StallRule)>,
+    pub wall_stalls: Vec<(u64, WallStallRule)>,
     /// Recv timeout installed in every attempt's transport (`None` keeps
     /// the collectives' default).
     pub recv_timeout: Option<Duration>,
@@ -58,6 +62,13 @@ impl FaultPlan {
 
     pub fn stall_link(mut self, attempt: u64, rule: StallRule) -> Self {
         self.stalls.push((attempt, rule));
+        self
+    }
+
+    /// Hold one delivery on a link back in wall time (the receiver stays
+    /// blocked in its receive for the rule's duration).
+    pub fn stall_link_wall(mut self, attempt: u64, rule: WallStallRule) -> Self {
+        self.wall_stalls.push((attempt, rule));
         self
     }
 
@@ -94,6 +105,11 @@ impl FaultPlan {
         for (a, rule) in &self.stalls {
             if *a == attempt {
                 cfg = cfg.with_stall(*rule);
+            }
+        }
+        for (a, rule) in &self.wall_stalls {
+            if *a == attempt {
+                cfg = cfg.with_wall_stall(*rule);
             }
         }
         if let Some(t) = self.recv_timeout {

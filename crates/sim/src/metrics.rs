@@ -1,0 +1,66 @@
+//! Bridge from simulated traces into the live telemetry plane.
+//!
+//! The simulator publishes the **same metric names** as the real
+//! thread-backed runtime (`collective.{op}.*`, `gemm.{mode}.*`,
+//! `overlap.*`), so one `axonnctl monitor` / Prometheus scrape works
+//! against either plane. The post-hoc [`MetricsRegistry`] derived from
+//! the trace is folded into a [`LiveRegistry`] — a dashboard pointed at
+//! a simulated job sees the vocabulary it would see on a running one.
+
+use axonn_trace::{LiveRegistry, MetricsRegistry, RankTrace};
+
+/// Aggregate `traces` and publish the result into `registry` under the
+/// runtime's canonical metric names.
+pub fn publish_live_metrics(traces: &[RankTrace], registry: &LiveRegistry) {
+    registry.absorb(&MetricsRegistry::from_traces(traces));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{simulate_batch_traced, SimOptions};
+    use axonn_cluster::{BandwidthDb, Machine};
+    use axonn_gpt::model_by_billions;
+    use axonn_perfmodel::Grid4d;
+    use axonn_trace::TraceSink;
+
+    #[test]
+    fn sim_publishes_runtime_metric_names() {
+        let machine = Machine::frontier();
+        let db = BandwidthDb::profile(&machine);
+        let model = model_by_billions(20);
+        let grid = Grid4d::new(8, 2, 4, 8);
+        let sink = TraceSink::new(0);
+        simulate_batch_traced(
+            &machine,
+            &db,
+            grid,
+            &model,
+            1 << 21,
+            SimOptions::full(),
+            &sink,
+        );
+        let reg = LiveRegistry::new_enabled(true);
+        publish_live_metrics(&[sink.finish()], &reg);
+        let snap = reg.snapshot();
+        // Parity anchor: the names a live world would publish.
+        assert!(
+            snap.counters
+                .keys()
+                .any(|k| k.starts_with("collective.") && k.ends_with(".calls")),
+            "no collective call counters: {:?}",
+            snap.counters.keys().collect::<Vec<_>>()
+        );
+        assert!(
+            snap.counters.keys().any(|k| k.starts_with("gemm.")),
+            "no gemm counters"
+        );
+        assert!(
+            snap.histograms.keys().any(|k| k.ends_with(".bytes_hist")),
+            "no bytes histograms"
+        );
+        // And they render through the same Prometheus path.
+        let prom = snap.prometheus_text();
+        assert!(prom.contains("axonn_collective_"), "{prom}");
+    }
+}

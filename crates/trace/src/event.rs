@@ -58,6 +58,17 @@ pub enum CollOp {
 }
 
 impl CollOp {
+    /// Every collective op, in [`CollOp::index`] order. Lets callers
+    /// pre-register one metric handle per op without allocation.
+    pub const ALL: [CollOp; 6] = [
+        CollOp::AllGather,
+        CollOp::ReduceScatter,
+        CollOp::AllReduce,
+        CollOp::AllReduceRd,
+        CollOp::Broadcast,
+        CollOp::Barrier,
+    ];
+
     pub fn name(self) -> &'static str {
         match self {
             CollOp::AllGather => "all_gather",
@@ -66,6 +77,18 @@ impl CollOp {
             CollOp::AllReduceRd => "all_reduce_rd",
             CollOp::Broadcast => "broadcast",
             CollOp::Barrier => "barrier",
+        }
+    }
+
+    /// Dense index into [`CollOp::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            CollOp::AllGather => 0,
+            CollOp::ReduceScatter => 1,
+            CollOp::AllReduce => 2,
+            CollOp::AllReduceRd => 3,
+            CollOp::Broadcast => 4,
+            CollOp::Barrier => 5,
         }
     }
 }

@@ -20,12 +20,19 @@
 
 mod chrome;
 mod event;
+mod flight;
+mod live;
 mod metrics;
 mod report;
 mod sink;
 
 pub use chrome::chrome_trace_json;
 pub use event::{CollOp, EventDetail, Stream, TraceEvent, XferStats};
-pub use metrics::{Histogram, MetricsRegistry};
+pub use flight::{flight_capacity, flight_dir, FlightEntry, FlightRecorder, DEFAULT_FLIGHT_CAP};
+pub use live::{
+    metrics_enabled, Counter, Gauge, LiveCollectives, LiveHistogram, LiveRegistry, MetricsSnapshot,
+    HIST_SHARDS,
+};
+pub use metrics::{Histogram, MetricsRegistry, BYTES_BOUNDS, SECONDS_BOUNDS};
 pub use report::{LayerOverlap, OverlapReport, TraceSummary};
 pub use sink::{OpenSpan, RankTrace, TraceSink};

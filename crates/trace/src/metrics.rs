@@ -9,13 +9,16 @@ use crate::event::EventDetail;
 use crate::sink::RankTrace;
 
 /// Fixed-bucket histogram. Bucket `i` counts observations `<= bounds[i]`;
-/// one implicit overflow bucket counts the rest.
+/// one implicit overflow bucket counts the rest. Non-finite observations
+/// (NaN, ±inf) are counted in `quarantined` but never touch the buckets
+/// or the sum, so one poisoned measurement cannot corrupt an aggregate.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     bounds: Vec<f64>,
     counts: Vec<u64>,
     sum: f64,
     total: u64,
+    quarantined: u64,
 }
 
 impl Histogram {
@@ -31,10 +34,39 @@ impl Histogram {
             counts,
             sum: 0.0,
             total: 0,
+            quarantined: 0,
+        }
+    }
+
+    /// Rebuild a histogram from raw parts (used by the live registry to
+    /// snapshot its atomic shards into the plain form).
+    pub fn from_parts(
+        bounds: Vec<f64>,
+        counts: Vec<u64>,
+        sum: f64,
+        total: u64,
+        quarantined: u64,
+    ) -> Histogram {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        assert_eq!(counts.len(), bounds.len() + 1, "counts/bounds mismatch");
+        Histogram {
+            bounds,
+            counts,
+            sum,
+            total,
+            quarantined,
         }
     }
 
     pub fn observe(&mut self, value: f64) {
+        self.total += 1;
+        if !value.is_finite() {
+            self.quarantined += 1;
+            return;
+        }
         let idx = self
             .bounds
             .iter()
@@ -42,19 +74,61 @@ impl Histogram {
             .unwrap_or(self.bounds.len());
         self.counts[idx] += 1;
         self.sum += value;
-        self.total += 1;
     }
 
     pub fn count(&self) -> u64 {
         self.total
     }
 
+    /// Sum of all *finite* observations.
     pub fn sum(&self) -> f64 {
         self.sum
     }
 
+    /// Non-finite observations counted but excluded from buckets/sum.
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined
+    }
+
     pub fn bucket_counts(&self) -> &[u64] {
         &self.counts
+    }
+
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Merge another histogram with identical bounds into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bounds, other.bounds, "histogram bounds mismatch");
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.sum += other.sum;
+        self.total += other.total;
+        self.quarantined += other.quarantined;
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`): the upper bound of the
+    /// bucket containing the `q`-th finite observation. Returns `None`
+    /// when no finite observation has been recorded; observations that
+    /// landed in the overflow bucket yield `f64::INFINITY` (the bucket
+    /// has no upper bound).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let finite = self.total - self.quarantined;
+        if finite == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * finite as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(self.bounds.get(i).copied().unwrap_or(f64::INFINITY));
+            }
+        }
+        Some(f64::INFINITY)
     }
 }
 
@@ -65,6 +139,7 @@ impl Serialize for Histogram {
             ("counts".into(), self.counts.serialize()),
             ("sum".into(), self.sum.serialize()),
             ("total".into(), self.total.serialize()),
+            ("quarantined".into(), self.quarantined.serialize()),
         ])
     }
 }
@@ -78,9 +153,9 @@ pub struct MetricsRegistry {
 }
 
 /// Byte-size bucket bounds (64 B .. 256 MiB, powers of 16).
-const BYTES_BOUNDS: [f64; 5] = [64.0, 1024.0, 16384.0, 262_144.0, 4_194_304.0];
+pub const BYTES_BOUNDS: [f64; 5] = [64.0, 1024.0, 16384.0, 262_144.0, 4_194_304.0];
 /// Seconds bucket bounds (1 µs .. 10 s, decades).
-const SECONDS_BOUNDS: [f64; 8] = [1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0];
+pub const SECONDS_BOUNDS: [f64; 8] = [1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0];
 
 impl MetricsRegistry {
     pub fn new() -> MetricsRegistry {
@@ -104,6 +179,16 @@ impl MetricsRegistry {
 
     pub fn histogram(&self, name: &str) -> Option<&Histogram> {
         self.histograms.get(name)
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// All histograms, sorted by name.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
     }
 
     /// The standard aggregation: bytes moved per collective op, GEMM
@@ -217,6 +302,61 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn histogram_rejects_bad_bounds() {
         Histogram::new(vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn histogram_quarantines_non_finite() {
+        let mut h = Histogram::new(vec![1.0, 10.0]);
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        h.observe(f64::NEG_INFINITY);
+        h.observe(5.0);
+        // All four observations counted, but only the finite one reached
+        // a bucket or the sum.
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.quarantined(), 3);
+        assert_eq!(h.bucket_counts(), &[0, 1, 0]);
+        assert!((h.sum() - 5.0).abs() < 1e-12);
+        assert!(h.sum().is_finite());
+        assert_eq!(h.quantile(0.5), Some(10.0));
+    }
+
+    #[test]
+    fn quantile_on_empty_histogram_is_none() {
+        let h = Histogram::new(vec![1.0, 10.0]);
+        assert_eq!(h.quantile(0.5), None);
+        // A histogram holding only quarantined values has no finite
+        // observations either.
+        let mut q = Histogram::new(vec![1.0, 10.0]);
+        q.observe(f64::NAN);
+        assert_eq!(q.quantile(0.5), None);
+    }
+
+    #[test]
+    fn quantile_walks_buckets() {
+        let mut h = Histogram::new(vec![1.0, 10.0, 100.0]);
+        for _ in 0..8 {
+            h.observe(0.5);
+        }
+        h.observe(5.0);
+        h.observe(500.0); // overflow bucket
+        assert_eq!(h.quantile(0.0), Some(1.0));
+        assert_eq!(h.quantile(0.5), Some(1.0));
+        assert_eq!(h.quantile(0.9), Some(10.0));
+        assert_eq!(h.quantile(1.0), Some(f64::INFINITY));
+    }
+
+    #[test]
+    fn histogram_merge_accumulates() {
+        let mut a = Histogram::new(vec![1.0, 10.0]);
+        let mut b = Histogram::new(vec![1.0, 10.0]);
+        a.observe(0.5);
+        b.observe(5.0);
+        b.observe(f64::NAN);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.quarantined(), 1);
+        assert_eq!(a.bucket_counts(), &[1, 1, 0]);
     }
 
     #[test]
