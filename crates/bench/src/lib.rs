@@ -13,6 +13,7 @@ pub mod drift;
 pub mod memor;
 pub mod paper;
 pub mod series;
+pub mod serve;
 pub mod step;
 
 /// Render an aligned text table.

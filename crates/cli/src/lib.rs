@@ -14,7 +14,12 @@ use axonn_core::{
 use axonn_exec::run_spmd_traced;
 use axonn_ft::{grid_fits, legal_resume_grids, CheckpointStore};
 use axonn_gpt::{table2_models, GptConfig, HEADLINE_BATCH_TOKENS};
+use axonn_lm::{Gpt, GptModelConfig};
 use axonn_perfmodel::{rank_configs, Grid4d};
+use axonn_serve::{
+    run_load, tp_greedy_spmd, DecodeSession, LoadConfig, Sampling, ServeConfig, ServeEngine,
+    ServeRequest,
+};
 use axonn_sim::{
     pick_best_config, publish_live_metrics, simulate_batch, simulate_batch_traced, SimOptions,
 };
@@ -33,6 +38,8 @@ pub const USAGE: &str = "usage:
   axonnctl profile <machine>
   axonnctl resume <checkpoint-dir> [target-gpus] [step]
   axonnctl bench [baseline.json]
+  axonnctl serve <checkpoint> [max-new-tokens] [--tp N] [--prompt t0,t1,...]
+  axonnctl load [requests] [clients]
   axonnctl monitor [refreshes] [--sim]
   axonnctl verify <gx> <gy> <gz> <gd> [mlp|transformer] [--inject reorder|missing-wait|count-mismatch]
   axonnctl verify --all-grids <gpus> [mlp|transformer]";
@@ -79,6 +86,23 @@ pub enum Command {
     /// `results/bench_step_baseline.json`).
     Bench {
         baseline: Option<String>,
+    },
+    /// Decode a continuation from a trained checkpoint through the
+    /// KV-cached serving path — a single `lm::Checkpoint` file or an
+    /// `ft`-style sharded directory, optionally tensor-parallel over
+    /// `tp` simulated ranks.
+    Serve {
+        checkpoint: String,
+        prompt: Vec<usize>,
+        max_new: usize,
+        tp: usize,
+    },
+    /// Closed-loop load run against an in-process engine (untrained toy
+    /// model): N clients with Poisson think times, continuous batching,
+    /// serving-plane metrics table at the end.
+    Load {
+        requests: usize,
+        clients: usize,
     },
     /// Live per-rank telemetry table. The default mode runs a small
     /// in-process job on the thread-backed runtime and refreshes a table
@@ -230,6 +254,64 @@ impl Command {
             "bench" => Ok(Command::Bench {
                 baseline: it.next().cloned(),
             }),
+            "serve" => {
+                let checkpoint = it.next().ok_or("missing checkpoint path")?.clone();
+                let mut max_new = 16usize;
+                let mut tp = 1usize;
+                let mut prompt = vec![0usize, 1, 2];
+                let mut saw_max_new = false;
+                while let Some(arg) = it.next() {
+                    match arg.as_str() {
+                        "--tp" => {
+                            let v = it.next().ok_or("missing rank count after --tp")?;
+                            tp = v
+                                .parse()
+                                .ok()
+                                .filter(|t| *t > 0)
+                                .ok_or(format!("invalid tp rank count: '{v}'"))?;
+                        }
+                        "--prompt" => {
+                            let v = it.next().ok_or("missing tokens after --prompt")?;
+                            prompt = v
+                                .split(',')
+                                .map(|t| {
+                                    t.trim()
+                                        .parse::<usize>()
+                                        .map_err(|_| format!("invalid prompt token: '{t}'"))
+                                })
+                                .collect::<Result<Vec<usize>, String>>()?;
+                        }
+                        other if !saw_max_new => {
+                            max_new = other
+                                .parse()
+                                .map_err(|_| format!("invalid max new tokens: '{other}'"))?;
+                            saw_max_new = true;
+                        }
+                        other => return Err(format!("unexpected serve argument '{other}'")),
+                    }
+                }
+                Ok(Command::Serve {
+                    checkpoint,
+                    prompt,
+                    max_new,
+                    tp,
+                })
+            }
+            "load" => {
+                let requests = match it.next() {
+                    Some(s) => s
+                        .parse()
+                        .map_err(|_| format!("invalid request count: '{s}'"))?,
+                    None => 200,
+                };
+                let clients = match it.next() {
+                    Some(s) => s
+                        .parse()
+                        .map_err(|_| format!("invalid client count: '{s}'"))?,
+                    None => 8,
+                };
+                Ok(Command::Load { requests, clients })
+            }
             "monitor" => {
                 let mut refreshes = 3usize;
                 let mut sim = false;
@@ -595,6 +677,107 @@ pub fn run(cmd: Command) -> Result<(), String> {
             }
             Ok(())
         }
+        Command::Serve {
+            checkpoint,
+            prompt,
+            max_new,
+            tp,
+        } => {
+            let path = std::path::Path::new(&checkpoint);
+            let model = if path.is_dir() {
+                axonn_serve::load_sharded(path)?
+            } else {
+                axonn_serve::load_model(path)?
+            };
+            let cfg = &model.cfg;
+            if prompt.is_empty() {
+                return Err("prompt must not be empty".to_string());
+            }
+            if let Some(&t) = prompt.iter().find(|t| **t >= cfg.vocab) {
+                return Err(format!("prompt token {t} out of vocab 0..{}", cfg.vocab));
+            }
+            if prompt.len() + max_new > cfg.seq_len {
+                return Err(format!(
+                    "prompt ({}) + max new tokens ({max_new}) exceeds the model \
+                     window of {} tokens",
+                    prompt.len(),
+                    cfg.seq_len
+                ));
+            }
+            println!(
+                "loaded {} (vocab {}, window {}, dim {}, {} heads x {} layers)",
+                checkpoint, cfg.vocab, cfg.seq_len, cfg.dim, cfg.n_heads, cfg.n_layers
+            );
+            let generated = if tp == 1 {
+                let mut session = DecodeSession::start(model, &prompt, Sampling::Greedy, 0);
+                while session.generated().len() < max_new && session.step().is_some() {}
+                session.generated().to_vec()
+            } else {
+                if cfg.n_heads % tp != 0 {
+                    return Err(format!("{} heads not divisible by --tp {tp}", cfg.n_heads));
+                }
+                let registry = LiveRegistry::new_enabled(true);
+                let streams = tp_greedy_spmd(&model, tp, &prompt, max_new, &registry);
+                let (tokens, _) = &streams[0];
+                println!(
+                    "tensor-parallel decode over {tp} ranks, {} pooled all-reduce calls",
+                    registry
+                        .snapshot()
+                        .counters
+                        .get("collective.all_reduce.calls")
+                        .copied()
+                        .unwrap_or(0)
+                );
+                tokens.clone()
+            };
+            println!("prompt       {prompt:?}");
+            println!("continuation {generated:?}");
+            Ok(())
+        }
+        Command::Load { requests, clients } => {
+            if requests == 0 || clients == 0 {
+                return Err("request and client counts must be positive".to_string());
+            }
+            let model = Arc::new(Gpt::new(serve_demo_model()));
+            let registry = LiveRegistry::new_enabled(true);
+            let mut engine = ServeEngine::new(
+                model,
+                ServeConfig {
+                    sampling: Sampling::Greedy,
+                    ..ServeConfig::default()
+                },
+                &registry,
+            );
+            let out = run_load(
+                &mut engine,
+                &LoadConfig {
+                    clients,
+                    total_requests: requests,
+                    ..LoadConfig::default()
+                },
+            );
+            println!(
+                "{} requests over {clients} closed-loop clients, {} engine steps, {:.3} s wall:",
+                out.completed + out.evicted,
+                out.steps,
+                out.wall_s
+            );
+            println!(
+                "  completed {} / evicted {} / overload retries {}",
+                out.completed, out.evicted, out.rejected
+            );
+            println!(
+                "  TTFT p50 {:.3} ms / p99 {:.3} ms",
+                out.ttft_p50_s * 1e3,
+                out.ttft_p99_s * 1e3
+            );
+            println!(
+                "  per-request decode {:.0} tokens/s p50, {:.0} p99; aggregate {:.0} tokens/s",
+                out.tokens_per_s_p50, out.tokens_per_s_p99, out.aggregate_tokens_per_s
+            );
+            print!("{}", render_serve_section(&registry.snapshot()));
+            Ok(())
+        }
         Command::Monitor { refreshes, sim } => {
             if sim {
                 monitor_sim(refreshes)
@@ -710,6 +893,58 @@ fn snapshot_overlap_efficiency(snap: &MetricsSnapshot) -> Option<f64> {
     Some((1.0 - wait_sum / comm_sum).clamp(0.0, 1.0))
 }
 
+/// Toy model shape for the in-process serving demos (`load`, the
+/// serving section of `monitor`): untrained weights, deterministic
+/// greedy decode, costs the same per token as a trained model.
+fn serve_demo_model() -> GptModelConfig {
+    GptModelConfig {
+        vocab: 32,
+        seq_len: 24,
+        dim: 16,
+        n_heads: 2,
+        n_layers: 1,
+        seed: 11,
+    }
+}
+
+/// The serving-plane lines of the `monitor` table, rendered from the
+/// same live snapshot as the training plane: in-flight streams, queue
+/// depth, decode rate and TTFT percentiles from the `serve.*` metrics.
+fn render_serve_section(snap: &MetricsSnapshot) -> String {
+    let c = |k: &str| snap.counters.get(k).copied().unwrap_or(0);
+    if c("serve.requests.submitted") == 0 {
+        return "serving plane: idle (no requests yet)\n".to_string();
+    }
+    let g = |k: &str| snap.gauges.get(k).copied().unwrap_or(0.0);
+    let mut out = format!(
+        "serving plane: {:.0} in flight, queue depth {:.0}, {:.0} tokens/s\n",
+        g("serve.requests.in_flight"),
+        g("serve.queue.depth"),
+        g("serve.tokens_per_s"),
+    );
+    out.push_str(&format!(
+        "  requests {} submitted / {} completed / {} rejected / {} evicted; \
+         tokens {} prefill / {} decoded\n",
+        c("serve.requests.submitted"),
+        c("serve.requests.completed"),
+        c("serve.requests.rejected"),
+        c("serve.requests.evicted"),
+        c("serve.tokens.prefill"),
+        c("serve.tokens.decoded"),
+    ));
+    if let Some(h) = snap.histograms.get("serve.ttft.seconds") {
+        if let (Some(p50), Some(p99)) = (h.quantile(0.5), h.quantile(0.99)) {
+            out.push_str(&format!(
+                "  TTFT p50 {:.3} ms / p99 {:.3} ms over {} first tokens\n",
+                p50 * 1e3,
+                p99 * 1e3,
+                h.count()
+            ));
+        }
+    }
+    out
+}
+
 /// One refresh of the `monitor` per-rank table, rendered from the
 /// transport heartbeats and step counters. Public-in-crate so tests can
 /// assert on the rendering without scraping stdout.
@@ -789,19 +1024,31 @@ fn monitor_live(refreshes: usize) -> Result<(), String> {
             })
         })
         .collect();
+    // The serving plane shares the registry: a small engine decodes a
+    // few requests per refresh so `monitor` shows both planes at once.
+    let mut serve_engine = ServeEngine::new(
+        Arc::new(Gpt::new(serve_demo_model())),
+        ServeConfig::default(),
+        &registry,
+    );
     for r in 0..refreshes {
         std::thread::sleep(Duration::from_millis(40));
+        for k in 0..4usize {
+            let _ = serve_engine.submit(ServeRequest {
+                prompt: vec![(r + k) % 8, (r + k + 1) % 8, 3],
+                max_new_tokens: 4,
+                deadline_steps: None,
+            });
+        }
+        serve_engine.run_until_idle(256);
         let counts: Vec<u64> = steps.iter().map(|s| s.load(Ordering::Relaxed)).collect();
         println!("--- refresh {}/{refreshes} ---", r + 1);
+        let snap = registry.snapshot();
         print!(
             "{}",
-            render_monitor_table(
-                &probe,
-                &counts,
-                start.elapsed().as_secs_f64(),
-                &registry.snapshot()
-            )
+            render_monitor_table(&probe, &counts, start.elapsed().as_secs_f64(), &snap)
         );
+        print!("{}", render_serve_section(&snap));
     }
     for w in workers {
         w.join()
@@ -1277,6 +1524,125 @@ mod tests {
         })
         .unwrap_err();
         assert!(e.contains("at least 2 ranks"));
+    }
+
+    #[test]
+    fn parse_serve_and_load_variants() {
+        assert_eq!(
+            Command::parse(&sv(&["serve", "ckpt.json"])).unwrap(),
+            Command::Serve {
+                checkpoint: "ckpt.json".into(),
+                prompt: vec![0, 1, 2],
+                max_new: 16,
+                tp: 1
+            }
+        );
+        assert_eq!(
+            Command::parse(&sv(&["serve", "d/", "8", "--tp", "2", "--prompt", "4,5,6"])).unwrap(),
+            Command::Serve {
+                checkpoint: "d/".into(),
+                prompt: vec![4, 5, 6],
+                max_new: 8,
+                tp: 2
+            }
+        );
+        assert!(Command::parse(&sv(&["serve"]))
+            .unwrap_err()
+            .contains("checkpoint path"));
+        assert!(Command::parse(&sv(&["serve", "c", "--tp", "0"]))
+            .unwrap_err()
+            .contains("invalid tp"));
+        assert!(Command::parse(&sv(&["serve", "c", "--prompt", "1,x"]))
+            .unwrap_err()
+            .contains("invalid prompt token"));
+        assert_eq!(
+            Command::parse(&sv(&["load"])).unwrap(),
+            Command::Load {
+                requests: 200,
+                clients: 8
+            }
+        );
+        assert_eq!(
+            Command::parse(&sv(&["load", "50", "4"])).unwrap(),
+            Command::Load {
+                requests: 50,
+                clients: 4
+            }
+        );
+    }
+
+    #[test]
+    fn run_serve_decodes_saved_checkpoint() {
+        use axonn_lm::Checkpoint;
+        let dir = std::env::temp_dir().join(format!("axonnctl_serve_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+        let mut model = Gpt::new(serve_demo_model());
+        Checkpoint::capture(&mut model).save(&path).unwrap();
+        // Single-rank KV-cached decode.
+        run(Command::Serve {
+            checkpoint: path.to_str().unwrap().into(),
+            prompt: vec![1, 2, 3],
+            max_new: 4,
+            tp: 1,
+        })
+        .unwrap();
+        // Tensor-parallel decode over 2 simulated ranks.
+        run(Command::Serve {
+            checkpoint: path.to_str().unwrap().into(),
+            prompt: vec![1, 2, 3],
+            max_new: 4,
+            tp: 2,
+        })
+        .unwrap();
+        // Window overflow is a clean error, not a panic.
+        let e = run(Command::Serve {
+            checkpoint: path.to_str().unwrap().into(),
+            prompt: vec![1, 2, 3],
+            max_new: 64,
+            tp: 1,
+        })
+        .unwrap_err();
+        assert!(e.contains("window"), "unexpected: {e}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_load_reports_closed_loop_percentiles() {
+        run(Command::Load {
+            requests: 30,
+            clients: 4,
+        })
+        .unwrap();
+        let e = run(Command::Load {
+            requests: 0,
+            clients: 4,
+        })
+        .unwrap_err();
+        assert!(e.contains("positive"));
+    }
+
+    #[test]
+    fn serve_section_renders_from_live_metrics() {
+        let registry = LiveRegistry::new_enabled(true);
+        assert!(render_serve_section(&registry.snapshot()).contains("idle"));
+        let mut engine = ServeEngine::new(
+            Arc::new(Gpt::new(serve_demo_model())),
+            ServeConfig::default(),
+            &registry,
+        );
+        engine
+            .submit(ServeRequest {
+                prompt: vec![1, 2],
+                max_new_tokens: 3,
+                deadline_steps: None,
+            })
+            .unwrap();
+        engine.run_until_idle(64);
+        let section = render_serve_section(&registry.snapshot());
+        assert!(section.contains("serving plane:"), "{section}");
+        assert!(section.contains("1 completed"), "{section}");
+        assert!(section.contains("TTFT p50"), "{section}");
     }
 
     #[test]

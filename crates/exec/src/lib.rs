@@ -47,6 +47,20 @@ where
     launch(CommWorld::create_timed(world_size, cost), body)
 }
 
+/// Run `body` on a pre-built world — the escape hatch for callers that
+/// configure the world through [`CommWorld::builder`] (cost model, fault
+/// plan, live-metrics registry) and still want the launcher's poisoning,
+/// flight-dump and schedule-certification behaviour. `comms` must be the
+/// complete rank set of one world, in rank order.
+pub fn run_spmd_on<F, T>(comms: Vec<Comm>, body: F) -> Vec<T>
+where
+    F: Fn(Comm) -> T + Send + Sync + 'static,
+    T: Send + 'static,
+{
+    assert!(!comms.is_empty(), "empty world");
+    launch(comms, body)
+}
+
 /// Results and traces of a traced SPMD run, both in rank order.
 pub struct TracedRun<T> {
     pub results: Vec<T>,

@@ -38,6 +38,48 @@ pub struct Checkpoint {
     pub param_checksums: Vec<String>,
 }
 
+/// Canonical name of parameter `i` in [`Gpt::params_mut`] order for a
+/// model with `n_layers` blocks — `emb.tok`, `block0.attn.qkv.w`,
+/// `head.b`, … Serving loads untrusted checkpoint files at startup, so
+/// every per-tensor error names the tensor instead of a bare index.
+pub fn tensor_name(i: usize, n_layers: usize) -> String {
+    const PER_BLOCK: [&str; 12] = [
+        "ln1.gain",
+        "ln1.bias",
+        "attn.qkv.w",
+        "attn.qkv.b",
+        "attn.proj.w",
+        "attn.proj.b",
+        "ln2.gain",
+        "ln2.bias",
+        "mlp.fc1.w",
+        "mlp.fc1.b",
+        "mlp.fc2.w",
+        "mlp.fc2.b",
+    ];
+    match i {
+        0 => return "emb.tok".to_string(),
+        1 => return "emb.pos".to_string(),
+        _ => {}
+    }
+    let body = i - 2;
+    let block_tensors = n_layers * PER_BLOCK.len();
+    if body < block_tensors {
+        return format!(
+            "block{}.{}",
+            body / PER_BLOCK.len(),
+            PER_BLOCK[body % PER_BLOCK.len()]
+        );
+    }
+    match body - block_tensors {
+        0 => "ln_f.gain".to_string(),
+        1 => "ln_f.bias".to_string(),
+        2 => "head.w".to_string(),
+        3 => "head.b".to_string(),
+        n => format!("tensor {}(unknown +{n})", i),
+    }
+}
+
 impl Checkpoint {
     /// Snapshot a model's parameters.
     pub fn capture(model: &mut Gpt) -> Checkpoint {
@@ -87,12 +129,14 @@ impl Checkpoint {
             ));
         }
         for (i, (m, want_hex)) in self.params.iter().zip(&self.param_checksums).enumerate() {
-            let want = u64::from_str_radix(want_hex, 16)
-                .map_err(|e| format!("tensor {i}: malformed checksum {want_hex:?}: {e}"))?;
+            let name = tensor_name(i, self.n_layers);
+            let want = u64::from_str_radix(want_hex, 16).map_err(|e| {
+                format!("tensor {i} ({name}): malformed checksum {want_hex:?}: {e}")
+            })?;
             let got = m.fnv1a64();
             if got != want {
                 return Err(format!(
-                    "tensor {i}: checksum mismatch (stored {want:016x}, recomputed {got:016x}) — checkpoint is corrupt"
+                    "tensor {i} ({name}): checksum mismatch (stored {want:016x}, recomputed {got:016x}) — checkpoint is corrupt"
                 ));
             }
         }
@@ -123,7 +167,8 @@ impl Checkpoint {
         for (i, (dst, src)) in params.iter_mut().zip(&self.params).enumerate() {
             if dst.value.shape() != src.shape() {
                 return Err(format!(
-                    "tensor {i}: checkpoint shape {:?} vs architecture {:?}",
+                    "tensor {i} ({}): checkpoint shape {:?} vs architecture {:?}",
+                    tensor_name(i, self.n_layers),
                     src.shape(),
                     dst.value.shape()
                 ));
@@ -274,6 +319,46 @@ mod tests {
         ck.magic = "not-a-checkpoint".into();
         let err = ck.verify().unwrap_err();
         assert!(err.contains("magic"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn tensor_names_cover_params_in_order() {
+        let mut model = toy(); // 1 layer
+        let n = model.params_mut().len();
+        assert_eq!(n, 2 + 12 + 4);
+        assert_eq!(tensor_name(0, 1), "emb.tok");
+        assert_eq!(tensor_name(2, 1), "block0.ln1.gain");
+        assert_eq!(tensor_name(4, 1), "block0.attn.qkv.w");
+        assert_eq!(tensor_name(13, 1), "block0.mlp.fc2.b");
+        assert_eq!(tensor_name(14, 1), "ln_f.gain");
+        assert_eq!(tensor_name(17, 1), "head.b");
+        assert_eq!(tensor_name(2 + 12, 2), "block1.ln1.gain");
+    }
+
+    #[test]
+    fn corruption_errors_name_the_failing_tensor() {
+        let mut model = toy();
+        let mut ck = Checkpoint::capture(&mut model);
+        // Flip a bit in block0's qkv weight (index 4).
+        let v = ck.params[4].as_mut_slice();
+        v[0] = f32::from_bits(v[0].to_bits() ^ 1);
+        let err = ck.verify().unwrap_err();
+        assert!(
+            err.contains("tensor 4 (block0.attn.qkv.w)"),
+            "error does not name the tensor: {err}"
+        );
+        assert!(
+            err.contains("stored") && err.contains("recomputed"),
+            "{err}"
+        );
+
+        let mut ck2 = Checkpoint::capture(&mut model);
+        ck2.params[1] = Matrix::zeros(3, 3);
+        let err2 = ck2.restore().map(|_| ()).unwrap_err();
+        assert!(
+            err2.contains("tensor 1 (emb.pos)") && err2.contains("shape"),
+            "unexpected error: {err2}"
+        );
     }
 
     #[test]

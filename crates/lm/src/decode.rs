@@ -1,0 +1,440 @@
+//! KV-cached autoregressive decoding over an immutable [`Gpt`].
+//!
+//! The training modules (`modules`, `attention`) take `&mut self`
+//! because they cache activations for backward; inference needs neither
+//! the mutation nor the caches, so this module re-implements the forward
+//! math as free functions over `&Gpt` plus a per-request [`KvCache`].
+//! Prefill runs the prompt in one batched pass (storing every layer's
+//! K/V rows); each subsequent token then costs O(seq) attention against
+//! the cached keys/values instead of the full-sequence recompute the
+//! seed's `greedy_continuation` performed.
+//!
+//! **Bit-identity contract.** Every loop below mirrors the corresponding
+//! training-module loop exactly — same `gemm` kernels, same softmax
+//! accumulation order, same bias/residual element order — so the logits
+//! produced here are *bitwise* equal to a full forward pass over the
+//! same context (proptested in `tests/decode_oracle.rs`). The one
+//! non-obvious ingredient: `gemm_nn` skips exact-zero A entries, so the
+//! causal-masked zeros in the training path's T×T probability matrix
+//! contribute nothing (not even `+0.0` additions) to P·V, which makes a
+//! 1×(p+1) probability row reproduce row p of the batched product
+//! bit-for-bit.
+
+use crate::gpt::{gelu, Gpt, GptModelConfig};
+use crate::modules::{LayerNorm, Linear};
+use axonn_tensor::{gemm, MatMode, Matrix};
+
+/// Per-request key/value cache: one K and one V matrix per (layer, head),
+/// preallocated at `seq_len × head_dim`, filled up to [`KvCache::len`].
+pub struct KvCache {
+    /// `layers[l].0[h]` = K rows, `layers[l].1[h]` = V rows.
+    layers: Vec<(Vec<Matrix>, Vec<Matrix>)>,
+    len: usize,
+    seq_len: usize,
+    n_heads: usize,
+    head_dim: usize,
+}
+
+impl KvCache {
+    /// An empty cache sized for one generation window of `cfg`.
+    pub fn for_model(cfg: &GptModelConfig) -> KvCache {
+        Self::with_heads(
+            cfg.n_layers,
+            cfg.n_heads,
+            cfg.seq_len,
+            cfg.dim / cfg.n_heads,
+        )
+    }
+
+    /// An empty cache holding `n_heads` heads per layer — the
+    /// tensor-parallel decode path caches only the heads its rank owns.
+    pub fn with_heads(n_layers: usize, n_heads: usize, seq_len: usize, head_dim: usize) -> KvCache {
+        let layers = (0..n_layers)
+            .map(|_| {
+                let ks = (0..n_heads)
+                    .map(|_| Matrix::zeros(seq_len, head_dim))
+                    .collect();
+                let vs = (0..n_heads)
+                    .map(|_| Matrix::zeros(seq_len, head_dim))
+                    .collect();
+                (ks, vs)
+            })
+            .collect();
+        KvCache {
+            layers,
+            len: 0,
+            seq_len,
+            n_heads,
+            head_dim,
+        }
+    }
+
+    /// Number of positions currently cached.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Positions the cache can still absorb before the window is full.
+    pub fn remaining(&self) -> usize {
+        self.seq_len - self.len
+    }
+
+    /// Resident size of the cached K/V planes plus preallocated slack —
+    /// the quantity a serving scheduler budgets as a "cache slab".
+    pub fn approx_bytes(&self) -> usize {
+        self.layers.len() * self.n_heads * 2 * self.seq_len * self.head_dim * 4
+    }
+
+    /// Drop all cached positions (the slab stays allocated).
+    pub fn reset(&mut self) {
+        self.len = 0;
+    }
+
+    /// The first `len` cached K rows of `(layer, head)` as a dense
+    /// matrix operand. Public for the tensor-parallel decode path, which
+    /// runs the same attention loop over a partial-head cache.
+    pub fn k_mat(&self, layer: usize, head: usize, len: usize) -> Matrix {
+        let k = &self.layers[layer].0[head];
+        Matrix::from_vec(
+            len,
+            self.head_dim,
+            k.as_slice()[..len * self.head_dim].to_vec(),
+        )
+    }
+
+    /// See [`KvCache::k_mat`].
+    pub fn v_mat(&self, layer: usize, head: usize, len: usize) -> Matrix {
+        let v = &self.layers[layer].1[head];
+        Matrix::from_vec(
+            len,
+            self.head_dim,
+            v.as_slice()[..len * self.head_dim].to_vec(),
+        )
+    }
+
+    /// Store position `pos`'s K/V rows for `(layer, head)`.
+    pub fn push_row(
+        &mut self,
+        layer: usize,
+        head: usize,
+        pos: usize,
+        k_row: &[f32],
+        v_row: &[f32],
+    ) {
+        self.layers[layer].0[head]
+            .row_mut(pos)
+            .copy_from_slice(k_row);
+        self.layers[layer].1[head]
+            .row_mut(pos)
+            .copy_from_slice(v_row);
+    }
+
+    /// Mark `n` more positions as cached (after [`KvCache::push_row`]ing
+    /// them for every layer and head).
+    pub fn advance(&mut self, n: usize) {
+        assert!(
+            self.len + n <= self.seq_len,
+            "cache advanced past its window"
+        );
+        self.len += n;
+    }
+}
+
+/// `y = x·W + b` exactly as [`Linear::forward`], without caching.
+pub fn linear_infer(l: &Linear, x: &Matrix) -> Matrix {
+    let mut y = gemm(MatMode::NN, x, &l.w.value);
+    for r in 0..y.rows() {
+        let row = y.row_mut(r);
+        for (v, b) in row.iter_mut().zip(l.b.value.as_slice()) {
+            *v += b;
+        }
+    }
+    y
+}
+
+/// Row-wise layer normalization exactly as [`LayerNorm::forward`].
+pub fn layernorm_infer(ln: &LayerNorm, x: &Matrix) -> Matrix {
+    let (rows, d) = x.shape();
+    let eps = ln.eps();
+    let mut out = Matrix::zeros(rows, d);
+    for r in 0..rows {
+        let row = x.row(r);
+        let mean = row.iter().sum::<f32>() / d as f32;
+        let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+        let inv_std = 1.0 / (var + eps).sqrt();
+        let orow = out.row_mut(r);
+        for (c, (&xv, ov)) in row.iter().zip(orow.iter_mut()).enumerate() {
+            let norm = (xv - mean) * inv_std;
+            *ov = norm * ln.gain.value.as_slice()[c] + ln.bias.value.as_slice()[c];
+        }
+    }
+    out
+}
+
+/// Token + positional embedding rows for `tokens` starting at absolute
+/// position `start_pos`, exactly as `Embedding::forward` computes them
+/// for the same positions.
+fn embed_rows(model: &Gpt, tokens: &[usize], start_pos: usize) -> Matrix {
+    let d = model.emb.tok.value.cols();
+    let mut out = Matrix::zeros(tokens.len(), d);
+    for (i, &t) in tokens.iter().enumerate() {
+        let p = start_pos + i;
+        let orow = out.row_mut(i);
+        let trow = model.emb.tok.value.row(t);
+        let prow = model.emb.pos.value.row(p);
+        for c in 0..d {
+            orow[c] = trow[c] + prow[c];
+        }
+    }
+    out
+}
+
+/// Causal softmax over `srow[..=i]`, written into `prow` — the exact
+/// per-row loop from `CausalSelfAttention::forward` (entries past `i`
+/// are left at `+0.0`, which `gemm_nn` then skips).
+fn causal_softmax_row(srow: &[f32], i: usize, prow: &mut [f32]) {
+    let maxv = srow[..=i].iter().cloned().fold(f32::MIN, f32::max);
+    let denom: f32 = srow[..=i].iter().map(|v| (v - maxv).exp()).sum();
+    for j in 0..=i {
+        prow[j] = (srow[j] - maxv).exp() / denom;
+    }
+}
+
+/// Run the prompt through the model in one batched pass, filling `cache`
+/// with every layer's K/V rows. Returns the full `prompt.len() × vocab`
+/// logits matrix (row `prompt.len()-1` feeds the first sampled token).
+///
+/// # Panics
+/// If the cache is non-empty, the prompt is empty, or it exceeds the
+/// model window.
+pub fn prefill(model: &Gpt, prompt: &[usize], cache: &mut KvCache) -> Matrix {
+    assert!(cache.is_empty(), "prefill into a non-empty cache");
+    assert!(!prompt.is_empty(), "empty prompt");
+    assert!(
+        prompt.len() <= cache.seq_len,
+        "prompt length {} exceeds seq_len {}",
+        prompt.len(),
+        cache.seq_len
+    );
+    let t = prompt.len();
+    let dim = model.cfg.dim;
+    let n_heads = model.cfg.n_heads;
+    let hd = dim / n_heads;
+    let scale = 1.0 / (hd as f32).sqrt();
+
+    let mut x = embed_rows(model, prompt, 0);
+    for (li, block) in model.blocks.iter().enumerate() {
+        let normed = layernorm_infer(&block.ln1, &x);
+        let qkv = linear_infer(&block.attn.qkv, &normed);
+        let mut heads_out = Matrix::zeros(t, dim);
+        for h in 0..n_heads {
+            // Slice out Q, K, V for this head — same row copies as the
+            // training module's (b=1) path.
+            let mut q = Matrix::zeros(t, hd);
+            let mut k = Matrix::zeros(t, hd);
+            let mut v = Matrix::zeros(t, hd);
+            for ti in 0..t {
+                let row = qkv.row(ti);
+                let off = h * hd;
+                q.row_mut(ti).copy_from_slice(&row[off..off + hd]);
+                k.row_mut(ti)
+                    .copy_from_slice(&row[dim + off..dim + off + hd]);
+                v.row_mut(ti)
+                    .copy_from_slice(&row[2 * dim + off..2 * dim + off + hd]);
+            }
+            let mut s = gemm(MatMode::NT, &q, &k);
+            s.scale(scale);
+            let mut p = Matrix::zeros(t, t);
+            for i in 0..t {
+                causal_softmax_row(s.row(i), i, p.row_mut(i));
+            }
+            let o = gemm(MatMode::NN, &p, &v);
+            for ti in 0..t {
+                heads_out.row_mut(ti)[h * hd..(h + 1) * hd].copy_from_slice(o.row(ti));
+            }
+            for ti in 0..t {
+                cache.push_row(li, h, ti, k.row(ti), v.row(ti));
+            }
+        }
+        let mut hres = linear_infer(&block.attn.proj, &heads_out);
+        hres.add_assign(&x);
+        let normed2 = layernorm_infer(&block.ln2, &hres);
+        let pre = linear_infer(&block.mlp.fc1, &normed2);
+        let mut act = pre.clone();
+        act.map_inplace(gelu);
+        let mut out = linear_infer(&block.mlp.fc2, &act);
+        out.add_assign(&hres);
+        x = out;
+    }
+    cache.len = t;
+    let x = layernorm_infer(&model.ln_f, &x);
+    linear_infer(&model.head, &x)
+}
+
+/// Feed one token at the cache's current position and return its logits
+/// row (`vocab` floats). Attention runs against the cached K/V only —
+/// O(cache.len) per layer instead of a full-window recompute.
+///
+/// # Panics
+/// If the cache is empty (prefill first) or the window is full.
+pub fn decode_step(model: &Gpt, token: usize, cache: &mut KvCache) -> Vec<f32> {
+    assert!(!cache.is_empty(), "decode_step before prefill");
+    assert!(cache.remaining() > 0, "generation window exceeds seq_len");
+    let pos = cache.len;
+    let dim = model.cfg.dim;
+    let n_heads = model.cfg.n_heads;
+    let hd = dim / n_heads;
+    let scale = 1.0 / (hd as f32).sqrt();
+
+    let mut x = embed_rows(model, &[token], pos);
+    for (li, block) in model.blocks.iter().enumerate() {
+        let normed = layernorm_infer(&block.ln1, &x);
+        let qkv = linear_infer(&block.attn.qkv, &normed);
+        let mut heads_out = Matrix::zeros(1, dim);
+        for h in 0..n_heads {
+            let row = qkv.row(0);
+            let off = h * hd;
+            let q = Matrix::from_vec(1, hd, row[off..off + hd].to_vec());
+            cache.push_row(
+                li,
+                h,
+                pos,
+                &row[dim + off..dim + off + hd],
+                &row[2 * dim + off..2 * dim + off + hd],
+            );
+            // Attend over the cached rows *including* the one just pushed.
+            let k = cache.k_mat(li, h, pos + 1);
+            let v = cache.v_mat(li, h, pos + 1);
+            let mut s = gemm(MatMode::NT, &q, &k);
+            s.scale(scale);
+            let mut p = Matrix::zeros(1, pos + 1);
+            causal_softmax_row(s.row(0), pos, p.row_mut(0));
+            let o = gemm(MatMode::NN, &p, &v);
+            heads_out.row_mut(0)[h * hd..(h + 1) * hd].copy_from_slice(o.row(0));
+        }
+        let mut hres = linear_infer(&block.attn.proj, &heads_out);
+        hres.add_assign(&x);
+        let normed2 = layernorm_infer(&block.ln2, &hres);
+        let pre = linear_infer(&block.mlp.fc1, &normed2);
+        let mut act = pre.clone();
+        act.map_inplace(gelu);
+        let mut out = linear_infer(&block.mlp.fc2, &act);
+        out.add_assign(&hres);
+        x = out;
+    }
+    cache.len = pos + 1;
+    let x = layernorm_infer(&model.ln_f, &x);
+    linear_infer(&model.head, &x).row(0).to_vec()
+}
+
+/// Greedy token choice — the exact `max_by(total_cmp)` expression the
+/// seed's continuation used, so ties break identically.
+pub fn argmax(row: &[f32]) -> usize {
+    row.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .expect("nonempty vocab")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::AdamW;
+
+    fn toy() -> Gpt {
+        Gpt::new(GptModelConfig {
+            vocab: 12,
+            seq_len: 10,
+            dim: 16,
+            n_heads: 2,
+            n_layers: 2,
+            seed: 3,
+        })
+    }
+
+    #[test]
+    fn prefill_logits_match_full_forward_bitwise() {
+        let mut g = toy();
+        let prompt = [3usize, 1, 4, 1, 5];
+        let mut cache = KvCache::for_model(&g.cfg);
+        let kv = prefill(&g, &prompt, &mut cache);
+        let full = g.forward(&prompt);
+        assert_eq!(kv.shape(), full.shape());
+        for (a, b) in kv.as_slice().iter().zip(full.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(cache.len(), prompt.len());
+    }
+
+    #[test]
+    fn decode_step_matches_full_forward_bitwise() {
+        let mut g = toy();
+        let prompt = [3usize, 1, 4];
+        let mut cache = KvCache::for_model(&g.cfg);
+        let _ = prefill(&g, &prompt, &mut cache);
+        let mut ctx = prompt.to_vec();
+        for &tok in &[7usize, 2, 9, 0] {
+            let row = decode_step(&g, tok, &mut cache);
+            ctx.push(tok);
+            let full = g.forward(&ctx);
+            let want = full.row(ctx.len() - 1);
+            assert_eq!(row.len(), want.len());
+            for (a, b) in row.iter().zip(want) {
+                assert_eq!(a.to_bits(), b.to_bits(), "ctx {ctx:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_continuation_matches_recompute_oracle() {
+        let mut g = toy();
+        let mut opt = AdamW::new(3e-3);
+        let seq: Vec<usize> = vec![3, 1, 4, 1, 5, 9, 2, 6, 5, 3];
+        for _ in 0..60 {
+            g.train_step(&seq[..9], &seq[1..10], None, &mut opt);
+        }
+        let kv = g.greedy_continuation(&seq[..4], 5);
+        let oracle = g.greedy_continuation_recompute(&seq[..4], 5);
+        assert_eq!(kv, oracle);
+    }
+
+    #[test]
+    fn cache_reset_allows_reuse() {
+        let g = toy();
+        let mut cache = KvCache::for_model(&g.cfg);
+        let a = prefill(&g, &[1, 2, 3], &mut cache);
+        cache.reset();
+        let b = prefill(&g, &[1, 2, 3], &mut cache);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn approx_bytes_counts_kv_planes() {
+        let g = toy();
+        let cache = KvCache::for_model(&g.cfg);
+        // 2 layers × 2 heads × 2 planes × 10 positions × 8 head-dim × 4B.
+        assert_eq!(cache.approx_bytes(), 2 * 2 * 2 * 10 * 8 * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "decode_step before prefill")]
+    fn decode_before_prefill_panics() {
+        let g = toy();
+        let mut cache = KvCache::for_model(&g.cfg);
+        let _ = decode_step(&g, 0, &mut cache);
+    }
+
+    #[test]
+    #[should_panic(expected = "generation window exceeds seq_len")]
+    fn decode_past_window_panics() {
+        let g = toy();
+        let mut cache = KvCache::for_model(&g.cfg);
+        let _ = prefill(&g, &[0; 10], &mut cache);
+        let _ = decode_step(&g, 0, &mut cache);
+    }
+}

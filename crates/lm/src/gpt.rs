@@ -9,7 +9,10 @@ use axonn_tensor::Matrix;
 
 const GELU_C: f32 = 0.797_884_6; // sqrt(2/pi)
 
-fn gelu(x: f32) -> f32 {
+/// The exact GELU used by [`Mlp::forward`]; public so inference paths
+/// (the KV-cached decoder, tensor-parallel serving shards) reproduce the
+/// training activation bit-for-bit.
+pub fn gelu(x: f32) -> f32 {
     0.5 * x * (1.0 + (GELU_C * (x + 0.044715 * x * x * x)).tanh())
 }
 
@@ -22,8 +25,8 @@ fn gelu_grad(x: f32) -> f32 {
 
 /// The transformer MLP: `fc2(gelu(fc1(x)))`.
 pub struct Mlp {
-    fc1: Linear,
-    fc2: Linear,
+    pub fc1: Linear,
+    pub fc2: Linear,
     cached_pre: Option<Matrix>,
 }
 
@@ -62,10 +65,10 @@ impl Mlp {
 
 /// One pre-LN transformer block with residual connections.
 pub struct Block {
-    ln1: LayerNorm,
-    attn: CausalSelfAttention,
-    ln2: LayerNorm,
-    mlp: Mlp,
+    pub ln1: LayerNorm,
+    pub attn: CausalSelfAttention,
+    pub ln2: LayerNorm,
+    pub mlp: Mlp,
 }
 
 impl Block {
@@ -135,10 +138,10 @@ impl GptModelConfig {
 /// The full model.
 pub struct Gpt {
     pub cfg: GptModelConfig,
-    emb: Embedding,
-    blocks: Vec<Block>,
-    ln_f: LayerNorm,
-    head: Linear,
+    pub emb: Embedding,
+    pub blocks: Vec<Block>,
+    pub ln_f: LayerNorm,
+    pub head: Linear,
 }
 
 impl Gpt {
@@ -226,7 +229,37 @@ impl Gpt {
     /// `n_new` tokens. Requires `prompt.len() + n_new <= seq_len` (the
     /// memorization protocol always evaluates within one training
     /// window).
+    ///
+    /// Runs through the KV-cached decode path (`crate::decode`): the
+    /// prompt is prefetched once, then each new token costs O(seq)
+    /// attention instead of a full-sequence recompute. Bitwise identical
+    /// to [`Gpt::greedy_continuation_recompute`] (proptested).
     pub fn greedy_continuation(&mut self, prompt: &[usize], n_new: usize) -> Vec<usize> {
+        assert!(
+            prompt.len() + n_new <= self.cfg.seq_len,
+            "generation window exceeds seq_len"
+        );
+        assert!(!prompt.is_empty(), "empty prompt");
+        if n_new == 0 {
+            return Vec::new();
+        }
+        let mut cache = crate::decode::KvCache::for_model(&self.cfg);
+        let logits = crate::decode::prefill(self, prompt, &mut cache);
+        let mut next = crate::decode::argmax(logits.row(prompt.len() - 1));
+        let mut out = Vec::with_capacity(n_new);
+        out.push(next);
+        for _ in 1..n_new {
+            let row = crate::decode::decode_step(self, next, &mut cache);
+            next = crate::decode::argmax(&row);
+            out.push(next);
+        }
+        out
+    }
+
+    /// The seed's full-recompute continuation: re-runs the whole forward
+    /// pass (padded to `seq_len`) for every generated token. O(seq²) per
+    /// token — kept as the bit-identity oracle for the KV-cached path.
+    pub fn greedy_continuation_recompute(&mut self, prompt: &[usize], n_new: usize) -> Vec<usize> {
         assert!(
             prompt.len() + n_new <= self.cfg.seq_len,
             "generation window exceeds seq_len"

@@ -10,6 +10,7 @@
 
 pub mod attention;
 pub mod checkpoint;
+pub mod decode;
 pub mod gpt;
 pub mod llama;
 pub mod loss;
@@ -17,6 +18,7 @@ pub mod modules;
 pub mod optim;
 
 pub use checkpoint::Checkpoint;
+pub use decode::KvCache;
 pub use gpt::{Gpt, GptModelConfig};
 pub use llama::{LlamaBlock, RmsNorm, Rope, SwiGluMlp};
 pub use loss::{cross_entropy, CrossEntropyResult};

@@ -103,6 +103,13 @@ impl LayerNorm {
         }
     }
 
+    /// The normalization epsilon — exposed so stateless inference paths
+    /// (KV-cached decode, tensor-parallel serving) reproduce `forward`
+    /// bit-for-bit.
+    pub fn eps(&self) -> f32 {
+        self.eps
+    }
+
     pub fn forward(&mut self, x: &Matrix) -> Matrix {
         let (rows, d) = x.shape();
         let mut out = Matrix::zeros(rows, d);

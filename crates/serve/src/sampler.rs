@@ -1,0 +1,119 @@
+//! Token sampling: greedy argmax (the training plane's exact-match
+//! evaluator) and temperature/top-k for serving traffic.
+
+use axonn_lm::decode;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// How a stream picks its next token from a logits row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Sampling {
+    /// Deterministic argmax — bitwise the training evaluator's choice.
+    Greedy,
+    /// Sample among the `k` highest logits after dividing by
+    /// `temperature`. `k = 1` degenerates to greedy.
+    TopK { k: usize, temperature: f32 },
+}
+
+/// Pick a token from `row` under `sampling`, drawing randomness (top-k
+/// only) from `rng`.
+///
+/// # Panics
+/// If `row` is empty, `k == 0`, or `temperature <= 0`.
+pub fn sample(row: &[f32], sampling: Sampling, rng: &mut StdRng) -> usize {
+    match sampling {
+        Sampling::Greedy => decode::argmax(row),
+        Sampling::TopK { k, temperature } => {
+            assert!(k > 0, "top-k needs k >= 1");
+            assert!(temperature > 0.0, "temperature must be positive");
+            let k = k.min(row.len());
+            if k == 1 {
+                return decode::argmax(row);
+            }
+            // Indices of the k largest logits (ties broken toward the
+            // lower index, matching argmax's total_cmp order).
+            let mut idx: Vec<usize> = (0..row.len()).collect();
+            idx.sort_by(|&a, &b| row[b].total_cmp(&row[a]).then(a.cmp(&b)));
+            idx.truncate(k);
+            let maxv = row[idx[0]];
+            let weights: Vec<f64> = idx
+                .iter()
+                .map(|&i| (((row[i] - maxv) / temperature) as f64).exp())
+                .collect();
+            let total: f64 = weights.iter().sum();
+            let mut u = rng.next_unit() * total;
+            for (&i, w) in idx.iter().zip(&weights) {
+                if u < *w {
+                    return i;
+                }
+                u -= w;
+            }
+            idx[k - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn top1_equals_greedy() {
+        let row = [0.1f32, 2.0, -1.0, 1.9];
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            assert_eq!(
+                sample(
+                    &row,
+                    Sampling::TopK {
+                        k: 1,
+                        temperature: 0.5
+                    },
+                    &mut rng
+                ),
+                1
+            );
+        }
+    }
+
+    #[test]
+    fn topk_only_emits_topk_tokens_and_prefers_the_peak() {
+        let row = [0.0f32, 5.0, 4.5, -3.0, 1.0];
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = [0usize; 5];
+        for _ in 0..2000 {
+            let t = sample(
+                &row,
+                Sampling::TopK {
+                    k: 2,
+                    temperature: 1.0,
+                },
+                &mut rng,
+            );
+            counts[t] += 1;
+        }
+        assert_eq!(counts[0] + counts[3] + counts[4], 0, "{counts:?}");
+        assert!(counts[1] > counts[2], "{counts:?}");
+        assert!(counts[2] > 0, "{counts:?}");
+    }
+
+    #[test]
+    fn low_temperature_sharpens() {
+        let row = [1.0f32, 1.2, 0.8];
+        let mut rng = StdRng::seed_from_u64(3);
+        let sharp = (0..500)
+            .filter(|_| {
+                sample(
+                    &row,
+                    Sampling::TopK {
+                        k: 3,
+                        temperature: 0.05,
+                    },
+                    &mut rng,
+                ) == 1
+            })
+            .count();
+        assert!(sharp > 490, "sharp sampling picked the peak {sharp}/500");
+    }
+}
