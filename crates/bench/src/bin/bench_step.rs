@@ -3,19 +3,22 @@
 //!
 //! Usage:
 //!   bench_step [--iters N] [--check BASELINE.json] [--threshold F]
-//!              [--write-baseline] [--per-tensor] [--no-drift]
-//!              [--overhead-check [F]]
+//!              [--max-allreduce-ms F] [--write-baseline] [--per-tensor]
+//!              [--no-drift] [--overhead-check [F]]
 //!
 //! Always writes `results/BENCH_step_time.json` and (unless
 //! `--no-drift`) the perfmodel drift report
 //! `results/DRIFT_perfmodel.json`. With `--check`, exits non-zero when
 //! the median step time regresses by more than the threshold (default
-//! 20%) relative to the baseline file. With `--write-baseline`, also
+//! 20%) relative to the baseline file; `--max-allreduce-ms` adds an
+//! absolute ceiling on the all-reduce gate median so the collective
+//! fast path can only ratchet forward. With `--write-baseline`, also
 //! refreshes `results/bench_step_baseline.json` (commit that file to
 //! move the gate). With `--overhead-check`, re-runs the step benchmark
 //! with live metrics disabled (`AXONN_METRICS=0`) and fails when the
 //! telemetry plane costs more than the given fraction of step time
-//! (default 1%).
+//! (default 1%). When `$GITHUB_STEP_SUMMARY` is set, `--check` also
+//! appends a baseline-vs-current delta table in Markdown.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -54,6 +57,7 @@ fn main() -> ExitCode {
     let mut cfg = StepBenchConfig::default();
     let mut check: Option<PathBuf> = None;
     let mut threshold = DEFAULT_THRESHOLD;
+    let mut max_allreduce_ms: Option<f64> = None;
     let mut write_baseline = false;
     let mut emit_drift = true;
     let mut overhead_check: Option<f64> = None;
@@ -76,6 +80,13 @@ fn main() -> ExitCode {
                     .and_then(|v| v.parse().ok())
                     .expect("--threshold needs a fraction, e.g. 0.2");
             }
+            "--max-allreduce-ms" => {
+                max_allreduce_ms = Some(
+                    argv.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--max-allreduce-ms needs a duration in ms, e.g. 11.2"),
+                );
+            }
             "--write-baseline" => write_baseline = true,
             // Benchmark the serial per-tensor oracle instead of the
             // bucketed ZeRO-1 pipeline (for measuring the pipeline's win
@@ -95,7 +106,8 @@ fn main() -> ExitCode {
                 eprintln!("unknown flag {other}");
                 eprintln!(
                     "usage: bench_step [--iters N] [--check BASELINE.json] [--threshold F] \
-                     [--write-baseline] [--per-tensor] [--no-drift] [--overhead-check [F]]"
+                     [--max-allreduce-ms F] [--write-baseline] [--per-tensor] [--no-drift] \
+                     [--overhead-check [F]]"
                 );
                 return ExitCode::FAILURE;
             }
@@ -154,6 +166,7 @@ fn main() -> ExitCode {
             .map(|e| {
                 vec![
                     e.op.to_string(),
+                    e.algo.to_string(),
                     format!("{}", e.elems),
                     format!("{:.3}", e.measured_s * 1e3),
                     format!("{:.3}", e.predicted_s * 1e3),
@@ -163,7 +176,14 @@ fn main() -> ExitCode {
             .collect();
         print_table(
             "perfmodel drift — measured vs Eq. 1–5 (calibrated β̂)",
-            &["op", "elems/rank", "measured ms", "predicted ms", "ratio"],
+            &[
+                "op",
+                "algo",
+                "elems/rank",
+                "measured ms",
+                "predicted ms",
+                "ratio",
+            ],
             &rows,
         );
         println!(
@@ -198,10 +218,14 @@ fn main() -> ExitCode {
             Ok(b) => b,
             Err(e) => {
                 eprintln!("[perf-gate] {e}");
+                eprintln!(
+                    "[perf-gate] regenerate with: cargo run --release -p axonn-bench \
+                     --features simd --bin bench_step -- --write-baseline"
+                );
                 return ExitCode::FAILURE;
             }
         };
-        let verdict = compare(&report, &baseline, threshold);
+        let verdict = compare(&report, &baseline, threshold, max_allreduce_ms);
         println!(
             "[perf-gate] step {:+.1}% (gate {:+.0}%), all-reduce {:+.1}% vs {}",
             verdict.step_delta * 100.0,
@@ -209,6 +233,23 @@ fn main() -> ExitCode {
             verdict.allreduce_delta * 100.0,
             baseline_path.display(),
         );
+        write_step_summary(&report, &baseline, &verdict, &baseline_path);
+        if verdict.allreduce_over_ceiling {
+            eprintln!(
+                "[perf-gate] FAIL: all-reduce gate median {:.3} ms exceeds the \
+                 {:.3} ms absolute ceiling",
+                report.gate_allreduce_ms,
+                verdict.allreduce_ceiling_ms.unwrap_or(f64::NAN)
+            );
+            eprintln!(
+                "[perf-gate] the ceiling ratchets the collective fast path; if the \
+                 regression is intentional, refresh the baseline with: cargo run \
+                 --release -p axonn-bench --features simd --bin bench_step -- \
+                 --write-baseline and raise --max-allreduce-ms in \
+                 .github/workflows/ci.yml"
+            );
+            return ExitCode::FAILURE;
+        }
         if verdict.regressed {
             eprintln!(
                 "[perf-gate] FAIL: step time (fast-half median) regressed {:.1}% > {:.0}% threshold",
@@ -220,4 +261,88 @@ fn main() -> ExitCode {
         println!("[perf-gate] PASS");
     }
     ExitCode::SUCCESS
+}
+
+/// Append a Markdown baseline-vs-current delta table to the file named
+/// by `$GITHUB_STEP_SUMMARY` (set by GitHub Actions); a no-op elsewhere.
+fn write_step_summary(
+    report: &axonn_bench::step::StepBenchReport,
+    baseline: &axonn_bench::step::StepBenchReport,
+    verdict: &axonn_bench::step::GateVerdict,
+    baseline_path: &std::path::Path,
+) {
+    let Ok(summary_path) = std::env::var("GITHUB_STEP_SUMMARY") else {
+        return;
+    };
+    use std::fmt::Write as _;
+    let delta = |now: f64, then: f64| {
+        if then > 0.0 {
+            format!("{:+.1}%", (now - then) / then * 100.0)
+        } else {
+            "n/a".to_string()
+        }
+    };
+    let mut md = String::new();
+    let _ = writeln!(md, "### bench_step perf gate\n");
+    let _ = writeln!(md, "| metric | baseline | current | delta |");
+    let _ = writeln!(md, "|---|---:|---:|---:|");
+    for (name, base, now) in [
+        (
+            "gate step (fast-half median)",
+            baseline.gate_step_ms,
+            report.gate_step_ms,
+        ),
+        (
+            "gate all-reduce",
+            baseline.gate_allreduce_ms,
+            report.gate_allreduce_ms,
+        ),
+        (
+            "gate grad-sync",
+            baseline.gate_grad_sync_ms,
+            report.gate_grad_sync_ms,
+        ),
+        (
+            "median step",
+            baseline.median_step_ms,
+            report.median_step_ms,
+        ),
+    ] {
+        let _ = writeln!(
+            md,
+            "| {name} | {base:.3} ms | {now:.3} ms | {} |",
+            delta(now, base)
+        );
+    }
+    let ceiling = match verdict.allreduce_ceiling_ms {
+        Some(cap) => format!(
+            "{:.3} ms ceiling — {}",
+            cap,
+            if verdict.allreduce_over_ceiling {
+                "**exceeded**"
+            } else {
+                "ok"
+            }
+        ),
+        None => "none".to_string(),
+    };
+    let _ = writeln!(
+        md,
+        "\nthreshold {:.0}% · all-reduce ceiling: {ceiling} · baseline `{}` · verdict **{}**",
+        verdict.threshold * 100.0,
+        baseline_path.display(),
+        if verdict.regressed || verdict.allreduce_over_ceiling {
+            "FAIL"
+        } else {
+            "PASS"
+        }
+    );
+    if let Err(e) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&summary_path)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, md.as_bytes()))
+    {
+        eprintln!("[perf-gate] could not append step summary to {summary_path}: {e}");
+    }
 }

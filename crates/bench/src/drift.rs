@@ -14,7 +14,9 @@
 //! The report is written as `results/DRIFT_perfmodel.json` by
 //! `bench_step`.
 
-use axonn_collectives::{CollectiveKind, ProcessGroup, RingCostModel};
+use axonn_collectives::{
+    AgAlgo, AlgoPolicy, ArAlgo, CollectiveKind, ProcessGroup, RingCostModel, RsAlgo,
+};
 use axonn_exec::run_spmd;
 use axonn_trace::{Histogram, SECONDS_BOUNDS};
 use serde::{Serialize, Value};
@@ -49,6 +51,10 @@ impl Default for DriftConfig {
 pub struct DriftEntry {
     /// Collective name (`all_gather`, `reduce_scatter`, `all_reduce`).
     pub op: &'static str,
+    /// Algorithm the runtime's [`AlgoPolicy`] selects at this size
+    /// (`ring`, `rh`, `rd`, `rhd`, `tree`) — the prediction is priced
+    /// with the same algorithm's cost curve.
+    pub algo: &'static str,
     /// Per-rank input elements.
     pub elems: usize,
     /// Bytes as charged to the cost model (the `n` of Eq. 1–5).
@@ -67,6 +73,7 @@ impl Serialize for DriftEntry {
     fn serialize(&self) -> Value {
         Value::Object(vec![
             ("op".into(), self.op.serialize()),
+            ("algo".into(), self.algo.serialize()),
             ("elems".into(), self.elems.serialize()),
             ("bytes".into(), self.bytes.serialize()),
             ("group".into(), self.group.serialize()),
@@ -136,11 +143,31 @@ fn model_bytes(op: &'static str, elems: usize, g: usize) -> u64 {
     }
 }
 
-fn model_kind(op: &'static str) -> CollectiveKind {
+/// The collective kind the runtime actually executes at this size under
+/// `policy` — predicting a tree-selected point with the ring curve would
+/// report spurious drift. `elems` is the per-rank input (the contributed
+/// shard for all-gather, the full buffer otherwise), matching the
+/// runtime's selection inputs.
+fn model_kind(
+    op: &'static str,
+    elems: usize,
+    g: usize,
+    policy: &AlgoPolicy,
+) -> (CollectiveKind, &'static str) {
     match op {
-        "all_gather" => CollectiveKind::AllGather,
-        "reduce_scatter" => CollectiveKind::ReduceScatter,
-        "all_reduce" => CollectiveKind::AllReduce,
+        "all_gather" => match policy.all_gather(elems, g) {
+            AgAlgo::Ring => (CollectiveKind::AllGather, "ring"),
+            AgAlgo::Rd => (CollectiveKind::AllGatherRecursiveDoubling, "rd"),
+        },
+        "reduce_scatter" => match policy.reduce_scatter(elems, g) {
+            RsAlgo::Ring => (CollectiveKind::ReduceScatter, "ring"),
+            RsAlgo::Rh => (CollectiveKind::ReduceScatterRecursiveHalving, "rh"),
+        },
+        "all_reduce" => match policy.all_reduce(elems, g) {
+            ArAlgo::Ring => (CollectiveKind::AllReduce, "ring"),
+            ArAlgo::Rhd => (CollectiveKind::AllReduceRecursiveHalvingDoubling, "rhd"),
+            ArAlgo::Tree => (CollectiveKind::AllReduceTree, "tree"),
+        },
         other => unreachable!("unknown drift op {other}"),
     }
 }
@@ -205,8 +232,12 @@ pub fn run_drift(cfg: &DriftConfig) -> DriftReport {
         .expect("all_reduce measured");
     let gf = g as f64;
     let cal_bytes = model_bytes("all_reduce", cal_elems, g) as f64;
+    // The ring and halving/doubling all-reduces move the same
+    // 2(g-1)/g · n bytes, so this calibration holds whichever of the two
+    // the policy selects at the largest size.
     let bandwidth = (2.0 * (gf - 1.0) / gf * cal_bytes) / cal_t.max(1e-12);
     let model = RingCostModel::new(1e12, bandwidth);
+    let policy = AlgoPolicy::from_env();
 
     let mut hists: Vec<(String, Histogram)> = OPS
         .iter()
@@ -221,16 +252,14 @@ pub fn run_drift(cfg: &DriftConfig) -> DriftReport {
         .into_iter()
         .map(|(op, elems, t)| {
             let bytes = model_bytes(op, elems, g);
-            let predicted = axonn_collectives::CostModel::collective_seconds(
-                &model,
-                model_kind(op),
-                g,
-                bytes as f64,
-            );
+            let (kind, algo) = model_kind(op, elems, g, &policy);
+            let predicted =
+                axonn_collectives::CostModel::collective_seconds(&model, kind, g, bytes as f64);
             let hist_idx = OPS.iter().position(|o| *o == op).expect("known op");
             hists[hist_idx].1.observe(t);
             DriftEntry {
                 op,
+                algo,
                 elems,
                 bytes,
                 group: g,

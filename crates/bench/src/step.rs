@@ -223,17 +223,26 @@ pub struct GateVerdict {
     pub allreduce_delta: f64,
     /// Allowed regression before the gate fails.
     pub threshold: f64,
-    /// `true` when `step_delta > threshold`.
+    /// Absolute ceiling on the all-reduce gate median, when one is set.
+    /// A ratchet: unlike the relative threshold it cannot drift upward
+    /// across baseline refreshes.
+    pub allreduce_ceiling_ms: Option<f64>,
+    /// `true` when the ceiling is set and `gate_allreduce_ms` exceeds it.
+    pub allreduce_over_ceiling: bool,
+    /// `true` when `step_delta > threshold` or the ceiling is breached.
     pub regressed: bool,
 }
 
 /// Compare `current` against `baseline` with the given regression
-/// threshold (fraction, e.g. `0.2` for 20%). Only the end-to-end step
-/// median gates; the all-reduce delta is reported for diagnosis.
+/// threshold (fraction, e.g. `0.2` for 20%). The end-to-end step median
+/// gates relatively; `max_allreduce_ms`, when set, additionally gates
+/// the all-reduce microbench against an absolute ceiling so the
+/// collective fast path can only ratchet forward.
 pub fn compare(
     current: &StepBenchReport,
     baseline: &StepBenchReport,
     threshold: f64,
+    max_allreduce_ms: Option<f64>,
 ) -> GateVerdict {
     let rel = |now: f64, then: f64| {
         if then > 0.0 {
@@ -243,11 +252,14 @@ pub fn compare(
         }
     };
     let step_delta = rel(current.gate_step_ms, baseline.gate_step_ms);
+    let over_ceiling = max_allreduce_ms.is_some_and(|cap| current.gate_allreduce_ms > cap);
     GateVerdict {
         step_delta,
         allreduce_delta: rel(current.gate_allreduce_ms, baseline.gate_allreduce_ms),
         threshold,
-        regressed: step_delta > threshold,
+        allreduce_ceiling_ms: max_allreduce_ms,
+        allreduce_over_ceiling: over_ceiling,
+        regressed: step_delta > threshold || over_ceiling,
     }
 }
 
@@ -283,11 +295,27 @@ mod tests {
     #[test]
     fn gate_passes_within_threshold_and_fails_beyond() {
         let base = report(10.0, 2.0);
-        let ok = compare(&report(11.5, 2.0), &base, 0.2);
+        let ok = compare(&report(11.5, 2.0), &base, 0.2, None);
         assert!(!ok.regressed, "15% slower must pass a 20% gate");
-        let bad = compare(&report(25.0, 2.0), &base, 0.2);
+        let bad = compare(&report(25.0, 2.0), &base, 0.2, None);
         assert!(bad.regressed, "2.5x slower must fail");
         assert!(bad.step_delta > 1.4 && bad.step_delta < 1.6);
+    }
+
+    #[test]
+    fn allreduce_ceiling_gates_independently_of_step_delta() {
+        let base = report(10.0, 2.0);
+        // Step within threshold but all-reduce above the absolute cap:
+        // the ceiling must fail the gate on its own.
+        let capped = compare(&report(10.5, 3.0), &base, 0.2, Some(2.5));
+        assert!(capped.allreduce_over_ceiling);
+        assert!(capped.regressed, "ceiling breach must fail the gate");
+        assert_eq!(capped.allreduce_ceiling_ms, Some(2.5));
+        // Same run under the cap passes; no ceiling means no ceiling gate.
+        let under = compare(&report(10.5, 2.4), &base, 0.2, Some(2.5));
+        assert!(!under.allreduce_over_ceiling && !under.regressed);
+        let uncapped = compare(&report(10.5, 99.0), &base, 0.2, None);
+        assert!(!uncapped.allreduce_over_ceiling && !uncapped.regressed);
     }
 
     #[test]

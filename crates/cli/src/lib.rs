@@ -646,7 +646,7 @@ pub fn run(cmd: Command) -> Result<(), String> {
             );
             match load_report(&path) {
                 Ok(base) => {
-                    let v = bench_compare(&report, &base, 0.20);
+                    let v = bench_compare(&report, &base, 0.20, None);
                     let sync_delta = if base.gate_grad_sync_ms > 0.0 {
                         (report.gate_grad_sync_ms - base.gate_grad_sync_ms) / base.gate_grad_sync_ms
                     } else {
@@ -669,7 +669,7 @@ pub fn run(cmd: Command) -> Result<(), String> {
                     return Err(format!(
                         "no step-time baseline to compare against: {e}\n\
                          generate one with `cargo run --release -p axonn-bench \
-                         --bin bench_step -- --write-baseline` (commits to \
+                         --features simd --bin bench_step -- --write-baseline` (commits to \
                          results/bench_step_baseline.json), or pass an explicit \
                          baseline path: axonnctl bench <baseline.json>"
                     ))

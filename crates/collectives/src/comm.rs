@@ -12,8 +12,10 @@
 //! fallible `try_*` API returning [`CommError`], which is what the
 //! fault-tolerant supervisor builds on.
 
+use crate::algo::{AgAlgo, AlgoPolicy, ArAlgo, BcastAlgo, RsAlgo};
 use crate::cost::{CollectiveKind, CostModel, NullCost};
 use crate::fault::{unwrap_comm, CommError, FaultConfig};
+use crate::fold;
 use crate::group::ProcessGroup;
 use crate::mailbox::{MsgKey, PoisonInfo, Transport};
 use crate::pool::{segment_ranges, Payload, PipelineConfig, PoolStats};
@@ -27,10 +29,15 @@ use std::sync::Arc;
 pub(crate) fn coll_op(kind: CollectiveKind) -> CollOp {
     match kind {
         CollectiveKind::AllGather => CollOp::AllGather,
+        CollectiveKind::AllGatherRecursiveDoubling => CollOp::AllGatherRd,
         CollectiveKind::ReduceScatter => CollOp::ReduceScatter,
+        CollectiveKind::ReduceScatterRecursiveHalving => CollOp::ReduceScatterRh,
         CollectiveKind::AllReduce => CollOp::AllReduce,
         CollectiveKind::AllReduceRecursiveDoubling => CollOp::AllReduceRd,
+        CollectiveKind::AllReduceRecursiveHalvingDoubling => CollOp::AllReduceRhd,
+        CollectiveKind::AllReduceTree => CollOp::AllReduceTree,
         CollectiveKind::Broadcast => CollOp::Broadcast,
+        CollectiveKind::BroadcastTree => CollOp::BroadcastTree,
         // Point-to-point transfers have no dedicated trace op; the
         // barrier label is the closest stand-in and keeps the map total.
         CollectiveKind::Barrier | CollectiveKind::PointToPoint => CollOp::Barrier,
@@ -71,6 +78,9 @@ pub(crate) struct CommShared {
     /// Live metrics facade, present when the telemetry plane is on.
     /// Pre-registered handles: stamping is atomic adds, no allocation.
     pub(crate) metrics: Option<Arc<axonn_trace::LiveCollectives>>,
+    /// Message-size-aware algorithm selection policy, resolved once at
+    /// world build so every rank selects identically.
+    pub(crate) algo: AlgoPolicy,
 }
 
 /// A rank's handle to the world: identity, transport, cost model, clock.
@@ -158,6 +168,7 @@ impl CommWorld {
             record_schedule: None,
             metrics: None,
             dry: false,
+            algo: None,
         }
     }
 
@@ -195,6 +206,7 @@ pub struct WorldBuilder {
     record_schedule: Option<bool>,
     metrics: Option<axonn_trace::LiveRegistry>,
     dry: bool,
+    algo: Option<AlgoPolicy>,
 }
 
 impl WorldBuilder {
@@ -215,6 +227,14 @@ impl WorldBuilder {
     /// splits payloads of ≥ 16 Ki elements into up to 4 chunks).
     pub fn pipeline(mut self, pipeline: PipelineConfig) -> Self {
         self.pipeline = pipeline;
+        self
+    }
+
+    /// Override the message-size-aware algorithm selection policy (the
+    /// default resolves [`AlgoPolicy::from_env`] once at build —
+    /// `AXONN_COLL_ALGO` — so A/B runs can force ring/tree/rhd).
+    pub fn algo(mut self, policy: AlgoPolicy) -> Self {
+        self.algo = Some(policy);
         self
     }
 
@@ -257,8 +277,12 @@ impl WorldBuilder {
             record_schedule,
             metrics,
             dry,
+            algo,
         } = self;
         assert!(size > 0, "world size must be positive");
+        // Resolved once here, not per rank: every rank of a world must
+        // select the same algorithm for the same collective.
+        let algo = algo.unwrap_or_else(AlgoPolicy::from_env);
         let record = dry || record_schedule.unwrap_or_else(default_recording);
         let transport = Transport::with_opts_recording(size, faults, pipeline, record);
         // Live metrics: an explicit registry always publishes; otherwise
@@ -288,6 +312,7 @@ impl WorldBuilder {
                     tracer: tracers.map(|t| t[rank].clone()),
                     dry,
                     metrics: live.clone(),
+                    algo,
                 });
                 // Dry worlds never spawn workers: async issues complete
                 // eagerly with symbolic results.
@@ -350,6 +375,15 @@ pub mod lane {
     /// Direct-exchange (linear-order) reduce-scatter: `LRS + segment`.
     /// One logical step — receivers disambiguate senders by source rank.
     pub const LRS: u32 = 0x0006_0000;
+    /// Recursive-halving reduce-scatter exchange steps: `RHD + step·256`.
+    pub const RHD: u32 = 0x0007_0000;
+    /// Recursive-doubling all-gather exchange steps: `RDAG + step·256`.
+    pub const RDAG: u32 = 0x0008_0000;
+    /// Binomial-tree reduce phase (child → parent): `TREE_UP + step·256`.
+    pub const TREE_UP: u32 = 0x0009_0000;
+    /// Binomial-tree broadcast phase (parent → child):
+    /// `TREE_DOWN + step·256`.
+    pub const TREE_DOWN: u32 = 0x000a_0000;
 }
 
 /// Sub-keys per ring step (and therefore the cap on pipeline segments).
@@ -666,32 +700,32 @@ impl Comm {
         group: &ProcessGroup,
         shard: &[f32],
     ) -> Result<Vec<f32>, CommError> {
+        let algo = self.shared.algo.all_gather(shard.len(), group.size());
+        let (sched, kind, name) = match algo {
+            AgAlgo::Ring => (
+                SchedKind::AllGather,
+                CollectiveKind::AllGather,
+                "all_gather",
+            ),
+            AgAlgo::Rd => (
+                SchedKind::AllGatherRd,
+                CollectiveKind::AllGatherRecursiveDoubling,
+                "all_gather_rd",
+            ),
+        };
         let seq = self.next_seq(group);
-        self.record_issue(
-            SchedKind::AllGather,
-            group,
-            shard.len(),
-            None,
-            None,
-            true,
-            false,
-            seq,
-        );
+        self.record_issue(sched, group, shard.len(), None, None, true, false, seq);
         if self.shared.dry {
             return Ok(vec![0.0; shard.len() * group.size()]);
         }
-        let _op = self.op_scope("all_gather");
+        let _op = self.op_scope(name);
         let wall = self.wall_now();
         let mut stats = HopStats::default();
-        let out = ring_all_gather(&self.shared, self.rank, group, seq, shard, &mut stats)?;
-        self.charge_blocking(
-            group,
-            seq,
-            CollectiveKind::AllGather,
-            (out.len() * 4) as f64,
-            wall,
-            stats,
-        )?;
+        let out = match algo {
+            AgAlgo::Ring => ring_all_gather(&self.shared, self.rank, group, seq, shard, &mut stats),
+            AgAlgo::Rd => rd_all_gather(&self.shared, self.rank, group, seq, shard, &mut stats),
+        }?;
+        self.charge_blocking(group, seq, kind, (out.len() * 4) as f64, wall, stats)?;
         Ok(out)
     }
 
@@ -710,9 +744,22 @@ impl Comm {
         group: &ProcessGroup,
         buf: &[f32],
     ) -> Result<Vec<f32>, CommError> {
+        let algo = self.shared.algo.reduce_scatter(buf.len(), group.size());
+        let (sched, kind, name) = match algo {
+            RsAlgo::Ring => (
+                SchedKind::ReduceScatter,
+                CollectiveKind::ReduceScatter,
+                "reduce_scatter",
+            ),
+            RsAlgo::Rh => (
+                SchedKind::ReduceScatterRh,
+                CollectiveKind::ReduceScatterRecursiveHalving,
+                "reduce_scatter_rh",
+            ),
+        };
         let seq = self.next_seq(group);
         self.record_issue(
-            SchedKind::ReduceScatter,
+            sched,
             group,
             buf.len(),
             None,
@@ -724,18 +771,24 @@ impl Comm {
         if self.shared.dry {
             return self.dry_reduce_scatter(buf.len(), group, "reduce_scatter");
         }
-        let _op = self.op_scope("reduce_scatter");
+        let _op = self.op_scope(name);
         let wall = self.wall_now();
         let mut stats = HopStats::default();
-        let out = ring_reduce_scatter(&self.shared, self.rank, group, seq, buf, &mut stats)?;
-        self.charge_blocking(
-            group,
-            seq,
-            CollectiveKind::ReduceScatter,
-            (buf.len() * 4) as f64,
-            wall,
-            stats,
-        )?;
+        let out = match algo {
+            RsAlgo::Ring => {
+                ring_reduce_scatter(&self.shared, self.rank, group, seq, buf, &mut stats)
+            }
+            RsAlgo::Rh => rh_reduce_scatter_op(
+                &self.shared,
+                self.rank,
+                group,
+                seq,
+                buf,
+                ReduceOp::Sum,
+                &mut stats,
+            ),
+        }?;
+        self.charge_blocking(group, seq, kind, (buf.len() * 4) as f64, wall, stats)?;
         Ok(out)
     }
 
@@ -863,32 +916,42 @@ impl Comm {
         buf: &mut [f32],
         op: ReduceOp,
     ) -> Result<(), CommError> {
+        let algo = self.shared.algo.all_reduce(buf.len(), group.size());
+        let (sched, kind, name) = match algo {
+            ArAlgo::Ring => (
+                SchedKind::AllReduce,
+                CollectiveKind::AllReduce,
+                "all_reduce",
+            ),
+            ArAlgo::Rhd => (
+                SchedKind::AllReduceRhd,
+                CollectiveKind::AllReduceRecursiveHalvingDoubling,
+                "all_reduce_rhd",
+            ),
+            ArAlgo::Tree => (
+                SchedKind::AllReduceTree,
+                CollectiveKind::AllReduceTree,
+                "all_reduce_tree",
+            ),
+        };
         let seq = self.next_seq(group);
-        self.record_issue(
-            SchedKind::AllReduce,
-            group,
-            buf.len(),
-            None,
-            Some(op),
-            true,
-            false,
-            seq,
-        );
+        self.record_issue(sched, group, buf.len(), None, Some(op), true, false, seq);
         if self.shared.dry {
             return Ok(());
         }
-        let _op = self.op_scope("all_reduce");
+        let _op = self.op_scope(name);
         let wall = self.wall_now();
         let mut stats = HopStats::default();
-        ring_all_reduce(&self.shared, self.rank, group, seq, buf, op, &mut stats)?;
-        self.charge_blocking(
-            group,
-            seq,
-            CollectiveKind::AllReduce,
-            (buf.len() * 4) as f64,
-            wall,
-            stats,
-        )
+        match algo {
+            ArAlgo::Ring => {
+                ring_all_reduce(&self.shared, self.rank, group, seq, buf, op, &mut stats)
+            }
+            ArAlgo::Rhd => rhd_all_reduce(&self.shared, self.rank, group, seq, buf, op, &mut stats),
+            ArAlgo::Tree => {
+                tree_all_reduce(&self.shared, self.rank, group, seq, buf, op, &mut stats)
+            }
+        }?;
+        self.charge_blocking(group, seq, kind, (buf.len() * 4) as f64, wall, stats)
     }
 
     /// Blocking all-reduce choosing the algorithm the way NCCL does:
@@ -945,9 +1008,18 @@ impl Comm {
         root_pos: usize,
         buf: &mut [f32],
     ) -> Result<(), CommError> {
+        let algo = self.shared.algo.broadcast(buf.len(), group.size());
+        let (sched, kind, name) = match algo {
+            BcastAlgo::Chain => (SchedKind::Broadcast, CollectiveKind::Broadcast, "broadcast"),
+            BcastAlgo::Tree => (
+                SchedKind::BroadcastTree,
+                CollectiveKind::BroadcastTree,
+                "broadcast_tree",
+            ),
+        };
         let seq = self.next_seq(group);
         self.record_issue(
-            SchedKind::Broadcast,
+            sched,
             group,
             buf.len(),
             Some(root_pos),
@@ -959,26 +1031,30 @@ impl Comm {
         if self.shared.dry {
             return Ok(());
         }
-        let _op = self.op_scope("broadcast");
+        let _op = self.op_scope(name);
         let wall = self.wall_now();
         let mut stats = HopStats::default();
-        ring_broadcast(
-            &self.shared,
-            self.rank,
-            group,
-            seq,
-            root_pos,
-            buf,
-            &mut stats,
-        )?;
-        self.charge_blocking(
-            group,
-            seq,
-            CollectiveKind::Broadcast,
-            (buf.len() * 4) as f64,
-            wall,
-            stats,
-        )
+        match algo {
+            BcastAlgo::Chain => ring_broadcast(
+                &self.shared,
+                self.rank,
+                group,
+                seq,
+                root_pos,
+                buf,
+                &mut stats,
+            ),
+            BcastAlgo::Tree => tree_broadcast(
+                &self.shared,
+                self.rank,
+                group,
+                seq,
+                root_pos,
+                buf,
+                &mut stats,
+            ),
+        }?;
+        self.charge_blocking(group, seq, kind, (buf.len() * 4) as f64, wall, stats)
     }
 
     /// Block until every group member has arrived.
@@ -1286,12 +1362,7 @@ pub(crate) fn ring_reduce_scatter_op(
                     .transport
                     .recv_result(rank, prev, msg_key(gk, seq, lane::RS + sub(s, j)))?;
             assert_eq!(data.len(), r.len(), "reduce-scatter chunk length mismatch");
-            for (w, d) in work[recv_base + r.start..recv_base + r.end]
-                .iter_mut()
-                .zip(data.iter())
-            {
-                *w = op.combine(*w, *d);
-            }
+            fold::fold_op(op, &mut work[recv_base + r.start..recv_base + r.end], &data);
         }
     }
     Ok(work[pos * chunk..(pos + 1) * chunk].to_vec())
@@ -1359,9 +1430,7 @@ pub(crate) fn linear_reduce_scatter(
             if first {
                 acc.copy_from_slice(own);
             } else {
-                for (a, &v) in acc.iter_mut().zip(own) {
-                    *a += v;
-                }
+                fold::fold_sum(&mut acc, own);
             }
         } else {
             for (j, r) in segment_ranges(chunk, segs).enumerate() {
@@ -1374,9 +1443,7 @@ pub(crate) fn linear_reduce_scatter(
                 if first {
                     acc[r].copy_from_slice(&data);
                 } else {
-                    for (a, &v) in acc[r].iter_mut().zip(data.iter()) {
-                        *a += v;
-                    }
+                    fold::fold_sum(&mut acc[r], &data);
                 }
             }
         }
@@ -1451,9 +1518,7 @@ pub(crate) fn recursive_doubling_all_reduce(
             .transport
             .recv_result(rank, partner, msg_key(gk, seq, lane::RD + s))?;
         assert_eq!(data.len(), buf.len(), "recursive-doubling length mismatch");
-        for (b, d) in buf.iter_mut().zip(data.iter()) {
-            *b += d;
-        }
+        fold::fold_sum(buf, &data);
         stride <<= 1;
         s += 1;
     }
@@ -1514,4 +1579,401 @@ pub(crate) fn ring_broadcast(
         }
     }
     Ok(())
+}
+
+/// Recursive-halving reduce-scatter: at step `s` the window of chunk
+/// indices this rank still owns is halved — it sends the half its
+/// partner keeps (the partner sits `window/2` positions away) and folds
+/// the partner's contribution into the half it keeps. `⌈log2 g⌉` steps
+/// at the ring's bandwidth-optimal volume (`n/2 + n/4 + … = (g-1)/g·n`
+/// per rank). Power-of-two groups only; callers guarantee this via
+/// [`AlgoPolicy`] selection.
+///
+/// Fold order per element: this rank's running value folds the incoming
+/// half as `own = op(own, incoming)` at every step — a fixed order the
+/// serial replay oracle in [`crate::reference`] reproduces exactly.
+pub(crate) fn rh_reduce_scatter_op(
+    shared: &CommShared,
+    rank: usize,
+    group: &ProcessGroup,
+    seq: u64,
+    buf: &[f32],
+    op: ReduceOp,
+    stats: &mut HopStats,
+) -> Result<Vec<f32>, CommError> {
+    let mut work = buf.to_vec();
+    let mine = rh_reduce_scatter_inplace(shared, rank, group, seq, &mut work, op, stats)?;
+    Ok(work[mine].to_vec())
+}
+
+/// Scratch-free core of the recursive halving: folds in place on `work`
+/// and returns the element range of the chunk this rank owns at the
+/// end. Lets the halving/doubling all-reduce run without cloning the
+/// full buffer.
+pub(crate) fn rh_reduce_scatter_inplace(
+    shared: &CommShared,
+    rank: usize,
+    group: &ProcessGroup,
+    seq: u64,
+    work: &mut [f32],
+    op: ReduceOp,
+    stats: &mut HopStats,
+) -> Result<std::ops::Range<usize>, CommError> {
+    let g = group.size();
+    if g == 1 {
+        return Ok(0..work.len());
+    }
+    if !work.len().is_multiple_of(g) {
+        shared.transport.note_error();
+        return Err(CommError::InvalidBuffer {
+            op: "reduce_scatter",
+            detail: format!("length {} not divisible by group size {g}", work.len()),
+        });
+    }
+    assert!(
+        g.is_power_of_two(),
+        "recursive halving needs a power-of-two group"
+    );
+    // Whole-block exchanges serving the latency-bound regime: never
+    // segmented.
+    stats.chunks = stats.chunks.max(1);
+    let gk = group.key();
+    let pos = group.position_of(rank);
+    let chunk = work.len() / g;
+    // Window of chunk indices this rank still accumulates: [lo, lo+span).
+    let mut lo = 0usize;
+    let mut span = g;
+    let mut s = 0usize;
+    while span > 1 {
+        let half = span / 2;
+        let mid = lo + half;
+        let in_lower = pos < mid;
+        let partner_pos = if in_lower { pos + half } else { pos - half };
+        let partner = group.rank_at(partner_pos);
+        let (keep, send) = if in_lower {
+            (lo * chunk..mid * chunk, mid * chunk..(lo + span) * chunk)
+        } else {
+            (mid * chunk..(lo + span) * chunk, lo * chunk..mid * chunk)
+        };
+        let key = msg_key(gk, seq, lane::RHD + sub(s, 0));
+        let payload = pooled(shared, &work[send], stats);
+        shared.transport.send(rank, partner, key, payload);
+        let data = shared.transport.recv_result(rank, partner, key)?;
+        assert_eq!(data.len(), keep.len(), "recursive-halving length mismatch");
+        fold::fold_op(op, &mut work[keep], &data);
+        if in_lower {
+            span = half;
+        } else {
+            lo = mid;
+            span = half;
+        }
+        s += 1;
+    }
+    Ok(pos * chunk..(pos + 1) * chunk)
+}
+
+/// Recursive-doubling all-gather: at step `s` (distance `d = 2^s`) every
+/// rank exchanges its aligned block of `d` chunks with the partner at
+/// position `pos XOR d`, doubling the assembled block. `⌈log2 g⌉` steps
+/// at the ring's volume (`n + 2n + … = (g-1)·shard` per rank).
+/// Power-of-two groups only; pure data movement, so results are
+/// bit-identical to the ring for any inputs.
+pub(crate) fn rd_all_gather(
+    shared: &CommShared,
+    rank: usize,
+    group: &ProcessGroup,
+    seq: u64,
+    shard: &[f32],
+    stats: &mut HopStats,
+) -> Result<Vec<f32>, CommError> {
+    let mut out = vec![0.0f32; shard.len() * group.size()];
+    rd_all_gather_into(shared, rank, group, seq, shard, &mut out, stats)?;
+    Ok(out)
+}
+
+/// Scratch-free core of the recursive doubling: assembles the gathered
+/// result directly into `out` (length `shard.len() * g`). Lets the
+/// halving/doubling all-reduce gather straight into the caller's buffer
+/// instead of allocating a fresh one per call.
+pub(crate) fn rd_all_gather_into(
+    shared: &CommShared,
+    rank: usize,
+    group: &ProcessGroup,
+    seq: u64,
+    shard: &[f32],
+    out: &mut [f32],
+    stats: &mut HopStats,
+) -> Result<(), CommError> {
+    let g = group.size();
+    assert_eq!(out.len(), shard.len() * g, "all-gather output length");
+    if g == 1 {
+        out.copy_from_slice(shard);
+        return Ok(());
+    }
+    assert!(
+        g.is_power_of_two(),
+        "recursive doubling needs a power-of-two group"
+    );
+    stats.chunks = stats.chunks.max(1);
+    let gk = group.key();
+    let pos = group.position_of(rank);
+    let chunk = shard.len();
+    out[pos * chunk..(pos + 1) * chunk].copy_from_slice(shard);
+    let mut d = 1usize;
+    let mut s = 0usize;
+    while d < g {
+        // This rank holds the aligned block [base, base+d); the partner
+        // holds the sibling block [base XOR d, …).
+        let base = pos & !(d - 1);
+        let partner = group.rank_at(pos ^ d);
+        let key = msg_key(gk, seq, lane::RDAG + sub(s, 0));
+        let payload = pooled(shared, &out[base * chunk..(base + d) * chunk], stats);
+        shared.transport.send(rank, partner, key, payload);
+        let data = shared.transport.recv_result(rank, partner, key)?;
+        assert_eq!(
+            data.len(),
+            d * chunk,
+            "recursive-doubling all-gather length mismatch"
+        );
+        let rbase = base ^ d;
+        out[rbase * chunk..(rbase + d) * chunk].copy_from_slice(&data);
+        d <<= 1;
+        s += 1;
+    }
+    Ok(())
+}
+
+/// Recursive halving/doubling all-reduce (Rabenseifner over hypercube
+/// exchanges): pad to a multiple of the group size with the operator
+/// identity, recursive-halving reduce-scatter, recursive-doubling
+/// all-gather, truncate. `2⌈log2 g⌉` messages per rank at the ring
+/// all-reduce's bandwidth-optimal volume — the medium-payload winner
+/// when the per-message cost dominates. Power-of-two groups only.
+pub(crate) fn rhd_all_reduce(
+    shared: &CommShared,
+    rank: usize,
+    group: &ProcessGroup,
+    seq: u64,
+    buf: &mut [f32],
+    op: ReduceOp,
+    stats: &mut HopStats,
+) -> Result<(), CommError> {
+    let g = group.size();
+    if g == 1 {
+        return Ok(());
+    }
+    let n = buf.len();
+    if n.is_multiple_of(g) {
+        // Divisible fast path: halve in place on the caller's buffer and
+        // gather straight back into it; the only scratch is the owned
+        // chunk (aliasing: the gather reads the shard while rewriting
+        // `buf`).
+        let mine = rh_reduce_scatter_inplace(shared, rank, group, seq, buf, op, stats)?;
+        let shard = buf[mine].to_vec();
+        return rd_all_gather_into(shared, rank, group, seq, &shard, buf, stats);
+    }
+    let padded = n.div_ceil(g) * g;
+    let mut work = buf.to_vec();
+    let pad = match op {
+        ReduceOp::Sum => 0.0,
+        ReduceOp::Max => f32::NEG_INFINITY,
+    };
+    work.resize(padded, pad);
+    let mine = rh_reduce_scatter_op(shared, rank, group, seq, &work, op, stats)?;
+    let full = rd_all_gather(shared, rank, group, seq, &mine, stats)?;
+    buf.copy_from_slice(&full[..n]);
+    Ok(())
+}
+
+/// Binomial-tree all-reduce: reduce the whole buffer up the tree to the
+/// member at group position 0, then tree-broadcast the result back down.
+/// `2⌈log2 g⌉` hops on the critical path but `log2(g)·n` volume per
+/// phase — the small-payload winner where the α term dominates. Any
+/// group size.
+///
+/// Reduce fold order: at step `s` (mask `2^s`) the rank at position
+/// `p` with `p mod 2^(s+1) == 0` folds the accumulated buffer of
+/// `p + 2^s` (when present) as `own = op(own, incoming)` — reproduced
+/// serially by the oracle in [`crate::reference`].
+pub(crate) fn tree_all_reduce(
+    shared: &CommShared,
+    rank: usize,
+    group: &ProcessGroup,
+    seq: u64,
+    buf: &mut [f32],
+    op: ReduceOp,
+    stats: &mut HopStats,
+) -> Result<(), CommError> {
+    let g = group.size();
+    if g == 1 {
+        return Ok(());
+    }
+    stats.chunks = stats.chunks.max(1);
+    let gk = group.key();
+    let pos = group.position_of(rank);
+    let mut mask = 1usize;
+    let mut s = 0usize;
+    while mask < g {
+        if pos & mask != 0 {
+            // Hand the accumulated buffer to the parent and leave the
+            // reduce phase.
+            let parent = group.rank_at(pos - mask);
+            let key = msg_key(gk, seq, lane::TREE_UP + sub(s, 0));
+            let payload = pooled(shared, buf, stats);
+            shared.transport.send(rank, parent, key, payload);
+            break;
+        }
+        if pos + mask < g {
+            let child = group.rank_at(pos + mask);
+            let key = msg_key(gk, seq, lane::TREE_UP + sub(s, 0));
+            let data = shared.transport.recv_result(rank, child, key)?;
+            assert_eq!(data.len(), buf.len(), "tree all-reduce length mismatch");
+            fold::fold_op(op, buf, &data);
+        }
+        mask <<= 1;
+        s += 1;
+    }
+    // Fan the root's result back out.
+    tree_broadcast(shared, rank, group, seq, 0, buf, stats)
+}
+
+/// Binomial-tree broadcast from group position `root_pos`: with
+/// positions renumbered so the root is virtual rank 0, virtual rank `v`
+/// receives from `v - 2^⌊log2 v⌋` at step `⌊log2 v⌋` and then sends to
+/// `v + 2^k` for each higher step `k` while that child exists.
+/// `⌈log2 g⌉` hops on the critical path; any group size.
+pub(crate) fn tree_broadcast(
+    shared: &CommShared,
+    rank: usize,
+    group: &ProcessGroup,
+    seq: u64,
+    root_pos: usize,
+    buf: &mut [f32],
+    stats: &mut HopStats,
+) -> Result<(), CommError> {
+    let g = group.size();
+    if g == 1 {
+        return Ok(());
+    }
+    stats.chunks = stats.chunks.max(1);
+    let gk = group.key();
+    let pos = group.position_of(rank);
+    let v = (pos + g - root_pos) % g;
+    let recv_step = if v == 0 {
+        None
+    } else {
+        Some(v.ilog2() as usize)
+    };
+    if let Some(s) = recv_step {
+        let parent_v = v - (1 << s);
+        let parent = group.rank_at((parent_v + root_pos) % g);
+        let key = msg_key(gk, seq, lane::TREE_DOWN + sub(s, 0));
+        let data = shared.transport.recv_result(rank, parent, key)?;
+        assert_eq!(data.len(), buf.len(), "tree broadcast length mismatch");
+        buf.copy_from_slice(&data);
+    }
+    let mut k = recv_step.map(|s| s + 1).unwrap_or(0);
+    while v + (1 << k) < g {
+        let child_v = v + (1 << k);
+        let child = group.rank_at((child_v + root_pos) % g);
+        let key = msg_key(gk, seq, lane::TREE_DOWN + sub(k, 0));
+        let payload = pooled(shared, buf, stats);
+        shared.transport.send(rank, child, key, payload);
+        k += 1;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod algo_smoke {
+    //! Tiny forced-algorithm worlds sized for the miri smoke subset in
+    //! CI: every new mailbox lane (RHD, RDAG, TREE_UP, TREE_DOWN) moves
+    //! real messages under the interpreter. Correctness at scale lives
+    //! in `tests/algo_equivalence.rs`; these only have to be small.
+
+    use crate::algo::{AgAlgo, AlgoPolicy, ArAlgo, BcastAlgo, RsAlgo};
+    use crate::comm::{Comm, CommWorld};
+    use crate::group::ProcessGroup;
+    use std::thread;
+
+    fn run_forced<T: Send + 'static>(
+        size: usize,
+        policy: AlgoPolicy,
+        body: impl Fn(Comm) -> T + Send + Sync + Clone + 'static,
+    ) -> Vec<T> {
+        let handles: Vec<_> = CommWorld::builder(size)
+            .algo(policy)
+            .build()
+            .into_iter()
+            .map(|c| {
+                let body = body.clone();
+                thread::spawn(move || body(c))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    }
+
+    #[test]
+    fn rhd_lanes_carry_a_two_rank_all_reduce() {
+        let policy = AlgoPolicy {
+            force_ar: Some(ArAlgo::Rhd),
+            ..AlgoPolicy::default()
+        };
+        let out = run_forced(2, policy, |c| {
+            let g = ProcessGroup::new(vec![0, 1]);
+            let mut v = vec![c.rank() as f32; 4];
+            c.all_reduce(&g, &mut v);
+            v
+        });
+        assert!(out.iter().all(|v| v == &[1.0; 4]));
+    }
+
+    #[test]
+    fn tree_lanes_carry_a_three_rank_all_reduce() {
+        let policy = AlgoPolicy {
+            force_ar: Some(ArAlgo::Tree),
+            ..AlgoPolicy::default()
+        };
+        let out = run_forced(3, policy, |c| {
+            let g = ProcessGroup::new(vec![0, 1, 2]);
+            let mut v = vec![c.rank() as f32; 2];
+            c.all_reduce(&g, &mut v);
+            v
+        });
+        assert!(out.iter().all(|v| v == &[3.0; 2]));
+    }
+
+    #[test]
+    fn halving_and_doubling_lanes_carry_rs_then_ag() {
+        let policy = AlgoPolicy {
+            force_rs: Some(RsAlgo::Rh),
+            force_ag: Some(AgAlgo::Rd),
+            ..AlgoPolicy::default()
+        };
+        let out = run_forced(2, policy, |c| {
+            let g = ProcessGroup::new(vec![0, 1]);
+            let mine = c.reduce_scatter(&g, &[1.0, 2.0, 3.0, 4.0]);
+            c.all_gather(&g, &mine)
+        });
+        assert!(out.iter().all(|v| v == &[2.0, 4.0, 6.0, 8.0]));
+    }
+
+    #[test]
+    fn tree_down_lane_carries_a_broadcast() {
+        let policy = AlgoPolicy {
+            force_bcast: Some(BcastAlgo::Tree),
+            ..AlgoPolicy::default()
+        };
+        let out = run_forced(3, policy, |c| {
+            let g = ProcessGroup::new(vec![0, 1, 2]);
+            let mut v = if c.rank() == 1 {
+                vec![7.0, 8.0]
+            } else {
+                vec![0.0; 2]
+            };
+            c.broadcast(&g, 1, &mut v);
+            v
+        });
+        assert!(out.iter().all(|v| v == &[7.0, 8.0]));
+    }
 }

@@ -12,13 +12,28 @@
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CollectiveKind {
     AllGather,
+    /// Recursive-doubling all-gather: `⌈log2 g⌉` steps at ring-equal
+    /// volume (power-of-two groups).
+    AllGatherRecursiveDoubling,
     ReduceScatter,
+    /// Recursive-halving reduce-scatter: `⌈log2 g⌉` steps at ring-equal
+    /// volume (power-of-two groups).
+    ReduceScatterRecursiveHalving,
     /// Ring all-reduce (bandwidth-optimal; Assumption-1 of the paper).
     AllReduce,
     /// Recursive-doubling all-reduce (latency-optimal, used for small
     /// messages as in NCCL/MPICH).
     AllReduceRecursiveDoubling,
+    /// Recursive halving/doubling all-reduce (Rabenseifner over
+    /// hypercube exchanges): `2⌈log2 g⌉` steps at the ring's
+    /// bandwidth-optimal volume (power-of-two groups).
+    AllReduceRecursiveHalvingDoubling,
+    /// Binomial-tree all-reduce (reduce to root + tree broadcast):
+    /// `2⌈log2 g⌉` whole-buffer hops on the critical path.
+    AllReduceTree,
     Broadcast,
+    /// Binomial-tree broadcast: `⌈log2 g⌉` whole-buffer hops.
+    BroadcastTree,
     Barrier,
     PointToPoint,
 }
@@ -115,9 +130,21 @@ impl CostModel for RingCostModel {
                 steps = g - 1.0;
                 volume = (g - 1.0) / g * bytes;
             }
+            // Recursive doubling halves the step count to log2(g) while
+            // moving the same (g-1)/g · n bytes (doubling block sizes).
+            CollectiveKind::AllGatherRecursiveDoubling => {
+                steps = g.log2().ceil();
+                volume = (g - 1.0) / g * bytes;
+            }
             // Reduce-scatter of `bytes`: same traffic as all-gather.
             CollectiveKind::ReduceScatter => {
                 steps = g - 1.0;
+                volume = (g - 1.0) / g * bytes;
+            }
+            // Recursive halving: log2(g) steps, ring-equal volume
+            // (halving block sizes: n/2 + n/4 + … = (g-1)/g · n).
+            CollectiveKind::ReduceScatterRecursiveHalving => {
+                steps = g.log2().ceil();
                 volume = (g - 1.0) / g * bytes;
             }
             // All-reduce = reduce-scatter + all-gather.
@@ -130,9 +157,29 @@ impl CostModel for RingCostModel {
                 steps = g.log2().ceil();
                 volume = g.log2().ceil() * bytes;
             }
+            // Halving reduce-scatter + doubling all-gather: 2·log2(g)
+            // steps at the ring all-reduce's bandwidth-optimal volume —
+            // so switching ring → rhd never changes modelled β time,
+            // only the α term.
+            CollectiveKind::AllReduceRecursiveHalvingDoubling => {
+                steps = 2.0 * g.log2().ceil();
+                volume = 2.0 * (g - 1.0) / g * bytes;
+            }
+            // Reduce to root then tree broadcast: the critical path
+            // crosses 2·log2(g) hops, each carrying the whole buffer.
+            CollectiveKind::AllReduceTree => {
+                steps = 2.0 * g.log2().ceil();
+                volume = 2.0 * g.log2().ceil() * bytes;
+            }
             CollectiveKind::Broadcast => {
                 steps = g - 1.0;
                 volume = bytes;
+            }
+            // Tree depth log2(g), whole buffer per hop on the critical
+            // path.
+            CollectiveKind::BroadcastTree => {
+                steps = g.log2().ceil();
+                volume = g.log2().ceil() * bytes;
             }
             CollectiveKind::Barrier => {
                 steps = 2.0 * (g - 1.0);
@@ -181,9 +228,16 @@ impl CostModel for RingCostModel {
                 slots * (self.alpha + bytes / (s * self.bandwidth))
             }
             CollectiveKind::Barrier => 2.0 * (g - 1.0) * s * self.alpha,
-            CollectiveKind::AllReduceRecursiveDoubling | CollectiveKind::PointToPoint => {
-                self.collective_seconds(kind, group_size, bytes)
-            }
+            // The log-step algorithms serve the latency-bound regime and
+            // send whole blocks — the transport never segments them, so
+            // chunked cost is the flat cost.
+            CollectiveKind::AllReduceRecursiveDoubling
+            | CollectiveKind::AllGatherRecursiveDoubling
+            | CollectiveKind::ReduceScatterRecursiveHalving
+            | CollectiveKind::AllReduceRecursiveHalvingDoubling
+            | CollectiveKind::AllReduceTree
+            | CollectiveKind::BroadcastTree
+            | CollectiveKind::PointToPoint => self.collective_seconds(kind, group_size, bytes),
         }
     }
 }
@@ -289,6 +343,60 @@ mod tests {
         // All-reduce on g=5: 2(g-1)·S steps of alpha.
         let t = m.collective_seconds_chunked(CollectiveKind::AllReduce, 5, 1000.0, 3);
         assert!((t - 24.0e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rhd_matches_ring_volume_with_fewer_steps() {
+        // Switching ring → recursive halving/doubling must leave the β
+        // (bandwidth) term untouched and shrink only the α term:
+        // 2(g-1) steps → 2·log2(g).
+        let m = RingCostModel::new(1.0, 100.0);
+        let ring = m.collective_seconds(CollectiveKind::AllReduce, 8, 800.0);
+        let rhd = m.collective_seconds(CollectiveKind::AllReduceRecursiveHalvingDoubling, 8, 800.0);
+        assert!((ring - rhd).abs() < 1e-12, "alpha=0: {ring} vs {rhd}");
+        let lat = RingCostModel::new(1.0, f64::INFINITY).with_latency(1e-6);
+        let ring_a = lat.collective_seconds(CollectiveKind::AllReduce, 8, 800.0);
+        let rhd_a =
+            lat.collective_seconds(CollectiveKind::AllReduceRecursiveHalvingDoubling, 8, 800.0);
+        assert!((ring_a - 14.0e-6).abs() < 1e-12);
+        assert!((rhd_a - 6.0e-6).abs() < 1e-12);
+        // Same shape for the phase algorithms.
+        let rs = m.collective_seconds(CollectiveKind::ReduceScatter, 8, 800.0);
+        let rh = m.collective_seconds(CollectiveKind::ReduceScatterRecursiveHalving, 8, 800.0);
+        assert!((rs - rh).abs() < 1e-12);
+        let ag = m.collective_seconds(CollectiveKind::AllGather, 8, 800.0);
+        let rd = m.collective_seconds(CollectiveKind::AllGatherRecursiveDoubling, 8, 800.0);
+        assert!((ag - rd).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tree_allreduce_trades_bandwidth_for_latency() {
+        // α-dominated: tree's 2·log2(g) hops beat the ring's 4(g-1)
+        // chunked steps. β-dominated: the ring's (g-1)/g volume wins.
+        let lat = RingCostModel::new(1.0, 1e12).with_latency(1e-5);
+        let tree = lat.collective_seconds(CollectiveKind::AllReduceTree, 16, 64.0);
+        let ring = lat.collective_seconds(CollectiveKind::AllReduce, 16, 64.0);
+        assert!(tree < ring, "small: tree {tree} vs ring {ring}");
+        let bw = RingCostModel::new(1.0, 100.0);
+        let tree_b = bw.collective_seconds(CollectiveKind::AllReduceTree, 16, 1e9);
+        let ring_b = bw.collective_seconds(CollectiveKind::AllReduce, 16, 1e9);
+        assert!(ring_b < tree_b, "large: ring {ring_b} vs tree {tree_b}");
+    }
+
+    #[test]
+    fn log_step_kinds_are_chunk_blind() {
+        let m = RingCostModel::new(1.0, 100.0).with_latency(1e-6);
+        for kind in [
+            CollectiveKind::AllGatherRecursiveDoubling,
+            CollectiveKind::ReduceScatterRecursiveHalving,
+            CollectiveKind::AllReduceRecursiveHalvingDoubling,
+            CollectiveKind::AllReduceTree,
+            CollectiveKind::BroadcastTree,
+        ] {
+            let flat = m.collective_seconds(kind, 8, 4e6);
+            let chunked = m.collective_seconds_chunked(kind, 8, 4e6, 4);
+            assert!((flat - chunked).abs() < 1e-15, "{kind:?}");
+        }
     }
 
     #[test]

@@ -16,9 +16,11 @@
 //! runs report simulated times consistent with the analytical plane in
 //! `axonn-sim`.
 
+pub mod algo;
 pub mod comm;
 pub mod cost;
 pub mod fault;
+pub mod fold;
 pub mod group;
 pub mod mailbox;
 pub mod nonblocking;
@@ -27,6 +29,7 @@ pub mod reference;
 pub mod sched;
 pub mod telemetry;
 
+pub use algo::{AgAlgo, AlgoPolicy, ArAlgo, BcastAlgo, RsAlgo};
 pub use comm::{Comm, CommWorld, ReduceOp, WorldBuilder};
 pub use cost::{CollectiveKind, CostModel, NullCost, RingCostModel};
 pub use fault::{

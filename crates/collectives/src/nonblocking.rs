@@ -9,6 +9,7 @@
 //! overlap genuinely reduces virtual batch time exactly when it reduces
 //! non-overlapped communication.
 
+use crate::algo::{AgAlgo, AlgoPolicy, ArAlgo, RsAlgo};
 use crate::comm::{clock_sync, coll_op, Comm, CommShared, HopStats};
 use crate::cost::CollectiveKind;
 use crate::fault::{unwrap_comm, CommError};
@@ -41,25 +42,41 @@ pub enum AsyncOp {
 }
 
 impl AsyncOp {
-    fn kind(&self) -> CollectiveKind {
+    /// Resolve the effective algorithm for this op under `policy` on a
+    /// group of `g` ranks. The returned [`CollectiveKind`] names the
+    /// algorithm (the worker dispatches on it; the cost model prices
+    /// it), the [`SchedKind`] its wire lanes (the verifier matches on
+    /// it). Canonical-order linear reduce-scatter is exempt from
+    /// selection: its fixed fold order is the contract the gradient
+    /// bucketizer's bit-identity rests on.
+    fn select(&self, policy: &AlgoPolicy, g: usize) -> (CollectiveKind, SchedKind) {
         match self {
-            AsyncOp::AllReduce(_) => CollectiveKind::AllReduce,
-            AsyncOp::ReduceScatter(_) | AsyncOp::ReduceScatterLinear(_) => {
-                CollectiveKind::ReduceScatter
-            }
-            AsyncOp::AllGather(_) => CollectiveKind::AllGather,
-        }
-    }
-
-    /// Verifier kind: finer than [`CollectiveKind`] — the two
-    /// reduce-scatter algorithms use disjoint wire lanes and must not
-    /// match each other.
-    fn sched_kind(&self) -> SchedKind {
-        match self {
-            AsyncOp::AllReduce(_) => SchedKind::AllReduce,
-            AsyncOp::ReduceScatter(_) => SchedKind::ReduceScatter,
-            AsyncOp::ReduceScatterLinear(_) => SchedKind::ReduceScatterLinear,
-            AsyncOp::AllGather(_) => SchedKind::AllGather,
+            AsyncOp::AllReduce(p) => match policy.all_reduce(p.len(), g) {
+                ArAlgo::Ring => (CollectiveKind::AllReduce, SchedKind::AllReduce),
+                ArAlgo::Rhd => (
+                    CollectiveKind::AllReduceRecursiveHalvingDoubling,
+                    SchedKind::AllReduceRhd,
+                ),
+                ArAlgo::Tree => (CollectiveKind::AllReduceTree, SchedKind::AllReduceTree),
+            },
+            AsyncOp::ReduceScatter(p) => match policy.reduce_scatter(p.len(), g) {
+                RsAlgo::Ring => (CollectiveKind::ReduceScatter, SchedKind::ReduceScatter),
+                RsAlgo::Rh => (
+                    CollectiveKind::ReduceScatterRecursiveHalving,
+                    SchedKind::ReduceScatterRh,
+                ),
+            },
+            AsyncOp::ReduceScatterLinear(_) => (
+                CollectiveKind::ReduceScatter,
+                SchedKind::ReduceScatterLinear,
+            ),
+            AsyncOp::AllGather(p) => match policy.all_gather(p.len(), g) {
+                AgAlgo::Ring => (CollectiveKind::AllGather, SchedKind::AllGather),
+                AgAlgo::Rd => (
+                    CollectiveKind::AllGatherRecursiveDoubling,
+                    SchedKind::AllGatherRd,
+                ),
+            },
         }
     }
 
@@ -76,6 +93,9 @@ impl AsyncOp {
 pub(crate) struct Job {
     group: ProcessGroup,
     op: AsyncOp,
+    /// Effective algorithm, resolved at issue time (the worker must
+    /// execute exactly what was recorded in the schedule stream).
+    kind: CollectiveKind,
     seq: u64,
     issue_clock: f64,
     /// Layer scope at issue time, stamped onto the execution span so
@@ -183,9 +203,10 @@ impl Comm {
     /// the same program order, as in SPMD code).
     pub fn start_async(&self, group: &ProcessGroup, op: AsyncOp) -> AsyncHandle {
         self.shared.transport.check_poison();
+        let (kind, sched) = op.select(&self.shared.algo, group.size());
         let seq = self.next_seq(group);
         self.record_issue(
-            op.sched_kind(),
+            sched,
             group,
             op.payload().len(),
             None,
@@ -218,7 +239,7 @@ impl Comm {
                 rx: reply_rx,
                 rank: self.rank(),
                 shared: self.shared.clone(),
-                kind: op.kind(),
+                kind,
                 seq,
                 group_key: group.key(),
                 group_size: group.size(),
@@ -229,7 +250,6 @@ impl Comm {
         } else {
             0.0
         };
-        let kind = op.kind();
         let layer = self.shared.tracer.as_ref().and_then(|t| t.layer());
         // Size-1 groups move no data; keep them out of the trace so an
         // event exists iff the op really communicates (the blocking path
@@ -256,6 +276,7 @@ impl Comm {
         let job = Job {
             group: group.clone(),
             op,
+            kind,
             seq,
             issue_clock,
             layer,
@@ -336,12 +357,12 @@ fn run_job(rank: usize, shared: &Arc<CommShared>, job: Job) {
     let Job {
         group,
         op,
+        kind,
         seq,
         issue_clock,
         layer,
         reply,
     } = job;
-    let kind = op.kind();
     let wall_start = shared.tracer.as_ref().map(|t| t.now_ns()).unwrap_or(0);
     // Watchdog marker: the comm worker is inside this collective until
     // the job resolves (cleared below, error or not).
@@ -355,20 +376,57 @@ fn run_job(rank: usize, shared: &Arc<CommShared>, job: Job) {
                 // Zero-copy when the caller's handle was the last
                 // reference; otherwise one copy into a work buffer.
                 let mut buf = payload.into_vec();
-                crate::comm::ring_all_reduce(
-                    shared,
-                    rank,
-                    &group,
-                    seq,
-                    &mut buf,
-                    crate::comm::ReduceOp::Sum,
-                    &mut stats,
-                )?;
+                match kind {
+                    CollectiveKind::AllReduceRecursiveHalvingDoubling => {
+                        crate::comm::rhd_all_reduce(
+                            shared,
+                            rank,
+                            &group,
+                            seq,
+                            &mut buf,
+                            crate::comm::ReduceOp::Sum,
+                            &mut stats,
+                        )?
+                    }
+                    CollectiveKind::AllReduceTree => crate::comm::tree_all_reduce(
+                        shared,
+                        rank,
+                        &group,
+                        seq,
+                        &mut buf,
+                        crate::comm::ReduceOp::Sum,
+                        &mut stats,
+                    )?,
+                    _ => crate::comm::ring_all_reduce(
+                        shared,
+                        rank,
+                        &group,
+                        seq,
+                        &mut buf,
+                        crate::comm::ReduceOp::Sum,
+                        &mut stats,
+                    )?,
+                }
                 buf
             }
             AsyncOp::ReduceScatter(payload) => {
                 bytes = (payload.len() * 4) as f64;
-                crate::comm::ring_reduce_scatter(shared, rank, &group, seq, &payload, &mut stats)?
+                match kind {
+                    CollectiveKind::ReduceScatterRecursiveHalving => {
+                        crate::comm::rh_reduce_scatter_op(
+                            shared,
+                            rank,
+                            &group,
+                            seq,
+                            &payload,
+                            crate::comm::ReduceOp::Sum,
+                            &mut stats,
+                        )?
+                    }
+                    _ => crate::comm::ring_reduce_scatter(
+                        shared, rank, &group, seq, &payload, &mut stats,
+                    )?,
+                }
             }
             AsyncOp::ReduceScatterLinear(payload) => {
                 bytes = (payload.len() * 4) as f64;
@@ -376,7 +434,14 @@ fn run_job(rank: usize, shared: &Arc<CommShared>, job: Job) {
             }
             AsyncOp::AllGather(shard) => {
                 bytes = (shard.len() * group.size() * 4) as f64;
-                crate::comm::ring_all_gather(shared, rank, &group, seq, &shard, &mut stats)?
+                match kind {
+                    CollectiveKind::AllGatherRecursiveDoubling => {
+                        crate::comm::rd_all_gather(shared, rank, &group, seq, &shard, &mut stats)?
+                    }
+                    _ => {
+                        crate::comm::ring_all_gather(shared, rank, &group, seq, &shard, &mut stats)?
+                    }
+                }
             }
         };
         let modeled_cost;

@@ -13,6 +13,111 @@ use crate::comm::{lane, msg_key, Comm, ReduceOp};
 use crate::fault::{unwrap_comm, CommError};
 use crate::group::ProcessGroup;
 
+/// Serial replay of the recursive-halving reduce-scatter fold order:
+/// given every member's input buffer (group-position order), produce the
+/// shard each member ends up with, folding exactly as the parallel
+/// algorithm does (`own = op(own, incoming)` on the kept half at every
+/// step, partners snapshotted pre-step). Bitwise oracle for
+/// `reduce_scatter` under `RsAlgo::Rh`. Power-of-two member counts only;
+/// buffer lengths must divide by the group size.
+pub fn replay_rh_reduce_scatter(inputs: &[Vec<f32>], op: ReduceOp) -> Vec<Vec<f32>> {
+    let g = inputs.len();
+    if g == 1 {
+        return vec![inputs[0].clone()];
+    }
+    assert!(g.is_power_of_two(), "recursive halving needs pow2 groups");
+    let n = inputs[0].len();
+    assert!(n.is_multiple_of(g), "length must divide by group size");
+    let chunk = n / g;
+    let mut work: Vec<Vec<f32>> = inputs.to_vec();
+    // Per-position window of chunk indices still being accumulated:
+    // [lo, lo+span) — span is uniform across positions at each step.
+    let mut lo = vec![0usize; g];
+    let mut span = g;
+    while span > 1 {
+        let half = span / 2;
+        let snapshot = work.clone();
+        for pos in 0..g {
+            let mid = lo[pos] + half;
+            let in_lower = pos < mid;
+            let keep = if in_lower {
+                lo[pos] * chunk..mid * chunk
+            } else {
+                mid * chunk..(lo[pos] + span) * chunk
+            };
+            // The partner's send range is exactly this rank's keep range,
+            // read from the partner's pre-step buffer.
+            let partner = if in_lower { pos + half } else { pos - half };
+            for (w, d) in work[pos][keep.clone()]
+                .iter_mut()
+                .zip(snapshot[partner][keep.clone()].iter())
+            {
+                *w = op.combine(*w, *d);
+            }
+            if !in_lower {
+                lo[pos] = mid;
+            }
+        }
+        span = half;
+    }
+    (0..g)
+        .map(|pos| work[pos][pos * chunk..(pos + 1) * chunk].to_vec())
+        .collect()
+}
+
+/// Serial replay of the recursive halving/doubling all-reduce: pad with
+/// the operator identity, [`replay_rh_reduce_scatter`], concatenate the
+/// shards (the recursive-doubling all-gather is pure data movement),
+/// truncate. Bitwise oracle for `all_reduce` under `ArAlgo::Rhd`.
+pub fn replay_rhd_all_reduce(inputs: &[Vec<f32>], op: ReduceOp) -> Vec<f32> {
+    let g = inputs.len();
+    if g == 1 {
+        return inputs[0].clone();
+    }
+    let n = inputs[0].len();
+    let padded = n.div_ceil(g) * g;
+    let pad = match op {
+        ReduceOp::Sum => 0.0,
+        ReduceOp::Max => f32::NEG_INFINITY,
+    };
+    let work: Vec<Vec<f32>> = inputs
+        .iter()
+        .map(|b| {
+            let mut w = b.clone();
+            w.resize(padded, pad);
+            w
+        })
+        .collect();
+    let mut full = replay_rh_reduce_scatter(&work, op).concat();
+    full.truncate(n);
+    full
+}
+
+/// Serial replay of the binomial-tree all-reduce fold order: at step `s`
+/// (mask `2^s`) every surviving position `p` (with `p mod 2^(s+1) == 0`)
+/// folds the accumulated buffer of `p + 2^s` when that position exists,
+/// as `own = op(own, incoming)`. The tree broadcast back down copies the
+/// root's buffer verbatim, so the root's accumulation is the result on
+/// every member. Bitwise oracle for `all_reduce` under `ArAlgo::Tree`;
+/// any group size.
+pub fn replay_tree_all_reduce(inputs: &[Vec<f32>], op: ReduceOp) -> Vec<f32> {
+    let g = inputs.len();
+    let mut acc: Vec<Vec<f32>> = inputs.to_vec();
+    let mut mask = 1usize;
+    while mask < g {
+        for pos in (0..g).step_by(mask * 2) {
+            if pos + mask < g {
+                let (low, high) = acc.split_at_mut(pos + mask);
+                for (w, d) in low[pos].iter_mut().zip(high[0].iter()) {
+                    *w = op.combine(*w, *d);
+                }
+            }
+        }
+        mask <<= 1;
+    }
+    acc.swap_remove(0)
+}
+
 impl Comm {
     /// Seed-style ring all-gather (unpooled, unsegmented). Returns all
     /// members' shards concatenated in group-position order.

@@ -58,8 +58,21 @@ pub enum SchedKind {
     AllReduceLinear,
     /// Recursive-doubling all-reduce (`lane::RD`).
     AllReduceRd,
+    /// Recursive-doubling all-gather (`lane::RDAG`).
+    AllGatherRd,
+    /// Recursive-halving reduce-scatter (`lane::RHD`).
+    ReduceScatterRh,
+    /// Recursive halving/doubling all-reduce = recursive-halving
+    /// reduce-scatter + recursive-doubling all-gather
+    /// (`lane::RHD` + `lane::RDAG`).
+    AllReduceRhd,
+    /// Binomial-tree all-reduce = tree reduce to the group root + tree
+    /// broadcast (`lane::TREE_UP` + `lane::TREE_DOWN`).
+    AllReduceTree,
     /// Chain broadcast (`lane::BCAST`).
     Broadcast,
+    /// Binomial-tree broadcast (`lane::TREE_DOWN`).
+    BroadcastTree,
     /// Barrier (a 1-element ring all-reduce on `lane::RS`/`lane::AG`).
     Barrier,
 }
@@ -74,7 +87,12 @@ impl SchedKind {
             SchedKind::AllReduce => "all_reduce",
             SchedKind::AllReduceLinear => "all_reduce_linear",
             SchedKind::AllReduceRd => "all_reduce_rd",
+            SchedKind::AllGatherRd => "all_gather_rd",
+            SchedKind::ReduceScatterRh => "reduce_scatter_rh",
+            SchedKind::AllReduceRhd => "all_reduce_rhd",
+            SchedKind::AllReduceTree => "all_reduce_tree",
             SchedKind::Broadcast => "broadcast",
+            SchedKind::BroadcastTree => "broadcast_tree",
             SchedKind::Barrier => "barrier",
         }
     }
@@ -90,7 +108,12 @@ impl SchedKind {
             SchedKind::AllReduce | SchedKind::Barrier => &[lane::RS, lane::AG],
             SchedKind::AllReduceLinear => &[lane::LRS, lane::AG],
             SchedKind::AllReduceRd => &[lane::RD],
+            SchedKind::AllGatherRd => &[lane::RDAG],
+            SchedKind::ReduceScatterRh => &[lane::RHD],
+            SchedKind::AllReduceRhd => &[lane::RHD, lane::RDAG],
+            SchedKind::AllReduceTree => &[lane::TREE_UP, lane::TREE_DOWN],
             SchedKind::Broadcast => &[lane::BCAST],
+            SchedKind::BroadcastTree => &[lane::TREE_DOWN],
         }
     }
 }

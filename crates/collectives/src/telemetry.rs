@@ -35,6 +35,10 @@ pub fn lane_name(key: MsgKey) -> &'static str {
         0x0004_0000 => "clock_down",
         0x0005_0000 => "rd",
         0x0006_0000 => "lrs",
+        0x0007_0000 => "rhd",
+        0x0008_0000 => "rdag",
+        0x0009_0000 => "tree_up",
+        0x000a_0000 => "tree_down",
         _ => "unknown",
     }
 }
@@ -223,6 +227,10 @@ mod tests {
         assert_eq!(lane_name(msg_key(3, 7, lane::CLOCK_DOWN)), "clock_down");
         assert_eq!(lane_name(msg_key(3, 7, lane::RD)), "rd");
         assert_eq!(lane_name(msg_key(3, 7, lane::LRS)), "lrs");
+        assert_eq!(lane_name(msg_key(3, 7, lane::RHD + sub(1, 0))), "rhd");
+        assert_eq!(lane_name(msg_key(3, 7, lane::RDAG)), "rdag");
+        assert_eq!(lane_name(msg_key(3, 7, lane::TREE_UP)), "tree_up");
+        assert_eq!(lane_name(msg_key(3, 7, lane::TREE_DOWN)), "tree_down");
         assert_eq!(lane_name(msg_key(u64::MAX, 0, 5)), "p2p");
     }
 

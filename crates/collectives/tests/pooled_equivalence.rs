@@ -9,7 +9,7 @@
 use std::time::Duration;
 
 use axonn_collectives::{
-    Comm, CommError, CommWorld, DropRule, FaultConfig, PipelineConfig, ProcessGroup,
+    AlgoPolicy, Comm, CommError, CommWorld, DropRule, FaultConfig, PipelineConfig, ProcessGroup,
 };
 use proptest::prelude::*;
 use std::thread;
@@ -32,7 +32,13 @@ fn spmd_world<T: Send + 'static>(
 /// A world whose transport is forced to segment payloads of `min`
 /// elements or more into up to `chunks` pipeline chunks.
 fn pipelined_world(size: usize, min: usize, chunks: usize) -> Vec<Comm> {
+    // Pin the ring algorithms: this suite proves the pooled *ring*
+    // transport against the naive reference rings, so message-size
+    // algorithm selection must not reroute small payloads to the
+    // tree/halving paths (those have their own oracle suite in
+    // `algo_equivalence`).
     CommWorld::builder(size)
+        .algo(AlgoPolicy::ring_only())
         .pipeline(PipelineConfig {
             min_chunk_elems: min,
             max_chunks: chunks,
@@ -209,6 +215,7 @@ fn dropped_pipeline_chunk_surfaces_peer_lost() {
     // the 0 -> 1 link: rank 1 must report PeerLost quickly instead of
     // hanging on the missing chunk.
     let comms = CommWorld::builder(2)
+        .algo(AlgoPolicy::ring_only())
         .pipeline(PipelineConfig {
             min_chunk_elems: 1024,
             max_chunks: 4,

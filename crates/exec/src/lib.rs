@@ -286,9 +286,12 @@ mod tests {
             assert_eq!(
                 sig,
                 vec![
-                    "collective:all_reduce".to_string(),
-                    "issue:all_gather".to_string(),
-                    "wait:all_gather".to_string(),
+                    // Both payloads are small enough that the default
+                    // policy selects the tree all-reduce and the
+                    // recursive-doubling all-gather.
+                    "collective:all_reduce_tree".to_string(),
+                    "issue:all_gather_rd".to_string(),
+                    "wait:all_gather_rd".to_string(),
                 ],
                 "rank {rank} signature"
             );
@@ -298,7 +301,7 @@ mod tests {
                     .stream_events(axonn_trace::Stream::Comm)
                     .map(|e| e.detail.kind())
                     .collect::<Vec<_>>(),
-                vec!["async:all_gather".to_string()]
+                vec!["async:all_gather_rd".to_string()]
             );
             assert!(trace.streams_monotone(), "rank {rank} timestamps");
         }

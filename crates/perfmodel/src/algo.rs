@@ -1,0 +1,324 @@
+//! Per-algorithm α–β collective cost curves and crossover prediction.
+//!
+//! Equations 1–6 price every collective with the bandwidth-optimal ring
+//! under Assumption 3 (α = 0). The exec plane's message-size-aware
+//! selection (`axonn_collectives::AlgoPolicy`) breaks that assumption on
+//! purpose: for small and medium payloads the per-message latency term
+//! dominates, and recursive halving/doubling or binomial trees win. This
+//! module prices each algorithm with the classic `steps·α + volume/β`
+//! decomposition (Thakur et al. / Rabenseifner — the same formulas the
+//! functional plane's `RingCostModel` charges), predicts the winning
+//! algorithm for a payload, and computes the analytic crossover points,
+//! so the Eq. 1–7 ranker can be latency-adjusted without re-deriving the
+//! curves at every call site.
+
+use crate::grid::Grid4d;
+use crate::model::{CommBreakdown, BYTES_PER_ELEM};
+use axonn_cluster::{effective_bandwidth, BandwidthDb, Machine};
+
+/// One link's latency/bandwidth pair: `α` seconds per message, `β`
+/// bytes per second.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlphaBeta {
+    pub alpha: f64,
+    pub beta: f64,
+}
+
+impl AlphaBeta {
+    pub fn new(alpha: f64, beta: f64) -> AlphaBeta {
+        AlphaBeta { alpha, beta }
+    }
+}
+
+/// `⌈log2 g⌉` — critical-path steps of the hypercube/tree algorithms.
+fn log_steps(g: usize) -> f64 {
+    (g as f64).log2().ceil()
+}
+
+/// All-reduce algorithm curves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArCurve {
+    /// Ring (reduce-scatter + all-gather): `2(g−1)` steps,
+    /// `2·(g−1)/g·n` volume — bandwidth-optimal.
+    Ring,
+    /// Recursive halving/doubling: `2⌈log2 g⌉` steps at ring-equal
+    /// volume. Power-of-two groups only.
+    RecursiveHalvingDoubling,
+    /// Binomial tree (reduce + broadcast): `2⌈log2 g⌉` steps, each
+    /// carrying the whole buffer. Any group size.
+    Tree,
+}
+
+impl ArCurve {
+    /// Predicted seconds for an all-reduce of `bytes` over `g` ranks.
+    pub fn seconds(self, link: AlphaBeta, g: usize, bytes: f64) -> f64 {
+        if g <= 1 {
+            return 0.0;
+        }
+        let gf = g as f64;
+        let l = log_steps(g);
+        let (steps, volume) = match self {
+            ArCurve::Ring => (2.0 * (gf - 1.0), 2.0 * (gf - 1.0) / gf * bytes),
+            ArCurve::RecursiveHalvingDoubling => (2.0 * l, 2.0 * (gf - 1.0) / gf * bytes),
+            ArCurve::Tree => (2.0 * l, 2.0 * l * bytes),
+        };
+        steps * link.alpha + volume / link.beta
+    }
+
+    /// Whether the curve is legal for this group size.
+    pub fn legal(self, g: usize) -> bool {
+        match self {
+            ArCurve::Ring | ArCurve::Tree => true,
+            ArCurve::RecursiveHalvingDoubling => g.is_power_of_two(),
+        }
+    }
+}
+
+/// Reduce-scatter algorithm curves (all-gather curves are symmetric:
+/// same step counts, same `(g−1)/g·n` volume).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RsCurve {
+    /// Ring: `g−1` steps, `(g−1)/g·n` volume.
+    Ring,
+    /// Recursive halving (doubling for all-gather): `⌈log2 g⌉` steps at
+    /// ring-equal volume. Power-of-two groups only.
+    RecursiveHalving,
+}
+
+impl RsCurve {
+    pub fn seconds(self, link: AlphaBeta, g: usize, bytes: f64) -> f64 {
+        if g <= 1 {
+            return 0.0;
+        }
+        let gf = g as f64;
+        let steps = match self {
+            RsCurve::Ring => gf - 1.0,
+            RsCurve::RecursiveHalving => log_steps(g),
+        };
+        steps * link.alpha + (gf - 1.0) / gf * bytes / link.beta
+    }
+
+    pub fn legal(self, g: usize) -> bool {
+        match self {
+            RsCurve::Ring => true,
+            RsCurve::RecursiveHalving => g.is_power_of_two(),
+        }
+    }
+}
+
+/// The cheapest legal all-reduce curve for this payload, with its
+/// predicted seconds. Ties prefer the fewer-message algorithm (which is
+/// what the exec policy does: per-message overheads the α term does not
+/// capture — progress-thread wakeups, pool traffic — favour it).
+pub fn best_all_reduce(link: AlphaBeta, g: usize, bytes: f64) -> (ArCurve, f64) {
+    let candidates = [
+        ArCurve::Tree,
+        ArCurve::RecursiveHalvingDoubling,
+        ArCurve::Ring,
+    ];
+    candidates
+        .into_iter()
+        .filter(|c| c.legal(g))
+        .map(|c| (c, c.seconds(link, g, bytes)))
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("ring is always legal")
+}
+
+/// The cheapest legal reduce-scatter (equivalently all-gather) curve.
+pub fn best_reduce_scatter(link: AlphaBeta, g: usize, bytes: f64) -> (RsCurve, f64) {
+    let candidates = [RsCurve::RecursiveHalving, RsCurve::Ring];
+    candidates
+        .into_iter()
+        .filter(|c| c.legal(g))
+        .map(|c| (c, c.seconds(link, g, bytes)))
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("ring is always legal")
+}
+
+/// Analytic tree↔ring all-reduce crossover: the message size `n*` where
+/// the binomial tree's `2L` messages stop paying for its `2L·n` volume
+/// against the ring's `2(g−1)` messages at `2(g−1)/g·n` volume:
+///
+/// ```text
+/// n* = α·β·(g − 1 − L) / (L − (g−1)/g),   L = ⌈log2 g⌉
+/// ```
+///
+/// Below `n*` the tree wins; above it the ring (or RHD) does. Zero when
+/// `g ≤ 2` (the tree never wins — it has no step advantage there).
+pub fn ar_tree_ring_crossover_bytes(link: AlphaBeta, g: usize) -> f64 {
+    if g <= 1 {
+        return 0.0;
+    }
+    let gf = g as f64;
+    let l = log_steps(g);
+    let step_gain = gf - 1.0 - l;
+    if step_gain <= 0.0 {
+        return 0.0;
+    }
+    link.alpha * link.beta * step_gain / (l - (gf - 1.0) / gf)
+}
+
+/// Latency-adjusted Equations 1–5 for one FC layer: every term is priced
+/// with the *cheapest legal* algorithm curve on that group's effective
+/// bandwidth, instead of the α-free ring. With `alpha == 0` this reduces
+/// exactly to `layer_comm_time` (Assumption 3), because the hypercube
+/// algorithms move ring-equal volume and the tree is never selected.
+#[allow(clippy::too_many_arguments)]
+pub fn layer_comm_time_with_latency(
+    machine: &Machine,
+    db: &BandwidthDb,
+    grid: Grid4d,
+    m: usize,
+    k: usize,
+    n: usize,
+    transposed: bool,
+    alpha: f64,
+) -> CommBreakdown {
+    let mut betas = [0.0f64; 4];
+    for (level, beta) in betas.iter_mut().enumerate() {
+        *beta = effective_bandwidth(machine, db, grid.prefix(level), grid.dims()[level]);
+    }
+    let (gx, gy, beta_x, beta_y) = if transposed {
+        (grid.gy, grid.gx, betas[1], betas[0])
+    } else {
+        (grid.gx, grid.gy, betas[0], betas[1])
+    };
+    let (gz, gd) = (grid.gz, grid.gd);
+    let (mf, kf, nf) = (m as f64, k as f64, n as f64);
+    let (gxf, gyf, gzf) = (gx as f64, gy as f64, gz as f64);
+
+    let ag_z = if gz > 1 {
+        // Eq. 1 prices the gathered buffer; the curve takes the full
+        // pre-scatter/post-gather size `bytes` and applies (g−1)/g.
+        let bytes = BYTES_PER_ELEM * kf * nf / (gxf * gyf);
+        best_reduce_scatter(AlphaBeta::new(alpha, betas[2]), gz, bytes).1
+    } else {
+        0.0
+    };
+    let rs_z = if gz > 1 {
+        let bytes = BYTES_PER_ELEM * kf * nf / (gxf * gyf);
+        best_reduce_scatter(AlphaBeta::new(alpha, betas[2]), gz, bytes).1
+    } else {
+        0.0
+    };
+    let ar_y = if gy > 1 {
+        let bytes = BYTES_PER_ELEM * mf * nf / (gzf * gxf);
+        best_all_reduce(AlphaBeta::new(alpha, beta_y), gy, bytes).1
+    } else {
+        0.0
+    };
+    let ar_x = if gx > 1 {
+        let bytes = BYTES_PER_ELEM * mf * kf / (gzf * gyf);
+        best_all_reduce(AlphaBeta::new(alpha, beta_x), gx, bytes).1
+    } else {
+        0.0
+    };
+    let ar_data = if gd > 1 {
+        let grad_bytes = BYTES_PER_ELEM * kf * nf / (gxf * gyf * gzf);
+        let link = AlphaBeta::new(alpha, betas[3]);
+        // Bucketed ZeRO-1: a reduce-scatter plus an all-gather.
+        best_reduce_scatter(link, gd, grad_bytes).1 + best_reduce_scatter(link, gd, grad_bytes).1
+    } else {
+        0.0
+    };
+    CommBreakdown {
+        ag_z,
+        rs_z,
+        ar_y,
+        ar_x,
+        ar_data,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::layer_comm_time;
+
+    const LINK: AlphaBeta = AlphaBeta {
+        alpha: 1e-6,
+        beta: 1e10,
+    };
+
+    #[test]
+    fn alpha_free_curves_match_eq_ring_volumes() {
+        // With α = 0, every legal curve except the tree collapses onto
+        // the ring's bandwidth term — the Assumption-3 regime.
+        let link = AlphaBeta::new(0.0, 1e9);
+        for g in [2usize, 4, 8] {
+            let n = 1e6;
+            let ring = ArCurve::Ring.seconds(link, g, n);
+            let rhd = ArCurve::RecursiveHalvingDoubling.seconds(link, g, n);
+            assert!((ring - rhd).abs() < ring * 1e-12, "g={g}");
+            assert!(ArCurve::Tree.seconds(link, g, n) > ring, "g={g}");
+            let rs_ring = RsCurve::Ring.seconds(link, g, n);
+            let rs_rh = RsCurve::RecursiveHalving.seconds(link, g, n);
+            assert!((rs_ring - rs_rh).abs() < rs_ring * 1e-12, "g={g}");
+        }
+    }
+
+    #[test]
+    fn rhd_dominates_ring_on_pow2_groups_at_every_size() {
+        // Same volume, fewer messages: with any α > 0 the halving/
+        // doubling curve is the pow2 winner at every payload size, which
+        // is why the exec policy's medium band is so wide.
+        for g in [4usize, 8, 16] {
+            for bytes in [64.0, 1e4, 1e7, 1e9] {
+                assert!(
+                    ArCurve::RecursiveHalvingDoubling.seconds(LINK, g, bytes)
+                        < ArCurve::Ring.seconds(LINK, g, bytes),
+                    "g={g} bytes={bytes}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tree_crossover_is_where_prediction_flips() {
+        // Non-pow2 group: RHD is illegal, so the duel is tree vs ring
+        // and the analytic crossover must be exactly where the argmin
+        // changes.
+        let g = 6;
+        let n_star = ar_tree_ring_crossover_bytes(LINK, g);
+        assert!(n_star > 0.0);
+        let (below, _) = best_all_reduce(LINK, g, n_star * 0.9);
+        let (above, _) = best_all_reduce(LINK, g, n_star * 1.1);
+        assert_eq!(below, ArCurve::Tree);
+        assert_eq!(above, ArCurve::Ring);
+        // g = 2: the tree has no step advantage, crossover degenerates.
+        assert_eq!(ar_tree_ring_crossover_bytes(LINK, 2), 0.0);
+    }
+
+    #[test]
+    fn latency_adjusted_breakdown_reduces_to_eq16_at_alpha_zero() {
+        let machine = Machine::frontier();
+        let db = BandwidthDb::profile(&machine);
+        let grid = Grid4d::new(4, 2, 2, 2);
+        let base = layer_comm_time(&machine, &db, grid, 2048, 8192, 8192, false);
+        let adj = layer_comm_time_with_latency(&machine, &db, grid, 2048, 8192, 8192, false, 0.0);
+        for (a, b) in [
+            (base.ag_z, adj.ag_z),
+            (base.rs_z, adj.rs_z),
+            (base.ar_y, adj.ar_y),
+            (base.ar_x, adj.ar_x),
+            (base.ar_data, adj.ar_data),
+        ] {
+            assert!((a - b).abs() <= a.abs() * 1e-12, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn latency_adjustment_charges_alpha_but_stays_close() {
+        // A small α adds message costs without inflating the bandwidth
+        // terms: the adjusted total is strictly larger but of the same
+        // order for realistically large layers.
+        let machine = Machine::frontier();
+        let db = BandwidthDb::profile(&machine);
+        let grid = Grid4d::new(4, 2, 2, 2);
+        let base = layer_comm_time(&machine, &db, grid, 2048, 8192, 8192, false).total();
+        let adj = layer_comm_time_with_latency(&machine, &db, grid, 2048, 8192, 8192, false, 1e-6)
+            .total();
+        assert!(adj > base);
+        assert!(adj < base * 1.5, "{adj} vs {base}");
+    }
+}

@@ -16,7 +16,7 @@
 //! collectives occupy the synchronous channel, asynchronous ones the
 //! worker channel; waits record the exposed gap even when it is zero.
 
-use axonn_collectives::{CollectiveKind, CostModel};
+use axonn_collectives::{AgAlgo, AlgoPolicy, ArAlgo, BcastAlgo, CollectiveKind, CostModel, RsAlgo};
 use axonn_trace::{CollOp, EventDetail, RankTrace, Stream, TraceSink};
 use std::sync::Arc;
 
@@ -82,6 +82,11 @@ fn coll_op(kind: CollectiveKind) -> CollOp {
         CollectiveKind::AllReduce => CollOp::AllReduce,
         CollectiveKind::AllReduceRecursiveDoubling => CollOp::AllReduceRd,
         CollectiveKind::Broadcast => CollOp::Broadcast,
+        CollectiveKind::AllGatherRecursiveDoubling => CollOp::AllGatherRd,
+        CollectiveKind::ReduceScatterRecursiveHalving => CollOp::ReduceScatterRh,
+        CollectiveKind::AllReduceRecursiveHalvingDoubling => CollOp::AllReduceRhd,
+        CollectiveKind::AllReduceTree => CollOp::AllReduceTree,
+        CollectiveKind::BroadcastTree => CollOp::BroadcastTree,
         CollectiveKind::Barrier | CollectiveKind::PointToPoint => CollOp::Barrier,
     }
 }
@@ -99,6 +104,10 @@ struct Ticket {
 struct Mirror<'a> {
     sink: Arc<TraceSink>,
     cost: &'a dyn CostModel,
+    /// Message-size algorithm selection — the same policy the exec plane
+    /// resolves at world build, so both planes pick (and cost) the same
+    /// algorithm for the same collective.
+    algo: AlgoPolicy,
     now: f64,
     comm_free_sync: f64,
     comm_free_async: f64,
@@ -110,6 +119,36 @@ impl<'a> Mirror<'a> {
         let s = self.next_seq;
         self.next_seq += 1;
         s
+    }
+
+    /// Remap a requested collective to the algorithm the exec plane's
+    /// [`AlgoPolicy`] would select for this payload. All-gather `bytes`
+    /// are the *gathered* buffer, so the contributed shard is
+    /// `bytes / 4 / group`; everything else contributes the full buffer.
+    fn effective(&self, kind: CollectiveKind, group_size: usize, bytes: f64) -> CollectiveKind {
+        let elems = (bytes / 4.0) as usize;
+        match kind {
+            CollectiveKind::AllReduce => match self.algo.all_reduce(elems, group_size) {
+                ArAlgo::Ring => CollectiveKind::AllReduce,
+                ArAlgo::Rhd => CollectiveKind::AllReduceRecursiveHalvingDoubling,
+                ArAlgo::Tree => CollectiveKind::AllReduceTree,
+            },
+            CollectiveKind::ReduceScatter => match self.algo.reduce_scatter(elems, group_size) {
+                RsAlgo::Ring => CollectiveKind::ReduceScatter,
+                RsAlgo::Rh => CollectiveKind::ReduceScatterRecursiveHalving,
+            },
+            CollectiveKind::AllGather => {
+                match self.algo.all_gather(elems / group_size.max(1), group_size) {
+                    AgAlgo::Ring => CollectiveKind::AllGather,
+                    AgAlgo::Rd => CollectiveKind::AllGatherRecursiveDoubling,
+                }
+            }
+            CollectiveKind::Broadcast => match self.algo.broadcast(elems, group_size) {
+                BcastAlgo::Chain => CollectiveKind::Broadcast,
+                BcastAlgo::Tree => CollectiveKind::BroadcastTree,
+            },
+            other => other,
+        }
     }
 
     fn gemm(&mut self, mode: &'static str, flops: f64) {
@@ -129,6 +168,7 @@ impl<'a> Mirror<'a> {
         if group_size <= 1 {
             return;
         }
+        let kind = self.effective(kind, group_size, bytes);
         let entry = self.now;
         let op_seconds = self.cost.collective_seconds(kind, group_size, bytes);
         let begin = entry.max(self.comm_free_sync);
@@ -153,6 +193,15 @@ impl<'a> Mirror<'a> {
 
     /// Issue an asynchronous collective on the worker channel.
     fn issue(&mut self, kind: CollectiveKind, group_size: usize, bytes: f64) -> Ticket {
+        let kind = self.effective(kind, group_size, bytes);
+        self.issue_raw(kind, group_size, bytes)
+    }
+
+    /// Issue with the kind taken literally, bypassing algorithm
+    /// selection — mirrors the exec plane's canonical-order linear
+    /// reduce-scatter, which is exempt (its fold order is the gradient
+    /// bucketizer's bit-identity contract).
+    fn issue_raw(&mut self, kind: CollectiveKind, group_size: usize, bytes: f64) -> Ticket {
         let issue_clock = self.now;
         let op = coll_op(kind);
         let seq = self.bump_seq();
@@ -235,6 +284,8 @@ pub fn simulate_mlp_step(cfg: &MlpStepConfig, cost: &dyn CostModel) -> RankTrace
     let mut m = Mirror {
         sink: TraceSink::new(0),
         cost,
+        // Same env-resolved default the exec plane's world build uses.
+        algo: AlgoPolicy::from_env(),
         now: 0.0,
         comm_free_sync: 0.0,
         comm_free_async: 0.0,
@@ -383,7 +434,9 @@ pub fn simulate_mlp_step(cfg: &MlpStepConfig, cost: &dyn CostModel) -> RankTrace
         }
         let padded = fill.div_ceil(cfg.gd) * cfg.gd;
         if cfg.gd > 1 {
-            let t = m.issue(CollectiveKind::ReduceScatter, cfg.gd, (padded * 4) as f64);
+            // Linear (canonical-order) reduce-scatter: exempt from
+            // algorithm selection, like `ireduce_scatter_linear_pooled`.
+            let t = m.issue_raw(CollectiveKind::ReduceScatter, cfg.gd, (padded * 4) as f64);
             rs_tickets.push((t, padded));
         }
         *fill = 0;
@@ -449,14 +502,16 @@ mod tests {
         let sig = trace.kind_signature();
         // Two OAG issues, then layer 0: fwd span, AG wait, gemm (row
         // group of layer 0 has size gy = 1 → no forward all-reduce).
-        assert_eq!(sig[0], "issue:all_gather");
-        assert_eq!(sig[1], "issue:all_gather");
+        // These tiny payloads select the recursive-doubling / tree
+        // algorithms under the default policy.
+        assert_eq!(sig[0], "issue:all_gather_rd");
+        assert_eq!(sig[1], "issue:all_gather_rd");
         assert_eq!(sig[2], "layer_fwd");
-        assert_eq!(sig[3], "wait:all_gather");
+        assert_eq!(sig[3], "wait:all_gather_rd");
         assert_eq!(sig[4], "gemm");
         // Layer 1 is transposed: its row group is X (size 2) → its
-        // forward ends with a blocking all-reduce.
-        assert!(sig.contains(&"collective:all_reduce".to_string()));
+        // forward ends with a blocking all-reduce (tree at this size).
+        assert!(sig.contains(&"collective:all_reduce_tree".to_string()));
         assert!(trace.streams_monotone());
     }
 

@@ -55,18 +55,33 @@ pub enum CollOp {
     AllReduceRd,
     Broadcast,
     Barrier,
+    /// Recursive-doubling all-gather (medium messages on pow2 groups).
+    AllGatherRd,
+    /// Recursive-halving reduce-scatter (medium messages on pow2 groups).
+    ReduceScatterRh,
+    /// Recursive halving/doubling all-reduce (Rabenseifner, pow2 groups).
+    AllReduceRhd,
+    /// Binomial-tree all-reduce (latency-bound small messages, any group).
+    AllReduceTree,
+    /// Binomial-tree broadcast (latency-bound small messages, any group).
+    BroadcastTree,
 }
 
 impl CollOp {
     /// Every collective op, in [`CollOp::index`] order. Lets callers
     /// pre-register one metric handle per op without allocation.
-    pub const ALL: [CollOp; 6] = [
+    pub const ALL: [CollOp; 11] = [
         CollOp::AllGather,
         CollOp::ReduceScatter,
         CollOp::AllReduce,
         CollOp::AllReduceRd,
         CollOp::Broadcast,
         CollOp::Barrier,
+        CollOp::AllGatherRd,
+        CollOp::ReduceScatterRh,
+        CollOp::AllReduceRhd,
+        CollOp::AllReduceTree,
+        CollOp::BroadcastTree,
     ];
 
     pub fn name(self) -> &'static str {
@@ -77,6 +92,11 @@ impl CollOp {
             CollOp::AllReduceRd => "all_reduce_rd",
             CollOp::Broadcast => "broadcast",
             CollOp::Barrier => "barrier",
+            CollOp::AllGatherRd => "all_gather_rd",
+            CollOp::ReduceScatterRh => "reduce_scatter_rh",
+            CollOp::AllReduceRhd => "all_reduce_rhd",
+            CollOp::AllReduceTree => "all_reduce_tree",
+            CollOp::BroadcastTree => "broadcast_tree",
         }
     }
 
@@ -89,6 +109,11 @@ impl CollOp {
             CollOp::AllReduceRd => 3,
             CollOp::Broadcast => 4,
             CollOp::Barrier => 5,
+            CollOp::AllGatherRd => 6,
+            CollOp::ReduceScatterRh => 7,
+            CollOp::AllReduceRhd => 8,
+            CollOp::AllReduceTree => 9,
+            CollOp::BroadcastTree => 10,
         }
     }
 }

@@ -200,7 +200,10 @@ impl OverlapReport {
                     {
                         let bucket_op = matches!(
                             op,
-                            crate::event::CollOp::ReduceScatter | crate::event::CollOp::AllGather
+                            crate::event::CollOp::ReduceScatter
+                                | crate::event::CollOp::ReduceScatterRh
+                                | crate::event::CollOp::AllGather
+                                | crate::event::CollOp::AllGatherRd
                         );
                         if ev.layer.is_none() && bucket_op {
                             keys.push((*op, *seq));

@@ -37,11 +37,14 @@ pub fn check(streams: &[Vec<SchedEvent>]) -> Vec<Diagnostic> {
                     let g = op.ranks.len();
                     let divisible_kinds = matches!(
                         op.kind,
-                        SchedKind::ReduceScatter | SchedKind::ReduceScatterLinear
+                        SchedKind::ReduceScatter
+                            | SchedKind::ReduceScatterLinear
+                            | SchedKind::ReduceScatterRh
                     );
                     if divisible_kinds && g > 1 && !op.elems.is_multiple_of(g) {
                         let label = match op.kind {
                             SchedKind::ReduceScatter => "reduce_scatter",
+                            SchedKind::ReduceScatterRh => "reduce_scatter_rh",
                             _ => "reduce_scatter_linear",
                         };
                         diags.push(Diagnostic::IndivisibleReduceScatter {

@@ -23,7 +23,8 @@ const ELEMS: usize = 1024;
 const STEPS: usize = 3;
 
 /// The training-shaped loop every scenario below runs: a few world-wide
-/// ring all-reduces (reduce-scatter + all-gather lanes).
+/// all-reduces (tree-selected at this payload size under the default
+/// policy: reduce-up + broadcast-down lanes).
 fn step_loop(c: &axonn::collectives::Comm, world: usize, steps: usize) {
     let g = ProcessGroup::new((0..world).collect());
     for _ in 0..steps {
@@ -82,14 +83,14 @@ fn watchdog_names_stalled_rank_on_certified_grid() {
     let reports = dog.stop();
 
     // The stalled rank is diagnosed with lane, peer and pending op. The
-    // hold is on rank 0's reduce-scatter send to its ring neighbour, so
-    // rank 1 is the parked receiver.
+    // hold is on rank 0's tree-broadcast send down to rank 1, so rank 1
+    // is the parked receiver.
     let stalled = reports
         .iter()
         .find(|r| r.rank == 1)
         .unwrap_or_else(|| panic!("rank 1 not reported; got {reports:?}"));
-    assert_eq!(stalled.op, Some("all_reduce"), "{stalled:?}");
-    assert_eq!(stalled.lane, Some("rs"), "{stalled:?}");
+    assert_eq!(stalled.op, Some("all_reduce_tree"), "{stalled:?}");
+    assert_eq!(stalled.lane, Some("tree_down"), "{stalled:?}");
     assert_eq!(stalled.peer, Some(0), "{stalled:?}");
     assert!(
         stalled.heartbeat_age_ms >= 250,
@@ -109,15 +110,15 @@ fn watchdog_names_stalled_rank_on_certified_grid() {
     let body = std::fs::read_to_string(dump)
         .unwrap_or_else(|e| panic!("flight dump {} unreadable: {e}", dump.display()));
     assert!(body.contains("\"rank\":1"), "{body}");
-    assert!(body.contains("lane rs"), "{body}");
-    assert!(body.contains("enter all_reduce"), "{body}");
+    assert!(body.contains("lane tree_down"), "{body}");
+    assert!(body.contains("enter all_reduce_tree"), "{body}");
 
     // 3. The live registry saw the run: same metric vocabulary as the
     //    post-hoc trace aggregation (and the sim publisher).
     let snap = registry.snapshot();
     let calls = snap
         .counters
-        .get("collective.all_reduce.calls")
+        .get("collective.all_reduce_tree.calls")
         .copied()
         .unwrap_or(0);
     assert_eq!(
@@ -128,7 +129,7 @@ fn watchdog_names_stalled_rank_on_certified_grid() {
     );
     assert!(snap
         .prometheus_text()
-        .contains("axonn_collective_all_reduce_calls"));
+        .contains("axonn_collective_all_reduce_tree_calls"));
 }
 
 #[test]

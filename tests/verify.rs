@@ -150,7 +150,12 @@ fn sched_coll_name(kind: SchedKind) -> &'static str {
         SchedKind::ReduceScatter | SchedKind::ReduceScatterLinear => CollOp::ReduceScatter.name(),
         SchedKind::AllReduce | SchedKind::AllReduceLinear => CollOp::AllReduce.name(),
         SchedKind::AllReduceRd => CollOp::AllReduceRd.name(),
+        SchedKind::AllGatherRd => CollOp::AllGatherRd.name(),
+        SchedKind::ReduceScatterRh => CollOp::ReduceScatterRh.name(),
+        SchedKind::AllReduceRhd => CollOp::AllReduceRhd.name(),
+        SchedKind::AllReduceTree => CollOp::AllReduceTree.name(),
         SchedKind::Broadcast => CollOp::Broadcast.name(),
+        SchedKind::BroadcastTree => CollOp::BroadcastTree.name(),
         SchedKind::Barrier => CollOp::Barrier.name(),
     }
 }
