@@ -3,33 +3,42 @@
 //!
 //! Usage:
 //!   bench_step [--iters N] [--check BASELINE.json] [--threshold F]
-//!              [--max-allreduce-ms F] [--write-baseline] [--per-tensor]
+//!              [--max-allreduce-ms F] [--max-step-ms F]
+//!              [--write-baseline] [--per-tensor]
 //!              [--no-drift] [--overhead-check [F]]
 //!
 //! Always writes `results/BENCH_step_time.json` and (unless
 //! `--no-drift`) the perfmodel drift report
-//! `results/DRIFT_perfmodel.json`. With `--check`, exits non-zero when
-//! the median step time regresses by more than the threshold (default
-//! 20%) relative to the baseline file; `--max-allreduce-ms` adds an
-//! absolute ceiling on the all-reduce gate median so the collective
-//! fast path can only ratchet forward. With `--write-baseline`, also
-//! refreshes `results/bench_step_baseline.json` (commit that file to
-//! move the gate). With `--overhead-check`, re-runs the step benchmark
-//! with live metrics disabled (`AXONN_METRICS=0`) and fails when the
-//! telemetry plane costs more than the given fraction of step time
-//! (default 1%). When `$GITHUB_STEP_SUMMARY` is set, `--check` also
-//! appends a baseline-vs-current delta table in Markdown.
+//! `results/DRIFT_perfmodel.json` (collective *and* GEMM sweeps). With
+//! `--check`, exits non-zero when the median step time regresses by
+//! more than the threshold (default 20%) relative to the baseline file;
+//! `--max-allreduce-ms` adds an absolute ceiling on the all-reduce gate
+//! median so the collective fast path can only ratchet forward, and
+//! `--max-step-ms` does the same for the step gate median (pinned below
+//! the pre-blocked-kernel baseline so the GEMM win cannot erode). With
+//! `--write-baseline`, also refreshes
+//! `results/bench_step_baseline.json` (commit that file to move the
+//! gate). With `--overhead-check`, re-runs the step benchmark with live
+//! metrics disabled (`AXONN_METRICS=0`) and fails when the telemetry
+//! plane costs more than the given fraction of step time (default 5%).
+//! When `$GITHUB_STEP_SUMMARY` is set, `--check` also appends a
+//! baseline-vs-current delta table in Markdown.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use axonn_bench::drift::{run_drift, DriftConfig};
+use axonn_bench::drift::{run_drift, run_gemm_drift, DriftConfig, GemmDriftConfig};
 use axonn_bench::step::{compare, load_report, run_step_bench, StepBenchConfig};
 use axonn_bench::{emit_json, print_table};
 use axonn_core::GradSyncMode;
 
 const DEFAULT_THRESHOLD: f64 = 0.20;
-const DEFAULT_OVERHEAD_THRESHOLD: f64 = 0.01;
+// The telemetry budget is really an absolute cost (~0.2 ms of metric
+// stamping per step); expressing it as a fraction means the limit must
+// be rebased when the step itself gets faster. 5% of the post-blocked-
+// kernel ~6.5 ms step is the same absolute budget 1% was of the
+// pre-blocked-kernel ~27 ms step.
+const DEFAULT_OVERHEAD_THRESHOLD: f64 = 0.05;
 
 /// Telemetry overhead assertion: gate step time with the live registry
 /// on vs. `AXONN_METRICS=0`, using the min of two runs per mode to
@@ -58,6 +67,7 @@ fn main() -> ExitCode {
     let mut check: Option<PathBuf> = None;
     let mut threshold = DEFAULT_THRESHOLD;
     let mut max_allreduce_ms: Option<f64> = None;
+    let mut max_step_ms: Option<f64> = None;
     let mut write_baseline = false;
     let mut emit_drift = true;
     let mut overhead_check: Option<f64> = None;
@@ -87,6 +97,13 @@ fn main() -> ExitCode {
                         .expect("--max-allreduce-ms needs a duration in ms, e.g. 11.2"),
                 );
             }
+            "--max-step-ms" => {
+                max_step_ms = Some(
+                    argv.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--max-step-ms needs a duration in ms, e.g. 19.0"),
+                );
+            }
             "--write-baseline" => write_baseline = true,
             // Benchmark the serial per-tensor oracle instead of the
             // bucketed ZeRO-1 pipeline (for measuring the pipeline's win
@@ -106,8 +123,8 @@ fn main() -> ExitCode {
                 eprintln!("unknown flag {other}");
                 eprintln!(
                     "usage: bench_step [--iters N] [--check BASELINE.json] [--threshold F] \
-                     [--max-allreduce-ms F] [--write-baseline] [--per-tensor] [--no-drift] \
-                     [--overhead-check [F]]"
+                     [--max-allreduce-ms F] [--max-step-ms F] [--write-baseline] \
+                     [--per-tensor] [--no-drift] [--overhead-check [F]]"
                 );
                 return ExitCode::FAILURE;
             }
@@ -140,6 +157,28 @@ fn main() -> ExitCode {
                 format!("{:.3} ms", report.gate_grad_sync_ms),
             ],
             vec![
+                "median compute (GEMM phase)".into(),
+                format!("{:.3} ms", report.median_compute_ms),
+            ],
+            vec![
+                "gate compute (fast-half median)".into(),
+                format!(
+                    "{:.3} ms  (NN {:.3} / NT {:.3} / TN {:.3})",
+                    report.gate_compute_ms,
+                    report.gate_compute_nn_ms,
+                    report.gate_compute_nt_ms,
+                    report.gate_compute_tn_ms
+                ),
+            ],
+            vec![
+                "packed bytes / step".into(),
+                format!(
+                    "{:.1} KiB  (simd {})",
+                    report.packed_bytes_per_step as f64 / 1024.0,
+                    if report.simd_active { "on" } else { "off" }
+                ),
+            ],
+            vec![
                 "median all-reduce (1M f32)".into(),
                 format!("{:.3} ms", report.median_allreduce_ms),
             ],
@@ -159,7 +198,8 @@ fn main() -> ExitCode {
     }
 
     if emit_drift {
-        let drift = run_drift(&DriftConfig::default());
+        let mut drift = run_drift(&DriftConfig::default());
+        drift.gemm = run_gemm_drift(&GemmDriftConfig::default());
         let rows: Vec<Vec<String>> = drift
             .entries
             .iter()
@@ -191,6 +231,60 @@ fn main() -> ExitCode {
             drift.bandwidth_estimate / (1024.0 * 1024.0),
             drift.world
         );
+        if let Some(gemm) = &drift.gemm {
+            let tier_rows: Vec<Vec<String>> = gemm
+                .tiers
+                .iter()
+                .map(|t| {
+                    vec![
+                        t.mode.to_string(),
+                        format!("{}x{}x{}", t.m, t.k, t.n),
+                        format!("{:.2}", t.naive_gflops),
+                        format!("{:.2}", t.blocked_gflops),
+                        format!("{:.2}", t.auto_gflops),
+                    ]
+                })
+                .collect();
+            print_table(
+                "gemm kernel tiers — sustained Gflop/s",
+                &["mode", "shape", "naive", "blocked", "blocked+simd"],
+                &tier_rows,
+            );
+            let gemm_rows: Vec<Vec<String>> = gemm
+                .entries
+                .iter()
+                .map(|e| {
+                    vec![
+                        e.mode.to_string(),
+                        format!("{}x{}x{}", e.m, e.k, e.n),
+                        format!("{:.3}", e.measured_s * 1e3),
+                        format!("{:.3}", e.predicted_s * 1e3),
+                        format!("{:.2}", e.ratio),
+                    ]
+                })
+                .collect();
+            print_table(
+                "gemm drift — measured vs calibrated compute model",
+                &["mode", "shape", "measured ms", "predicted ms", "ratio"],
+                &gemm_rows,
+            );
+            println!(
+                "[drift] gemm fit: peak {:.2} Gflop/s, half-sat {:.0}, NT x{:.2}, TN x{:.2}, \
+                 simd {} — ratios {} within [{}, {}]",
+                gemm.peak_flops / 1e9,
+                gemm.half_sat,
+                gemm.nt_factor,
+                gemm.tn_factor,
+                if gemm.simd_active { "on" } else { "off" },
+                if gemm.all_within_tolerance() {
+                    "all"
+                } else {
+                    "NOT all"
+                },
+                gemm.tolerance_low,
+                gemm.tolerance_high
+            );
+        }
         let path = emit_json("DRIFT_perfmodel", &drift);
         println!("[drift] wrote {}", path.display());
     }
@@ -225,15 +319,32 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        let verdict = compare(&report, &baseline, threshold, max_allreduce_ms);
+        let verdict = compare(&report, &baseline, threshold, max_allreduce_ms, max_step_ms);
         println!(
-            "[perf-gate] step {:+.1}% (gate {:+.0}%), all-reduce {:+.1}% vs {}",
+            "[perf-gate] step {:+.1}% (gate {:+.0}%), compute {:+.1}%, all-reduce {:+.1}% vs {}",
             verdict.step_delta * 100.0,
             verdict.threshold * 100.0,
+            verdict.compute_delta * 100.0,
             verdict.allreduce_delta * 100.0,
             baseline_path.display(),
         );
         write_step_summary(&report, &baseline, &verdict, &baseline_path);
+        if verdict.step_over_ceiling {
+            eprintln!(
+                "[perf-gate] FAIL: step gate median {:.3} ms exceeds the {:.3} ms \
+                 absolute ceiling",
+                report.gate_step_ms,
+                verdict.step_ceiling_ms.unwrap_or(f64::NAN)
+            );
+            eprintln!(
+                "[perf-gate] the ceiling ratchets the blocked-GEMM win; if the \
+                 regression is intentional, refresh the baseline with: cargo run \
+                 --release -p axonn-bench --features simd --bin bench_step -- \
+                 --write-baseline and raise --max-step-ms in \
+                 .github/workflows/ci.yml"
+            );
+            return ExitCode::FAILURE;
+        }
         if verdict.allreduce_over_ceiling {
             eprintln!(
                 "[perf-gate] FAIL: all-reduce gate median {:.3} ms exceeds the \
@@ -303,6 +414,11 @@ fn write_step_summary(
             report.gate_grad_sync_ms,
         ),
         (
+            "gate compute (GEMM phase)",
+            baseline.gate_compute_ms,
+            report.gate_compute_ms,
+        ),
+        (
             "median step",
             baseline.median_step_ms,
             report.median_step_ms,
@@ -314,28 +430,24 @@ fn write_step_summary(
             delta(now, base)
         );
     }
-    let ceiling = match verdict.allreduce_ceiling_ms {
+    let ceiling = |cap: Option<f64>, over: bool| match cap {
         Some(cap) => format!(
             "{:.3} ms ceiling — {}",
             cap,
-            if verdict.allreduce_over_ceiling {
-                "**exceeded**"
-            } else {
-                "ok"
-            }
+            if over { "**exceeded**" } else { "ok" }
         ),
         None => "none".to_string(),
     };
+    let ar_ceiling = ceiling(verdict.allreduce_ceiling_ms, verdict.allreduce_over_ceiling);
+    let step_ceiling = ceiling(verdict.step_ceiling_ms, verdict.step_over_ceiling);
     let _ = writeln!(
         md,
-        "\nthreshold {:.0}% · all-reduce ceiling: {ceiling} · baseline `{}` · verdict **{}**",
+        "\nthreshold {:.0}% · step ceiling: {step_ceiling} · all-reduce ceiling: {ar_ceiling} · \
+         compute phase {:+.1}% · baseline `{}` · verdict **{}**",
         verdict.threshold * 100.0,
+        verdict.compute_delta * 100.0,
         baseline_path.display(),
-        if verdict.regressed || verdict.allreduce_over_ceiling {
-            "FAIL"
-        } else {
-            "PASS"
-        }
+        if verdict.regressed { "FAIL" } else { "PASS" }
     );
     if let Err(e) = std::fs::OpenOptions::new()
         .create(true)

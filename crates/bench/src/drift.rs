@@ -13,11 +13,22 @@
 //!
 //! The report is written as `results/DRIFT_perfmodel.json` by
 //! `bench_step`.
+//!
+//! The same falsifiability discipline now covers the compute terms: the
+//! GEMM drift sweep times this host's real `axonn-tensor` kernels across
+//! modes and shapes, fits a [`CalibratedGemm`] saturating-rate curve to
+//! the NN points, and reports the measured/predicted ratio of every
+//! other point — plus a kernel-tier table (naive vs blocked vs
+//! blocked+SIMD GF/s) that documents what the blocked rewrite buys.
 
+use axonn_cluster::{CalibratedGemm, GemmMode, GemmSample};
 use axonn_collectives::{
     AgAlgo, AlgoPolicy, ArAlgo, CollectiveKind, ProcessGroup, RingCostModel, RsAlgo,
 };
 use axonn_exec::run_spmd;
+use axonn_tensor::{
+    gemm_into, gemm_into_naive, gemm_into_stats, gemm_into_with, BlockSizes, MatMode, Matrix,
+};
 use axonn_trace::{Histogram, SECONDS_BOUNDS};
 use serde::{Serialize, Value};
 use std::time::Instant;
@@ -98,6 +109,11 @@ pub struct DriftReport {
     /// buckets — the "per-collective measured latency histogram" the
     /// live plane also publishes, here in committed-artifact form.
     pub latency_hists: Vec<(String, Histogram)>,
+    /// Compute-side drift: measured GEMM kernel rates vs the fitted
+    /// [`CalibratedGemm`] curve. `None` until the caller runs
+    /// [`run_gemm_drift`] and attaches it (the collective sweep and the
+    /// GEMM sweep are independently configurable).
+    pub gemm: Option<GemmDriftReport>,
 }
 
 impl Serialize for DriftReport {
@@ -118,6 +134,7 @@ impl Serialize for DriftReport {
                         .collect(),
                 ),
             ),
+            ("gemm".into(), self.gemm.serialize()),
         ])
     }
 }
@@ -279,7 +296,219 @@ pub fn run_drift(cfg: &DriftConfig) -> DriftReport {
         bandwidth_estimate: bandwidth,
         entries,
         latency_hists: hists,
+        gemm: None,
     }
+}
+
+// ---------------------------------------------------------------------
+// GEMM drift: measured kernel rates vs the calibrated compute model.
+// ---------------------------------------------------------------------
+
+/// Configuration of the GEMM drift sweep.
+#[derive(Debug, Clone)]
+pub struct GemmDriftConfig {
+    /// `(m, k, n)` logical GEMM shapes, swept for every mode.
+    pub shapes: Vec<(usize, usize, usize)>,
+    /// Timed iterations per (mode, shape) point.
+    pub iters: usize,
+    /// Warmup iterations per point (discarded; also primes the
+    /// thread-local pack buffers).
+    pub warmup: usize,
+}
+
+impl Default for GemmDriftConfig {
+    fn default() -> GemmDriftConfig {
+        GemmDriftConfig {
+            // Distinct smallest dimensions so the two-point NN fit has
+            // leverage; big enough that the blocked kernel saturates.
+            shapes: vec![(48, 48, 48), (128, 128, 128), (288, 288, 288)],
+            iters: 5,
+            warmup: 2,
+        }
+    }
+}
+
+/// One measured-vs-predicted GEMM point (the auto kernel: blocked, with
+/// AVX2 when compiled in and available).
+#[derive(Debug, Clone, Serialize)]
+pub struct GemmDriftEntry {
+    /// Mode label (`NN`, `NT`, `TN`).
+    pub mode: &'static str,
+    pub m: usize,
+    pub k: usize,
+    pub n: usize,
+    /// Median measured wall seconds.
+    pub measured_s: f64,
+    /// Sustained throughput of the measured point, Gflop/s.
+    pub measured_gflops: f64,
+    /// Seconds the fitted [`CalibratedGemm`] predicts for this point.
+    pub predicted_s: f64,
+    /// measured / predicted (> 1 means the model is optimistic).
+    pub ratio: f64,
+}
+
+/// Throughput of each kernel tier at one (mode, shape) point — the
+/// naive loop nest, the blocked/packed scalar kernel, and the auto
+/// kernel (blocked + AVX2 micro-kernel when available).
+#[derive(Debug, Clone, Serialize)]
+pub struct GemmTierEntry {
+    pub mode: &'static str,
+    pub m: usize,
+    pub k: usize,
+    pub n: usize,
+    pub naive_gflops: f64,
+    pub blocked_gflops: f64,
+    pub auto_gflops: f64,
+}
+
+/// The GEMM drift report, written alongside the collective drift in
+/// `results/DRIFT_perfmodel.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct GemmDriftReport {
+    /// Fitted NN curve: asymptotic flop/s and half-saturation size.
+    pub peak_flops: f64,
+    pub half_sat: f64,
+    /// Fitted per-mode throughput factors relative to the NN curve.
+    pub nt_factor: f64,
+    pub tn_factor: f64,
+    /// Whether the AVX2 micro-kernels ran for the auto tier.
+    pub simd_active: bool,
+    /// Accepted measured/predicted band for the sweep points.
+    pub tolerance_low: f64,
+    pub tolerance_high: f64,
+    pub entries: Vec<GemmDriftEntry>,
+    pub tiers: Vec<GemmTierEntry>,
+}
+
+impl GemmDriftReport {
+    /// `true` when every sweep point's ratio lies inside the tolerance
+    /// band — the acceptance criterion the perf gate prints.
+    pub fn all_within_tolerance(&self) -> bool {
+        self.entries
+            .iter()
+            .all(|e| e.ratio >= self.tolerance_low && e.ratio <= self.tolerance_high)
+    }
+}
+
+const GEMM_MODES: [(MatMode, GemmMode, &str); 3] = [
+    (MatMode::NN, GemmMode::NN, "NN"),
+    (MatMode::NT, GemmMode::NT, "NT"),
+    (MatMode::TN, GemmMode::TN, "TN"),
+];
+
+/// Operand matrices for a logical `m×k×n` product in `mode` (C is
+/// `m×n`, contraction `k`), seeded deterministically.
+fn gemm_operands(mode: MatMode, m: usize, k: usize, n: usize) -> (Matrix, Matrix) {
+    let seed_a = (m * 31 + k) as u64;
+    let seed_b = (k * 31 + n) as u64 + 1;
+    match mode {
+        MatMode::NN => (
+            Matrix::random(m, k, 1.0, seed_a),
+            Matrix::random(k, n, 1.0, seed_b),
+        ),
+        MatMode::NT => (
+            Matrix::random(m, k, 1.0, seed_a),
+            Matrix::random(n, k, 1.0, seed_b),
+        ),
+        MatMode::TN => (
+            Matrix::random(k, m, 1.0, seed_a),
+            Matrix::random(k, n, 1.0, seed_b),
+        ),
+    }
+}
+
+/// Median wall seconds of `f` over `iters` timed runs after `warmup`.
+fn time_kernel<F: FnMut()>(iters: usize, warmup: usize, mut f: F) -> f64 {
+    let mut samples = Vec::with_capacity(iters);
+    for i in 0..warmup + iters {
+        let t0 = Instant::now();
+        f();
+        let dt = t0.elapsed().as_secs_f64();
+        if i >= warmup {
+            samples.push(dt);
+        }
+    }
+    median(samples)
+}
+
+/// Run the GEMM sweep, fit the compute model, and assemble the report.
+/// Returns `None` when the configured shapes cannot pin the NN curve
+/// (fewer than two distinct smallest dimensions).
+pub fn run_gemm_drift(cfg: &GemmDriftConfig) -> Option<GemmDriftReport> {
+    let mut samples: Vec<GemmSample> = Vec::new();
+    let mut points: Vec<(&'static str, GemmMode, usize, usize, usize, f64)> = Vec::new();
+    let mut tiers: Vec<GemmTierEntry> = Vec::new();
+    let mut simd_active = false;
+
+    for &(mat_mode, gemm_mode, label) in &GEMM_MODES {
+        for &(m, k, n) in &cfg.shapes {
+            let (a, b) = gemm_operands(mat_mode, m, k, n);
+            let mut c = Matrix::zeros(m, n);
+            let flops = 2.0 * m as f64 * k as f64 * n as f64;
+
+            simd_active |= gemm_into_stats(mat_mode, &a, &b, &mut c).simd;
+            let auto_s = time_kernel(cfg.iters, cfg.warmup, || {
+                gemm_into(mat_mode, &a, &b, &mut c);
+            });
+            let naive_s = time_kernel(cfg.iters, cfg.warmup, || {
+                gemm_into_naive(mat_mode, &a, &b, &mut c);
+            });
+            let blocked_s = time_kernel(cfg.iters, cfg.warmup, || {
+                let _ = gemm_into_with(mat_mode, &a, &b, &mut c, BlockSizes::default(), true);
+            });
+
+            let rate = flops / auto_s.max(1e-12);
+            samples.push(GemmSample {
+                mode: gemm_mode,
+                dim: m.min(k).min(n),
+                rate,
+            });
+            points.push((label, gemm_mode, m, k, n, auto_s));
+            tiers.push(GemmTierEntry {
+                mode: label,
+                m,
+                k,
+                n,
+                naive_gflops: flops / naive_s.max(1e-12) / 1e9,
+                blocked_gflops: flops / blocked_s.max(1e-12) / 1e9,
+                auto_gflops: rate / 1e9,
+            });
+        }
+    }
+
+    let cal = CalibratedGemm::fit(&samples)?;
+    let entries = points
+        .into_iter()
+        .map(|(mode, gemm_mode, m, k, n, measured_s)| {
+            let flops = 2.0 * m as f64 * k as f64 * n as f64;
+            let predicted_s = cal.seconds(m, k, n, gemm_mode);
+            GemmDriftEntry {
+                mode,
+                m,
+                k,
+                n,
+                measured_s,
+                measured_gflops: flops / measured_s.max(1e-12) / 1e9,
+                predicted_s,
+                ratio: if predicted_s > 0.0 {
+                    measured_s / predicted_s
+                } else {
+                    f64::NAN
+                },
+            }
+        })
+        .collect();
+    Some(GemmDriftReport {
+        peak_flops: cal.peak_flops,
+        half_sat: cal.half_sat,
+        nt_factor: cal.nt_factor,
+        tn_factor: cal.tn_factor,
+        simd_active,
+        tolerance_low: 0.5,
+        tolerance_high: 2.0,
+        entries,
+        tiers,
+    })
 }
 
 #[cfg(test)]
@@ -316,5 +545,51 @@ mod tests {
         // Serializes to JSON.
         let json = serde_json::to_string(&report).unwrap();
         assert!(json.contains("bandwidth_estimate"));
+    }
+
+    #[test]
+    fn gemm_drift_report_shape() {
+        let cfg = GemmDriftConfig {
+            shapes: vec![(24, 24, 24), (96, 96, 96)],
+            iters: 3,
+            warmup: 1,
+        };
+        let report = run_gemm_drift(&cfg).expect("two distinct NN dims");
+        assert_eq!(report.entries.len(), 6); // 3 modes × 2 shapes
+        assert_eq!(report.tiers.len(), 6);
+        assert!(report.peak_flops > 0.0);
+        for e in &report.entries {
+            assert!(e.measured_s > 0.0, "{e:?}");
+            assert!(e.predicted_s > 0.0, "{e:?}");
+            assert!(e.measured_gflops > 0.0, "{e:?}");
+        }
+        // The fit passes exactly through the largest point of each mode,
+        // so at least those three ratios are 1 and inside any band.
+        let largest_nn = report
+            .entries
+            .iter()
+            .filter(|e| e.mode == "NN")
+            .max_by_key(|e| e.m)
+            .unwrap();
+        assert!(
+            (largest_nn.ratio - 1.0).abs() < 1e-9,
+            "calibration point ratio {}",
+            largest_nn.ratio
+        );
+        for t in &report.tiers {
+            assert!(t.naive_gflops > 0.0 && t.blocked_gflops > 0.0 && t.auto_gflops > 0.0);
+        }
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("tn_factor") && json.contains("naive_gflops"));
+    }
+
+    #[test]
+    fn gemm_drift_needs_two_distinct_sizes() {
+        let cfg = GemmDriftConfig {
+            shapes: vec![(32, 32, 32)],
+            iters: 1,
+            warmup: 0,
+        };
+        assert!(run_gemm_drift(&cfg).is_none());
     }
 }

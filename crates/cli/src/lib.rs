@@ -627,6 +627,17 @@ pub fn run(cmd: Command) -> Result<(), String> {
                 "median grad-sync {:.3} ms   (gate stat {:.3})",
                 report.median_grad_sync_ms, report.gate_grad_sync_ms
             );
+            println!(
+                "median compute   {:.3} ms   (gate stat {:.3}; NN {:.3} / NT {:.3} / TN {:.3}, \
+                 {:.1} KiB packed/step, simd {})",
+                report.median_compute_ms,
+                report.gate_compute_ms,
+                report.gate_compute_nn_ms,
+                report.gate_compute_nt_ms,
+                report.gate_compute_tn_ms,
+                report.packed_bytes_per_step as f64 / 1024.0,
+                if report.simd_active { "on" } else { "off" }
+            );
             println!("median all-reduce {:.3} ms", report.median_allreduce_ms);
             let dp = grad_sync_overlap_report();
             println!(
@@ -646,17 +657,18 @@ pub fn run(cmd: Command) -> Result<(), String> {
             );
             match load_report(&path) {
                 Ok(base) => {
-                    let v = bench_compare(&report, &base, 0.20, None);
+                    let v = bench_compare(&report, &base, 0.20, None, None);
                     let sync_delta = if base.gate_grad_sync_ms > 0.0 {
                         (report.gate_grad_sync_ms - base.gate_grad_sync_ms) / base.gate_grad_sync_ms
                     } else {
                         0.0
                     };
                     println!(
-                        "vs {}: step {:+.1}%, grad-sync {:+.1}%, all-reduce {:+.1}%{}",
+                        "vs {}: step {:+.1}%, grad-sync {:+.1}%, compute {:+.1}%, all-reduce {:+.1}%{}",
                         path.display(),
                         v.step_delta * 100.0,
                         sync_delta * 100.0,
+                        v.compute_delta * 100.0,
                         v.allreduce_delta * 100.0,
                         if v.regressed {
                             "  ** exceeds 20% regression gate **"

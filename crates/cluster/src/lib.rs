@@ -15,7 +15,7 @@ pub mod machine;
 pub mod topology;
 
 pub use bwdb::BandwidthDb;
-pub use machine::{GemmMode, KernelProfile, Machine};
+pub use machine::{CalibratedGemm, GemmMode, GemmSample, KernelProfile, Machine};
 pub use topology::{crossing_minimal_ring, minimal_crossings, node_of, ring_node_crossings};
 
 /// Effective peer-to-peer bandwidth (bytes/s) available to collectives of

@@ -225,6 +225,110 @@ impl Machine {
     }
 }
 
+/// One measured GEMM throughput point feeding [`CalibratedGemm::fit`].
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct GemmSample {
+    pub mode: GemmMode,
+    /// Smallest logical dimension of the measured shape (the saturation
+    /// variable of the efficiency curve).
+    pub dim: usize,
+    /// Sustained flop/s measured for that shape.
+    pub rate: f64,
+}
+
+/// A GEMM throughput model fitted from *measured* kernel rates, the
+/// host-machine analogue of the preset efficiency curves above.
+///
+/// The presets encode the paper's published GPU numbers; the benchmark
+/// plane instead times this machine's real `axonn-tensor` kernels and
+/// fits the same saturating-rate form `rate(d) = peak · d / (d + h)` to
+/// them, so the performance model's compute terms can be checked against
+/// hardware we actually run on (the GEMM drift report).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CalibratedGemm {
+    /// Asymptotic sustained flop/s of the NN kernel.
+    pub peak_flops: f64,
+    /// Smallest-dimension size at which NN reaches half the asymptote.
+    pub half_sat: f64,
+    /// NT throughput relative to the NN curve at the same size.
+    pub nt_factor: f64,
+    /// TN throughput relative to the NN curve at the same size.
+    pub tn_factor: f64,
+}
+
+impl CalibratedGemm {
+    /// Fit the curve from measured samples. Needs at least two NN points
+    /// at distinct sizes; the half-saturation constant is solved from
+    /// the smallest and largest of them, and the NT/TN factors come from
+    /// the largest measured point of each mode against the fitted NN
+    /// curve. Returns `None` when the NN data cannot pin the curve.
+    pub fn fit(samples: &[GemmSample]) -> Option<CalibratedGemm> {
+        let mut nn: Vec<&GemmSample> = samples
+            .iter()
+            .filter(|s| s.mode == GemmMode::NN && s.dim > 0 && s.rate > 0.0)
+            .collect();
+        if nn.len() < 2 {
+            return None;
+        }
+        nn.sort_by_key(|s| s.dim);
+        let (small, large) = (nn[0], nn[nn.len() - 1]);
+        if small.dim == large.dim {
+            return None;
+        }
+        let (ds, dl) = (small.dim as f64, large.dim as f64);
+        let r = small.rate / large.rate;
+        // rate(d) = P·d/(d+h) through both points gives
+        // h = ds·dl·(1-r) / (r·dl - ds); r is admissible in (ds/dl, 1).
+        let denom = r * dl - ds;
+        let half_sat = if denom > 0.0 {
+            (ds * dl * (1.0 - r) / denom).clamp(0.0, 64.0 * dl)
+        } else {
+            // Small point slower than an infinitely-slow-saturating curve
+            // allows (measurement noise): take the cap.
+            64.0 * dl
+        };
+        let peak_flops = large.rate * (dl + half_sat) / dl;
+        let nn_at = |d: f64| peak_flops * d / (d + half_sat);
+        let factor = |mode: GemmMode| {
+            samples
+                .iter()
+                .filter(|s| s.mode == mode && s.dim > 0 && s.rate > 0.0)
+                .max_by_key(|s| s.dim)
+                .map(|s| s.rate / nn_at(s.dim as f64))
+                .unwrap_or(1.0)
+        };
+        Some(CalibratedGemm {
+            peak_flops,
+            half_sat,
+            nt_factor: factor(GemmMode::NT),
+            tn_factor: factor(GemmMode::TN),
+        })
+    }
+
+    /// Sustained flop/s the fitted model predicts for an `m×k×n` GEMM.
+    pub fn rate(&self, m: usize, k: usize, n: usize, mode: GemmMode) -> f64 {
+        let min_dim = m.min(k).min(n) as f64;
+        if min_dim == 0.0 {
+            return 0.0;
+        }
+        let nn = self.peak_flops * min_dim / (min_dim + self.half_sat);
+        match mode {
+            GemmMode::NN => nn,
+            GemmMode::NT => nn * self.nt_factor,
+            GemmMode::TN => nn * self.tn_factor,
+        }
+    }
+
+    /// Seconds the fitted model predicts for an `m×k×n` GEMM.
+    pub fn seconds(&self, m: usize, k: usize, n: usize, mode: GemmMode) -> f64 {
+        let flops = 2.0 * m as f64 * k as f64 * n as f64;
+        if flops == 0.0 {
+            return 0.0;
+        }
+        flops / self.rate(m, k, n, mode)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -307,5 +411,108 @@ mod tests {
         for m in Machine::all() {
             assert_eq!(Machine::by_name(&m.name).name, m.name);
         }
+    }
+
+    #[test]
+    fn calibrated_gemm_recovers_exact_curve() {
+        // Samples generated from a known curve must round-trip through
+        // the two-point fit.
+        let (peak, h) = (5.0e9, 200.0);
+        let gen = |d: usize| peak * d as f64 / (d as f64 + h);
+        let samples = vec![
+            GemmSample {
+                mode: GemmMode::NN,
+                dim: 64,
+                rate: gen(64),
+            },
+            GemmSample {
+                mode: GemmMode::NN,
+                dim: 1024,
+                rate: gen(1024),
+            },
+            GemmSample {
+                mode: GemmMode::NT,
+                dim: 1024,
+                rate: gen(1024) * 0.9,
+            },
+            GemmSample {
+                mode: GemmMode::TN,
+                dim: 1024,
+                rate: gen(1024) * 0.7,
+            },
+        ];
+        let cal = CalibratedGemm::fit(&samples).expect("two NN points");
+        assert!((cal.peak_flops - peak).abs() / peak < 1e-9);
+        assert!((cal.half_sat - h).abs() / h < 1e-9);
+        assert!((cal.nt_factor - 0.9).abs() < 1e-9);
+        assert!((cal.tn_factor - 0.7).abs() < 1e-9);
+        // Predictions interpolate the generating curve.
+        assert!((cal.rate(256, 512, 512, GemmMode::NN) - gen(256)).abs() / gen(256) < 1e-9);
+        let s = cal.seconds(256, 512, 512, GemmMode::TN);
+        let expect = 2.0 * 256.0 * 512.0 * 512.0 / (gen(256) * 0.7);
+        assert!((s - expect).abs() / expect < 1e-9);
+    }
+
+    #[test]
+    fn calibrated_gemm_degenerate_inputs() {
+        // One NN point, or two at the same size: no fit.
+        let one = vec![GemmSample {
+            mode: GemmMode::NN,
+            dim: 128,
+            rate: 1.0e9,
+        }];
+        assert!(CalibratedGemm::fit(&one).is_none());
+        let same = vec![
+            GemmSample {
+                mode: GemmMode::NN,
+                dim: 128,
+                rate: 1.0e9,
+            },
+            GemmSample {
+                mode: GemmMode::NN,
+                dim: 128,
+                rate: 1.1e9,
+            },
+        ];
+        assert!(CalibratedGemm::fit(&same).is_none());
+        // Missing NT/TN samples default to factor 1 (NN curve).
+        let nn_only = vec![
+            GemmSample {
+                mode: GemmMode::NN,
+                dim: 64,
+                rate: 1.0e9,
+            },
+            GemmSample {
+                mode: GemmMode::NN,
+                dim: 512,
+                rate: 2.0e9,
+            },
+        ];
+        let cal = CalibratedGemm::fit(&nn_only).expect("fit");
+        assert_eq!(cal.nt_factor, 1.0);
+        assert_eq!(cal.tn_factor, 1.0);
+        assert_eq!(cal.rate(0, 8, 8, GemmMode::NN), 0.0);
+        assert_eq!(cal.seconds(0, 8, 8, GemmMode::NN), 0.0);
+    }
+
+    #[test]
+    fn calibrated_gemm_noisy_small_point_clamps_half_sat() {
+        // A small point far below the admissible band (r <= ds/dl) must
+        // still yield a usable monotone curve via the cap.
+        let samples = vec![
+            GemmSample {
+                mode: GemmMode::NN,
+                dim: 64,
+                rate: 1.0e6,
+            },
+            GemmSample {
+                mode: GemmMode::NN,
+                dim: 1024,
+                rate: 1.0e9,
+            },
+        ];
+        let cal = CalibratedGemm::fit(&samples).expect("fit");
+        assert_eq!(cal.half_sat, 64.0 * 1024.0);
+        assert!(cal.rate(64, 64, 64, GemmMode::NN) < cal.rate(1024, 1024, 1024, GemmMode::NN));
     }
 }

@@ -16,7 +16,9 @@
 use crate::grid::GridTopology;
 use crate::tuner::{DwStrategy, KernelTuner};
 use axonn_collectives::{AsyncHandle, Comm};
-use axonn_tensor::{block_of, gemm, shard_rows, BlockSpec, MatMode, Matrix};
+use axonn_tensor::{
+    block_of, gemm_into_stats, pack_geometry, shard_rows, BlockSpec, GemmStats, MatMode, Matrix,
+};
 use axonn_trace::{EventDetail, Stream};
 
 /// Wall-clock timestamp for trace edges; 0 when tracing is off (the
@@ -26,8 +28,9 @@ fn wall_now(comm: &Comm) -> u64 {
 }
 
 /// Record a compute-stream GEMM span whose start edges (`t0`, `wall0`)
-/// were captured before the product ran; end edges are read now.
-fn record_gemm(comm: &Comm, t0: f64, wall0: u64, mode: &'static str, flops: f64) {
+/// were captured before the product ran; end edges are read now. `stats`
+/// carries the blocked engine's pack accounting into the span.
+fn record_gemm(comm: &Comm, t0: f64, wall0: u64, mode: &'static str, flops: f64, stats: GemmStats) {
     if let Some(t) = comm.tracer() {
         t.record(
             Stream::Compute,
@@ -36,9 +39,22 @@ fn record_gemm(comm: &Comm, t0: f64, wall0: u64, mode: &'static str, flops: f64)
             wall0,
             t.now_ns(),
             t.layer(),
-            EventDetail::Gemm { mode, flops },
+            EventDetail::Gemm {
+                mode,
+                flops,
+                packed_bytes: stats.packed_bytes,
+                panels: stats.panels,
+            },
         );
     }
+}
+
+/// Allocate-and-multiply returning the pack stats alongside the product.
+fn gemm_with_stats(mode: MatMode, a: &Matrix, b: &Matrix) -> (Matrix, GemmStats) {
+    let (m, n) = mode.output_shape(a.shape(), b.shape());
+    let mut c = Matrix::zeros(m, n);
+    let stats = gemm_into_stats(mode, a, b, &mut c);
+    (c, stats)
 }
 
 /// Which of the Section V-D overlap optimizations are active.
@@ -254,10 +270,10 @@ impl ParallelLinear {
         };
         let t0 = comm.now();
         let wall0 = wall_now(comm);
-        let o_partial = gemm(MatMode::NN, &i_local, &w);
+        let (o_partial, stats) = gemm_with_stats(MatMode::NN, &i_local, &w);
         let flops = 2.0 * i_local.rows() as f64 * w.rows() as f64 * w.cols() as f64;
         comm.advance_compute(flops);
-        record_gemm(comm, t0, wall0, "NN", flops);
+        record_gemm(comm, t0, wall0, "NN", flops, stats);
         let mut o = o_partial.into_vec();
         comm.all_reduce(grid.row_group(self.transposed), &mut o);
         let out = Matrix::from_vec(i_local.rows(), self.local_output_cols(grid), o);
@@ -288,10 +304,10 @@ impl ParallelLinear {
         }
         let t0 = comm.now();
         let wall0 = wall_now(comm);
-        let o_partial = gemm(MatMode::NN, i_local, w);
+        let (o_partial, stats) = gemm_with_stats(MatMode::NN, i_local, w);
         let flops = 2.0 * i_local.rows() as f64 * w.rows() as f64 * w.cols() as f64;
         comm.advance_compute(flops);
-        record_gemm(comm, t0, wall0, "NN", flops);
+        record_gemm(comm, t0, wall0, "NN", flops, stats);
         let mut o = o_partial.into_vec();
         comm.all_reduce(grid.row_group(self.transposed), &mut o);
         if let Some(t) = comm.tracer() {
@@ -340,10 +356,10 @@ impl ParallelLinear {
         // Line 11: dÎ = dO · Wᵀ.
         let t0 = comm.now();
         let wall0 = wall_now(comm);
-        let d_i_partial = gemm(MatMode::NT, d_o, &w);
+        let (d_i_partial, stats) = gemm_with_stats(MatMode::NT, d_o, &w);
         let flops = 2.0 * d_o.rows() as f64 * d_o.cols() as f64 * w.rows() as f64;
         comm.advance_compute(flops);
-        record_gemm(comm, t0, wall0, "NT", flops);
+        record_gemm(comm, t0, wall0, "NT", flops, stats);
 
         // Line 12: all-reduce across the col group — asynchronously under
         // OAR, overlapped with the dŴ GEMM below.
@@ -365,11 +381,28 @@ impl ParallelLinear {
         let d_w = tuner.dw_gemm(self.layer_id, &i_local, d_o);
         let flops = 2.0 * i_local.rows() as f64 * i_local.cols() as f64 * d_o.cols() as f64;
         comm.advance_compute(flops);
-        let dw_mode = match tuner.choice(self.layer_id) {
-            Some(DwStrategy::TransposeNn) => "TN->NN",
-            _ => "TN",
+        // Pack traffic of the strategy the tuner executed: the packed TN
+        // kernel transpose-packs A, the NN reroute packs B panels only,
+        // and the naive walk packs nothing.
+        let strategy = tuner.choice(self.layer_id).unwrap_or(DwStrategy::PackedTn);
+        let (dw_m, dw_k, dw_n) = (i_local.cols(), i_local.rows(), d_o.cols());
+        let (panels, packed_bytes) = match strategy {
+            DwStrategy::PackedTn => pack_geometry(MatMode::TN, dw_m, dw_k, dw_n),
+            DwStrategy::NaiveTn => (0, 0),
+            DwStrategy::TransposeNn => pack_geometry(MatMode::NN, dw_m, dw_k, dw_n),
         };
-        record_gemm(comm, t0, wall0, dw_mode, flops);
+        record_gemm(
+            comm,
+            t0,
+            wall0,
+            strategy.mode_label(),
+            flops,
+            GemmStats {
+                packed_bytes,
+                panels,
+                simd: false,
+            },
+        );
         if let Some(t) = comm.tracer() {
             if let Some(o) = tuner.take_last_outcome() {
                 t.mark(
@@ -378,10 +411,12 @@ impl ParallelLinear {
                     EventDetail::TunerDecision {
                         layer: o.layer_id,
                         choice: match o.strategy {
-                            DwStrategy::DirectTn => "direct_tn",
+                            DwStrategy::PackedTn => "packed_tn",
+                            DwStrategy::NaiveTn => "naive_tn",
                             DwStrategy::TransposeNn => "transpose_nn",
                         },
                         direct_seconds: o.direct_seconds,
+                        naive_seconds: o.naive_seconds,
                         reroute_seconds: o.reroute_seconds,
                     },
                 );

@@ -1,24 +1,44 @@
 //! Automated BLAS kernel tuning (Section V-C).
 //!
-//! The weight-gradient product `Iᵀ·dO` defaults to the TN kernel, which
-//! on some platforms (rocBLAS on Frontier, and our deliberately naive TN
-//! path in `axonn-tensor`) is far slower than NN. During the first batch
-//! the tuner times every strategy for each layer's product with real
-//! wall-clock measurements — exactly the paper's procedure — and locks in
-//! the fastest for the remaining iterations.
+//! The weight-gradient product `Iᵀ·dO` defaults to the TN kernel. Before
+//! the blocked rewrite of `axonn-tensor` that kernel was always a
+//! stride-`m` column walk; now the packed TN kernel turns the walk into
+//! a transpose-pack, and the naive walk survives as a selectable tier —
+//! so the tuner faces a genuine three-way decision (packed TN vs naive
+//! TN vs explicit-transpose + NN), just as the paper's tuner did against
+//! rocBLAS on Frontier. During the first batch the tuner times every
+//! strategy for each layer's product with real wall-clock measurements —
+//! exactly the paper's procedure — and locks in the fastest for the
+//! remaining iterations.
 
-use axonn_tensor::{gemm, MatMode, Matrix};
+use axonn_tensor::{gemm, gemm_tn_naive, MatMode, Matrix};
 use std::collections::HashMap;
 use std::time::Instant;
 
 /// How to compute `Iᵀ·dO` for one layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DwStrategy {
-    /// Call the TN kernel directly.
-    DirectTn,
-    /// Explicitly transpose `I`, then call the NN kernel — the rewrite
-    /// that gave the paper its ~8× matmul speedup on GPT-320B.
+    /// Call the blocked TN kernel (transpose-packs `I` into the reused
+    /// thread-local pack buffer).
+    PackedTn,
+    /// Call the naive TN kernel: the unblocked stride-`m` column walk —
+    /// the "bad kernel" the paper's tuner learned to avoid.
+    NaiveTn,
+    /// Explicitly transpose `I` into a fresh matrix, then call the NN
+    /// kernel — the rewrite that gave the paper its ~8× matmul speedup
+    /// on GPT-320B.
     TransposeNn,
+}
+
+impl DwStrategy {
+    /// The trace-facing mode label for the dW GEMM under this strategy.
+    pub fn mode_label(self) -> &'static str {
+        match self {
+            DwStrategy::PackedTn => "TN",
+            DwStrategy::NaiveTn => "TN(naive)",
+            DwStrategy::TransposeNn => "TN->NN",
+        }
+    }
 }
 
 /// One tuning measurement: what was timed and what won. Drained by the
@@ -28,8 +48,10 @@ pub enum DwStrategy {
 pub struct TuningOutcome {
     pub layer_id: usize,
     pub strategy: DwStrategy,
-    /// Measured wall time of the direct TN kernel (seconds).
+    /// Measured wall time of the blocked (packed) TN kernel (seconds).
     pub direct_seconds: f64,
+    /// Measured wall time of the naive column-strided TN kernel.
+    pub naive_seconds: f64,
     /// Measured wall time of the transpose + NN reroute (seconds).
     pub reroute_seconds: f64,
 }
@@ -63,52 +85,62 @@ impl KernelTuner {
         self.choices.get(&layer_id).copied()
     }
 
-    /// Compute `Iᵀ·dO`. Untuned mode always calls the TN kernel (the
-    /// framework default the paper starts from). With tuning enabled, the
-    /// first call for each layer times both strategies and records the
-    /// winner.
+    /// Compute `Iᵀ·dO`. Untuned mode always calls the blocked TN kernel
+    /// (the framework default). With tuning enabled, the first call for
+    /// each layer times all three strategies and records the winner.
     pub fn dw_gemm(&mut self, layer_id: usize, i_local: &Matrix, d_o: &Matrix) -> Matrix {
         if !self.enabled {
             return gemm(MatMode::TN, i_local, d_o);
         }
         match self.choices.get(&layer_id) {
-            Some(DwStrategy::DirectTn) => gemm(MatMode::TN, i_local, d_o),
+            Some(DwStrategy::PackedTn) => gemm(MatMode::TN, i_local, d_o),
+            Some(DwStrategy::NaiveTn) => gemm_tn_naive(i_local, d_o),
             Some(DwStrategy::TransposeNn) => {
                 let it = i_local.transposed();
                 gemm(MatMode::NN, &it, d_o)
             }
             None => {
                 let t0 = Instant::now();
-                let direct = gemm(MatMode::TN, i_local, d_o);
-                let t_direct = t0.elapsed();
+                let packed = gemm(MatMode::TN, i_local, d_o);
+                let t_packed = t0.elapsed();
 
                 let t1 = Instant::now();
+                let naive = gemm_tn_naive(i_local, d_o);
+                let t_naive = t1.elapsed();
+
+                let t2 = Instant::now();
                 let it = i_local.transposed();
                 let rerouted = gemm(MatMode::NN, &it, d_o);
-                let t_reroute = t1.elapsed();
+                let t_reroute = t2.elapsed();
 
+                // All three tiers are bitwise identical to the reference
+                // oracle, so the candidates must agree exactly.
                 debug_assert!(
-                    direct.approx_eq(&rerouted, 1e-4),
+                    packed == naive && packed == rerouted,
                     "tuning strategies disagree numerically"
                 );
-                let strategy = if t_reroute < t_direct {
-                    DwStrategy::TransposeNn
-                } else {
-                    DwStrategy::DirectTn
-                };
+                let mut strategy = DwStrategy::PackedTn;
+                let mut best = t_packed;
+                if t_naive < best {
+                    strategy = DwStrategy::NaiveTn;
+                    best = t_naive;
+                }
+                if t_reroute < best {
+                    strategy = DwStrategy::TransposeNn;
+                }
                 self.choices.insert(layer_id, strategy);
                 self.last_outcome = Some(TuningOutcome {
                     layer_id,
                     strategy,
-                    direct_seconds: t_direct.as_secs_f64(),
+                    direct_seconds: t_packed.as_secs_f64(),
+                    naive_seconds: t_naive.as_secs_f64(),
                     reroute_seconds: t_reroute.as_secs_f64(),
                 });
-                // Return either result; they are numerically equal up to
-                // summation order.
-                if strategy == DwStrategy::TransposeNn {
-                    rerouted
-                } else {
-                    direct
+                // All candidates are bitwise equal; return any.
+                match strategy {
+                    DwStrategy::PackedTn => packed,
+                    DwStrategy::NaiveTn => naive,
+                    DwStrategy::TransposeNn => rerouted,
                 }
             }
         }
@@ -151,28 +183,44 @@ mod tests {
         assert_eq!(outcome.layer_id, 7);
         assert_eq!(outcome.strategy, t.choice(7).unwrap());
         assert!(outcome.direct_seconds >= 0.0 && outcome.reroute_seconds >= 0.0);
+        assert!(outcome.naive_seconds >= 0.0);
         let second = t.dw_gemm(7, &i, &d);
         assert!(
             t.take_last_outcome().is_none(),
             "tuned call decides nothing"
         );
-        assert!(first.approx_eq(&second, 1e-4));
-        assert!(first.approx_eq(&gemm_reference(MatMode::TN, &i, &d), 1e-3));
+        // Every strategy is bitwise identical to the reference, so the
+        // tuned call reproduces the first result exactly.
+        assert_eq!(first, second);
+        assert_eq!(first, gemm_reference(MatMode::TN, &i, &d));
     }
 
     #[test]
-    fn large_contracted_dim_prefers_transpose_nn() {
-        // Our TN kernel walks A with stride m; for a big product the
-        // transpose+NN reroute should win, as on Frontier.
+    fn large_contracted_dim_avoids_the_naive_walk() {
+        // The naive TN kernel walks A with stride m; for a big product
+        // either the packed TN kernel or the NN reroute must beat it, as
+        // the paper's tuner found on Frontier.
         let mut t = KernelTuner::new(true);
         let i = Matrix::random(768, 512, 1.0, 5);
         let d = Matrix::random(768, 512, 1.0, 6);
         let _ = t.dw_gemm(0, &i, &d);
-        assert_eq!(
+        assert_ne!(
             t.choice(0),
-            Some(DwStrategy::TransposeNn),
-            "expected the NN reroute to beat the naive TN kernel"
+            Some(DwStrategy::NaiveTn),
+            "expected a blocked strategy to beat the naive TN walk"
         );
+        let outcome = t.take_last_outcome().expect("decision just made");
+        assert!(
+            outcome.naive_seconds > outcome.direct_seconds.min(outcome.reroute_seconds),
+            "naive walk should be the slowest tier at this size"
+        );
+    }
+
+    #[test]
+    fn strategy_labels_are_stable() {
+        assert_eq!(DwStrategy::PackedTn.mode_label(), "TN");
+        assert_eq!(DwStrategy::NaiveTn.mode_label(), "TN(naive)");
+        assert_eq!(DwStrategy::TransposeNn.mode_label(), "TN->NN");
     }
 
     #[test]

@@ -82,11 +82,37 @@ where
     TracedRun { results, traces }
 }
 
+/// One-time rayon pool sizing from `AXONN_THREADS`. Kernel parallelism
+/// (the blocked GEMM's panel bands, the SIMD reduce folds) inherits the
+/// global pool, so pinning it at world startup makes every rank's
+/// compute deterministic in thread count — which is what the CI perf
+/// gate sets (`AXONN_THREADS=1`) to keep gate medians comparable across
+/// differently-sized runners. Unset or `0` keeps the auto size.
+fn init_thread_pool() {
+    static INIT: std::sync::Once = std::sync::Once::new();
+    INIT.call_once(|| {
+        let Some(n) = std::env::var("AXONN_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|n| *n > 0)
+        else {
+            return;
+        };
+        if let Err(e) = rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build_global()
+        {
+            eprintln!("[axonn-exec] AXONN_THREADS={n} ignored: {e}");
+        }
+    });
+}
+
 fn launch<F, T>(comms: Vec<Comm>, body: F) -> Vec<T>
 where
     F: Fn(Comm) -> T + Send + Sync + 'static,
     T: Send + 'static,
 {
+    init_thread_pool();
     let body = Arc::new(body);
     // A probe clone lets the join loop read the poison flag after the
     // rank threads are gone.

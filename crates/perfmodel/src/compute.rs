@@ -1,0 +1,158 @@
+//! Compute-side companion to the Eq. 1–6 communication terms: per-layer
+//! GEMM time under a calibrated throughput curve.
+//!
+//! The communication model prices what moves between GPUs; this module
+//! prices what each GPU grinds through locally — the three GEMMs of one
+//! FC layer's training step (forward NN, input-gradient NT, and
+//! weight-gradient TN). The curve can come from the paper's published
+//! machine presets (`ComputeModel::from_machine`) or from a
+//! [`CalibratedGemm`] fitted to *measured* rates of this host's real
+//! `axonn-tensor` kernels — which is exactly what the benchmark plane's
+//! GEMM drift report does to keep the model falsifiable.
+
+use crate::grid::Grid4d;
+use axonn_cluster::{CalibratedGemm, GemmMode, GemmSample, Machine};
+use axonn_gpt::GptConfig;
+use serde::Serialize;
+
+/// Seconds of the three training-step GEMMs of one FC layer.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct ComputeBreakdown {
+    /// Forward `I·W` (NN).
+    pub fwd: f64,
+    /// Input gradient `dO·Wᵀ` (NT).
+    pub bwd_input: f64,
+    /// Weight gradient `Iᵀ·dO` (TN).
+    pub bwd_weight: f64,
+}
+
+impl ComputeBreakdown {
+    pub fn total(&self) -> f64 {
+        self.fwd + self.bwd_input + self.bwd_weight
+    }
+}
+
+/// GEMM compute-time model over a fitted throughput curve.
+#[derive(Debug, Clone, Copy)]
+pub struct ComputeModel {
+    pub gemm: CalibratedGemm,
+}
+
+impl ComputeModel {
+    pub fn new(gemm: CalibratedGemm) -> ComputeModel {
+        ComputeModel { gemm }
+    }
+
+    /// Build the model from a machine preset by sampling its efficiency
+    /// curve — both curves share the saturating form
+    /// `rate(d) = peak · d / (d + h)`, so the two-point fit reproduces
+    /// the preset exactly. Mode factors are taken in the sub-threshold
+    /// regime (the pathological large-`k` TN kernel is the tuner's
+    /// problem, not the planner's).
+    pub fn from_machine(machine: &Machine) -> ComputeModel {
+        let sample = |mode: GemmMode, d: usize| GemmSample {
+            mode,
+            dim: d,
+            rate: machine.gemm_rate(d, d, d, mode),
+        };
+        let samples = [
+            sample(GemmMode::NN, 256),
+            sample(GemmMode::NN, 8192),
+            sample(GemmMode::NT, 8192),
+            sample(GemmMode::TN, 8192),
+        ];
+        ComputeModel {
+            gemm: CalibratedGemm::fit(&samples).expect("preset curve always fits"),
+        }
+    }
+
+    /// The three GEMMs of one layer on a local `m×k×n` weight shard with
+    /// `m` local activation rows.
+    pub fn layer_compute_time(&self, m: usize, k: usize, n: usize) -> ComputeBreakdown {
+        ComputeBreakdown {
+            fwd: self.gemm.seconds(m, k, n, GemmMode::NN),
+            bwd_input: self.gemm.seconds(m, n, k, GemmMode::NT),
+            bwd_weight: self.gemm.seconds(k, m, n, GemmMode::TN),
+        }
+    }
+
+    /// Whole-network per-batch compute time on `grid`: every FC layer's
+    /// local shard, using the same role-swap for "transposed" layers as
+    /// the exec and sim planes (X and Y exchange which weight dimension
+    /// they shard).
+    pub fn network_compute_time(
+        &self,
+        grid: Grid4d,
+        model: &GptConfig,
+        batch_tokens: usize,
+    ) -> f64 {
+        assert_eq!(
+            batch_tokens % (grid.gd * grid.gz),
+            0,
+            "batch tokens must divide across data-parallel and Z groups"
+        );
+        let m = batch_tokens / (grid.gd * grid.gz);
+        model
+            .network_fc_layers()
+            .iter()
+            .map(|l| {
+                let (kp, np) = if l.transposed {
+                    (grid.gx, grid.gy)
+                } else {
+                    (grid.gy, grid.gx)
+                };
+                let k = l.shape.k.div_ceil(kp);
+                let n = l.shape.n.div_ceil(np);
+                self.layer_compute_time(m, k, n).total()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axonn_gpt::model_by_billions;
+
+    #[test]
+    fn from_machine_reproduces_preset_curve() {
+        let machine = Machine::frontier();
+        let cm = ComputeModel::from_machine(&machine);
+        for d in [128usize, 1024, 4096] {
+            let preset = machine.gemm_rate(d, d, d, GemmMode::NN);
+            let fitted = cm.gemm.rate(d, d, d, GemmMode::NN);
+            assert!(
+                ((fitted - preset) / preset).abs() < 1e-9,
+                "d={d}: {fitted} vs {preset}"
+            );
+        }
+        // Sub-threshold TN factor: Frontier's tn_small.
+        let preset_tn = machine.gemm_rate(4096, 4096, 4096, GemmMode::TN);
+        let fitted_tn = cm.gemm.rate(4096, 4096, 4096, GemmMode::TN);
+        assert!(((fitted_tn - preset_tn) / preset_tn).abs() < 1e-9);
+    }
+
+    #[test]
+    fn layer_breakdown_sums_and_orders() {
+        let cm = ComputeModel::from_machine(&Machine::frontier());
+        let b = cm.layer_compute_time(2048, 4096, 4096);
+        assert!(b.fwd > 0.0 && b.bwd_input > 0.0 && b.bwd_weight > 0.0);
+        let total = b.fwd + b.bwd_input + b.bwd_weight;
+        assert!((b.total() - total).abs() < 1e-15);
+        // Equal flops, so ordering follows the mode factors: NN fastest.
+        assert!(b.fwd <= b.bwd_input && b.fwd <= b.bwd_weight);
+    }
+
+    #[test]
+    fn network_compute_shrinks_with_tensor_parallelism() {
+        let cm = ComputeModel::from_machine(&Machine::perlmutter());
+        let model = model_by_billions(5);
+        let batch = 1 << 18;
+        let t1 = cm.network_compute_time(Grid4d::new(1, 1, 1, 1), &model, batch);
+        let t8 = cm.network_compute_time(Grid4d::new(4, 2, 1, 1), &model, batch);
+        assert!(t1 > 0.0);
+        // Smaller local GEMMs are less efficient, so the speedup is
+        // sublinear — but still a speedup.
+        assert!(t8 < t1 && t8 > t1 / 8.0);
+    }
+}

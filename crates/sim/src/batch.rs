@@ -289,6 +289,10 @@ impl<'a> Timeline<'a> {
                 EventDetail::Gemm {
                     mode: gemm_label(mode),
                     flops: 2.0 * m * k * n,
+                    // GPU BLAS packs inside the library; the machine
+                    // timeline does not model host pack traffic.
+                    packed_bytes: 0,
+                    panels: 0,
                 },
             );
         }
@@ -336,6 +340,8 @@ impl<'a> Timeline<'a> {
                 EventDetail::Gemm {
                     mode,
                     flops: 2.0 * m * k * n,
+                    packed_bytes: 0,
+                    panels: 0,
                 },
             );
             if self.opts.kernel_tuning {
@@ -344,12 +350,16 @@ impl<'a> Timeline<'a> {
                     self.t_comp,
                     EventDetail::TunerDecision {
                         layer: sink.layer().unwrap_or(0),
+                        // On the GPU machine the library's TN kernel *is*
+                        // the pathological one, so it fills both the
+                        // direct and naive slots of the decision record.
                         choice: if mode == "TN->NN" {
                             "transpose_nn"
                         } else {
                             "direct_tn"
                         },
                         direct_seconds: direct,
+                        naive_seconds: direct,
                         reroute_seconds: rerouted,
                     },
                 );

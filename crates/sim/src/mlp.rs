@@ -17,6 +17,7 @@
 //! worker channel; waits record the exposed gap even when it is zero.
 
 use axonn_collectives::{AgAlgo, AlgoPolicy, ArAlgo, BcastAlgo, CollectiveKind, CostModel, RsAlgo};
+use axonn_tensor::{pack_geometry, MatMode};
 use axonn_trace::{CollOp, EventDetail, RankTrace, Stream, TraceSink};
 use std::sync::Arc;
 
@@ -151,14 +152,31 @@ impl<'a> Mirror<'a> {
         }
     }
 
-    fn gemm(&mut self, mode: &'static str, flops: f64) {
+    /// Record one GEMM span. `(gm, gk, gn)` are the logical GEMM dims
+    /// (C is `gm × gn`, contraction `gk`); the mirror derives the packed
+    /// panel counters from the same `pack_geometry` math the exec kernels
+    /// report, keyed by the trace-facing mode label.
+    fn gemm(&mut self, mode: &'static str, gm: f64, gk: f64, gn: f64) {
+        let flops = 2.0 * gm * gk * gn;
+        let (panels, packed_bytes) = match mode {
+            "NN" | "TN->NN" => pack_geometry(MatMode::NN, gm as usize, gk as usize, gn as usize),
+            "NT" => pack_geometry(MatMode::NT, gm as usize, gk as usize, gn as usize),
+            "TN" => pack_geometry(MatMode::TN, gm as usize, gk as usize, gn as usize),
+            // The naive walk packs nothing.
+            _ => (0, 0),
+        };
         let t0 = self.now;
         self.now += self.cost.compute_seconds(flops);
         self.sink.record_scoped(
             Stream::Compute,
             t0,
             self.now,
-            EventDetail::Gemm { mode, flops },
+            EventDetail::Gemm {
+                mode,
+                flops,
+                packed_bytes,
+                panels,
+            },
         );
     }
 
@@ -311,7 +329,7 @@ pub fn simulate_mlp_step(cfg: &MlpStepConfig, cost: &dyn CostModel) -> RankTrace
             Some(t) => m.wait(t),
             None => m.blocking(CollectiveKind::AllGather, cfg.gz, lk * ln * 4.0),
         }
-        m.gemm("NN", 2.0 * lm * lk * ln);
+        m.gemm("NN", lm, lk, ln);
         m.blocking(
             CollectiveKind::AllReduce,
             cfg.row_parts(transposed),
@@ -343,7 +361,7 @@ pub fn simulate_mlp_step(cfg: &MlpStepConfig, cost: &dyn CostModel) -> RankTrace
             let prev_transposed = prev % 2 == 1;
             let (pm, pk, pn) = cfg.shape(prev);
             m.sink.set_layer(Some(prev));
-            m.gemm("NN", 2.0 * pm * pk * pn);
+            m.gemm("NN", pm, pk, pn);
             m.blocking(
                 CollectiveKind::AllReduce,
                 cfg.row_parts(prev_transposed),
@@ -359,8 +377,8 @@ pub fn simulate_mlp_step(cfg: &MlpStepConfig, cost: &dyn CostModel) -> RankTrace
                 .open_span(Stream::Compute, m.now, EventDetail::LayerBwd { layer: i })
         };
 
-        // Line 11: dÎ = dO · Wᵀ.
-        m.gemm("NT", 2.0 * lm * ln * lk);
+        // Line 11: dÎ = dO · Wᵀ (C is lm × lk, contraction ln).
+        m.gemm("NT", lm, ln, lk);
 
         // Line 12: dI all-reduce over the col group (async under OAR).
         let col = cfg.col_parts(transposed);
@@ -372,23 +390,32 @@ pub fn simulate_mlp_step(cfg: &MlpStepConfig, cost: &dyn CostModel) -> RankTrace
         };
 
         // Line 13: dŴ via the kernel tuner. The exec tuner measures wall
-        // time; the mirror models the naive TN walk as 4× the NN rate and
-        // the reroute as NN plus a transpose pass, then picks the winner —
-        // same decision procedure, modelled clocks.
-        let flops = 2.0 * lm * lk * ln;
+        // time across three strategies; the mirror models the same
+        // three-way decision with modelled clocks: the packed TN kernel
+        // transposes A into the reused pack buffer (one extra pass over
+        // lm·lk elements), the naive column walk runs at ~4× the blocked
+        // rate, and the reroute materializes a fresh transposed matrix
+        // and re-reads it (two extra passes). Minimum wins, packed on
+        // ties — the same priority order the exec tuner applies.
+        let flops = 2.0 * lk * lm * ln;
         let (mode, choice) = if cfg.kernel_tuning {
-            let direct = cost.compute_seconds(flops) * 4.0;
-            let reroute = cost.compute_seconds(flops) + cost.compute_seconds(2.0 * lm * lk);
-            if reroute < direct {
-                ("TN->NN", Some(("transpose_nn", direct, reroute)))
+            let pass = cost.compute_seconds(2.0 * lm * lk);
+            let packed = cost.compute_seconds(flops) + pass;
+            let naive = cost.compute_seconds(flops) * 4.0;
+            let reroute = cost.compute_seconds(flops) + 2.0 * pass;
+            let (mode, choice) = if naive < packed && naive < reroute {
+                ("TN(naive)", "naive_tn")
+            } else if reroute < packed {
+                ("TN->NN", "transpose_nn")
             } else {
-                ("TN", Some(("direct_tn", direct, reroute)))
-            }
+                ("TN", "packed_tn")
+            };
+            (mode, Some((choice, packed, naive, reroute)))
         } else {
             ("TN", None)
         };
-        m.gemm(mode, flops);
-        if let Some((choice, direct_seconds, reroute_seconds)) = choice {
+        m.gemm(mode, lk, lm, ln);
+        if let Some((choice, direct_seconds, naive_seconds, reroute_seconds)) = choice {
             m.sink.mark(
                 Stream::Compute,
                 m.now,
@@ -396,6 +423,7 @@ pub fn simulate_mlp_step(cfg: &MlpStepConfig, cost: &dyn CostModel) -> RankTrace
                     layer: i,
                     choice,
                     direct_seconds,
+                    naive_seconds,
                     reroute_seconds,
                 },
             );

@@ -1,0 +1,283 @@
+//! Operand packing for the blocked GEMM engine.
+//!
+//! The micro-kernels in [`crate::kernel`] only ever read two layouts:
+//!
+//! * **A view** — an `m × k` row-major slice (row `i`, element `p` at
+//!   `i * k + p`). For NN/NT in f32 this is the caller's matrix verbatim;
+//!   for TN the `k × m` operand is transpose-packed once so the micro-
+//!   kernel never takes the stride-`m` column walk; for bf16 the copy is
+//!   fused with quantization (the old `gemm_bf16` cloned both operands
+//!   first — the pack pass now rounds while it copies).
+//! * **Packed B** — `⌈n/NR⌉` panels, each `k × NR`, laid out panel-major:
+//!   element `(p, lane)` of panel `jp` lives at `jp·k·NR + p·NR + lane`.
+//!   Tail-panel lanes beyond `n` are zero so the kernels always run full
+//!   width; a zero lane contributes `±0.0` products that never reach `C`.
+//!
+//! Pack buffers are thread-local and reused across calls, so steady-state
+//! training steps do no per-GEMM slab allocation.
+
+use crate::bf16;
+use std::cell::RefCell;
+
+/// Register-tile rows: each micro-kernel invocation updates up to `MR`
+/// rows of `C`.
+pub const MR: usize = 4;
+/// Register-tile columns: the packed-panel width, two 8-lane AVX2 vectors.
+pub const NR: usize = 16;
+
+/// Cache-blocking parameters. `kc` bounds the contracted slice held in
+/// L1 alongside one B panel (`kc × NR` floats); `mc` bounds the A rows
+/// kept warm in L2 while a panel group streams; `nc` is the panel-group
+/// width (rounded up to a multiple of [`NR`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockSizes {
+    pub mc: usize,
+    pub kc: usize,
+    pub nc: usize,
+}
+
+impl Default for BlockSizes {
+    fn default() -> Self {
+        BlockSizes {
+            mc: 64,
+            kc: 256,
+            nc: 256,
+        }
+    }
+}
+
+impl BlockSizes {
+    /// Clamp degenerate values and round `nc` up to a whole panel.
+    pub(crate) fn normalized(self) -> Self {
+        BlockSizes {
+            mc: self.mc.max(1),
+            kc: self.kc.max(1),
+            nc: self.nc.max(1).div_ceil(NR) * NR,
+        }
+    }
+}
+
+/// Where element `(p, j)` of the logical `k × n` right-hand operand
+/// lives in the source slice.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum BLayout {
+    /// `k × n` row-major (`b[p·n + j]`): the B operand of NN and TN.
+    KxN,
+    /// `n × k` row-major (`b[j·k + p]`): the B operand of NT (`C = A·Bᵀ`).
+    NxK,
+}
+
+thread_local! {
+    static PACK_A: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    static PACK_B: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    static ROW_FLAGS: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Run `f` with the thread-local B pack buffer filled from `src`.
+/// Returns `(panels, packed_bytes, f-result)`.
+pub(crate) fn with_packed_b<R>(
+    src: &[f32],
+    layout: BLayout,
+    k: usize,
+    n: usize,
+    quantize: bool,
+    f: impl FnOnce(&[f32]) -> R,
+) -> (usize, u64, R) {
+    let panels = n.div_ceil(NR);
+    let len = panels * k * NR;
+    PACK_B.with(|buf| {
+        let mut buf = buf.borrow_mut();
+        buf.clear();
+        buf.resize(len, 0.0);
+        match layout {
+            BLayout::KxN => {
+                for jp in 0..panels {
+                    let j0 = jp * NR;
+                    let lanes = (n - j0).min(NR);
+                    let panel = &mut buf[jp * k * NR..(jp + 1) * k * NR];
+                    for p in 0..k {
+                        panel[p * NR..p * NR + lanes]
+                            .copy_from_slice(&src[p * n + j0..p * n + j0 + lanes]);
+                    }
+                }
+            }
+            BLayout::NxK => {
+                for jp in 0..panels {
+                    let j0 = jp * NR;
+                    let lanes = (n - j0).min(NR);
+                    let panel = &mut buf[jp * k * NR..(jp + 1) * k * NR];
+                    for lane in 0..lanes {
+                        let row = &src[(j0 + lane) * k..(j0 + lane) * k + k];
+                        for (p, &v) in row.iter().enumerate() {
+                            panel[p * NR + lane] = v;
+                        }
+                    }
+                }
+            }
+        }
+        if quantize {
+            bf16::round_slice(&mut buf);
+        }
+        let r = f(&buf);
+        (panels, (len * std::mem::size_of::<f32>()) as u64, r)
+    })
+}
+
+/// What the engine needs as its A view, and how to build it.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum APack {
+    /// Use the caller's slice directly (already `m × k` row-major, f32).
+    Borrow,
+    /// Copy (NN/NT bf16: quantize-on-copy keeps the layout).
+    Copy { quantize: bool },
+    /// Transpose-pack a `k × m` source into `m × k` (TN); optionally
+    /// quantize while packing.
+    Transpose { quantize: bool },
+}
+
+/// Run `f` with the A view for `src` (logical `m` rows × `k` contracted),
+/// packing into the thread-local A buffer when needed. Returns
+/// `(packed_bytes, f-result)`.
+pub(crate) fn with_a_view<R>(
+    src: &[f32],
+    m: usize,
+    k: usize,
+    pack: APack,
+    f: impl FnOnce(&[f32]) -> R,
+) -> (u64, R) {
+    match pack {
+        APack::Borrow => (0, f(src)),
+        APack::Copy { quantize } => PACK_A.with(|buf| {
+            let mut buf = buf.borrow_mut();
+            buf.clear();
+            buf.extend_from_slice(&src[..m * k]);
+            if quantize {
+                bf16::round_slice(&mut buf);
+            }
+            ((m * k * std::mem::size_of::<f32>()) as u64, f(&buf))
+        }),
+        APack::Transpose { quantize } => PACK_A.with(|buf| {
+            let mut buf = buf.borrow_mut();
+            buf.clear();
+            buf.resize(m * k, 0.0);
+            // Blocked transpose: src is k × m, dst is m × k.
+            const BLK: usize = 32;
+            for p0 in (0..k).step_by(BLK) {
+                let p1 = (p0 + BLK).min(k);
+                for i0 in (0..m).step_by(BLK) {
+                    let i1 = (i0 + BLK).min(m);
+                    for p in p0..p1 {
+                        for i in i0..i1 {
+                            buf[i * k + p] = src[p * m + i];
+                        }
+                    }
+                }
+            }
+            if quantize {
+                bf16::round_slice(&mut buf);
+            }
+            ((m * k * std::mem::size_of::<f32>()) as u64, f(&buf))
+        }),
+    }
+}
+
+/// Run `f` with per-row "contains a zero" flags for the `m × k` A view
+/// (the NN zero-skip decision, hoisted ahead of packing).
+pub(crate) fn with_row_flags<R>(
+    a_view: &[f32],
+    m: usize,
+    k: usize,
+    f: impl FnOnce(&[u8]) -> R,
+) -> R {
+    ROW_FLAGS.with(|buf| {
+        let mut buf = buf.borrow_mut();
+        buf.clear();
+        buf.resize(m, 0);
+        for (i, flag) in buf.iter_mut().enumerate() {
+            if a_view[i * k..i * k + k].contains(&0.0) {
+                *flag = 1;
+            }
+        }
+        f(&buf)
+    })
+}
+
+/// Pack traffic the blocked engine generates for an f32 multiply of the
+/// given mode and shape: `(B panels, packed bytes)`. Pure geometry — used
+/// by the simulator's compute mirror so trace counters agree across the
+/// exec and sim planes without running a kernel.
+pub fn pack_geometry(mode: crate::gemm::MatMode, m: usize, k: usize, n: usize) -> (u32, u64) {
+    if m == 0 || n == 0 || k == 0 {
+        return (0, 0);
+    }
+    let panels = n.div_ceil(NR);
+    let mut bytes = (panels * k * NR * std::mem::size_of::<f32>()) as u64;
+    if mode == crate::gemm::MatMode::TN {
+        bytes += (m * k * std::mem::size_of::<f32>()) as u64;
+    }
+    (panels as u32, bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packed_b_kxn_layout_and_zero_padding() {
+        // 2 × 3 B, one panel: lane 0..3 filled, lanes 3..NR zero.
+        let b = [1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let (panels, bytes, ()) = with_packed_b(&b, BLayout::KxN, 2, 3, false, |bp| {
+            assert_eq!(bp.len(), 2 * NR);
+            assert_eq!(&bp[0..3], &[1.0, 2.0, 3.0]);
+            assert!(bp[3..NR].iter().all(|&v| v == 0.0));
+            assert_eq!(&bp[NR..NR + 3], &[4.0, 5.0, 6.0]);
+        });
+        assert_eq!(panels, 1);
+        assert_eq!(bytes, (2 * NR * 4) as u64);
+    }
+
+    #[test]
+    fn packed_b_nxk_transposes() {
+        // NT: B is n × k = 2 × 3; packed panel must hold B[j][p] at lane j.
+        let b = [1.0f32, 2.0, 3.0, 10.0, 20.0, 30.0];
+        with_packed_b(&b, BLayout::NxK, 3, 2, false, |bp| {
+            assert_eq!(bp[0], 1.0); // p=0 lane 0
+            assert_eq!(bp[1], 10.0); // p=0 lane 1
+            assert_eq!(bp[NR], 2.0); // p=1 lane 0
+            assert_eq!(bp[NR + 1], 20.0);
+            assert_eq!(bp[2 * NR], 3.0);
+            assert_eq!(bp[2 * NR + 1], 30.0);
+        });
+    }
+
+    #[test]
+    fn transpose_pack_matches_manual() {
+        // src is k × m = 2 × 3; view must be m × k = 3 × 2.
+        let src = [1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let (bytes, ()) = with_a_view(&src, 3, 2, APack::Transpose { quantize: false }, |av| {
+            assert_eq!(av, &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+        });
+        assert_eq!(bytes, 24);
+    }
+
+    #[test]
+    fn row_flags_mark_zero_rows() {
+        let a = [1.0f32, 2.0, 0.0, 3.0, 4.0, 5.0];
+        with_row_flags(&a, 3, 2, |flags| {
+            assert_eq!(flags, &[0, 1, 0]);
+        });
+    }
+
+    #[test]
+    fn geometry_matches_packing() {
+        use crate::gemm::MatMode;
+        let (m, k, n) = (10, 7, 33);
+        let b = vec![1.0f32; k * n];
+        let (panels, bytes, ()) = with_packed_b(&b, BLayout::KxN, k, n, false, |_| ());
+        assert_eq!(pack_geometry(MatMode::NN, m, k, n), (panels as u32, bytes));
+        let (tn_panels, tn_bytes) = pack_geometry(MatMode::TN, m, k, n);
+        assert_eq!(tn_panels as usize, panels);
+        assert_eq!(tn_bytes, bytes + (m * k * 4) as u64);
+        assert_eq!(pack_geometry(MatMode::NN, 0, k, n), (0, 0));
+    }
+}

@@ -1,16 +1,56 @@
-//! Property tests for the tensor kernels: GEMM-mode agreement against
-//! the naive reference, shard/assemble round trips, and bf16 error
-//! bounds, over randomly drawn shapes.
+//! Property tests for the tensor kernels: blocked/packed/SIMD GEMM
+//! *bitwise* agreement against the reference oracle across all modes
+//! and kernel tiers, shard/assemble round trips, and bf16 error bounds,
+//! over randomly drawn shapes.
 
 use axonn_tensor::shard::assemble_blocks;
 use axonn_tensor::{
-    block_of, concat_cols, concat_rows, gemm, gemm_bf16, gemm_reference, shard_rows, unshard_rows,
-    BlockSpec, MatMode, Matrix,
+    block_of, concat_cols, concat_rows, gemm, gemm_bf16, gemm_into_with, gemm_reference,
+    shard_rows, unshard_rows, BlockSizes, BlockSpec, MatMode, Matrix, MR, NR,
 };
 use proptest::prelude::*;
 
 fn dim() -> impl Strategy<Value = usize> {
     1usize..24
+}
+
+/// Shapes that straddle the register-tile and cache-block boundaries:
+/// sub-tile, odd/prime, exact-multiple, and just-past-multiple sizes.
+fn kernel_dim() -> impl Strategy<Value = usize> {
+    const PRIMES: [usize; 10] = [5, 7, 11, 13, 17, 19, 23, 29, 31, 37];
+    prop_oneof![
+        1usize..=3, // sub-tile
+        Just(MR),
+        Just(MR + 1),
+        Just(NR - 1),
+        Just(NR),
+        Just(NR + 1),
+        (0usize..PRIMES.len()).prop_map(|i| PRIMES[i]),
+        Just(2 * NR),
+        Just(2 * NR + 3),
+    ]
+}
+
+/// Random operands for a logical `m×k×n` product in `mode`.
+fn operands(mode: MatMode, m: usize, k: usize, n: usize, seed: u64) -> (Matrix, Matrix) {
+    match mode {
+        MatMode::NN => (
+            Matrix::random(m, k, 1.0, seed),
+            Matrix::random(k, n, 1.0, seed + 1),
+        ),
+        MatMode::NT => (
+            Matrix::random(m, k, 1.0, seed),
+            Matrix::random(n, k, 1.0, seed + 1),
+        ),
+        MatMode::TN => (
+            Matrix::random(k, m, 1.0, seed),
+            Matrix::random(k, n, 1.0, seed + 1),
+        ),
+    }
+}
+
+fn mode() -> impl Strategy<Value = MatMode> {
+    prop_oneof![Just(MatMode::NN), Just(MatMode::NT), Just(MatMode::TN)]
 }
 
 proptest! {
@@ -20,27 +60,91 @@ proptest! {
     fn gemm_nn_matches_reference(m in dim(), k in dim(), n in dim(), seed in 0u64..1000) {
         let a = Matrix::random(m, k, 1.0, seed);
         let b = Matrix::random(k, n, 1.0, seed + 1);
-        let fast = gemm(MatMode::NN, &a, &b);
-        let slow = gemm_reference(MatMode::NN, &a, &b);
-        prop_assert!(fast.approx_eq(&slow, 1e-4));
+        // Bitwise: every C[i][j] is the same fixed-order mul-then-add
+        // chain in the blocked kernels as in the reference oracle.
+        prop_assert_eq!(gemm(MatMode::NN, &a, &b), gemm_reference(MatMode::NN, &a, &b));
     }
 
     #[test]
     fn gemm_nt_matches_reference(m in dim(), k in dim(), n in dim(), seed in 0u64..1000) {
         let a = Matrix::random(m, k, 1.0, seed);
         let b = Matrix::random(n, k, 1.0, seed + 1);
-        let fast = gemm(MatMode::NT, &a, &b);
-        let slow = gemm_reference(MatMode::NT, &a, &b);
-        prop_assert!(fast.approx_eq(&slow, 1e-4));
+        prop_assert_eq!(gemm(MatMode::NT, &a, &b), gemm_reference(MatMode::NT, &a, &b));
     }
 
     #[test]
     fn gemm_tn_matches_reference(m in dim(), k in dim(), n in dim(), seed in 0u64..1000) {
         let a = Matrix::random(k, m, 1.0, seed);
         let b = Matrix::random(k, n, 1.0, seed + 1);
-        let fast = gemm(MatMode::TN, &a, &b);
-        let slow = gemm_reference(MatMode::TN, &a, &b);
-        prop_assert!(fast.approx_eq(&slow, 1e-4));
+        prop_assert_eq!(gemm(MatMode::TN, &a, &b), gemm_reference(MatMode::TN, &a, &b));
+    }
+
+    #[test]
+    fn blocked_kernel_bitwise_across_tile_boundaries(
+        mode in mode(), m in kernel_dim(), k in kernel_dim(), n in kernel_dim(), seed in 0u64..1000
+    ) {
+        // Shapes chosen to straddle MR/NR register tiles; both the
+        // scalar and the auto (SIMD when available) kernel must equal
+        // the oracle bit for bit.
+        let (a, b) = operands(mode, m, k, n, seed);
+        let oracle = gemm_reference(mode, &a, &b);
+        let mut c = Matrix::zeros(m, n);
+        let _ = gemm_into_with(mode, &a, &b, &mut c, BlockSizes::default(), true);
+        prop_assert_eq!(&c, &oracle, "scalar tier, mode {}", mode);
+        let _ = gemm_into_with(mode, &a, &b, &mut c, BlockSizes::default(), false);
+        prop_assert_eq!(&c, &oracle, "auto tier, mode {}", mode);
+    }
+
+    #[test]
+    fn tiny_cache_blocks_bitwise(
+        mode in mode(),
+        m in 1usize..20, k in 1usize..20, n in 1usize..20,
+        mc in 1usize..8, kc in 1usize..8, nc in 1usize..40,
+        seed in 0u64..1000
+    ) {
+        // Arbitrary (normalized) cache-block sizes cross every block
+        // boundary; partial k-sums round-trip through C exactly.
+        let (a, b) = operands(mode, m, k, n, seed);
+        let mut c = Matrix::zeros(m, n);
+        let _ = gemm_into_with(mode, &a, &b, &mut c, BlockSizes { mc, kc, nc }, false);
+        prop_assert_eq!(c, gemm_reference(mode, &a, &b));
+    }
+
+    #[test]
+    fn zero_rows_skip_path_bitwise(
+        m in 1usize..24, k in 1usize..24, n in 1usize..24,
+        zero_every in 1usize..4, seed in 0u64..1000
+    ) {
+        // The NN pre-pack row-density check must be bitwise neutral:
+        // skipped (±0) contributions equal added ones for finite B.
+        let mut a = Matrix::random(m, k, 1.0, seed);
+        for i in (0..m).step_by(zero_every) {
+            for p in 0..k {
+                a[(i, p)] = 0.0;
+            }
+        }
+        let b = Matrix::random(k, n, 1.0, seed + 1);
+        prop_assert_eq!(gemm(MatMode::NN, &a, &b), gemm_reference(MatMode::NN, &a, &b));
+    }
+
+    #[test]
+    fn bf16_fused_pack_matches_quantize_then_gemm(
+        mode in mode(), m in dim(), k in dim(), n in dim(), seed in 0u64..1000
+    ) {
+        // Quantization fused into packing must be indistinguishable from
+        // materializing bf16 copies first (the old two-copy path).
+        let (a, b) = operands(mode, m, k, n, seed);
+        let fused = gemm_bf16(mode, &a, &b);
+        let staged = gemm_reference(mode, &a.to_bf16(), &b.to_bf16());
+        prop_assert_eq!(fused, staged);
+    }
+
+    #[test]
+    fn zero_sized_edges_all_modes(mode in mode(), m in 0usize..3, k in 0usize..3, n in 0usize..3, seed in 0u64..1000) {
+        let (a, b) = operands(mode, m, k, n, seed);
+        let out = gemm(mode, &a, &b);
+        prop_assert_eq!(out.shape(), (m, n));
+        prop_assert_eq!(out, gemm_reference(mode, &a, &b));
     }
 
     #[test]

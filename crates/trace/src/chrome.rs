@@ -39,9 +39,16 @@ fn span_event(rank: usize, ev: &TraceEvent) -> Value {
         args.push(("layer".into(), layer.serialize()));
     }
     match &ev.detail {
-        EventDetail::Gemm { mode, flops } => {
+        EventDetail::Gemm {
+            mode,
+            flops,
+            packed_bytes,
+            panels,
+        } => {
             args.push(("mode".into(), mode.serialize()));
             args.push(("flops".into(), flops.serialize()));
+            args.push(("packed_bytes".into(), packed_bytes.serialize()));
+            args.push(("panels".into(), panels.serialize()));
         }
         EventDetail::Collective {
             group_size,
@@ -65,11 +72,13 @@ fn span_event(rank: usize, ev: &TraceEvent) -> Value {
         EventDetail::TunerDecision {
             choice,
             direct_seconds,
+            naive_seconds,
             reroute_seconds,
             ..
         } => {
             args.push(("choice".into(), choice.serialize()));
             args.push(("direct_seconds".into(), direct_seconds.serialize()));
+            args.push(("naive_seconds".into(), naive_seconds.serialize()));
             args.push(("reroute_seconds".into(), reroute_seconds.serialize()));
         }
         EventDetail::Recovery {
@@ -157,6 +166,8 @@ mod tests {
             EventDetail::Gemm {
                 mode: "NN",
                 flops: 64.0,
+                packed_bytes: 1024,
+                panels: 1,
             },
         );
         sink.mark(

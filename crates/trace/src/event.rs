@@ -156,9 +156,17 @@ impl Serialize for XferStats {
 #[derive(Debug, Clone, PartialEq)]
 pub enum EventDetail {
     /// A local GEMM on the compute stream. `mode` is the operand
-    /// transposition actually executed (`"NN"`, `"NT"`, `"TN"`, or
-    /// `"TN->NN"` when the kernel tuner rerouted through a transpose).
-    Gemm { mode: &'static str, flops: f64 },
+    /// transposition actually executed (`"NN"`, `"NT"`, `"TN"`,
+    /// `"TN(naive)"` when the tuner kept the unpacked kernel, or
+    /// `"TN->NN"` when it rerouted through a transpose). `packed_bytes`
+    /// and `panels` count the blocked engine's pack traffic (zero for
+    /// the naive tier).
+    Gemm {
+        mode: &'static str,
+        flops: f64,
+        packed_bytes: u64,
+        panels: u32,
+    },
     /// A collective occupying the stream it is recorded on: the compute
     /// stream for blocking calls (the span is the full stall, entry to
     /// completion), a comm stream for asynchronous execution.
@@ -187,10 +195,14 @@ pub enum EventDetail {
     /// One layer's backward pass.
     LayerBwd { layer: usize },
     /// The kernel tuner locked in a strategy for a layer's dW GEMM.
+    /// `direct_seconds` timed the packed TN kernel, `naive_seconds` the
+    /// unpacked column-strided TN walk, `reroute_seconds` the explicit
+    /// transpose + NN path.
     TunerDecision {
         layer: usize,
         choice: &'static str,
         direct_seconds: f64,
+        naive_seconds: f64,
         reroute_seconds: f64,
     },
     /// Non-GEMM compute charged by the simulator (attention, softmax…).
@@ -266,9 +278,16 @@ impl Serialize for EventDetail {
     fn serialize(&self) -> Value {
         let mut fields: Vec<(String, Value)> = vec![("kind".into(), Value::Str(self.kind()))];
         match self {
-            EventDetail::Gemm { mode, flops } => {
+            EventDetail::Gemm {
+                mode,
+                flops,
+                packed_bytes,
+                panels,
+            } => {
                 fields.push(("mode".into(), mode.serialize()));
                 fields.push(("flops".into(), flops.serialize()));
+                fields.push(("packed_bytes".into(), packed_bytes.serialize()));
+                fields.push(("panels".into(), panels.serialize()));
             }
             EventDetail::Collective {
                 op,
@@ -307,11 +326,13 @@ impl Serialize for EventDetail {
                 layer,
                 choice,
                 direct_seconds,
+                naive_seconds,
                 reroute_seconds,
             } => {
                 fields.push(("layer".into(), layer.serialize()));
                 fields.push(("choice".into(), choice.serialize()));
                 fields.push(("direct_seconds".into(), direct_seconds.serialize()));
+                fields.push(("naive_seconds".into(), naive_seconds.serialize()));
                 fields.push(("reroute_seconds".into(), reroute_seconds.serialize()));
             }
             EventDetail::Aux { label } => {
@@ -426,6 +447,8 @@ mod tests {
             detail: EventDetail::Gemm {
                 mode: "NN",
                 flops: 100.0,
+                packed_bytes: 2048,
+                panels: 2,
             },
             xfer: XferStats {
                 chunks: 4,

@@ -237,9 +237,16 @@ impl MetricsRegistry {
                             ev.xfer.pool_misses,
                         );
                     }
-                    EventDetail::Gemm { mode, flops } => {
+                    EventDetail::Gemm {
+                        mode,
+                        flops,
+                        packed_bytes,
+                        panels,
+                    } => {
                         reg.counter_add(&format!("gemm.{mode}.calls"), 1);
                         reg.counter_add(&format!("gemm.{mode}.flops"), *flops as u64);
+                        reg.counter_add(&format!("gemm.{mode}.packed_bytes"), *packed_bytes);
+                        reg.counter_add(&format!("gemm.{mode}.panels"), *panels as u64);
                     }
                     EventDetail::OverlapWait { .. } => {
                         reg.counter_add("overlap.waits", 1);
@@ -382,12 +389,16 @@ mod tests {
             crate::event::EventDetail::Gemm {
                 mode: "NN",
                 flops: 1000.0,
+                packed_bytes: 2048,
+                panels: 3,
             },
         );
         let reg = MetricsRegistry::from_traces(&[sink.finish()]);
         assert_eq!(reg.counter("collective.all_reduce.bytes"), 4096);
         assert_eq!(reg.counter("collective.all_reduce.calls"), 1);
         assert_eq!(reg.counter("gemm.NN.flops"), 1000);
+        assert_eq!(reg.counter("gemm.NN.packed_bytes"), 2048);
+        assert_eq!(reg.counter("gemm.NN.panels"), 3);
         assert_eq!(
             reg.histogram("collective.all_reduce.bytes_hist")
                 .unwrap()

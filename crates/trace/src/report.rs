@@ -399,6 +399,8 @@ mod tests {
             EventDetail::Gemm {
                 mode: "NN",
                 flops: 10.0,
+                packed_bytes: 256,
+                panels: 1,
             },
         );
         let summary = TraceSummary::from_traces(&[sink.finish()]);

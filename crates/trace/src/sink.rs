@@ -294,6 +294,8 @@ mod tests {
         EventDetail::Gemm {
             mode: "NN",
             flops: 8.0,
+            packed_bytes: 512,
+            panels: 1,
         }
     }
 

@@ -7,6 +7,63 @@
 //! iterators: they are only used on coarse, already-fast outer loops
 //! where parallelism is a nicety rather than a requirement.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Global worker-count override installed by [`ThreadPoolBuilder`];
+/// 0 means "auto" (one worker per available core).
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of workers parallel loops will use: the global override when
+/// one was installed, otherwise the available core count.
+pub fn current_num_threads() -> usize {
+    match GLOBAL_THREADS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n => n,
+    }
+}
+
+/// Builder mirroring rayon's global-pool configuration surface. The
+/// stand-in spawns scoped threads per parallel region instead of keeping
+/// a persistent pool, so "building" the global pool just records the
+/// worker count; unlike real rayon, calling it twice is allowed and the
+/// last call wins.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fix the worker count (0 restores auto).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        GLOBAL_THREADS.store(self.num_threads, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// Error type for [`ThreadPoolBuilder::build_global`]; the stand-in never
+/// actually fails, the type exists for signature compatibility.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("global thread pool build failed")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
 /// Wrapper marking an iterator as "parallel". Iteration itself is
 /// sequential; rayon-specific knobs are accepted and ignored.
 pub struct Par<I>(I);
@@ -107,10 +164,7 @@ impl<'a, T: Send> EnumeratedParChunksMut<'a, T> {
             return;
         }
         let nchunks = len.div_ceil(chunk);
-        let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(nchunks);
+        let workers = current_num_threads().min(nchunks);
         if workers <= 1 {
             for (i, c) in slice.chunks_mut(chunk).enumerate() {
                 f((i, c));
@@ -171,6 +225,30 @@ mod tests {
         let total: i32 = (0..10).into_par_iter().sum();
         assert_eq!(total, 45);
         assert_eq!(v.par_iter().min_by(|a, b| a.cmp(b)), Some(&1));
+    }
+
+    #[test]
+    fn global_thread_override_round_trips() {
+        assert!(super::current_num_threads() >= 1);
+        super::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build_global()
+            .unwrap();
+        assert_eq!(super::current_num_threads(), 3);
+        // Parallel loops still visit every chunk under an override.
+        let mut data = vec![0u32; 97];
+        data.as_mut_slice()
+            .par_chunks_mut(8)
+            .enumerate()
+            .for_each(|(i, c)| c.iter_mut().for_each(|v| *v = i as u32 + 1));
+        for (pos, v) in data.iter().enumerate() {
+            assert_eq!(*v, (pos / 8) as u32 + 1);
+        }
+        // Restore auto so sibling tests see the default.
+        super::ThreadPoolBuilder::new()
+            .num_threads(0)
+            .build_global()
+            .unwrap();
     }
 
     #[test]
