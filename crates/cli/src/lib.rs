@@ -41,8 +41,10 @@ pub const USAGE: &str = "usage:
   axonnctl serve <checkpoint> [max-new-tokens] [--tp N] [--prompt t0,t1,...]
   axonnctl load [requests] [clients]
   axonnctl monitor [refreshes] [--sim]
-  axonnctl verify <gx> <gy> <gz> <gd> [mlp|transformer] [--inject reorder|missing-wait|count-mismatch]
-  axonnctl verify --all-grids <gpus> [mlp|transformer]";
+  axonnctl verify <gx> <gy> <gz> <gd> [mlp|transformer] [--inject <defect>]
+  axonnctl verify --all-grids <gpus> [mlp|transformer]
+  axonnctl verify --serve <tp> [<layers> <tokens>] [--inject <defect>]
+  (defects: reorder, missing-wait, count-mismatch, overlap-race, slab-reuse, early-recycle)";
 
 /// A parsed subcommand.
 #[derive(Debug, Clone, PartialEq)]
@@ -116,9 +118,10 @@ pub enum Command {
     },
     /// Statically certify the collective schedule of one training step
     /// on a specific grid: extract per-rank streams on a dry world, then
-    /// run cross-rank matching, the deadlock simulation and the leak
-    /// lints. `--inject` seeds a defect into rank 1's stream first and
-    /// expects the verifier to reject it.
+    /// run cross-rank matching, the deadlock simulation, the leak lints,
+    /// and the happens-before race + slab-lifetime analyses. `--inject`
+    /// seeds a defect into rank 1's stream first and expects the
+    /// verifier to reject it.
     Verify {
         grid: Grid4d,
         model: VerifyModel,
@@ -129,6 +132,16 @@ pub enum Command {
     VerifyAll {
         gpus: usize,
         model: VerifyModel,
+    },
+    /// Certify the serving plane: extract the per-rank schedule of a
+    /// `tp`-way tensor-parallel greedy decode (`layers` transformer
+    /// blocks, `tokens` decode steps) and run the full checker stack
+    /// over it.
+    VerifyServe {
+        tp: usize,
+        layers: usize,
+        tokens: usize,
+        inject: Option<DefectKind>,
     },
 }
 
@@ -327,7 +340,7 @@ impl Command {
                 Ok(Command::Monitor { refreshes, sim })
             }
             "verify" => {
-                let first = it.next().ok_or("missing grid (or --all-grids)")?;
+                let first = it.next().ok_or("missing grid (or --all-grids/--serve)")?;
                 if first == "--all-grids" {
                     let gpus = parse_num(it.next(), "gpu count")?;
                     let model = match it.next() {
@@ -335,6 +348,32 @@ impl Command {
                         None => VerifyModel::Mlp,
                     };
                     return Ok(Command::VerifyAll { gpus, model });
+                }
+                if first == "--serve" {
+                    let tp = parse_num(it.next(), "tp degree")?;
+                    let mut shape = Vec::new();
+                    let mut inject = None;
+                    while let Some(arg) = it.next() {
+                        if arg == "--inject" {
+                            inject = Some(parse_defect(it.next())?);
+                        } else {
+                            shape.push(
+                                arg.parse::<usize>()
+                                    .map_err(|_| format!("invalid serve shape arg: '{arg}'"))?,
+                            );
+                        }
+                    }
+                    let (layers, tokens) = match shape.as_slice() {
+                        [] => (2, 3),
+                        [l, t] => (*l, *t),
+                        _ => return Err("--serve takes <tp> [<layers> <tokens>]".to_string()),
+                    };
+                    return Ok(Command::VerifyServe {
+                        tp,
+                        layers,
+                        tokens,
+                        inject,
+                    });
                 }
                 let gx = first
                     .parse::<usize>()
@@ -346,13 +385,7 @@ impl Command {
                 let mut inject = None;
                 while let Some(arg) = it.next() {
                     if arg == "--inject" {
-                        let kind = it.next().ok_or("missing defect after --inject")?;
-                        inject = Some(DefectKind::parse(kind).ok_or_else(|| {
-                            format!(
-                                "unknown defect '{kind}' (expected reorder, \
-                                 missing-wait or count-mismatch)"
-                            )
-                        })?);
+                        inject = Some(parse_defect(it.next())?);
                     } else {
                         model = VerifyModel::parse(arg)?;
                     }
@@ -366,6 +399,64 @@ impl Command {
             other => Err(format!("unknown subcommand '{other}'")),
         }
     }
+}
+
+/// Run the full checker stack over extracted streams, optionally
+/// seeding a defect into rank 1 first, and print the report plus the
+/// per-check timing summary. Shared by `verify <grid>` and
+/// `verify --serve`.
+fn certify(
+    mut streams: Vec<Vec<axonn_collectives::SchedEvent>>,
+    defect: Option<DefectKind>,
+) -> Result<(), String> {
+    if let Some(kind) = defect {
+        if streams.len() < 2 {
+            return Err("--inject needs a world of at least 2 ranks".to_string());
+        }
+        if !inject(&mut streams, 1, kind) {
+            return Err(format!(
+                "could not inject '{}' into rank 1's stream",
+                kind.label()
+            ));
+        }
+        println!("injected defect '{}' into rank 1", kind.label());
+    }
+    let report = check_schedules(&streams);
+    println!("{report}");
+    println!("per-check timing: {}", timing_line(&report.timings_us));
+    match defect {
+        None if report.is_ok() => Ok(()),
+        None => Err("schedule verification failed".to_string()),
+        Some(kind) if report.is_ok() => Err(format!(
+            "injected defect '{}' was not detected",
+            kind.label()
+        )),
+        Some(kind) => {
+            println!("defect '{}' correctly rejected", kind.label());
+            Ok(())
+        }
+    }
+}
+
+/// Render `Report::timings_us` as `lints 3µs, matching 10µs, ...`.
+fn timing_line(timings: &[(&'static str, u64)]) -> String {
+    timings
+        .iter()
+        .map(|(name, us)| format!("{name} {us}µs"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Parse the argument of `--inject`, listing every known defect family
+/// on error.
+fn parse_defect(arg: Option<&String>) -> Result<DefectKind, String> {
+    let kind = arg.ok_or("missing defect after --inject")?;
+    DefectKind::parse(kind).ok_or_else(|| {
+        format!(
+            "unknown defect '{kind}' (expected {})",
+            DefectKind::ALL.map(|k| k.label()).join(", ")
+        )
+    })
 }
 
 /// Look up a machine by name, with a friendly error.
@@ -802,33 +893,21 @@ pub fn run(cmd: Command) -> Result<(), String> {
             model,
             inject: defect,
         } => {
-            let mut streams = extract_verify_streams(&grid, model)?;
-            if let Some(kind) = defect {
-                if grid.gpus() < 2 {
-                    return Err("--inject needs a world of at least 2 ranks".to_string());
-                }
-                if !inject(&mut streams, 1, kind) {
-                    return Err(format!(
-                        "could not inject '{}' into rank 1's stream",
-                        kind.label()
-                    ));
-                }
-                println!("injected defect '{}' into rank 1", kind.label());
+            let streams = extract_verify_streams(&grid, model)?;
+            certify(streams, defect)
+        }
+        Command::VerifyServe {
+            tp,
+            layers,
+            tokens,
+            inject: defect,
+        } => {
+            if tp == 0 || layers == 0 || tokens == 0 {
+                return Err("--serve needs positive tp, layers and tokens".to_string());
             }
-            let report = check_schedules(&streams);
-            println!("{report}");
-            match defect {
-                None if report.is_ok() => Ok(()),
-                None => Err("schedule verification failed".to_string()),
-                Some(kind) if report.is_ok() => Err(format!(
-                    "injected defect '{}' was not detected",
-                    kind.label()
-                )),
-                Some(kind) => {
-                    println!("defect '{}' correctly rejected", kind.label());
-                    Ok(())
-                }
-            }
+            println!("serve decode schedule: tp={tp}, layers={layers}, tokens={tokens}");
+            let streams = axonn_serve::extract_tp_decode_schedule(tp, layers, tokens);
+            certify(streams, defect)
         }
         Command::VerifyAll { gpus, model } => {
             if gpus == 0 {
@@ -854,16 +933,20 @@ pub fn run(cmd: Command) -> Result<(), String> {
                 grids.len(),
                 model.label()
             );
-            println!("{:<20} {:>6} {:>8}  verdict", "grid", "ranks", "issues");
+            println!(
+                "{:<20} {:>6} {:>8}  {:<44} verdict",
+                "grid", "ranks", "issues", "check timing"
+            );
             let mut rejected = 0usize;
             for g in &grids {
                 let streams = extract_verify_streams(g, model)?;
                 let report = check_schedules(&streams);
                 println!(
-                    "{:<20} {:>6} {:>8}  {}",
+                    "{:<20} {:>6} {:>8}  {:<44} {}",
                     format!("{}x{}x{}x{}", g.gx, g.gy, g.gz, g.gd),
                     report.ranks,
                     report.issues,
+                    timing_line(&report.timings_us),
                     if report.is_ok() { "OK" } else { "REJECTED" }
                 );
                 if !report.is_ok() {
@@ -1467,11 +1550,59 @@ mod tests {
                 model: VerifyModel::Transformer
             }
         );
-        assert!(
-            Command::parse(&sv(&["verify", "2", "1", "1", "1", "--inject", "bogus"]))
-                .unwrap_err()
-                .contains("unknown defect")
+        assert_eq!(
+            Command::parse(&sv(&["verify", "--serve", "2"])).unwrap(),
+            Command::VerifyServe {
+                tp: 2,
+                layers: 2,
+                tokens: 3,
+                inject: None
+            }
         );
+        assert_eq!(
+            Command::parse(&sv(&[
+                "verify",
+                "--serve",
+                "4",
+                "3",
+                "5",
+                "--inject",
+                "overlap-race"
+            ]))
+            .unwrap(),
+            Command::VerifyServe {
+                tp: 4,
+                layers: 3,
+                tokens: 5,
+                inject: Some(DefectKind::OverlapRace)
+            }
+        );
+        assert_eq!(
+            Command::parse(&sv(&[
+                "verify",
+                "1",
+                "2",
+                "1",
+                "2",
+                "--inject",
+                "slab-reuse"
+            ]))
+            .unwrap(),
+            Command::Verify {
+                grid: Grid4d::new(1, 2, 1, 2),
+                model: VerifyModel::Mlp,
+                inject: Some(DefectKind::SlabReuse)
+            }
+        );
+        let e =
+            Command::parse(&sv(&["verify", "2", "1", "1", "1", "--inject", "bogus"])).unwrap_err();
+        assert!(
+            e.contains("unknown defect") && e.contains("early-recycle"),
+            "{e}"
+        );
+        assert!(Command::parse(&sv(&["verify", "--serve", "2", "3"]))
+            .unwrap_err()
+            .contains("--serve takes"));
         assert!(
             Command::parse(&sv(&["verify", "2", "1", "1", "1", "resnet"]))
                 .unwrap_err()
@@ -1511,6 +1642,54 @@ mod tests {
             })
             .unwrap_or_else(|e| panic!("{}: {e}", defect.label()));
         }
+    }
+
+    #[test]
+    fn run_verify_rejects_race_and_slab_defects() {
+        // The gradsync overlap pipeline on a data-parallel transformer
+        // grid carries tagged pooled async issues — the injection sites
+        // the happens-before and slab analyses need.
+        for defect in [
+            DefectKind::OverlapRace,
+            DefectKind::SlabReuse,
+            DefectKind::EarlyRecycle,
+        ] {
+            run(Command::Verify {
+                grid: Grid4d::new(1, 2, 1, 2),
+                model: VerifyModel::Transformer,
+                inject: Some(defect),
+            })
+            .unwrap_or_else(|e| panic!("{}: {e}", defect.label()));
+        }
+    }
+
+    #[test]
+    fn run_verify_serve_certifies_and_rejects() {
+        for tp in [1usize, 2, 4] {
+            run(Command::VerifyServe {
+                tp,
+                layers: 2,
+                tokens: 3,
+                inject: None,
+            })
+            .unwrap_or_else(|e| panic!("tp={tp}: {e}"));
+        }
+        // Ok(()) means "injected AND rejected".
+        run(Command::VerifyServe {
+            tp: 2,
+            layers: 1,
+            tokens: 2,
+            inject: Some(DefectKind::CountMismatch),
+        })
+        .unwrap();
+        let e = run(Command::VerifyServe {
+            tp: 1,
+            layers: 1,
+            tokens: 1,
+            inject: Some(DefectKind::Reorder),
+        })
+        .unwrap_err();
+        assert!(e.contains("at least 2 ranks"));
     }
 
     #[test]

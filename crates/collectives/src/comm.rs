@@ -582,11 +582,37 @@ impl Comm {
         pooled: bool,
         seq: u64,
     ) {
+        self.record_issue_tagged(
+            kind, group, elems, root, reduce, blocking, pooled, seq, None, None,
+        );
+    }
+
+    /// [`record_issue`](Self::record_issue) with buffer-identity
+    /// annotations: `buf` is the logical buffer the op reads/writes and
+    /// `slab` the pooled slab backing it, both in the id space of
+    /// [`Payload::buffer_id`]. The async issue path records these so the
+    /// happens-before race detector and the slab-lifetime analysis can
+    /// pair overlap windows with [`SchedEvent::BufWrite`] /
+    /// [`SchedEvent::SlabRecycle`] annotations.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn record_issue_tagged(
+        &self,
+        kind: SchedKind,
+        group: &ProcessGroup,
+        elems: usize,
+        root: Option<usize>,
+        reduce: Option<ReduceOp>,
+        blocking: bool,
+        pooled: bool,
+        seq: u64,
+        buf: Option<u64>,
+        slab: Option<u64>,
+    ) {
         if group.size() > 1 && self.shared.transport.recording_schedule() {
             self.shared.transport.record_event(
                 self.rank,
                 SchedEvent::Issue(SchedOp::new(
-                    kind, group, elems, root, reduce, blocking, pooled, seq,
+                    kind, group, elems, root, reduce, blocking, pooled, seq, buf, slab,
                 )),
             );
         }
@@ -600,6 +626,36 @@ impl Comm {
             self.shared
                 .transport
                 .record_event(self.rank, SchedEvent::Marker { label });
+        }
+    }
+
+    /// Record that the main context mutated the logical buffer `buf`
+    /// (id space of [`Payload::buffer_id`]). Layers that hand buffers to
+    /// async collectives call this at each mutation site so the
+    /// verifier's happens-before race detector can prove the write does
+    /// not land inside a pending collective's overlap window. Today the
+    /// runtime copies payloads at issue time, so these annotations
+    /// certify the *stronger* zero-copy discipline — the proof that a
+    /// future in-place payload path stays sound. No-op when schedule
+    /// recording is off.
+    pub fn record_buf_write(&self, buf: u64, label: &'static str) {
+        if self.shared.transport.recording_schedule() {
+            self.shared
+                .transport
+                .record_event(self.rank, SchedEvent::BufWrite { buf, label });
+        }
+    }
+
+    /// Record an explicit recycle of pooled slab `slab` into this rank's
+    /// schedule stream. The clean runtime never calls this (slabs
+    /// recycle implicitly when the owning op's payload drops); it exists
+    /// for the verifier's defect injectors and lifetime tests. No-op
+    /// when schedule recording is off.
+    pub fn record_slab_recycle(&self, slab: u64) {
+        if self.shared.transport.recording_schedule() {
+            self.shared
+                .transport
+                .record_event(self.rank, SchedEvent::SlabRecycle { slab });
         }
     }
 

@@ -205,7 +205,10 @@ impl Comm {
         self.shared.transport.check_poison();
         let (kind, sched) = op.select(&self.shared.algo, group.size());
         let seq = self.next_seq(group);
-        self.record_issue(
+        // Buffer-identity annotations for the verifier: the payload's id
+        // is the logical buffer this op's overlap window covers, and its
+        // slab id (pooled payloads only) keys the lifetime analysis.
+        self.record_issue_tagged(
             sched,
             group,
             op.payload().len(),
@@ -217,6 +220,8 @@ impl Comm {
             false,
             op.payload().is_pooled(),
             seq,
+            Some(op.payload().buffer_id()),
+            op.payload().slab_id(),
         );
         if self.shared.dry {
             // No comm worker exists in dry worlds: synthesise the

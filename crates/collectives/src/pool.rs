@@ -39,6 +39,20 @@ fn class_of(len: usize) -> usize {
     len.next_power_of_two().max(MIN_CLASS)
 }
 
+/// Process-wide buffer-identity counter. Every [`Slab`] (and through
+/// [`Comm::buffer_id`](crate::Comm), every logical main-context buffer
+/// the schedule verifier tracks) gets a unique id from this well. Ids
+/// are never reused: recycling a slab back to the pool ends its
+/// identity, and the next checkout of the same storage mints a fresh
+/// one — which is exactly the property the use-after-recycle analysis
+/// keys on. Id 0 is reserved as "unidentified".
+static BUFFER_IDS: AtomicU64 = AtomicU64::new(1);
+
+/// Mint a fresh, never-reused buffer identity.
+pub(crate) fn next_buffer_id() -> u64 {
+    BUFFER_IDS.fetch_add(1, Ordering::Relaxed)
+}
+
 #[derive(Default)]
 struct Shelves {
     by_class: HashMap<usize, Vec<Vec<f32>>>,
@@ -142,6 +156,10 @@ struct Slab {
     data: Vec<f32>,
     class: usize,
     pool: Weak<PoolInner>,
+    /// Unique identity for the verifier's race/slab-lifetime analyses.
+    /// Assigned at wrap/checkout time, dies with the slab: the same
+    /// storage re-checked-out later carries a different id.
+    id: u64,
 }
 
 impl Drop for Slab {
@@ -174,6 +192,7 @@ impl Payload {
                 class: 0,
                 data,
                 pool: Weak::new(),
+                id: next_buffer_id(),
             }),
         }
     }
@@ -189,6 +208,7 @@ impl Payload {
                     data: buf,
                     class,
                     pool: Arc::downgrade(&pool.inner),
+                    id: next_buffer_id(),
                 }),
             },
             hit,
@@ -197,6 +217,21 @@ impl Payload {
 
     pub fn as_slice(&self) -> &[f32] {
         &self.slab.data
+    }
+
+    /// This payload's logical buffer identity — unique per slab, never
+    /// reused. The async issue path records it on the [`crate::SchedOp`]
+    /// so the happens-before race detector can pair overlap windows with
+    /// [`crate::SchedEvent::BufWrite`] annotations on the same buffer.
+    pub fn buffer_id(&self) -> u64 {
+        self.slab.id
+    }
+
+    /// The identity of the pooled slab backing this payload, or `None`
+    /// for unpooled wraps. Same id space as [`buffer_id`](Self::buffer_id);
+    /// the slab-lifetime analysis keys recycle ordering on it.
+    pub fn slab_id(&self) -> Option<u64> {
+        self.is_pooled().then_some(self.slab.id)
     }
 
     /// True when this payload rides a pool-recycled slab (built by

@@ -97,6 +97,27 @@ impl SchedKind {
         }
     }
 
+    /// Human-readable lane label used by diagnostics: the wire lanes of
+    /// [`lanes`](Self::lanes), named in protocol order. The race and
+    /// slab-lifetime checkers name lanes so a rejected overlap window can
+    /// be traced to the wire protocol phase that still holds the buffer.
+    pub fn lane_label(&self) -> &'static str {
+        match self {
+            SchedKind::AllGather => "ag",
+            SchedKind::ReduceScatter => "rs",
+            SchedKind::ReduceScatterLinear => "lrs",
+            SchedKind::AllReduce | SchedKind::Barrier => "rs+ag",
+            SchedKind::AllReduceLinear => "lrs+ag",
+            SchedKind::AllReduceRd => "rd",
+            SchedKind::AllGatherRd => "rdag",
+            SchedKind::ReduceScatterRh => "rhd",
+            SchedKind::AllReduceRhd => "rhd+rdag",
+            SchedKind::AllReduceTree => "tree_up+tree_down",
+            SchedKind::Broadcast => "bcast",
+            SchedKind::BroadcastTree => "tree_down",
+        }
+    }
+
     /// The wire lanes (see [`crate::comm::lane`]) this kind occupies, in
     /// protocol order.
     pub fn lanes(&self) -> &'static [u32] {
@@ -147,6 +168,18 @@ pub struct SchedOp {
     pub pooled: bool,
     /// Per-group issue sequence number claimed by this op.
     pub seq: u64,
+    /// Logical identity of the main-context buffer this op reads/writes
+    /// (the payload's buffer id for async issues). The happens-before
+    /// race detector keys overlap windows on this id: a
+    /// [`SchedEvent::BufWrite`] on the same id that is concurrent with
+    /// the window is a race. `None` for blocking calls, whose window is
+    /// empty by construction. Excluded from cross-rank matching — ids
+    /// are rank-local.
+    pub buf: Option<u64>,
+    /// Identity of the pooled slab backing the payload, when pooled.
+    /// The slab-lifetime analysis keys recycle ordering on this id.
+    /// Excluded from cross-rank matching.
+    pub slab: Option<u64>,
 }
 
 impl fmt::Display for SchedOp {
@@ -176,6 +209,18 @@ pub enum SchedEvent {
     /// A structural marker from a higher layer (e.g. `bucket_seal` from the
     /// gradient bucketizer), consumed by leak lints.
     Marker { label: &'static str },
+    /// The main context mutated the logical buffer `buf` (overlap-window
+    /// annotation). Emitted by layers that hand a buffer to an async
+    /// collective — the race detector checks every such write against the
+    /// overlap windows of pending async ops on the same id.
+    BufWrite { buf: u64, label: &'static str },
+    /// The pooled slab `slab` was returned to the buffer pool (lifetime
+    /// annotation). The slab analysis proves every reader's clock passed
+    /// the slab's last use before this point. The runtime never emits
+    /// this on clean paths — slabs recycle implicitly when their owning
+    /// op's payload drops — so it appears only in injected-defect streams
+    /// and hand-built tests.
+    SlabRecycle { slab: u64 },
 }
 
 impl fmt::Display for SchedEvent {
@@ -186,6 +231,10 @@ impl fmt::Display for SchedEvent {
                 write!(f, "wait[group={group_key:#x}, seq={seq}]")
             }
             SchedEvent::Marker { label } => write!(f, "marker[{label}]"),
+            SchedEvent::BufWrite { buf, label } => {
+                write!(f, "buf_write[buf={buf}, {label}]")
+            }
+            SchedEvent::SlabRecycle { slab } => write!(f, "slab_recycle[slab={slab}]"),
         }
     }
 }
@@ -202,6 +251,8 @@ impl SchedOp {
         blocking: bool,
         pooled: bool,
         seq: u64,
+        buf: Option<u64>,
+        slab: Option<u64>,
     ) -> Self {
         SchedOp {
             kind,
@@ -213,6 +264,8 @@ impl SchedOp {
             blocking,
             pooled,
             seq,
+            buf,
+            slab,
         }
     }
 }

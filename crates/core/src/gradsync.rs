@@ -27,7 +27,7 @@
 //! two modes produce identical weights and the oracle stays a bitwise
 //! regression check for the pipeline.
 
-use axonn_collectives::{AsyncHandle, Comm, ProcessGroup};
+use axonn_collectives::{AsyncHandle, AsyncOp, Comm, ProcessGroup};
 use std::ops::Range;
 
 /// How the data-parallel gradient phase runs.
@@ -145,11 +145,22 @@ impl GradSyncPipeline {
         let entries = std::mem::take(&mut self.cur_entries);
         let data = std::mem::take(&mut self.cur);
         let (rs, local) = if g > 1 {
+            // Build the pooled payload first so its buffer id is known,
+            // then annotate the schedule stream: the bucket-buffer write
+            // (the bucket's last main-context mutation) must
+            // happen-before the reduce-scatter's overlap window — the
+            // verifier's race detector proves exactly that ordering.
+            let payload = self.comm.pooled_payload(&data);
+            self.comm
+                .record_buf_write(payload.buffer_id(), "bucket_grads");
             // Marker consumed by axonn-verify's leak lint: every sealed
             // bucket must be followed by its linear reduce-scatter.
             self.comm.record_schedule_marker("bucket_seal");
             (
-                Some(self.comm.ireduce_scatter_linear_pooled(&self.group, &data)),
+                Some(
+                    self.comm
+                        .start_async(&self.group, AsyncOp::ReduceScatterLinear(payload)),
+                ),
                 None,
             )
         } else {
@@ -203,7 +214,11 @@ impl GradSyncPipeline {
                 *u += -lr * gv;
             }
             let updated = if g > 1 {
-                Updated::Gather(comm.iall_gather_pooled(&group, &upd))
+                // Same annotation discipline as `seal`: the updated
+                // shard's last write precedes the all-gather issue.
+                let payload = comm.pooled_payload(&upd);
+                comm.record_buf_write(payload.buffer_id(), "zero1_update");
+                Updated::Gather(comm.start_async(&group, AsyncOp::AllGather(payload)))
             } else {
                 Updated::Local(upd)
             };

@@ -175,8 +175,12 @@ where
     }
     // Post-run schedule certification: when recording was on (dry worlds,
     // debug builds, or AXONN_SCHED_VERIFY=1) and all ranks completed
-    // cleanly, cross-check the recorded collective streams. Matching-only
-    // here — completion already witnesses deadlock freedom.
+    // cleanly, cross-check the recorded collective streams — cross-rank
+    // matching plus the happens-before race and slab-lifetime analyses.
+    // Completion already witnesses deadlock freedom, so the deadlock and
+    // leak checks stay off. Every world launched here flows through this
+    // gate, training and serve alike (`axonn_serve::tp_greedy_spmd` lands
+    // on `run_spmd_on`).
     if let Some(streams) = probe.schedule_streams() {
         if probe.schedule_clean() {
             let report = axonn_verify::check_runtime(&streams);

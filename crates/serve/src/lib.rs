@@ -39,4 +39,4 @@ pub use metrics::ServeMetrics;
 pub use sampler::Sampling;
 pub use scheduler::{Completion, FinishReason, ServeConfig, ServeEngine, ServeError, ServeRequest};
 pub use session::{load_model, load_sharded, save_sharded, DecodeSession};
-pub use tp::{tp_greedy_spmd, TpShard};
+pub use tp::{extract_tp_decode_schedule, tp_greedy_spmd, TpShard};

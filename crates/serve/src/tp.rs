@@ -246,6 +246,57 @@ impl TpShard {
     }
 }
 
+/// Symbolic collective schedule of a TP greedy decode, per rank: the
+/// serving-plane twin of `axonn_core`'s training-step extractors.
+/// Replays `tokens` single-token [`TpShard::decode_token`] steps per
+/// rank on a dry world — two blocking all-reduces per layer per token —
+/// against a synthetic checkpoint shape with `layers` transformer
+/// blocks, sized so any `tp` divides the head count and MLP width.
+///
+/// The streams feed `axonn_verify::check_schedules`, which is what
+/// `axonnctl verify --serve <tp> [<layers> <tokens>]` runs to certify a
+/// TP decode config race- and deadlock-free before a single request is
+/// admitted. The schedule depends only on `(tp, layers, tokens)` — the
+/// decoded token ids steer no communication — so the certificate covers
+/// every prompt of the same shape.
+pub fn extract_tp_decode_schedule(
+    tp: usize,
+    layers: usize,
+    tokens: usize,
+) -> Vec<Vec<axonn_collectives::SchedEvent>> {
+    assert!(tp >= 1, "tp must be at least 1");
+    assert!(
+        layers >= 1 && tokens >= 1,
+        "need at least 1 layer and token"
+    );
+    // heads = tp and hidden = 32·tp make every tp legal; head_dim stays 8.
+    let model = Gpt::new(GptModelConfig {
+        vocab: 16,
+        seq_len: tokens,
+        dim: 8 * tp,
+        n_heads: tp,
+        n_layers: layers,
+        seed: 17,
+    });
+    let comms = CommWorld::dry(tp);
+    let probe = comms[0].clone();
+    for comm in comms {
+        let rank = comm.rank();
+        let shard = TpShard::new(&model, tp, rank);
+        let grid = GridTopology::new(tp, 1, 1, 1, rank);
+        let group = grid.x_group().clone();
+        let mut cache = shard.new_cache();
+        let mut next = 0usize;
+        for _ in 0..tokens {
+            let logits = shard.decode_token(&comm, &group, next, &mut cache);
+            next = axonn_lm::decode::argmax(&logits);
+        }
+    }
+    probe
+        .schedule_streams()
+        .expect("dry worlds always record schedules")
+}
+
 /// Greedy continuation decoded by `tp` SPMD ranks over the pooled
 /// collectives runtime, with `serve.tp.*` metrics in `registry`.
 /// Returns each rank's `(tokens, final_logits)` — the token streams must
@@ -390,6 +441,66 @@ mod tests {
             "no collective counters in {:?}",
             snap.counters.keys().collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn extracted_decode_schedules_certify_clean() {
+        // The serving-plane certificate behind `axonnctl verify --serve`:
+        // every supported tp degree's decode schedule is matched, lint-,
+        // deadlock-, race-, and slab-clean.
+        for tp in [1usize, 2, 4] {
+            let streams = extract_tp_decode_schedule(tp, 2, 3);
+            assert_eq!(streams.len(), tp);
+            let report = axonn_verify::check_schedules(&streams);
+            assert!(report.is_ok(), "tp={tp}: {report}");
+            for (rank, stream) in streams.iter().enumerate() {
+                let issues = stream
+                    .iter()
+                    .filter(|e| matches!(e, axonn_collectives::SchedEvent::Issue(_)))
+                    .count();
+                // Two all-reduces per layer per token; size-1 groups
+                // record nothing at all.
+                let expect = if tp == 1 { 0 } else { 2 * 2 * 3 };
+                assert_eq!(issues, expect, "tp={tp} rank={rank}");
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_decode_schedule_is_rejected() {
+        let mut streams = extract_tp_decode_schedule(2, 1, 2);
+        assert!(axonn_verify::inject(
+            &mut streams,
+            1,
+            axonn_verify::InjectKind::CountMismatch
+        ));
+        let report = axonn_verify::check_schedules(&streams);
+        assert!(!report.is_ok());
+        assert!(
+            report.to_string().contains("collective mismatch"),
+            "unexpected report: {report}"
+        );
+    }
+
+    #[test]
+    fn tp2_decode_smoke_world() {
+        // Deliberately tiny (untrained model, one layer, two tokens) so
+        // the CI miri job can execute the full threaded tp=2 decode
+        // world — pooled collectives, KV cache, teardown certification —
+        // under the interpreter.
+        let g = Gpt::new(GptModelConfig {
+            vocab: 8,
+            seq_len: 4,
+            dim: 8,
+            n_heads: 2,
+            n_layers: 1,
+            seed: 5,
+        });
+        let reg = LiveRegistry::new_enabled(false);
+        let out = tp_greedy_spmd(&g, 2, &[1], 2, &reg);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0], out[1]);
+        assert_eq!(out[0].0.len(), 2);
     }
 
     #[test]

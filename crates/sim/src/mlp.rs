@@ -101,9 +101,11 @@ struct Ticket {
 }
 
 /// One representative rank's virtual clocks, mirroring
-/// `axonn_collectives::comm::ClockState`.
-struct Mirror<'a> {
-    sink: Arc<TraceSink>,
+/// `axonn_collectives::comm::ClockState`. Shared by this MLP
+/// training-step mirror and the serving-plane decode mirror
+/// (`crate::decode`).
+pub(crate) struct Mirror<'a> {
+    pub(crate) sink: Arc<TraceSink>,
     cost: &'a dyn CostModel,
     /// Message-size algorithm selection — the same policy the exec plane
     /// resolves at world build, so both planes pick (and cost) the same
@@ -116,6 +118,23 @@ struct Mirror<'a> {
 }
 
 impl<'a> Mirror<'a> {
+    pub(crate) fn new(cost: &'a dyn CostModel) -> Mirror<'a> {
+        Mirror {
+            sink: TraceSink::new(0),
+            cost,
+            // Same env-resolved default the exec plane's world build uses.
+            algo: AlgoPolicy::from_env(),
+            now: 0.0,
+            comm_free_sync: 0.0,
+            comm_free_async: 0.0,
+            next_seq: 0,
+        }
+    }
+
+    pub(crate) fn finish(self) -> RankTrace {
+        self.sink.finish()
+    }
+
     fn bump_seq(&mut self) -> u64 {
         let s = self.next_seq;
         self.next_seq += 1;
@@ -156,7 +175,7 @@ impl<'a> Mirror<'a> {
     /// (C is `gm × gn`, contraction `gk`); the mirror derives the packed
     /// panel counters from the same `pack_geometry` math the exec kernels
     /// report, keyed by the trace-facing mode label.
-    fn gemm(&mut self, mode: &'static str, gm: f64, gk: f64, gn: f64) {
+    pub(crate) fn gemm(&mut self, mode: &'static str, gm: f64, gk: f64, gn: f64) {
         let flops = 2.0 * gm * gk * gn;
         let (panels, packed_bytes) = match mode {
             "NN" | "TN->NN" => pack_geometry(MatMode::NN, gm as usize, gk as usize, gn as usize),
@@ -182,7 +201,7 @@ impl<'a> Mirror<'a> {
 
     /// Blocking collective: in the symmetric case the group sync is a
     /// no-op, the op then occupies the synchronous channel.
-    fn blocking(&mut self, kind: CollectiveKind, group_size: usize, bytes: f64) {
+    pub(crate) fn blocking(&mut self, kind: CollectiveKind, group_size: usize, bytes: f64) {
         if group_size <= 1 {
             return;
         }
@@ -299,16 +318,7 @@ pub fn simulate_mlp_step(cfg: &MlpStepConfig, cost: &dyn CostModel) -> RankTrace
         "batch rows must divide by gd*gz"
     );
     let n_layers = cfg.layers();
-    let mut m = Mirror {
-        sink: TraceSink::new(0),
-        cost,
-        // Same env-resolved default the exec plane's world build uses.
-        algo: AlgoPolicy::from_env(),
-        now: 0.0,
-        comm_free_sync: 0.0,
-        comm_free_async: 0.0,
-        next_seq: 0,
-    };
+    let mut m = Mirror::new(cost);
 
     // ---- forward_local: OAG prefetches, then per-layer forward ----
     let mut prefetched: Vec<Ticket> = Vec::with_capacity(n_layers);
@@ -499,7 +509,7 @@ pub fn simulate_mlp_step(cfg: &MlpStepConfig, cost: &dyn CostModel) -> RankTrace
         m.wait(t);
     }
 
-    m.sink.finish()
+    m.finish()
 }
 
 #[cfg(test)]

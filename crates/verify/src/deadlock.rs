@@ -110,7 +110,11 @@ pub fn check(streams: &[Vec<SchedEvent>]) -> Vec<Diagnostic> {
             }
             while state.pc < state.events.len() {
                 match &state.events[state.pc] {
-                    SchedEvent::Marker { .. } => {
+                    SchedEvent::Marker { .. }
+                    | SchedEvent::BufWrite { .. }
+                    | SchedEvent::SlabRecycle { .. } => {
+                        // Annotations never block; only the hb/slab
+                        // analyses give them meaning.
                         state.pc += 1;
                         progress = true;
                     }

@@ -70,6 +70,63 @@ pub enum Diagnostic {
     /// members): the fixpoint simulation wedged with the listed ranks
     /// stuck at the described ops.
     Deadlock { stuck: Vec<(usize, String)> },
+    /// The main context mutated a buffer while a pending nonblocking
+    /// collective's overlap window may still read or write it: the
+    /// write is neither ordered after the window's end nor before its
+    /// issue in the happens-before analysis.
+    OverlapRace {
+        rank: usize,
+        /// Event index of the racing `BufWrite`.
+        write_index: usize,
+        buf: u64,
+        /// The write site's annotation label (e.g. `bucket_grads`).
+        label: String,
+        /// Rendered async op whose window the write lands in.
+        op: String,
+        /// Ordinal of that op among the rank's collective issues.
+        op_index: usize,
+        /// Wire-lane label of the op's kind.
+        lane: &'static str,
+        /// Event index of the op's issue.
+        issue_index: usize,
+    },
+    /// A pooled slab was explicitly recycled before every async op
+    /// reading it released it — the pool could re-issue storage a
+    /// pending collective still reads.
+    EarlyRecycle {
+        rank: usize,
+        /// Event index of the premature `SlabRecycle`.
+        recycle_index: usize,
+        slab: u64,
+        /// Rendered async op still holding the slab.
+        op: String,
+        op_index: usize,
+        lane: &'static str,
+        issue_index: usize,
+    },
+    /// One slab id recycled twice: the pool free-list would hold the
+    /// buffer twice and serve it to two owners.
+    DoubleRecycle {
+        rank: usize,
+        slab: u64,
+        first_index: usize,
+        second_index: usize,
+    },
+    /// One slab id backing two async ops. Ordered windows are a
+    /// use-after-recycle (the second op reads retired storage);
+    /// concurrent windows are cross-lane aliasing (two in-flight
+    /// collectives share the slab).
+    SlabReuse {
+        rank: usize,
+        slab: u64,
+        first_op: usize,
+        first_lane: &'static str,
+        first_issue: usize,
+        second_op: usize,
+        second_lane: &'static str,
+        second_issue: usize,
+        concurrent: bool,
+    },
 }
 
 fn opt_op(op: &Option<String>) -> &str {
@@ -150,6 +207,71 @@ impl fmt::Display for Diagnostic {
                 }
                 Ok(())
             }
+            Diagnostic::OverlapRace {
+                rank,
+                write_index,
+                buf,
+                label,
+                op,
+                op_index,
+                lane,
+                issue_index,
+            } => write!(
+                f,
+                "rank {rank} event #{write_index}: write to buffer {buf} ({label}) races \
+                 with async {op} at op #{op_index} (lane {lane}, issued at event \
+                 #{issue_index}) — the pending collective may still read or write the buffer"
+            ),
+            Diagnostic::EarlyRecycle {
+                rank,
+                recycle_index,
+                slab,
+                op,
+                op_index,
+                lane,
+                issue_index,
+            } => write!(
+                f,
+                "rank {rank} event #{recycle_index}: slab {slab} recycled before async {op} \
+                 at op #{op_index} (lane {lane}, issued at event #{issue_index}) released it"
+            ),
+            Diagnostic::DoubleRecycle {
+                rank,
+                slab,
+                first_index,
+                second_index,
+            } => write!(
+                f,
+                "rank {rank} event #{second_index}: slab {slab} recycled twice \
+                 (first recycle at event #{first_index})"
+            ),
+            Diagnostic::SlabReuse {
+                rank,
+                slab,
+                first_op,
+                first_lane,
+                first_issue,
+                second_op,
+                second_lane,
+                second_issue,
+                concurrent,
+            } => {
+                if *concurrent {
+                    write!(
+                        f,
+                        "rank {rank}: slab {slab} aliased by concurrent async ops — op \
+                         #{first_op} (lane {first_lane}, issued at event #{first_issue}) and \
+                         op #{second_op} (lane {second_lane}, issued at event #{second_issue})"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "rank {rank}: slab {slab} of async op #{first_op} (lane {first_lane}, \
+                         issued at event #{first_issue}) reused after recycle by async op \
+                         #{second_op} (lane {second_lane}, issued at event #{second_issue})"
+                    )
+                }
+            }
         }
     }
 }
@@ -162,8 +284,14 @@ pub struct Report {
     /// Total collective issues across all ranks.
     pub issues: usize,
     /// Findings, in checker order (local lints, cross-rank matching,
-    /// deadlock simulation). Empty means the schedule is certified.
+    /// deadlock simulation, happens-before races, slab lifetimes).
+    /// Empty means the schedule is certified.
     pub diagnostics: Vec<Diagnostic>,
+    /// Wall-clock per-check timings, in microseconds, in the order the
+    /// checks ran (`lints`, `matching`, `deadlock`, `hb`, `slab`). Lets
+    /// `axonnctl verify` surface slow fixpoints on large grids. Integer
+    /// µs keeps the `Eq` derive.
+    pub timings_us: Vec<(&'static str, u64)>,
 }
 
 impl Report {

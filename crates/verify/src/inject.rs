@@ -20,7 +20,21 @@ pub enum DefectKind {
     MissingWait,
     /// One rank contributes a different element count to a collective.
     CountMismatch,
+    /// A buffer write inserted right after an async issue on the same
+    /// buffer — the write lands inside the collective's overlap window
+    /// (caught by the happens-before race detector).
+    OverlapRace,
+    /// A later async op's slab id rewritten to alias an earlier op's
+    /// slab (caught by the slab-lifetime analysis).
+    SlabReuse,
+    /// An explicit slab recycle inserted right after an async issue,
+    /// before the op releases the slab (caught by the slab-lifetime
+    /// analysis).
+    EarlyRecycle,
 }
+
+/// The ISSUE-facing alias: injected defect kinds.
+pub use DefectKind as InjectKind;
 
 impl DefectKind {
     pub fn label(&self) -> &'static str {
@@ -28,17 +42,26 @@ impl DefectKind {
             DefectKind::Reorder => "reorder",
             DefectKind::MissingWait => "missing-wait",
             DefectKind::CountMismatch => "count-mismatch",
+            DefectKind::OverlapRace => "overlap-race",
+            DefectKind::SlabReuse => "slab-reuse",
+            DefectKind::EarlyRecycle => "early-recycle",
         }
     }
 
-    /// Parse a CLI spelling (`reorder`, `missing-wait`, `count-mismatch`).
+    /// Every defect family, in label order (CLI help, exhaustive tests).
+    pub const ALL: [DefectKind; 6] = [
+        DefectKind::Reorder,
+        DefectKind::MissingWait,
+        DefectKind::CountMismatch,
+        DefectKind::OverlapRace,
+        DefectKind::SlabReuse,
+        DefectKind::EarlyRecycle,
+    ];
+
+    /// Parse a CLI spelling (`reorder`, `missing-wait`, `count-mismatch`,
+    /// `overlap-race`, `slab-reuse`, `early-recycle`).
     pub fn parse(s: &str) -> Option<DefectKind> {
-        match s {
-            "reorder" => Some(DefectKind::Reorder),
-            "missing-wait" => Some(DefectKind::MissingWait),
-            "count-mismatch" => Some(DefectKind::CountMismatch),
-            _ => None,
-        }
+        DefectKind::ALL.into_iter().find(|k| k.label() == s)
     }
 }
 
@@ -124,6 +147,59 @@ pub fn inject(streams: &mut [Vec<SchedEvent>], rank: usize, defect: DefectKind) 
                 if let SchedEvent::Issue(op) = ev {
                     op.elems += 1;
                     return true;
+                }
+            }
+            false
+        }
+        DefectKind::OverlapRace => {
+            // A write to the op's own buffer immediately after issue:
+            // no wait orders it after the window, so it is concurrent
+            // with the in-flight collective.
+            let site = stream.iter().enumerate().find_map(|(i, e)| match e {
+                SchedEvent::Issue(op) if !op.blocking => op.buf.map(|b| (i, b)),
+                _ => None,
+            });
+            match site {
+                Some((i, buf)) => {
+                    stream.insert(
+                        i + 1,
+                        SchedEvent::BufWrite {
+                            buf,
+                            label: "injected-write",
+                        },
+                    );
+                    true
+                }
+                None => false,
+            }
+        }
+        DefectKind::EarlyRecycle => {
+            let site = stream.iter().enumerate().find_map(|(i, e)| match e {
+                SchedEvent::Issue(op) if !op.blocking => op.slab.map(|s| (i, s)),
+                _ => None,
+            });
+            match site {
+                Some((i, slab)) => {
+                    stream.insert(i + 1, SchedEvent::SlabRecycle { slab });
+                    true
+                }
+                None => false,
+            }
+        }
+        DefectKind::SlabReuse => {
+            // Alias the second pooled async issue's slab to the first's.
+            let mut first_slab = None;
+            for ev in stream.iter_mut() {
+                let SchedEvent::Issue(op) = ev else { continue };
+                if op.blocking || op.slab.is_none() {
+                    continue;
+                }
+                match first_slab {
+                    None => first_slab = op.slab,
+                    Some(slab) => {
+                        op.slab = Some(slab);
+                        return true;
+                    }
                 }
             }
             false

@@ -11,7 +11,7 @@
 //! `axonn_collectives::sched` for the event vocabulary and the canonical
 //! lane-key reference).
 //!
-//! Three checkers run over the per-rank event streams:
+//! Five checkers run over the per-rank event streams:
 //!
 //! 1. **Cross-rank matching** ([`matching`]): per-communicator
 //!    subsequences must be identical in kind, member list, element
@@ -26,24 +26,43 @@
 //!    reachable), buckets sealed but never reduced, and the static
 //!    mirror of the transport's indivisible reduce-scatter rejection —
 //!    rendered byte-identically to the runtime `CommError`.
+//! 4. **Happens-before races** ([`hb`]): per-rank vector clocks over
+//!    main and comm-worker contexts, issue/wait handoff edges, and
+//!    collective-completion joins; flags any buffer mutated by the main
+//!    context inside a pending nonblocking collective's overlap window
+//!    (gradsync buckets, pooled prefetch).
+//! 5. **Slab lifetimes** ([`slab`]): proves every pooled `Payload` slab
+//!    is recycled only after all readers' clocks pass its last use —
+//!    use-after-recycle, double-recycle, and cross-lane aliasing.
 //!
 //! Entry points: [`check_schedules`] for the full pre-launch
-//! certification (`axonnctl verify`), [`check_runtime`] for the cheaper
-//! matching-only cross-check that `axonn_exec::run_spmd` applies to
-//! shadow-recorded schedules at teardown. [`inject`] seeds defects for
+//! certification (`axonnctl verify`, training grids and `--serve` TP
+//! decode shapes alike), [`check_runtime`] for the cross-check that
+//! `axonn_exec::run_spmd` applies to shadow-recorded schedules at
+//! teardown (matching plus the hb/slab analyses — completion already
+//! witnesses deadlock freedom, and fire-and-forget handles are legal at
+//! runtime, so the lints stay off). [`inject`] seeds defects for
 //! negative-path tests.
 
 pub mod deadlock;
 pub mod diag;
+pub mod hb;
 pub mod inject;
 pub mod lints;
 pub mod matching;
+pub mod slab;
 
 pub use diag::{Diagnostic, Report};
-pub use inject::{inject, DefectKind};
+pub use hb::HbAnalysis;
+pub use inject::{inject, DefectKind, InjectKind};
 pub use lints::{indivisible_message, BUCKET_SEAL};
 
 use axonn_collectives::SchedEvent;
+use std::time::Instant;
+
+fn elapsed_us(t: Instant) -> u64 {
+    u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
 
 fn count_issues(streams: &[Vec<SchedEvent>]) -> usize {
     streams
@@ -53,28 +72,75 @@ fn count_issues(streams: &[Vec<SchedEvent>]) -> usize {
         .count()
 }
 
-/// Full pre-launch certification: local lints, cross-rank matching, and
-/// the deadlock simulation, in that order.
+/// Full pre-launch certification: local lints, cross-rank matching, the
+/// deadlock simulation, then — on deadlock-free schedules, where the
+/// vector-clock simulation is guaranteed to complete — the
+/// happens-before race detector and the slab-lifetime analysis.
 pub fn check_schedules(streams: &[Vec<SchedEvent>]) -> Report {
+    let mut timings_us = Vec::new();
+    let t = Instant::now();
     let mut diagnostics = lints::check(streams);
+    timings_us.push(("lints", elapsed_us(t)));
+    let t = Instant::now();
     diagnostics.extend(matching::check(streams));
-    diagnostics.extend(deadlock::check(streams));
+    timings_us.push(("matching", elapsed_us(t)));
+    let t = Instant::now();
+    let deadlocks = deadlock::check(streams);
+    let deadlock_free = deadlocks.is_empty();
+    diagnostics.extend(deadlocks);
+    timings_us.push(("deadlock", elapsed_us(t)));
+    if deadlock_free {
+        let t = Instant::now();
+        let analysis = hb::analyze(streams);
+        if let Some(analysis) = &analysis {
+            diagnostics.extend(hb::races(analysis));
+        }
+        timings_us.push(("hb", elapsed_us(t)));
+        let t = Instant::now();
+        if let Some(analysis) = &analysis {
+            diagnostics.extend(slab::check(analysis));
+        }
+        timings_us.push(("slab", elapsed_us(t)));
+    }
     Report {
         ranks: streams.len(),
         issues: count_issues(streams),
         diagnostics,
+        timings_us,
     }
 }
 
-/// Runtime cross-check: matching only. Live runs may legally
-/// fire-and-forget handles (the worker still completes them), and the
-/// run's own completion already witnesses deadlock freedom, so only the
-/// cross-rank matching property is re-checked on shadow recordings.
+/// Runtime cross-check: matching plus the happens-before race and
+/// slab-lifetime analyses. Live runs may legally fire-and-forget
+/// handles (the worker still completes them) and the run's own
+/// completion already witnesses deadlock freedom, so the lints and the
+/// deadlock simulation stay off — but overlap-window hygiene is not
+/// witnessed by completion, so the hb/slab certification runs here too
+/// (covering training *and* serve worlds through `axonn_exec`'s
+/// teardown). On non-SPMD recordings the vector-clock simulation can
+/// wedge; it then reports nothing and the matching diagnostics own the
+/// failure.
 pub fn check_runtime(streams: &[Vec<SchedEvent>]) -> Report {
+    let mut timings_us = Vec::new();
+    let t = Instant::now();
+    let mut diagnostics = matching::check(streams);
+    timings_us.push(("matching", elapsed_us(t)));
+    let t = Instant::now();
+    let analysis = hb::analyze(streams);
+    if let Some(analysis) = &analysis {
+        diagnostics.extend(hb::races(analysis));
+    }
+    timings_us.push(("hb", elapsed_us(t)));
+    let t = Instant::now();
+    if let Some(analysis) = &analysis {
+        diagnostics.extend(slab::check(analysis));
+    }
+    timings_us.push(("slab", elapsed_us(t)));
     Report {
         ranks: streams.len(),
         issues: count_issues(streams),
-        diagnostics: matching::check(streams),
+        diagnostics,
+        timings_us,
     }
 }
 
@@ -93,12 +159,17 @@ mod tests {
             elems,
             root: None,
             reduce: match kind {
-                SchedKind::AllGather | SchedKind::Broadcast => None,
+                SchedKind::AllGather
+                | SchedKind::AllGatherRd
+                | SchedKind::Broadcast
+                | SchedKind::BroadcastTree => None,
                 _ => Some(ReduceOp::Sum),
             },
             blocking: true,
             pooled: false,
             seq: 0,
+            buf: None,
+            slab: None,
         }
     }
 
@@ -124,6 +195,24 @@ mod tests {
             seq,
         };
         (SchedEvent::Issue(o), wait)
+    }
+
+    /// Async issue carrying buffer-identity annotations, as the live
+    /// issue path records them (`buf` always set, `slab` iff pooled).
+    fn tagged_async_issue(
+        kind: SchedKind,
+        ranks: &[usize],
+        elems: usize,
+        seq: u64,
+        buf: u64,
+        pooled: bool,
+    ) -> (SchedEvent, SchedEvent) {
+        let (mut i, w) = async_issue(kind, ranks, elems, seq, pooled);
+        if let SchedEvent::Issue(o) = &mut i {
+            o.buf = Some(buf);
+            o.slab = pooled.then_some(buf);
+        }
+        (i, w)
     }
 
     #[test]
@@ -340,25 +429,339 @@ mod tests {
 
     #[test]
     fn injected_defects_are_detected() {
-        let mk = || {
-            let (i, w) = async_issue(SchedKind::ReduceScatterLinear, &[0, 1], 8, 2, true);
+        // Buffer/slab ids are rank-local in real streams; mirror that
+        // with per-rank id bases so only the injected defect fires.
+        let mk = |rank: u64| {
+            let (i1, w1) = tagged_async_issue(
+                SchedKind::ReduceScatterLinear,
+                &[0, 1],
+                8,
+                2,
+                10 + rank,
+                true,
+            );
+            let (i2, w2) = tagged_async_issue(SchedKind::AllGather, &[0, 1], 4, 3, 20 + rank, true);
             vec![
                 issue(SchedKind::AllGather, &[0, 1], 8, 0),
                 issue(SchedKind::AllReduce, &[0, 1], 16, 1),
-                i,
-                w,
+                i1,
+                w1,
+                i2,
+                w2,
             ]
         };
-        for defect in [
-            DefectKind::Reorder,
-            DefectKind::MissingWait,
-            DefectKind::CountMismatch,
-        ] {
-            let mut streams = vec![mk(), mk()];
+        for defect in DefectKind::ALL {
+            let mut streams = vec![mk(0), mk(1)];
             assert!(check_schedules(&streams).is_ok());
             assert!(inject(&mut streams, 1, defect), "{defect:?} applicable");
             let report = check_schedules(&streams);
             assert!(!report.is_ok(), "{defect:?} must be rejected");
         }
+    }
+
+    #[test]
+    fn clean_overlap_pipeline_certifies() {
+        // The gradsync shape: write the bucket, seal, issue its pooled
+        // linear reduce-scatter; later wait, write the update, gather.
+        // Every write is ordered before its op's issue → no race.
+        let mk = |rank: u64| {
+            let (rs_i, rs_w) = tagged_async_issue(
+                SchedKind::ReduceScatterLinear,
+                &[0, 1],
+                8,
+                0,
+                30 + rank,
+                true,
+            );
+            let (ag_i, ag_w) =
+                tagged_async_issue(SchedKind::AllGather, &[0, 1], 4, 1, 40 + rank, true);
+            vec![
+                SchedEvent::BufWrite {
+                    buf: 30 + rank,
+                    label: "bucket_grads",
+                },
+                SchedEvent::Marker { label: BUCKET_SEAL },
+                rs_i,
+                rs_w,
+                SchedEvent::BufWrite {
+                    buf: 40 + rank,
+                    label: "zero1_update",
+                },
+                ag_i,
+                ag_w,
+            ]
+        };
+        let report = check_schedules(&[mk(0), mk(1)]);
+        assert!(report.is_ok(), "{report}");
+        let ran: Vec<&str> = report.timings_us.iter().map(|(n, _)| *n).collect();
+        assert_eq!(ran, ["lints", "matching", "deadlock", "hb", "slab"]);
+    }
+
+    #[test]
+    fn overlap_race_write_in_window_flagged_with_exact_wording() {
+        let mk = |rank: u64| {
+            let (i, w) = tagged_async_issue(
+                SchedKind::ReduceScatterLinear,
+                &[0, 1],
+                8,
+                0,
+                7 + rank,
+                true,
+            );
+            vec![
+                i,
+                SchedEvent::BufWrite {
+                    buf: 7 + rank,
+                    label: "injected-write",
+                },
+                w,
+            ]
+        };
+        let report = check_schedules(&[mk(0), mk(1)]);
+        let race = report
+            .diagnostics
+            .iter()
+            .find(|d| matches!(d, Diagnostic::OverlapRace { rank: 0, .. }))
+            .expect("race diagnostic");
+        assert_eq!(
+            race.to_string(),
+            "rank 0 event #1: write to buffer 7 (injected-write) races with async \
+             reduce_scatter_linear[elems=8, op=Sum, async, seq=0] at op #0 (lane lrs, \
+             issued at event #0) — the pending collective may still read or write the buffer"
+        );
+    }
+
+    #[test]
+    fn waiting_a_later_op_orders_earlier_windows() {
+        // FIFO comm-worker precision: waiting op B also closes op A's
+        // window (the worker finished A before B), so a write to A's
+        // buffer after B's wait is ordered — not a race.
+        let mk = |rank: u64| {
+            let (ia, wa) = tagged_async_issue(
+                SchedKind::ReduceScatterLinear,
+                &[0, 1],
+                8,
+                0,
+                50 + rank,
+                true,
+            );
+            let (ib, wb) = tagged_async_issue(SchedKind::AllGather, &[0, 1], 4, 1, 60 + rank, true);
+            vec![
+                ia,
+                ib,
+                wb,
+                SchedEvent::BufWrite {
+                    buf: 50 + rank,
+                    label: "rewrite",
+                },
+                wa,
+            ]
+        };
+        let report = check_schedules(&[mk(0), mk(1)]);
+        assert!(report.is_ok(), "{report}");
+    }
+
+    #[test]
+    fn early_recycle_flagged_with_exact_wording() {
+        let mk = |rank: u64| {
+            let (i, w) = tagged_async_issue(
+                SchedKind::ReduceScatterLinear,
+                &[0, 1],
+                8,
+                0,
+                7 + rank,
+                true,
+            );
+            vec![i, SchedEvent::SlabRecycle { slab: 7 + rank }, w]
+        };
+        let report = check_schedules(&[mk(0), mk(1)]);
+        let diag = report
+            .diagnostics
+            .iter()
+            .find(|d| matches!(d, Diagnostic::EarlyRecycle { rank: 0, .. }))
+            .expect("early-recycle diagnostic");
+        assert_eq!(
+            diag.to_string(),
+            "rank 0 event #1: slab 7 recycled before async \
+             reduce_scatter_linear[elems=8, op=Sum, async, seq=0] at op #0 (lane lrs, \
+             issued at event #0) released it"
+        );
+        // Recycling after the wait is the legal lifetime — no finding.
+        let mk_ok = |rank: u64| {
+            let (i, w) = tagged_async_issue(
+                SchedKind::ReduceScatterLinear,
+                &[0, 1],
+                8,
+                0,
+                7 + rank,
+                true,
+            );
+            vec![i, w, SchedEvent::SlabRecycle { slab: 7 + rank }]
+        };
+        assert!(check_schedules(&[mk_ok(0), mk_ok(1)]).is_ok());
+    }
+
+    #[test]
+    fn double_recycle_flagged_with_exact_wording() {
+        let mk = |rank: u64| {
+            let (i, w) = tagged_async_issue(
+                SchedKind::ReduceScatterLinear,
+                &[0, 1],
+                8,
+                0,
+                7 + rank,
+                true,
+            );
+            vec![
+                i,
+                w,
+                SchedEvent::SlabRecycle { slab: 7 + rank },
+                SchedEvent::SlabRecycle { slab: 7 + rank },
+            ]
+        };
+        let report = check_schedules(&[mk(0), mk(1)]);
+        let diag = report
+            .diagnostics
+            .iter()
+            .find(|d| matches!(d, Diagnostic::DoubleRecycle { rank: 0, .. }))
+            .expect("double-recycle diagnostic");
+        assert_eq!(
+            diag.to_string(),
+            "rank 0 event #3: slab 7 recycled twice (first recycle at event #2)"
+        );
+    }
+
+    #[test]
+    fn slab_aliasing_flagged_concurrent_and_ordered() {
+        // Concurrent windows sharing one slab: cross-lane aliasing.
+        let mk = |rank: u64| {
+            let (ia, wa) = tagged_async_issue(
+                SchedKind::ReduceScatterLinear,
+                &[0, 1],
+                8,
+                0,
+                7 + rank,
+                true,
+            );
+            let (mut ib, wb) =
+                tagged_async_issue(SchedKind::AllGather, &[0, 1], 4, 1, 7 + rank, true);
+            if let SchedEvent::Issue(o) = &mut ib {
+                o.buf = Some(90 + rank); // distinct logical buffer, shared slab
+            }
+            vec![ia, ib, wa, wb]
+        };
+        let report = check_schedules(&[mk(0), mk(1)]);
+        let diag = report
+            .diagnostics
+            .iter()
+            .find(|d| matches!(d, Diagnostic::SlabReuse { rank: 0, .. }))
+            .expect("slab-reuse diagnostic");
+        assert_eq!(
+            diag.to_string(),
+            "rank 0: slab 7 aliased by concurrent async ops — op #0 (lane lrs, issued at \
+             event #0) and op #1 (lane ag, issued at event #1)"
+        );
+
+        // Ordered windows sharing one slab: use-after-recycle.
+        let mk = |rank: u64| {
+            let (ia, wa) = tagged_async_issue(
+                SchedKind::ReduceScatterLinear,
+                &[0, 1],
+                8,
+                0,
+                7 + rank,
+                true,
+            );
+            let (mut ib, wb) =
+                tagged_async_issue(SchedKind::AllGather, &[0, 1], 4, 1, 7 + rank, true);
+            if let SchedEvent::Issue(o) = &mut ib {
+                o.buf = Some(90 + rank);
+            }
+            vec![ia, wa, ib, wb]
+        };
+        let report = check_schedules(&[mk(0), mk(1)]);
+        let diag = report
+            .diagnostics
+            .iter()
+            .find(|d| matches!(d, Diagnostic::SlabReuse { rank: 0, .. }))
+            .expect("slab-reuse diagnostic");
+        assert_eq!(
+            diag.to_string(),
+            "rank 0: slab 7 of async op #0 (lane lrs, issued at event #0) reused after \
+             recycle by async op #1 (lane ag, issued at event #2)"
+        );
+    }
+
+    #[test]
+    fn lint_negative_paths_cover_algorithm_lanes() {
+        // The PR 8 algorithm kinds (tree / recursive halving-doubling
+        // lanes) must hit the same lint classes as the ring kinds.
+
+        // Wait-before-issue on the RHD lane.
+        let (i, w) = async_issue(SchedKind::AllReduceRhd, &[0, 1], 8, 0, false);
+        let report = check_schedules(&[vec![w.clone(), i.clone()], vec![i, w]]);
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| matches!(d, Diagnostic::WaitBeforeIssue { rank: 0, .. })),
+            "{report}"
+        );
+
+        // Double-wait on the tree lanes.
+        let (i, w) = async_issue(SchedKind::AllReduceTree, &[0, 1], 8, 0, false);
+        let report = check_schedules(&[vec![i.clone(), w.clone(), w.clone()], vec![i, w]]);
+        assert!(
+            report.diagnostics.iter().any(|d| matches!(
+                d,
+                Diagnostic::DoubleWait {
+                    rank: 0,
+                    event_index: 2,
+                    ..
+                }
+            )),
+            "{report}"
+        );
+
+        // Unwaited handle + pooled leak on the RDAG lane.
+        let (i, _w) = async_issue(SchedKind::AllGatherRd, &[0, 1], 8, 0, true);
+        let report = check_schedules(&[vec![i.clone()], vec![i]]);
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| matches!(d, Diagnostic::UnwaitedHandle { rank: 0, .. })));
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| matches!(d, Diagnostic::PooledLeak { rank: 0, .. })));
+
+        // Indivisible reduce-scatter on the recursive-halving lane,
+        // rendered with the runtime's exact words.
+        let stream = vec![issue(SchedKind::ReduceScatterRh, &[0, 1, 2], 10, 0)];
+        let report = check_schedules(&[stream.clone(), stream.clone(), stream]);
+        let msg = report
+            .diagnostics
+            .iter()
+            .find_map(|d| match d {
+                Diagnostic::IndivisibleReduceScatter { message, .. } => Some(message.clone()),
+                _ => None,
+            })
+            .expect("indivisible diagnostic");
+        assert_eq!(msg, indivisible_message("reduce_scatter_rh", 10, 3));
+
+        // Root disagreement on the tree broadcast is a first-divergence
+        // mismatch like any ring kind.
+        let mut a = op(SchedKind::BroadcastTree, &[0, 1], 8);
+        a.root = Some(0);
+        let mut b = a.clone();
+        b.root = Some(1);
+        let report = check_schedules(&[vec![SchedEvent::Issue(a)], vec![SchedEvent::Issue(b)]]);
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| matches!(d, Diagnostic::Mismatch { index: 0, .. })),
+            "{report}"
+        );
     }
 }

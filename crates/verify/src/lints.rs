@@ -91,6 +91,10 @@ pub fn check(streams: &[Vec<SchedEvent>]) -> Vec<Diagnostic> {
                     }
                 }
                 SchedEvent::Marker { .. } => {}
+                // Buffer-identity annotations carry no per-rank hygiene
+                // obligations; the happens-before engine (`crate::hb`)
+                // and the slab analysis (`crate::slab`) consume them.
+                SchedEvent::BufWrite { .. } | SchedEvent::SlabRecycle { .. } => {}
             }
         }
 

@@ -9,13 +9,17 @@
 //! numbers and the blocking/async flag are *not* compared: seqs agree by
 //! construction when the projections agree, and a blocking issue on one
 //! rank legally matches an async issue on another (messages ride the
-//! same lanes either way).
+//! same lanes either way). Buffer and slab ids (`SchedOp::buf`/`slab`)
+//! are likewise excluded — they are rank-local identities, consumed by
+//! the happens-before and slab-lifetime analyses, never part of the
+//! wire contract.
 
 use crate::diag::Diagnostic;
 use axonn_collectives::{SchedEvent, SchedOp};
 use std::collections::BTreeMap;
 
-/// The compared projection: everything but seq, blocking, and pooled.
+/// The compared projection: everything but seq, blocking, pooled, and
+/// the rank-local buf/slab identities.
 fn same(a: &SchedOp, b: &SchedOp) -> bool {
     a.kind == b.kind
         && a.ranks == b.ranks

@@ -95,6 +95,60 @@ fn pool_into_vec_races_clone_drop_safely() {
     });
 }
 
+/// The nonblocking worker's issue/wait handoff, modelled over the
+/// mailbox: the main context "issues" by depositing the payload for the
+/// worker, the worker executes and deposits the result, and the main
+/// context "waits" by receiving it. The two-hop rendezvous must deliver
+/// in every interleaving — a lost wakeup on either hop parks a thread
+/// forever and loom reports the deadlock.
+#[test]
+fn issue_wait_handoff_delivers_in_all_interleavings() {
+    loom::model(|| {
+        let transport = Transport::new(2);
+        let t = Arc::clone(&transport);
+        let worker = thread::spawn(move || {
+            // Worker context: pick up the issued job, execute, hand the
+            // result back on the completion key.
+            let job = t.recv(1, 0, KEY);
+            let done: Vec<f32> = job.as_slice().iter().map(|v| v * 2.0).collect();
+            t.send(1, 0, KEY + 1, done);
+        });
+        // Main context: issue, then wait.
+        transport.send(0, 1, KEY, vec![1.0f32, 2.0]);
+        let got = transport.recv(0, 1, KEY + 1);
+        assert_eq!(got.as_slice(), &[2.0, 4.0]);
+        worker.join().unwrap();
+    });
+}
+
+/// The `OpScope` RAII marker substrate: a rank entering and leaving a
+/// collective (`set_op`/`clear_op`, what `Comm::op_scope` and its Drop
+/// impl call) racing a watchdog snapshot. The observer must only ever
+/// see a coherent marker — the named op or none — and once the guard is
+/// gone the marker is always cleared, in every interleaving.
+#[test]
+fn op_scope_markers_are_coherent_under_snapshot() {
+    use axonn_collectives::Beats;
+    loom::model(|| {
+        let beats = Beats::new(1);
+        let b = beats.clone();
+        let rank = thread::spawn(move || {
+            b.set_op(0, "all_reduce"); // OpScope creation
+            b.note_collective(0); // work inside the scope
+            b.clear_op(0); // OpScope drop
+        });
+        let seen = beats.snapshot(0).current_op;
+        assert!(
+            seen.is_none() || seen == Some("all_reduce"),
+            "torn op marker: {seen:?}"
+        );
+        rank.join().unwrap();
+        let final_snap = beats.snapshot(0);
+        assert_eq!(final_snap.current_op, None, "guard failed to clear");
+        assert_eq!(final_snap.collectives, 1);
+    });
+}
+
 /// Dropping the pool while a payload is still in flight is safe: the
 /// slab's weak pool reference simply fails to upgrade and the buffer is
 /// freed instead of shelved — no panic, no dangling shelf.

@@ -14,6 +14,7 @@ pub use axonn_gpt as gpt;
 pub use axonn_lm as lm;
 pub use axonn_memorize as memorize;
 pub use axonn_perfmodel as perfmodel;
+pub use axonn_serve as serve;
 pub use axonn_sim as sim;
 pub use axonn_tensor as tensor;
 pub use axonn_trace as trace;

@@ -126,11 +126,10 @@ fn reorder_with_divergent_pair_is_a_matching_mismatch() {
 #[test]
 fn transformer_defects_are_rejected_too() {
     let shape = default_transformer_shape(4);
-    for defect in [
-        DefectKind::Reorder,
-        DefectKind::MissingWait,
-        DefectKind::CountMismatch,
-    ] {
+    // All six defect families against real extracted streams: the
+    // data-parallel dimension gives the gradsync overlap pipeline, whose
+    // tagged pooled async issues are the race/slab injection sites.
+    for defect in DefectKind::ALL {
         let mut streams = extract_transformer_schedules(1, 2, 1, 2, &shape, OverlapConfig::all());
         assert!(check_schedules(&streams).is_ok(), "clean schedule rejected");
         assert!(inject(&mut streams, 1, defect), "{defect:?} applicable");
@@ -138,6 +137,152 @@ fn transformer_defects_are_rejected_too() {
             !check_schedules(&streams).is_ok(),
             "{defect:?} not rejected"
         );
+    }
+}
+
+#[test]
+fn injected_overlap_race_names_rank_op_lane_and_buffer() {
+    let shape = default_transformer_shape(4);
+    let mut streams = extract_transformer_schedules(1, 2, 1, 2, &shape, OverlapConfig::all());
+    assert!(inject(&mut streams, 1, DefectKind::OverlapRace));
+    // The injector writes to the first async issue's buffer right after
+    // the issue; recover the expected site from the corrupted stream.
+    let (write_index, buf) = streams[1]
+        .iter()
+        .enumerate()
+        .find_map(|(i, e)| match e {
+            SchedEvent::BufWrite { buf, .. } => Some((i, *buf)),
+            _ => None,
+        })
+        .expect("injected write present");
+
+    let report = check_schedules(&streams);
+    let race = report
+        .diagnostics
+        .iter()
+        .find_map(|d| match d {
+            Diagnostic::OverlapRace {
+                rank,
+                write_index: w,
+                buf: b,
+                ..
+            } => Some((*rank, *w, *b)),
+            _ => None,
+        })
+        .unwrap_or_else(|| panic!("no overlap-race diagnostic: {report}"));
+    assert_eq!(race, (1, write_index, buf));
+    // The rendered diagnostic names every coordinate of the defect.
+    let text = report.to_string();
+    assert!(
+        text.contains(&format!(
+            "rank 1 event #{write_index}: write to buffer {buf} (injected-write) races with async"
+        )) && text.contains("lane ")
+            && text.contains("the pending collective may still read or write the buffer"),
+        "incomplete race diagnostic: {text}"
+    );
+}
+
+#[test]
+fn injected_early_recycle_names_the_unreleased_slab() {
+    let shape = default_transformer_shape(4);
+    let mut streams = extract_transformer_schedules(1, 2, 1, 2, &shape, OverlapConfig::all());
+    assert!(inject(&mut streams, 1, DefectKind::EarlyRecycle));
+    let (recycle_index, slab) = streams[1]
+        .iter()
+        .enumerate()
+        .find_map(|(i, e)| match e {
+            SchedEvent::SlabRecycle { slab } => Some((i, *slab)),
+            _ => None,
+        })
+        .expect("injected recycle present");
+
+    let report = check_schedules(&streams);
+    assert!(
+        report.diagnostics.iter().any(|d| matches!(
+            d,
+            Diagnostic::EarlyRecycle { rank: 1, recycle_index: r, slab: s, .. }
+                if *r == recycle_index && *s == slab
+        )),
+        "no early-recycle diagnostic at rank 1 event #{recycle_index}: {report}"
+    );
+    assert!(
+        report.to_string().contains(&format!(
+            "rank 1 event #{recycle_index}: slab {slab} recycled before async"
+        )),
+        "wrong wording: {report}"
+    );
+}
+
+#[test]
+fn injected_slab_aliasing_names_both_ops() {
+    let shape = default_transformer_shape(4);
+    let mut streams = extract_transformer_schedules(1, 2, 1, 2, &shape, OverlapConfig::all());
+    assert!(inject(&mut streams, 1, DefectKind::SlabReuse));
+
+    let report = check_schedules(&streams);
+    let found = report
+        .diagnostics
+        .iter()
+        .find_map(|d| match d {
+            Diagnostic::SlabReuse { rank, slab, .. } => Some((*rank, *slab)),
+            _ => None,
+        })
+        .unwrap_or_else(|| panic!("no slab-reuse diagnostic: {report}"));
+    assert_eq!(found.0, 1);
+    let text = report.to_string();
+    assert!(
+        text.contains("aliased by concurrent async ops") || text.contains("reused after recycle"),
+        "wrong wording: {text}"
+    );
+}
+
+#[test]
+fn serve_decode_schedule_certifies_with_timed_checks() {
+    for tp in [1usize, 2, 4] {
+        let streams = axonn::serve::extract_tp_decode_schedule(tp, 2, 3);
+        let report = check_schedules(&streams);
+        assert!(report.is_ok(), "tp={tp}: {report}");
+        let names: Vec<&str> = report.timings_us.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, ["lints", "matching", "deadlock", "hb", "slab"]);
+    }
+}
+
+#[test]
+fn serve_schedule_matches_sim_decode_mirror() {
+    // Serving-plane twin of the MLP cross-plane test below: the dry
+    // extractor and the perf-model mirror must replay the same decode
+    // collective sequence.
+    use axonn::sim::{simulate_tp_decode, TpDecodeConfig};
+    for tp in [2usize, 4] {
+        let (layers, tokens) = (2usize, 3usize);
+        let streams = axonn::serve::extract_tp_decode_schedule(tp, layers, tokens);
+        let extracted: Vec<&'static str> = streams[0]
+            .iter()
+            .filter_map(|e| match e {
+                SchedEvent::Issue(op) => Some(sched_coll_name(op.kind)),
+                _ => None,
+            })
+            .collect();
+
+        let trace = simulate_tp_decode(
+            &TpDecodeConfig {
+                tp,
+                layers,
+                dim: 8 * tp, // the extractor's synthetic checkpoint shape
+                vocab: 16,
+                tokens,
+            },
+            &RingCostModel::new(1e8, 1e8),
+        );
+        let mirrored: Vec<&'static str> = trace
+            .stream_events(Stream::Compute)
+            .filter_map(|e| match &e.detail {
+                EventDetail::Collective { op, .. } => Some(op.name()),
+                EventDetail::Issue { op, .. } => Some(op.name()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(extracted, mirrored, "planes disagree on tp={tp}");
     }
 }
 
